@@ -1,0 +1,134 @@
+// Benchmark harness: one benchmark per figure/table of the evaluation (see
+// DESIGN.md §4 and EXPERIMENTS.md). Each sub-benchmark runs shortened
+// replications of one (algorithm, sweep-point) cell and reports the cell's
+// headline metrics via b.ReportMetric, so
+//
+//	go test -bench F4 -benchmem
+//
+// regenerates the corresponding figure's series at reduced scale. Full-scale
+// regeneration (longer horizons, more replications, confidence intervals) is
+// cmd/wdcsweep's job; the benchmarks trade precision for a runtime that fits
+// in a CI budget.
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/experiment"
+)
+
+// benchBase is the reduced-scale configuration the benchmarks run.
+func benchBase() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.NumClients = 50
+	cfg.Horizon = 500 * des.Second
+	cfg.Warmup = 100 * des.Second
+	return cfg
+}
+
+// runCell executes b.N replications of one experiment cell and reports the
+// across-replication mean of the headline metrics.
+func runCell(b *testing.B, cfg core.Config) {
+	b.Helper()
+	var delay, hit, overhead, energy, util float64
+	var stale uint64
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i) + 1
+		r, err := core.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		delay += r.MeanDelay
+		hit += r.HitRatio
+		overhead += r.OverheadBitsPerSec()
+		energy += r.EnergyPerQuery
+		util += r.DownlinkUtil
+		stale += r.StaleViolations
+	}
+	n := float64(b.N)
+	b.ReportMetric(delay/n, "s-delay")
+	b.ReportMetric(hit/n, "hit-ratio")
+	b.ReportMetric(overhead/n, "b/s-overhead")
+	b.ReportMetric(energy/n, "J/query")
+	b.ReportMetric(util/n, "util")
+	if stale != 0 {
+		b.Fatalf("consistency violated: %d stale answers", stale)
+	}
+}
+
+// benchExperiment expands one registry entry into sub-benchmarks.
+func benchExperiment(b *testing.B, id string) {
+	exp := experiment.ByID(id)
+	if exp == nil {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	algos := exp.Algorithms
+	if len(algos) == 0 {
+		algos = []string{"ts", "at", "sig", "bs", "uir", "tair", "lair", "hybrid"}
+	}
+	for _, p := range exp.Points {
+		for _, algo := range algos {
+			p, algo := p, algo
+			b.Run(fmt.Sprintf("%s=%s/%s", exp.XLabel, p.Label, algo), func(b *testing.B) {
+				cfg := benchBase()
+				p.Mutate(&cfg)
+				cfg.Algorithm = algo
+				runCell(b, cfg)
+			})
+		}
+	}
+}
+
+// Figures.
+
+func BenchmarkF1DelayVsUpdateRate(b *testing.B)      { benchExperiment(b, "F1") }
+func BenchmarkF2HitRatioVsUpdateRate(b *testing.B)   { benchExperiment(b, "F2") }
+func BenchmarkF3DelayVsQueryRate(b *testing.B)       { benchExperiment(b, "F3") }
+func BenchmarkF4DelayVsDownlinkLoad(b *testing.B)    { benchExperiment(b, "F4") }
+func BenchmarkF5OverheadVsDownlinkLoad(b *testing.B) { benchExperiment(b, "F5") }
+func BenchmarkF6DelayVsSNR(b *testing.B)             { benchExperiment(b, "F6") }
+func BenchmarkF7MissVsSNR(b *testing.B)              { benchExperiment(b, "F7") }
+func BenchmarkF8DelayVsSleep(b *testing.B)           { benchExperiment(b, "F8") }
+func BenchmarkF9ScalabilityClients(b *testing.B)     { benchExperiment(b, "F9") }
+func BenchmarkF10SkewSweep(b *testing.B)             { benchExperiment(b, "F10") }
+
+// Tables.
+
+func BenchmarkT1DefaultMatrix(b *testing.B)      { benchExperiment(b, "T1") }
+func BenchmarkT2DopplerMatrix(b *testing.B)      { benchExperiment(b, "T2") }
+func BenchmarkT3IRIntervalTradeoff(b *testing.B) { benchExperiment(b, "T3") }
+func BenchmarkT4WindowTradeoff(b *testing.B)     { benchExperiment(b, "T4") }
+
+// Ablations.
+
+func BenchmarkA1CoverageAblation(b *testing.B)   { benchExperiment(b, "A1") }
+func BenchmarkA2SchedulingAblation(b *testing.B) { benchExperiment(b, "A2") }
+func BenchmarkA3SnoopExtension(b *testing.B)     { benchExperiment(b, "A3") }
+func BenchmarkA4MobilitySweep(b *testing.B)      { benchExperiment(b, "A4") }
+func BenchmarkA5CachePolicy(b *testing.B)        { benchExperiment(b, "A5") }
+func BenchmarkA6Coalescing(b *testing.B)         { benchExperiment(b, "A6") }
+
+// BenchmarkEngine measures the raw simulator throughput (events/second of
+// wall time) independent of any experiment, as a performance regression
+// guard for the DES core.
+func BenchmarkEngine(b *testing.B) {
+	cfg := benchBase()
+	cfg.Algorithm = "hybrid"
+	var events uint64
+	var simSec float64
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i) + 1
+		sim, err := core.NewSimulation(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := sim.Execute()
+		events += sim.Executed()
+		simSec += r.MeasuredSec
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+	b.ReportMetric(simSec/b.Elapsed().Seconds(), "simsec/s")
+}

@@ -1,0 +1,43 @@
+// Command wdcplot renders a CSV file produced by wdcsweep as an ASCII line
+// chart, one series per algorithm.
+//
+// Usage:
+//
+//	wdcsweep -exp F4 -out results
+//	wdcplot -in results/F4.csv -metric delay
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	in := flag.String("in", "", "CSV file written by wdcsweep -out")
+	metric := flag.String("metric", "delay", "metric column to plot (e.g. delay, hit, overhead)")
+	width := flag.Int("width", 72, "plot area width")
+	height := flag.Int("height", 20, "plot area height")
+	flag.Parse()
+
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "wdcplot: -in required")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		fatal(err)
+	}
+	xlabel, series, err := experiment.ParseCSV(string(data), *metric)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(experiment.Chart(*in, xlabel, *metric, series, *width, *height))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wdcplot:", err)
+	os.Exit(1)
+}

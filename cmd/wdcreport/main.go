@@ -1,0 +1,88 @@
+// Command wdcreport assembles the CSV files written by `wdcsweep -out` into
+// a single markdown report: one section per experiment with an ASCII chart
+// of its first metric and a table of every metric.
+//
+// Usage:
+//
+//	wdcsweep -exp all -out results
+//	wdcreport -in results -out report.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	in := flag.String("in", "results", "directory of wdcsweep CSV files")
+	out := flag.String("out", "", "markdown output file (default stdout)")
+	width := flag.Int("width", 64, "chart width")
+	height := flag.Int("height", 16, "chart height")
+	flag.Parse()
+
+	files, err := filepath.Glob(filepath.Join(*in, "*.csv"))
+	if err != nil {
+		fatal(err)
+	}
+	if len(files) == 0 {
+		fatal(fmt.Errorf("no CSV files under %s", *in))
+	}
+	// Present in registry order, then anything unrecognized.
+	order := map[string]int{}
+	for i, id := range experiment.IDs() {
+		order[id] = i
+	}
+	sort.Slice(files, func(i, j int) bool {
+		a := strings.TrimSuffix(filepath.Base(files[i]), ".csv")
+		b := strings.TrimSuffix(filepath.Base(files[j]), ".csv")
+		ra, oka := order[a]
+		rb, okb := order[b]
+		switch {
+		case oka && okb:
+			return ra < rb
+		case oka:
+			return true
+		case okb:
+			return false
+		default:
+			return a < b
+		}
+	})
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "# wdcsim experiment report\n\n")
+	fmt.Fprintf(&b, "Generated from %d result files in `%s`.\n\n", len(files), *in)
+	for _, f := range files {
+		id := strings.TrimSuffix(filepath.Base(f), ".csv")
+		data, err := os.ReadFile(f)
+		if err != nil {
+			fatal(err)
+		}
+		section, err := experiment.ReportSection(id, string(data), *width, *height)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wdcreport: skipping %s: %v\n", f, err)
+			continue
+		}
+		b.WriteString(section)
+	}
+
+	if *out == "" {
+		fmt.Print(b.String())
+		return
+	}
+	if err := os.WriteFile(*out, []byte(b.String()), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, "wrote", *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wdcreport:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,207 @@
+// Command wdcsim runs one wireless data-caching simulation and prints its
+// statistics.
+//
+// Usage:
+//
+//	wdcsim -algo hybrid -clients 100 -update-rate 0.5 -load 0.4 -horizon 3600
+//
+// Every knob of the model is exposed as a flag; defaults reproduce the
+// evaluation's base configuration. Add -v for the full metric breakdown and
+// -reps N to average over independent replications.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/ir"
+	"repro/internal/traffic"
+)
+
+func main() {
+	cfg := core.DefaultConfig()
+
+	algo := flag.String("algo", cfg.Algorithm, "invalidation algorithm: "+strings.Join(ir.Names, ", "))
+	seed := flag.Uint64("seed", cfg.Seed, "master RNG seed")
+	reps := flag.Int("reps", 1, "independent replications to average")
+	workers := flag.Int("workers", 0, "parallel replications (0 = all cores)")
+	clients := flag.Int("clients", cfg.NumClients, "number of mobile clients")
+	items := flag.Int("items", cfg.DB.NumItems, "database items")
+	capacity := flag.Int("cache", cfg.CacheCapacity, "client cache capacity (items)")
+	policy := flag.String("policy", cfg.CachePolicy.String(), "replacement policy: lru, fifo, random")
+	updateRate := flag.Float64("update-rate", cfg.DB.UpdateRate, "aggregate updates/s")
+	queryRate := flag.Float64("query-rate", cfg.Workload.QueryRate, "per-client queries/s")
+	zipf := flag.Float64("zipf", cfg.Workload.Zipf, "access skew theta")
+	sleep := flag.Float64("sleep", cfg.Workload.SleepRatio, "client disconnection ratio [0,1)")
+	load := flag.Float64("load", cfg.TrafficLoad, "background downlink load fraction")
+	trafficModel := flag.String("traffic", cfg.Traffic.Model.String(), "background model: poisson, cbr, pareto-onoff")
+	snr := flag.Float64("snr", cfg.Channel.MeanSNRdB, "population mean SNR (dB)")
+	doppler := flag.Float64("doppler", cfg.Channel.DopplerHz, "fading Doppler (Hz)")
+	interval := flag.Float64("interval", cfg.IR.Interval.Seconds(), "report interval L (s)")
+	coverage := flag.Float64("coverage", cfg.IR.Coverage, "LAIR fast-report coverage target")
+	horizon := flag.Float64("horizon", cfg.Horizon.Seconds(), "simulated span (s)")
+	warmup := flag.Float64("warmup", cfg.Warmup.Seconds(), "warmup excluded from stats (s)")
+	strict := flag.Bool("strict-priority", false, "responses strictly preempt background traffic")
+	snoop := flag.Bool("snoop", false, "clients cache overheard responses")
+	coalesce := flag.Bool("coalesce", false, "server coalesces same-item responses")
+	configPath := flag.String("config", "", "JSON config file to overlay before flags")
+	saveConfig := flag.String("save-config", "", "write the effective config as JSON and exit")
+	verbose := flag.Bool("v", false, "print the full metric breakdown")
+	asJSON := flag.Bool("json", false, "print results as JSON")
+	flag.Parse()
+
+	// Precedence: defaults < -config file < explicitly set flags.
+	if *configPath != "" {
+		if err := cfg.LoadJSON(*configPath); err != nil {
+			fatal(err)
+		}
+	}
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	// With no config file every flag applies (it carries the default);
+	// with one, only flags the user actually passed override the file.
+	use := func(name string) bool { return *configPath == "" || set[name] }
+
+	if use("algo") {
+		cfg.Algorithm = *algo
+	}
+	if use("seed") {
+		cfg.Seed = *seed
+	}
+	if use("clients") {
+		cfg.NumClients = *clients
+	}
+	if use("items") {
+		cfg.DB.NumItems = *items
+	}
+	if use("cache") {
+		cfg.CacheCapacity = *capacity
+	}
+	if use("policy") {
+		p, err := cache.ParsePolicy(*policy)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.CachePolicy = p
+	}
+	if use("update-rate") {
+		cfg.DB.UpdateRate = *updateRate
+	}
+	if use("query-rate") {
+		cfg.Workload.QueryRate = *queryRate
+	}
+	if use("zipf") {
+		cfg.Workload.Zipf = *zipf
+	}
+	if use("sleep") {
+		cfg.Workload.SleepRatio = *sleep
+	}
+	if use("load") {
+		cfg.TrafficLoad = *load
+	}
+	if use("snr") {
+		cfg.Channel.MeanSNRdB = *snr
+	}
+	if use("doppler") {
+		cfg.Channel.DopplerHz = *doppler
+	}
+	if use("interval") {
+		cfg.IR.Interval = des.FromSeconds(*interval)
+	}
+	if use("coverage") {
+		cfg.IR.Coverage = *coverage
+	}
+	if use("horizon") {
+		cfg.Horizon = des.FromSeconds(*horizon)
+	}
+	if use("warmup") {
+		cfg.Warmup = des.FromSeconds(*warmup)
+	}
+	if use("strict-priority") {
+		cfg.Downlink.StrictPriority = *strict
+	}
+	if use("snoop") {
+		cfg.SnoopResponses = *snoop
+	}
+	if use("coalesce") {
+		cfg.CoalesceResponses = *coalesce
+	}
+	if use("traffic") {
+		model, err := traffic.ParseModel(*trafficModel)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Traffic.Model = model
+	}
+
+	if *saveConfig != "" {
+		if err := cfg.SaveJSON(*saveConfig); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", *saveConfig)
+		return
+	}
+
+	if *reps <= 1 {
+		r, err := core.Run(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		if *asJSON {
+			data, err := json.MarshalIndent(r, "", "  ")
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(string(data))
+			return
+		}
+		fmt.Println(r)
+		if *verbose {
+			printVerbose(r)
+		}
+		return
+	}
+	agg, err := core.RunReplications(cfg, *reps, *workers)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(agg)
+	if *verbose {
+		for _, r := range agg.Runs {
+			fmt.Println(r)
+		}
+	}
+}
+
+func printVerbose(r *core.RunStats) {
+	fmt.Printf("  measured span       %.0f s\n", r.MeasuredSec)
+	fmt.Printf("  queries / answered  %d / %d (pending at end: %d)\n", r.Queries, r.Answered, r.PendingAtEnd)
+	fmt.Printf("  hits / miss-answers %d / %d (hit ratio %.4f)\n", r.CacheHits, r.MissAnswers, r.HitRatio)
+	fmt.Printf("  delay mean/p95/max  %.3f / %.3f / %.3f s\n", r.MeanDelay, r.P95Delay, r.MaxDelay)
+	fmt.Printf("  answered via        full=%d mini=%d piggyback=%d\n",
+		r.AnsweredVia[0], r.AnsweredVia[1], r.AnsweredVia[2])
+	fmt.Printf("  reports decoded/lost %d / %d (loss %.4f)\n", r.ReportsDecoded, r.ReportsLost, r.ReportLossRate())
+	fmt.Printf("  cache drops          window=%d sig-capacity=%d false-inval=%d\n",
+		r.CacheDrops, r.SigDrops, r.FalseInval)
+	fmt.Printf("  uplink sent/attempts/collisions %d / %d / %d\n",
+		r.UplinkSent, r.UplinkAttempts, r.UplinkCollisions)
+	fmt.Printf("  airtime ir/resp/bg   %.1f / %.1f / %.1f s (util %.3f)\n",
+		r.AirtimeIR, r.AirtimeResponse, r.AirtimeBackground, r.DownlinkUtil)
+	fmt.Printf("  invalidation bits    reports=%d piggyback=%d (%.0f b/s)\n",
+		r.IRBits, r.PiggyBits, r.OverheadBitsPerSec())
+	fmt.Printf("  response retries/drops %d / %d\n", r.ResponseRetries, r.ResponseDrops)
+	fmt.Printf("  energy               %.1f J total, %.2f J/query\n", r.EnergyJoules, r.EnergyPerQuery)
+	fmt.Printf("  db updates           %d\n", r.Updates)
+	fmt.Printf("  stale violations     %d\n", r.StaleViolations)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wdcsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,128 @@
+// Command wdcsweep regenerates the evaluation's figures and tables.
+//
+// Usage:
+//
+//	wdcsweep -list                 # show the experiment registry
+//	wdcsweep -exp F4               # run one experiment, print its table
+//	wdcsweep -exp all -out results # run everything, write CSVs as well
+//	wdcsweep -exp F1 -quick        # 2 reps at a quarter horizon (smoke)
+//
+// Tables print to stdout; -out writes one CSV per experiment into the given
+// directory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/des"
+	"repro/internal/experiment"
+)
+
+func main() {
+	expID := flag.String("exp", "", "experiment id (F1..F10, T1..T4, A1..A6) or 'all'")
+	list := flag.Bool("list", false, "list experiments and exit")
+	reps := flag.Int("reps", 5, "replications per cell")
+	workers := flag.Int("workers", 0, "parallel cells (0 = default)")
+	seed := flag.Uint64("seed", 1, "base seed")
+	algos := flag.String("algos", "", "comma-separated algorithm filter (default: experiment's own set)")
+	outDir := flag.String("out", "", "directory for CSV output (optional)")
+	quick := flag.Bool("quick", false, "quarter horizon, 2 reps: smoke-test mode")
+	horizon := flag.Float64("horizon", 0, "override simulated span in seconds (0 = default)")
+	quiet := flag.Bool("q", false, "suppress progress lines")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiment.Registry() {
+			algos := "all"
+			if len(e.Algorithms) > 0 {
+				algos = strings.Join(e.Algorithms, ",")
+			}
+			fmt.Printf("%-4s %-55s x=%s algos=%s\n", e.ID, e.Title, e.XLabel, algos)
+		}
+		return
+	}
+	if *expID == "" {
+		fmt.Fprintln(os.Stderr, "wdcsweep: -exp required (or -list); e.g. -exp F1")
+		os.Exit(2)
+	}
+
+	var exps []*experiment.Experiment
+	if *expID == "all" {
+		exps = experiment.Registry()
+	} else {
+		for _, id := range strings.Split(*expID, ",") {
+			e := experiment.ByID(strings.TrimSpace(id))
+			if e == nil {
+				fmt.Fprintf(os.Stderr, "wdcsweep: unknown experiment %q (have %v)\n",
+					id, experiment.IDs())
+				os.Exit(2)
+			}
+			exps = append(exps, e)
+		}
+	}
+
+	base := experiment.DefaultBase()
+	base.Seed = *seed
+	if *horizon > 0 {
+		base.Horizon = des.FromSeconds(*horizon)
+		if base.Warmup >= base.Horizon {
+			base.Warmup = base.Horizon / 4
+		}
+	}
+	r := *reps
+	if *quick {
+		base.Horizon /= 4
+		base.Warmup = 2 * des.Minute
+		if r > 2 {
+			r = 2
+		}
+	}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *algos != "" {
+		filter := strings.Split(*algos, ",")
+		for _, e := range exps {
+			e.Algorithms = filter
+		}
+	}
+
+	for _, e := range exps {
+		start := time.Now()
+		opt := experiment.Options{Base: base, Reps: r, Workers: *workers}
+		if !*quiet {
+			opt.Progress = func(done, total int, cell string) {
+				fmt.Fprintf(os.Stderr, "\r%s: %d/%d cells   ", e.ID, done, total)
+			}
+		}
+		res, err := e.Run(opt)
+		if err != nil {
+			fatal(err)
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "\r%s done in %.1fs          \n", e.ID, time.Since(start).Seconds())
+		}
+		fmt.Println(res.Table())
+		if *outDir != "" {
+			path := filepath.Join(*outDir, e.ID+".csv")
+			if err := os.WriteFile(path, []byte(res.CSV()), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wdcsweep:", err)
+	os.Exit(1)
+}

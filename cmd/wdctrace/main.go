@@ -1,0 +1,83 @@
+// Command wdctrace runs a short simulation and prints the invalidation
+// report timeline: when each report went out, its kind, rate, window and
+// contents. It also exercises the wire codec round-trip on every report, so
+// it doubles as an end-to-end encoding check.
+//
+// Usage:
+//
+//	wdctrace -algo hybrid -span 120 -load 0.3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"reflect"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/ir"
+)
+
+func main() {
+	algo := flag.String("algo", "hybrid", "invalidation algorithm: "+strings.Join(ir.Names, ", "))
+	span := flag.Float64("span", 120, "simulated seconds to trace")
+	load := flag.Float64("load", 0.3, "background downlink load")
+	seed := flag.Uint64("seed", 1, "master RNG seed")
+	updateRate := flag.Float64("update-rate", 0.5, "aggregate updates/s")
+	maxItems := flag.Int("max-items", 8, "item ids to print per report")
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	cfg.Algorithm = *algo
+	cfg.Seed = *seed
+	cfg.TrafficLoad = *load
+	cfg.DB.UpdateRate = *updateRate
+	cfg.Horizon = des.FromSeconds(*span)
+	cfg.Warmup = 0
+	cfg.NumClients = 20
+
+	n := 0
+	codecFailures := 0
+	cfg.OnReportBroadcast = func(r *ir.Report, mcs int, at des.Time) {
+		n++
+		// Round-trip through the wire codec as a live check.
+		decoded, err := ir.Unmarshal(r.Marshal())
+		if err != nil || !reflect.DeepEqual(decoded, r) {
+			codecFailures++
+		}
+		window := "since-epoch"
+		if r.WindowStart > 0 {
+			window = fmt.Sprintf("%.1fs", at.Sub(r.WindowStart).Seconds())
+		}
+		var detail string
+		if r.Sig != nil {
+			detail = fmt.Sprintf("sig{bits=%d cap=%d fp=%g}", r.Sig.Bits, r.Sig.Capacity, r.Sig.FalsePositive)
+		} else {
+			ids := make([]string, 0, *maxItems)
+			for i, u := range r.Items {
+				if i == *maxItems {
+					ids = append(ids, "…")
+					break
+				}
+				ids = append(ids, fmt.Sprintf("%d", u.ID))
+			}
+			detail = fmt.Sprintf("items=%d [%s]", len(r.Items), strings.Join(ids, " "))
+		}
+		fmt.Printf("%9.3fs  seq=%-4d %-9s mcs=%d window=%-12s size=%5db  %s\n",
+			at.Seconds(), r.Seq, r.Kind, mcs, window, r.SizeBits()/8, detail)
+	}
+
+	r, err := core.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wdctrace:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\n%d reports in %.0fs; codec round-trip failures: %d\n",
+		n, *span, codecFailures)
+	fmt.Println(r)
+	if codecFailures > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,18 @@
+// Package repro is a from-scratch reproduction of "New Invalidation
+// Algorithms for Wireless Data Caching with Downlink Traffic and Link
+// Adaptation" (Yeung & Kwok, IPDPS/IPPS 2004) — see DESIGN.md for the
+// important caveat that the paper's body text was unavailable and the
+// contribution is reconstructed from its title and the canonical
+// literature.
+//
+// The library lives under internal/: core (public simulation API), ir (the
+// invalidation algorithms), and one package per substrate (des, rng, radio,
+// mac, db, cache, traffic, workload, energy, metrics, experiment). The
+// executables are cmd/wdcsim (single run), cmd/wdcsweep (regenerate every
+// figure and table), and cmd/wdctrace (report timeline). Runnable scenario
+// walkthroughs live in examples/.
+//
+// The root package itself carries only this documentation and the benchmark
+// harness (bench_test.go), which regenerates each figure/table as a testing
+// benchmark.
+package repro

@@ -1,0 +1,67 @@
+// News burst: a breaking-news cell. Most of the time the downlink idles;
+// then a story breaks and heavy self-similar photo/video traffic slams the
+// shared downlink for minutes at a time. This is the workload the
+// traffic-aware interval adaptation was designed around: a fixed report
+// period is either wastefully chatty during the lulls or painfully slow
+// during the bursts — adapting the period to measured load gets both right,
+// and piggybacked digests keep clients validating *through* the burst using
+// the very traffic that congests the cell.
+//
+// The example pins the background model to Pareto ON/OFF at increasing
+// loads and compares fixed-interval TS against the adaptive schemes — the
+// in-miniature version of F4/F5.
+package main
+
+import (
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/traffic"
+)
+
+func config(load float64) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.NumClients = 100
+	cfg.Workload.QueryRate = 0.1
+	cfg.Traffic.Model = traffic.ParetoOnOff
+	cfg.Traffic.OnMeanSec = 20  // bursts run for tens of seconds
+	cfg.Traffic.OffMeanSec = 60 // long lulls in between
+	cfg.Traffic.Shape = 1.4     // heavy tail: some bursts run very long
+	cfg.TrafficLoad = load
+	cfg.Horizon = 40 * des.Minute
+	cfg.Warmup = 8 * des.Minute
+	return cfg
+}
+
+func main() {
+	algos := []string{"ts", "uir", "tair", "hybrid"}
+	loads := []float64{0.1, 0.4, 0.7}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "load\talgorithm\tdelay(s)\tp95(s)\toverhead(b/s)\tutil\tstale")
+	for _, load := range loads {
+		for _, algo := range algos {
+			cfg := config(load)
+			cfg.Algorithm = algo
+			r, err := core.Run(cfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "newsburst:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(w, "%g\t%s\t%.2f\t%.2f\t%.0f\t%.3f\t%d\n",
+				load, algo, r.MeanDelay, r.P95Delay,
+				r.OverheadBitsPerSec(), r.DownlinkUtil, r.StaleViolations)
+		}
+		fmt.Fprintln(w, "\t\t\t\t\t\t")
+	}
+	w.Flush()
+
+	fmt.Println("Reading the table: at light load the adaptive schemes buy latency with")
+	fmt.Println("cheap airtime (short intervals, eager digests). As bursts saturate the")
+	fmt.Println("downlink, their standalone-report overhead falls — the interval")
+	fmt.Println("stretches — while piggybacked digests ride the news traffic itself,")
+	fmt.Println("so validation latency degrades far more gracefully than fixed TS.")
+}

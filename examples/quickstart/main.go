@@ -1,0 +1,43 @@
+// Quickstart: run two invalidation schemes on the default configuration and
+// compare them. This is the smallest useful program against the library's
+// public API: build a Config, call Run, read RunStats.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/des"
+)
+
+func main() {
+	fmt.Println("wireless data caching, 100 clients, 1000 items, 15 simulated minutes")
+	fmt.Println()
+
+	for _, algo := range []string{"ts", "hybrid"} {
+		cfg := core.DefaultConfig()
+		cfg.Algorithm = algo
+		cfg.Horizon = 15 * des.Minute
+		cfg.Warmup = 3 * des.Minute
+		cfg.TrafficLoad = 0.3
+
+		stats, err := core.Run(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "quickstart:", err)
+			os.Exit(1)
+		}
+
+		fmt.Printf("%-7s mean delay %6.2f s   p95 %6.2f s   hit ratio %.3f   energy %.2f J/query\n",
+			algo, stats.MeanDelay, stats.P95Delay, stats.HitRatio, stats.EnergyPerQuery)
+		if stats.StaleViolations != 0 {
+			fmt.Fprintf(os.Stderr, "consistency violated: %d stale answers\n", stats.StaleViolations)
+			os.Exit(1)
+		}
+	}
+
+	fmt.Println()
+	fmt.Println("The hybrid scheme answers queries an order of magnitude faster by")
+	fmt.Println("piggybacking invalidation digests on downlink traffic and spending")
+	fmt.Println("link-adaptation headroom on extra report cadence.")
+}

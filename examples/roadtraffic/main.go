@@ -1,0 +1,84 @@
+// Road traffic information: vehicles caching segment-condition records from
+// a roadside base station. Two things distinguish this deployment from the
+// brokerage cell in examples/stockticker:
+//
+//   - Vehicles disconnect constantly (tunnels, parking garages, coverage
+//     holes): the sleep ratio is high and the awake periods are short. This
+//     is the regime that separates the schemes' coverage-window designs —
+//     amnesic reports collapse, timestamps survive short outages, and
+//     signatures survive anything.
+//   - The channel is genuinely geometric: cars are spread over the cell, so
+//     link adaptation sees a wide SNR spread, and vehicular speeds mean a
+//     fast-fading (high Doppler) channel.
+//
+// The example sweeps the disconnection ratio and reports delay, hit ratio,
+// and forced cache flushes per scheme — the in-miniature version of F8.
+package main
+
+import (
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/mobility"
+)
+
+func config(sleepRatio float64) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.DB.NumItems = 600   // road segments
+	cfg.DB.ItemBits = 2048  // compact condition record
+	cfg.DB.UpdateRate = 0.5 // incidents and clearances
+	cfg.DB.HotItems = 60    // the congested arterials
+	cfg.NumClients = 120
+	cfg.CacheCapacity = 120
+	cfg.Workload.QueryRate = 0.08
+	cfg.Workload.SleepRatio = sleepRatio
+	cfg.Workload.AwakeMeanSec = 60 // short coverage windows between outages
+
+	cfg.Channel.UseGeometry = true           // real cell geometry, wide SNR spread
+	cfg.Channel.DopplerHz = 60               // vehicular fading speeds
+	cfg.Channel.Mobility = &mobility.Config{ // and vehicular movement
+		CellRadiusM:  cfg.Channel.CellRadiusM,
+		MinDistanceM: cfg.Channel.MinDistanceM,
+		SpeedMinMps:  8,
+		SpeedMaxMps:  25,
+		PauseMeanSec: 20, // traffic lights
+	}
+	cfg.TrafficLoad = 0.25
+	cfg.Horizon = 30 * des.Minute
+	cfg.Warmup = 6 * des.Minute
+	return cfg
+}
+
+func main() {
+	algos := []string{"ts", "at", "sig", "hybrid"}
+	sleeps := []float64{0, 0.3, 0.6}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "sleep\talgorithm\tdelay(s)\thit\tflushes/client/h\tstale")
+	for _, sleep := range sleeps {
+		for _, algo := range algos {
+			cfg := config(sleep)
+			cfg.Algorithm = algo
+			r, err := core.Run(cfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "roadtraffic:", err)
+				os.Exit(1)
+			}
+			flushRate := float64(r.CacheDrops) / float64(cfg.NumClients) / (r.MeasuredSec / 3600)
+			fmt.Fprintf(w, "%g\t%s\t%.2f\t%.3f\t%.1f\t%d\n",
+				sleep, algo, r.MeanDelay, r.HitRatio, flushRate, r.StaleViolations)
+		}
+		fmt.Fprintln(w, "\t\t\t\t\t")
+	}
+	w.Flush()
+
+	fmt.Println("Reading the table: the amnesic scheme (at) flushes caches wholesale as")
+	fmt.Println("soon as vehicles start disconnecting — one missed report costs the")
+	fmt.Println("whole cache. Timestamps (ts) tolerate outages up to their window.")
+	fmt.Println("Signatures (sig) never flush on a window, no matter how long the")
+	fmt.Println("tunnel. The hybrid scheme keeps latency low while matching ts-class")
+	fmt.Println("robustness through its wide-window anchor stream.")
+}

@@ -1,0 +1,69 @@
+// Stock ticker: the motivating workload of the invalidation-report
+// literature. A brokerage cell serves quote pages to handheld terminals:
+// a small database with a furiously updated hot set (the actively traded
+// symbols), impatient clients with strong locality, and a downlink that
+// also carries news photos and order confirmations (bursty background
+// traffic).
+//
+// The example sweeps the quote update rate and prints, for each scheme, how
+// query latency and cache effectiveness hold up as the market gets busier —
+// the in-miniature version of experiments F1/F2.
+package main
+
+import (
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/traffic"
+)
+
+func config(updatesPerSec float64) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.DB.NumItems = 400    // quote pages
+	cfg.DB.ItemBits = 4096   // 512-byte quote page
+	cfg.DB.HotItems = 40     // actively traded symbols
+	cfg.DB.HotFraction = 0.9 // almost all updates hit the hot board
+	cfg.DB.UpdateRate = updatesPerSec
+	cfg.CacheCapacity = 80
+	cfg.NumClients = 150
+	cfg.Workload.QueryRate = 0.2            // traders poll every ~5 s
+	cfg.Workload.Zipf = 1.0                 // strong locality on the same hot symbols
+	cfg.Traffic.Model = traffic.ParetoOnOff // bursty news/photo traffic
+	cfg.TrafficLoad = 0.35
+	cfg.Horizon = 30 * des.Minute
+	cfg.Warmup = 6 * des.Minute
+	return cfg
+}
+
+func main() {
+	algos := []string{"ts", "uir", "tair", "hybrid"}
+	rates := []float64{0.1, 1, 5}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "updates/s\talgorithm\tdelay(s)\tp95(s)\thit\tuplink/ans\tstale")
+	for _, rate := range rates {
+		for _, algo := range algos {
+			cfg := config(rate)
+			cfg.Algorithm = algo
+			r, err := core.Run(cfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "stockticker:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(w, "%g\t%s\t%.2f\t%.2f\t%.3f\t%.2f\t%d\n",
+				rate, algo, r.MeanDelay, r.P95Delay, r.HitRatio,
+				r.UplinkPerAnswer(), r.StaleViolations)
+		}
+		fmt.Fprintln(w, "\t\t\t\t\t\t")
+	}
+	w.Flush()
+
+	fmt.Println("Reading the table: as the market speeds up, hit ratios collapse for")
+	fmt.Println("every scheme (the data is simply changing too fast to cache), but the")
+	fmt.Println("traffic-aware schemes keep the *latency* of finding that out low —")
+	fmt.Println("the terminal learns its quote is stale from the next data frame on")
+	fmt.Println("the air instead of waiting out the report interval.")
+}

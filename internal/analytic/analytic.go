@@ -1,0 +1,148 @@
+// Package analytic provides the closed-form models the simulation is
+// validated against. Each function is the textbook result for an idealized
+// version of one subsystem; the cross-check tests (here and in
+// internal/core) assert that the simulator converges to these values in the
+// regimes where the idealizations hold. A reproduction whose simulator
+// cannot recover the known analytic limits cannot be trusted on the
+// regimes where no analytic result exists.
+package analytic
+
+import "math"
+
+// TSWait is the expected report-wait component of query delay under a
+// periodic report of interval L seconds: queries arrive uniformly within
+// the interval, so the mean wait is L/2.
+func TSWait(intervalSec float64) float64 { return intervalSec / 2 }
+
+// UIRWait is the expected report-wait under Cao's UIR with m sub-intervals:
+// a query waits only to the next mini, L/(2m).
+func UIRWait(intervalSec float64, m int) float64 {
+	return intervalSec / (2 * float64(m))
+}
+
+// SlottedAlohaThroughput is the per-slot success probability of slotted
+// ALOHA at offered load G (transmission attempts per slot): S = G·e^{−G},
+// maximized at G = 1 with S = 1/e.
+func SlottedAlohaThroughput(g float64) float64 { return g * math.Exp(-g) }
+
+// MM1Wait is the mean waiting time (excluding service) of an M/M/1 queue
+// with arrival rate lambda and service rate mu, in the same time unit. It
+// returns +Inf at or beyond saturation.
+func MM1Wait(lambda, mu float64) float64 {
+	if lambda >= mu {
+		return math.Inf(1)
+	}
+	rho := lambda / mu
+	return rho / (mu - lambda)
+}
+
+// ZipfCDF returns P(rank < k) for a Zipf(theta) law over n items,
+// 0-indexed ranks (matching rng.Zipf).
+func ZipfCDF(n int, theta float64, k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	if k > n {
+		k = n
+	}
+	num, den := 0.0, 0.0
+	for i := 1; i <= n; i++ {
+		w := 1 / math.Pow(float64(i), theta)
+		den += w
+		if i <= k {
+			num += w
+		}
+	}
+	return num / den
+}
+
+// CheLRUHitRatio is Che's approximation for the hit ratio of an LRU cache
+// of capacity c serving independent-reference Zipf(theta) traffic over n
+// items. The characteristic time tc solves sum_i (1 − e^{−q_i·tc}) = c;
+// the hit ratio is then sum_i q_i (1 − e^{−q_i·tc}).
+//
+// This is the steady-state, per-client bound: it ignores invalidations and
+// cold-start, so the simulator must approach it from below as the update
+// rate goes to zero and the horizon grows.
+func CheLRUHitRatio(n, capacity int, theta float64) float64 {
+	if capacity >= n {
+		return 1
+	}
+	q := make([]float64, n)
+	den := 0.0
+	for i := range q {
+		q[i] = 1 / math.Pow(float64(i+1), theta)
+		den += q[i]
+	}
+	for i := range q {
+		q[i] /= den
+	}
+	occupied := func(tc float64) float64 {
+		s := 0.0
+		for _, qi := range q {
+			s += 1 - math.Exp(-qi*tc)
+		}
+		return s
+	}
+	// Bisect for the characteristic time.
+	lo, hi := 0.0, float64(n)/q[n-1] // at hi every item is essentially resident
+	for occupied(hi) < float64(capacity) {
+		hi *= 2
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if occupied(mid) < float64(capacity) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	tc := (lo + hi) / 2
+	hit := 0.0
+	for _, qi := range q {
+		hit += qi * (1 - math.Exp(-qi*tc))
+	}
+	return hit
+}
+
+// RayleighOutage is the probability that the instantaneous SNR of a
+// Rayleigh channel with mean meanSNR (linear) falls below threshold
+// (linear): P(γ < t) = 1 − e^{−t/γ̄}.
+func RayleighOutage(thresholdLin, meanLin float64) float64 {
+	if meanLin <= 0 {
+		return 1
+	}
+	return 1 - math.Exp(-thresholdLin/meanLin)
+}
+
+// ExpectedReportItems is the expected number of distinct items in a report
+// covering a window of w seconds, under aggregate update rate u split
+// hot/cold: hotItems receive fraction hotFrac uniformly, the remaining
+// coldItems the rest. Distinctness saturates per item as
+// 1 − e^{−rate_i · w}.
+func ExpectedReportItems(u, w, hotFrac float64, hotItems, coldItems int) float64 {
+	items := 0.0
+	if hotItems > 0 {
+		r := u * hotFrac / float64(hotItems)
+		items += float64(hotItems) * (1 - math.Exp(-r*w))
+	}
+	if coldItems > 0 {
+		r := u * (1 - hotFrac) / float64(coldItems)
+		items += float64(coldItems) * (1 - math.Exp(-r*w))
+	}
+	return items
+}
+
+// DozeEnergyFloor is the minimum energy per query for a client that spends
+// sleepRatio of its time dozing and the rest idle-listening, issuing
+// queryRate queries per awake second: the radio-state cost that no
+// invalidation scheme can remove.
+func DozeEnergyFloor(idleW, dozeW, queryRate, sleepRatio float64) float64 {
+	if queryRate <= 0 {
+		return math.Inf(1)
+	}
+	// Per awake-second the client burns idleW; its doze tax per awake
+	// second is dozeW·sleepRatio/(1−sleepRatio).
+	perAwakeSec := idleW + dozeW*sleepRatio/(1-sleepRatio)
+	return perAwakeSec / queryRate
+}

@@ -1,0 +1,344 @@
+// Package cache implements the client-side data cache whose consistency the
+// invalidation algorithms maintain. LRU is the default replacement policy;
+// FIFO and Random are available for the replacement ablation.
+package cache
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/des"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+)
+
+// Policy selects the replacement discipline.
+type Policy int
+
+// Replacement policies.
+const (
+	LRU    Policy = iota // evict least recently used; Get promotes
+	FIFO                 // evict oldest inserted; Get does not promote
+	Random               // evict a uniformly random resident entry
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case LRU:
+		return "lru"
+	case FIFO:
+		return "fifo"
+	case Random:
+		return "random"
+	default:
+		return "unknown"
+	}
+}
+
+// ParsePolicy converts a policy name as used in CLI flags.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "lru":
+		return LRU, nil
+	case "fifo":
+		return FIFO, nil
+	case "random":
+		return Random, nil
+	}
+	return 0, fmt.Errorf("cache: unknown policy %q", s)
+}
+
+// Entry is one cached item.
+type Entry struct {
+	ID       int
+	Version  uint64   // server version of the cached value (ground truth aid)
+	CachedAt des.Time // server-side generation time of the cached value
+
+	prev, next *Entry // intrusive LRU list; head = most recent
+	resident   bool
+}
+
+// Stats aggregates cache-level events.
+type Stats struct {
+	Hits          metrics.Counter // Get found a resident entry
+	Misses        metrics.Counter // Get found nothing
+	Insertions    metrics.Counter
+	Evictions     metrics.Counter // capacity evictions only
+	Invalidations metrics.Counter // targeted invalidations
+	Flushes       metrics.Counter // InvalidateAll calls
+}
+
+// Cache is a fixed-capacity cache keyed by item id. Ids must be < the
+// universe size given at construction; the id-indexed entry table makes
+// every operation O(1) with zero per-operation allocation. The intrusive
+// list orders entries by recency (LRU) or insertion (FIFO); Random ignores
+// the order for eviction but keeps it for Range.
+type Cache struct {
+	capacity int
+	policy   Policy
+	src      *rng.Source // Random policy only
+	entries  []Entry     // indexed by item id; resident flag marks membership
+	head     *Entry      // most recently used / most recently inserted
+	tail     *Entry      // eviction end for LRU and FIFO
+	resident []int       // ids of resident entries (Random eviction index)
+	slot     []int       // entry id → index in resident, -1 if absent
+	size     int
+	stats    Stats
+}
+
+// New builds an LRU cache holding up to capacity of universe items.
+func New(capacity, universe int) *Cache {
+	return NewWithPolicy(capacity, universe, LRU, nil)
+}
+
+// NewWithPolicy builds a cache with an explicit replacement policy. src is
+// required for Random and ignored otherwise.
+func NewWithPolicy(capacity, universe int, policy Policy, src *rng.Source) *Cache {
+	if capacity <= 0 || universe <= 0 || capacity > universe {
+		panic(fmt.Sprintf("cache: invalid capacity %d of universe %d", capacity, universe))
+	}
+	if policy == Random && src == nil {
+		panic("cache: Random policy needs a rng source")
+	}
+	c := &Cache{
+		capacity: capacity,
+		policy:   policy,
+		src:      src,
+		entries:  make([]Entry, universe),
+		resident: make([]int, 0, capacity),
+		slot:     make([]int, universe),
+	}
+	for i := range c.entries {
+		c.entries[i].ID = i
+		c.slot[i] = -1
+	}
+	return c
+}
+
+// Policy reports the replacement policy in force.
+func (c *Cache) Policy() Policy { return c.policy }
+
+// Capacity reports the maximum number of resident entries.
+func (c *Cache) Capacity() int { return c.capacity }
+
+// Len reports the number of resident entries.
+func (c *Cache) Len() int { return c.size }
+
+// Stats exposes the accumulated counters.
+func (c *Cache) Stats() *Stats { return &c.stats }
+
+// Contains reports residency without touching recency or counters.
+func (c *Cache) Contains(id int) bool { return c.entries[id].resident }
+
+// Peek returns the entry without touching recency or hit/miss counters.
+func (c *Cache) Peek(id int) (Entry, bool) {
+	e := &c.entries[id]
+	if !e.resident {
+		return Entry{}, false
+	}
+	return *e, true
+}
+
+// Get returns the entry for id and promotes it to most-recently-used,
+// recording a hit or miss.
+func (c *Cache) Get(id int) (Entry, bool) {
+	e := &c.entries[id]
+	if !e.resident {
+		c.stats.Misses.Inc()
+		return Entry{}, false
+	}
+	c.stats.Hits.Inc()
+	if c.policy == LRU {
+		c.moveToFront(e)
+	}
+	return *e, true
+}
+
+// Put inserts or refreshes the value for id, promoting it and evicting the
+// LRU entry if the cache is full.
+func (c *Cache) Put(id int, version uint64, cachedAt des.Time) {
+	e := &c.entries[id]
+	if e.resident {
+		e.Version = version
+		e.CachedAt = cachedAt
+		if c.policy == LRU {
+			c.moveToFront(e)
+		}
+		return
+	}
+	if c.size == c.capacity {
+		victim := c.tail
+		if c.policy == Random {
+			victim = &c.entries[c.resident[c.src.Intn(len(c.resident))]]
+		}
+		c.evict(victim)
+	}
+	e.Version = version
+	e.CachedAt = cachedAt
+	e.resident = true
+	c.size++
+	c.trackResident(e.ID)
+	c.stats.Insertions.Inc()
+	c.pushFront(e)
+}
+
+// trackResident registers id in the random-eviction index.
+func (c *Cache) trackResident(id int) {
+	c.slot[id] = len(c.resident)
+	c.resident = append(c.resident, id)
+}
+
+// untrackResident removes id from the random-eviction index (swap-remove).
+func (c *Cache) untrackResident(id int) {
+	i := c.slot[id]
+	last := len(c.resident) - 1
+	moved := c.resident[last]
+	c.resident[i] = moved
+	c.slot[moved] = i
+	c.resident = c.resident[:last]
+	c.slot[id] = -1
+}
+
+// Invalidate removes id if resident, reporting whether it was.
+func (c *Cache) Invalidate(id int) bool {
+	e := &c.entries[id]
+	if !e.resident {
+		return false
+	}
+	c.unlink(e)
+	e.resident = false
+	c.size--
+	c.untrackResident(e.ID)
+	c.stats.Invalidations.Inc()
+	return true
+}
+
+// InvalidateAll drops every entry (the "drop cache" action of schemes whose
+// coverage window was exceeded).
+func (c *Cache) InvalidateAll() {
+	for e := c.head; e != nil; {
+		next := e.next
+		e.resident = false
+		e.prev, e.next = nil, nil
+		c.slot[e.ID] = -1
+		e = next
+	}
+	c.resident = c.resident[:0]
+	c.head, c.tail = nil, nil
+	c.size = 0
+	c.stats.Flushes.Inc()
+}
+
+// Range calls fn for every resident entry in MRU→LRU order; fn returning
+// false stops the walk. fn must not mutate the cache.
+func (c *Cache) Range(fn func(e Entry) bool) {
+	for e := c.head; e != nil; e = e.next {
+		if !fn(*e) {
+			return
+		}
+	}
+}
+
+// ResidentIDs appends all resident ids in MRU→LRU order to buf.
+func (c *Cache) ResidentIDs(buf []int) []int {
+	for e := c.head; e != nil; e = e.next {
+		buf = append(buf, e.ID)
+	}
+	return buf
+}
+
+// HitRatio reports hits / (hits + misses), or NaN before any Get.
+func (c *Cache) HitRatio() float64 {
+	h, m := c.stats.Hits.Value(), c.stats.Misses.Value()
+	if h+m == 0 {
+		return math.NaN()
+	}
+	return float64(h) / float64(h+m)
+}
+
+func (c *Cache) evict(e *Entry) {
+	c.unlink(e)
+	e.resident = false
+	c.size--
+	c.untrackResident(e.ID)
+	c.stats.Evictions.Inc()
+}
+
+func (c *Cache) pushFront(e *Entry) {
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *Cache) unlink(e *Entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *Cache) moveToFront(e *Entry) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}
+
+// checkInvariants verifies list/table agreement; used by tests.
+func (c *Cache) checkInvariants() error {
+	seen := 0
+	var prev *Entry
+	for e := c.head; e != nil; e = e.next {
+		if !e.resident {
+			return fmt.Errorf("cache: non-resident %d on list", e.ID)
+		}
+		if e.prev != prev {
+			return fmt.Errorf("cache: back-link broken at %d", e.ID)
+		}
+		prev = e
+		seen++
+		if seen > c.size {
+			return fmt.Errorf("cache: list longer than size %d", c.size)
+		}
+	}
+	if seen != c.size {
+		return fmt.Errorf("cache: list %d entries, size %d", seen, c.size)
+	}
+	if c.tail != prev {
+		return fmt.Errorf("cache: tail mismatch")
+	}
+	if c.size > c.capacity {
+		return fmt.Errorf("cache: size %d over capacity %d", c.size, c.capacity)
+	}
+	resident := 0
+	for i := range c.entries {
+		if c.entries[i].resident {
+			resident++
+			if c.slot[i] < 0 || c.slot[i] >= len(c.resident) || c.resident[c.slot[i]] != i {
+				return fmt.Errorf("cache: resident index broken for %d", i)
+			}
+		} else if c.slot[i] != -1 {
+			return fmt.Errorf("cache: ghost %d in resident index", i)
+		}
+	}
+	if resident != c.size || len(c.resident) != c.size {
+		return fmt.Errorf("cache: %d resident flags, %d indexed, size %d",
+			resident, len(c.resident), c.size)
+	}
+	return nil
+}

@@ -1,0 +1,391 @@
+package cache
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/des"
+	"repro/internal/rng"
+)
+
+func TestNewPanics(t *testing.T) {
+	for _, c := range [][2]int{{0, 10}, {5, 0}, {11, 10}} {
+		c := c
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d, %d) accepted", c[0], c[1])
+				}
+			}()
+			New(c[0], c[1])
+		}()
+	}
+}
+
+func TestPutGetBasic(t *testing.T) {
+	c := New(4, 100)
+	if _, ok := c.Get(3); ok {
+		t.Fatal("empty cache returned an entry")
+	}
+	c.Put(3, 7, des.Time(100))
+	e, ok := c.Get(3)
+	if !ok || e.ID != 3 || e.Version != 7 || e.CachedAt != des.Time(100) {
+		t.Fatalf("entry %+v ok=%v", e, ok)
+	}
+	if c.Len() != 1 || c.Capacity() != 4 {
+		t.Fatalf("len/cap %d/%d", c.Len(), c.Capacity())
+	}
+	// Refresh overwrites in place.
+	c.Put(3, 8, des.Time(200))
+	if e, _ := c.Get(3); e.Version != 8 {
+		t.Fatalf("refresh lost: %+v", e)
+	}
+	if c.Len() != 1 {
+		t.Fatal("refresh grew the cache")
+	}
+	if err := c.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	c := New(3, 10)
+	c.Put(0, 1, 0)
+	c.Put(1, 1, 0)
+	c.Put(2, 1, 0)
+	c.Get(0)       // recency now: 0, 2, 1
+	c.Put(3, 1, 0) // evicts 1
+	if c.Contains(1) {
+		t.Fatal("LRU entry 1 not evicted")
+	}
+	for _, id := range []int{0, 2, 3} {
+		if !c.Contains(id) {
+			t.Fatalf("entry %d missing", id)
+		}
+	}
+	if c.Stats().Evictions.Value() != 1 {
+		t.Fatalf("evictions %d", c.Stats().Evictions.Value())
+	}
+	ids := c.ResidentIDs(nil)
+	want := []int{3, 0, 2} // MRU first
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("order %v, want %v", ids, want)
+		}
+	}
+}
+
+func TestPeekDoesNotPromoteOrCount(t *testing.T) {
+	c := New(2, 10)
+	c.Put(0, 1, 0)
+	c.Put(1, 1, 0)
+	if _, ok := c.Peek(0); !ok {
+		t.Fatal("Peek missed resident entry")
+	}
+	if _, ok := c.Peek(5); ok {
+		t.Fatal("Peek found ghost")
+	}
+	h, m := c.Stats().Hits.Value(), c.Stats().Misses.Value()
+	if h != 0 || m != 0 {
+		t.Fatal("Peek touched counters")
+	}
+	c.Put(2, 1, 0) // must evict 0 (Peek must not have promoted it)
+	if c.Contains(0) || !c.Contains(1) {
+		t.Fatal("Peek promoted the entry")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := New(4, 10)
+	c.Put(5, 1, 0)
+	if !c.Invalidate(5) {
+		t.Fatal("Invalidate missed resident entry")
+	}
+	if c.Invalidate(5) {
+		t.Fatal("double invalidate reported true")
+	}
+	if c.Contains(5) || c.Len() != 0 {
+		t.Fatal("entry survived invalidation")
+	}
+	// No resurrection: Get must miss.
+	if _, ok := c.Get(5); ok {
+		t.Fatal("invalidated entry resurrected")
+	}
+	if c.Stats().Invalidations.Value() != 1 {
+		t.Fatal("invalidation count wrong")
+	}
+	if err := c.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvalidateAll(t *testing.T) {
+	c := New(8, 20)
+	for i := 0; i < 8; i++ {
+		c.Put(i, 1, 0)
+	}
+	c.InvalidateAll()
+	if c.Len() != 0 {
+		t.Fatalf("len %d after flush", c.Len())
+	}
+	for i := 0; i < 8; i++ {
+		if c.Contains(i) {
+			t.Fatalf("entry %d survived flush", i)
+		}
+	}
+	if c.Stats().Flushes.Value() != 1 {
+		t.Fatal("flush count wrong")
+	}
+	// Cache remains usable after a flush.
+	c.Put(3, 2, 5)
+	if _, ok := c.Get(3); !ok {
+		t.Fatal("cache broken after flush")
+	}
+	if err := c.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRange(t *testing.T) {
+	c := New(4, 10)
+	for i := 0; i < 4; i++ {
+		c.Put(i, uint64(i), 0)
+	}
+	var got []int
+	c.Range(func(e Entry) bool {
+		got = append(got, e.ID)
+		return true
+	})
+	want := []int{3, 2, 1, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("range order %v", got)
+		}
+	}
+	// Early stop.
+	n := 0
+	c.Range(func(Entry) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestHitRatio(t *testing.T) {
+	c := New(2, 10)
+	if !math.IsNaN(c.HitRatio()) {
+		t.Fatal("hit ratio before any Get must be NaN")
+	}
+	c.Put(0, 1, 0)
+	c.Get(0)
+	c.Get(1)
+	if got := c.HitRatio(); got != 0.5 {
+		t.Fatalf("hit ratio %v", got)
+	}
+}
+
+// TestRandomOpsInvariants drives random operation sequences against a naive
+// model and checks both behavioural equivalence and structural invariants.
+func TestRandomOpsInvariants(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		const capacity, universe = 8, 32
+		c := New(capacity, universe)
+		model := make(map[int]uint64) // id → version
+		var order []int               // MRU-first, mirrors the LRU list
+
+		touch := func(id int) {
+			for i, v := range order {
+				if v == id {
+					order = append(order[:i], order[i+1:]...)
+					break
+				}
+			}
+			order = append([]int{id}, order...)
+		}
+		remove := func(id int) {
+			for i, v := range order {
+				if v == id {
+					order = append(order[:i], order[i+1:]...)
+					break
+				}
+			}
+			delete(model, id)
+		}
+
+		for op := 0; op < 500; op++ {
+			id := r.Intn(universe)
+			switch r.Intn(4) {
+			case 0: // Put
+				ver := r.Uint64()
+				if _, ok := model[id]; !ok && len(model) == capacity {
+					remove(order[len(order)-1]) // model eviction
+				}
+				model[id] = ver
+				c.Put(id, ver, des.Time(op))
+				touch(id)
+			case 1: // Get
+				e, ok := c.Get(id)
+				wantVer, wantOk := model[id]
+				if ok != wantOk || (ok && e.Version != wantVer) {
+					return false
+				}
+				if ok {
+					touch(id)
+				}
+			case 2: // Invalidate
+				got := c.Invalidate(id)
+				_, want := model[id]
+				if got != want {
+					return false
+				}
+				remove(id)
+			case 3: // occasionally flush
+				if r.Intn(20) == 0 {
+					c.InvalidateAll()
+					model = make(map[int]uint64)
+					order = nil
+				}
+			}
+			if c.checkInvariants() != nil {
+				return false
+			}
+			if c.Len() != len(model) {
+				return false
+			}
+		}
+		// Final order agreement.
+		got := c.ResidentIDs(nil)
+		if len(got) != len(order) {
+			return false
+		}
+		for i := range got {
+			if got[i] != order[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCacheGetPut(b *testing.B) {
+	c := New(100, 1000)
+	r := rng.New(1)
+	z := rng.NewZipf(1000, 0.8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		id := z.Sample(r)
+		if _, ok := c.Get(id); !ok {
+			c.Put(id, uint64(i), des.Time(i))
+		}
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if LRU.String() != "lru" || FIFO.String() != "fifo" ||
+		Random.String() != "random" || Policy(9).String() != "unknown" {
+		t.Fatal("Policy.String broken")
+	}
+	for _, c := range []struct {
+		in   string
+		want Policy
+	}{{"lru", LRU}, {"fifo", FIFO}, {"random", Random}} {
+		got, err := ParsePolicy(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("ParsePolicy(%q) = %v, %v", c.in, got, err)
+		}
+	}
+	if _, err := ParsePolicy("clock"); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestFIFONoPromotion(t *testing.T) {
+	c := NewWithPolicy(3, 10, FIFO, nil)
+	c.Put(0, 1, 0)
+	c.Put(1, 1, 0)
+	c.Put(2, 1, 0)
+	c.Get(0)       // must NOT promote under FIFO
+	c.Put(3, 1, 0) // evicts 0 (oldest inserted) despite the recent Get
+	if c.Contains(0) {
+		t.Fatal("FIFO promoted on Get")
+	}
+	if !c.Contains(1) || !c.Contains(2) || !c.Contains(3) {
+		t.Fatal("FIFO evicted the wrong entry")
+	}
+	// Re-Put of a resident entry must not reorder either.
+	c.Put(1, 2, 0)
+	c.Put(4, 1, 0) // evicts 1: insertion order 1,2,3
+	if c.Contains(1) {
+		t.Fatal("FIFO promoted on refresh Put")
+	}
+	if err := c.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomEviction(t *testing.T) {
+	src := rng.New(1)
+	c := NewWithPolicy(4, 300, Random, src)
+	if c.Policy() != Random {
+		t.Fatal("policy accessor")
+	}
+	for i := 0; i < 4; i++ {
+		c.Put(i, 1, 0)
+	}
+	// Insert many more; victims must be spread (not always the same slot).
+	evictedSomethingRecent := false
+	for i := 4; i < 200; i++ {
+		recent := c.ResidentIDs(nil)[0]
+		c.Put(i, 1, 0)
+		if !c.Contains(recent) {
+			evictedSomethingRecent = true
+		}
+		if c.Len() != 4 {
+			t.Fatalf("len %d", c.Len())
+		}
+		if err := c.checkInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !evictedSomethingRecent {
+		t.Fatal("random eviction never hit a recent entry in 196 trials")
+	}
+}
+
+func TestRandomNeedsSource(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Random without source accepted")
+		}
+	}()
+	NewWithPolicy(2, 4, Random, nil)
+}
+
+func TestPolicyHitOrdering(t *testing.T) {
+	// Under Zipf traffic LRU must beat FIFO and Random on hit ratio.
+	hit := func(p Policy) float64 {
+		var c *Cache
+		if p == Random {
+			c = NewWithPolicy(50, 500, p, rng.New(2))
+		} else {
+			c = NewWithPolicy(50, 500, p, nil)
+		}
+		r := rng.New(3)
+		z := rng.NewZipf(500, 0.9)
+		for i := 0; i < 200000; i++ {
+			id := z.Sample(r)
+			if _, ok := c.Get(id); !ok {
+				c.Put(id, 1, des.Time(i))
+			}
+		}
+		return c.HitRatio()
+	}
+	lru, fifo, random := hit(LRU), hit(FIFO), hit(Random)
+	if !(lru > fifo) || !(lru > random) {
+		t.Fatalf("LRU %.3f must beat FIFO %.3f and Random %.3f", lru, fifo, random)
+	}
+}

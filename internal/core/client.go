@@ -1,0 +1,260 @@
+package core
+
+import (
+	"repro/internal/cache"
+	"repro/internal/des"
+	"repro/internal/energy"
+	"repro/internal/ir"
+	"repro/internal/rng"
+	"repro/internal/workload"
+)
+
+// pendingQuery is a query waiting either for the next validating report or
+// for requested data.
+type pendingQuery struct {
+	item      int
+	issued    des.Time
+	requested bool // an uplink request for this item is outstanding
+}
+
+// client is one mobile terminal: cache + invalidation state + query and
+// sleep processes + energy meter.
+type client struct {
+	id      int
+	sim     *Simulation
+	cache   *cache.Cache
+	istate  ir.ClientState
+	sampler *workload.Sampler
+	meter   *energy.Meter
+	src     *rng.Source // for signature false-positive draws
+
+	awake        bool
+	sleepPending bool
+	sleptAt      des.Time
+	queryEv      *des.Event
+	pending      []pendingQuery
+	outstanding  map[int]bool // items with an uplink request in flight
+
+	// per-client measurements
+	queries        uint64 // issued post-warmup
+	hits           uint64
+	missAnswers    uint64
+	stale          uint64
+	reportsDecoded uint64
+	reportsLost    uint64
+	drainedVia     [3]uint64 // answers enabled by full/mini/piggyback reports
+}
+
+func newClient(id int, sim *Simulation, sampler *workload.Sampler, src *rng.Source) *client {
+	return &client{
+		id:  id,
+		sim: sim,
+		cache: cache.NewWithPolicy(sim.cfg.CacheCapacity, sim.cfg.DB.NumItems,
+			sim.cfg.CachePolicy, src.SubStream(1<<40)),
+		sampler:     sampler,
+		meter:       energy.NewMeter(sim.cfg.Energy),
+		src:         src,
+		awake:       true,
+		outstanding: make(map[int]bool),
+	}
+}
+
+// start arms the query and sleep processes.
+func (c *client) start() {
+	c.scheduleQuery()
+	if c.sampler.Sleeps() {
+		c.sim.sch.After(c.sampler.NextAwake(), "client.doze", c.tryDoze)
+	}
+}
+
+func (c *client) scheduleQuery() {
+	gap := c.sampler.NextQueryGap()
+	if des.Time(0).Add(gap) >= des.Never {
+		return // zero query rate
+	}
+	c.queryEv = c.sim.sch.After(gap, "client.query", c.issueQuery)
+}
+
+func (c *client) issueQuery() {
+	c.queryEv = nil
+	if !c.awake {
+		return // cancelled race; doze cancels the timer anyway
+	}
+	now := c.sim.sch.Now()
+	item := c.sampler.NextItem()
+	c.pending = append(c.pending, pendingQuery{item: item, issued: now})
+	if now >= c.sim.warmupAt {
+		c.queries++
+	}
+	c.scheduleQuery()
+}
+
+// tryDoze begins a doze period, deferring it while queries are in flight so
+// a client never abandons an outstanding query mid-protocol.
+func (c *client) tryDoze() {
+	if len(c.pending) > 0 {
+		c.sleepPending = true
+		return
+	}
+	c.doze()
+}
+
+func (c *client) doze() {
+	c.sleepPending = false
+	c.awake = false
+	c.sleptAt = c.sim.sch.Now()
+	if c.queryEv != nil {
+		c.sim.sch.Cancel(c.queryEv)
+		c.queryEv = nil
+	}
+	c.sim.sch.After(c.sampler.NextSleep(), "client.wake", c.wake)
+}
+
+func (c *client) wake() {
+	now := c.sim.sch.Now()
+	from := c.sleptAt
+	if from < c.sim.warmupAt {
+		from = c.sim.warmupAt
+	}
+	if now > from {
+		c.meter.AddDoze(now.Sub(from).Seconds())
+	}
+	c.awake = true
+	c.scheduleQuery()
+	c.sim.sch.After(c.sampler.NextAwake(), "client.doze", c.tryDoze)
+}
+
+// onReport handles a decoded invalidation report (standalone or piggyback).
+func (c *client) onReport(r *ir.Report) {
+	c.reportsDecoded++
+	validated := c.istate.Process(r, c.cache, c.sim.oracle, c.src)
+	if validated {
+		c.drainPending(r)
+	}
+}
+
+// onReportLost notes a report this client detected but could not decode.
+func (c *client) onReportLost() { c.reportsLost++ }
+
+// drainPending resolves queries now that the cache is consistent as of
+// r.At: cache hits answer immediately; misses issue uplink requests.
+func (c *client) drainPending(r *ir.Report) {
+	now := c.sim.sch.Now()
+	kept := c.pending[:0]
+	for _, q := range c.pending {
+		if q.requested {
+			kept = append(kept, q)
+			continue
+		}
+		if e, ok := c.cache.Get(q.item); ok {
+			c.answer(q, now, true)
+			if c.sim.cfg.CheckConsistency {
+				c.checkConsistency(e, r.At)
+			}
+			continue
+		}
+		q.requested = true
+		if !c.outstanding[q.item] {
+			c.outstanding[q.item] = true
+			c.sim.uplink.Send(c.id, reqMeta{item: q.item})
+		}
+		kept = append(kept, q)
+	}
+	c.pending = kept
+	if now >= c.sim.warmupAt {
+		c.drainedVia[r.Kind]++
+	}
+	c.maybeDozeAfterDrain()
+}
+
+// onResponse handles a downlink data frame addressed to this client.
+func (c *client) onResponse(m *respMeta, ok bool) {
+	if !ok {
+		// ARQ exhausted; if we still want the item, ask again.
+		for i := range c.pending {
+			if c.pending[i].item == m.item && c.pending[i].requested {
+				c.sim.uplink.Send(c.id, reqMeta{item: m.item})
+				return
+			}
+		}
+		delete(c.outstanding, m.item)
+		return
+	}
+	delete(c.outstanding, m.item)
+	// Cache the value unless it is already outdated relative to a report we
+	// processed while the response sat in the downlink queue: an update in
+	// (genAt, LastConsistent] was listed by a report that could not
+	// invalidate the not-yet-resident entry, and no future report is
+	// guaranteed to re-list it. (The oracle read stands in for the client
+	// remembering the update times it saw in reports — information it had
+	// on the air but that we do not retain per item.)
+	u := c.sim.oracle.UpdatedAt(m.item)
+	if !(u > m.genAt && u <= c.istate.LastConsistent) {
+		c.cache.Put(m.item, m.version, m.genAt)
+	}
+	now := c.sim.sch.Now()
+	kept := c.pending[:0]
+	for _, q := range c.pending {
+		if q.item == m.item && q.requested {
+			c.answer(q, now, false)
+			continue
+		}
+		kept = append(kept, q)
+	}
+	c.pending = kept
+	c.maybeDozeAfterDrain()
+}
+
+// onSnoop handles a response frame overheard on its way to another client:
+// the value may populate the cache (same staleness guard as onResponse),
+// and it may answer a pending query for the item — but only a query issued
+// no later than the value's generation time, otherwise an update between
+// generation and issue could be silently skipped.
+func (c *client) onSnoop(m *respMeta) {
+	u := c.sim.oracle.UpdatedAt(m.item)
+	if !(u > m.genAt && u <= c.istate.LastConsistent) {
+		c.cache.Put(m.item, m.version, m.genAt)
+	}
+	now := c.sim.sch.Now()
+	kept := c.pending[:0]
+	for _, q := range c.pending {
+		if q.item == m.item && q.issued <= m.genAt {
+			c.answer(q, now, false)
+			continue
+		}
+		kept = append(kept, q)
+	}
+	c.pending = kept
+	c.maybeDozeAfterDrain()
+}
+
+func (c *client) maybeDozeAfterDrain() {
+	if c.sleepPending && len(c.pending) == 0 {
+		c.doze()
+	}
+}
+
+func (c *client) answer(q pendingQuery, now des.Time, fromCache bool) {
+	if q.issued < c.sim.warmupAt {
+		return // warmup transient: not measured
+	}
+	delay := now.Sub(q.issued).Seconds()
+	c.sim.delay.Observe(delay)
+	c.sim.delayHist.Observe(delay)
+	c.sim.delayBatch.Observe(delay)
+	if fromCache {
+		c.hits++
+	} else {
+		c.missAnswers++
+	}
+}
+
+// checkConsistency compares a cache-served value against ground truth as of
+// the validating report's generation time. If the item has not been updated
+// since that time, the cached version must match the database exactly.
+func (c *client) checkConsistency(e cache.Entry, asOf des.Time) {
+	it := c.sim.db.Item(e.ID)
+	if it.UpdatedAt <= asOf && e.Version != it.Version {
+		c.stale++
+	}
+}

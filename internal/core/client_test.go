@@ -1,0 +1,144 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/des"
+)
+
+// TestDozingClientsHearNothing verifies that a client population asleep
+// essentially all the time receives (and pays rx energy for) almost no
+// reports.
+func TestDozingClientsHearNothing(t *testing.T) {
+	cfg := fastConfig("ts")
+	cfg.Workload.QueryRate = 0 // no queries: sleep is never deferred
+	cfg.Workload.SleepRatio = 0.96
+	cfg.Workload.AwakeMeanSec = 5
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reports broadcast every 20 s over ~700 s measured to 25 clients; an
+	// always-awake population would log ~875 receptions. At 96% doze the
+	// count must collapse proportionally.
+	total := r.ReportsDecoded + r.ReportsLost
+	if total > 150 {
+		t.Fatalf("dozing population received %d reports", total)
+	}
+}
+
+// TestAnsweredViaBreakdown checks the per-kind answer attribution: UIR
+// answers mostly at minis, TS only at full reports, TAIR mostly via
+// piggybacks at moderate load.
+func TestAnsweredViaBreakdown(t *testing.T) {
+	run := func(algo string) *RunStats {
+		cfg := fastConfig(algo)
+		cfg.TrafficLoad = 0.3
+		r, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	ts := run("ts")
+	if ts.AnsweredVia[1] != 0 || ts.AnsweredVia[2] != 0 {
+		t.Fatalf("ts answered via mini/piggy: %v", ts.AnsweredVia)
+	}
+	if ts.AnsweredVia[0] == 0 {
+		t.Fatal("ts answered nothing via full reports")
+	}
+	uir := run("uir")
+	if !(uir.AnsweredVia[1] > uir.AnsweredVia[0]) {
+		t.Fatalf("uir should answer mostly at minis: %v", uir.AnsweredVia)
+	}
+	tair := run("tair")
+	if !(tair.AnsweredVia[2] > tair.AnsweredVia[0]) {
+		t.Fatalf("tair should answer mostly at piggybacks under load: %v", tair.AnsweredVia)
+	}
+}
+
+// TestWeakClientRetries forces a population with terrible links and checks
+// the ARQ/re-request machinery engages without losing queries forever.
+func TestWeakClientRetries(t *testing.T) {
+	cfg := fastConfig("ts")
+	cfg.Channel.MeanSNRdB = 8
+	cfg.Channel.ShadowSigmaDB = 0
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ResponseRetries == 0 {
+		t.Fatal("no ARQ retries at 8 dB mean SNR")
+	}
+	if frac := float64(r.Answered) / float64(r.Queries); frac < 0.7 {
+		t.Fatalf("only %.2f answered despite retries", frac)
+	}
+	if r.StaleViolations != 0 {
+		t.Fatal("weak links broke consistency")
+	}
+}
+
+// TestCachePolicyOrderingEndToEnd: LRU must beat Random on hit ratio in the
+// full simulation too, not just in the cache microbenchmark.
+func TestCachePolicyOrderingEndToEnd(t *testing.T) {
+	hit := func(p cache.Policy) float64 {
+		cfg := fastConfig("uir")
+		cfg.CachePolicy = p
+		cfg.Workload.QueryRate = 0.3
+		cfg.Workload.Zipf = 0.9
+		r, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.StaleViolations != 0 {
+			t.Fatalf("policy %d broke consistency", p)
+		}
+		return r.HitRatio
+	}
+	lru, random := hit(cache.LRU), hit(cache.Random)
+	if !(lru > random) {
+		t.Fatalf("LRU %.3f not above Random %.3f", lru, random)
+	}
+}
+
+// TestEnergyAttribution sanity-checks that rx-heavy schemes cost more
+// receive energy: SIG's 1 KB report per interval outweighs AT's slim
+// reports.
+func TestEnergyAttribution(t *testing.T) {
+	run := func(algo string) *RunStats {
+		cfg := fastConfig(algo)
+		cfg.Workload.QueryRate = 0 // isolate report listening
+		cfg.NumClients = 10
+		r, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	sig := run("sig")
+	at := run("at")
+	if !(sig.EnergyJoules > at.EnergyJoules) {
+		t.Fatalf("sig energy %.1f not above at %.1f", sig.EnergyJoules, at.EnergyJoules)
+	}
+}
+
+// TestPendingAtHorizonAccounted verifies unanswered queries at the end are
+// reported, not silently dropped from the statistics.
+func TestPendingAtHorizonAccounted(t *testing.T) {
+	cfg := fastConfig("ts")
+	cfg.IR.Interval = 300 * des.Second // reports rarer than the tail of the run
+	cfg.IR.IntervalMin = 100 * des.Second
+	cfg.IR.IntervalMax = 400 * des.Second
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PendingAtEnd == 0 {
+		t.Fatal("expected unanswered queries with a 300s report interval")
+	}
+	if r.Answered+uint64(r.PendingAtEnd) < r.Queries {
+		t.Fatalf("query accounting leak: %d answered + %d pending < %d issued",
+			r.Answered, r.PendingAtEnd, r.Queries)
+	}
+}

@@ -1,0 +1,165 @@
+// Package core wires the substrates into the full simulation and exposes
+// the library's public API: Config, Run, RunReplications.
+//
+// One Run is a single-threaded discrete-event simulation of a base station
+// (database + invalidation-report server + shared downlink + contention
+// uplink) and a population of caching clients over fading channels.
+// RunReplications runs independent seeds across a worker pool and
+// aggregates.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/db"
+	"repro/internal/des"
+	"repro/internal/energy"
+	"repro/internal/ir"
+	"repro/internal/mac"
+	"repro/internal/radio"
+	"repro/internal/traffic"
+	"repro/internal/workload"
+)
+
+// Config fully determines one simulation run (together with the Seed).
+type Config struct {
+	Seed uint64
+
+	NumClients    int
+	CacheCapacity int          // entries per client cache
+	CachePolicy   cache.Policy // replacement discipline (default LRU)
+
+	// Algorithm is the invalidation scheme: one of ir.Names.
+	Algorithm string
+	IR        ir.Params
+
+	DB       db.Config
+	Channel  radio.Params
+	Downlink mac.DownlinkConfig
+	Uplink   mac.UplinkConfig
+	Workload workload.Config
+	Energy   energy.Model
+
+	// Background downlink traffic. TrafficLoad is the offered load as a
+	// fraction of the reference downlink rate (the rate link adaptation
+	// picks at the population mean SNR); Traffic.RateBps is derived from it
+	// at setup time.
+	Traffic     traffic.Config
+	TrafficLoad float64
+
+	// Horizon is the simulated span; statistics cover (Warmup, Horizon].
+	Horizon des.Duration
+	Warmup  des.Duration
+
+	// ResponseOverheadBits is added to each item payload on the downlink
+	// (request id, timestamps).
+	ResponseOverheadBits int
+
+	// CoalesceResponses lets later requests for an item join an already
+	// queued response frame instead of generating another transmission —
+	// the server-side dual of snooping. Waiters decode the shared frame
+	// individually and re-request on failure.
+	CoalesceResponses bool
+
+	// SnoopResponses lets awake clients overhear query responses addressed
+	// to other clients and insert the items into their own caches (the
+	// classic broadcast-dissemination extension). It trades receive energy
+	// — snoopers listen to whole data frames — for hit ratio.
+	SnoopResponses bool
+
+	// CheckConsistency compares every cache-served answer against server
+	// ground truth; violations are counted in RunStats.StaleViolations.
+	// It costs little and is on by default.
+	CheckConsistency bool
+
+	// OnReportBroadcast, when non-nil, observes every invalidation report
+	// as it is enqueued on the downlink (report, MCS index, time). Used by
+	// the trace tool; nil in normal runs.
+	OnReportBroadcast func(r *ir.Report, mcs int, at des.Time)
+}
+
+// DefaultConfig returns the evaluation defaults: 100 clients, 100-entry
+// caches, TS at the canonical 20 s interval, one-hour runs with five minutes
+// of warmup.
+func DefaultConfig() Config {
+	dbCfg := db.DefaultConfig()
+	return Config{
+		Seed:                 1,
+		NumClients:           100,
+		CacheCapacity:        100,
+		Algorithm:            "ts",
+		IR:                   ir.DefaultParams(),
+		DB:                   dbCfg,
+		Channel:              radio.DefaultParams(),
+		Downlink:             mac.DefaultDownlinkConfig(),
+		Uplink:               mac.DefaultUplinkConfig(),
+		Workload:             workload.DefaultConfig(dbCfg.NumItems),
+		Energy:               energy.DefaultModel(),
+		Traffic:              traffic.DefaultConfig(100),
+		TrafficLoad:          0.2,
+		Horizon:              des.Hour,
+		Warmup:               5 * des.Minute,
+		ResponseOverheadBits: 96,
+		CheckConsistency:     true,
+	}
+}
+
+// Validate reports the first configuration problem. It also normalizes the
+// cross-field couplings (traffic client count, workload item count, db
+// retention) — call it before Run; Run calls it anyway.
+func (c *Config) Validate() error {
+	if c.NumClients <= 0 {
+		return fmt.Errorf("core: NumClients %d", c.NumClients)
+	}
+	if c.CacheCapacity <= 0 || c.CacheCapacity > c.DB.NumItems {
+		return fmt.Errorf("core: CacheCapacity %d of %d items", c.CacheCapacity, c.DB.NumItems)
+	}
+	known := false
+	for _, n := range ir.Names {
+		if n == c.Algorithm {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return fmt.Errorf("core: unknown algorithm %q (have %v)", c.Algorithm, ir.Names)
+	}
+	if err := c.IR.Validate(); err != nil {
+		return err
+	}
+	if c.TrafficLoad < 0 || c.TrafficLoad > 2 {
+		return fmt.Errorf("core: TrafficLoad %v", c.TrafficLoad)
+	}
+	if c.Horizon <= 0 || c.Warmup < 0 || c.Warmup >= c.Horizon {
+		return fmt.Errorf("core: horizon/warmup %v/%v", c.Horizon, c.Warmup)
+	}
+	if c.ResponseOverheadBits < 0 {
+		return fmt.Errorf("core: ResponseOverheadBits %d", c.ResponseOverheadBits)
+	}
+	if err := c.Energy.Validate(); err != nil {
+		return err
+	}
+
+	// Couple the sub-configs.
+	c.IR.NumItems = c.DB.NumItems
+	c.Workload.NumItems = c.DB.NumItems
+	c.Traffic.NumClients = c.NumClients
+	c.DB.Retention = c.maxLookback()
+	if err := c.DB.Validate(); err != nil {
+		return err
+	}
+	return c.Workload.Validate()
+}
+
+// maxLookback bounds how far back any report's coverage window can reach,
+// which sizes the database's update-history retention.
+func (c *Config) maxLookback() des.Duration {
+	interval := c.IR.Interval
+	if c.IR.IntervalMax > interval {
+		interval = c.IR.IntervalMax
+	}
+	look := des.Duration(int64(interval) * int64(c.IR.WindowReports))
+	// Double for schedule jitter and add a fixed floor.
+	return 2*look + des.Minute
+}

@@ -1,0 +1,224 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/cache"
+	"repro/internal/des"
+)
+
+// MarshalJSON-friendly persistence for Config: hooks are process-local and
+// excluded; everything else round-trips, so an experiment's exact
+// configuration can be archived next to its results.
+
+// SaveJSON writes the config as indented JSON.
+func (c *Config) SaveJSON(path string) error {
+	data, err := c.ToJSON()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// ToJSON renders the config as indented JSON.
+func (c *Config) ToJSON() ([]byte, error) {
+	shadow := *c
+	shadow.OnReportBroadcast = nil
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(configJSON(shadow)); err != nil {
+		return nil, fmt.Errorf("core: encoding config: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// LoadJSON reads a config written by SaveJSON. Fields absent from the file
+// keep their values from the receiver, so callers typically start from
+// DefaultConfig and overlay a file.
+func (c *Config) LoadJSON(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return c.FromJSON(data)
+}
+
+// FromJSON overlays JSON onto the receiver.
+func (c *Config) FromJSON(data []byte) error {
+	shadow := configJSON(*c)
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&shadow); err != nil {
+		return fmt.Errorf("core: decoding config: %w", err)
+	}
+	hook := c.OnReportBroadcast
+	*c = Config(shadow)
+	c.OnReportBroadcast = hook
+	return nil
+}
+
+// configJSON exists so the exported hook field can be skipped without
+// tagging the public struct: it shadows Config and drops the func during
+// conversion.
+type configJSON Config
+
+// MarshalJSON implements json.Marshaler, excluding the hook.
+func (c configJSON) MarshalJSON() ([]byte, error) {
+	type alias struct {
+		Seed                 uint64
+		NumClients           int
+		CacheCapacity        int
+		CachePolicy          int
+		Algorithm            string
+		IR                   any
+		DB                   any
+		Channel              any
+		Downlink             any
+		Uplink               any
+		Workload             any
+		Energy               any
+		Traffic              any
+		TrafficLoad          float64
+		Horizon              int64
+		Warmup               int64
+		ResponseOverheadBits int
+		CoalesceResponses    bool
+		SnoopResponses       bool
+		CheckConsistency     bool
+	}
+	return json.Marshal(alias{
+		Seed: c.Seed, NumClients: c.NumClients, CacheCapacity: c.CacheCapacity,
+		CachePolicy: int(c.CachePolicy), Algorithm: c.Algorithm, IR: c.IR, DB: c.DB, Channel: c.Channel,
+		Downlink: c.Downlink, Uplink: c.Uplink, Workload: c.Workload,
+		Energy: c.Energy, Traffic: c.Traffic, TrafficLoad: c.TrafficLoad,
+		Horizon: int64(c.Horizon), Warmup: int64(c.Warmup),
+		ResponseOverheadBits: c.ResponseOverheadBits,
+		CoalesceResponses:    c.CoalesceResponses,
+		SnoopResponses:       c.SnoopResponses,
+		CheckConsistency:     c.CheckConsistency,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler, overlaying present fields.
+func (c *configJSON) UnmarshalJSON(data []byte) error {
+	cfg := (*Config)(c)
+	type alias struct {
+		Seed                 *uint64
+		NumClients           *int
+		CacheCapacity        *int
+		CachePolicy          *int
+		Algorithm            *string
+		IR                   *json.RawMessage
+		DB                   *json.RawMessage
+		Channel              *json.RawMessage
+		Downlink             *json.RawMessage
+		Uplink               *json.RawMessage
+		Workload             *json.RawMessage
+		Energy               *json.RawMessage
+		Traffic              *json.RawMessage
+		TrafficLoad          *float64
+		Horizon              *int64
+		Warmup               *int64
+		ResponseOverheadBits *int
+		CoalesceResponses    *bool
+		SnoopResponses       *bool
+		CheckConsistency     *bool
+	}
+	// Reject unknown top-level keys: a typoed field silently keeping its
+	// default would corrupt an experiment.
+	var keys map[string]json.RawMessage
+	if err := json.Unmarshal(data, &keys); err != nil {
+		return err
+	}
+	known := map[string]bool{
+		"Seed": true, "NumClients": true, "CacheCapacity": true, "CachePolicy": true,
+		"Algorithm": true, "IR": true, "DB": true, "Channel": true,
+		"Downlink": true, "Uplink": true, "Workload": true, "Energy": true,
+		"Traffic": true, "TrafficLoad": true, "Horizon": true, "Warmup": true,
+		"ResponseOverheadBits": true, "CoalesceResponses": true,
+		"SnoopResponses": true, "CheckConsistency": true,
+	}
+	for k := range keys {
+		if !known[k] {
+			return fmt.Errorf("core: unknown config field %q", k)
+		}
+	}
+	var a alias
+	if err := json.Unmarshal(data, &a); err != nil {
+		return err
+	}
+	setU64 := func(dst *uint64, src *uint64) {
+		if src != nil {
+			*dst = *src
+		}
+	}
+	setU64(&cfg.Seed, a.Seed)
+	if a.NumClients != nil {
+		cfg.NumClients = *a.NumClients
+	}
+	if a.CacheCapacity != nil {
+		cfg.CacheCapacity = *a.CacheCapacity
+	}
+	if a.CachePolicy != nil {
+		cfg.CachePolicy = cache.Policy(*a.CachePolicy)
+	}
+	if a.Algorithm != nil {
+		cfg.Algorithm = *a.Algorithm
+	}
+	sub := func(raw *json.RawMessage, dst any) error {
+		if raw == nil {
+			return nil
+		}
+		return json.Unmarshal(*raw, dst)
+	}
+	if err := sub(a.IR, &cfg.IR); err != nil {
+		return err
+	}
+	if err := sub(a.DB, &cfg.DB); err != nil {
+		return err
+	}
+	if err := sub(a.Channel, &cfg.Channel); err != nil {
+		return err
+	}
+	if err := sub(a.Downlink, &cfg.Downlink); err != nil {
+		return err
+	}
+	if err := sub(a.Uplink, &cfg.Uplink); err != nil {
+		return err
+	}
+	if err := sub(a.Workload, &cfg.Workload); err != nil {
+		return err
+	}
+	if err := sub(a.Energy, &cfg.Energy); err != nil {
+		return err
+	}
+	if err := sub(a.Traffic, &cfg.Traffic); err != nil {
+		return err
+	}
+	if a.TrafficLoad != nil {
+		cfg.TrafficLoad = *a.TrafficLoad
+	}
+	if a.Horizon != nil {
+		cfg.Horizon = des.Duration(*a.Horizon)
+	}
+	if a.Warmup != nil {
+		cfg.Warmup = des.Duration(*a.Warmup)
+	}
+	if a.ResponseOverheadBits != nil {
+		cfg.ResponseOverheadBits = *a.ResponseOverheadBits
+	}
+	if a.CoalesceResponses != nil {
+		cfg.CoalesceResponses = *a.CoalesceResponses
+	}
+	if a.SnoopResponses != nil {
+		cfg.SnoopResponses = *a.SnoopResponses
+	}
+	if a.CheckConsistency != nil {
+		cfg.CheckConsistency = *a.CheckConsistency
+	}
+	return nil
+}

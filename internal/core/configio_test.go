@@ -1,0 +1,93 @@
+package core
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/des"
+)
+
+func TestConfigJSONRoundTrip(t *testing.T) {
+	orig := DefaultConfig()
+	orig.Algorithm = "hybrid"
+	orig.Seed = 42
+	orig.TrafficLoad = 0.55
+	orig.SnoopResponses = true
+	orig.IR.Coverage = 0.6
+	orig.DB.UpdateRate = 1.5
+	orig.Horizon = 1234 * des.Second
+
+	data, err := orig.ToJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := DefaultConfig()
+	if err := got.FromJSON(data); err != nil {
+		t.Fatal(err)
+	}
+	// The hook is process-local and excluded from comparison.
+	orig.OnReportBroadcast = nil
+	got.OnReportBroadcast = nil
+	if !reflect.DeepEqual(orig, got) {
+		t.Fatalf("round trip mismatch:\n%+v\n%+v", orig, got)
+	}
+}
+
+func TestConfigJSONOverlayPartial(t *testing.T) {
+	base := DefaultConfig()
+	if err := base.FromJSON([]byte(`{"Algorithm":"uir","TrafficLoad":0.7}`)); err != nil {
+		t.Fatal(err)
+	}
+	if base.Algorithm != "uir" || base.TrafficLoad != 0.7 {
+		t.Fatal("overlay fields not applied")
+	}
+	// Untouched fields retain their defaults.
+	if base.NumClients != DefaultConfig().NumClients {
+		t.Fatal("overlay clobbered untouched field")
+	}
+	// Nested partial overlay.
+	if err := base.FromJSON([]byte(`{"DB":{"UpdateRate":3}}`)); err != nil {
+		t.Fatal(err)
+	}
+	if base.DB.UpdateRate != 3 || base.DB.NumItems != DefaultConfig().DB.NumItems {
+		t.Fatalf("nested overlay wrong: %+v", base.DB)
+	}
+}
+
+func TestConfigJSONRejectsUnknownFields(t *testing.T) {
+	cfg := DefaultConfig()
+	if err := cfg.FromJSON([]byte(`{"Algoritm":"ts"}`)); err == nil {
+		t.Fatal("typo field accepted")
+	}
+	if err := cfg.FromJSON([]byte(`{bad json`)); err == nil {
+		t.Fatal("malformed json accepted")
+	}
+}
+
+func TestConfigJSONFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cfg.json")
+	orig := DefaultConfig()
+	orig.Algorithm = "sig"
+	if err := orig.SaveJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	got := DefaultConfig()
+	if err := got.LoadJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	if got.Algorithm != "sig" {
+		t.Fatal("file round trip lost field")
+	}
+	if err := got.LoadJSON(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	// A loaded config must still validate and run.
+	got.Horizon = 120 * des.Second
+	got.Warmup = 30 * des.Second
+	got.NumClients = 5
+	if _, err := Run(got); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cache"
+	"repro/internal/des"
+	"repro/internal/rng"
+)
+
+// TestRandomConfigInvariants fuzzes the whole simulator: random (but valid)
+// configurations must always uphold the protocol invariants — zero stale
+// answers, query accounting identities, bounded utilization — regardless of
+// where in the parameter space they land.
+func TestRandomConfigInvariants(t *testing.T) {
+	algos := []string{"ts", "at", "sig", "bs", "uir", "tair", "lair", "hybrid"}
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		cfg := DefaultConfig()
+		cfg.Seed = seed
+		cfg.Algorithm = algos[r.Intn(len(algos))]
+		cfg.NumClients = 5 + r.Intn(25)
+		cfg.DB.NumItems = 100 + r.Intn(300)
+		cfg.DB.HotItems = 10 + r.Intn(40)
+		cfg.DB.UpdateRate = r.Uniform(0, 3)
+		cfg.DB.HotFraction = r.Uniform(0.1, 0.95)
+		cfg.CacheCapacity = 10 + r.Intn(cfg.DB.NumItems/2)
+		cfg.CachePolicy = cache.Policy(r.Intn(3))
+		cfg.Workload.QueryRate = r.Uniform(0.01, 0.25)
+		cfg.Workload.Zipf = r.Uniform(0, 1.3)
+		cfg.Workload.SleepRatio = r.Uniform(0, 0.7)
+		cfg.Workload.AwakeMeanSec = r.Uniform(20, 200)
+		cfg.TrafficLoad = r.Uniform(0, 0.7)
+		cfg.Channel.MeanSNRdB = r.Uniform(8, 30)
+		cfg.Channel.DopplerHz = r.Uniform(1, 60)
+		cfg.IR.Interval = des.FromSeconds(r.Uniform(5, 40))
+		cfg.IR.Coverage = r.Uniform(0.4, 0.99)
+		cfg.SnoopResponses = r.Bool(0.3)
+		cfg.CoalesceResponses = r.Bool(0.3)
+		cfg.Downlink.StrictPriority = r.Bool(0.3)
+		cfg.Horizon = 400 * des.Second
+		cfg.Warmup = 80 * des.Second
+
+		stats, err := Run(cfg)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if stats.StaleViolations != 0 {
+			t.Logf("seed %d (%s): %d stale answers", seed, cfg.Algorithm, stats.StaleViolations)
+			return false
+		}
+		if stats.Answered+uint64(stats.PendingAtEnd) < stats.Queries {
+			t.Logf("seed %d: accounting leak", seed)
+			return false
+		}
+		if stats.DownlinkUtil < 0 || stats.DownlinkUtil > 1.000001 {
+			t.Logf("seed %d: util %v", seed, stats.DownlinkUtil)
+			return false
+		}
+		if stats.HitRatio < 0 || stats.HitRatio > 1 {
+			t.Logf("seed %d: hit %v", seed, stats.HitRatio)
+			return false
+		}
+		if stats.EnergyJoules < 0 {
+			t.Logf("seed %d: energy %v", seed, stats.EnergyJoules)
+			return false
+		}
+		return true
+	}
+	n := 30
+	if testing.Short() {
+		n = 6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: n}); err != nil {
+		t.Fatal(err)
+	}
+}

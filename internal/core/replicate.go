@@ -1,0 +1,113 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// Aggregate summarizes several independent replications of one
+// configuration. Each metric carries an across-replication mean and 95%
+// confidence half-width.
+type Aggregate struct {
+	Algorithm string
+	Reps      int
+
+	MeanDelay      metrics.Summary
+	P95Delay       metrics.Summary
+	HitRatio       metrics.Summary
+	UplinkPerAns   metrics.Summary
+	OverheadBps    metrics.Summary
+	DownlinkUtil   metrics.Summary
+	EnergyPerQuery metrics.Summary
+	ReportLoss     metrics.Summary
+	CacheDropsRate metrics.Summary // flushes per client per hour
+
+	StaleViolations uint64
+	Queries         uint64
+	Answered        uint64
+	PendingAtEnd    int
+
+	Runs []*RunStats
+}
+
+// add folds one replication into the aggregate.
+func (a *Aggregate) add(r *RunStats, numClients int) {
+	a.Reps++
+	a.MeanDelay.Add(r.MeanDelay)
+	a.P95Delay.Add(r.P95Delay)
+	a.HitRatio.Add(r.HitRatio)
+	a.UplinkPerAns.Add(r.UplinkPerAnswer())
+	a.OverheadBps.Add(r.OverheadBitsPerSec())
+	a.DownlinkUtil.Add(r.DownlinkUtil)
+	a.EnergyPerQuery.Add(r.EnergyPerQuery)
+	a.ReportLoss.Add(r.ReportLossRate())
+	if r.MeasuredSec > 0 {
+		a.CacheDropsRate.Add(float64(r.CacheDrops) / float64(numClients) / (r.MeasuredSec / 3600))
+	}
+	a.StaleViolations += r.StaleViolations
+	a.Queries += r.Queries
+	a.Answered += r.Answered
+	a.PendingAtEnd += r.PendingAtEnd
+	a.Runs = append(a.Runs, r)
+}
+
+// String renders the aggregate as one line.
+func (a *Aggregate) String() string {
+	return fmt.Sprintf(
+		"%-7s reps=%d delay=%.3f±%.3fs p95=%.3fs hit=%.3f±%.3f uplink/ans=%.2f overhead=%.0fb/s energy/q=%.2fJ stale=%d",
+		a.Algorithm, a.Reps,
+		a.MeanDelay.Mean(), a.MeanDelay.CI95(), a.P95Delay.Mean(),
+		a.HitRatio.Mean(), a.HitRatio.CI95(),
+		a.UplinkPerAns.Mean(), a.OverheadBps.Mean(), a.EnergyPerQuery.Mean(),
+		a.StaleViolations)
+}
+
+// RunReplications executes reps independent replications of cfg (seeds
+// cfg.Seed, cfg.Seed+1, …) across a bounded worker pool and aggregates. A
+// workers value ≤ 0 uses GOMAXPROCS. The simulation itself is sequential;
+// all parallelism is across replications, each with fully independent state
+// and RNG streams, so results are deterministic regardless of worker count.
+func RunReplications(cfg Config, reps, workers int) (*Aggregate, error) {
+	if reps <= 0 {
+		return nil, fmt.Errorf("core: reps %d", reps)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > reps {
+		workers = reps
+	}
+
+	results := make([]*RunStats, reps)
+	errs := make([]error, reps)
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				c := cfg
+				c.Seed = cfg.Seed + uint64(i)
+				results[i], errs[i] = Run(c)
+			}
+		}()
+	}
+	for i := 0; i < reps; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+
+	agg := &Aggregate{Algorithm: cfg.Algorithm}
+	for i := 0; i < reps; i++ {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("core: replication %d: %w", i, errs[i])
+		}
+		agg.add(results[i], cfg.NumClients)
+	}
+	return agg, nil
+}

@@ -1,0 +1,242 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/des"
+	"repro/internal/mac"
+	"repro/internal/metrics"
+)
+
+// RunStats are the post-warmup measurements of one replication. All rates
+// are per measured second; all delays in seconds.
+type RunStats struct {
+	Seed        uint64
+	Algorithm   string
+	MeasuredSec float64
+
+	// Query path.
+	Queries     uint64
+	Answered    uint64
+	CacheHits   uint64
+	MissAnswers uint64
+	MeanDelay   float64
+	DelayCI95   float64 // single-run batch-means half-width on MeanDelay
+	P95Delay    float64
+	MaxDelay    float64
+	HitRatio    float64
+
+	// Consistency.
+	StaleViolations uint64
+	CacheDrops      uint64 // full-cache flushes forced by coverage loss
+	SigDrops        uint64
+	FalseInval      uint64
+
+	// Reports as seen by clients.
+	ReportsDecoded uint64
+	ReportsLost    uint64
+	AnsweredVia    [3]uint64 // indexed by ir.Kind of the enabling report
+
+	// Uplink.
+	UplinkSent       uint64
+	UplinkAttempts   uint64
+	UplinkCollisions uint64
+
+	// Downlink airtime split (seconds) and invalidation overhead.
+	AirtimeIR         float64
+	AirtimeResponse   float64
+	AirtimeBackground float64
+	DownlinkUtil      float64
+	IRBits            uint64
+	PiggyBits         uint64
+	ResponseRetries   uint64
+	ResponseDrops     uint64
+
+	// Energy.
+	EnergyJoules   float64 // summed over clients
+	EnergyPerQuery float64
+
+	// Workload realized.
+	Updates uint64
+
+	// PendingAtEnd counts queries still unanswered at the horizon (they are
+	// excluded from delay statistics; a large value flags saturation).
+	PendingAtEnd int
+
+	DelaySeries metrics.Series
+	DelayHist   *metrics.Histogram
+}
+
+// collect builds RunStats from the simulation's post-warmup deltas.
+func (s *Simulation) collect(end des.Time) *RunStats {
+	measured := end.Sub(s.warmupAt).Seconds()
+	r := &RunStats{
+		Seed:        s.cfg.Seed,
+		Algorithm:   s.cfg.Algorithm,
+		MeasuredSec: measured,
+		DelaySeries: s.delay,
+		DelayHist:   s.delayHist,
+		MeanDelay:   s.delay.Mean(),
+		DelayCI95:   s.delayBatch.CI95(),
+		P95Delay:    s.delayHist.Quantile(0.95),
+		MaxDelay:    s.delay.Max(),
+		Updates:     s.db.Updates() - s.snapUpd,
+	}
+	for _, c := range s.clients {
+		r.Queries += c.queries
+		r.CacheHits += c.hits
+		r.MissAnswers += c.missAnswers
+		r.StaleViolations += c.stale
+		r.ReportsDecoded += c.reportsDecoded
+		r.ReportsLost += c.reportsLost
+		r.CacheDrops += c.istate.Stats.Drops.Value()
+		r.SigDrops += c.istate.Stats.SigDrops.Value()
+		r.FalseInval += c.istate.Stats.FalseInval.Value()
+		for k, v := range c.drainedVia {
+			r.AnsweredVia[k] += v
+		}
+		r.EnergyJoules += c.meter.Energy(measured)
+		r.PendingAtEnd += len(c.pending)
+	}
+	r.Answered = r.CacheHits + r.MissAnswers
+	if r.Answered > 0 {
+		r.HitRatio = float64(r.CacheHits) / float64(r.Answered)
+	} else {
+		r.HitRatio = math.NaN()
+	}
+	if r.Queries > 0 {
+		r.EnergyPerQuery = r.EnergyJoules / float64(r.Queries)
+	} else {
+		r.EnergyPerQuery = math.NaN()
+	}
+
+	up := s.uplink.Stats()
+	r.UplinkSent = up.Sent.Value() - s.snapUp.sent
+	r.UplinkAttempts = up.Attempts.Value() - s.snapUp.attempts
+	r.UplinkCollisions = up.Collisions.Value() - s.snapUp.collisions
+
+	down := s.downlink.Stats()
+	r.AirtimeIR = down.Busy[mac.KindIR] - s.snapDown.Busy[mac.KindIR]
+	r.AirtimeResponse = down.Busy[mac.KindResponse] - s.snapDown.Busy[mac.KindResponse]
+	r.AirtimeBackground = down.Busy[mac.KindBackground] - s.snapDown.Busy[mac.KindBackground]
+	if measured > 0 {
+		r.DownlinkUtil = (r.AirtimeIR + r.AirtimeResponse + r.AirtimeBackground) / measured
+		// A frame straddling the warmup boundary credits its whole airtime
+		// to the measured window; at saturation that can push the ratio a
+		// fraction of a percent over 1. Clamp: utilization is a fraction.
+		if r.DownlinkUtil > 1 {
+			r.DownlinkUtil = 1
+		}
+	}
+	r.IRBits = s.server.irBitsSent - s.snapIR
+	r.PiggyBits = s.server.piggyBitsSent - s.snapPig
+	r.ResponseRetries = down.Retries.Value() - s.snapDown.Retries.Value()
+	r.ResponseDrops = down.Drops.Value() - s.snapDown.Drops.Value()
+	return r
+}
+
+// OverheadBitsPerSec reports the invalidation overhead rate on the air
+// (standalone reports plus piggybacked digests).
+func (r *RunStats) OverheadBitsPerSec() float64 {
+	if r.MeasuredSec <= 0 {
+		return math.NaN()
+	}
+	return float64(r.IRBits+r.PiggyBits) / r.MeasuredSec
+}
+
+// UplinkPerAnswer reports the average uplink requests spent per answered
+// query.
+func (r *RunStats) UplinkPerAnswer() float64 {
+	if r.Answered == 0 {
+		return math.NaN()
+	}
+	return float64(r.UplinkSent) / float64(r.Answered)
+}
+
+// ReportLossRate reports the fraction of report receptions that failed to
+// decode.
+func (r *RunStats) ReportLossRate() float64 {
+	total := r.ReportsDecoded + r.ReportsLost
+	if total == 0 {
+		return math.NaN()
+	}
+	return float64(r.ReportsLost) / float64(total)
+}
+
+// String renders a one-run summary.
+func (r *RunStats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-7s seed=%d %.0fs: queries=%d answered=%d hit=%.3f delay=%.3fs p95=%.3fs\n",
+		r.Algorithm, r.Seed, r.MeasuredSec, r.Queries, r.Answered, r.HitRatio, r.MeanDelay, r.P95Delay)
+	fmt.Fprintf(&b, "        uplink=%d (%.2f/ans) overhead=%.0fb/s util=%.3f energy/q=%.2fJ stale=%d drops=%d",
+		r.UplinkSent, r.UplinkPerAnswer(), r.OverheadBitsPerSec(), r.DownlinkUtil,
+		r.EnergyPerQuery, r.StaleViolations, r.CacheDrops)
+	return b.String()
+}
+
+// MarshalJSON renders the scalar statistics for scripting (series and
+// histogram internals are process-local and omitted; derived rates are
+// included; NaN — not representable in JSON — becomes -1).
+func (r *RunStats) MarshalJSON() ([]byte, error) {
+	return json.Marshal(map[string]any{
+		"Seed":                 r.Seed,
+		"Algorithm":            r.Algorithm,
+		"MeasuredSec":          r.MeasuredSec,
+		"Queries":              r.Queries,
+		"Answered":             r.Answered,
+		"CacheHits":            r.CacheHits,
+		"MissAnswers":          r.MissAnswers,
+		"MeanDelay":            jsonSafe(r.MeanDelay),
+		"DelayCI95":            jsonSafe(r.DelayCI95),
+		"P95Delay":             jsonSafe(r.P95Delay),
+		"MaxDelay":             jsonSafe(r.MaxDelay),
+		"HitRatio":             jsonSafe(r.HitRatio),
+		"StaleViolations":      r.StaleViolations,
+		"CacheDrops":           r.CacheDrops,
+		"SigDrops":             r.SigDrops,
+		"FalseInval":           r.FalseInval,
+		"ReportsDecoded":       r.ReportsDecoded,
+		"ReportsLost":          r.ReportsLost,
+		"AnsweredViaFull":      r.AnsweredVia[0],
+		"AnsweredViaMini":      r.AnsweredVia[1],
+		"AnsweredViaPiggyback": r.AnsweredVia[2],
+		"UplinkSent":           r.UplinkSent,
+		"UplinkAttempts":       r.UplinkAttempts,
+		"UplinkCollisions":     r.UplinkCollisions,
+		"AirtimeIR":            r.AirtimeIR,
+		"AirtimeResponse":      r.AirtimeResponse,
+		"AirtimeBackground":    r.AirtimeBackground,
+		"DownlinkUtil":         r.DownlinkUtil,
+		"IRBits":               r.IRBits,
+		"PiggyBits":            r.PiggyBits,
+		"ResponseRetries":      r.ResponseRetries,
+		"ResponseDrops":        r.ResponseDrops,
+		"EnergyJoules":         r.EnergyJoules,
+		"EnergyPerQuery":       jsonSafe(r.EnergyPerQuery),
+		"Updates":              r.Updates,
+		"PendingAtEnd":         r.PendingAtEnd,
+		"OverheadBps":          jsonSafe(r.OverheadBitsPerSec()),
+		"UplinkPerAns":         jsonSafe(r.UplinkPerAnswer()),
+		"ReportLossRate":       jsonSafe(r.ReportLossRate()),
+	})
+}
+
+// jsonSafe maps NaN (not representable in JSON) to -1.
+func jsonSafe(v float64) float64 {
+	if math.IsNaN(v) {
+		return -1
+	}
+	return v
+}
+
+// Run builds and executes one replication.
+func Run(cfg Config) (*RunStats, error) {
+	sim, err := NewSimulation(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return sim.Execute(), nil
+}

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"repro/internal/db"
+	"repro/internal/des"
+	"repro/internal/ir"
+	"repro/internal/mac"
+	"repro/internal/radio"
+)
+
+// reqMeta travels up the uplink: a cache-miss request.
+type reqMeta struct {
+	item int
+}
+
+// respMeta rides a downlink response frame.
+type respMeta struct {
+	item    int
+	version uint64
+	genAt   des.Time // server read time: the value's consistency timestamp
+	piggy   *ir.Report
+
+	// waiters are additional clients whose requests for the same item were
+	// coalesced onto this frame (response coalescing enabled only). The
+	// frame's Dest is the first requester; waiters decode opportunistically
+	// like snoopers and re-request on failure.
+	waiters []int
+}
+
+// bgMeta rides a background frame.
+type bgMeta struct {
+	piggy *ir.Report
+}
+
+// server is the base-station logic: it owns the database view, generates
+// responses for uplink requests, runs the invalidation algorithm, and
+// implements ir.ServerEnv for it.
+type server struct {
+	sim  *Simulation
+	algo ir.ServerAlgo
+
+	// downlink load EWMA for the traffic-aware schemes.
+	loadEWMA   float64
+	busyPrev   float64
+	snrScratch []float64
+
+	irBitsSent     uint64
+	piggyBitsSent  uint64
+	responsesSent  uint64
+	requestsServed uint64
+	coalesced      uint64
+
+	// inFlightResp tracks queued/in-flight responses by item so later
+	// requests for the same item can join them (coalescing).
+	inFlightResp map[int]*respMeta
+}
+
+const loadSampleEvery = des.Second
+
+func newServer(sim *Simulation, algo ir.ServerAlgo) *server {
+	return &server{sim: sim, algo: algo, inFlightResp: make(map[int]*respMeta)}
+}
+
+// start arms the algorithm and the load sampler.
+func (s *server) start() {
+	des.NewTicker(s.sim.sch, loadSampleEvery, "server.load", s.sampleLoad).Start()
+	s.algo.Start(s)
+}
+
+// sampleLoad maintains an exponentially weighted estimate of downlink busy
+// fraction, the signal the traffic-aware interval adaptation consumes.
+//
+// Only background traffic counts. Query responses are the protocol's own
+// elastic load: every report releases a synchronized burst of cache-miss
+// responses, so counting them would make the interval adaptation chase its
+// own tail — a long interval produces a bigger burst, the burst reads as
+// high load, high load stretches the interval further, and the scheme locks
+// itself at IntervalMax even on an otherwise idle downlink.
+func (s *server) sampleLoad(des.Time) {
+	st := s.sim.downlink.Stats()
+	busy := st.Busy[mac.KindBackground]
+	sample := (busy - s.busyPrev) / loadSampleEvery.Seconds()
+	s.busyPrev = busy
+	if sample > 1 {
+		sample = 1
+	}
+	const alpha = 0.3
+	s.loadEWMA = alpha*sample + (1-alpha)*s.loadEWMA
+}
+
+// onRequest handles a delivered uplink request.
+func (s *server) onRequest(src int, meta any, now des.Time) {
+	req := meta.(reqMeta)
+	it := s.sim.db.Item(req.item)
+	s.requestsServed++
+	if s.sim.cfg.CoalesceResponses {
+		// Join only if the queued value is still current: a joiner validated
+		// after an update must not be served the pre-update value.
+		if pending, ok := s.inFlightResp[req.item]; ok && pending.version == it.Version {
+			pending.waiters = append(pending.waiters, src)
+			s.coalesced++
+			return
+		}
+	}
+	resp := &respMeta{item: it.ID, version: it.Version, genAt: now}
+	robust := 0
+	if pg := s.algo.Piggyback(now); pg != nil {
+		resp.piggy = pg
+		robust = pg.SizeBits()
+		s.piggyBitsSent += uint64(robust)
+	}
+	s.responsesSent++
+	if s.sim.cfg.CoalesceResponses {
+		s.inFlightResp[req.item] = resp
+	}
+	s.sim.downlink.Enqueue(&mac.Frame{
+		Kind:       mac.KindResponse,
+		Dest:       src,
+		Bits:       it.Bits + s.sim.cfg.ResponseOverheadBits,
+		RobustBits: robust,
+		MCS:        mac.AutoMCS,
+		Meta:       resp,
+	})
+}
+
+// onResponseDelivered retires the coalescing slot for a departed response.
+func (s *server) onResponseDelivered(m *respMeta) {
+	if s.sim.cfg.CoalesceResponses && s.inFlightResp[m.item] == m {
+		delete(s.inFlightResp, m.item)
+	}
+}
+
+// onBackground handles a background-traffic arrival.
+func (s *server) onBackground(dest int, bits int) {
+	meta := &bgMeta{}
+	robust := 0
+	if pg := s.algo.Piggyback(s.sim.sch.Now()); pg != nil {
+		meta.piggy = pg
+		robust = pg.SizeBits()
+	}
+	accepted := s.sim.downlink.Enqueue(&mac.Frame{
+		Kind:       mac.KindBackground,
+		Dest:       dest,
+		Bits:       bits,
+		RobustBits: robust,
+		MCS:        mac.AutoMCS,
+		Meta:       meta,
+	})
+	if accepted && robust > 0 {
+		s.piggyBitsSent += uint64(robust)
+	}
+}
+
+// --- ir.ServerEnv ---
+
+// Now implements ir.ServerEnv.
+func (s *server) Now() des.Time { return s.sim.sch.Now() }
+
+// UpdatedSince implements ir.ServerEnv.
+func (s *server) UpdatedSince(since des.Time, buf []db.Update) []db.Update {
+	return s.sim.db.UpdatedSince(since, buf)
+}
+
+// Broadcast implements ir.ServerEnv.
+func (s *server) Broadcast(r *ir.Report, mcs int) {
+	s.irBitsSent += uint64(r.SizeBits())
+	if s.sim.cfg.OnReportBroadcast != nil {
+		s.sim.cfg.OnReportBroadcast(r, mcs, s.sim.sch.Now())
+	}
+	s.sim.downlink.Enqueue(&mac.Frame{
+		Kind: mac.KindIR,
+		Dest: mac.Broadcast,
+		Bits: r.SizeBits(),
+		MCS:  mcs,
+		Meta: r,
+	})
+}
+
+// NewTicker implements ir.ServerEnv.
+func (s *server) NewTicker(period des.Duration, name string, fn func(des.Time)) *des.Ticker {
+	return des.NewTicker(s.sim.sch, period, name, fn)
+}
+
+// AwakeSNRs implements ir.ServerEnv. In a real system the base station
+// estimates these from CQI feedback; here it reads the channel directly.
+func (s *server) AwakeSNRs() []float64 {
+	s.snrScratch = s.snrScratch[:0]
+	now := s.sim.sch.Now()
+	for _, c := range s.sim.clients {
+		if c.awake {
+			s.snrScratch = append(s.snrScratch, s.sim.channel.SNRdB(c.id, now))
+		}
+	}
+	return s.snrScratch
+}
+
+// AMC implements ir.ServerEnv.
+func (s *server) AMC() *radio.AMC { return s.sim.channel.AMC() }
+
+// DownlinkLoad implements ir.ServerEnv.
+func (s *server) DownlinkLoad() float64 { return s.loadEWMA }

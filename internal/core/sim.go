@@ -1,0 +1,267 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/db"
+	"repro/internal/des"
+	"repro/internal/ir"
+	"repro/internal/mac"
+	"repro/internal/metrics"
+	"repro/internal/radio"
+	"repro/internal/rng"
+	"repro/internal/traffic"
+	"repro/internal/workload"
+)
+
+// dbOracle adapts the database to the signature scheme's comparison oracle.
+type dbOracle struct{ db *db.DB }
+
+// UpdatedAt implements ir.Oracle.
+func (o dbOracle) UpdatedAt(id int) des.Time { return o.db.Item(id).UpdatedAt }
+
+// Simulation is one fully wired run. Build with NewSimulation, execute with
+// Execute (or use the Run convenience wrapper).
+type Simulation struct {
+	cfg      Config
+	sch      *des.Scheduler
+	db       *db.DB
+	channel  *radio.Channel
+	downlink *mac.Downlink
+	uplink   *mac.Uplink
+	bg       *traffic.Generator
+	server   *server
+	clients  []*client
+	oracle   ir.Oracle
+
+	warmupAt des.Time
+	refRate  float64 // reference downlink bit rate for load calibration
+
+	// post-warmup accumulators
+	delay      metrics.Series
+	delayHist  *metrics.Histogram
+	delayBatch *metrics.BatchMeans
+
+	// warmup snapshots
+	snapDown mac.DownlinkStats
+	snapUp   snapshotUplink
+	snapIR   uint64
+	snapPig  uint64
+	snapUpd  uint64
+}
+
+type snapshotUplink struct {
+	sent, attempts, collisions, losses, delivered uint64
+}
+
+// NewSimulation validates cfg and wires every component.
+func NewSimulation(cfg Config) (*Simulation, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sim := &Simulation{
+		cfg:        cfg,
+		sch:        des.NewScheduler(),
+		warmupAt:   des.Time(0).Add(cfg.Warmup),
+		delayHist:  metrics.NewLatencyHistogram(),
+		delayBatch: metrics.NewBatchMeans(64),
+	}
+
+	var err error
+	sim.db, err = db.New(sim.sch, cfg.DB, rng.Stream(cfg.Seed, "db"))
+	if err != nil {
+		return nil, err
+	}
+	sim.oracle = dbOracle{sim.db}
+
+	sim.channel, err = radio.New(cfg.Channel, radio.DefaultAMC(), cfg.NumClients,
+		rng.Stream(cfg.Seed, "channel"))
+	if err != nil {
+		return nil, err
+	}
+
+	sim.downlink = mac.NewDownlink(sim.sch, sim.channel, cfg.Downlink, sim.deliver)
+	sim.uplink = mac.NewUplink(sim.sch, cfg.Uplink, rng.Stream(cfg.Seed, "uplink"),
+		func(src int, meta any, now des.Time) { sim.server.onRequest(src, meta, now) })
+	sim.uplink.SetAttemptHook(sim.onUplinkAttempt)
+
+	algo, err := ir.New(cfg.Algorithm, cfg.IR)
+	if err != nil {
+		return nil, err
+	}
+	sim.server = newServer(sim, algo)
+
+	// Background load calibration: offered rate is TrafficLoad × the rate
+	// link adaptation would pick at the population's average mean SNR.
+	sim.refRate = sim.referenceRate()
+	tcfg := cfg.Traffic
+	tcfg.RateBps = cfg.TrafficLoad * sim.refRate
+	sim.bg, err = traffic.New(sim.sch, tcfg, rng.Stream(cfg.Seed, "traffic"),
+		sim.server.onBackground)
+	if err != nil {
+		return nil, err
+	}
+
+	zipf := rng.NewZipf(cfg.DB.NumItems, cfg.Workload.Zipf)
+	wsrc := rng.Stream(cfg.Seed, "workload")
+	csrc := rng.Stream(cfg.Seed, "client")
+	sim.clients = make([]*client, cfg.NumClients)
+	for i := range sim.clients {
+		sampler, err := workload.NewSampler(cfg.Workload, zipf, wsrc.SubStream(uint64(i)))
+		if err != nil {
+			return nil, err
+		}
+		sim.clients[i] = newClient(i, sim, sampler, csrc.SubStream(uint64(i)))
+	}
+	return sim, nil
+}
+
+// referenceRate reports the effective downlink rate for unicast traffic to
+// a uniformly random client: the harmonic mean of the per-client rates link
+// adaptation picks at each client's mean SNR. The harmonic mean is the right
+// aggregate because airtime per bit, not bits per second, is what adds up
+// across frames — so TrafficLoad ≈ the utilization the background traffic
+// actually contributes.
+func (s *Simulation) referenceRate() float64 {
+	amc := s.channel.AMC()
+	invSum := 0.0
+	for i := 0; i < s.channel.N(); i++ {
+		idx, _ := amc.Select(s.channel.MeanSNRdB(i))
+		invSum += 1 / amc.Table[idx].BitRate(amc.SymbolRate)
+	}
+	return float64(s.channel.N()) / invSum
+}
+
+// Executed reports how many discrete events have run so far.
+func (s *Simulation) Executed() uint64 { return s.sch.Executed() }
+
+// Execute runs the simulation to its horizon and returns the statistics.
+func (s *Simulation) Execute() *RunStats {
+	s.db.Start()
+	s.bg.Start()
+	s.server.start()
+	for _, c := range s.clients {
+		c.start()
+	}
+	s.sch.At(s.warmupAt, "sim.warmup", s.resetAtWarmup)
+	end := s.sch.Run(des.Time(0).Add(s.cfg.Horizon))
+	return s.collect(end)
+}
+
+// resetAtWarmup snapshots cumulative counters so collect can report
+// post-warmup deltas, and resets the per-client energy meters.
+func (s *Simulation) resetAtWarmup() {
+	s.snapDown = *s.downlink.Stats()
+	up := s.uplink.Stats()
+	s.snapUp = snapshotUplink{
+		sent:       up.Sent.Value(),
+		attempts:   up.Attempts.Value(),
+		collisions: up.Collisions.Value(),
+		losses:     up.Losses.Value(),
+		delivered:  up.Delivered.Value(),
+	}
+	s.snapIR = s.server.irBitsSent
+	s.snapPig = s.server.piggyBitsSent
+	s.snapUpd = s.db.Updates()
+	for _, c := range s.clients {
+		c.meter.Reset()
+	}
+}
+
+// onUplinkAttempt charges transmit energy for one contention slot.
+func (s *Simulation) onUplinkAttempt(src int) {
+	if s.sch.Now() < s.warmupAt {
+		return
+	}
+	s.clients[src].meter.AddTx(s.cfg.Uplink.SlotDur.Seconds())
+}
+
+// deliver is the downlink completion fanout: reports go to every awake
+// client (individual decode), responses to their destination, piggybacked
+// digests to every awake overhearer.
+func (s *Simulation) deliver(f *mac.Frame, ok bool, mcs int, now des.Time) {
+	amc := s.channel.AMC()
+	airtime := amc.Airtime(0, s.cfg.Downlink.HeaderBits+f.RobustBits) +
+		amc.Airtime(mcs, f.Bits)
+	switch m := f.Meta.(type) {
+	case *ir.Report:
+		for _, c := range s.clients {
+			if !c.awake {
+				continue
+			}
+			s.chargeRx(c, airtime)
+			if s.channel.Decode(c.id, now, mcs, f.Bits) {
+				c.onReport(m)
+			} else {
+				c.onReportLost()
+			}
+		}
+	case *respMeta:
+		s.server.onResponseDelivered(m)
+		dest := s.clients[f.Dest]
+		if dest.awake {
+			s.chargeRx(dest, airtime)
+		}
+		dest.onResponse(m, ok)
+		for _, w := range m.waiters {
+			c := s.clients[w]
+			if c.awake {
+				s.chargeRx(c, airtime)
+			}
+			// Waiters decode independently of the addressed destination;
+			// a failed decode falls back to their own re-request timer via
+			// onResponse's !ok path.
+			c.onResponse(m, s.channel.Decode(w, now, mcs, f.Bits))
+		}
+		if s.cfg.SnoopResponses {
+			for _, c := range s.clients {
+				if !c.awake || c.id == f.Dest {
+					continue
+				}
+				s.chargeRx(c, airtime)
+				if s.channel.Decode(c.id, now, mcs, f.Bits) {
+					c.onSnoop(m)
+				}
+			}
+		}
+		s.fanPiggy(m.piggy, f.RobustBits, now)
+	case *bgMeta:
+		dest := s.clients[f.Dest]
+		if dest.awake {
+			s.chargeRx(dest, airtime)
+		}
+		s.fanPiggy(m.piggy, f.RobustBits, now)
+	default:
+		panic(fmt.Sprintf("core: unknown frame meta %T", f.Meta))
+	}
+}
+
+// fanPiggy lets every awake client receive a piggybacked digest. The digest
+// travels in the frame's robust control portion (base-rate MCS), so even
+// clients that could not decode the data payload usually get it; they pay
+// receive energy only for that portion and power down for the data body.
+func (s *Simulation) fanPiggy(pg *ir.Report, robustBits int, now des.Time) {
+	if pg == nil {
+		return
+	}
+	headBits := s.cfg.Downlink.HeaderBits + robustBits
+	headAir := s.channel.AMC().Airtime(0, headBits)
+	for _, c := range s.clients {
+		if !c.awake {
+			continue
+		}
+		s.chargeRx(c, headAir)
+		if s.channel.Decode(c.id, now, 0, headBits) {
+			c.onReport(pg)
+		} else {
+			c.onReportLost()
+		}
+	}
+}
+
+func (s *Simulation) chargeRx(c *client, airtimeSec float64) {
+	if s.sch.Now() < s.warmupAt {
+		return
+	}
+	c.meter.AddRx(airtimeSec)
+}

@@ -1,0 +1,547 @@
+package core
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/mobility"
+)
+
+// fastConfig returns a small configuration that runs in tens of
+// milliseconds, for integration tests.
+func fastConfig(algo string) Config {
+	cfg := DefaultConfig()
+	cfg.Algorithm = algo
+	cfg.NumClients = 25
+	cfg.DB.NumItems = 300
+	cfg.CacheCapacity = 60
+	cfg.Horizon = 900 * des.Second
+	cfg.Warmup = 200 * des.Second
+	return cfg
+}
+
+func TestConfigValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mut := []func(*Config){
+		func(c *Config) { c.NumClients = 0 },
+		func(c *Config) { c.CacheCapacity = 0 },
+		func(c *Config) { c.CacheCapacity = c.DB.NumItems + 1 },
+		func(c *Config) { c.Algorithm = "bogus" },
+		func(c *Config) { c.IR.Interval = 0 },
+		func(c *Config) { c.TrafficLoad = -1 },
+		func(c *Config) { c.Horizon = 0 },
+		func(c *Config) { c.Warmup = c.Horizon },
+		func(c *Config) { c.ResponseOverheadBits = -1 },
+		func(c *Config) { c.Energy.TxW = -1 },
+		func(c *Config) { c.Workload.QueryRate = -1 },
+		func(c *Config) { c.DB.ItemBits = 0 },
+	}
+	for i, f := range mut {
+		c := DefaultConfig()
+		f(&c)
+		if c.Validate() == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestValidateCouplesSubConfigs(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DB.NumItems = 500
+	cfg.Workload.NumItems = 1 // stale value: Validate must recouple
+	cfg.Traffic.NumClients = 1
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Workload.NumItems != 500 || cfg.Traffic.NumClients != cfg.NumClients {
+		t.Fatal("sub-configs not coupled")
+	}
+	if cfg.DB.Retention < 2*cfg.IR.IntervalMax {
+		t.Fatalf("retention %v too small", cfg.DB.Retention)
+	}
+}
+
+// TestAllAlgorithmsEndToEnd is the headline integration test: every scheme
+// runs a full simulation, answers nearly all queries, and never serves a
+// stale value.
+func TestAllAlgorithmsEndToEnd(t *testing.T) {
+	for _, algo := range []string{"ts", "at", "sig", "bs", "uir", "tair", "lair", "hybrid"} {
+		algo := algo
+		t.Run(algo, func(t *testing.T) {
+			r, err := Run(fastConfig(algo))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Queries == 0 {
+				t.Fatal("no queries issued")
+			}
+			if frac := float64(r.Answered) / float64(r.Queries); frac < 0.9 {
+				t.Fatalf("only %.2f of queries answered", frac)
+			}
+			if r.StaleViolations != 0 {
+				t.Fatalf("STRONG CONSISTENCY VIOLATED: %d stale answers", r.StaleViolations)
+			}
+			if math.IsNaN(r.MeanDelay) || r.MeanDelay <= 0 {
+				t.Fatalf("mean delay %v", r.MeanDelay)
+			}
+			if r.HitRatio < 0 || r.HitRatio > 1 {
+				t.Fatalf("hit ratio %v", r.HitRatio)
+			}
+			if r.ReportsDecoded == 0 {
+				t.Fatal("no reports decoded")
+			}
+			if r.EnergyPerQuery <= 0 {
+				t.Fatalf("energy per query %v", r.EnergyPerQuery)
+			}
+			if r.DownlinkUtil <= 0 || r.DownlinkUtil > 1.000001 {
+				t.Fatalf("utilization %v", r.DownlinkUtil)
+			}
+		})
+	}
+}
+
+func TestDeterministicReplication(t *testing.T) {
+	run := func() *RunStats {
+		r, err := Run(fastConfig("hybrid"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := run(), run()
+	if a.Queries != b.Queries || a.CacheHits != b.CacheHits ||
+		a.MeanDelay != b.MeanDelay || a.EnergyJoules != b.EnergyJoules ||
+		a.UplinkAttempts != b.UplinkAttempts || a.IRBits != b.IRBits {
+		t.Fatalf("same seed diverged:\n%v\n%v", a, b)
+	}
+	// Different seed must actually change the run.
+	cfg := fastConfig("hybrid")
+	cfg.Seed = 999
+	c, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.MeanDelay == a.MeanDelay && c.CacheHits == a.CacheHits {
+		t.Fatal("different seeds produced identical results")
+	}
+}
+
+func TestCanonicalOrderings(t *testing.T) {
+	// The three robust results of the literature, at a single seed:
+	// 1. UIR cuts TS's wait latency by roughly the mini factor.
+	// 2. AT flushes caches far more often than TS under lossy reception.
+	// 3. The traffic-aware scheme beats both at light load.
+	results := map[string]*RunStats{}
+	for _, algo := range []string{"ts", "at", "uir", "tair"} {
+		cfg := fastConfig(algo)
+		cfg.TrafficLoad = 0.1
+		r, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[algo] = r
+	}
+	if !(results["uir"].MeanDelay < 0.6*results["ts"].MeanDelay) {
+		t.Errorf("UIR %.2fs not well below TS %.2fs",
+			results["uir"].MeanDelay, results["ts"].MeanDelay)
+	}
+	if !(results["at"].CacheDrops > 2*results["ts"].CacheDrops) {
+		t.Errorf("AT drops %d not well above TS drops %d",
+			results["at"].CacheDrops, results["ts"].CacheDrops)
+	}
+	if !(results["tair"].MeanDelay < results["uir"].MeanDelay) {
+		t.Errorf("TAIR %.2fs not below UIR %.2fs",
+			results["tair"].MeanDelay, results["uir"].MeanDelay)
+	}
+}
+
+func TestSleepingClientsStillConsistent(t *testing.T) {
+	for _, algo := range []string{"ts", "at", "sig", "uir", "hybrid"} {
+		cfg := fastConfig(algo)
+		cfg.Workload.SleepRatio = 0.5
+		cfg.Workload.AwakeMeanSec = 60
+		r, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.StaleViolations != 0 {
+			t.Fatalf("%s: %d stale answers under disconnection", algo, r.StaleViolations)
+		}
+		if r.Answered == 0 {
+			t.Fatalf("%s: nothing answered under disconnection", algo)
+		}
+		// Energy must attribute doze time.
+		if r.EnergyPerQuery <= 0 {
+			t.Fatalf("%s: energy %v", algo, r.EnergyPerQuery)
+		}
+	}
+}
+
+func TestSleepHurtsATMostAndSIGLeast(t *testing.T) {
+	drops := map[string]uint64{}
+	hits := map[string]float64{}
+	for _, algo := range []string{"ts", "at", "sig"} {
+		cfg := fastConfig(algo)
+		cfg.Workload.SleepRatio = 0.4
+		cfg.Workload.AwakeMeanSec = 80
+		r, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		drops[algo] = r.CacheDrops
+		hits[algo] = r.HitRatio
+	}
+	if !(drops["at"] > drops["ts"]) {
+		t.Errorf("AT drops %d not above TS %d under sleep", drops["at"], drops["ts"])
+	}
+	if drops["sig"] != 0 {
+		t.Errorf("SIG forced %d window drops; signatures have no window", drops["sig"])
+	}
+	if !(hits["sig"] > hits["at"]) {
+		t.Errorf("SIG hit %.3f not above AT %.3f under sleep", hits["sig"], hits["at"])
+	}
+}
+
+func TestZeroBackgroundLoad(t *testing.T) {
+	cfg := fastConfig("ts")
+	cfg.TrafficLoad = 0
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.AirtimeBackground != 0 {
+		t.Fatalf("background airtime %v with zero load", r.AirtimeBackground)
+	}
+	if r.Answered == 0 || r.StaleViolations != 0 {
+		t.Fatal("basic operation broken at zero load")
+	}
+}
+
+func TestTSDelayMatchesTheory(t *testing.T) {
+	// At light load, TS wait latency is uniform over the interval: the mean
+	// query delay must sit near L/2 plus a small miss-path cost.
+	cfg := fastConfig("ts")
+	cfg.TrafficLoad = 0.05
+	cfg.IR.Interval = 16 * des.Second
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MeanDelay < 7 || r.MeanDelay > 13 {
+		t.Fatalf("TS mean delay %.2fs, want ≈ L/2 = 8s (+miss cost)", r.MeanDelay)
+	}
+}
+
+func TestRunStatsDerivedMetrics(t *testing.T) {
+	r, err := Run(fastConfig("tair"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := r.OverheadBitsPerSec(); math.IsNaN(v) || v <= 0 {
+		t.Fatalf("overhead %v", v)
+	}
+	if v := r.UplinkPerAnswer(); math.IsNaN(v) || v <= 0 {
+		t.Fatalf("uplink per answer %v", v)
+	}
+	if v := r.ReportLossRate(); math.IsNaN(v) || v < 0 || v >= 1 {
+		t.Fatalf("report loss %v", v)
+	}
+	if r.String() == "" {
+		t.Fatal("String empty")
+	}
+	empty := &RunStats{}
+	if !math.IsNaN(empty.OverheadBitsPerSec()) || !math.IsNaN(empty.UplinkPerAnswer()) ||
+		!math.IsNaN(empty.ReportLossRate()) {
+		t.Fatal("empty stats must be NaN")
+	}
+}
+
+func TestRunReplicationsParallelDeterminism(t *testing.T) {
+	cfg := fastConfig("ts")
+	cfg.Horizon = 400 * des.Second
+	cfg.Warmup = 100 * des.Second
+	seq, err := RunReplications(cfg, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunReplications(cfg, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Reps != 4 || par.Reps != 4 {
+		t.Fatalf("reps %d/%d", seq.Reps, par.Reps)
+	}
+	if seq.MeanDelay.Mean() != par.MeanDelay.Mean() ||
+		seq.HitRatio.Mean() != par.HitRatio.Mean() {
+		t.Fatal("parallel and sequential replications disagree")
+	}
+	if seq.MeanDelay.CI95() <= 0 {
+		t.Fatalf("CI %v", seq.MeanDelay.CI95())
+	}
+	if len(seq.Runs) != 4 {
+		t.Fatalf("runs kept %d", len(seq.Runs))
+	}
+	// Seeds must differ across replications.
+	if seq.Runs[0].Seed == seq.Runs[1].Seed {
+		t.Fatal("replications share a seed")
+	}
+	if seq.String() == "" {
+		t.Fatal("aggregate String empty")
+	}
+}
+
+func TestRunReplicationsErrors(t *testing.T) {
+	if _, err := RunReplications(DefaultConfig(), 0, 1); err == nil {
+		t.Error("zero reps accepted")
+	}
+	bad := DefaultConfig()
+	bad.Algorithm = "nope"
+	if _, err := RunReplications(bad, 2, 2); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestStrictPriorityAblation(t *testing.T) {
+	// Under heavy background load, strict priority shields responses from
+	// background queueing; the shared data plane does not. The delay gap is
+	// the whole reason the traffic-aware schemes exist.
+	shared := fastConfig("ts")
+	shared.TrafficLoad = 0.7
+	rShared, err := Run(shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strict := fastConfig("ts")
+	strict.TrafficLoad = 0.7
+	strict.Downlink.StrictPriority = true
+	rStrict, err := Run(strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(rStrict.MeanDelay < rShared.MeanDelay) {
+		t.Errorf("strict priority %.2fs not below shared %.2fs",
+			rStrict.MeanDelay, rShared.MeanDelay)
+	}
+}
+
+func TestLoadDegradesDelay(t *testing.T) {
+	light := fastConfig("ts")
+	light.TrafficLoad = 0.05
+	rLight, err := Run(light)
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy := fastConfig("ts")
+	heavy.TrafficLoad = 0.7
+	rHeavy, err := Run(heavy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(rHeavy.MeanDelay > rLight.MeanDelay) {
+		t.Errorf("load did not hurt delay: %.2fs vs %.2fs",
+			rHeavy.MeanDelay, rLight.MeanDelay)
+	}
+	if !(rHeavy.DownlinkUtil > rLight.DownlinkUtil) {
+		t.Error("load did not raise utilization")
+	}
+}
+
+func TestWarmupExcludedFromStats(t *testing.T) {
+	// Same horizon, different warmup: the longer-warmup run must count
+	// fewer queries but similar rates.
+	a := fastConfig("ts")
+	a.Warmup = 100 * des.Second
+	ra, err := Run(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := fastConfig("ts")
+	b.Warmup = 500 * des.Second
+	rb, err := Run(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(rb.Queries < ra.Queries) {
+		t.Fatal("longer warmup did not reduce counted queries")
+	}
+	rateA := float64(ra.Queries) / ra.MeasuredSec
+	rateB := float64(rb.Queries) / rb.MeasuredSec
+	if math.Abs(rateA-rateB)/rateA > 0.1 {
+		t.Fatalf("query rates differ: %v vs %v", rateA, rateB)
+	}
+}
+
+func TestGeometryChannelMode(t *testing.T) {
+	cfg := fastConfig("ts")
+	cfg.Channel.UseGeometry = true
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Answered == 0 || r.StaleViolations != 0 {
+		t.Fatal("geometry mode broken")
+	}
+}
+
+func TestSnoopExtension(t *testing.T) {
+	base := fastConfig("ts")
+	base.SnoopResponses = false
+	off, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	on := fastConfig("ts")
+	on.SnoopResponses = true
+	rOn, err := Run(on)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rOn.StaleViolations != 0 {
+		t.Fatalf("snooping broke consistency: %d stale answers", rOn.StaleViolations)
+	}
+	if !(rOn.HitRatio > off.HitRatio) {
+		t.Errorf("snooping did not raise hit ratio: %.3f vs %.3f", rOn.HitRatio, off.HitRatio)
+	}
+	if !(rOn.EnergyPerQuery > off.EnergyPerQuery) {
+		t.Errorf("snooping energy cost missing: %.2f vs %.2f", rOn.EnergyPerQuery, off.EnergyPerQuery)
+	}
+	if !(rOn.UplinkSent < off.UplinkSent) {
+		t.Errorf("snooping did not reduce uplink requests: %d vs %d", rOn.UplinkSent, off.UplinkSent)
+	}
+}
+
+func TestMobilityEndToEnd(t *testing.T) {
+	cfg := fastConfig("hybrid")
+	cfg.Channel.UseGeometry = true
+	cfg.Channel.Mobility = &mobility.Config{
+		CellRadiusM:  cfg.Channel.CellRadiusM,
+		MinDistanceM: cfg.Channel.MinDistanceM,
+		SpeedMinMps:  5,
+		SpeedMaxMps:  15,
+		PauseMeanSec: 10,
+	}
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.StaleViolations != 0 {
+		t.Fatalf("mobility broke consistency: %d stale answers", r.StaleViolations)
+	}
+	if r.Answered == 0 || r.ReportsDecoded == 0 {
+		t.Fatal("mobility run produced nothing")
+	}
+	// Determinism holds under mobility too.
+	r2, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MeanDelay != r2.MeanDelay || r.CacheHits != r2.CacheHits {
+		t.Fatal("mobility run not deterministic")
+	}
+}
+
+func TestTairNoSelfLockAtZeroLoad(t *testing.T) {
+	// Regression: the interval adaptation must not count the scheme's own
+	// miss-response bursts as downlink load, or it locks itself at
+	// IntervalMax on an idle downlink and loses to plain TS.
+	tair := fastConfig("tair")
+	tair.TrafficLoad = 0
+	rTair, err := Run(tair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := fastConfig("ts")
+	ts.TrafficLoad = 0
+	rTS, err := Run(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(rTair.MeanDelay < rTS.MeanDelay/2) {
+		t.Fatalf("tair %.2fs not well below ts %.2fs at zero load",
+			rTair.MeanDelay, rTS.MeanDelay)
+	}
+}
+
+func TestResponseCoalescing(t *testing.T) {
+	// A hot tiny database makes simultaneous same-item requests common
+	// after each report; coalescing must cut response transmissions without
+	// losing answers or consistency.
+	mk := func(coalesce bool) (*Simulation, *RunStats) {
+		cfg := fastConfig("ts")
+		cfg.DB.NumItems = 40
+		cfg.DB.HotItems = 10
+		cfg.CacheCapacity = 10
+		cfg.DB.UpdateRate = 2 // hot items invalidated constantly
+		cfg.Workload.QueryRate = 0.3
+		cfg.Workload.Zipf = 1.2
+		cfg.CoalesceResponses = coalesce
+		sim, err := NewSimulation(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sim, sim.Execute()
+	}
+	simOff, off := mk(false)
+	simOn, on := mk(true)
+	if simOn.server.coalesced == 0 {
+		t.Fatal("nothing coalesced in a hot-item workload")
+	}
+	if on.StaleViolations != 0 {
+		t.Fatalf("coalescing broke consistency: %d", on.StaleViolations)
+	}
+	if !(simOn.server.responsesSent < simOff.server.responsesSent) {
+		t.Fatalf("coalescing did not reduce responses: %d vs %d",
+			simOn.server.responsesSent, simOff.server.responsesSent)
+	}
+	if float64(on.Answered) < 0.9*float64(off.Answered) {
+		t.Fatalf("coalescing lost answers: %d vs %d", on.Answered, off.Answered)
+	}
+	if !(on.AirtimeResponse < off.AirtimeResponse) {
+		t.Fatalf("coalescing did not save airtime: %.1f vs %.1f",
+			on.AirtimeResponse, off.AirtimeResponse)
+	}
+}
+
+func TestSingleRunDelayCI(t *testing.T) {
+	r, err := Run(fastConfig("ts"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(r.DelayCI95) || r.DelayCI95 <= 0 {
+		t.Fatalf("batch-means CI %v", r.DelayCI95)
+	}
+	// The CI must be meaningfully smaller than the mean it qualifies.
+	if r.DelayCI95 > r.MeanDelay {
+		t.Fatalf("CI %v wider than mean %v", r.DelayCI95, r.MeanDelay)
+	}
+}
+
+func TestRunStatsJSON(t *testing.T) {
+	r, err := Run(fastConfig("hybrid"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"Algorithm", "MeanDelay", "HitRatio", "OverheadBps", "StaleViolations"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("JSON missing %q", key)
+		}
+	}
+	// NaN-able fields must marshal even in a degenerate run.
+	empty := &RunStats{}
+	if _, err := json.Marshal(empty); err != nil {
+		t.Fatalf("empty stats failed to marshal: %v", err)
+	}
+}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/analytic"
+	"repro/internal/des"
+)
+
+// This file cross-checks the simulator against the closed-form results in
+// internal/analytic. Each test configures the simulation into a regime
+// where an idealized model applies and asserts convergence. These are the
+// reproduction's ground anchors: if the simulator cannot recover known
+// limits, its numbers in novel regimes mean nothing.
+
+// quietConfig is a lightly loaded configuration where queueing and loss are
+// negligible, so wait-time formulas dominate the delay.
+func quietConfig(algo string) Config {
+	cfg := DefaultConfig()
+	cfg.Algorithm = algo
+	cfg.NumClients = 40
+	cfg.TrafficLoad = 0.02
+	cfg.DB.UpdateRate = 0.05
+	cfg.Channel.MeanSNRdB = 30 // strong links: decode failures negligible
+	cfg.Channel.ShadowSigmaDB = 2
+	cfg.Horizon = 2400 * des.Second
+	cfg.Warmup = 600 * des.Second
+	return cfg
+}
+
+func TestValidationTSWait(t *testing.T) {
+	cfg := quietConfig("ts")
+	cfg.IR.Interval = 24 * des.Second
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// delay = wait-for-report (L/2) + miss-path cost. The miss path at this
+	// load is sub-second, so the mean must land on L/2 within ~15%.
+	want := analytic.TSWait(24)
+	if math.Abs(r.MeanDelay-want)/want > 0.15 {
+		t.Fatalf("TS delay %.2fs, analytic wait %.2fs", r.MeanDelay, want)
+	}
+}
+
+func TestValidationUIRWait(t *testing.T) {
+	cfg := quietConfig("uir")
+	cfg.IR.Interval = 24 * des.Second
+	cfg.IR.MiniPerInterval = 4
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := analytic.UIRWait(24, 4) // 3 s
+	// Allow the miss-path cost on top: the mean must sit in [want, want+2].
+	if r.MeanDelay < want*0.8 || r.MeanDelay > want+2 {
+		t.Fatalf("UIR delay %.2fs, analytic wait %.2fs", r.MeanDelay, want)
+	}
+	// And the UIR/TS ratio must track 1/m.
+	cfgTS := quietConfig("ts")
+	cfgTS.IR.Interval = 24 * des.Second
+	rTS, err := Run(cfgTS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := r.MeanDelay / rTS.MeanDelay
+	if ratio < 0.15 || ratio > 0.45 {
+		t.Fatalf("UIR/TS ratio %.2f, want ≈ 1/m = 0.25", ratio)
+	}
+}
+
+func TestValidationHitRatioBoundedByChe(t *testing.T) {
+	// With updates nearly frozen, the hit ratio approaches the Che LRU
+	// bound from below (invalidations and cold-start keep it under).
+	cfg := quietConfig("ts")
+	cfg.DB.UpdateRate = 0.001
+	cfg.Workload.QueryRate = 0.3 // warm the caches quickly
+	cfg.Horizon = 3600 * des.Second
+	cfg.Warmup = 1800 * des.Second
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := analytic.CheLRUHitRatio(cfg.DB.NumItems, cfg.CacheCapacity, cfg.Workload.Zipf)
+	if r.HitRatio > bound+0.02 {
+		t.Fatalf("hit %.3f exceeds Che bound %.3f", r.HitRatio, bound)
+	}
+	if r.HitRatio < bound*0.7 {
+		t.Fatalf("hit %.3f far below Che bound %.3f — caches not converging", r.HitRatio, bound)
+	}
+}
+
+func TestValidationReportSize(t *testing.T) {
+	// The measured report overhead rate must match the expected distinct
+	// item count per window times the per-item wire cost.
+	cfg := quietConfig("ts")
+	cfg.DB.UpdateRate = 2
+	cfg.IR.Interval = 20 * des.Second
+	cfg.IR.WindowReports = 2
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbc := cfg.DB
+	items := analytic.ExpectedReportItems(dbc.UpdateRate, 40, dbc.HotFraction,
+		dbc.HotItems, dbc.NumItems-dbc.HotItems)
+	wantBps := (items*64 + 112) / 20 // PerItemBits=64, HeaderBits=112, per L
+	got := r.OverheadBitsPerSec()
+	if math.Abs(got-wantBps)/wantBps > 0.15 {
+		t.Fatalf("overhead %.0f b/s, analytic %.0f b/s", got, wantBps)
+	}
+}
+
+func TestValidationRayleighReportLoss(t *testing.T) {
+	// Broadcast reports at the robust MCS are lost roughly when the
+	// instantaneous SNR is under the scheme's working threshold. The
+	// simulated loss rate must track the Rayleigh outage probability within
+	// a factor accounting for FSMC quantization and frame-length effects.
+	cfg := quietConfig("ts")
+	cfg.Channel.MeanSNRdB = 10
+	cfg.Channel.ShadowSigmaDB = 0 // isolate fading
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Working threshold of BPSK-1/2 for ~100-byte reports is ≈ 2 dB.
+	outage := analytic.RayleighOutage(radioFromDB(2), radioFromDB(10))
+	got := r.ReportLossRate()
+	if got < outage/3 || got > outage*3 {
+		t.Fatalf("report loss %.4f vs Rayleigh outage %.4f", got, outage)
+	}
+}
+
+func radioFromDB(db float64) float64 { return math.Pow(10, db/10) }
+
+func TestValidationEnergyFloor(t *testing.T) {
+	// Idle listening dominates energy; no scheme may report less than the
+	// radio-state floor, and a lean scheme should sit within 20% of it.
+	cfg := quietConfig("ts")
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	floor := analytic.DozeEnergyFloor(cfg.Energy.IdleW, cfg.Energy.DozeW,
+		cfg.Workload.QueryRate, 0)
+	if r.EnergyPerQuery < floor*0.99 {
+		t.Fatalf("energy %.2f below physical floor %.2f", r.EnergyPerQuery, floor)
+	}
+	if r.EnergyPerQuery > floor*1.2 {
+		t.Fatalf("energy %.2f far above floor %.2f at idle load", r.EnergyPerQuery, floor)
+	}
+}
+
+func TestValidationUplinkContention(t *testing.T) {
+	// The uplink's attempts-per-delivery must stay near 1 at trivial load
+	// and grow under synchronized request bursts. Note that invalidation
+	// reports synchronize the miss requests of all clients, so "trivial"
+	// means well under one pending query per report interval.
+	light := quietConfig("ts")
+	light.NumClients = 5
+	light.Workload.QueryRate = 0.005
+	rl, err := Run(light)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rl.UplinkSent > 0 {
+		ratio := float64(rl.UplinkAttempts) / float64(rl.UplinkSent)
+		if ratio > 1.3 {
+			t.Fatalf("light-load attempts/sent %.2f, want ≈ 1", ratio)
+		}
+	}
+	heavy := quietConfig("ts")
+	heavy.NumClients = 150
+	heavy.Workload.QueryRate = 0.3
+	heavy.DB.UpdateRate = 2 // low hit ratio → many requests per report
+	rh, err := Run(heavy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratioH := float64(rh.UplinkAttempts) / float64(rh.UplinkSent)
+	ratioL := float64(rl.UplinkAttempts) / float64(rl.UplinkSent)
+	if !(ratioH > ratioL) {
+		t.Fatalf("contention did not grow with load: %.2f vs %.2f", ratioH, ratioL)
+	}
+}

@@ -1,0 +1,227 @@
+// Package db implements the server-side database: a set of data items with a
+// stochastic hot/cold update process and the bounded update history that the
+// invalidation-report generators query.
+package db
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/rng"
+)
+
+// Item is one server data item. Version counts updates; UpdatedAt is the
+// simulation time of the latest update.
+type Item struct {
+	ID        int
+	Version   uint64
+	UpdatedAt des.Time
+	Bits      int // payload size when sent in a response
+}
+
+// Update is one entry of the update history: item id and update time.
+type Update struct {
+	ID int
+	At des.Time
+}
+
+// Config parameterizes the database and its update process.
+type Config struct {
+	NumItems int
+	ItemBits int // payload bits per item
+
+	// The update process is the classic hot/cold split: HotFraction of the
+	// aggregate UpdateRate lands uniformly on the first HotItems items, the
+	// rest uniformly on the cold remainder. Inter-update times are
+	// exponential.
+	UpdateRate  float64 // aggregate updates per second
+	HotItems    int
+	HotFraction float64
+
+	// Retention bounds how far back UpdatedSince can be asked; the owner
+	// sets it to the largest invalidation window any algorithm will use.
+	Retention des.Duration
+}
+
+// DefaultConfig mirrors the canonical setup of the invalidation-report
+// literature: 1000 items of 1 KB, updates concentrated on a 50-item hot set,
+// one update per five seconds in aggregate.
+func DefaultConfig() Config {
+	return Config{
+		NumItems:    1000,
+		ItemBits:    8192,
+		UpdateRate:  0.2,
+		HotItems:    50,
+		HotFraction: 0.8,
+		Retention:   10 * des.Minute,
+	}
+}
+
+// Validate reports the first configuration problem.
+func (c Config) Validate() error {
+	switch {
+	case c.NumItems <= 0:
+		return fmt.Errorf("db: NumItems %d", c.NumItems)
+	case c.ItemBits <= 0:
+		return fmt.Errorf("db: ItemBits %d", c.ItemBits)
+	case c.UpdateRate < 0:
+		return fmt.Errorf("db: negative UpdateRate %v", c.UpdateRate)
+	case c.HotItems < 0 || c.HotItems > c.NumItems:
+		return fmt.Errorf("db: HotItems %d of %d", c.HotItems, c.NumItems)
+	case c.HotFraction < 0 || c.HotFraction > 1:
+		return fmt.Errorf("db: HotFraction %v", c.HotFraction)
+	case c.HotItems == 0 && c.HotFraction > 0 && c.UpdateRate > 0:
+		return fmt.Errorf("db: hot updates with no hot items")
+	case c.HotItems == c.NumItems && c.HotFraction < 1 && c.UpdateRate > 0:
+		return fmt.Errorf("db: cold updates with no cold items")
+	case c.Retention <= 0:
+		return fmt.Errorf("db: Retention %v", c.Retention)
+	}
+	return nil
+}
+
+// DB is the server database. All methods must run on the simulation
+// goroutine.
+type DB struct {
+	cfg   Config
+	sch   *des.Scheduler
+	src   *rng.Source
+	items []Item
+
+	history []Update // ring-ish: append-only with front pruning
+	head    int
+
+	// per-call dedup scratch for UpdatedSince
+	gen     uint32
+	lastGen []uint32
+
+	updates  uint64
+	onUpdate func(id int, now des.Time)
+	running  bool
+}
+
+// New validates the config and builds the database.
+func New(sch *des.Scheduler, cfg Config, src *rng.Source) (*DB, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	d := &DB{
+		cfg:     cfg,
+		sch:     sch,
+		src:     src,
+		items:   make([]Item, cfg.NumItems),
+		lastGen: make([]uint32, cfg.NumItems),
+	}
+	for i := range d.items {
+		d.items[i] = Item{ID: i, Bits: cfg.ItemBits}
+	}
+	return d, nil
+}
+
+// Config reports the active configuration.
+func (d *DB) Config() Config { return d.cfg }
+
+// NumItems reports the database size.
+func (d *DB) NumItems() int { return d.cfg.NumItems }
+
+// Item returns a read-only view of item id.
+func (d *DB) Item(id int) Item { return d.items[id] }
+
+// Updates reports the total number of updates applied.
+func (d *DB) Updates() uint64 { return d.updates }
+
+// SetUpdateHook installs fn to observe every update.
+func (d *DB) SetUpdateHook(fn func(id int, now des.Time)) { d.onUpdate = fn }
+
+// Start launches the update process. Idempotent; a zero UpdateRate produces
+// no updates.
+func (d *DB) Start() {
+	if d.running || d.cfg.UpdateRate == 0 {
+		return
+	}
+	d.running = true
+	d.scheduleNext()
+}
+
+// Stop halts the update process.
+func (d *DB) Stop() { d.running = false }
+
+func (d *DB) scheduleNext() {
+	gap := des.FromSeconds(d.src.Exp(d.cfg.UpdateRate))
+	d.sch.After(gap, "db.update", func() {
+		if !d.running {
+			return
+		}
+		d.applyRandomUpdate()
+		d.scheduleNext()
+	})
+}
+
+func (d *DB) applyRandomUpdate() {
+	var id int
+	if d.src.Bool(d.cfg.HotFraction) {
+		id = d.src.Intn(d.cfg.HotItems)
+	} else {
+		id = d.cfg.HotItems + d.src.Intn(d.cfg.NumItems-d.cfg.HotItems)
+	}
+	d.ApplyUpdate(id)
+}
+
+// ApplyUpdate records an update to item id at the current time. Exposed so
+// tests and examples can drive deterministic update sequences.
+func (d *DB) ApplyUpdate(id int) {
+	now := d.sch.Now()
+	it := &d.items[id]
+	it.Version++
+	it.UpdatedAt = now
+	d.updates++
+	d.history = append(d.history, Update{ID: id, At: now})
+	d.prune(now)
+	if d.onUpdate != nil {
+		d.onUpdate(id, now)
+	}
+}
+
+// prune drops history entries older than the retention horizon.
+func (d *DB) prune(now des.Time) {
+	cut := now.Add(-des.Duration(d.cfg.Retention))
+	for d.head < len(d.history) && d.history[d.head].At < cut {
+		d.head++
+	}
+	if d.head > 4096 && d.head*2 >= len(d.history) {
+		n := copy(d.history, d.history[d.head:])
+		d.history = d.history[:n]
+		d.head = 0
+	}
+}
+
+// UpdatedSince returns, for each item updated in (since, now], one Update
+// carrying the item's LATEST update time in that range, appended to buf.
+// Asking beyond the retention horizon panics: the caller configured the
+// retention and a silent truncation would produce stale caches.
+func (d *DB) UpdatedSince(since des.Time, buf []Update) []Update {
+	now := d.sch.Now()
+	if horizon := now.Add(-des.Duration(d.cfg.Retention)); since < horizon && now > des.Time(d.cfg.Retention) {
+		panic(fmt.Sprintf("db: UpdatedSince(%v) beyond retention horizon %v", since, horizon))
+	}
+	d.gen++
+	// Scan newest-first so the first sighting of an id carries its latest
+	// update time.
+	for i := len(d.history) - 1; i >= d.head; i-- {
+		u := d.history[i]
+		if u.At <= since {
+			break
+		}
+		if d.lastGen[u.ID] == d.gen {
+			continue
+		}
+		d.lastGen[u.ID] = d.gen
+		buf = append(buf, u)
+	}
+	return buf
+}
+
+// CountUpdatedSince reports how many distinct items changed in (since, now].
+func (d *DB) CountUpdatedSince(since des.Time) int {
+	return len(d.UpdatedSince(since, nil))
+}

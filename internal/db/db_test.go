@@ -1,0 +1,231 @@
+package db
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/rng"
+)
+
+func newDB(t *testing.T, cfg Config, seed uint64) (*DB, *des.Scheduler) {
+	t.Helper()
+	sch := des.NewScheduler()
+	d, err := New(sch, cfg, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, sch
+}
+
+func TestConfigValidation(t *testing.T) {
+	good := DefaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mut := []func(*Config){
+		func(c *Config) { c.NumItems = 0 },
+		func(c *Config) { c.ItemBits = 0 },
+		func(c *Config) { c.UpdateRate = -1 },
+		func(c *Config) { c.HotItems = -1 },
+		func(c *Config) { c.HotItems = c.NumItems + 1 },
+		func(c *Config) { c.HotFraction = 1.5 },
+		func(c *Config) { c.HotItems = 0 },
+		func(c *Config) { c.HotItems = c.NumItems; c.HotFraction = 0.5 },
+		func(c *Config) { c.Retention = 0 },
+	}
+	for i, f := range mut {
+		c := DefaultConfig()
+		f(&c)
+		if c.Validate() == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestApplyUpdateVersions(t *testing.T) {
+	d, sch := newDB(t, DefaultConfig(), 1)
+	sch.After(des.Second, "u", func() { d.ApplyUpdate(7) })
+	sch.After(2*des.Second, "u", func() { d.ApplyUpdate(7) })
+	sch.RunAll()
+	it := d.Item(7)
+	if it.Version != 2 {
+		t.Fatalf("version %d", it.Version)
+	}
+	if it.UpdatedAt != des.Time(0).Add(2*des.Second) {
+		t.Fatalf("updatedAt %v", it.UpdatedAt)
+	}
+	if d.Item(8).Version != 0 {
+		t.Fatal("unrelated item mutated")
+	}
+	if d.Updates() != 2 {
+		t.Fatalf("updates %d", d.Updates())
+	}
+}
+
+func TestUpdateRateAndHotSkew(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.UpdateRate = 20
+	d, sch := newDB(t, cfg, 2)
+	d.Start()
+	d.Start() // idempotent
+	sch.Run(des.Time(0).Add(500 * des.Second))
+	got := float64(d.Updates()) / 500
+	if math.Abs(got-20)/20 > 0.1 {
+		t.Fatalf("update rate %v, want ~20", got)
+	}
+	// ~80% of updates must land on the 50 hot items.
+	hot := uint64(0)
+	for i := 0; i < cfg.NumItems; i++ {
+		if i < cfg.HotItems {
+			hot += d.Item(i).Version
+		}
+	}
+	frac := float64(hot) / float64(d.Updates())
+	if math.Abs(frac-0.8) > 0.03 {
+		t.Fatalf("hot fraction %v, want ~0.8", frac)
+	}
+}
+
+func TestStop(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.UpdateRate = 100
+	d, sch := newDB(t, cfg, 3)
+	d.Start()
+	sch.After(des.Second, "stop", d.Stop)
+	sch.Run(des.Time(0).Add(10 * des.Second))
+	n := d.Updates()
+	sch.Run(des.Time(0).Add(20 * des.Second))
+	if d.Updates() != n {
+		t.Fatal("updates after Stop")
+	}
+}
+
+func TestUpdateHook(t *testing.T) {
+	d, sch := newDB(t, DefaultConfig(), 4)
+	var ids []int
+	d.SetUpdateHook(func(id int, now des.Time) { ids = append(ids, id) })
+	sch.After(des.Second, "u", func() { d.ApplyUpdate(3); d.ApplyUpdate(9) })
+	sch.RunAll()
+	if len(ids) != 2 || ids[0] != 3 || ids[1] != 9 {
+		t.Fatalf("hook saw %v", ids)
+	}
+}
+
+func TestUpdatedSinceDedupesToLatest(t *testing.T) {
+	d, sch := newDB(t, DefaultConfig(), 5)
+	sch.After(1*des.Second, "u", func() { d.ApplyUpdate(5) })
+	sch.After(2*des.Second, "u", func() { d.ApplyUpdate(6) })
+	sch.After(3*des.Second, "u", func() { d.ApplyUpdate(5) })
+	sch.Run(des.Time(0).Add(4 * des.Second))
+	got := d.UpdatedSince(des.Time(0), nil)
+	if len(got) != 2 {
+		t.Fatalf("entries %v", got)
+	}
+	// Newest-first scan: item 5 first with its LATEST time.
+	if got[0].ID != 5 || got[0].At != des.Time(0).Add(3*des.Second) {
+		t.Fatalf("got[0] = %+v", got[0])
+	}
+	if got[1].ID != 6 {
+		t.Fatalf("got[1] = %+v", got[1])
+	}
+	// A later window excludes older updates.
+	got = d.UpdatedSince(des.Time(0).Add(2*des.Second), nil)
+	if len(got) != 1 || got[0].ID != 5 {
+		t.Fatalf("windowed %v", got)
+	}
+	// Boundary is exclusive at `since`.
+	got = d.UpdatedSince(des.Time(0).Add(3*des.Second), nil)
+	if len(got) != 0 {
+		t.Fatalf("exclusive boundary violated: %v", got)
+	}
+	if d.CountUpdatedSince(des.Time(0)) != 2 {
+		t.Fatal("CountUpdatedSince wrong")
+	}
+}
+
+func TestUpdatedSinceAppendsToBuf(t *testing.T) {
+	d, sch := newDB(t, DefaultConfig(), 6)
+	sch.After(des.Second, "u", func() { d.ApplyUpdate(1) })
+	sch.RunAll()
+	buf := make([]Update, 0, 8)
+	out := d.UpdatedSince(des.Time(0), buf)
+	if len(out) != 1 || cap(out) != 8 {
+		t.Fatalf("buffer reuse broken: len=%d cap=%d", len(out), cap(out))
+	}
+}
+
+func TestRetentionPruningAndPanic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.UpdateRate = 50
+	cfg.Retention = 10 * des.Second
+	d, sch := newDB(t, cfg, 7)
+	d.Start()
+	sch.Run(des.Time(0).Add(120 * des.Second))
+	// History must be bounded near rate × retention, not rate × horizon.
+	live := len(d.history) - d.head
+	if live > 50*10*2 {
+		t.Fatalf("history not pruned: %d live entries", live)
+	}
+	// Recent window works.
+	_ = d.UpdatedSince(sch.Now().Add(-5*des.Second), nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("beyond-retention query must panic")
+		}
+	}()
+	_ = d.UpdatedSince(des.Time(0), nil)
+}
+
+func TestUpdatedSinceWithinRetentionAtStart(t *testing.T) {
+	// Early in the run, asking since t=0 is fine even though 0 is "before"
+	// now-retention in unsigned arithmetic terms.
+	cfg := DefaultConfig()
+	cfg.Retention = des.Minute
+	d, sch := newDB(t, cfg, 8)
+	sch.After(des.Second, "u", func() { d.ApplyUpdate(0) })
+	sch.Run(des.Time(0).Add(2 * des.Second))
+	if got := d.UpdatedSince(des.Time(0), nil); len(got) != 1 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []uint64 {
+		cfg := DefaultConfig()
+		cfg.UpdateRate = 30
+		d, sch := newDB(t, cfg, 99)
+		d.Start()
+		sch.Run(des.Time(0).Add(100 * des.Second))
+		out := make([]uint64, cfg.NumItems)
+		for i := range out {
+			out[i] = d.Item(i).Version
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at item %d", i)
+		}
+	}
+}
+
+func BenchmarkUpdatedSince(b *testing.B) {
+	sch := des.NewScheduler()
+	cfg := DefaultConfig()
+	cfg.UpdateRate = 100
+	cfg.Retention = des.Minute
+	d, err := New(sch, cfg, rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	d.Start()
+	sch.Run(des.Time(0).Add(5 * des.Minute))
+	buf := make([]Update, 0, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = d.UpdatedSince(sch.Now().Add(-20*des.Second), buf[:0])
+	}
+}

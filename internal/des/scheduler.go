@@ -1,0 +1,272 @@
+package des
+
+import "fmt"
+
+// Event is a handle to a scheduled callback. It can be cancelled or
+// rescheduled until it fires.
+type Event struct {
+	at     Time
+	seq    uint64 // FIFO tie-break among events with equal time
+	index  int    // heap index, -1 when not queued
+	fn     func()
+	name   string
+	cancel bool
+}
+
+// Time reports when the event is (or was) scheduled to fire.
+func (e *Event) Time() Time { return e.at }
+
+// Name reports the optional debug label given at scheduling time.
+func (e *Event) Name() string { return e.name }
+
+// Pending reports whether the event is still queued to fire.
+func (e *Event) Pending() bool { return e != nil && e.index >= 0 && !e.cancel }
+
+// eventHeap is a binary min-heap ordered by (time, seq). It is hand-rolled
+// rather than using container/heap to avoid the interface indirection on the
+// simulator's hottest path.
+type eventHeap struct {
+	ev []*Event
+}
+
+func (h *eventHeap) len() int { return len(h.ev) }
+
+func (h *eventHeap) less(i, j int) bool {
+	a, b := h.ev[i], h.ev[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (h *eventHeap) swap(i, j int) {
+	h.ev[i], h.ev[j] = h.ev[j], h.ev[i]
+	h.ev[i].index = i
+	h.ev[j].index = j
+}
+
+func (h *eventHeap) push(e *Event) {
+	e.index = len(h.ev)
+	h.ev = append(h.ev, e)
+	h.up(e.index)
+}
+
+func (h *eventHeap) pop() *Event {
+	n := len(h.ev) - 1
+	h.swap(0, n)
+	e := h.ev[n]
+	h.ev[n] = nil
+	h.ev = h.ev[:n]
+	if n > 0 {
+		h.down(0)
+	}
+	e.index = -1
+	return e
+}
+
+// remove extracts the event at heap position i.
+func (h *eventHeap) remove(i int) {
+	n := len(h.ev) - 1
+	if i != n {
+		h.swap(i, n)
+	}
+	e := h.ev[n]
+	h.ev[n] = nil
+	h.ev = h.ev[:n]
+	if i < n {
+		h.down(i)
+		h.up(i)
+	}
+	e.index = -1
+}
+
+func (h *eventHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *eventHeap) down(i int) {
+	n := len(h.ev)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		least := l
+		if r := l + 1; r < n && h.less(r, l) {
+			least = r
+		}
+		if !h.less(least, i) {
+			return
+		}
+		h.swap(i, least)
+		i = least
+	}
+}
+
+// Scheduler owns the simulation clock and event queue.
+//
+// The zero value is not usable; construct with NewScheduler. All methods must
+// be called from a single goroutine (normally from within event callbacks).
+type Scheduler struct {
+	now       Time
+	seq       uint64
+	heap      eventHeap
+	executed  uint64
+	running   bool
+	stopped   bool
+	free      []*Event // recycled Event structs to reduce allocation churn
+	onAdvance func(Time)
+}
+
+// NewScheduler returns a scheduler with its clock at time zero.
+func NewScheduler() *Scheduler {
+	return &Scheduler{}
+}
+
+// Now reports the current simulation time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Executed reports how many events have fired so far.
+func (s *Scheduler) Executed() uint64 { return s.executed }
+
+// Pending reports how many events are queued.
+func (s *Scheduler) Pending() int { return s.heap.len() }
+
+// SetAdvanceHook installs fn to be called whenever the clock moves to a new
+// time, before any event at that time runs. It is used by components that
+// lazily bring state (e.g. fading processes) up to date.
+func (s *Scheduler) SetAdvanceHook(fn func(Time)) { s.onAdvance = fn }
+
+// At schedules fn to run at absolute time t. Scheduling in the past panics:
+// that is always a simulation bug, and silently clamping would hide it.
+//
+// Event structs are recycled: a handle must not be used after its event has
+// fired or been cancelled — it may alias a different, later event. Nil out
+// stored handles at those points (all in-tree callers do).
+func (s *Scheduler) At(t Time, name string, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("des: scheduling %q at %v before now %v", name, t, s.now))
+	}
+	var e *Event
+	if n := len(s.free); n > 0 {
+		e = s.free[n-1]
+		s.free = s.free[:n-1]
+		*e = Event{}
+	} else {
+		e = &Event{}
+	}
+	e.at = t
+	e.seq = s.seq
+	e.fn = fn
+	e.name = name
+	s.seq++
+	s.heap.push(e)
+	return e
+}
+
+// After schedules fn to run d after the current time.
+func (s *Scheduler) After(d Duration, name string, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("des: negative delay %v for %q", d, name))
+	}
+	return s.At(s.now.Add(d), name, fn)
+}
+
+// Cancel removes a pending event. Cancelling a nil or already-cancelled
+// handle is a no-op, so callers can cancel unconditionally — but a handle
+// whose event already FIRED may have been recycled for a different event
+// and must not be cancelled; drop handles when their event fires.
+func (s *Scheduler) Cancel(e *Event) {
+	if e == nil || e.index < 0 {
+		return
+	}
+	s.heap.remove(e.index)
+	e.cancel = true
+	s.free = append(s.free, e)
+}
+
+// Reschedule moves a pending event to a new absolute time, preserving its
+// callback. If the event already fired it is re-queued afresh.
+func (s *Scheduler) Reschedule(e *Event, t Time) *Event {
+	if e == nil {
+		return nil
+	}
+	fn, name := e.fn, e.name
+	s.Cancel(e)
+	return s.At(t, name, fn)
+}
+
+// Stop makes Run return after the currently executing event (if any)
+// finishes. Pending events remain queued.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// Run executes events in timestamp order until the queue is empty, the clock
+// would pass `until`, or Stop is called. It returns the final clock value.
+// The clock is left at min(until, time of last executed event); if the run
+// ends because the horizon was reached, the clock is set to the horizon so
+// time-weighted statistics cover the whole run.
+func (s *Scheduler) Run(until Time) Time {
+	if s.running {
+		panic("des: Run called re-entrantly")
+	}
+	s.running = true
+	s.stopped = false
+	defer func() { s.running = false }()
+
+	for !s.stopped && s.heap.len() > 0 {
+		next := s.heap.ev[0]
+		if next.at > until {
+			break
+		}
+		e := s.heap.pop()
+		if e.at != s.now {
+			s.now = e.at
+			if s.onAdvance != nil {
+				s.onAdvance(s.now)
+			}
+		}
+		fn := e.fn
+		e.fn = nil
+		s.free = append(s.free, e)
+		s.executed++
+		fn()
+	}
+	if !s.stopped && s.now < until && until != Never {
+		s.now = until
+		if s.onAdvance != nil {
+			s.onAdvance(s.now)
+		}
+	}
+	return s.now
+}
+
+// RunAll executes events until the queue drains or Stop is called.
+func (s *Scheduler) RunAll() Time { return s.Run(Never) }
+
+// Step executes exactly one event if one is pending and returns true,
+// otherwise returns false. Useful in tests.
+func (s *Scheduler) Step() bool {
+	if s.heap.len() == 0 {
+		return false
+	}
+	e := s.heap.pop()
+	if e.at != s.now {
+		s.now = e.at
+		if s.onAdvance != nil {
+			s.onAdvance(s.now)
+		}
+	}
+	fn := e.fn
+	e.fn = nil
+	s.free = append(s.free, e)
+	s.executed++
+	fn()
+	return true
+}

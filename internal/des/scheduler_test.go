@@ -1,0 +1,463 @@
+package des
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeArithmetic(t *testing.T) {
+	t0 := Time(0)
+	t1 := t0.Add(3 * Second)
+	if t1 != Time(3_000_000) {
+		t.Fatalf("Add: got %d", t1)
+	}
+	if d := t1.Sub(t0); d != 3*Second {
+		t.Fatalf("Sub: got %v", d)
+	}
+	if !t0.Before(t1) || !t1.After(t0) {
+		t.Fatal("Before/After inconsistent")
+	}
+	if Never.Add(Hour) != Never {
+		t.Fatal("Never must saturate")
+	}
+	if got := Time(1<<63 - 10).Add(Duration(100)); got != Never {
+		t.Fatalf("overflow must saturate to Never, got %d", got)
+	}
+}
+
+func TestFromSeconds(t *testing.T) {
+	cases := []struct {
+		s    float64
+		want Duration
+	}{
+		{1.0, Second},
+		{0.001, Millisecond},
+		{0.5, 500 * Millisecond},
+		{-1.5, -1500 * Millisecond},
+		{1e-6, Microsecond},
+	}
+	for _, c := range cases {
+		if got := FromSeconds(c.s); got != c.want {
+			t.Errorf("FromSeconds(%v) = %v, want %v", c.s, got, c.want)
+		}
+	}
+	if got := FromMillis(2.5); got != 2500*Microsecond {
+		t.Errorf("FromMillis(2.5) = %v", got)
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{0, "0s"},
+		{5 * Second, "5s"},
+		{1500 * Millisecond, "1.500s"},
+		{2 * Millisecond, "2.000ms"},
+		{7, "7µs"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int64(c.d), got, c.want)
+		}
+	}
+}
+
+func TestSchedulerOrdering(t *testing.T) {
+	s := NewScheduler()
+	var order []int
+	s.At(5*Second.asTime(), "c", func() { order = append(order, 3) })
+	s.At(1*Second.asTime(), "a", func() { order = append(order, 1) })
+	s.At(3*Second.asTime(), "b", func() { order = append(order, 2) })
+	s.RunAll()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("wrong order: %v", order)
+	}
+	if s.Now() != 5*Second.asTime() {
+		t.Fatalf("clock at %v", s.Now())
+	}
+}
+
+// asTime converts a Duration offset from zero into an absolute Time; test
+// helper only.
+func (d Duration) asTime() Time { return Time(0).Add(d) }
+
+func TestSchedulerFIFOAtEqualTimes(t *testing.T) {
+	s := NewScheduler()
+	var order []int
+	at := Time(42)
+	for i := 0; i < 100; i++ {
+		i := i
+		s.At(at, "e", func() { order = append(order, i) })
+	}
+	s.RunAll()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("FIFO violated at %d: %v", i, order[:i+1])
+		}
+	}
+}
+
+func TestSchedulerCancel(t *testing.T) {
+	s := NewScheduler()
+	fired := false
+	e := s.After(Second, "x", func() { fired = true })
+	s.Cancel(e)
+	s.Cancel(e) // double cancel is a no-op
+	s.Cancel(nil)
+	s.RunAll()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if e.Pending() {
+		t.Fatal("cancelled event still pending")
+	}
+}
+
+func TestSchedulerCancelFromCallback(t *testing.T) {
+	s := NewScheduler()
+	var fired []string
+	var later *Event
+	s.After(Second, "first", func() {
+		fired = append(fired, "first")
+		s.Cancel(later)
+	})
+	later = s.After(2*Second, "later", func() { fired = append(fired, "later") })
+	s.RunAll()
+	if len(fired) != 1 || fired[0] != "first" {
+		t.Fatalf("got %v", fired)
+	}
+}
+
+func TestSchedulerReschedule(t *testing.T) {
+	s := NewScheduler()
+	var at Time
+	e := s.After(Second, "x", func() { at = s.Now() })
+	e = s.Reschedule(e, Time(0).Add(5*Second))
+	s.RunAll()
+	if at != Time(0).Add(5*Second) {
+		t.Fatalf("fired at %v", at)
+	}
+	if e.Pending() {
+		t.Fatal("still pending after firing")
+	}
+}
+
+func TestSchedulerRunHorizon(t *testing.T) {
+	s := NewScheduler()
+	ran := 0
+	s.After(Second, "in", func() { ran++ })
+	s.After(10*Second, "out", func() { ran++ })
+	end := s.Run(Time(0).Add(5 * Second))
+	if ran != 1 {
+		t.Fatalf("ran %d events", ran)
+	}
+	if end != Time(0).Add(5*Second) {
+		t.Fatalf("clock must land on horizon, got %v", end)
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("pending %d", s.Pending())
+	}
+}
+
+func TestSchedulerStop(t *testing.T) {
+	s := NewScheduler()
+	ran := 0
+	s.After(Second, "a", func() { ran++; s.Stop() })
+	s.After(2*Second, "b", func() { ran++ })
+	s.RunAll()
+	if ran != 1 {
+		t.Fatalf("Stop did not halt the loop, ran=%d", ran)
+	}
+}
+
+func TestSchedulerPastPanics(t *testing.T) {
+	s := NewScheduler()
+	s.After(Second, "a", func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past must panic")
+			}
+		}()
+		s.At(Time(0), "past", func() {})
+	})
+	s.RunAll()
+}
+
+func TestSchedulerNegativeDelayPanics(t *testing.T) {
+	s := NewScheduler()
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delay must panic")
+		}
+	}()
+	s.After(-Second, "neg", func() {})
+}
+
+func TestSchedulerRecursiveScheduling(t *testing.T) {
+	s := NewScheduler()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < 1000 {
+			s.After(Millisecond, "tick", tick)
+		}
+	}
+	s.After(Millisecond, "tick", tick)
+	s.RunAll()
+	if n != 1000 {
+		t.Fatalf("n=%d", n)
+	}
+	if s.Now() != Time(0).Add(1000*Millisecond) {
+		t.Fatalf("clock %v", s.Now())
+	}
+}
+
+func TestAdvanceHook(t *testing.T) {
+	s := NewScheduler()
+	var hooks []Time
+	s.SetAdvanceHook(func(now Time) { hooks = append(hooks, now) })
+	at := Time(0).Add(Second)
+	s.At(at, "a", func() {})
+	s.At(at, "b", func() {}) // same time: hook must fire once
+	s.Run(Time(0).Add(2 * Second))
+	if len(hooks) != 2 {
+		t.Fatalf("hook fired %d times: %v", len(hooks), hooks)
+	}
+	if hooks[0] != at || hooks[1] != Time(0).Add(2*Second) {
+		t.Fatalf("hook times %v", hooks)
+	}
+}
+
+// TestHeapProperty drives the scheduler with random insertions and
+// cancellations and checks the dequeue order is globally sorted.
+func TestHeapProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := NewScheduler()
+		var times []Time
+		var handles []*Event
+		n := 200 + r.Intn(300)
+		for i := 0; i < n; i++ {
+			at := Time(r.Int63n(1_000_000))
+			e := s.At(at, "p", func() { times = append(times, s.Now()) })
+			handles = append(handles, e)
+		}
+		// Cancel a random quarter.
+		for i := range handles {
+			if r.Intn(4) == 0 {
+				s.Cancel(handles[i])
+			}
+		}
+		s.RunAll()
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStepAndCounters(t *testing.T) {
+	s := NewScheduler()
+	s.After(Second, "a", func() {})
+	s.After(2*Second, "b", func() {})
+	if s.Pending() != 2 {
+		t.Fatalf("pending %d", s.Pending())
+	}
+	if !s.Step() {
+		t.Fatal("Step returned false with pending events")
+	}
+	if s.Executed() != 1 {
+		t.Fatalf("executed %d", s.Executed())
+	}
+	if !s.Step() || s.Step() {
+		t.Fatal("Step count wrong")
+	}
+}
+
+func TestTickerBasic(t *testing.T) {
+	s := NewScheduler()
+	var ticks []Time
+	tk := NewTicker(s, Second, "tick", func(now Time) { ticks = append(ticks, now) })
+	tk.Start()
+	tk.Start() // idempotent
+	s.Run(Time(0).Add(5*Second + 500*Millisecond))
+	if len(ticks) != 5 {
+		t.Fatalf("got %d ticks: %v", len(ticks), ticks)
+	}
+	for i, at := range ticks {
+		want := Time(0).Add(Duration(i+1) * Second)
+		if at != want {
+			t.Fatalf("tick %d at %v, want %v", i, at, want)
+		}
+	}
+}
+
+func TestTickerStop(t *testing.T) {
+	s := NewScheduler()
+	n := 0
+	var tk *Ticker
+	tk = NewTicker(s, Second, "tick", func(Time) {
+		n++
+		if n == 3 {
+			tk.Stop()
+		}
+	})
+	tk.Start()
+	s.Run(Time(0).Add(10 * Second))
+	if n != 3 {
+		t.Fatalf("ticks after Stop: n=%d", n)
+	}
+}
+
+func TestTickerSetPeriod(t *testing.T) {
+	s := NewScheduler()
+	var ticks []Time
+	tk := NewTicker(s, 4*Second, "tick", func(now Time) { ticks = append(ticks, now) })
+	tk.Start()
+	// Shrink the period before the first tick: it should move earlier.
+	s.After(Second, "shrink", func() { tk.SetPeriod(2 * Second) })
+	s.Run(Time(0).Add(7 * Second))
+	// First tick was due at 4s, re-armed to 0+2=2s; then 4s, 6s.
+	want := []Time{Time(0).Add(2 * Second), Time(0).Add(4 * Second), Time(0).Add(6 * Second)}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("ticks %v, want %v", ticks, want)
+		}
+	}
+	if tk.Period() != 2*Second {
+		t.Fatalf("period %v", tk.Period())
+	}
+}
+
+func TestTickerGrowPeriodNotBeforeNow(t *testing.T) {
+	s := NewScheduler()
+	var ticks []Time
+	tk := NewTicker(s, Second, "tick", func(now Time) { ticks = append(ticks, now) })
+	tk.Start()
+	// At t=2.5s the next tick is due at 3s (armed at 2s). Growing period to
+	// 10s moves it to 2s+10s=12s.
+	s.At(Time(0).Add(2500*Millisecond), "grow", func() { tk.SetPeriod(10 * Second) })
+	s.Run(Time(0).Add(13 * Second))
+	want := []Time{
+		Time(0).Add(1 * Second), Time(0).Add(2 * Second), Time(0).Add(12 * Second),
+	}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("tick %d = %v, want %v", i, ticks[i], want[i])
+		}
+	}
+}
+
+func BenchmarkSchedulerChurn(b *testing.B) {
+	s := NewScheduler()
+	var next func()
+	i := 0
+	next = func() {
+		i++
+		if i < b.N {
+			s.After(Duration(1+i%97), "bench", next)
+		}
+	}
+	b.ReportAllocs()
+	s.After(1, "bench", next)
+	s.RunAll()
+}
+
+func TestEventName(t *testing.T) {
+	s := NewScheduler()
+	e := s.After(Second, "labelled", func() {})
+	if e.Name() != "labelled" {
+		t.Fatalf("name %q", e.Name())
+	}
+	if e.Time() != Time(0).Add(Second) {
+		t.Fatalf("time %v", e.Time())
+	}
+}
+
+func TestDurationStd(t *testing.T) {
+	if (1500 * Millisecond).Std().Seconds() != 1.5 {
+		t.Fatal("Std conversion wrong")
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	if Never.String() != "never" {
+		t.Fatalf("Never prints %q", Never.String())
+	}
+	if Time(0).Add(1500*Millisecond).String() != "t=1.500000s" {
+		t.Fatalf("Time prints %q", Time(0).Add(1500*Millisecond).String())
+	}
+}
+
+func TestRescheduleNil(t *testing.T) {
+	s := NewScheduler()
+	if s.Reschedule(nil, Time(5)) != nil {
+		t.Fatal("reschedule nil must be nil")
+	}
+}
+
+func TestNewTickerPanics(t *testing.T) {
+	s := NewScheduler()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero period accepted")
+		}
+	}()
+	NewTicker(s, 0, "bad", func(Time) {})
+}
+
+func TestTickerSetPeriodPanicsAndNoops(t *testing.T) {
+	s := NewScheduler()
+	tk := NewTicker(s, Second, "t", func(Time) {})
+	tk.SetPeriod(Second)     // same period: no-op
+	tk.SetPeriod(2 * Second) // inactive: stored only
+	if tk.Period() != 2*Second {
+		t.Fatal("period not stored while inactive")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-positive period accepted")
+		}
+	}()
+	tk.SetPeriod(0)
+}
+
+func TestTickerStopOrdering(t *testing.T) {
+	// A Stop scheduled at the same timestamp as a pending tick runs AFTER
+	// it (FIFO: the tick was armed first), so exactly one tick fires; a
+	// Stop scheduled before the tick suppresses it entirely.
+	s := NewScheduler()
+	n := 0
+	tk := NewTicker(s, Second, "t", func(Time) { n++ })
+	tk.Start()
+	s.At(Time(0).Add(Second), "stop", func() { tk.Stop() })
+	s.Run(Time(0).Add(3 * Second))
+	if n != 1 {
+		t.Fatalf("same-timestamp stop: %d ticks", n)
+	}
+
+	s2 := NewScheduler()
+	m := 0
+	tk2 := NewTicker(s2, Second, "t", func(Time) { m++ })
+	tk2.Start()
+	s2.At(Time(0).Add(500*Millisecond), "stop", func() { tk2.Stop() })
+	s2.Run(Time(0).Add(3 * Second))
+	if m != 0 {
+		t.Fatalf("early stop: %d ticks", m)
+	}
+}

@@ -1,0 +1,76 @@
+package des
+
+// Ticker repeatedly invokes a callback at a fixed period. The period can be
+// changed between ticks; components such as the traffic-aware invalidation
+// server use that to adapt their report interval at runtime.
+type Ticker struct {
+	s      *Scheduler
+	period Duration
+	name   string
+	fn     func(Time)
+	ev     *Event
+	active bool
+}
+
+// NewTicker creates a ticker that will call fn(now) every period, with the
+// first tick one period from now. Call Start to arm it.
+func NewTicker(s *Scheduler, period Duration, name string, fn func(Time)) *Ticker {
+	if period <= 0 {
+		panic("des: ticker period must be positive")
+	}
+	return &Ticker{s: s, period: period, name: name, fn: fn}
+}
+
+// Start arms the ticker. Starting an active ticker is a no-op.
+func (t *Ticker) Start() {
+	if t.active {
+		return
+	}
+	t.active = true
+	t.arm()
+}
+
+// Stop cancels the pending tick. The ticker can be restarted.
+func (t *Ticker) Stop() {
+	t.active = false
+	t.s.Cancel(t.ev)
+	t.ev = nil
+}
+
+// Period reports the current tick period.
+func (t *Ticker) Period() Duration { return t.period }
+
+// SetPeriod changes the tick period. If the ticker is active, the pending
+// tick is re-armed to fire period after the previous tick (or now, whichever
+// is later), so shrinking the period takes effect immediately.
+func (t *Ticker) SetPeriod(period Duration) {
+	if period <= 0 {
+		panic("des: ticker period must be positive")
+	}
+	if period == t.period {
+		return
+	}
+	prev := t.period
+	t.period = period
+	if !t.active || t.ev == nil {
+		return
+	}
+	// The pending tick was scheduled prev after the last tick; shift it.
+	last := t.ev.Time().Add(Duration(-int64(prev)))
+	next := last.Add(period)
+	if next < t.s.Now() {
+		next = t.s.Now()
+	}
+	t.ev = t.s.Reschedule(t.ev, next)
+}
+
+func (t *Ticker) arm() {
+	t.ev = t.s.After(t.period, t.name, func() {
+		if !t.active {
+			return
+		}
+		now := t.s.Now()
+		t.arm() // arm first so fn may call SetPeriod/Stop
+		t.fn(now)
+	})
+}

@@ -1,0 +1,108 @@
+// Package des implements a deterministic discrete-event simulation engine.
+//
+// The engine is deliberately single-threaded: a discrete-event simulation
+// advances a logical clock through a totally ordered event list, and any
+// intra-run parallelism would either break determinism or require a
+// conservative/optimistic PDES protocol that this workload does not need.
+// Parallelism in this repository lives one level up, across independent
+// replications (see internal/experiment).
+//
+// Time is represented as an integer number of microseconds to keep event
+// ordering exact; floating-point clocks accumulate rounding drift that makes
+// replications irreproducible across platforms.
+package des
+
+import (
+	"fmt"
+	"time"
+)
+
+// Time is an absolute simulation time in microseconds since the start of the
+// run. The zero Time is the beginning of the simulation.
+type Time int64
+
+// Duration is a span of simulation time in microseconds.
+type Duration int64
+
+// Common durations.
+const (
+	Microsecond Duration = 1
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+	Minute               = 60 * Second
+	Hour                 = 60 * Minute
+)
+
+// Never is a sentinel Time larger than any reachable simulation time. It is
+// used to express "no deadline".
+const Never Time = 1<<63 - 1
+
+// FromSeconds converts a floating-point number of seconds to a Duration,
+// rounding to the nearest microsecond.
+func FromSeconds(s float64) Duration {
+	if s < 0 {
+		return Duration(s*1e6 - 0.5)
+	}
+	return Duration(s*1e6 + 0.5)
+}
+
+// FromMillis converts a floating-point number of milliseconds to a Duration.
+func FromMillis(ms float64) Duration { return FromSeconds(ms / 1e3) }
+
+// Seconds reports the duration as a floating-point number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) / 1e6 }
+
+// Millis reports the duration as a floating-point number of milliseconds.
+func (d Duration) Millis() float64 { return float64(d) / 1e3 }
+
+// Std converts a simulation Duration to a time.Duration.
+func (d Duration) Std() time.Duration { return time.Duration(d) * time.Microsecond }
+
+// String formats the duration with adaptive units.
+func (d Duration) String() string {
+	switch {
+	case d == 0:
+		return "0s"
+	case d%Second == 0:
+		return fmt.Sprintf("%ds", int64(d/Second))
+	case d >= Second || d <= -Second:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	case d >= Millisecond || d <= -Millisecond:
+		return fmt.Sprintf("%.3fms", d.Millis())
+	default:
+		return fmt.Sprintf("%dµs", int64(d))
+	}
+}
+
+// Add returns the time d after t. It saturates at Never instead of wrapping.
+func (t Time) Add(d Duration) Time {
+	if t == Never {
+		return Never
+	}
+	s := Time(int64(t) + int64(d))
+	if d > 0 && s < t {
+		return Never
+	}
+	return s
+}
+
+// Sub returns the duration from u to t (t - u).
+func (t Time) Sub(u Time) Duration { return Duration(int64(t) - int64(u)) }
+
+// Seconds reports the absolute time as floating-point seconds from the run
+// start.
+func (t Time) Seconds() float64 { return float64(t) / 1e6 }
+
+// Before reports whether t is strictly earlier than u.
+func (t Time) Before(u Time) bool { return t < u }
+
+// After reports whether t is strictly later than u.
+func (t Time) After(u Time) bool { return t > u }
+
+// String formats the absolute time in seconds.
+func (t Time) String() string {
+	if t == Never {
+		return "never"
+	}
+	return fmt.Sprintf("t=%.6fs", t.Seconds())
+}

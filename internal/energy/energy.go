@@ -1,0 +1,72 @@
+// Package energy accounts client radio energy across the four classic power
+// states (transmit, receive, idle-listening, doze), the standard cost model
+// of the wireless data-caching literature.
+package energy
+
+import "fmt"
+
+// Model holds the per-state power draw in watts.
+type Model struct {
+	TxW   float64
+	RxW   float64
+	IdleW float64
+	DozeW float64
+}
+
+// DefaultModel returns WaveLAN-class figures (the numbers every paper of the
+// period used): 1.4 W transmit, 1.0 W receive, 0.83 W idle, 0.05 W doze.
+func DefaultModel() Model {
+	return Model{TxW: 1.4, RxW: 1.0, IdleW: 0.83, DozeW: 0.05}
+}
+
+// Validate reports the first problem with the model.
+func (m Model) Validate() error {
+	if m.TxW < 0 || m.RxW < 0 || m.IdleW < 0 || m.DozeW < 0 {
+		return fmt.Errorf("energy: negative power in %+v", m)
+	}
+	return nil
+}
+
+// Meter accumulates one client's radio-state time. Idle time is derived:
+// whatever part of the elapsed run was not transmit, receive, or doze.
+type Meter struct {
+	model Model
+	txSec float64
+	rxSec float64
+	dzSec float64
+}
+
+// NewMeter builds a meter over the given model.
+func NewMeter(model Model) *Meter { return &Meter{model: model} }
+
+// AddTx charges transmit airtime in seconds.
+func (m *Meter) AddTx(sec float64) { m.txSec += sec }
+
+// AddRx charges receive airtime in seconds.
+func (m *Meter) AddRx(sec float64) { m.rxSec += sec }
+
+// AddDoze charges doze time in seconds.
+func (m *Meter) AddDoze(sec float64) { m.dzSec += sec }
+
+// TxSec reports accumulated transmit seconds.
+func (m *Meter) TxSec() float64 { return m.txSec }
+
+// RxSec reports accumulated receive seconds.
+func (m *Meter) RxSec() float64 { return m.rxSec }
+
+// DozeSec reports accumulated doze seconds.
+func (m *Meter) DozeSec() float64 { return m.dzSec }
+
+// Energy reports total joules over an elapsed run of the given length in
+// seconds; time not attributed to tx/rx/doze is billed as idle listening.
+func (m *Meter) Energy(elapsedSec float64) float64 {
+	idle := elapsedSec - m.txSec - m.rxSec - m.dzSec
+	if idle < 0 {
+		idle = 0
+	}
+	return m.model.TxW*m.txSec + m.model.RxW*m.rxSec +
+		m.model.DozeW*m.dzSec + m.model.IdleW*idle
+}
+
+// Reset zeroes the accumulated state (used at the warmup boundary).
+func (m *Meter) Reset() { m.txSec, m.rxSec, m.dzSec = 0, 0, 0 }

@@ -1,0 +1,60 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestModelValidate(t *testing.T) {
+	if err := DefaultModel().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultModel()
+	bad.RxW = -1
+	if bad.Validate() == nil {
+		t.Fatal("negative power accepted")
+	}
+}
+
+func TestMeterAccounting(t *testing.T) {
+	m := NewMeter(Model{TxW: 2, RxW: 1, IdleW: 0.5, DozeW: 0.1})
+	m.AddTx(3)
+	m.AddRx(5)
+	m.AddDoze(10)
+	if m.TxSec() != 3 || m.RxSec() != 5 || m.DozeSec() != 10 {
+		t.Fatal("state seconds wrong")
+	}
+	// elapsed 100: idle = 100−3−5−10 = 82.
+	want := 2*3.0 + 1*5.0 + 0.1*10 + 0.5*82
+	if got := m.Energy(100); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("energy %v, want %v", got, want)
+	}
+}
+
+func TestMeterIdleClamp(t *testing.T) {
+	m := NewMeter(Model{TxW: 1, RxW: 1, IdleW: 100, DozeW: 0})
+	m.AddTx(10)
+	// elapsed shorter than attributed time: idle clamps to zero rather than
+	// crediting negative idle energy.
+	if got := m.Energy(5); got != 10 {
+		t.Fatalf("clamped energy %v", got)
+	}
+}
+
+func TestMeterZero(t *testing.T) {
+	m := NewMeter(DefaultModel())
+	if got := m.Energy(60); math.Abs(got-DefaultModel().IdleW*60) > 1e-12 {
+		t.Fatalf("pure idle energy %v", got)
+	}
+}
+
+func TestMeterReset(t *testing.T) {
+	m := NewMeter(DefaultModel())
+	m.AddTx(5)
+	m.AddRx(5)
+	m.AddDoze(5)
+	m.Reset()
+	if m.TxSec() != 0 || m.RxSec() != 0 || m.DozeSec() != 0 {
+		t.Fatal("Reset incomplete")
+	}
+}

@@ -1,0 +1,278 @@
+// Package experiment defines the reconstructed evaluation matrix (figures
+// F1–F10, tables T1–T3, ablations and extensions A1–A6) and the harness that regenerates
+// any of them: sweep definitions, a cell-parallel runner, and table/CSV
+// renderers. EXPERIMENTS.md records the expected versus measured shapes.
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/des"
+)
+
+// Metric extracts one column from an aggregated cell.
+type Metric struct {
+	Name string // short column label, also the CSV header
+	Unit string
+	Get  func(*core.Aggregate) (mean, ci float64)
+}
+
+// Standard metric extractors.
+var (
+	MetricDelay = Metric{"delay", "s", func(a *core.Aggregate) (float64, float64) {
+		return a.MeanDelay.Mean(), a.MeanDelay.CI95()
+	}}
+	MetricP95 = Metric{"p95", "s", func(a *core.Aggregate) (float64, float64) {
+		return a.P95Delay.Mean(), a.P95Delay.CI95()
+	}}
+	MetricHit = Metric{"hit", "ratio", func(a *core.Aggregate) (float64, float64) {
+		return a.HitRatio.Mean(), a.HitRatio.CI95()
+	}}
+	MetricUplink = Metric{"uplink", "req/ans", func(a *core.Aggregate) (float64, float64) {
+		return a.UplinkPerAns.Mean(), a.UplinkPerAns.CI95()
+	}}
+	MetricOverhead = Metric{"overhead", "b/s", func(a *core.Aggregate) (float64, float64) {
+		return a.OverheadBps.Mean(), a.OverheadBps.CI95()
+	}}
+	MetricEnergy = Metric{"energy", "J/query", func(a *core.Aggregate) (float64, float64) {
+		return a.EnergyPerQuery.Mean(), a.EnergyPerQuery.CI95()
+	}}
+	MetricUtil = Metric{"util", "frac", func(a *core.Aggregate) (float64, float64) {
+		return a.DownlinkUtil.Mean(), a.DownlinkUtil.CI95()
+	}}
+	MetricLoss = Metric{"rpt-loss", "frac", func(a *core.Aggregate) (float64, float64) {
+		return a.ReportLoss.Mean(), a.ReportLoss.CI95()
+	}}
+	MetricDrops = Metric{"drops", "/client/h", func(a *core.Aggregate) (float64, float64) {
+		return a.CacheDropsRate.Mean(), a.CacheDropsRate.CI95()
+	}}
+)
+
+// Point is one x-axis value of a sweep.
+type Point struct {
+	X      float64
+	Label  string
+	Mutate func(*core.Config)
+}
+
+// Experiment is one figure or table of the evaluation.
+type Experiment struct {
+	ID         string
+	Title      string
+	XLabel     string
+	Algorithms []string
+	Points     []Point
+	Metrics    []Metric
+
+	// Scale multiplies the default horizon; heavy sweeps use < 1.
+	Scale float64
+}
+
+// Cell is the aggregated outcome of one (point, algorithm) pair.
+type Cell struct {
+	Point Point
+	Algo  string
+	Agg   *core.Aggregate
+	Err   error
+}
+
+// Result is a completed experiment.
+type Result struct {
+	Exp   *Experiment
+	Reps  int
+	Cells []Cell
+}
+
+// Options configures a run of the harness.
+type Options struct {
+	Base     core.Config // base configuration each point mutates
+	Reps     int
+	Workers  int // concurrent cells; ≤0 means GOMAXPROCS
+	Progress func(done, total int, cell string)
+}
+
+// DefaultBase returns the evaluation's base configuration.
+func DefaultBase() core.Config { return core.DefaultConfig() }
+
+// Run executes the experiment: every (point, algorithm) cell with Reps
+// replications, cells in parallel.
+func (e *Experiment) Run(opt Options) (*Result, error) {
+	if opt.Reps <= 0 {
+		opt.Reps = 5
+	}
+	algos := e.Algorithms
+	if len(algos) == 0 {
+		algos = append([]string(nil), allAlgos...)
+	}
+	type job struct {
+		idx   int
+		point Point
+		algo  string
+	}
+	var jobs []job
+	for _, p := range e.Points {
+		for _, a := range algos {
+			jobs = append(jobs, job{len(jobs), p, a})
+		}
+	}
+	res := &Result{Exp: e, Reps: opt.Reps, Cells: make([]Cell, len(jobs))}
+
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = 8
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	work := make(chan job)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	done := 0
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range work {
+				cfg := opt.Base
+				if e.Scale > 0 && e.Scale != 1 {
+					cfg.Horizon = des.Duration(float64(cfg.Horizon) * e.Scale)
+					if cfg.Warmup >= cfg.Horizon {
+						cfg.Warmup = cfg.Horizon / 4
+					}
+				}
+				j.point.Mutate(&cfg)
+				cfg.Algorithm = j.algo
+				agg, err := core.RunReplications(cfg, opt.Reps, 1)
+				res.Cells[j.idx] = Cell{Point: j.point, Algo: j.algo, Agg: agg, Err: err}
+				if opt.Progress != nil {
+					mu.Lock()
+					done++
+					opt.Progress(done, len(jobs), fmt.Sprintf("%s %s x=%s", e.ID, j.algo, j.point.Label))
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for _, j := range jobs {
+		work <- j
+	}
+	close(work)
+	wg.Wait()
+
+	for _, c := range res.Cells {
+		if c.Err != nil {
+			return nil, fmt.Errorf("experiment %s (%s, x=%s): %w", e.ID, c.Algo, c.Point.Label, c.Err)
+		}
+	}
+	return res, nil
+}
+
+// algos lists the algorithms present in the result, in canonical order.
+func (r *Result) algos() []string {
+	seen := map[string]int{}
+	var out []string
+	for _, c := range r.Cells {
+		if _, ok := seen[c.Algo]; !ok {
+			seen[c.Algo] = len(out)
+			out = append(out, c.Algo)
+		}
+	}
+	return out
+}
+
+// cell finds the cell for (label, algo).
+func (r *Result) cell(label, algo string) *Cell {
+	for i := range r.Cells {
+		if r.Cells[i].Point.Label == label && r.Cells[i].Algo == algo {
+			return &r.Cells[i]
+		}
+	}
+	return nil
+}
+
+// labels lists the point labels in sweep order.
+func (r *Result) labels() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, c := range r.Cells {
+		if !seen[c.Point.Label] {
+			seen[c.Point.Label] = true
+			out = append(out, c.Point.Label)
+		}
+	}
+	return out
+}
+
+// Table renders one aligned text block per metric: rows are sweep points,
+// columns are algorithms, entries mean±ci.
+func (r *Result) Table() string {
+	var b strings.Builder
+	algos := r.algos()
+	fmt.Fprintf(&b, "== %s: %s (reps=%d) ==\n", r.Exp.ID, r.Exp.Title, r.Reps)
+	for _, m := range r.Exp.Metrics {
+		fmt.Fprintf(&b, "-- %s [%s] --\n", m.Name, m.Unit)
+		fmt.Fprintf(&b, "%-12s", r.Exp.XLabel)
+		for _, a := range algos {
+			fmt.Fprintf(&b, " %16s", a)
+		}
+		b.WriteByte('\n')
+		for _, label := range r.labels() {
+			fmt.Fprintf(&b, "%-12s", label)
+			for _, a := range algos {
+				c := r.cell(label, a)
+				mean, ci := m.Get(c.Agg)
+				fmt.Fprintf(&b, " %9s±%-6s", fmtG(mean), fmtG(ci))
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+func fmtG(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	switch {
+	case v == 0:
+		return "0"
+	case math.Abs(v) >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 1:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// CSV renders the result as long-form CSV: one row per (x, algo) with one
+// mean and ci column pair per metric.
+func (r *Result) CSV() string {
+	var b strings.Builder
+	b.WriteString("experiment,x,label,algorithm")
+	for _, m := range r.Exp.Metrics {
+		fmt.Fprintf(&b, ",%s_mean,%s_ci95", m.Name, m.Name)
+	}
+	b.WriteByte('\n')
+	cells := append([]Cell(nil), r.Cells...)
+	sort.SliceStable(cells, func(i, j int) bool {
+		if cells[i].Point.X != cells[j].Point.X {
+			return cells[i].Point.X < cells[j].Point.X
+		}
+		return cells[i].Algo < cells[j].Algo
+	})
+	for _, c := range cells {
+		fmt.Fprintf(&b, "%s,%g,%s,%s", r.Exp.ID, c.Point.X, c.Point.Label, c.Algo)
+		for _, m := range r.Exp.Metrics {
+			mean, ci := m.Get(c.Agg)
+			fmt.Fprintf(&b, ",%g,%g", mean, ci)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

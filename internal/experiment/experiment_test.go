@@ -1,0 +1,189 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/des"
+)
+
+// tinyBase shrinks the base config so harness tests run in milliseconds.
+func tinyBase() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.NumClients = 10
+	cfg.DB.NumItems = 100
+	cfg.CacheCapacity = 30
+	cfg.Horizon = 300 * des.Second
+	cfg.Warmup = 60 * des.Second
+	return cfg
+}
+
+func TestRegistryWellFormed(t *testing.T) {
+	reg := Registry()
+	if len(reg) < 13 {
+		t.Fatalf("registry has %d experiments", len(reg))
+	}
+	seen := map[string]bool{}
+	for _, e := range reg {
+		if e.ID == "" || e.Title == "" || e.XLabel == "" {
+			t.Errorf("experiment %q missing metadata", e.ID)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+		if len(e.Points) == 0 || len(e.Metrics) == 0 {
+			t.Errorf("%s: empty points or metrics", e.ID)
+		}
+		labels := map[string]bool{}
+		for _, p := range e.Points {
+			if p.Mutate == nil {
+				t.Errorf("%s: nil mutate", e.ID)
+			}
+			if labels[p.Label] {
+				t.Errorf("%s: duplicate point label %q", e.ID, p.Label)
+			}
+			labels[p.Label] = true
+		}
+	}
+	for _, id := range []string{"F1", "F10", "T1", "T3", "A1", "A2"} {
+		if ByID(id) == nil {
+			t.Errorf("ByID(%s) nil", id)
+		}
+	}
+	if ByID("nope") != nil {
+		t.Error("ByID accepted unknown id")
+	}
+	if len(IDs()) != len(reg) {
+		t.Error("IDs length mismatch")
+	}
+}
+
+func TestRegistryPointsProduceValidConfigs(t *testing.T) {
+	// Every point of every experiment must mutate the base into a config
+	// that passes validation for every algorithm it runs.
+	for _, e := range Registry() {
+		algos := e.Algorithms
+		if len(algos) == 0 {
+			algos = allAlgos
+		}
+		for _, p := range e.Points {
+			for _, a := range algos {
+				cfg := DefaultBase()
+				p.Mutate(&cfg)
+				cfg.Algorithm = a
+				if err := cfg.Validate(); err != nil {
+					t.Errorf("%s x=%s algo=%s: %v", e.ID, p.Label, a, err)
+				}
+			}
+		}
+	}
+}
+
+func TestRunSmallExperiment(t *testing.T) {
+	exp := &Experiment{
+		ID: "X1", Title: "test sweep", XLabel: "load",
+		Algorithms: []string{"ts", "tair"},
+		Points: points([]float64{0, 0.4}, gLabel,
+			func(c *core.Config, x float64) { c.TrafficLoad = x }),
+		Metrics: []Metric{MetricDelay, MetricHit},
+	}
+	var progressCalls int
+	res, err := exp.Run(Options{
+		Base: tinyBase(), Reps: 2, Workers: 4,
+		Progress: func(done, total int, cell string) {
+			progressCalls++
+			if done < 1 || done > total || total != 4 {
+				t.Errorf("progress %d/%d", done, total)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 4 {
+		t.Fatalf("cells %d", len(res.Cells))
+	}
+	if progressCalls != 4 {
+		t.Fatalf("progress calls %d", progressCalls)
+	}
+	for _, c := range res.Cells {
+		if c.Agg == nil || c.Agg.Reps != 2 {
+			t.Fatalf("cell %s/%s not aggregated", c.Algo, c.Point.Label)
+		}
+	}
+
+	table := res.Table()
+	for _, want := range []string{"X1", "delay", "hit", "ts", "tair", "0.4"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+	csv := res.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 5 { // header + 4 cells
+		t.Fatalf("csv lines %d:\n%s", len(lines), csv)
+	}
+	if !strings.HasPrefix(lines[0], "experiment,x,label,algorithm,delay_mean,delay_ci95,hit_mean,hit_ci95") {
+		t.Fatalf("csv header %q", lines[0])
+	}
+}
+
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	exp := &Experiment{
+		ID: "X2", Title: "det", XLabel: "u",
+		Algorithms: []string{"ts"},
+		Points: points([]float64{0.1, 1}, gLabel,
+			func(c *core.Config, x float64) { c.DB.UpdateRate = x }),
+		Metrics: []Metric{MetricDelay},
+	}
+	run := func(workers int) string {
+		res, err := exp.Run(Options{Base: tinyBase(), Reps: 2, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.CSV()
+	}
+	if run(1) != run(4) {
+		t.Fatal("worker count changed results")
+	}
+}
+
+func TestScaleShrinksHorizon(t *testing.T) {
+	exp := &Experiment{
+		ID: "X3", Title: "scaled", XLabel: "n",
+		Algorithms: []string{"ts"},
+		Scale:      0.5,
+		Points:     []Point{{X: 1, Label: "p", Mutate: func(c *core.Config) {}}},
+		Metrics:    []Metric{MetricDelay},
+	}
+	base := tinyBase()
+	res, err := exp.Run(Options{Base: base, Reps: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSec := (des.Duration(float64(base.Horizon)*0.5) - base.Warmup).Seconds()
+	got := res.Cells[0].Agg.Runs[0].MeasuredSec
+	if got != wantSec {
+		t.Fatalf("measured %v, want %v", got, wantSec)
+	}
+}
+
+func TestDefaultAlgorithmsAll(t *testing.T) {
+	exp := &Experiment{
+		ID: "X4", Title: "all", XLabel: "n",
+		Points:  []Point{{X: 1, Label: "p", Mutate: func(c *core.Config) {}}},
+		Metrics: []Metric{MetricDelay},
+	}
+	res, err := exp.Run(Options{Base: tinyBase(), Reps: 1, Workers: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != len(allAlgos) {
+		t.Fatalf("cells %d, want %d", len(res.Cells), len(allAlgos))
+	}
+	if got := res.algos(); len(got) != len(allAlgos) {
+		t.Fatalf("algos %v", got)
+	}
+}

@@ -1,0 +1,220 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Series is one plotted line.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// markers distinguish series in an ASCII chart.
+var markers = []byte{'o', 'x', '+', '*', '#', '@', '%', '&', '$'}
+
+// Chart renders series as an ASCII scatter/line chart of the given plot
+// area size (excluding axes). Coinciding points show the later series'
+// marker. NaN points are skipped.
+func Chart(title, xlabel, ylabel string, series []Series, width, height int) string {
+	if width < 8 {
+		width = 8
+	}
+	if height < 4 {
+		height = 4
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	any := false
+	for _, s := range series {
+		for i := range s.X {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			any = true
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if !any {
+		return title + ": no data\n"
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	// A little headroom so extreme points do not sit on the frame.
+	ymax += (ymax - ymin) * 0.05
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	col := func(x float64) int {
+		c := int(math.Round((x - xmin) / (xmax - xmin) * float64(width-1)))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	row := func(y float64) int {
+		r := int(math.Round((ymax - y) / (ymax - ymin) * float64(height-1)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+
+	for si, s := range series {
+		mark := markers[si%len(markers)]
+		// Connect consecutive points with interpolated marks so trends read
+		// as lines.
+		type pt struct{ x, y float64 }
+		var pts []pt
+		for i := range s.X {
+			if !math.IsNaN(s.X[i]) && !math.IsNaN(s.Y[i]) {
+				pts = append(pts, pt{s.X[i], s.Y[i]})
+			}
+		}
+		sort.Slice(pts, func(i, j int) bool { return pts[i].x < pts[j].x })
+		for i := range pts {
+			if i > 0 {
+				c0, r0 := col(pts[i-1].x), row(pts[i-1].y)
+				c1, r1 := col(pts[i].x), row(pts[i].y)
+				steps := max(abs(c1-c0), abs(r1-r0))
+				for k := 1; k < steps; k++ {
+					cc := c0 + (c1-c0)*k/steps
+					rr := r0 + (r1-r0)*k/steps
+					if grid[rr][cc] == ' ' {
+						grid[rr][cc] = '.'
+					}
+				}
+			}
+			grid[row(pts[i].y)][col(pts[i].x)] = mark
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	yLab := [2]string{trimNum(ymax), trimNum(ymin)}
+	labW := max(len(yLab[0]), len(yLab[1]))
+	for r := 0; r < height; r++ {
+		switch r {
+		case 0:
+			fmt.Fprintf(&b, "%*s |", labW, yLab[0])
+		case height - 1:
+			fmt.Fprintf(&b, "%*s |", labW, yLab[1])
+		default:
+			fmt.Fprintf(&b, "%*s |", labW, "")
+		}
+		b.Write(grid[r])
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%*s +%s\n", labW, "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%*s  %-*s%s\n", labW, "", width-len(trimNum(xmax)), trimNum(xmin), trimNum(xmax))
+	fmt.Fprintf(&b, "%*s  x: %s   y: %s\n", labW, "", xlabel, ylabel)
+	var legend []string
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c=%s", markers[si%len(markers)], s.Name))
+	}
+	fmt.Fprintf(&b, "%*s  %s\n", labW, "", strings.Join(legend, "  "))
+	return b.String()
+}
+
+func trimNum(v float64) string {
+	s := strconv.FormatFloat(v, 'g', 4, 64)
+	return s
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Chart renders one metric of a completed experiment as an ASCII chart.
+func (r *Result) Chart(m Metric, width, height int) string {
+	var series []Series
+	for _, algo := range r.algos() {
+		s := Series{Name: algo}
+		for _, label := range r.labels() {
+			c := r.cell(label, algo)
+			mean, _ := m.Get(c.Agg)
+			s.X = append(s.X, c.Point.X)
+			s.Y = append(s.Y, mean)
+		}
+		series = append(series, s)
+	}
+	title := fmt.Sprintf("%s: %s — %s [%s]", r.Exp.ID, r.Exp.Title, m.Name, m.Unit)
+	return Chart(title, r.Exp.XLabel, m.Name+" ["+m.Unit+"]", series, width, height)
+}
+
+// ParseCSV reads back the long-form CSV written by Result.CSV and returns
+// one Series per (algorithm, metric) for the requested metric column.
+func ParseCSV(data string, metricName string) (xlabel string, series []Series, err error) {
+	lines := strings.Split(strings.TrimSpace(data), "\n")
+	if len(lines) < 2 {
+		return "", nil, fmt.Errorf("experiment: CSV too short")
+	}
+	header := strings.Split(lines[0], ",")
+	colIdx := -1
+	for i, h := range header {
+		if h == metricName+"_mean" {
+			colIdx = i
+		}
+	}
+	if colIdx < 0 {
+		var have []string
+		for _, h := range header {
+			if cut, ok := strings.CutSuffix(h, "_mean"); ok {
+				have = append(have, cut)
+			}
+		}
+		return "", nil, fmt.Errorf("experiment: metric %q not in CSV (have %v)", metricName, have)
+	}
+	byAlgo := map[string]*Series{}
+	var order []string
+	for ln, line := range lines[1:] {
+		fields := strings.Split(line, ",")
+		if len(fields) != len(header) {
+			return "", nil, fmt.Errorf("experiment: CSV row %d has %d fields, want %d", ln+2, len(fields), len(header))
+		}
+		x, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return "", nil, fmt.Errorf("experiment: CSV row %d x: %w", ln+2, err)
+		}
+		y, err := strconv.ParseFloat(fields[colIdx], 64)
+		if err != nil {
+			return "", nil, fmt.Errorf("experiment: CSV row %d y: %w", ln+2, err)
+		}
+		algo := fields[3]
+		s, ok := byAlgo[algo]
+		if !ok {
+			s = &Series{Name: algo}
+			byAlgo[algo] = s
+			order = append(order, algo)
+		}
+		s.X = append(s.X, x)
+		s.Y = append(s.Y, y)
+	}
+	for _, a := range order {
+		series = append(series, *byAlgo[a])
+	}
+	return header[1], series, nil
+}

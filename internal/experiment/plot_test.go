@@ -1,0 +1,153 @@
+package experiment
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestChartBasic(t *testing.T) {
+	series := []Series{
+		{Name: "up", X: []float64{0, 1, 2, 3}, Y: []float64{0, 1, 2, 3}},
+		{Name: "down", X: []float64{0, 1, 2, 3}, Y: []float64{3, 2, 1, 0}},
+	}
+	out := Chart("test chart", "x", "y", series, 40, 10)
+	for _, want := range []string{"test chart", "o=up", "x=down", "x: x", "y: y"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(out, "\n")
+	// Title + 10 plot rows + axis + xlabels + labels + legend.
+	if len(lines) < 14 {
+		t.Fatalf("chart too short: %d lines", len(lines))
+	}
+	// The increasing series' marker must appear in both the top and bottom
+	// plot rows (corners of the diagonal).
+	if !strings.Contains(lines[1], "x") { // top row: down series starts high... up series ends high
+		t.Errorf("top row missing a marker:\n%s", out)
+	}
+}
+
+func TestChartDegenerate(t *testing.T) {
+	if out := Chart("empty", "x", "y", nil, 40, 10); !strings.Contains(out, "no data") {
+		t.Fatalf("empty chart: %q", out)
+	}
+	nan := []Series{{Name: "n", X: []float64{math.NaN()}, Y: []float64{1}}}
+	if out := Chart("nan", "x", "y", nan, 40, 10); !strings.Contains(out, "no data") {
+		t.Fatalf("nan chart: %q", out)
+	}
+	// Single point (zero ranges) must not divide by zero.
+	one := []Series{{Name: "p", X: []float64{5}, Y: []float64{7}}}
+	out := Chart("one", "x", "y", one, 40, 10)
+	if !strings.Contains(out, "o") {
+		t.Fatalf("single point not plotted:\n%s", out)
+	}
+	// Tiny dimensions are clamped.
+	_ = Chart("tiny", "x", "y", one, 1, 1)
+}
+
+func TestResultChartAndCSVRoundTrip(t *testing.T) {
+	exp := &Experiment{
+		ID: "XP", Title: "plot test", XLabel: "load",
+		Algorithms: []string{"ts", "uir"},
+		Points: points([]float64{0, 0.5}, gLabel,
+			func(c *core.Config, x float64) { c.TrafficLoad = x }),
+		Metrics: []Metric{MetricDelay, MetricHit},
+	}
+	res, err := exp.Run(Options{Base: tinyBase(), Reps: 1, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chart := res.Chart(MetricDelay, 40, 10)
+	for _, want := range []string{"XP", "delay", "o=ts", "x=uir"} {
+		if !strings.Contains(chart, want) {
+			t.Errorf("result chart missing %q:\n%s", want, chart)
+		}
+	}
+
+	// CSV → ParseCSV round trip.
+	csv := res.CSV()
+	xlabel, series, err := ParseCSV(csv, "delay")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if xlabel != "x" {
+		t.Errorf("xlabel %q", xlabel)
+	}
+	if len(series) != 2 {
+		t.Fatalf("series %d", len(series))
+	}
+	for _, s := range series {
+		if len(s.X) != 2 || len(s.Y) != 2 {
+			t.Fatalf("series %s has %d points", s.Name, len(s.X))
+		}
+		for _, y := range s.Y {
+			if math.IsNaN(y) || y <= 0 {
+				t.Fatalf("series %s y=%v", s.Name, y)
+			}
+		}
+	}
+}
+
+func TestParseCSVErrors(t *testing.T) {
+	if _, _, err := ParseCSV("", "delay"); err == nil {
+		t.Error("empty CSV accepted")
+	}
+	header := "experiment,x,label,algorithm,delay_mean,delay_ci95\n"
+	if _, _, err := ParseCSV(header+"F1,0,0,ts,1,0.1", "nope"); err == nil {
+		t.Error("unknown metric accepted")
+	}
+	if _, _, err := ParseCSV(header+"F1,0,ts,1", "delay"); err == nil {
+		t.Error("short row accepted")
+	}
+	if _, _, err := ParseCSV(header+"F1,zz,0,ts,1,0.1", "delay"); err == nil {
+		t.Error("bad x accepted")
+	}
+	if _, _, err := ParseCSV(header+"F1,0,0,ts,zz,0.1", "delay"); err == nil {
+		t.Error("bad y accepted")
+	}
+}
+
+func TestReportSection(t *testing.T) {
+	exp := &Experiment{
+		ID: "XR", Title: "report test", XLabel: "load",
+		Algorithms: []string{"ts", "uir"},
+		Points: points([]float64{0, 0.5}, gLabel,
+			func(c *core.Config, x float64) { c.TrafficLoad = x }),
+		Metrics: []Metric{MetricDelay, MetricHit},
+	}
+	res, err := exp.Run(Options{Base: tinyBase(), Reps: 1, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	section, err := ReportSection("XR", res.CSV(), 40, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"## XR", "```", "**delay**", "**hit**", "| ts | uir |", "| 0.5 |"} {
+		if !strings.Contains(section, want) {
+			t.Errorf("section missing %q:\n%s", want, section)
+		}
+	}
+	// Known registry id resolves to its title and x-label.
+	sec2, err := ReportSection("F1", res.CSV(), 40, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sec2, "F1 — Mean query delay vs. update rate") {
+		t.Errorf("registry title missing:\n%s", sec2[:100])
+	}
+	// Errors.
+	if _, err := ReportSection("X", "", 40, 10); err == nil {
+		t.Error("empty CSV accepted")
+	}
+	if _, err := ReportSection("X", "bogus,header\n", 40, 10); err == nil {
+		t.Error("bad header accepted")
+	}
+	if _, err := ReportSection("XR", "experiment,x,label,algorithm,delay_mean,delay_ci95\nshort,row\n", 40, 10); err == nil {
+		t.Error("malformed row accepted")
+	}
+}

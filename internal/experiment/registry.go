@@ -1,0 +1,256 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/mobility"
+)
+
+// allAlgos is the canonical presentation order.
+var allAlgos = []string{"ts", "at", "sig", "bs", "uir", "tair", "lair", "hybrid"}
+
+// points builds a sweep from x values with a formatter and mutator.
+func points(xs []float64, label func(float64) string, mutate func(*core.Config, float64)) []Point {
+	out := make([]Point, len(xs))
+	for i, x := range xs {
+		x := x
+		out[i] = Point{X: x, Label: label(x), Mutate: func(c *core.Config) { mutate(c, x) }}
+	}
+	return out
+}
+
+func gLabel(x float64) string { return fmt.Sprintf("%g", x) }
+
+// Registry returns every experiment of the evaluation, in presentation
+// order. The definitions are data; Run does the work.
+func Registry() []*Experiment {
+	return []*Experiment{
+		{
+			ID: "F1", Title: "Mean query delay vs. update rate",
+			XLabel: "updates/s",
+			Points: points([]float64{0.02, 0.1, 0.5, 1, 2, 5}, gLabel,
+				func(c *core.Config, x float64) { c.DB.UpdateRate = x }),
+			Metrics: []Metric{MetricDelay, MetricP95},
+		},
+		{
+			ID: "F2", Title: "Cache hit ratio vs. update rate",
+			XLabel: "updates/s",
+			Points: points([]float64{0.02, 0.1, 0.5, 1, 2, 5}, gLabel,
+				func(c *core.Config, x float64) { c.DB.UpdateRate = x }),
+			Metrics: []Metric{MetricHit, MetricUplink},
+		},
+		{
+			ID: "F3", Title: "Mean query delay vs. per-client query rate",
+			XLabel: "queries/s",
+			Points: points([]float64{0.02, 0.05, 0.1, 0.2, 0.3}, gLabel,
+				func(c *core.Config, x float64) { c.Workload.QueryRate = x }),
+			Metrics: []Metric{MetricDelay, MetricHit},
+		},
+		{
+			ID: "F4", Title: "Mean query delay vs. downlink background load",
+			XLabel: "load",
+			Points: points([]float64{0, 0.2, 0.4, 0.6, 0.8}, gLabel,
+				func(c *core.Config, x float64) { c.TrafficLoad = x }),
+			Metrics: []Metric{MetricDelay, MetricP95, MetricUtil},
+		},
+		{
+			ID: "F5", Title: "Invalidation overhead vs. downlink background load",
+			XLabel: "load",
+			Points: points([]float64{0, 0.2, 0.4, 0.6, 0.8}, gLabel,
+				func(c *core.Config, x float64) { c.TrafficLoad = x }),
+			Metrics: []Metric{MetricOverhead, MetricEnergy},
+		},
+		{
+			ID: "F6", Title: "Mean query delay vs. population mean SNR",
+			XLabel: "snr dB",
+			Points: points([]float64{6, 10, 14, 18, 24, 30}, gLabel,
+				func(c *core.Config, x float64) { c.Channel.MeanSNRdB = x }),
+			Metrics: []Metric{MetricDelay, MetricHit},
+		},
+		{
+			ID: "F7", Title: "Report loss and forced cache drops vs. mean SNR",
+			XLabel: "snr dB",
+			Points: points([]float64{6, 10, 14, 18, 24, 30}, gLabel,
+				func(c *core.Config, x float64) { c.Channel.MeanSNRdB = x }),
+			Metrics: []Metric{MetricLoss, MetricDrops},
+		},
+		{
+			ID: "F8", Title: "Mean query delay vs. disconnection (sleep) ratio",
+			XLabel: "sleep",
+			Points: points([]float64{0, 0.2, 0.4, 0.6, 0.8}, gLabel,
+				func(c *core.Config, x float64) {
+					c.Workload.SleepRatio = x
+					c.Workload.AwakeMeanSec = 80
+				}),
+			Metrics: []Metric{MetricDelay, MetricHit, MetricDrops},
+		},
+		{
+			ID: "F9", Title: "Scalability vs. number of clients",
+			XLabel: "clients",
+			Scale:  0.5,
+			Points: points([]float64{25, 50, 100, 200, 400}, gLabel,
+				func(c *core.Config, x float64) { c.NumClients = int(x) }),
+			Metrics: []Metric{MetricDelay, MetricUplink, MetricUtil},
+		},
+		{
+			ID: "F10", Title: "Access skew sweep (Zipf theta)",
+			XLabel: "theta",
+			Points: points([]float64{0, 0.4, 0.8, 1.0, 1.2}, gLabel,
+				func(c *core.Config, x float64) { c.Workload.Zipf = x }),
+			Metrics: []Metric{MetricHit, MetricDelay},
+		},
+		{
+			ID: "T1", Title: "Default-configuration algorithm matrix",
+			XLabel: "config",
+			Points: []Point{{X: 0, Label: "default", Mutate: func(*core.Config) {}}},
+			Metrics: []Metric{MetricDelay, MetricP95, MetricHit, MetricUplink,
+				MetricOverhead, MetricEnergy, MetricDrops},
+		},
+		{
+			ID: "T2", Title: "Fading speed (Doppler) matrix",
+			XLabel: "doppler Hz",
+			Points: points([]float64{1, 6, 30, 120}, gLabel,
+				func(c *core.Config, x float64) { c.Channel.DopplerHz = x }),
+			Metrics: []Metric{MetricDelay, MetricLoss, MetricDrops},
+		},
+		{
+			ID: "T3", Title: "Report interval L trade-off",
+			XLabel: "L sec",
+			Points: points([]float64{5, 10, 20, 40, 80}, gLabel,
+				func(c *core.Config, x float64) {
+					c.IR.Interval = des.FromSeconds(x)
+					// Keep the traffic-aware band centred on L.
+					c.IR.IntervalMin = des.FromSeconds(x / 4)
+					c.IR.IntervalMax = des.FromSeconds(x * 2)
+				}),
+			Metrics: []Metric{MetricDelay, MetricOverhead, MetricDrops},
+		},
+		{
+			ID: "T4", Title: "Coverage window multiplier K trade-off",
+			XLabel:     "K",
+			Algorithms: []string{"ts", "uir", "lair", "hybrid"},
+			Points: points([]float64{1, 2, 4, 8}, gLabel,
+				func(c *core.Config, x float64) {
+					c.IR.WindowReports = int(x)
+					// Stress the window: clients sleep through reports.
+					c.Workload.SleepRatio = 0.3
+					c.Workload.AwakeMeanSec = 60
+				}),
+			Metrics: []Metric{MetricDrops, MetricHit, MetricOverhead, MetricDelay},
+		},
+		{
+			ID: "A1", Title: "Ablation: LAIR coverage target",
+			XLabel:     "coverage",
+			Algorithms: []string{"lair", "hybrid"},
+			Points: points([]float64{0.5, 0.65, 0.75, 0.9, 0.99}, gLabel,
+				func(c *core.Config, x float64) { c.IR.Coverage = x }),
+			Metrics: []Metric{MetricDelay, MetricP95, MetricLoss},
+		},
+		{
+			ID: "A2", Title: "Ablation: downlink scheduling discipline under load",
+			XLabel:     "discipline",
+			Algorithms: []string{"ts", "uir", "tair", "hybrid"},
+			Points: []Point{
+				{X: 0, Label: "shared", Mutate: func(c *core.Config) {
+					c.TrafficLoad = 0.6
+					c.Downlink.StrictPriority = false
+				}},
+				{X: 1, Label: "strict", Mutate: func(c *core.Config) {
+					c.TrafficLoad = 0.6
+					c.Downlink.StrictPriority = true
+				}},
+			},
+			Metrics: []Metric{MetricDelay, MetricP95, MetricUtil},
+		},
+		{
+			ID: "A3", Title: "Extension: snooping overheard responses",
+			XLabel:     "snoop",
+			Algorithms: []string{"ts", "uir", "hybrid"},
+			Points: []Point{
+				{X: 0, Label: "off", Mutate: func(c *core.Config) { c.SnoopResponses = false }},
+				{X: 1, Label: "on", Mutate: func(c *core.Config) { c.SnoopResponses = true }},
+			},
+			Metrics: []Metric{MetricHit, MetricDelay, MetricEnergy, MetricUplink},
+		},
+		{
+			ID: "A4", Title: "Extension: client mobility (random waypoint) speed sweep",
+			XLabel:     "speed m/s",
+			Algorithms: []string{"ts", "sig", "lair", "hybrid"},
+			Points: append([]Point{{X: 0, Label: "static", Mutate: func(c *core.Config) {
+				c.Channel.UseGeometry = true
+			}}}, points([]float64{2, 15, 30}, gLabel,
+				func(c *core.Config, x float64) {
+					c.Channel.UseGeometry = true
+					c.Channel.Mobility = &mobility.Config{
+						CellRadiusM:  c.Channel.CellRadiusM,
+						MinDistanceM: c.Channel.MinDistanceM,
+						SpeedMinMps:  x / 2,
+						SpeedMaxMps:  x,
+						PauseMeanSec: 10,
+					}
+				})...),
+			Metrics: []Metric{MetricDelay, MetricHit, MetricLoss, MetricDrops},
+		},
+		{
+			ID: "A5", Title: "Ablation: cache replacement policy",
+			XLabel:     "policy",
+			Algorithms: []string{"ts", "hybrid"},
+			Points: func() []Point {
+				// Replacement only matters when eviction is active: shrink
+				// the cache and raise the query rate so caches stay full.
+				evict := func(c *core.Config, p cache.Policy) {
+					c.CacheCapacity = 40
+					c.Workload.QueryRate = 0.25
+					c.Workload.Zipf = 1.0
+					c.CachePolicy = p
+				}
+				return []Point{
+					{X: 0, Label: "lru", Mutate: func(c *core.Config) { evict(c, cache.LRU) }},
+					{X: 1, Label: "fifo", Mutate: func(c *core.Config) { evict(c, cache.FIFO) }},
+					{X: 2, Label: "random", Mutate: func(c *core.Config) { evict(c, cache.Random) }},
+				}
+			}(),
+			Metrics: []Metric{MetricHit, MetricDelay, MetricUplink},
+		},
+		{
+			ID: "A6", Title: "Extension: server response coalescing",
+			XLabel:     "coalesce",
+			Algorithms: []string{"ts", "uir", "hybrid"},
+			Points: []Point{
+				{X: 0, Label: "off", Mutate: func(c *core.Config) {
+					c.CoalesceResponses = false
+					c.Workload.Zipf = 1.1 // hot-item regime where sharing pays
+					c.DB.UpdateRate = 1
+				}},
+				{X: 1, Label: "on", Mutate: func(c *core.Config) {
+					c.CoalesceResponses = true
+					c.Workload.Zipf = 1.1
+					c.DB.UpdateRate = 1
+				}},
+			},
+			Metrics: []Metric{MetricDelay, MetricUtil, MetricUplink, MetricHit},
+		},
+	}
+}
+
+// ByID finds one experiment, or nil.
+func ByID(id string) *Experiment {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e
+		}
+	}
+	return nil
+}
+
+// IDs lists all experiment identifiers in order.
+func IDs() []string {
+	var out []string
+	for _, e := range Registry() {
+		out = append(out, e.ID)
+	}
+	return out
+}

@@ -1,0 +1,121 @@
+package experiment
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ReportSection renders one experiment's CSV as a markdown section: title,
+// an ASCII chart of the first metric, and a per-metric table with one row
+// per sweep point and one column per algorithm. It is the building block of
+// cmd/wdcreport and works from CSV alone, so reports can be regenerated
+// without re-running anything.
+func ReportSection(id, csv string, width, height int) (string, error) {
+	exp := ByID(id)
+	title := id
+	xlabel := "x"
+	if exp != nil {
+		title = fmt.Sprintf("%s — %s", exp.ID, exp.Title)
+		xlabel = exp.XLabel
+	}
+
+	metrics, err := csvMetricNames(csv)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "## %s\n\n", title)
+
+	// Chart of the headline (first) metric.
+	if _, series, err := ParseCSV(csv, metrics[0]); err == nil {
+		b.WriteString("```\n")
+		b.WriteString(Chart(title, xlabel, metrics[0], series, width, height))
+		b.WriteString("```\n\n")
+	}
+
+	// Tables per metric, reconstructed from the long-form CSV.
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	header := strings.Split(lines[0], ",")
+	type rowKey struct{ x, label string }
+	var pointOrder []rowKey
+	seenPoint := map[rowKey]bool{}
+	var algoOrder []string
+	seenAlgo := map[string]bool{}
+	value := map[string]map[rowKey]map[string]string{} // metric → point → algo → "mean±ci"
+	for _, m := range metrics {
+		value[m] = map[rowKey]map[string]string{}
+	}
+	for _, line := range lines[1:] {
+		fields := strings.Split(line, ",")
+		if len(fields) != len(header) {
+			return "", fmt.Errorf("experiment: malformed CSV row %q", line)
+		}
+		key := rowKey{fields[1], fields[2]}
+		algo := fields[3]
+		if !seenPoint[key] {
+			seenPoint[key] = true
+			pointOrder = append(pointOrder, key)
+		}
+		if !seenAlgo[algo] {
+			seenAlgo[algo] = true
+			algoOrder = append(algoOrder, algo)
+		}
+		for i, m := range metrics {
+			mean := fields[4+2*i]
+			ci := fields[5+2*i]
+			if value[m][key] == nil {
+				value[m][key] = map[string]string{}
+			}
+			value[m][key][algo] = formatMeanCI(mean, ci)
+		}
+	}
+
+	for _, m := range metrics {
+		fmt.Fprintf(&b, "**%s**\n\n", m)
+		fmt.Fprintf(&b, "| %s | %s |\n", xlabel, strings.Join(algoOrder, " | "))
+		fmt.Fprintf(&b, "|%s|\n", strings.Repeat("---|", len(algoOrder)+1))
+		for _, key := range pointOrder {
+			cells := make([]string, len(algoOrder))
+			for i, a := range algoOrder {
+				cells[i] = value[m][key][a]
+			}
+			fmt.Fprintf(&b, "| %s | %s |\n", key.label, strings.Join(cells, " | "))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String(), nil
+}
+
+// csvMetricNames extracts the metric column names from a wdcsweep CSV
+// header.
+func csvMetricNames(csv string) ([]string, error) {
+	nl := strings.IndexByte(csv, '\n')
+	if nl < 0 {
+		return nil, fmt.Errorf("experiment: empty CSV")
+	}
+	header := strings.Split(csv[:nl], ",")
+	if len(header) < 6 || header[0] != "experiment" {
+		return nil, fmt.Errorf("experiment: unrecognized CSV header %q", csv[:nl])
+	}
+	var out []string
+	for _, h := range header[4:] {
+		if name, ok := strings.CutSuffix(h, "_mean"); ok {
+			out = append(out, name)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("experiment: no metric columns in %q", csv[:nl])
+	}
+	return out, nil
+}
+
+// formatMeanCI compacts a mean/ci pair for a markdown cell.
+func formatMeanCI(mean, ci string) string {
+	m, err1 := strconv.ParseFloat(mean, 64)
+	c, err2 := strconv.ParseFloat(ci, 64)
+	if err1 != nil || err2 != nil {
+		return mean
+	}
+	return fmt.Sprintf("%s±%s", fmtG(m), fmtG(c))
+}

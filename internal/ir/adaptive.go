@@ -1,0 +1,215 @@
+package ir
+
+import (
+	"repro/internal/db"
+	"repro/internal/des"
+)
+
+// Adaptive implements the reconstructed contributions. Two orthogonal
+// mechanisms, each switchable:
+//
+// Traffic awareness (TAIR):
+//
+//   - The report interval tracks downlink load: when the downlink is idle,
+//     reports come fast (latency is cheap to buy); when it is busy, the
+//     interval stretches toward IntervalMax so invalidation overhead yields
+//     airtime to data.
+//   - Small invalidation digests piggyback on departing unicast data
+//     frames (in the robust control portion, so any client can decode
+//     them), so under load — exactly when the interval is long — clients
+//     overhearing the busy downlink keep validating continuously.
+//
+// Link awareness (LAIR):
+//
+//   - Two interleaved report streams. The anchor stream is exactly the
+//     classic robust-rate scheme: full reports every interval whose windows
+//     span WindowReports anchor intervals — no client ever does worse than
+//     the TS baseline.
+//   - The fast stream spends one extra report-airtime budget per interval
+//     at the fastest MCS that reaches a target fraction of the awake
+//     population: its period shrinks by the MCS efficiency ratio, so
+//     clients with decent links validate several times per anchor interval.
+//     Fast reports are minis — a client outside their window simply ignores
+//     them instead of flushing its cache — and when the population cannot
+//     sustain more than the robust rate the fast stream goes silent,
+//     degenerating to the classic scheme exactly.
+//
+// HYBRID enables both: traffic awareness sets the interval budget that both
+// streams spend, link awareness splits it across the two rates, and digests
+// piggyback on data traffic.
+type Adaptive struct {
+	p            Params
+	trafficAware bool
+	linkAware    bool
+
+	env        ServerEnv
+	anchorTick *des.Ticker
+	fastTick   *des.Ticker
+	seq        uint64
+	winAll     *windowTracker // recent reports of any kind
+	winAnchor  *windowTracker // anchor-stream reports only
+	lastPiggy  des.Time
+	started    bool
+	buf        []db.Update
+
+	// stats exposed for experiments
+	piggybacks  uint64
+	anchorsSent uint64
+	fastSent    uint64
+	fastSkipped uint64
+}
+
+func newAdaptive(p Params, trafficAware, linkAware bool) *Adaptive {
+	return &Adaptive{p: p, trafficAware: trafficAware, linkAware: linkAware}
+}
+
+// Name implements ServerAlgo.
+func (a *Adaptive) Name() string {
+	switch {
+	case a.trafficAware && a.linkAware:
+		return "hybrid"
+	case a.trafficAware:
+		return "tair"
+	default:
+		return "lair"
+	}
+}
+
+// Piggybacks reports how many digests were attached to data frames.
+func (a *Adaptive) Piggybacks() uint64 { return a.piggybacks }
+
+// Anchors reports how many robust anchor reports were sent.
+func (a *Adaptive) Anchors() uint64 { return a.anchorsSent }
+
+// FastReports reports how many rate-adapted fast reports were sent.
+func (a *Adaptive) FastReports() uint64 { return a.fastSent }
+
+// FastSkipped reports fast-stream ticks where the population could not
+// sustain better than the robust rate, so nothing extra was sent.
+func (a *Adaptive) FastSkipped() uint64 { return a.fastSkipped }
+
+// Start implements ServerAlgo.
+func (a *Adaptive) Start(env ServerEnv) {
+	a.env = env
+	a.winAll = newWindowTracker(a.p.WindowReports)
+	a.winAnchor = newWindowTracker(a.p.WindowReports)
+	a.anchorTick = env.NewTicker(a.baseInterval(), "ir."+a.Name()+".anchor", a.anchor)
+	a.anchorTick.Start()
+	if a.linkAware {
+		a.fastTick = env.NewTicker(a.baseInterval(), "ir."+a.Name()+".fast", a.fast)
+		a.fastTick.Start()
+	}
+	a.started = true
+}
+
+// baseInterval is the per-stream airtime budget period: the configured
+// interval, stretched or shrunk by downlink load when traffic-aware.
+func (a *Adaptive) baseInterval() des.Duration {
+	if !a.trafficAware {
+		return a.p.Interval
+	}
+	if a.env == nil {
+		return a.p.IntervalMin
+	}
+	load := a.env.DownlinkLoad()
+	frac := (load - a.p.LoadLow) / (a.p.LoadHigh - a.p.LoadLow)
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	return a.p.IntervalMin + des.Duration(frac*float64(a.p.IntervalMax-a.p.IntervalMin))
+}
+
+// anchor emits one robust full report, the classic stream.
+func (a *Adaptive) anchor(now des.Time) {
+	winStart := a.winAnchor.startK(a.p.WindowReports)
+	prev := a.winAll.last()
+	a.buf = a.env.UpdatedSince(winStart, a.buf[:0])
+	items := append([]db.Update(nil), a.buf...)
+	sortUpdates(items)
+	a.seq++
+	a.anchorsSent++
+	a.winAnchor.record(now)
+	a.winAll.record(now)
+	a.env.Broadcast(&Report{
+		Kind:        KindFull,
+		Seq:         a.seq,
+		At:          now,
+		PrevAt:      prev,
+		WindowStart: winStart,
+		Items:       items,
+	}, robustMCS)
+	a.anchorTick.SetPeriod(a.baseInterval())
+}
+
+// fast emits one rate-adapted mini when the population supports a rate
+// above robust, then re-arms at the budget-neutral period.
+func (a *Adaptive) fast(now des.Time) {
+	base := a.baseInterval()
+	mcs := a.env.AMC().BroadcastSelect(a.env.AwakeSNRs(), a.p.Coverage)
+	if mcs == robustMCS {
+		// Nothing to gain this round; check again after a full budget gap.
+		a.fastSkipped++
+		a.fastTick.SetPeriod(base)
+		return
+	}
+	winStart := a.winAll.startK(a.p.WindowReports)
+	prev := a.winAll.last()
+	a.buf = a.env.UpdatedSince(winStart, a.buf[:0])
+	items := append([]db.Update(nil), a.buf...)
+	sortUpdates(items)
+	a.seq++
+	a.fastSent++
+	a.winAll.record(now)
+	a.env.Broadcast(&Report{
+		Kind:        KindMini,
+		Seq:         a.seq,
+		At:          now,
+		PrevAt:      prev,
+		WindowStart: winStart,
+		Items:       items,
+	}, mcs)
+
+	table := a.env.AMC().Table
+	ratio := table[robustMCS].Efficiency() / table[mcs].Efficiency()
+	period := des.Duration(float64(base) * ratio)
+	if min := des.Second; period < min {
+		period = min
+	}
+	a.fastTick.SetPeriod(period)
+}
+
+// Piggyback implements ServerAlgo. The digest lists every update since the
+// last report, so any client consistent as of that report (or any later
+// digest) can use it — the same recovery rule as a UIR mini. If the update
+// rate makes the digest exceed PiggyMaxItems it is skipped: piggybacking
+// only pays when invalidation information is compact relative to the data
+// frame carrying it.
+func (a *Adaptive) Piggyback(now des.Time) *Report {
+	if !a.trafficAware || !a.started {
+		return nil
+	}
+	if a.lastPiggy != 0 && now.Sub(a.lastPiggy) < a.p.PiggyMinGap {
+		return nil
+	}
+	a.lastPiggy = now // rate-limit even unsuccessful attempts
+	winStart := a.winAll.last()
+	a.buf = a.env.UpdatedSince(winStart, a.buf[:0])
+	if len(a.buf) > a.p.PiggyMaxItems {
+		return nil
+	}
+	items := append([]db.Update(nil), a.buf...)
+	sortUpdates(items)
+	a.seq++
+	a.piggybacks++
+	return &Report{
+		Kind:        KindPiggyback,
+		Seq:         a.seq,
+		At:          now,
+		PrevAt:      a.winAll.last(),
+		WindowStart: winStart,
+		Items:       items,
+	}
+}

@@ -1,0 +1,160 @@
+package ir
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/db"
+	"repro/internal/des"
+	"repro/internal/radio"
+)
+
+// ServerEnv is the view of the base station that server-side invalidation
+// algorithms program against. The core package implements it.
+type ServerEnv interface {
+	// Now reports the current simulation time.
+	Now() des.Time
+	// UpdatedSince returns every item updated in (since, now] with its
+	// latest update time, appended to buf.
+	UpdatedSince(since des.Time, buf []db.Update) []db.Update
+	// Broadcast enqueues a report on the downlink at the given MCS index.
+	Broadcast(r *Report, mcs int)
+	// NewTicker creates (but does not start) a periodic callback.
+	NewTicker(period des.Duration, name string, fn func(des.Time)) *des.Ticker
+	// AwakeSNRs reports the instantaneous SNR of every awake client; the
+	// returned slice is valid until the next ServerEnv call.
+	AwakeSNRs() []float64
+	// AMC reports the link adaptation policy in force.
+	AMC() *radio.AMC
+	// DownlinkLoad reports a smoothed recent estimate of downlink
+	// utilization in [0, 1], including queued backlog pressure.
+	DownlinkLoad() float64
+}
+
+// ServerAlgo is one invalidation-report algorithm, server side.
+type ServerAlgo interface {
+	// Name reports the scheme's short name (ts, at, sig, uir, tair, lair,
+	// hybrid).
+	Name() string
+	// Start arms the algorithm's report schedule.
+	Start(env ServerEnv)
+	// Piggyback is consulted before every unicast downlink data frame
+	// departs; a non-nil report is attached to the frame. Only the
+	// traffic-aware schemes return non-nil.
+	Piggyback(now des.Time) *Report
+}
+
+// Params carries every scheme tunable with literature-conventional defaults.
+// Unused fields are ignored by schemes that do not need them.
+type Params struct {
+	Interval      des.Duration // L: base report period
+	WindowReports int          // K: coverage window in report periods (TS family)
+
+	// UIR.
+	MiniPerInterval int // m−1 minis are sent between consecutive full reports
+
+	// SIG.
+	SigBits          int
+	SigCapacity      int
+	SigFalsePositive float64
+
+	// BS sizes its bit-sequence hierarchy from the database size.
+	NumItems int
+
+	// LAIR.
+	Coverage float64 // fraction of awake clients each fast report must reach
+
+	// TAIR.
+	IntervalMin   des.Duration
+	IntervalMax   des.Duration
+	LoadLow       float64 // below this downlink load the interval pins to min
+	LoadHigh      float64 // above this it pins to max
+	PiggyMinGap   des.Duration
+	PiggyMaxItems int
+}
+
+// DefaultParams returns the defaults used by the experiment matrix.
+func DefaultParams() Params {
+	return Params{
+		Interval:         20 * des.Second,
+		WindowReports:    2,
+		MiniPerInterval:  4,
+		SigBits:          8192,
+		SigCapacity:      16,
+		SigFalsePositive: 0.02,
+		Coverage:         0.75,
+		IntervalMin:      5 * des.Second,
+		IntervalMax:      40 * des.Second,
+		LoadLow:          0.2,
+		LoadHigh:         0.8,
+		PiggyMinGap:      500 * des.Millisecond,
+		PiggyMaxItems:    32,
+	}
+}
+
+// Validate reports the first parameter problem.
+func (p Params) Validate() error {
+	switch {
+	case p.Interval <= 0:
+		return fmt.Errorf("ir: Interval %v", p.Interval)
+	case p.WindowReports < 1:
+		return fmt.Errorf("ir: WindowReports %d", p.WindowReports)
+	case p.MiniPerInterval < 1:
+		return fmt.Errorf("ir: MiniPerInterval %d", p.MiniPerInterval)
+	case p.SigBits <= 0 || p.SigCapacity <= 0:
+		return fmt.Errorf("ir: sig sizing %d/%d", p.SigBits, p.SigCapacity)
+	case p.SigFalsePositive < 0 || p.SigFalsePositive >= 1:
+		return fmt.Errorf("ir: SigFalsePositive %v", p.SigFalsePositive)
+	case p.Coverage <= 0 || p.Coverage > 1:
+		return fmt.Errorf("ir: Coverage %v", p.Coverage)
+	case p.IntervalMin <= 0 || p.IntervalMax < p.IntervalMin:
+		return fmt.Errorf("ir: interval range [%v, %v]", p.IntervalMin, p.IntervalMax)
+	case p.LoadLow < 0 || p.LoadHigh <= p.LoadLow || p.LoadHigh > 1:
+		return fmt.Errorf("ir: load band [%v, %v]", p.LoadLow, p.LoadHigh)
+	case p.PiggyMinGap < 0 || p.PiggyMaxItems < 1:
+		return fmt.Errorf("ir: piggyback params")
+	}
+	return nil
+}
+
+// Names lists the supported scheme names in canonical presentation order.
+var Names = []string{"ts", "at", "sig", "bs", "uir", "tair", "lair", "hybrid"}
+
+// New builds the named algorithm.
+func New(name string, p Params) (ServerAlgo, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	switch name {
+	case "ts":
+		return &TS{p: p}, nil
+	case "at":
+		return &AT{p: p}, nil
+	case "sig":
+		return &SIG{p: p}, nil
+	case "bs":
+		n := p.NumItems
+		if n <= 0 {
+			n = 1000
+		}
+		return &BS{p: p, numItems: n}, nil
+	case "uir":
+		return &UIR{p: p}, nil
+	case "tair":
+		return newAdaptive(p, true, false), nil
+	case "lair":
+		return newAdaptive(p, false, true), nil
+	case "hybrid":
+		return newAdaptive(p, true, true), nil
+	}
+	return nil, fmt.Errorf("ir: unknown algorithm %q (have %v)", name, Names)
+}
+
+// robustMCS is the index classic schemes broadcast at: the most reliable
+// (slowest) entry of the table — "no link adaptation for broadcast".
+const robustMCS = 0
+
+// sortUpdates orders report items by id for a canonical wire form.
+func sortUpdates(items []db.Update) {
+	sort.Slice(items, func(i, j int) bool { return items[i].ID < items[j].ID })
+}

@@ -1,0 +1,518 @@
+package ir
+
+import (
+	"testing"
+
+	"repro/internal/db"
+	"repro/internal/des"
+	"repro/internal/radio"
+)
+
+// fakeEnv is a scripted ServerEnv for unit-testing the algorithms without
+// the full simulator.
+type fakeEnv struct {
+	sch     *des.Scheduler
+	history []db.Update
+	sent    []sentReport
+	snrs    []float64
+	load    float64
+	amc     *radio.AMC
+}
+
+type sentReport struct {
+	r   *Report
+	mcs int
+}
+
+func newFakeEnv() *fakeEnv {
+	return &fakeEnv{
+		sch:  des.NewScheduler(),
+		amc:  radio.DefaultAMC(),
+		snrs: []float64{30, 30, 30},
+	}
+}
+
+func (e *fakeEnv) Now() des.Time { return e.sch.Now() }
+
+func (e *fakeEnv) update(id int, at des.Duration) {
+	e.history = append(e.history, db.Update{ID: id, At: des.Time(0).Add(at)})
+}
+
+func (e *fakeEnv) UpdatedSince(since des.Time, buf []db.Update) []db.Update {
+	seen := map[int]bool{}
+	now := e.sch.Now()
+	for i := len(e.history) - 1; i >= 0; i-- {
+		u := e.history[i]
+		if u.At <= since || u.At > now || seen[u.ID] {
+			continue
+		}
+		seen[u.ID] = true
+		buf = append(buf, u)
+	}
+	return buf
+}
+
+func (e *fakeEnv) Broadcast(r *Report, mcs int) {
+	if err := r.Validate(); err != nil {
+		panic("fakeEnv: invalid report broadcast: " + err.Error())
+	}
+	e.sent = append(e.sent, sentReport{r, mcs})
+}
+
+func (e *fakeEnv) NewTicker(period des.Duration, name string, fn func(des.Time)) *des.Ticker {
+	return des.NewTicker(e.sch, period, name, fn)
+}
+
+func (e *fakeEnv) AwakeSNRs() []float64 { return e.snrs }
+func (e *fakeEnv) AMC() *radio.AMC      { return e.amc }
+func (e *fakeEnv) DownlinkLoad() float64 {
+	return e.load
+}
+
+func (e *fakeEnv) run(d des.Duration) { e.sch.Run(des.Time(0).Add(d)) }
+
+func mustNew(t *testing.T, name string, p Params) ServerAlgo {
+	t.Helper()
+	a, err := New(name, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestNewRejects(t *testing.T) {
+	if _, err := New("bogus", DefaultParams()); err == nil {
+		t.Error("unknown name accepted")
+	}
+	p := DefaultParams()
+	p.Interval = 0
+	if _, err := New("ts", p); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mut := []func(*Params){
+		func(p *Params) { p.Interval = 0 },
+		func(p *Params) { p.WindowReports = 0 },
+		func(p *Params) { p.MiniPerInterval = 0 },
+		func(p *Params) { p.SigBits = 0 },
+		func(p *Params) { p.SigFalsePositive = 1 },
+		func(p *Params) { p.Coverage = 0 },
+		func(p *Params) { p.Coverage = 1.5 },
+		func(p *Params) { p.IntervalMax = p.IntervalMin - 1 },
+		func(p *Params) { p.LoadHigh = p.LoadLow },
+		func(p *Params) { p.PiggyMaxItems = 0 },
+		func(p *Params) { p.PiggyMinGap = -1 },
+	}
+	for i, f := range mut {
+		p := DefaultParams()
+		f(&p)
+		if p.Validate() == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestAllNamesConstruct(t *testing.T) {
+	for _, name := range Names {
+		a := mustNew(t, name, DefaultParams())
+		if a.Name() != name {
+			t.Errorf("New(%q).Name() = %q", name, a.Name())
+		}
+	}
+}
+
+func TestTSReports(t *testing.T) {
+	env := newFakeEnv()
+	p := DefaultParams()
+	p.Interval = 10 * des.Second
+	p.WindowReports = 2
+	a := mustNew(t, "ts", p)
+	a.Start(env)
+	env.update(5, 3*des.Second)
+	env.update(6, 12*des.Second)
+	env.update(5, 14*des.Second)
+	env.run(35 * des.Second) // reports at 10, 20, 30
+
+	if len(env.sent) != 3 {
+		t.Fatalf("sent %d reports", len(env.sent))
+	}
+	for _, s := range env.sent {
+		if s.mcs != robustMCS {
+			t.Fatal("classic scheme must broadcast robust")
+		}
+		if s.r.Kind != KindFull {
+			t.Fatal("TS sends only full reports")
+		}
+	}
+	// Report 1 (t=10): fewer than K reports so far → window from 0.
+	r1 := env.sent[0].r
+	if r1.WindowStart != 0 || len(r1.Items) != 1 || r1.Items[0].ID != 5 {
+		t.Fatalf("r1 %+v", r1)
+	}
+	// Report 2 (t=20): still covers from 0 (only 1 prior report).
+	r2 := env.sent[1].r
+	if r2.WindowStart != 0 {
+		t.Fatalf("r2 window %v", r2.WindowStart)
+	}
+	// Items deduped to latest: 5@14, 6@12, sorted by id.
+	if len(r2.Items) != 2 || r2.Items[0].ID != 5 ||
+		r2.Items[0].At != des.Time(0).Add(14*des.Second) || r2.Items[1].ID != 6 {
+		t.Fatalf("r2 items %+v", r2.Items)
+	}
+	// Report 3 (t=30): window = 2 reports back = t=10.
+	r3 := env.sent[2].r
+	if r3.WindowStart != des.Time(0).Add(10*des.Second) {
+		t.Fatalf("r3 window %v", r3.WindowStart)
+	}
+	if r3.PrevAt != des.Time(0).Add(20*des.Second) {
+		t.Fatalf("r3 prev %v", r3.PrevAt)
+	}
+	if len(r3.Items) != 2 {
+		t.Fatalf("r3 items %+v", r3.Items)
+	}
+	if a.Piggyback(env.Now()) != nil {
+		t.Fatal("TS must not piggyback")
+	}
+}
+
+func TestATReportsCoverOneInterval(t *testing.T) {
+	env := newFakeEnv()
+	p := DefaultParams()
+	p.Interval = 10 * des.Second
+	a := mustNew(t, "at", p)
+	a.Start(env)
+	env.update(1, 5*des.Second)
+	env.update(2, 15*des.Second)
+	env.run(25 * des.Second)
+
+	if len(env.sent) != 2 {
+		t.Fatalf("sent %d", len(env.sent))
+	}
+	r2 := env.sent[1].r
+	if r2.WindowStart != des.Time(0).Add(10*des.Second) || r2.WindowStart != r2.PrevAt {
+		t.Fatalf("amnesic window %+v", r2)
+	}
+	if len(r2.Items) != 1 || r2.Items[0].ID != 2 {
+		t.Fatalf("r2 items %+v", r2.Items)
+	}
+}
+
+func TestSIGReports(t *testing.T) {
+	env := newFakeEnv()
+	p := DefaultParams()
+	p.Interval = 10 * des.Second
+	a := mustNew(t, "sig", p)
+	a.Start(env)
+	env.run(25 * des.Second)
+	if len(env.sent) != 2 {
+		t.Fatalf("sent %d", len(env.sent))
+	}
+	r := env.sent[0].r
+	if r.Sig == nil || r.Sig.Bits != p.SigBits || r.Sig.Capacity != p.SigCapacity {
+		t.Fatalf("sig block %+v", r.Sig)
+	}
+	if r.Sig.AsOf != r.At || len(r.Items) != 0 {
+		t.Fatalf("sig report %+v", r)
+	}
+}
+
+func TestUIRPattern(t *testing.T) {
+	env := newFakeEnv()
+	p := DefaultParams()
+	p.Interval = 20 * des.Second
+	p.MiniPerInterval = 4 // sub-reports every 5 s; every 4th is full
+	a := mustNew(t, "uir", p)
+	a.Start(env)
+	env.update(1, 7*des.Second)
+	env.run(41 * des.Second) // ticks at 5,10,15,20,25,30,35,40
+
+	if len(env.sent) != 8 {
+		t.Fatalf("sent %d", len(env.sent))
+	}
+	for i, s := range env.sent {
+		wantFull := (i+1)%4 == 0 // ticks 20 and 40
+		if (s.r.Kind == KindFull) != wantFull {
+			t.Fatalf("tick %d kind %v", i, s.r.Kind)
+		}
+	}
+	// Mini at t=25 covers since last full (t=20) → item 1@7s excluded.
+	m := env.sent[4].r
+	if m.WindowStart != des.Time(0).Add(20*des.Second) || len(m.Items) != 0 {
+		t.Fatalf("mini after full %+v", m)
+	}
+	// Mini at t=10 covers since last full; before any full, that is 0.
+	m0 := env.sent[1].r
+	if m0.WindowStart != 0 || len(m0.Items) != 1 {
+		t.Fatalf("early mini %+v", m0)
+	}
+}
+
+func TestLAIRTwoStreams(t *testing.T) {
+	env := newFakeEnv()
+	env.snrs = []float64{30, 30, 30, 30} // strong population: 9x efficiency
+	p := DefaultParams()
+	p.Interval = 10 * des.Second
+	p.WindowReports = 2
+	a := mustNew(t, "lair", p).(*Adaptive)
+	a.Start(env)
+	env.run(25 * des.Second)
+
+	var anchors, fasts []sentReport
+	for _, s := range env.sent {
+		if s.r.Kind == KindFull {
+			anchors = append(anchors, s)
+		} else {
+			fasts = append(fasts, s)
+		}
+	}
+	// Anchor stream is exactly the classic cadence at the robust rate.
+	if len(anchors) != 2 {
+		t.Fatalf("anchors %d, want 2 (t=10, t=20)", len(anchors))
+	}
+	for _, s := range anchors {
+		if s.mcs != robustMCS {
+			t.Fatalf("anchor at mcs %d", s.mcs)
+		}
+	}
+	if anchors[0].r.At != des.Time(0).Add(10*des.Second) ||
+		anchors[1].r.At != des.Time(0).Add(20*des.Second) {
+		t.Fatalf("anchor times %v %v", anchors[0].r.At, anchors[1].r.At)
+	}
+	// Fast stream: first fast tick at t=10 (same budget period), then the
+	// 9x rate shrinks the gap to 10/9 s.
+	if len(fasts) < 10 {
+		t.Fatalf("fast reports %d, expected dense stream", len(fasts))
+	}
+	for _, s := range fasts {
+		if s.mcs == robustMCS {
+			t.Fatal("fast report at robust mcs")
+		}
+		if s.r.Kind != KindMini {
+			t.Fatal("fast reports must be minis (no drop-all for stragglers)")
+		}
+	}
+	gap := fasts[2].r.At.Sub(fasts[1].r.At)
+	interval := 10 * des.Second
+	want := des.Duration(float64(interval) / 9)
+	if d := gap - want; d < -des.Millisecond || d > des.Millisecond {
+		t.Fatalf("fast gap %v, want ~%v", gap, want)
+	}
+	if a.Anchors() != 2 || a.FastReports() != uint64(len(fasts)) {
+		t.Fatalf("counters %d/%d", a.Anchors(), a.FastReports())
+	}
+	if a.Piggyback(env.Now()) != nil {
+		t.Fatal("lair must not piggyback")
+	}
+}
+
+func TestLAIRWeakPopulationDegeneratesToClassic(t *testing.T) {
+	env := newFakeEnv()
+	env.snrs = []float64{1, 1, 1} // nobody decodes anything fast
+	p := DefaultParams()
+	p.Interval = 10 * des.Second
+	a := mustNew(t, "lair", p).(*Adaptive)
+	a.Start(env)
+	env.run(45 * des.Second)
+	// Fast stream silent; only robust anchors, like TS.
+	for _, s := range env.sent {
+		if s.mcs != robustMCS || s.r.Kind != KindFull {
+			t.Fatalf("weak population got %v at mcs %d", s.r.Kind, s.mcs)
+		}
+	}
+	if len(env.sent) != 4 {
+		t.Fatalf("sent %d, want 4 classic reports", len(env.sent))
+	}
+	if a.FastSkipped() == 0 {
+		t.Fatal("fast stream never evaluated")
+	}
+}
+
+func TestTAIRPeriodAdapts(t *testing.T) {
+	env := newFakeEnv()
+	p := DefaultParams()
+	p.IntervalMin = 5 * des.Second
+	p.IntervalMax = 40 * des.Second
+	p.LoadLow = 0.2
+	p.LoadHigh = 0.8
+	a := mustNew(t, "tair", p).(*Adaptive)
+	a.Start(env)
+
+	env.load = 0 // idle → fast cadence
+	env.run(21 * des.Second)
+	idleCount := len(env.sent)
+	if idleCount != 4 { // ticks at 5,10,15,20
+		t.Fatalf("idle reports %d", idleCount)
+	}
+
+	env.load = 1 // saturated → period stretches to max
+	env.run(200 * des.Second)
+	// From ~t=25 (first post-load tick) the period becomes 40 s.
+	busyCount := len(env.sent) - idleCount
+	if busyCount > 7 {
+		t.Fatalf("busy reports %d, period did not stretch", busyCount)
+	}
+	if a.anchorTick.Period() != p.IntervalMax {
+		t.Fatalf("period %v", a.anchorTick.Period())
+	}
+
+	env.load = 0.5 // mid band → linear interpolation
+	env.run(300 * des.Second)
+	want := p.IntervalMin + des.Duration(0.5*float64(p.IntervalMax-p.IntervalMin))
+	if d := a.anchorTick.Period() - want; d < -des.Microsecond || d > des.Microsecond {
+		t.Fatalf("mid-load period %v, want %v", a.anchorTick.Period(), want)
+	}
+}
+
+func TestTAIRPiggyback(t *testing.T) {
+	env := newFakeEnv()
+	p := DefaultParams()
+	p.IntervalMin = 10 * des.Second
+	p.PiggyMinGap = des.Second
+	p.PiggyMaxItems = 2
+	a := mustNew(t, "tair", p).(*Adaptive)
+	a.Start(env)
+	env.update(1, 11*des.Second) // after the t=10 full report
+	env.run(12 * des.Second)
+
+	pg := a.Piggyback(env.Now())
+	if pg == nil {
+		t.Fatal("no piggyback")
+	}
+	if pg.Kind != KindPiggyback || len(pg.Items) != 1 || pg.Items[0].ID != 1 {
+		t.Fatalf("piggyback %+v", pg)
+	}
+	// Digest covers exactly since the last full report.
+	if pg.WindowStart != des.Time(0).Add(10*des.Second) {
+		t.Fatalf("piggyback window %v", pg.WindowStart)
+	}
+	if err := pg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Rate limit: immediate second attempt yields nil.
+	if a.Piggyback(env.Now()) != nil {
+		t.Fatal("piggyback rate limit broken")
+	}
+	// After the gap, works again; an empty digest is still emitted because
+	// it lets a waiting client validate immediately.
+	env.run(14 * des.Second)
+	pg2 := a.Piggyback(env.Now())
+	if pg2 == nil {
+		t.Fatal("piggyback after gap failed")
+	}
+	if a.Piggybacks() != 2 {
+		t.Fatalf("piggyback count %d", a.Piggybacks())
+	}
+}
+
+func TestTAIRPiggybackSkipsWhenTooLarge(t *testing.T) {
+	env := newFakeEnv()
+	p := DefaultParams()
+	p.IntervalMin = 10 * des.Second
+	p.PiggyMaxItems = 2
+	a := mustNew(t, "tair", p).(*Adaptive)
+	a.Start(env)
+	for i := 0; i < 5; i++ {
+		// All after the t=10 full report: too many to piggyback.
+		env.update(i, 11*des.Second+des.Duration(i)*des.Second)
+	}
+	env.run(16 * des.Second)
+	if pg := a.Piggyback(env.Now()); pg != nil {
+		t.Fatalf("oversized piggyback emitted: %+v", pg)
+	}
+}
+
+func TestHybridCombinesBoth(t *testing.T) {
+	env := newFakeEnv()
+	env.snrs = []float64{30, 30, 30}
+	p := DefaultParams()
+	a := mustNew(t, "hybrid", p).(*Adaptive)
+	a.Start(env)
+	env.load = 0
+	env.run(40 * des.Second)
+	// Link-aware: both robust anchors and fast minis present.
+	sawFast, sawAnchor := false, false
+	for _, s := range env.sent {
+		if s.mcs != robustMCS {
+			sawFast = true
+		} else if s.r.Kind == KindFull {
+			sawAnchor = true
+		}
+	}
+	if !sawFast || !sawAnchor {
+		t.Fatalf("hybrid streams missing: fast=%v anchor=%v", sawFast, sawAnchor)
+	}
+	// Traffic-aware: at zero load the anchor cadence pins to IntervalMin.
+	if got := a.anchorTick.Period(); got != p.IntervalMin {
+		t.Fatalf("anchor period %v, want %v", got, p.IntervalMin)
+	}
+	// Traffic-aware: piggybacks available.
+	if a.Piggyback(env.Now()) == nil {
+		t.Fatal("hybrid did not piggyback")
+	}
+}
+
+func TestAllReportsValidateAgainstSchema(t *testing.T) {
+	// Run every algorithm for a while over a busy update stream and check
+	// every emitted report passes Validate (the fakeEnv panics otherwise).
+	for _, name := range Names {
+		env := newFakeEnv()
+		for i := 0; i < 200; i++ {
+			env.update(i%37, des.Duration(i)*500*des.Millisecond)
+		}
+		p := DefaultParams()
+		p.Interval = 7 * des.Second
+		a := mustNew(t, name, p)
+		a.Start(env)
+		env.run(2 * des.Minute)
+		if len(env.sent) == 0 {
+			t.Errorf("%s sent nothing", name)
+		}
+		for range env.sent {
+			a.Piggyback(env.Now()) // also exercised under load
+		}
+	}
+}
+
+func TestBSReports(t *testing.T) {
+	env := newFakeEnv()
+	p := DefaultParams()
+	p.Interval = 10 * des.Second
+	p.NumItems = 512
+	a := mustNew(t, "bs", p)
+	a.Start(env)
+	env.run(25 * des.Second)
+	if len(env.sent) != 2 {
+		t.Fatalf("sent %d", len(env.sent))
+	}
+	r := env.sent[0].r
+	if r.Sig == nil {
+		t.Fatal("bs must carry a comparison block")
+	}
+	// 2 bits per item + 32-bit timestamps per hierarchy level (log2 512 = 9).
+	if r.Sig.Bits != 2*512+32*9 {
+		t.Fatalf("bs size %d bits", r.Sig.Bits)
+	}
+	if r.Sig.Capacity != 256 {
+		t.Fatalf("bs capacity %d, want half the database", r.Sig.Capacity)
+	}
+	if r.Sig.FalsePositive != 0 {
+		t.Fatal("bit sequences are exact: no false positives")
+	}
+	if a.Piggyback(env.Now()) != nil {
+		t.Fatal("bs must not piggyback")
+	}
+}
+
+func TestBSDefaultsNumItems(t *testing.T) {
+	p := DefaultParams()
+	p.NumItems = 0 // standalone use without the core coupling
+	a := mustNew(t, "bs", p).(*BS)
+	if a.numItems != 1000 {
+		t.Fatalf("default items %d", a.numItems)
+	}
+}

@@ -1,0 +1,261 @@
+package ir
+
+import (
+	"repro/internal/db"
+	"repro/internal/des"
+)
+
+// TS is Broadcasting Timestamps (Barbara & Imielinski 1994): every Interval
+// the server broadcasts, at the robust rate, the ids and update times of all
+// items changed in the last WindowReports intervals.
+type TS struct {
+	p   Params
+	env ServerEnv
+	seq uint64
+	win *windowTracker
+	buf []db.Update
+}
+
+// Name implements ServerAlgo.
+func (a *TS) Name() string { return "ts" }
+
+// Piggyback implements ServerAlgo; TS never piggybacks.
+func (a *TS) Piggyback(des.Time) *Report { return nil }
+
+// Start implements ServerAlgo.
+func (a *TS) Start(env ServerEnv) {
+	a.env = env
+	a.win = newWindowTracker(a.p.WindowReports)
+	env.NewTicker(a.p.Interval, "ir.ts", a.tick).Start()
+}
+
+func (a *TS) tick(now des.Time) {
+	winStart := a.win.startK(a.p.WindowReports)
+	prev := a.win.last()
+	a.buf = a.env.UpdatedSince(winStart, a.buf[:0])
+	items := append([]db.Update(nil), a.buf...)
+	sortUpdates(items)
+	a.seq++
+	a.win.record(now)
+	a.env.Broadcast(&Report{
+		Kind:        KindFull,
+		Seq:         a.seq,
+		At:          now,
+		PrevAt:      prev,
+		WindowStart: winStart,
+		Items:       items,
+	}, robustMCS)
+}
+
+// AT is Amnesic Terminals (Barbara & Imielinski 1994): each report lists
+// only the updates since the previous report, so a single missed report
+// forces the client to drop its whole cache.
+type AT struct {
+	p   Params
+	env ServerEnv
+	seq uint64
+	prv des.Time
+	buf []db.Update
+}
+
+// Name implements ServerAlgo.
+func (a *AT) Name() string { return "at" }
+
+// Piggyback implements ServerAlgo; AT never piggybacks.
+func (a *AT) Piggyback(des.Time) *Report { return nil }
+
+// Start implements ServerAlgo.
+func (a *AT) Start(env ServerEnv) {
+	a.env = env
+	env.NewTicker(a.p.Interval, "ir.at", a.tick).Start()
+}
+
+func (a *AT) tick(now des.Time) {
+	a.buf = a.env.UpdatedSince(a.prv, a.buf[:0])
+	items := append([]db.Update(nil), a.buf...)
+	sortUpdates(items)
+	a.seq++
+	prev := a.prv
+	a.prv = now
+	a.env.Broadcast(&Report{
+		Kind:        KindFull,
+		Seq:         a.seq,
+		At:          now,
+		PrevAt:      prev,
+		WindowStart: prev, // amnesic: coverage reaches back exactly one report
+		Items:       items,
+	}, robustMCS)
+}
+
+// SIG is the signature scheme: every Interval a fixed-size block of combined
+// item signatures is broadcast. Clients can re-validate after arbitrarily
+// long disconnection (the report describes the full database state), paying
+// a large fixed report size and occasional false-positive invalidations.
+type SIG struct {
+	p   Params
+	env ServerEnv
+	seq uint64
+	prv des.Time
+}
+
+// Name implements ServerAlgo.
+func (a *SIG) Name() string { return "sig" }
+
+// Piggyback implements ServerAlgo; SIG never piggybacks.
+func (a *SIG) Piggyback(des.Time) *Report { return nil }
+
+// Start implements ServerAlgo.
+func (a *SIG) Start(env ServerEnv) {
+	a.env = env
+	env.NewTicker(a.p.Interval, "ir.sig", a.tick).Start()
+}
+
+func (a *SIG) tick(now des.Time) {
+	a.seq++
+	prev := a.prv
+	a.prv = now
+	a.env.Broadcast(&Report{
+		Kind:   KindFull,
+		Seq:    a.seq,
+		At:     now,
+		PrevAt: prev,
+		Sig: &SigBlock{
+			AsOf:          now,
+			Capacity:      a.p.SigCapacity,
+			FalsePositive: a.p.SigFalsePositive,
+			Bits:          a.p.SigBits,
+		},
+	}, robustMCS)
+}
+
+// UIR is Updated Invalidation Reports (Cao 2000): full TS-style reports
+// every Interval, with MiniPerInterval−1 small replicated sub-reports in
+// between. A client consistent as of the last full report can validate at
+// the very next mini instead of waiting out the full interval, cutting the
+// average wait from L/2 to L/(2m).
+type UIR struct {
+	p        Params
+	env      ServerEnv
+	seq      uint64
+	win      *windowTracker
+	lastFull des.Time
+	prv      des.Time
+	nth      int
+	buf      []db.Update
+}
+
+// Name implements ServerAlgo.
+func (a *UIR) Name() string { return "uir" }
+
+// Piggyback implements ServerAlgo; UIR never piggybacks.
+func (a *UIR) Piggyback(des.Time) *Report { return nil }
+
+// Start implements ServerAlgo.
+func (a *UIR) Start(env ServerEnv) {
+	a.env = env
+	a.win = newWindowTracker(a.p.WindowReports)
+	sub := des.Duration(int64(a.p.Interval) / int64(a.p.MiniPerInterval))
+	if sub <= 0 {
+		sub = des.Microsecond
+	}
+	env.NewTicker(sub, "ir.uir", a.tick).Start()
+}
+
+func (a *UIR) tick(now des.Time) {
+	a.nth++
+	a.seq++
+	prev := a.prv
+	a.prv = now
+	if a.nth%a.p.MiniPerInterval == 0 {
+		// Full report: TS window over full-report times.
+		winStart := a.win.startK(a.p.WindowReports)
+		a.buf = a.env.UpdatedSince(winStart, a.buf[:0])
+		items := append([]db.Update(nil), a.buf...)
+		sortUpdates(items)
+		a.win.record(now)
+		a.lastFull = now
+		a.env.Broadcast(&Report{
+			Kind:        KindFull,
+			Seq:         a.seq,
+			At:          now,
+			PrevAt:      prev,
+			WindowStart: winStart,
+			Items:       items,
+		}, robustMCS)
+		return
+	}
+	// Mini: everything since the last full report. Usable by any client
+	// that processed that full report (or a later mini).
+	a.buf = a.env.UpdatedSince(a.lastFull, a.buf[:0])
+	items := append([]db.Update(nil), a.buf...)
+	sortUpdates(items)
+	a.env.Broadcast(&Report{
+		Kind:        KindMini,
+		Seq:         a.seq,
+		At:          now,
+		PrevAt:      prev,
+		WindowStart: a.lastFull,
+		Items:       items,
+	}, robustMCS)
+}
+
+// BS is the Bit-Sequences scheme (Jing, Elmagarmid, Helal & Alonso 1997):
+// each report encodes the database's update recency as a hierarchy of bit
+// sequences of total size ≈ 2N bits, letting a client disconnected for an
+// arbitrary time invalidate exactly — provided no more than half the
+// database changed during its absence, beyond which the structure cannot
+// localize the changes and the cache must be dropped.
+//
+// The simulation models the bit-sequence comparison behaviourally through
+// the same oracle as SIG (exact change detection, zero false positives)
+// with the half-database capacity rule, and sizes the report at 2 bits per
+// database item plus the timestamp ladder. DESIGN.md documents the
+// substitution.
+type BS struct {
+	p        Params
+	numItems int
+	env      ServerEnv
+	seq      uint64
+	prv      des.Time
+}
+
+// Name implements ServerAlgo.
+func (a *BS) Name() string { return "bs" }
+
+// Piggyback implements ServerAlgo; BS never piggybacks.
+func (a *BS) Piggyback(des.Time) *Report { return nil }
+
+// Start implements ServerAlgo.
+func (a *BS) Start(env ServerEnv) {
+	a.env = env
+	env.NewTicker(a.p.Interval, "ir.bs", a.tick).Start()
+}
+
+func (a *BS) tick(now des.Time) {
+	a.seq++
+	prev := a.prv
+	a.prv = now
+	bits := 2*a.numItems + 32*bitsLen(a.numItems)
+	a.env.Broadcast(&Report{
+		Kind:   KindFull,
+		Seq:    a.seq,
+		At:     now,
+		PrevAt: prev,
+		Sig: &SigBlock{
+			AsOf:          now,
+			Capacity:      a.numItems / 2, // the half-database rule
+			FalsePositive: 0,              // bit sequences are exact
+			Bits:          bits,
+		},
+	}, robustMCS)
+}
+
+// bitsLen reports the number of levels in the bit-sequence hierarchy.
+func bitsLen(n int) int {
+	levels := 0
+	for n > 1 {
+		n /= 2
+		levels++
+	}
+	return levels
+}

@@ -1,0 +1,115 @@
+package ir
+
+import (
+	"repro/internal/cache"
+	"repro/internal/des"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+)
+
+// Oracle gives the client-side signature comparison access to the server
+// item state the signatures encode. It stands in for bit-level signature
+// hashing; see the SigBlock doc comment.
+type Oracle interface {
+	// UpdatedAt reports the latest update time of an item.
+	UpdatedAt(id int) des.Time
+}
+
+// ClientStats counts report-processing outcomes.
+type ClientStats struct {
+	Received   metrics.Counter // reports decoded
+	Applied    metrics.Counter // reports that validated the cache
+	Unusable   metrics.Counter // mini/piggyback outside the coverage window
+	Drops      metrics.Counter // full reports that forced a cache flush
+	SigDrops   metrics.Counter // signature capacity exceeded
+	FalseInval metrics.Counter // signature false-positive invalidations
+}
+
+// ClientState is the per-client invalidation protocol state. One generic
+// rule covers every scheme: a report whose coverage window reaches back to
+// the client's last consistent point advances that point; a full report
+// that does not still re-synchronizes by dropping the cache.
+type ClientState struct {
+	// LastConsistent is the server time as of which the cache contents are
+	// known to reflect all updates. Zero initially: an empty cache is
+	// trivially consistent as of the epoch.
+	LastConsistent des.Time
+
+	Stats ClientStats
+
+	scratch []int // reused id buffer for signature processing
+}
+
+// Process applies a decoded report. It returns true when the cache is now
+// consistent as of r.At, meaning pending queries may be served; false when
+// the report was unusable (coverage chain broken on a non-full report).
+// oracle and src are needed only for signature reports and may be nil
+// otherwise.
+func (s *ClientState) Process(r *Report, c *cache.Cache, oracle Oracle, src *rng.Source) bool {
+	s.Stats.Received.Inc()
+	if r.At < s.LastConsistent {
+		// Stale or reordered report: nothing it could teach us.
+		s.Stats.Unusable.Inc()
+		return false
+	}
+	if r.Sig != nil {
+		s.processSig(r, c, oracle, src)
+		s.LastConsistent = r.At
+		s.Stats.Applied.Inc()
+		return true
+	}
+	if s.LastConsistent >= r.WindowStart {
+		for _, u := range r.Items {
+			if e, ok := c.Peek(u.ID); ok && u.At > e.CachedAt {
+				c.Invalidate(u.ID)
+			}
+		}
+		s.LastConsistent = r.At
+		s.Stats.Applied.Inc()
+		return true
+	}
+	if r.Kind == KindFull {
+		// Coverage window exceeded (slept or faded too long): the only safe
+		// move is to drop everything, which is itself a consistent state.
+		c.InvalidateAll()
+		s.LastConsistent = r.At
+		s.Stats.Applied.Inc()
+		s.Stats.Drops.Inc()
+		return true
+	}
+	s.Stats.Unusable.Inc()
+	return false
+}
+
+// processSig performs the behavioural signature comparison: entries whose
+// item truly changed since they were cached are always detected; unchanged
+// entries are invalidated with the scheme's false-positive probability; if
+// more entries differ than the signature capacity can localize, everything
+// is dropped.
+func (s *ClientState) processSig(r *Report, c *cache.Cache, oracle Oracle, src *rng.Source) {
+	changed := s.scratch[:0]
+	clean := make([]int, 0, c.Len())
+	c.Range(func(e cache.Entry) bool {
+		if oracle.UpdatedAt(e.ID) > e.CachedAt {
+			changed = append(changed, e.ID)
+		} else {
+			clean = append(clean, e.ID)
+		}
+		return true
+	})
+	s.scratch = changed[:0]
+	if len(changed) > r.Sig.Capacity {
+		c.InvalidateAll()
+		s.Stats.SigDrops.Inc()
+		return
+	}
+	for _, id := range changed {
+		c.Invalidate(id)
+	}
+	for _, id := range clean {
+		if src.Bool(r.Sig.FalsePositive) {
+			c.Invalidate(id)
+			s.Stats.FalseInval.Inc()
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package ir
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/db"
+	"repro/internal/des"
+	"repro/internal/rng"
+)
+
+// mapOracle backs signature tests with a fixed update-time table.
+type mapOracle map[int]des.Time
+
+func (o mapOracle) UpdatedAt(id int) des.Time { return o[id] }
+
+func fill(c *cache.Cache, ids []int, cachedAt des.Time) {
+	for _, id := range ids {
+		c.Put(id, 1, cachedAt)
+	}
+}
+
+func TestProcessInsideWindowInvalidatesSelectively(t *testing.T) {
+	c := cache.New(10, 100)
+	fill(c, []int{1, 2, 3}, des.Time(100))
+	var s ClientState
+	s.LastConsistent = des.Time(100)
+	r := &Report{
+		Kind: KindFull, At: des.Time(200), WindowStart: des.Time(50),
+		Items: []db.Update{
+			{ID: 2, At: des.Time(150)}, // newer than cached → invalidate
+			{ID: 3, At: des.Time(90)},  // older than cached value → keep
+			{ID: 7, At: des.Time(160)}, // not cached → no-op
+		},
+	}
+	if !s.Process(r, c, nil, nil) {
+		t.Fatal("report inside window must validate")
+	}
+	if c.Contains(2) {
+		t.Fatal("updated item survived")
+	}
+	if !c.Contains(1) || !c.Contains(3) {
+		t.Fatal("unaffected items dropped")
+	}
+	if s.LastConsistent != des.Time(200) {
+		t.Fatalf("LastConsistent %v", s.LastConsistent)
+	}
+	if s.Stats.Applied.Value() != 1 || s.Stats.Drops.Value() != 0 {
+		t.Fatalf("stats %+v", s.Stats)
+	}
+}
+
+func TestProcessWindowExceededDropsOnFull(t *testing.T) {
+	c := cache.New(10, 100)
+	fill(c, []int{1, 2}, des.Time(10))
+	var s ClientState
+	s.LastConsistent = des.Time(10)
+	r := &Report{Kind: KindFull, At: des.Time(500), WindowStart: des.Time(400)}
+	if !s.Process(r, c, nil, nil) {
+		t.Fatal("full report must always validate")
+	}
+	if c.Len() != 0 {
+		t.Fatal("cache not dropped outside window")
+	}
+	if s.Stats.Drops.Value() != 1 {
+		t.Fatal("drop not counted")
+	}
+	if s.LastConsistent != des.Time(500) {
+		t.Fatalf("LastConsistent %v", s.LastConsistent)
+	}
+}
+
+func TestProcessWindowExceededMiniUnusable(t *testing.T) {
+	c := cache.New(10, 100)
+	fill(c, []int{1}, des.Time(10))
+	var s ClientState
+	s.LastConsistent = des.Time(10)
+	for _, kind := range []Kind{KindMini, KindPiggyback} {
+		r := &Report{Kind: kind, At: des.Time(500), WindowStart: des.Time(400)}
+		if s.Process(r, c, nil, nil) {
+			t.Fatalf("%v outside window must be unusable", kind)
+		}
+	}
+	if c.Len() != 1 {
+		t.Fatal("unusable report mutated the cache")
+	}
+	if s.LastConsistent != des.Time(10) {
+		t.Fatal("unusable report advanced consistency")
+	}
+	if s.Stats.Unusable.Value() != 2 {
+		t.Fatalf("stats %+v", s.Stats)
+	}
+}
+
+func TestProcessBoundaryEquality(t *testing.T) {
+	// lastConsistent exactly equal to WindowStart is sufficient: the report
+	// lists updates in (WindowStart, At].
+	var s ClientState
+	s.LastConsistent = des.Time(100)
+	c := cache.New(4, 10)
+	r := &Report{Kind: KindMini, At: des.Time(200), WindowStart: des.Time(100)}
+	if !s.Process(r, c, nil, nil) {
+		t.Fatal("boundary equality must validate")
+	}
+}
+
+func TestProcessStaleReportIgnored(t *testing.T) {
+	var s ClientState
+	s.LastConsistent = des.Time(300)
+	c := cache.New(4, 10)
+	c.Put(1, 1, des.Time(250))
+	r := &Report{Kind: KindFull, At: des.Time(200), WindowStart: des.Time(0),
+		Items: []db.Update{{ID: 1, At: des.Time(100)}}}
+	if s.Process(r, c, nil, nil) {
+		t.Fatal("report older than consistency point must be ignored")
+	}
+	if !c.Contains(1) || s.LastConsistent != des.Time(300) {
+		t.Fatal("stale report mutated state")
+	}
+}
+
+func TestProcessChainAcrossReports(t *testing.T) {
+	// A client receiving an unbroken chain of minis stays consistent without
+	// ever seeing a full report after the first.
+	var s ClientState
+	c := cache.New(10, 100)
+	full := &Report{Kind: KindFull, At: des.Time(100), WindowStart: des.Time(50)}
+	if !s.Process(full, c, nil, nil) {
+		t.Fatal("initial full failed")
+	}
+	for i := 1; i <= 5; i++ {
+		at := des.Time(100 + i*10)
+		mini := &Report{Kind: KindMini, At: at, WindowStart: at - 10}
+		if !s.Process(mini, c, nil, nil) {
+			t.Fatalf("mini %d broke the chain", i)
+		}
+	}
+	// Skipping one mini breaks the chain until the next full.
+	gap := &Report{Kind: KindMini, At: des.Time(180), WindowStart: des.Time(170)}
+	if s.Process(gap, c, nil, nil) {
+		t.Fatal("broken chain accepted")
+	}
+}
+
+func TestProcessSigDetectsChanges(t *testing.T) {
+	c := cache.New(10, 100)
+	c.Put(1, 1, des.Time(100)) // changed on server at 150
+	c.Put(2, 1, des.Time(100)) // unchanged
+	oracle := mapOracle{1: des.Time(150), 2: des.Time(50)}
+	var s ClientState
+	r := &Report{Kind: KindFull, At: des.Time(200),
+		Sig: &SigBlock{AsOf: des.Time(200), Capacity: 8, FalsePositive: 0, Bits: 1024}}
+	if !s.Process(r, c, oracle, rng.New(1)) {
+		t.Fatal("sig report must validate")
+	}
+	if c.Contains(1) {
+		t.Fatal("changed item survived signature check")
+	}
+	if !c.Contains(2) {
+		t.Fatal("unchanged item dropped with zero false-positive rate")
+	}
+}
+
+func TestProcessSigSurvivesLongDisconnection(t *testing.T) {
+	// The whole point of SIG: no coverage window, so an arbitrarily old
+	// client still validates selectively.
+	c := cache.New(10, 100)
+	c.Put(1, 1, des.Time(5))
+	oracle := mapOracle{1: des.Time(2)} // never changed since caching
+	var s ClientState
+	s.LastConsistent = des.Time(5)
+	r := &Report{Kind: KindFull, At: des.Time(1_000_000),
+		Sig: &SigBlock{AsOf: des.Time(1_000_000), Capacity: 4, FalsePositive: 0, Bits: 512}}
+	if !s.Process(r, c, oracle, rng.New(1)) {
+		t.Fatal("old client must validate via signatures")
+	}
+	if !c.Contains(1) {
+		t.Fatal("clean entry dropped after long disconnection")
+	}
+}
+
+func TestProcessSigCapacityDrop(t *testing.T) {
+	c := cache.New(10, 100)
+	oracle := mapOracle{}
+	for i := 0; i < 6; i++ {
+		c.Put(i, 1, des.Time(10))
+		oracle[i] = des.Time(100) // all changed
+	}
+	var s ClientState
+	r := &Report{Kind: KindFull, At: des.Time(200),
+		Sig: &SigBlock{AsOf: des.Time(200), Capacity: 3, FalsePositive: 0, Bits: 512}}
+	if !s.Process(r, c, oracle, rng.New(1)) {
+		t.Fatal("sig must validate even via drop")
+	}
+	if c.Len() != 0 {
+		t.Fatal("capacity overflow must drop everything")
+	}
+	if s.Stats.SigDrops.Value() != 1 {
+		t.Fatal("sig drop not counted")
+	}
+}
+
+func TestProcessSigFalsePositives(t *testing.T) {
+	const n = 2000
+	c := cache.New(n, n)
+	oracle := mapOracle{}
+	for i := 0; i < n; i++ {
+		c.Put(i, 1, des.Time(10))
+		oracle[i] = des.Time(1)
+	}
+	var s ClientState
+	r := &Report{Kind: KindFull, At: des.Time(100),
+		Sig: &SigBlock{AsOf: des.Time(100), Capacity: 8, FalsePositive: 0.1, Bits: 512}}
+	s.Process(r, c, oracle, rng.New(7))
+	dropped := n - c.Len()
+	if dropped < n/20 || dropped > n/5 {
+		t.Fatalf("false positives %d of %d, want ~10%%", dropped, n)
+	}
+	if s.Stats.FalseInval.Value() != uint64(dropped) {
+		t.Fatal("false-invalidation count mismatch")
+	}
+}
+
+func TestProcessEmptyCacheAlwaysCheap(t *testing.T) {
+	// Fresh client (zero state): first full report validates via drop path
+	// without error even though LastConsistent is the epoch.
+	var s ClientState
+	c := cache.New(4, 10)
+	r := &Report{Kind: KindFull, At: des.Time(1000), WindowStart: des.Time(900)}
+	if !s.Process(r, c, nil, nil) {
+		t.Fatal("fresh client must sync on first full report")
+	}
+}

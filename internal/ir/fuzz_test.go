@@ -1,0 +1,40 @@
+package ir
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/db"
+)
+
+// FuzzUnmarshal drives the wire decoder with arbitrary bytes: it must never
+// panic, and anything it accepts must re-encode to the same bytes
+// (canonical form) and pass structural validation of its sizes.
+func FuzzUnmarshal(f *testing.F) {
+	seed := []*Report{
+		{Kind: KindFull, Seq: 1, At: 1000, PrevAt: 500, WindowStart: 100},
+		{Kind: KindMini, Seq: 2, At: 2000, PrevAt: 1500, WindowStart: 1500,
+			Items: []db.Update{{ID: 3, At: 1600}}},
+		{Kind: KindFull, Seq: 3, At: 3000,
+			Sig: &SigBlock{AsOf: 3000, Capacity: 8, FalsePositive: 0.01, Bits: 512}},
+	}
+	for _, r := range seed {
+		f.Add(r.Marshal())
+	}
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		re := r.Marshal()
+		if !bytes.Equal(re, data) {
+			t.Fatalf("accepted non-canonical encoding:\n in  %x\n out %x", data, re)
+		}
+		if r.SizeBits() < HeaderBits {
+			t.Fatalf("impossible size %d", r.SizeBits())
+		}
+	})
+}

@@ -1,0 +1,180 @@
+package ir
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/db"
+	"repro/internal/des"
+	"repro/internal/rng"
+)
+
+func TestKindString(t *testing.T) {
+	if KindFull.String() != "full" || KindMini.String() != "mini" ||
+		KindPiggyback.String() != "piggyback" || Kind(9).String() != "unknown" {
+		t.Fatal("Kind.String broken")
+	}
+}
+
+func TestSizeBits(t *testing.T) {
+	r := &Report{Kind: KindFull}
+	if r.SizeBits() != HeaderBits {
+		t.Fatalf("empty report %d bits", r.SizeBits())
+	}
+	r.Items = make([]db.Update, 10)
+	if r.SizeBits() != HeaderBits+10*PerItemBits {
+		t.Fatalf("10-item report %d bits", r.SizeBits())
+	}
+	r.Items = nil
+	r.Sig = &SigBlock{Bits: 4096, Capacity: 8}
+	if r.SizeBits() != HeaderBits+SigBlockBits+4096 {
+		t.Fatalf("sig report %d bits", r.SizeBits())
+	}
+}
+
+func TestReportValidate(t *testing.T) {
+	good := &Report{
+		Kind: KindFull, At: des.Time(100), PrevAt: des.Time(50),
+		WindowStart: des.Time(10),
+		Items:       []db.Update{{ID: 1, At: des.Time(60)}},
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []*Report{
+		{Kind: Kind(9), At: 100},
+		{Kind: KindFull, At: 100, WindowStart: 200},
+		{Kind: KindFull, At: 100, PrevAt: 200},
+		{Kind: KindFull, At: 100, Sig: &SigBlock{Capacity: 1, Bits: 1}, Items: []db.Update{{ID: 1, At: 50}}},
+		{Kind: KindFull, At: 100, Sig: &SigBlock{Capacity: 0, Bits: 1}},
+		{Kind: KindFull, At: 100, Sig: &SigBlock{Capacity: 1, Bits: 1, FalsePositive: 1}},
+		{Kind: KindFull, At: 100, WindowStart: 10, Items: []db.Update{{ID: 1, At: 5}}},
+		{Kind: KindFull, At: 100, WindowStart: 10, Items: []db.Update{{ID: 1, At: 150}}},
+		{Kind: KindFull, At: 100, WindowStart: 10, Items: []db.Update{{ID: 1, At: 10}}},
+	}
+	for i, r := range bad {
+		if r.Validate() == nil {
+			t.Errorf("bad report %d accepted", i)
+		}
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	cases := []*Report{
+		{Kind: KindFull, Seq: 1, At: 1000, PrevAt: 500, WindowStart: 100},
+		{Kind: KindMini, Seq: 42, At: 2000, PrevAt: 1500, WindowStart: 1500,
+			Items: []db.Update{{ID: 3, At: 1600}, {ID: 99, At: 1999}}},
+		{Kind: KindFull, Seq: 7, At: 3000, PrevAt: 2000,
+			Sig: &SigBlock{AsOf: 3000, Capacity: 16, FalsePositive: 0.05, Bits: 8192}},
+		{Kind: KindPiggyback, Seq: 9, At: 4000, PrevAt: 3500, WindowStart: 3000,
+			Items: []db.Update{{ID: 0, At: 3501}}},
+	}
+	for i, r := range cases {
+		got, err := Unmarshal(r.Marshal())
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, r) {
+			t.Fatalf("case %d: round trip\n got %+v\nwant %+v", i, got, r)
+		}
+	}
+}
+
+func TestMarshalRoundTripProperty(t *testing.T) {
+	f := func(seed uint64, kindRaw uint8, nItems uint8, withSig bool) bool {
+		r := rng.New(seed)
+		at := des.Time(r.Uint64n(1 << 40))
+		rep := &Report{
+			Kind:        Kind(kindRaw % 3),
+			Seq:         r.Uint64(),
+			At:          at,
+			PrevAt:      des.Time(r.Uint64n(uint64(at) + 1)),
+			WindowStart: des.Time(r.Uint64n(uint64(at) + 1)),
+		}
+		if withSig {
+			rep.Sig = &SigBlock{
+				AsOf:          at,
+				Capacity:      1 + r.Intn(100),
+				FalsePositive: r.Float64() * 0.5,
+				Bits:          1 + r.Intn(1<<16),
+			}
+		} else {
+			for i := 0; i < int(nItems); i++ {
+				rep.Items = append(rep.Items, db.Update{
+					ID: r.Intn(1 << 20),
+					At: des.Time(r.Uint64n(uint64(at) + 1)),
+				})
+			}
+		}
+		got, err := Unmarshal(rep.Marshal())
+		return err == nil && reflect.DeepEqual(got, rep)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnmarshalRejectsCorrupt(t *testing.T) {
+	r := &Report{Kind: KindFull, Seq: 1, At: 1000, WindowStart: 100,
+		Items: []db.Update{{ID: 1, At: 200}}}
+	wire := r.Marshal()
+	if _, err := Unmarshal(nil); err == nil {
+		t.Error("nil accepted")
+	}
+	if _, err := Unmarshal(wire[:10]); err == nil {
+		t.Error("truncated header accepted")
+	}
+	if _, err := Unmarshal(wire[:len(wire)-5]); err == nil {
+		t.Error("truncated items accepted")
+	}
+	trailing := append(append([]byte(nil), wire...), 0xFF)
+	if _, err := Unmarshal(trailing); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+	badMarker := append([]byte(nil), wire...)
+	badMarker[len(badMarker)-1] = 7 // sig marker is the final byte here
+	if _, err := Unmarshal(badMarker); err == nil {
+		t.Error("bad sig marker accepted")
+	}
+}
+
+func TestWindowTracker(t *testing.T) {
+	w := newWindowTracker(3)
+	if w.startK(3) != 0 || w.last() != 0 {
+		t.Fatal("empty tracker must report zero")
+	}
+	w.record(10)
+	w.record(20)
+	if w.startK(3) != 0 {
+		t.Fatal("underfilled lookback must report zero")
+	}
+	if w.startK(2) != 10 {
+		t.Fatalf("startK(2) = %v", w.startK(2))
+	}
+	if w.startK(1) != 20 || w.last() != 20 {
+		t.Fatalf("startK(1) = %v", w.startK(1))
+	}
+	w.record(30)
+	if w.startK(3) != 10 {
+		t.Fatalf("startK(3) = %v", w.startK(3))
+	}
+	w.record(40) // 10 falls out
+	if w.startK(3) != 20 || w.startK(1) != 40 {
+		t.Fatalf("after wrap: startK(3)=%v startK(1)=%v", w.startK(3), w.startK(1))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("lookback beyond capacity must panic")
+		}
+	}()
+	w.startK(4)
+}
+
+func TestNewWindowTrackerClamps(t *testing.T) {
+	w := newWindowTracker(0)
+	w.record(5)
+	if w.startK(1) != 5 {
+		t.Fatal("clamped tracker broken")
+	}
+}

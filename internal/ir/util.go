@@ -1,0 +1,58 @@
+package ir
+
+import (
+	"math"
+
+	"repro/internal/des"
+)
+
+func fp64bits(f float64) uint64   { return math.Float64bits(f) }
+func bitsToFP64(b uint64) float64 { return math.Float64frombits(b) }
+
+// windowTracker remembers the generation times of recent reports so a
+// coverage window can be expressed as "everything since the k-th previous
+// report" — exact even when the report interval adapts at runtime.
+type windowTracker struct {
+	times []des.Time
+	next  int
+	count int
+}
+
+// newWindowTracker retains up to capacity report times.
+func newWindowTracker(capacity int) *windowTracker {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &windowTracker{times: make([]des.Time, capacity)}
+}
+
+// record notes that a report was generated at t.
+func (w *windowTracker) record(t des.Time) {
+	w.times[w.next] = t
+	w.next = (w.next + 1) % len(w.times)
+	if w.count < len(w.times) {
+		w.count++
+	}
+}
+
+// startK reports the k-th previous report time, or zero (cover full
+// history) while fewer than k reports have been recorded. k must not exceed
+// the tracker capacity.
+func (w *windowTracker) startK(k int) des.Time {
+	if k > len(w.times) {
+		panic("ir: windowTracker lookback beyond capacity")
+	}
+	if w.count < k {
+		return 0
+	}
+	idx := (w.next - k + len(w.times)) % len(w.times)
+	return w.times[idx]
+}
+
+// last reports the most recent recorded time, or zero if none.
+func (w *windowTracker) last() des.Time {
+	if w.count == 0 {
+		return 0
+	}
+	return w.startK(1)
+}

@@ -1,0 +1,245 @@
+package mac
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/metrics"
+	"repro/internal/radio"
+)
+
+// DownlinkConfig sets the fixed parameters of the downlink medium.
+type DownlinkConfig struct {
+	HeaderBits int // PHY+MAC header prepended to every frame, sent robust
+	RetryLimit int // ARQ attempts for unicast frames beyond the first
+
+	// StrictPriority gives query responses absolute priority over background
+	// traffic. The default (false) is a shared FIFO data plane — responses
+	// and background traffic queue together, which is the regime where
+	// "downlink traffic" genuinely delays data delivery and the
+	// traffic-aware invalidation schemes have something to react to.
+	// Invalidation reports are a control channel and always go first.
+	StrictPriority bool
+
+	// BgQueueLimitBits bounds the queued background backlog (drop-tail), so
+	// an overloaded background source cannot grow the queue without bound.
+	// Zero means a default of 4,000,000 bits (~several seconds of air).
+	BgQueueLimitBits int
+}
+
+// DefaultDownlinkConfig matches a 2000s cellular downlink: 16-byte header,
+// three retransmissions, shared data plane.
+func DefaultDownlinkConfig() DownlinkConfig {
+	return DownlinkConfig{HeaderBits: 128, RetryLimit: 3, BgQueueLimitBits: 4_000_000}
+}
+
+// DeliverFunc is invoked when a frame leaves the medium. For unicast frames
+// ok reports whether the destination decoded it (after ARQ); for broadcast
+// frames ok is always true and each receiver must roll its own decode via
+// the channel. mcs is the scheme the final transmission's payload used.
+type DeliverFunc func(f *Frame, ok bool, mcs int, now des.Time)
+
+// DownlinkStats aggregates medium-level measurements.
+type DownlinkStats struct {
+	Busy       [numKinds]float64 // seconds of airtime per class
+	Frames     [numKinds]uint64
+	Bits       [numKinds]uint64 // payload bits delivered (attempts count once)
+	Retries    metrics.Counter
+	Drops      metrics.Counter // unicast frames abandoned after RetryLimit
+	BgRejected metrics.Counter // background frames refused at admission
+	QueueDelay metrics.Series  // enqueue → transmission start, seconds
+	QueueLen   metrics.TimeWeighted
+}
+
+// Utilization reports the fraction of [0, now] the medium was busy.
+func (s *DownlinkStats) Utilization(now des.Time) float64 {
+	total := s.Busy[KindIR] + s.Busy[KindResponse] + s.Busy[KindBackground]
+	if now <= 0 {
+		return 0
+	}
+	return total / now.Seconds()
+}
+
+// Downlink serializes frames onto the shared medium. Invalidation reports
+// form a strict-priority control queue; data frames (responses and
+// background) share a FIFO unless StrictPriority splits them.
+type Downlink struct {
+	cfg     DownlinkConfig
+	sch     *des.Scheduler
+	channel *radio.Channel
+	deliver DeliverFunc
+
+	queues   [numKinds]fifo // KindBackground queue unused in shared mode
+	bgQueued int            // queued background bits (admission control)
+	sending  bool
+	inFlight *Frame
+
+	stats DownlinkStats
+}
+
+// NewDownlink builds the downlink. deliver must be non-nil.
+func NewDownlink(sch *des.Scheduler, ch *radio.Channel, cfg DownlinkConfig, deliver DeliverFunc) *Downlink {
+	if deliver == nil {
+		panic("mac: nil deliver callback")
+	}
+	if cfg.HeaderBits < 0 || cfg.RetryLimit < 0 || cfg.BgQueueLimitBits < 0 {
+		panic(fmt.Sprintf("mac: invalid downlink config %+v", cfg))
+	}
+	if cfg.BgQueueLimitBits == 0 {
+		cfg.BgQueueLimitBits = 4_000_000
+	}
+	return &Downlink{cfg: cfg, sch: sch, channel: ch, deliver: deliver}
+}
+
+// Stats exposes the accumulated measurements.
+func (d *Downlink) Stats() *DownlinkStats { return &d.stats }
+
+// QueuedFrames reports the number of frames waiting (not in flight).
+func (d *Downlink) QueuedFrames() int {
+	n := 0
+	for k := range d.queues {
+		n += d.queues[k].len()
+	}
+	return n
+}
+
+// QueuedBits reports the payload bits waiting that belong to the given
+// class, wherever they are queued.
+func (d *Downlink) QueuedBits(kind FrameKind) int {
+	bits := 0
+	for k := range d.queues {
+		q := &d.queues[k]
+		for i := q.head; i < len(q.buf); i++ {
+			if q.buf[i].Kind == kind {
+				bits += q.buf[i].Bits
+			}
+		}
+	}
+	return bits
+}
+
+// Busy reports whether a frame is currently on the air.
+func (d *Downlink) Busy() bool { return d.sending }
+
+// queueFor maps a frame to its queue index under the configured discipline.
+func (d *Downlink) queueFor(f *Frame) *fifo {
+	if f.Kind == KindIR {
+		return &d.queues[KindIR]
+	}
+	if d.cfg.StrictPriority {
+		return &d.queues[f.Kind]
+	}
+	return &d.queues[KindResponse] // shared data plane
+}
+
+// Enqueue admits a frame to the medium. It reports false when a background
+// frame is refused by admission control; the frame must then be discarded by
+// the caller. Accepted frames must not be reused until delivered.
+func (d *Downlink) Enqueue(f *Frame) bool {
+	if f.Kind < 0 || f.Kind >= numKinds {
+		panic(fmt.Sprintf("mac: bad frame kind %d", f.Kind))
+	}
+	if f.Bits <= 0 || f.RobustBits < 0 {
+		panic(fmt.Sprintf("mac: frame with %d/%d bits", f.Bits, f.RobustBits))
+	}
+	if f.Dest == Broadcast && f.MCS == AutoMCS {
+		panic("mac: broadcast frames need an explicit MCS")
+	}
+	if f.Kind == KindBackground {
+		if d.bgQueued+f.Bits > d.cfg.BgQueueLimitBits {
+			d.stats.BgRejected.Inc()
+			return false
+		}
+		d.bgQueued += f.Bits
+	}
+	f.Enqueued = d.sch.Now()
+	d.queueFor(f).push(f)
+	d.stats.QueueLen.Add(d.sch.Now().Seconds(), 1)
+	d.pump()
+	return true
+}
+
+// pump starts the next pending frame if the medium is idle: control first,
+// then data in discipline order.
+func (d *Downlink) pump() {
+	if d.sending {
+		return
+	}
+	var f *Frame
+	for k := range d.queues {
+		if d.queues[k].len() > 0 {
+			f = d.queues[k].pop()
+			break
+		}
+	}
+	if f == nil {
+		return
+	}
+	if f.Kind == KindBackground && f.retries == 0 {
+		d.bgQueued -= f.Bits
+	}
+	d.stats.QueueLen.Add(d.sch.Now().Seconds(), -1)
+	d.transmit(f)
+}
+
+// airtime reports the seconds one transmission of f takes: header and
+// robust-control portion at the base rate, payload at the selected MCS.
+func (d *Downlink) airtime(f *Frame, mcs int) des.Duration {
+	amc := d.channel.AMC()
+	sec := amc.Airtime(0, d.cfg.HeaderBits+f.RobustBits) + amc.Airtime(mcs, f.Bits)
+	a := des.FromSeconds(sec)
+	if a <= 0 {
+		a = des.Microsecond
+	}
+	return a
+}
+
+func (d *Downlink) transmit(f *Frame) {
+	now := d.sch.Now()
+	if f.retries == 0 {
+		d.stats.QueueDelay.Observe(now.Sub(f.Enqueued).Seconds())
+	}
+	mcs := f.MCS
+	if mcs == AutoMCS {
+		mcs, _ = d.channel.SelectMCS(f.Dest, now)
+	}
+	air := d.airtime(f, mcs)
+	d.sending = true
+	d.inFlight = f
+	// Busy time is credited at completion (txDone) so that utilization over
+	// any observation window never exceeds the window.
+	d.sch.After(air, "mac.txdone", func() {
+		d.stats.Busy[f.Kind] += air.Seconds()
+		d.txDone(f, mcs)
+	})
+}
+
+func (d *Downlink) txDone(f *Frame, mcs int) {
+	now := d.sch.Now()
+	d.sending = false
+	d.inFlight = nil
+
+	ok := true
+	if f.Dest != Broadcast {
+		ok = d.channel.Decode(f.Dest, now, mcs, f.Bits)
+		if !ok && f.retries < d.cfg.RetryLimit {
+			f.retries++
+			d.stats.Retries.Inc()
+			// Retries rejoin the tail of their queue so a stuck link cannot
+			// starve the medium.
+			d.queueFor(f).push(f)
+			d.stats.QueueLen.Add(now.Seconds(), 1)
+			d.pump()
+			return
+		}
+	}
+	d.stats.Frames[f.Kind]++
+	d.stats.Bits[f.Kind] += uint64(f.Bits)
+	if !ok {
+		d.stats.Drops.Inc()
+	}
+	// Deliver before pumping so protocol reactions (e.g. enqueueing a
+	// follow-up IR) can still win this scheduling round by priority.
+	d.deliver(f, ok, mcs, now)
+	d.pump()
+}

@@ -1,0 +1,296 @@
+package mac
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/radio"
+	"repro/internal/rng"
+)
+
+// delivered captures delivery callbacks for assertions.
+type delivered struct {
+	frames []*Frame
+	oks    []bool
+	mcss   []int
+	times  []des.Time
+}
+
+func (d *delivered) fn(f *Frame, ok bool, mcs int, now des.Time) {
+	d.frames = append(d.frames, f)
+	d.oks = append(d.oks, ok)
+	d.mcss = append(d.mcss, mcs)
+	d.times = append(d.times, now)
+}
+
+// strongChannel returns a channel where every client decodes everything.
+func strongChannel(t testing.TB, n int) *radio.Channel {
+	t.Helper()
+	p := radio.DefaultParams()
+	p.MeanSNRdB = 60
+	p.ShadowSigmaDB = 0
+	ch, err := radio.New(p, radio.DefaultAMC(), n, rng.New(999))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ch
+}
+
+// weakChannel returns a channel where unicast decoding frequently fails.
+func weakChannel(t testing.TB, n int) *radio.Channel {
+	t.Helper()
+	p := radio.DefaultParams()
+	p.MeanSNRdB = -10
+	p.ShadowSigmaDB = 0
+	ch, err := radio.New(p, radio.DefaultAMC(), n, rng.New(999))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ch
+}
+
+func TestDownlinkSingleFrame(t *testing.T) {
+	sch := des.NewScheduler()
+	ch := strongChannel(t, 2)
+	var got delivered
+	dl := NewDownlink(sch, ch, DefaultDownlinkConfig(), got.fn)
+
+	f := &Frame{Kind: KindResponse, Dest: 0, Bits: 8192, MCS: AutoMCS}
+	dl.Enqueue(f)
+	if !dl.Busy() {
+		t.Fatal("medium idle after enqueue")
+	}
+	sch.RunAll()
+	if len(got.frames) != 1 || got.frames[0] != f || !got.oks[0] {
+		t.Fatalf("delivery wrong: %+v", got)
+	}
+	// At 60 dB the fastest MCS carries the payload; the 128-bit header goes
+	// at the base rate.
+	amc := ch.AMC()
+	wantAir := 128/amc.MinRate() + 8192/amc.MaxRate()
+	if gotAir := got.times[0].Seconds(); math.Abs(gotAir-wantAir) > 2e-6 {
+		t.Fatalf("airtime %v, want %v", gotAir, wantAir)
+	}
+	if got.mcss[0] != len(amc.Table)-1 {
+		t.Fatalf("MCS %d, want fastest", got.mcss[0])
+	}
+	if dl.Stats().Frames[KindResponse] != 1 {
+		t.Fatal("stats frame count wrong")
+	}
+}
+
+func TestDownlinkSharedDataPlaneOrder(t *testing.T) {
+	sch := des.NewScheduler()
+	ch := strongChannel(t, 2)
+	var got delivered
+	dl := NewDownlink(sch, ch, DefaultDownlinkConfig(), got.fn)
+
+	// Fill the medium, then enqueue data frames in arrival order and an IR
+	// last: the IR jumps ahead (control queue), but responses do NOT jump
+	// ahead of earlier background frames — data shares one FIFO.
+	dl.Enqueue(&Frame{Kind: KindBackground, Dest: 0, Bits: 4096, MCS: AutoMCS, Meta: "bg1"})
+	dl.Enqueue(&Frame{Kind: KindBackground, Dest: 1, Bits: 4096, MCS: AutoMCS, Meta: "bg2"})
+	dl.Enqueue(&Frame{Kind: KindResponse, Dest: 0, Bits: 4096, MCS: AutoMCS, Meta: "resp"})
+	dl.Enqueue(&Frame{Kind: KindIR, Dest: Broadcast, Bits: 4096, MCS: 0, Meta: "ir"})
+	sch.RunAll()
+
+	var order []string
+	for _, f := range got.frames {
+		order = append(order, f.Meta.(string))
+	}
+	want := []string{"bg1", "ir", "bg2", "resp"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestDownlinkStrictPriorityOrder(t *testing.T) {
+	sch := des.NewScheduler()
+	ch := strongChannel(t, 2)
+	var got delivered
+	cfg := DefaultDownlinkConfig()
+	cfg.StrictPriority = true
+	dl := NewDownlink(sch, ch, cfg, got.fn)
+
+	dl.Enqueue(&Frame{Kind: KindBackground, Dest: 0, Bits: 4096, MCS: AutoMCS, Meta: "bg1"})
+	dl.Enqueue(&Frame{Kind: KindBackground, Dest: 1, Bits: 4096, MCS: AutoMCS, Meta: "bg2"})
+	dl.Enqueue(&Frame{Kind: KindResponse, Dest: 0, Bits: 4096, MCS: AutoMCS, Meta: "resp"})
+	dl.Enqueue(&Frame{Kind: KindIR, Dest: Broadcast, Bits: 4096, MCS: 0, Meta: "ir"})
+	sch.RunAll()
+
+	var order []string
+	for _, f := range got.frames {
+		order = append(order, f.Meta.(string))
+	}
+	want := []string{"bg1", "ir", "resp", "bg2"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestDownlinkBackgroundAdmission(t *testing.T) {
+	sch := des.NewScheduler()
+	ch := strongChannel(t, 2)
+	var got delivered
+	cfg := DefaultDownlinkConfig()
+	cfg.BgQueueLimitBits = 10_000
+	dl := NewDownlink(sch, ch, cfg, got.fn)
+	// First frame goes on air immediately (not queued); then the queue
+	// accepts up to the bound and rejects beyond it.
+	if !dl.Enqueue(&Frame{Kind: KindBackground, Dest: 0, Bits: 6000, MCS: 0}) {
+		t.Fatal("in-flight frame rejected")
+	}
+	if !dl.Enqueue(&Frame{Kind: KindBackground, Dest: 0, Bits: 6000, MCS: 0}) {
+		t.Fatal("first queued frame rejected")
+	}
+	if dl.Enqueue(&Frame{Kind: KindBackground, Dest: 0, Bits: 6000, MCS: 0}) {
+		t.Fatal("overflow frame accepted")
+	}
+	if dl.Stats().BgRejected.Value() != 1 {
+		t.Fatalf("rejected count %d", dl.Stats().BgRejected.Value())
+	}
+	// Responses are never subject to background admission.
+	if !dl.Enqueue(&Frame{Kind: KindResponse, Dest: 0, Bits: 60_000, MCS: 0}) {
+		t.Fatal("response rejected")
+	}
+	sch.RunAll()
+	if len(got.frames) != 3 {
+		t.Fatalf("delivered %d", len(got.frames))
+	}
+}
+
+func TestDownlinkFIFOWithinClass(t *testing.T) {
+	sch := des.NewScheduler()
+	ch := strongChannel(t, 4)
+	var got delivered
+	dl := NewDownlink(sch, ch, DefaultDownlinkConfig(), got.fn)
+	for i := 0; i < 4; i++ {
+		dl.Enqueue(&Frame{Kind: KindResponse, Dest: i, Bits: 1024, MCS: AutoMCS, Meta: i})
+	}
+	sch.RunAll()
+	for i, f := range got.frames {
+		if f.Meta.(int) != i {
+			t.Fatalf("FIFO violated: %v", got.frames)
+		}
+	}
+}
+
+func TestDownlinkARQRetriesThenDrops(t *testing.T) {
+	sch := des.NewScheduler()
+	ch := weakChannel(t, 1)
+	var got delivered
+	cfg := DefaultDownlinkConfig()
+	cfg.RetryLimit = 3
+	dl := NewDownlink(sch, ch, cfg, got.fn)
+	dl.Enqueue(&Frame{Kind: KindResponse, Dest: 0, Bits: 65536, MCS: 0})
+	sch.RunAll()
+	if len(got.frames) != 1 {
+		t.Fatalf("deliveries %d", len(got.frames))
+	}
+	if got.oks[0] {
+		t.Fatal("64KB frame at -10 dB should not decode")
+	}
+	if got.frames[0].Retries() != 3 {
+		t.Fatalf("retries %d, want 3", got.frames[0].Retries())
+	}
+	if dl.Stats().Drops.Value() != 1 || dl.Stats().Retries.Value() != 3 {
+		t.Fatalf("stats %+v", dl.Stats())
+	}
+}
+
+func TestDownlinkBroadcastNeverRetries(t *testing.T) {
+	sch := des.NewScheduler()
+	ch := weakChannel(t, 4)
+	var got delivered
+	dl := NewDownlink(sch, ch, DefaultDownlinkConfig(), got.fn)
+	dl.Enqueue(&Frame{Kind: KindIR, Dest: Broadcast, Bits: 4096, MCS: 0})
+	sch.RunAll()
+	if len(got.frames) != 1 || !got.oks[0] {
+		t.Fatal("broadcast must deliver exactly once with ok=true")
+	}
+	if got.frames[0].Retries() != 0 {
+		t.Fatal("broadcast must not use ARQ")
+	}
+}
+
+func TestDownlinkUtilizationAndQueueStats(t *testing.T) {
+	sch := des.NewScheduler()
+	ch := strongChannel(t, 2)
+	var got delivered
+	dl := NewDownlink(sch, ch, DefaultDownlinkConfig(), got.fn)
+	dl.Enqueue(&Frame{Kind: KindResponse, Dest: 0, Bits: 100_000, MCS: 0})
+	dl.Enqueue(&Frame{Kind: KindResponse, Dest: 1, Bits: 100_000, MCS: 0})
+	if dl.QueuedFrames() != 1 {
+		t.Fatalf("queued %d (one should be in flight)", dl.QueuedFrames())
+	}
+	if dl.QueuedBits(KindResponse) != 100_000 {
+		t.Fatalf("queued bits %d", dl.QueuedBits(KindResponse))
+	}
+	end := sch.RunAll()
+	util := dl.Stats().Utilization(end)
+	if math.Abs(util-1.0) > 1e-6 {
+		t.Fatalf("back-to-back frames should saturate: util=%v", util)
+	}
+	if dl.Stats().QueueDelay.Count() != 2 {
+		t.Fatalf("queue delay observations %d", dl.Stats().QueueDelay.Count())
+	}
+	// First frame saw zero queueing, second waited one airtime.
+	if dl.Stats().QueueDelay.Min() != 0 || dl.Stats().QueueDelay.Max() <= 0 {
+		t.Fatalf("queue delay range [%v, %v]", dl.Stats().QueueDelay.Min(), dl.Stats().QueueDelay.Max())
+	}
+}
+
+func TestDownlinkEnqueuePanics(t *testing.T) {
+	sch := des.NewScheduler()
+	ch := strongChannel(t, 1)
+	dl := NewDownlink(sch, ch, DefaultDownlinkConfig(), func(*Frame, bool, int, des.Time) {})
+	cases := []*Frame{
+		{Kind: FrameKind(9), Dest: 0, Bits: 10, MCS: 0},
+		{Kind: KindResponse, Dest: 0, Bits: 0, MCS: 0},
+		{Kind: KindIR, Dest: Broadcast, Bits: 10, MCS: AutoMCS},
+	}
+	for i, f := range cases {
+		f := f
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: Enqueue accepted invalid frame", i)
+				}
+			}()
+			dl.Enqueue(f)
+		}()
+	}
+}
+
+func TestFrameKindString(t *testing.T) {
+	if KindIR.String() != "ir" || KindResponse.String() != "response" ||
+		KindBackground.String() != "background" || FrameKind(7).String() != "unknown" {
+		t.Fatal("FrameKind.String broken")
+	}
+}
+
+func TestFIFOCompaction(t *testing.T) {
+	var q fifo
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 100; i++ {
+			q.push(&Frame{Bits: i + 1})
+		}
+		for i := 0; i < 100; i++ {
+			f := q.pop()
+			if f.Bits != i+1 {
+				t.Fatalf("round %d: popped %d, want %d", round, f.Bits, i+1)
+			}
+		}
+		if q.len() != 0 {
+			t.Fatalf("round %d: len %d", round, q.len())
+		}
+	}
+	if len(q.buf) > 200 {
+		t.Fatalf("fifo never compacted: cap grew to %d", len(q.buf))
+	}
+}

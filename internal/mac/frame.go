@@ -1,0 +1,98 @@
+// Package mac models the shared downlink of the base station and the
+// contention-based uplink used by clients to send cache-miss requests.
+//
+// The downlink is a single serial broadcast medium: one frame is on the air
+// at a time, its airtime determined by the modulation-and-coding scheme that
+// link adaptation picked for it. Invalidation reports, query responses, and
+// background traffic all compete for this medium — that contention is the
+// "downlink traffic" of the paper's title and is what the traffic-aware
+// invalidation algorithm exploits.
+package mac
+
+import (
+	"repro/internal/des"
+)
+
+// FrameKind classifies downlink frames; it doubles as the strict priority
+// class (lower value = higher priority).
+type FrameKind int
+
+// Priority order: invalidation reports preempt queued responses, which
+// preempt background traffic. An in-flight frame is never aborted.
+const (
+	KindIR FrameKind = iota // invalidation report (broadcast)
+	KindResponse
+	KindBackground
+	numKinds
+)
+
+// String names the frame kind.
+func (k FrameKind) String() string {
+	switch k {
+	case KindIR:
+		return "ir"
+	case KindResponse:
+		return "response"
+	case KindBackground:
+		return "background"
+	default:
+		return "unknown"
+	}
+}
+
+// Broadcast is the Dest value for frames addressed to every client.
+const Broadcast = -1
+
+// AutoMCS asks the downlink to run link adaptation for the frame's
+// destination when its transmission starts.
+const AutoMCS = -1
+
+// Frame is one downlink transmission unit.
+type Frame struct {
+	Kind FrameKind
+	Dest int // client index, or Broadcast
+	Bits int // payload bits, excluding the PHY/MAC header
+	MCS  int // explicit MCS index, or AutoMCS
+
+	// RobustBits is control information prepended to the payload and
+	// transmitted at the most robust MCS regardless of the payload's —
+	// the same construction as an 802.11 PLCP header. The traffic-aware
+	// schemes put their piggybacked invalidation digests here so that
+	// clients other than the frame's destination can decode them.
+	RobustBits int
+
+	// Meta carries the protocol payload (an ir.Report, a response
+	// descriptor, …); the MAC never inspects it.
+	Meta any
+
+	Enqueued des.Time // set by Enqueue
+	retries  int
+}
+
+// Retries reports how many ARQ retransmissions the frame has undergone.
+func (f *Frame) Retries() int { return f.retries }
+
+// fifo is a slice-backed FIFO with an advancing head and amortized
+// compaction, avoiding per-element allocation on the scheduler's hot path.
+type fifo struct {
+	buf  []*Frame
+	head int
+}
+
+func (q *fifo) len() int { return len(q.buf) - q.head }
+
+func (q *fifo) push(f *Frame) { q.buf = append(q.buf, f) }
+
+func (q *fifo) pop() *Frame {
+	f := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head++
+	if q.head > 64 && q.head*2 >= len(q.buf) {
+		n := copy(q.buf, q.buf[q.head:])
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	return f
+}
+
+func (q *fifo) peek() *Frame { return q.buf[q.head] }

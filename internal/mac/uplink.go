@@ -1,0 +1,146 @@
+package mac
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+)
+
+// UplinkConfig sets the contention parameters of the shared request channel.
+type UplinkConfig struct {
+	SlotDur       des.Duration // one request fits exactly one slot
+	InitialWindow int          // first attempt lands uniformly in this many slots
+	MaxBackoffExp int          // backoff window caps at InitialWindow·2^MaxBackoffExp slots
+	LossProb      float64      // per-attempt channel loss even without collision
+}
+
+// DefaultUplinkConfig models a low-rate random-access channel: 4 ms slots
+// (a ~60-byte request at the robust uplink rate), an 8-slot initial window,
+// binary exponential backoff capped at 8·2^7 = 1024 slots, 2% channel loss.
+// The initial randomization matters: invalidation reports synchronize every
+// client's cache-miss requests, and an unrandomized first slot collapses the
+// channel at moderate populations.
+func DefaultUplinkConfig() UplinkConfig {
+	return UplinkConfig{SlotDur: 4 * des.Millisecond, InitialWindow: 8, MaxBackoffExp: 7, LossProb: 0.02}
+}
+
+// UplinkDeliver is invoked when a request survives contention and decoding.
+type UplinkDeliver func(src int, meta any, now des.Time)
+
+// UplinkStats aggregates contention measurements.
+type UplinkStats struct {
+	Sent       metrics.Counter // Send calls
+	Attempts   metrics.Counter // slot transmissions, including retries
+	Collisions metrics.Counter // slots with more than one transmission
+	Losses     metrics.Counter // solo transmissions lost to channel noise
+	Delivered  metrics.Counter
+	Delay      metrics.Series // Send → delivery, seconds
+}
+
+type attempt struct {
+	src   int
+	meta  any
+	sent  des.Time
+	tries int
+}
+
+// Uplink is a slotted-ALOHA random access channel with binary exponential
+// backoff. Requests are retried until they get through: the invalidation
+// protocols above it rely on at-least-once delivery, and the latency cost of
+// a congested uplink is precisely one of the measured effects.
+type Uplink struct {
+	cfg     UplinkConfig
+	sch     *des.Scheduler
+	deliver UplinkDeliver
+	src     *rng.Source
+
+	slots     map[int64][]*attempt
+	stats     UplinkStats
+	onAttempt func(src int)
+}
+
+// NewUplink builds the uplink. deliver must be non-nil.
+func NewUplink(sch *des.Scheduler, cfg UplinkConfig, src *rng.Source, deliver UplinkDeliver) *Uplink {
+	if deliver == nil {
+		panic("mac: nil uplink deliver callback")
+	}
+	if cfg.SlotDur <= 0 || cfg.InitialWindow < 1 || cfg.MaxBackoffExp < 0 ||
+		cfg.LossProb < 0 || cfg.LossProb >= 1 {
+		panic(fmt.Sprintf("mac: invalid uplink config %+v", cfg))
+	}
+	return &Uplink{
+		cfg:     cfg,
+		sch:     sch,
+		deliver: deliver,
+		src:     src,
+		slots:   make(map[int64][]*attempt),
+	}
+}
+
+// Stats exposes the accumulated measurements.
+func (u *Uplink) Stats() *UplinkStats { return &u.stats }
+
+// SetAttemptHook installs fn to observe every slot transmission (including
+// retries) by source client; energy accounting uses it.
+func (u *Uplink) SetAttemptHook(fn func(src int)) { u.onAttempt = fn }
+
+// Send submits a request from client src. The first transmission lands
+// uniformly within the initial window starting at the next slot; collisions
+// are retried with binary exponential backoff until delivered.
+func (u *Uplink) Send(src int, meta any) {
+	u.stats.Sent.Inc()
+	a := &attempt{src: src, meta: meta, sent: u.sch.Now()}
+	jitter := int64(u.src.Uint64n(uint64(u.cfg.InitialWindow)))
+	u.scheduleIn(a, u.nextSlot()+jitter)
+}
+
+// nextSlot reports the first slot index whose start is strictly after now.
+func (u *Uplink) nextSlot() int64 {
+	return int64(u.sch.Now())/int64(u.cfg.SlotDur) + 1
+}
+
+func (u *Uplink) scheduleIn(a *attempt, slot int64) {
+	first := len(u.slots[slot]) == 0
+	u.slots[slot] = append(u.slots[slot], a)
+	if first {
+		end := des.Time((slot + 1) * int64(u.cfg.SlotDur))
+		u.sch.At(end, "mac.ulslot", func() { u.resolve(slot) })
+	}
+}
+
+func (u *Uplink) resolve(slot int64) {
+	attempts := u.slots[slot]
+	delete(u.slots, slot)
+	now := u.sch.Now()
+	u.stats.Attempts.Add(uint64(len(attempts)))
+	if u.onAttempt != nil {
+		for _, a := range attempts {
+			u.onAttempt(a.src)
+		}
+	}
+	switch {
+	case len(attempts) == 0:
+		return
+	case len(attempts) == 1 && !u.src.Bool(u.cfg.LossProb):
+		a := attempts[0]
+		u.stats.Delivered.Inc()
+		u.stats.Delay.Observe(now.Sub(a.sent).Seconds())
+		u.deliver(a.src, a.meta, now)
+		return
+	case len(attempts) == 1:
+		u.stats.Losses.Inc()
+	default:
+		u.stats.Collisions.Inc()
+	}
+	for _, a := range attempts {
+		a.tries++
+		exp := a.tries
+		if exp > u.cfg.MaxBackoffExp {
+			exp = u.cfg.MaxBackoffExp
+		}
+		window := int64(u.cfg.InitialWindow) << uint(exp)
+		u.scheduleIn(a, slot+1+int64(u.src.Uint64n(uint64(window))))
+	}
+}

@@ -1,0 +1,158 @@
+package mac
+
+import (
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/rng"
+)
+
+type ulDelivered struct {
+	srcs  []int
+	metas []any
+	times []des.Time
+}
+
+func (d *ulDelivered) fn(src int, meta any, now des.Time) {
+	d.srcs = append(d.srcs, src)
+	d.metas = append(d.metas, meta)
+	d.times = append(d.times, now)
+}
+
+func TestUplinkSingleRequest(t *testing.T) {
+	sch := des.NewScheduler()
+	var got ulDelivered
+	cfg := DefaultUplinkConfig()
+	cfg.LossProb = 0
+	cfg.InitialWindow = 1
+	ul := NewUplink(sch, cfg, rng.New(1), got.fn)
+	ul.Send(7, "req")
+	sch.RunAll()
+	if len(got.srcs) != 1 || got.srcs[0] != 7 || got.metas[0] != "req" {
+		t.Fatalf("delivery wrong: %+v", got)
+	}
+	// Sent at t=0: transmits in slot 1 ([4ms, 8ms)), resolves at 8ms.
+	if got.times[0] != des.Time(2*cfg.SlotDur) {
+		t.Fatalf("delivered at %v", got.times[0])
+	}
+	s := ul.Stats()
+	if s.Sent.Value() != 1 || s.Delivered.Value() != 1 || s.Collisions.Value() != 0 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestUplinkCollisionEventuallyDelivers(t *testing.T) {
+	sch := des.NewScheduler()
+	var got ulDelivered
+	cfg := DefaultUplinkConfig()
+	cfg.LossProb = 0
+	cfg.InitialWindow = 1
+	ul := NewUplink(sch, cfg, rng.New(2), got.fn)
+	// Two simultaneous sends land in the same slot and collide.
+	ul.Send(1, nil)
+	ul.Send(2, nil)
+	sch.RunAll()
+	if len(got.srcs) != 2 {
+		t.Fatalf("delivered %d of 2", len(got.srcs))
+	}
+	s := ul.Stats()
+	if s.Collisions.Value() < 1 {
+		t.Fatal("no collision recorded")
+	}
+	if s.Attempts.Value() < 4 {
+		t.Fatalf("attempts %d, expected retries", s.Attempts.Value())
+	}
+	if s.Delay.Min() <= 0 {
+		t.Fatalf("delay %v", s.Delay.Min())
+	}
+}
+
+func TestUplinkChannelLossRetries(t *testing.T) {
+	sch := des.NewScheduler()
+	var got ulDelivered
+	cfg := DefaultUplinkConfig()
+	cfg.LossProb = 0.9 // brutal channel: force several loss-retries
+	ul := NewUplink(sch, cfg, rng.New(3), got.fn)
+	ul.Send(0, nil)
+	sch.RunAll()
+	if len(got.srcs) != 1 {
+		t.Fatal("request lost forever")
+	}
+	if ul.Stats().Losses.Value() == 0 {
+		t.Fatal("no losses recorded at 90% loss prob")
+	}
+}
+
+func TestUplinkManyContenders(t *testing.T) {
+	sch := des.NewScheduler()
+	var got ulDelivered
+	cfg := DefaultUplinkConfig()
+	cfg.LossProb = 0
+	ul := NewUplink(sch, cfg, rng.New(4), got.fn)
+	const n = 50
+	for i := 0; i < n; i++ {
+		ul.Send(i, i)
+	}
+	sch.RunAll()
+	if len(got.srcs) != n {
+		t.Fatalf("delivered %d of %d", len(got.srcs), n)
+	}
+	// Every request delivered exactly once.
+	seen := make(map[int]bool)
+	for _, src := range got.srcs {
+		if seen[src] {
+			t.Fatalf("duplicate delivery for %d", src)
+		}
+		seen[src] = true
+	}
+}
+
+func TestUplinkDeterminism(t *testing.T) {
+	run := func() []des.Time {
+		sch := des.NewScheduler()
+		var got ulDelivered
+		ul := NewUplink(sch, DefaultUplinkConfig(), rng.New(5), got.fn)
+		for i := 0; i < 10; i++ {
+			i := i
+			sch.At(des.Time(i)*des.Time(des.Millisecond), "send", func() { ul.Send(i, nil) })
+		}
+		sch.RunAll()
+		return got.times
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("different delivery counts")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestUplinkConfigPanics(t *testing.T) {
+	sch := des.NewScheduler()
+	bad := []UplinkConfig{
+		{SlotDur: 0, InitialWindow: 1, MaxBackoffExp: 1},
+		{SlotDur: des.Millisecond, InitialWindow: 0, MaxBackoffExp: 1},
+		{SlotDur: des.Millisecond, InitialWindow: 1, MaxBackoffExp: -1},
+		{SlotDur: des.Millisecond, InitialWindow: 1, MaxBackoffExp: 1, LossProb: 1},
+	}
+	for i, cfg := range bad {
+		cfg := cfg
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d accepted", i)
+				}
+			}()
+			NewUplink(sch, cfg, rng.New(1), func(int, any, des.Time) {})
+		}()
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("nil deliver accepted")
+		}
+	}()
+	NewUplink(sch, DefaultUplinkConfig(), rng.New(1), nil)
+}

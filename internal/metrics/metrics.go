@@ -1,0 +1,397 @@
+// Package metrics implements the statistics collected by the simulator:
+// streaming moments (Welford), fixed-bin quantile histograms, counters, and
+// time-weighted averages, plus cross-replication confidence intervals.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Series accumulates a stream of observations with numerically stable
+// single-pass mean and variance (Welford's algorithm). The zero value is
+// ready to use.
+type Series struct {
+	n    uint64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+	sum  float64
+}
+
+// Observe adds one observation.
+func (s *Series) Observe(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	s.sum += x
+	delta := x - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (x - s.mean)
+}
+
+// Merge folds another series into s (parallel Welford combination), allowing
+// per-shard accumulation to be reduced without storing raw samples.
+func (s *Series) Merge(o *Series) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = *o
+		return
+	}
+	n := s.n + o.n
+	delta := o.mean - s.mean
+	s.mean += delta * float64(o.n) / float64(n)
+	s.m2 += o.m2 + delta*delta*float64(s.n)*float64(o.n)/float64(n)
+	s.n = n
+	s.sum += o.sum
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+}
+
+// Count reports the number of observations.
+func (s *Series) Count() uint64 { return s.n }
+
+// Sum reports the running total.
+func (s *Series) Sum() float64 { return s.sum }
+
+// Mean reports the sample mean, or NaN when empty.
+func (s *Series) Mean() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.mean
+}
+
+// Var reports the unbiased sample variance, or NaN with fewer than two
+// observations.
+func (s *Series) Var() float64 {
+	if s.n < 2 {
+		return math.NaN()
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// Std reports the sample standard deviation.
+func (s *Series) Std() float64 { return math.Sqrt(s.Var()) }
+
+// Min reports the smallest observation, or NaN when empty.
+func (s *Series) Min() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.min
+}
+
+// Max reports the largest observation, or NaN when empty.
+func (s *Series) Max() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.max
+}
+
+// CI95 reports the half-width of the 95% confidence interval on the mean,
+// using the normal approximation (adequate for the ≥10 replications used by
+// the harness), or NaN with fewer than two observations.
+func (s *Series) CI95() float64 {
+	if s.n < 2 {
+		return math.NaN()
+	}
+	return 1.96 * s.Std() / math.Sqrt(float64(s.n))
+}
+
+// String formats the series compactly.
+func (s *Series) String() string {
+	if s.n == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d mean=%.4g std=%.3g min=%.4g max=%.4g",
+		s.n, s.Mean(), s.Std(), s.min, s.max)
+}
+
+// Histogram is a fixed-layout log-bucketed histogram for latency-like
+// non-negative quantities. Buckets grow geometrically from a minimum
+// resolution, which bounds relative quantile error by the growth factor.
+type Histogram struct {
+	lo     float64 // upper edge of bucket 0
+	growth float64
+	counts []uint64
+	under  uint64 // x <= 0 observations (landed in bucket "under")
+	total  uint64
+	series Series
+}
+
+// NewHistogram creates a histogram whose first bucket covers (0, lo] and
+// whose bucket edges grow by the given factor, with nbuckets buckets; values
+// beyond the last edge are clamped into the final bucket.
+func NewHistogram(lo, growth float64, nbuckets int) *Histogram {
+	if lo <= 0 || growth <= 1 || nbuckets < 1 {
+		panic("metrics: invalid histogram layout")
+	}
+	return &Histogram{lo: lo, growth: growth, counts: make([]uint64, nbuckets)}
+}
+
+// NewLatencyHistogram returns the standard layout used for query delays:
+// 100 µs resolution up to about 20 minutes across 120 buckets.
+func NewLatencyHistogram() *Histogram {
+	return NewHistogram(100e-6, 1.15, 120)
+}
+
+// Observe adds one observation.
+func (h *Histogram) Observe(x float64) {
+	h.total++
+	h.series.Observe(x)
+	if x <= 0 {
+		h.under++
+		return
+	}
+	// bucket = ceil(log_growth(x/lo)), clamped.
+	b := 0
+	if x > h.lo {
+		b = int(math.Ceil(math.Log(x/h.lo) / math.Log(h.growth)))
+	}
+	if b >= len(h.counts) {
+		b = len(h.counts) - 1
+	}
+	h.counts[b]++
+}
+
+// Merge folds another histogram with an identical layout into h.
+func (h *Histogram) Merge(o *Histogram) {
+	if h.lo != o.lo || h.growth != o.growth || len(h.counts) != len(o.counts) {
+		panic("metrics: merging histograms with different layouts")
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.under += o.under
+	h.total += o.total
+	h.series.Merge(&o.series)
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Mean reports the exact sample mean (tracked separately from the buckets).
+func (h *Histogram) Mean() float64 { return h.series.Mean() }
+
+// Quantile reports an upper bound on the q-quantile (the upper edge of the
+// bucket containing it). q outside [0,1] is clamped.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(h.total)))
+	if rank == 0 {
+		rank = 1
+	}
+	seen := h.under
+	if rank <= seen {
+		return 0
+	}
+	edge := h.lo
+	for _, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			return edge
+		}
+		edge *= h.growth
+	}
+	return edge
+}
+
+// Counter is a monotone event tally.
+type Counter struct{ n uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n++ }
+
+// Add adds delta.
+func (c *Counter) Add(delta uint64) { c.n += delta }
+
+// Value reports the tally.
+func (c *Counter) Value() uint64 { return c.n }
+
+// Merge adds another counter into c.
+func (c *Counter) Merge(o *Counter) { c.n += o.n }
+
+// Rate reports the tally divided by an elapsed time in seconds.
+func (c *Counter) Rate(seconds float64) float64 {
+	if seconds <= 0 {
+		return math.NaN()
+	}
+	return float64(c.n) / seconds
+}
+
+// TimeWeighted tracks the time-weighted average of a piecewise-constant
+// quantity, e.g. queue length or power state.
+type TimeWeighted struct {
+	last     float64
+	lastAt   float64
+	area     float64
+	began    float64
+	started  bool
+	maxValue float64
+}
+
+// Set records that the quantity changed to v at time now (in seconds).
+func (w *TimeWeighted) Set(now, v float64) {
+	if !w.started {
+		w.started = true
+		w.began = now
+		w.lastAt = now
+		w.last = v
+		w.maxValue = v
+		return
+	}
+	if now < w.lastAt {
+		panic("metrics: TimeWeighted time went backwards")
+	}
+	w.area += w.last * (now - w.lastAt)
+	w.last = v
+	w.lastAt = now
+	if v > w.maxValue {
+		w.maxValue = v
+	}
+}
+
+// Add records a delta to the current value at time now.
+func (w *TimeWeighted) Add(now, delta float64) { w.Set(now, w.last+delta) }
+
+// Value reports the current value.
+func (w *TimeWeighted) Value() float64 { return w.last }
+
+// Max reports the largest value seen.
+func (w *TimeWeighted) Max() float64 { return w.maxValue }
+
+// Average reports the time-weighted average over [start, now].
+func (w *TimeWeighted) Average(now float64) float64 {
+	if !w.started || now <= w.began {
+		return math.NaN()
+	}
+	area := w.area + w.last*(now-w.lastAt)
+	return area / (now - w.began)
+}
+
+// Summary is a cross-replication aggregate of one scalar metric: each
+// replication contributes one value, and the summary reports their mean and
+// 95% confidence half-width.
+type Summary struct {
+	values []float64
+}
+
+// Add contributes one replication's value. NaNs are dropped (a replication
+// that saw no events of some kind contributes nothing rather than poisoning
+// the aggregate).
+func (s *Summary) Add(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	s.values = append(s.values, v)
+}
+
+// N reports the number of contributing replications.
+func (s *Summary) N() int { return len(s.values) }
+
+// Mean reports the across-replication mean.
+func (s *Summary) Mean() float64 {
+	if len(s.values) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, v := range s.values {
+		sum += v
+	}
+	return sum / float64(len(s.values))
+}
+
+// CI95 reports the 95% confidence half-width across replications.
+func (s *Summary) CI95() float64 {
+	n := len(s.values)
+	if n < 2 {
+		return math.NaN()
+	}
+	mean := s.Mean()
+	ss := 0.0
+	for _, v := range s.values {
+		d := v - mean
+		ss += d * d
+	}
+	return 1.96 * math.Sqrt(ss/float64(n-1)) / math.Sqrt(float64(n))
+}
+
+// Median reports the across-replication median.
+func (s *Summary) Median() float64 {
+	n := len(s.values)
+	if n == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), s.values...)
+	sort.Float64s(sorted)
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}
+
+// BatchMeans estimates a confidence interval for the mean of a correlated
+// observation stream (like per-query delays within one run, which share
+// report cycles and queue states) by aggregating consecutive observations
+// into batches and treating batch means as approximately independent — the
+// standard single-run output-analysis method for steady-state simulation.
+type BatchMeans struct {
+	batchSize int
+	count     int
+	sum       float64
+	batches   Series
+}
+
+// NewBatchMeans groups every batchSize consecutive observations.
+func NewBatchMeans(batchSize int) *BatchMeans {
+	if batchSize < 1 {
+		panic("metrics: batch size must be positive")
+	}
+	return &BatchMeans{batchSize: batchSize}
+}
+
+// Observe adds one observation.
+func (b *BatchMeans) Observe(x float64) {
+	b.sum += x
+	b.count++
+	if b.count == b.batchSize {
+		b.batches.Observe(b.sum / float64(b.batchSize))
+		b.sum, b.count = 0, 0
+	}
+}
+
+// Batches reports how many complete batches have been formed.
+func (b *BatchMeans) Batches() uint64 { return b.batches.Count() }
+
+// Mean reports the mean over complete batches (NaN before the first).
+func (b *BatchMeans) Mean() float64 { return b.batches.Mean() }
+
+// CI95 reports the 95% half-width over batch means. With fewer than two
+// complete batches it is NaN — callers should widen batches or run longer.
+func (b *BatchMeans) CI95() float64 { return b.batches.CI95() }

@@ -1,0 +1,293 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestSeriesBasics(t *testing.T) {
+	var s Series
+	if !math.IsNaN(s.Mean()) || !math.IsNaN(s.Min()) || !math.IsNaN(s.Max()) {
+		t.Fatal("empty series must report NaN")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Observe(x)
+	}
+	if s.Count() != 8 {
+		t.Fatalf("count %d", s.Count())
+	}
+	if got := s.Mean(); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("mean %v", got)
+	}
+	// Population std of this classic dataset is 2; sample variance = 32/7.
+	if got := s.Var(); math.Abs(got-32.0/7) > 1e-12 {
+		t.Fatalf("var %v", got)
+	}
+	if s.Min() != 2 || s.Max() != 9 || s.Sum() != 40 {
+		t.Fatalf("min/max/sum %v/%v/%v", s.Min(), s.Max(), s.Sum())
+	}
+	if s.String() == "" || new(Series).String() != "n=0" {
+		t.Fatal("String broken")
+	}
+}
+
+func TestSeriesMergeEqualsSequential(t *testing.T) {
+	f := func(seed uint64, split uint8) bool {
+		r := rng.New(seed)
+		n := 50 + int(split%50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Normal(10, 3)
+		}
+		var whole, a, b Series
+		for i, x := range xs {
+			whole.Observe(x)
+			if i < n/2 {
+				a.Observe(x)
+			} else {
+				b.Observe(x)
+			}
+		}
+		a.Merge(&b)
+		return a.Count() == whole.Count() &&
+			math.Abs(a.Mean()-whole.Mean()) < 1e-9 &&
+			math.Abs(a.Var()-whole.Var()) < 1e-9 &&
+			a.Min() == whole.Min() && a.Max() == whole.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeriesMergeEmpty(t *testing.T) {
+	var a, b Series
+	a.Observe(1)
+	a.Merge(&b) // merging empty is a no-op
+	if a.Count() != 1 {
+		t.Fatal("merge with empty changed count")
+	}
+	b.Merge(&a) // merging into empty copies
+	if b.Count() != 1 || b.Mean() != 1 {
+		t.Fatal("merge into empty failed")
+	}
+}
+
+func TestSeriesCI95ShrinksWithN(t *testing.T) {
+	r := rng.New(1)
+	var small, large Series
+	for i := 0; i < 10; i++ {
+		small.Observe(r.Normal(0, 1))
+	}
+	for i := 0; i < 1000; i++ {
+		large.Observe(r.Normal(0, 1))
+	}
+	if !(large.CI95() < small.CI95()) {
+		t.Fatalf("CI did not shrink: %v vs %v", large.CI95(), small.CI95())
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram(0.001, 1.5, 40)
+	r := rng.New(2)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		h.Observe(r.Exp(1)) // mean 1, median ln2
+	}
+	if h.Count() != n {
+		t.Fatalf("count %d", h.Count())
+	}
+	med := h.Quantile(0.5)
+	// Upper-edge estimate: must bracket the true median within one growth
+	// factor.
+	if med < math.Ln2 || med > math.Ln2*1.5 {
+		t.Fatalf("median estimate %v, true %v", med, math.Ln2)
+	}
+	if math.Abs(h.Mean()-1) > 0.02 {
+		t.Fatalf("mean %v", h.Mean())
+	}
+	if q := h.Quantile(0.99); q <= med {
+		t.Fatalf("p99 %v not above median %v", q, med)
+	}
+	if !(h.Quantile(-1) <= h.Quantile(2)) {
+		t.Fatal("clamped quantiles inconsistent")
+	}
+}
+
+func TestHistogramZeroAndClamp(t *testing.T) {
+	h := NewHistogram(1, 2, 4) // edges 1,2,4,8
+	h.Observe(0)               // under
+	h.Observe(-5)              // under
+	h.Observe(1e9)             // clamps to last bucket
+	if h.Quantile(0.3) != 0 {
+		t.Fatalf("under-bucket quantile %v", h.Quantile(0.3))
+	}
+	if got := h.Quantile(1.0); got != 8 {
+		t.Fatalf("clamped max quantile %v", got)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewLatencyHistogram()
+	b := NewLatencyHistogram()
+	r := rng.New(3)
+	for i := 0; i < 1000; i++ {
+		a.Observe(r.Exp(10))
+		b.Observe(r.Exp(10))
+	}
+	count := a.Count() + b.Count()
+	a.Merge(b)
+	if a.Count() != count {
+		t.Fatalf("merged count %d", a.Count())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("layout mismatch must panic")
+		}
+	}()
+	a.Merge(NewHistogram(1, 2, 3))
+}
+
+func TestEmptyHistogram(t *testing.T) {
+	h := NewLatencyHistogram()
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Fatal("empty histogram quantile must be NaN")
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("value %d", c.Value())
+	}
+	var d Counter
+	d.Add(10)
+	c.Merge(&d)
+	if c.Value() != 15 {
+		t.Fatalf("merged %d", c.Value())
+	}
+	if got := c.Rate(3); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("rate %v", got)
+	}
+	if !math.IsNaN(c.Rate(0)) {
+		t.Fatal("rate over zero time must be NaN")
+	}
+}
+
+func TestTimeWeighted(t *testing.T) {
+	var w TimeWeighted
+	if !math.IsNaN(w.Average(10)) {
+		t.Fatal("unstarted average must be NaN")
+	}
+	w.Set(0, 2)  // 2 over [0,4)
+	w.Set(4, 6)  // 6 over [4,6)
+	w.Add(6, -6) // 0 over [6,10)
+	got := w.Average(10)
+	want := (2*4 + 6*2 + 0*4) / 10.0
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("average %v, want %v", got, want)
+	}
+	if w.Max() != 6 || w.Value() != 0 {
+		t.Fatalf("max/value %v/%v", w.Max(), w.Value())
+	}
+}
+
+func TestTimeWeightedBackwardsPanics(t *testing.T) {
+	var w TimeWeighted
+	w.Set(5, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("backwards time must panic")
+		}
+	}()
+	w.Set(4, 2)
+}
+
+func TestSummary(t *testing.T) {
+	var s Summary
+	if !math.IsNaN(s.Mean()) || !math.IsNaN(s.Median()) {
+		t.Fatal("empty summary must be NaN")
+	}
+	s.Add(math.NaN()) // dropped
+	for _, v := range []float64{1, 2, 3, 4} {
+		s.Add(v)
+	}
+	if s.N() != 4 {
+		t.Fatalf("n %d", s.N())
+	}
+	if s.Mean() != 2.5 || s.Median() != 2.5 {
+		t.Fatalf("mean/median %v/%v", s.Mean(), s.Median())
+	}
+	s.Add(5)
+	if s.Median() != 3 {
+		t.Fatalf("odd median %v", s.Median())
+	}
+	if s.CI95() <= 0 {
+		t.Fatalf("CI %v", s.CI95())
+	}
+}
+
+func TestHistogramBucketMonotone(t *testing.T) {
+	// Property: quantile is monotone in q.
+	h := NewLatencyHistogram()
+	r := rng.New(4)
+	for i := 0; i < 5000; i++ {
+		h.Observe(r.Pareto(1.2, 0.001))
+	}
+	prev := 0.0
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		v := h.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantile not monotone at q=%v: %v < %v", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestBatchMeans(t *testing.T) {
+	b := NewBatchMeans(100)
+	if !math.IsNaN(b.Mean()) || !math.IsNaN(b.CI95()) {
+		t.Fatal("empty batch means must be NaN")
+	}
+	r := rng.New(12)
+	// AR(1)-style correlated stream: naive per-sample CI would be too
+	// narrow; batch means must still cover the true mean.
+	x := 0.0
+	var naive Series
+	for i := 0; i < 100000; i++ {
+		x = 0.95*x + r.Normal(0, 1)
+		v := 5 + x
+		b.Observe(v)
+		naive.Observe(v)
+	}
+	if b.Batches() != 1000 {
+		t.Fatalf("batches %d", b.Batches())
+	}
+	if math.Abs(b.Mean()-naive.Mean()) > 1e-9 {
+		// Means agree up to the incomplete final batch (none here).
+		t.Fatalf("batch mean %v vs naive %v", b.Mean(), naive.Mean())
+	}
+	// Correlation inflates the true uncertainty ~sqrt((1+ρ)/(1−ρ)) ≈ 6.2×;
+	// the batch CI must be far wider than the naive iid CI.
+	if !(b.CI95() > 3*naive.CI95()) {
+		t.Fatalf("batch CI %v not wider than naive %v under correlation",
+			b.CI95(), naive.CI95())
+	}
+	// And it must cover the true mean (5).
+	if math.Abs(b.Mean()-5) > 3*b.CI95() {
+		t.Fatalf("batch CI fails to cover true mean: %v ± %v", b.Mean(), b.CI95())
+	}
+}
+
+func TestBatchMeansPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero batch size accepted")
+		}
+	}()
+	NewBatchMeans(0)
+}

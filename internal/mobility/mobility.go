@@ -1,0 +1,150 @@
+// Package mobility implements the random-waypoint model: each client walks
+// between uniformly chosen points in the cell disc at a uniformly chosen
+// speed, pausing between legs. Plugged into the geometry channel it makes
+// each client's mean SNR drift as it moves — the slow-timescale companion
+// to fast fading, and the reason link adaptation cannot be configured once
+// per client.
+package mobility
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/des"
+	"repro/internal/rng"
+)
+
+// Config parameterizes the walk.
+type Config struct {
+	CellRadiusM  float64
+	MinDistanceM float64 // clients never enter this radius around the mast
+	SpeedMinMps  float64
+	SpeedMaxMps  float64
+	PauseMeanSec float64 // exponential pause between legs; 0 disables pauses
+}
+
+// DefaultConfig returns pedestrian mobility in a 500 m cell.
+func DefaultConfig() Config {
+	return Config{
+		CellRadiusM:  500,
+		MinDistanceM: 20,
+		SpeedMinMps:  0.5,
+		SpeedMaxMps:  2.0,
+		PauseMeanSec: 30,
+	}
+}
+
+// Validate reports the first configuration problem.
+func (c Config) Validate() error {
+	switch {
+	case c.CellRadiusM <= 0:
+		return fmt.Errorf("mobility: CellRadiusM %v", c.CellRadiusM)
+	case c.MinDistanceM < 0 || c.MinDistanceM >= c.CellRadiusM:
+		return fmt.Errorf("mobility: MinDistanceM %v of %v", c.MinDistanceM, c.CellRadiusM)
+	case c.SpeedMinMps <= 0 || c.SpeedMaxMps < c.SpeedMinMps:
+		return fmt.Errorf("mobility: speed range [%v, %v]", c.SpeedMinMps, c.SpeedMaxMps)
+	case c.PauseMeanSec < 0:
+		return fmt.Errorf("mobility: PauseMeanSec %v", c.PauseMeanSec)
+	}
+	return nil
+}
+
+// walker is one client's lazily generated trajectory.
+type walker struct {
+	src *rng.Source
+
+	// current leg: from (x0,y0) at t0 to (x1,y1) arriving at t1, then
+	// pausing until tNext.
+	x0, y0 float64
+	x1, y1 float64
+	t0, t1 des.Time
+	tNext  des.Time
+}
+
+// Model holds every client's trajectory. Positions must be queried with
+// non-decreasing time per client (the simulator's clock is monotone).
+type Model struct {
+	cfg     Config
+	walkers []walker
+}
+
+// New builds trajectories for n clients. Starting positions are uniform
+// over the annulus (area-weighted).
+func New(cfg Config, n int, src *rng.Source) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("mobility: need clients, got %d", n)
+	}
+	m := &Model{cfg: cfg, walkers: make([]walker, n)}
+	for i := range m.walkers {
+		w := &m.walkers[i]
+		w.src = src.SubStream(uint64(i))
+		w.x0, w.y0 = m.samplePoint(w.src)
+		w.x1, w.y1 = w.x0, w.y0
+		// Start paused at the initial point; the first leg begins at once.
+	}
+	return m, nil
+}
+
+// samplePoint draws a uniform point in the annulus.
+func (m *Model) samplePoint(src *rng.Source) (x, y float64) {
+	r2min := m.cfg.MinDistanceM * m.cfg.MinDistanceM
+	r2max := m.cfg.CellRadiusM * m.cfg.CellRadiusM
+	r := math.Sqrt(src.Uniform(r2min, r2max))
+	theta := src.Uniform(0, 2*math.Pi)
+	return r * math.Cos(theta), r * math.Sin(theta)
+}
+
+// advance generates legs until the walker's schedule covers t.
+func (m *Model) advance(w *walker, t des.Time) {
+	for t >= w.tNext {
+		// Finish the current leg; begin the next from its endpoint.
+		w.x0, w.y0 = w.x1, w.y1
+		w.t0 = w.tNext
+		w.x1, w.y1 = m.samplePoint(w.src)
+		speed := w.src.Uniform(m.cfg.SpeedMinMps, m.cfg.SpeedMaxMps)
+		dist := math.Hypot(w.x1-w.x0, w.y1-w.y0)
+		travel := des.FromSeconds(dist / speed)
+		if travel <= 0 {
+			travel = des.Microsecond
+		}
+		w.t1 = w.t0.Add(travel)
+		pause := des.Duration(0)
+		if m.cfg.PauseMeanSec > 0 {
+			pause = des.FromSeconds(w.src.Exp(1 / m.cfg.PauseMeanSec))
+		}
+		w.tNext = w.t1.Add(pause)
+	}
+}
+
+// Position reports client i's coordinates at time t (meters from the base
+// station at the origin). Queries must be non-decreasing in t per client.
+func (m *Model) Position(i int, t des.Time) (x, y float64) {
+	w := &m.walkers[i]
+	m.advance(w, t)
+	if t >= w.t1 {
+		return w.x1, w.y1 // pausing at the endpoint
+	}
+	if t <= w.t0 {
+		return w.x0, w.y0
+	}
+	frac := float64(t.Sub(w.t0)) / float64(w.t1.Sub(w.t0))
+	return w.x0 + (w.x1-w.x0)*frac, w.y0 + (w.y1-w.y0)*frac
+}
+
+// DistanceM reports client i's distance from the base station at time t.
+func (m *Model) DistanceM(i int, t des.Time) float64 {
+	x, y := m.Position(i, t)
+	d := math.Hypot(x, y)
+	if d < m.cfg.MinDistanceM {
+		// Interpolated legs may cut the inner circle; clamp, as a real
+		// client cannot stand inside the mast.
+		d = m.cfg.MinDistanceM
+	}
+	return d
+}
+
+// N reports the number of clients.
+func (m *Model) N() int { return len(m.walkers) }

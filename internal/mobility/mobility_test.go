@@ -1,0 +1,173 @@
+package mobility
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/rng"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mut := []func(*Config){
+		func(c *Config) { c.CellRadiusM = 0 },
+		func(c *Config) { c.MinDistanceM = -1 },
+		func(c *Config) { c.MinDistanceM = c.CellRadiusM },
+		func(c *Config) { c.SpeedMinMps = 0 },
+		func(c *Config) { c.SpeedMaxMps = c.SpeedMinMps / 2 },
+		func(c *Config) { c.PauseMeanSec = -1 },
+	}
+	for i, f := range mut {
+		c := DefaultConfig()
+		f(&c)
+		if c.Validate() == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestNewRejects(t *testing.T) {
+	if _, err := New(DefaultConfig(), 0, rng.New(1)); err == nil {
+		t.Error("zero clients accepted")
+	}
+	bad := DefaultConfig()
+	bad.SpeedMinMps = 0
+	if _, err := New(bad, 4, rng.New(1)); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestPositionsStayInCell(t *testing.T) {
+	cfg := DefaultConfig()
+	m, err := New(cfg, 20, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.N() != 20 {
+		t.Fatalf("N %d", m.N())
+	}
+	for i := 0; i < m.N(); i++ {
+		for s := 0; s < 2000; s++ {
+			at := des.Time(s) * des.Time(des.Second)
+			d := m.DistanceM(i, at)
+			if d < cfg.MinDistanceM-1e-9 || d > cfg.CellRadiusM+1e-9 {
+				t.Fatalf("client %d at distance %v (t=%v)", i, d, at)
+			}
+		}
+	}
+}
+
+func TestMovementActuallyHappens(t *testing.T) {
+	m, err := New(DefaultConfig(), 10, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for i := 0; i < m.N(); i++ {
+		x0, y0 := m.Position(i, 0)
+		x1, y1 := m.Position(i, des.Time(10*des.Minute))
+		if math.Hypot(x1-x0, y1-y0) > 10 {
+			moved++
+		}
+	}
+	if moved < 8 {
+		t.Fatalf("only %d of 10 clients moved after 10 min", moved)
+	}
+}
+
+func TestSpeedBound(t *testing.T) {
+	// Displacement between close samples can never exceed the maximum
+	// speed (pauses only slow things down).
+	cfg := DefaultConfig()
+	cfg.PauseMeanSec = 0
+	m, err := New(cfg, 5, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const step = des.Second
+	for i := 0; i < m.N(); i++ {
+		px, py := m.Position(i, 0)
+		for s := 1; s < 3000; s++ {
+			at := des.Time(s) * des.Time(step)
+			x, y := m.Position(i, at)
+			if d := math.Hypot(x-px, y-py); d > cfg.SpeedMaxMps*step.Seconds()+1e-6 {
+				t.Fatalf("client %d moved %vm in 1s (max %v)", i, d, cfg.SpeedMaxMps)
+			}
+			px, py = x, y
+		}
+	}
+}
+
+func TestContinuity(t *testing.T) {
+	// Fine-grained sampling must be smooth: no teleports at leg boundaries.
+	m, err := New(DefaultConfig(), 3, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < m.N(); i++ {
+		px, py := m.Position(i, 0)
+		for s := 1; s < 20000; s++ {
+			at := des.Time(s) * des.Time(100*des.Millisecond)
+			x, y := m.Position(i, at)
+			if d := math.Hypot(x-px, y-py); d > 0.5 { // 2 m/s × 0.1 s + slack
+				t.Fatalf("client %d jumped %vm in 100ms at %v", i, d, at)
+			}
+			px, py = x, y
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	mk := func() []float64 {
+		m, err := New(DefaultConfig(), 8, rng.New(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []float64
+		for i := 0; i < m.N(); i++ {
+			for s := 0; s < 100; s++ {
+				out = append(out, m.DistanceM(i, des.Time(s)*des.Time(des.Second)))
+			}
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestPausesSlowProgress(t *testing.T) {
+	// With long pauses the average displacement rate drops well below the
+	// average speed.
+	fast := DefaultConfig()
+	fast.PauseMeanSec = 0
+	slow := DefaultConfig()
+	slow.PauseMeanSec = 300
+
+	progress := func(cfg Config, seed uint64) float64 {
+		m, err := New(cfg, 10, rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0.0
+		const step = 10 * des.Second
+		for i := 0; i < m.N(); i++ {
+			px, py := m.Position(i, 0)
+			for s := 1; s <= 300; s++ {
+				x, y := m.Position(i, des.Time(s)*des.Time(step))
+				total += math.Hypot(x-px, y-py)
+				px, py = x, y
+			}
+		}
+		return total
+	}
+	if !(progress(slow, 5) < progress(fast, 5)*0.7) {
+		t.Fatal("pauses did not reduce displacement")
+	}
+}

@@ -1,0 +1,194 @@
+package radio
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDBRoundTrip(t *testing.T) {
+	for _, db := range []float64{-20, -3, 0, 3, 10, 30} {
+		if got := ToDB(FromDB(db)); math.Abs(got-db) > 1e-9 {
+			t.Errorf("round trip %v -> %v", db, got)
+		}
+	}
+	if FromDB(0) != 1 || FromDB(10) != 10 {
+		t.Fatal("dB anchors wrong")
+	}
+}
+
+func TestDefaultAMCValid(t *testing.T) {
+	a := DefaultAMC()
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if a.MinRate() >= a.MaxRate() {
+		t.Fatalf("rate spread inverted: %v vs %v", a.MinRate(), a.MaxRate())
+	}
+	if spread := a.MaxRate() / a.MinRate(); spread < 4 {
+		t.Fatalf("link adaptation dynamic range too small: %vx", spread)
+	}
+}
+
+func TestAMCValidateRejectsMalformed(t *testing.T) {
+	cases := []*AMC{
+		{SymbolRate: 1e5},
+		{Table: []MCS{{Name: "x", BitsPerSymbol: 1, CodeRate: 0.5}}, SymbolRate: 0},
+		{Table: []MCS{{Name: "x", BitsPerSymbol: 1, CodeRate: 0}}, SymbolRate: 1e5},
+		{Table: []MCS{
+			{Name: "a", BitsPerSymbol: 1, CodeRate: 0.5, ThresholdDB: 5},
+			{Name: "b", BitsPerSymbol: 2, CodeRate: 0.5, ThresholdDB: 5},
+		}, SymbolRate: 1e5},
+		{Table: []MCS{
+			{Name: "a", BitsPerSymbol: 2, CodeRate: 0.5, ThresholdDB: 5},
+			{Name: "b", BitsPerSymbol: 1, CodeRate: 0.5, ThresholdDB: 9},
+		}, SymbolRate: 1e5},
+	}
+	for i, a := range cases {
+		if a.Validate() == nil {
+			t.Errorf("case %d: Validate accepted malformed table", i)
+		}
+	}
+}
+
+func TestBERMonotoneInSNR(t *testing.T) {
+	for _, m := range DefaultAMC().Table {
+		prev := 1.0
+		for snr := -10.0; snr <= 40; snr += 0.5 {
+			ber := m.BER(snr)
+			if ber < 0 || ber > 0.5 {
+				t.Fatalf("%s: BER %v out of range at %v dB", m.Name, ber, snr)
+			}
+			if ber > prev+1e-15 {
+				t.Fatalf("%s: BER not non-increasing at %v dB", m.Name, snr)
+			}
+			prev = ber
+		}
+	}
+}
+
+func TestBERAtThresholdIsSmall(t *testing.T) {
+	// At its own selection threshold every MCS must deliver a usable frame
+	// success probability for 512-byte frames; that is the design rule that
+	// spaced the thresholds.
+	a := DefaultAMC()
+	for _, m := range a.Table {
+		p := m.FrameSuccessProb(m.ThresholdDB+a.MarginDB, 512*8)
+		if p < 0.9 {
+			t.Errorf("%s: frame success %v at own threshold", m.Name, p)
+		}
+	}
+}
+
+func TestFrameSuccessProb(t *testing.T) {
+	m := DefaultAMC().Table[0]
+	if m.FrameSuccessProb(50, 0) != 1 {
+		t.Fatal("zero-bit frame must always succeed")
+	}
+	p1 := m.FrameSuccessProb(2, 1000)
+	p2 := m.FrameSuccessProb(2, 10000)
+	if !(p2 < p1) {
+		t.Fatalf("longer frames must be more fragile: %v vs %v", p1, p2)
+	}
+	if p := m.FrameSuccessProb(-20, 12000); p > 0.05 {
+		t.Fatalf("deep fade should kill frames, p=%v", p)
+	}
+}
+
+func TestSelectMonotone(t *testing.T) {
+	a := DefaultAMC()
+	prev := -1
+	for snr := -5.0; snr <= 40; snr += 0.25 {
+		idx, _ := a.Select(snr)
+		if idx < prev {
+			t.Fatalf("selection not monotone in SNR at %v dB: %d < %d", snr, idx, prev)
+		}
+		prev = idx
+	}
+	if idx, ok := a.Select(-10); ok || idx != 0 {
+		t.Fatalf("deep fade must report !ok with robust fallback, got %d/%v", idx, ok)
+	}
+	if idx, ok := a.Select(100); !ok || idx != len(a.Table)-1 {
+		t.Fatalf("high SNR must select fastest, got %d/%v", idx, ok)
+	}
+}
+
+func TestSelectRespectsMargin(t *testing.T) {
+	a := DefaultAMC()
+	thr := a.Table[1].ThresholdDB
+	if idx, _ := a.Select(thr + a.MarginDB - 0.01); idx != 0 {
+		t.Fatalf("margin not applied, got %d", idx)
+	}
+	if idx, _ := a.Select(thr + a.MarginDB + 0.01); idx != 1 {
+		t.Fatalf("selection at margin boundary got %d", idx)
+	}
+}
+
+func TestBroadcastSelect(t *testing.T) {
+	a := DefaultAMC()
+	// Three clients: strong, medium, weak.
+	snrs := []float64{30, 15, 5}
+	// Full coverage → limited by the weakest (5 dB ≥ 3+1=4 → BPSK only).
+	if got := a.BroadcastSelect(snrs, 1.0); got != 0 {
+		t.Fatalf("full coverage pick %d", got)
+	}
+	// 2/3 coverage → limited by the medium client.
+	want, _ := a.Select(15)
+	if got := a.BroadcastSelect(snrs, 0.66); got != want {
+		t.Fatalf("2/3 coverage pick %d, want %d", got, want)
+	}
+	// Empty and degenerate inputs.
+	if got := a.BroadcastSelect(nil, 0.9); got != 0 {
+		t.Fatalf("empty pick %d", got)
+	}
+	if got := a.BroadcastSelect([]float64{-10}, 0.9); got != 0 {
+		t.Fatalf("unreachable coverage pick %d", got)
+	}
+	if got := a.BroadcastSelect([]float64{100, 100}, 2.0); got != len(a.Table)-1 {
+		t.Fatalf("clamped coverage pick %d", got)
+	}
+}
+
+func TestBroadcastSelectProperty(t *testing.T) {
+	a := DefaultAMC()
+	f := func(raw []uint8, covRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		snrs := make([]float64, len(raw))
+		for i, v := range raw {
+			snrs[i] = float64(v%45) - 5
+		}
+		cov := float64(covRaw%101) / 100
+		idx := a.BroadcastSelect(snrs, cov)
+		if idx < 0 || idx >= len(a.Table) {
+			return false
+		}
+		// Requiring more coverage can never pick a faster scheme.
+		idxFull := a.BroadcastSelect(snrs, 1.0)
+		return idxFull <= idx || cov > 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAirtime(t *testing.T) {
+	a := DefaultAMC()
+	bits := 8192
+	slow := a.Airtime(0, bits)
+	fast := a.Airtime(len(a.Table)-1, bits)
+	if !(fast < slow) {
+		t.Fatalf("fast MCS not faster: %v vs %v", fast, slow)
+	}
+	want := float64(bits) / a.Table[0].BitRate(a.SymbolRate)
+	if math.Abs(slow-want) > 1e-12 {
+		t.Fatalf("airtime %v, want %v", slow, want)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range MCS must panic")
+		}
+	}()
+	a.Airtime(99, 1)
+}

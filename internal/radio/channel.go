@@ -1,0 +1,242 @@
+package radio
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/des"
+	"repro/internal/mobility"
+	"repro/internal/rng"
+)
+
+// Params configures the downlink channel population.
+type Params struct {
+	// Geometry mode (UseGeometry true): clients are dropped uniformly in an
+	// annulus [MinDistanceM, CellRadiusM] and their mean SNR follows from
+	// the log-distance path-loss law plus lognormal shadowing.
+	UseGeometry  bool
+	TxPowerDBm   float64
+	NoiseDBm     float64
+	RefLossDB    float64 // path loss at 1 m
+	PathLossExp  float64
+	CellRadiusM  float64
+	MinDistanceM float64
+
+	// SNR mode (UseGeometry false): every client's mean SNR is MeanSNRdB
+	// plus a per-client lognormal shadowing offset. This is the mode the
+	// F6/F7 sweeps use, because it makes "mean SNR" a single knob.
+	MeanSNRdB float64
+
+	// Mobility, when non-nil, moves clients per the random-waypoint model
+	// so their path loss (and hence mean SNR) drifts over time. Requires
+	// UseGeometry. Shadowing stays fixed per client (no spatially
+	// correlated shadowing), which is the usual simplification.
+	Mobility *mobility.Config
+
+	ShadowSigmaDB float64
+
+	// Fast fading.
+	DopplerHz    float64
+	FadingSlot   des.Duration
+	FadingStates int
+}
+
+// DefaultParams returns the channel configuration used by the default
+// experiment matrix: SNR mode at 18 dB mean, 6 dB shadowing, pedestrian
+// Doppler.
+func DefaultParams() Params {
+	return Params{
+		UseGeometry:   false,
+		TxPowerDBm:    40,
+		NoiseDBm:      -113,
+		RefLossDB:     38,
+		PathLossExp:   3.5,
+		CellRadiusM:   500,
+		MinDistanceM:  20,
+		MeanSNRdB:     18,
+		ShadowSigmaDB: 6,
+		DopplerHz:     6, // ~3 km/h at 2 GHz
+		FadingSlot:    2 * des.Millisecond,
+		FadingStates:  8,
+	}
+}
+
+// link is one client's fading process, advanced lazily.
+type link struct {
+	fsmc     *FSMC
+	state    int
+	lastSlot int64
+	src      *rng.Source
+	meanDB   float64 // static mean SNR (initial position under mobility)
+	shadowDB float64
+	distM    float64
+}
+
+// Channel is the population of downlink links from the base station to each
+// client. All methods must be called from the simulation goroutine.
+type Channel struct {
+	params Params
+	amc    *AMC
+	links  []link
+	snrBuf []float64
+	mob    *mobility.Model
+}
+
+// New builds a channel with n client links. The source seeds one independent
+// fading stream per client; the same (seed, n, params) triple always yields
+// the same channel realization.
+func New(p Params, amc *AMC, n int, src *rng.Source) (*Channel, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("radio: need at least one client, got %d", n)
+	}
+	if amc == nil {
+		amc = DefaultAMC()
+	}
+	if err := amc.Validate(); err != nil {
+		return nil, err
+	}
+	if p.FadingSlot <= 0 || p.FadingStates < 2 || p.DopplerHz <= 0 {
+		return nil, fmt.Errorf("radio: invalid fading params (slot=%v states=%d fd=%v)",
+			p.FadingSlot, p.FadingStates, p.DopplerHz)
+	}
+	if p.Mobility != nil && !p.UseGeometry {
+		return nil, fmt.Errorf("radio: mobility requires geometry mode")
+	}
+	c := &Channel{
+		params: p,
+		amc:    amc,
+		links:  make([]link, n),
+		snrBuf: make([]float64, n),
+	}
+	if p.Mobility != nil {
+		mob, err := mobility.New(*p.Mobility, n, src.SubStream(1<<32))
+		if err != nil {
+			return nil, err
+		}
+		c.mob = mob
+	}
+	placement := src.SubStream(0)
+	for i := range c.links {
+		l := &c.links[i]
+		l.src = src.SubStream(uint64(i) + 1)
+		l.shadowDB = placement.Normal(0, p.ShadowSigmaDB)
+		if p.UseGeometry {
+			if c.mob != nil {
+				l.distM = c.mob.DistanceM(i, 0)
+			} else {
+				// Uniform over the annulus area.
+				r2min := p.MinDistanceM * p.MinDistanceM
+				r2max := p.CellRadiusM * p.CellRadiusM
+				l.distM = math.Sqrt(placement.Uniform(r2min, r2max))
+			}
+			l.meanDB = c.geoMeanDB(l.distM, l.shadowDB)
+		} else {
+			l.meanDB = p.MeanSNRdB + l.shadowDB
+		}
+		// Under mobility the fading chain is built around 0 dB and the
+		// drifting path-loss mean is added per query: the Rayleigh FSMC is
+		// scale-invariant in its mean, so the offset form is exact.
+		fsmcMean := l.meanDB
+		if c.mob != nil {
+			fsmcMean = 0
+		}
+		fsmc, err := NewFSMC(fsmcMean, p.DopplerHz, p.FadingSlot.Seconds(), p.FadingStates)
+		if err != nil {
+			return nil, err
+		}
+		l.fsmc = fsmc
+		l.state = fsmc.StationarySample(l.src)
+	}
+	return c, nil
+}
+
+// N reports the number of client links.
+func (c *Channel) N() int { return len(c.links) }
+
+// AMC reports the link adaptation policy in force.
+func (c *Channel) AMC() *AMC { return c.amc }
+
+// geoMeanDB computes the mean SNR at a distance with a fixed shadowing
+// offset.
+func (c *Channel) geoMeanDB(distM, shadowDB float64) float64 {
+	p := c.params
+	pl := p.RefLossDB + 10*p.PathLossExp*math.Log10(distM)
+	return p.TxPowerDBm - pl - shadowDB - p.NoiseDBm
+}
+
+// MeanSNRdB reports client i's long-term average SNR (under mobility, the
+// mean at its initial position).
+func (c *Channel) MeanSNRdB(i int) float64 { return c.links[i].meanDB }
+
+// MeanSNRdBAt reports client i's instantaneous mean SNR (path loss plus
+// shadowing, fading excluded) at time t.
+func (c *Channel) MeanSNRdBAt(i int, t des.Time) float64 {
+	if c.mob == nil {
+		return c.links[i].meanDB
+	}
+	return c.geoMeanDB(c.mob.DistanceM(i, t), c.links[i].shadowDB)
+}
+
+// DistanceM reports client i's distance from the base station (geometry mode
+// only; zero otherwise). Under mobility this is the initial distance; use
+// DistanceMAt for the live value.
+func (c *Channel) DistanceM(i int) float64 { return c.links[i].distM }
+
+// DistanceMAt reports client i's distance at time t.
+func (c *Channel) DistanceMAt(i int, t des.Time) float64 {
+	if c.mob == nil {
+		return c.links[i].distM
+	}
+	return c.mob.DistanceM(i, t)
+}
+
+// advance brings link i's fading state up to the slot containing `now`.
+func (c *Channel) advance(i int, now des.Time) *link {
+	l := &c.links[i]
+	slot := int64(now) / int64(c.params.FadingSlot)
+	if slot > l.lastSlot {
+		l.state = l.fsmc.Advance(l.state, slot-l.lastSlot, l.src)
+		l.lastSlot = slot
+	}
+	return l
+}
+
+// SNRdB reports client i's instantaneous SNR at time now.
+func (c *Channel) SNRdB(i int, now des.Time) float64 {
+	l := c.advance(i, now)
+	snr := l.fsmc.RepSNRdB(l.state)
+	if c.mob != nil {
+		snr += c.MeanSNRdBAt(i, now)
+	}
+	return snr
+}
+
+// Snapshot fills and returns a reused buffer with every client's
+// instantaneous SNR at time now. The buffer is valid until the next call.
+func (c *Channel) Snapshot(now des.Time) []float64 {
+	for i := range c.links {
+		c.snrBuf[i] = c.SNRdB(i, now)
+	}
+	return c.snrBuf
+}
+
+// SelectMCS runs link adaptation for a unicast frame to client i at time
+// now: the fastest scheme supported by the instantaneous SNR, falling back
+// to the most robust scheme when the link is in a deep fade.
+func (c *Channel) SelectMCS(i int, now des.Time) (idx int, snrDB float64) {
+	snrDB = c.SNRdB(i, now)
+	idx, _ = c.amc.Select(snrDB)
+	return idx, snrDB
+}
+
+// Decode draws whether client i successfully decodes a frame of `bits`
+// information bits sent at MCS index mcs, given its channel state at `now`.
+func (c *Channel) Decode(i int, now des.Time, mcs int, bits int) bool {
+	l := c.advance(i, now)
+	snr := l.fsmc.RepSNRdB(l.state)
+	if c.mob != nil {
+		snr += c.MeanSNRdBAt(i, now)
+	}
+	p := c.amc.Table[mcs].FrameSuccessProb(snr, bits)
+	return l.src.Bool(p)
+}

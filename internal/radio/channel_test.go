@@ -1,0 +1,266 @@
+package radio
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/mobility"
+	"repro/internal/rng"
+)
+
+func testChannel(t *testing.T, p Params, n int, seed uint64) *Channel {
+	t.Helper()
+	c, err := New(p, DefaultAMC(), n, rng.Stream(seed, "chan"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestChannelRejectsBadConfig(t *testing.T) {
+	src := rng.New(1)
+	if _, err := New(DefaultParams(), nil, 0, src); err == nil {
+		t.Error("zero clients accepted")
+	}
+	p := DefaultParams()
+	p.FadingStates = 1
+	if _, err := New(p, nil, 4, src); err == nil {
+		t.Error("bad fading states accepted")
+	}
+	p = DefaultParams()
+	p.DopplerHz = 0
+	if _, err := New(p, nil, 4, src); err == nil {
+		t.Error("zero doppler accepted")
+	}
+	bad := &AMC{SymbolRate: 1}
+	if _, err := New(DefaultParams(), bad, 4, src); err == nil {
+		t.Error("invalid AMC accepted")
+	}
+}
+
+func TestChannelDeterminism(t *testing.T) {
+	mk := func() []float64 {
+		c := testChannel(t, DefaultParams(), 16, 77)
+		var out []float64
+		for i := 0; i < c.N(); i++ {
+			for _, at := range []des.Time{0, des.Time(des.Second), des.Time(5 * des.Second)} {
+				out = append(out, c.SNRdB(i, at))
+			}
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestChannelMeanSNRMode(t *testing.T) {
+	p := DefaultParams()
+	p.MeanSNRdB = 20
+	p.ShadowSigmaDB = 0 // disable shadowing: every client's mean is exact
+	c := testChannel(t, p, 50, 3)
+	for i := 0; i < c.N(); i++ {
+		if got := c.MeanSNRdB(i); got != 20 {
+			t.Fatalf("client %d mean %v", i, got)
+		}
+		if c.DistanceM(i) != 0 {
+			t.Fatal("distance must be zero in SNR mode")
+		}
+	}
+}
+
+func TestChannelGeometryMode(t *testing.T) {
+	p := DefaultParams()
+	p.UseGeometry = true
+	p.ShadowSigmaDB = 0
+	c := testChannel(t, p, 200, 4)
+	for i := 0; i < c.N(); i++ {
+		d := c.DistanceM(i)
+		if d < p.MinDistanceM || d > p.CellRadiusM {
+			t.Fatalf("client %d at distance %v outside annulus", i, d)
+		}
+		// Mean SNR must follow the path-loss law exactly with shadowing off.
+		pl := p.RefLossDB + 10*p.PathLossExp*math.Log10(d)
+		want := p.TxPowerDBm - pl - p.NoiseDBm
+		if got := c.MeanSNRdB(i); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("client %d mean %v, want %v", i, got, want)
+		}
+	}
+	// Closer clients must have higher mean SNR.
+	iNear, iFar := 0, 0
+	for i := 1; i < c.N(); i++ {
+		if c.DistanceM(i) < c.DistanceM(iNear) {
+			iNear = i
+		}
+		if c.DistanceM(i) > c.DistanceM(iFar) {
+			iFar = i
+		}
+	}
+	if !(c.MeanSNRdB(iNear) > c.MeanSNRdB(iFar)) {
+		t.Fatal("path loss not monotone in distance")
+	}
+}
+
+func TestChannelLongRunAverage(t *testing.T) {
+	p := DefaultParams()
+	p.MeanSNRdB = 15
+	p.ShadowSigmaDB = 0
+	c := testChannel(t, p, 1, 5)
+	// Sample instantaneous SNR over a long horizon; the linear average must
+	// approach the configured mean.
+	sum := 0.0
+	const samples = 20000
+	for i := 0; i < samples; i++ {
+		at := des.Time(i) * des.Time(20*des.Millisecond)
+		sum += FromDB(c.SNRdB(0, at))
+	}
+	got := ToDB(sum / samples)
+	if math.Abs(got-15) > 1.0 {
+		t.Fatalf("long-run average SNR %v dB, want ~15", got)
+	}
+}
+
+func TestChannelSnapshot(t *testing.T) {
+	c := testChannel(t, DefaultParams(), 10, 6)
+	snap := c.Snapshot(des.Time(des.Second))
+	if len(snap) != 10 {
+		t.Fatalf("snapshot length %d", len(snap))
+	}
+	for i, s := range snap {
+		if got := c.SNRdB(i, des.Time(des.Second)); got != s {
+			t.Fatalf("snapshot[%d]=%v but SNRdB=%v", i, s, got)
+		}
+	}
+}
+
+func TestChannelSelectMCSTracksSNR(t *testing.T) {
+	p := DefaultParams()
+	p.MeanSNRdB = 30
+	p.ShadowSigmaDB = 0
+	cHigh := testChannel(t, p, 1, 7)
+	p.MeanSNRdB = 0
+	cLow := testChannel(t, p, 1, 7)
+	high, low := 0, 0
+	for i := 0; i < 500; i++ {
+		at := des.Time(i) * des.Time(des.Second)
+		hi, _ := cHigh.SelectMCS(0, at)
+		lo, _ := cLow.SelectMCS(0, at)
+		high += hi
+		low += lo
+	}
+	if !(high > low) {
+		t.Fatalf("high-SNR client not using faster MCS: %d vs %d", high, low)
+	}
+}
+
+func TestChannelDecodeProbability(t *testing.T) {
+	p := DefaultParams()
+	p.ShadowSigmaDB = 0
+	p.MeanSNRdB = 25
+	c := testChannel(t, p, 1, 8)
+	okRobust, okFast := 0, 0
+	const trials = 5000
+	for i := 0; i < trials; i++ {
+		at := des.Time(i) * des.Time(100*des.Millisecond)
+		if c.Decode(0, at, 0, 4096) {
+			okRobust++
+		}
+		if c.Decode(0, at, len(c.AMC().Table)-1, 4096) {
+			okFast++
+		}
+	}
+	if float64(okRobust)/trials < 0.95 {
+		t.Errorf("robust MCS decode rate %v at 25 dB", float64(okRobust)/trials)
+	}
+	// The fastest scheme needs ~23 dB; at mean 25 dB with Rayleigh fading a
+	// noticeable fraction of slots are faded below it.
+	if !(okFast < okRobust) {
+		t.Errorf("fast MCS should lose more frames: robust=%d fast=%d", okRobust, okFast)
+	}
+}
+
+func TestChannelLazyAdvanceConsistency(t *testing.T) {
+	// Querying the same time twice must not advance the fading process.
+	c := testChannel(t, DefaultParams(), 1, 9)
+	at := des.Time(3 * des.Second)
+	a := c.SNRdB(0, at)
+	b := c.SNRdB(0, at)
+	if a != b {
+		t.Fatalf("repeated query changed state: %v vs %v", a, b)
+	}
+	// Queries within the same fading slot see the same state.
+	c2 := c.SNRdB(0, at.Add(des.Microsecond))
+	if a != c2 {
+		t.Fatalf("same-slot query changed state: %v vs %v", a, c2)
+	}
+}
+
+func BenchmarkChannelSNR(b *testing.B) {
+	c, err := New(DefaultParams(), DefaultAMC(), 100, rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.SNRdB(i%100, des.Time(i)*des.Time(des.Millisecond))
+	}
+}
+
+func TestChannelMobility(t *testing.T) {
+	p := DefaultParams()
+	p.UseGeometry = true
+	p.ShadowSigmaDB = 0
+	p.Mobility = &mobility.Config{
+		CellRadiusM:  p.CellRadiusM,
+		MinDistanceM: p.MinDistanceM,
+		SpeedMinMps:  10,
+		SpeedMaxMps:  20,
+		PauseMeanSec: 0,
+	}
+	c := testChannel(t, p, 10, 11)
+	// Mean SNR must drift over time as the clients move.
+	drifted := 0
+	for i := 0; i < c.N(); i++ {
+		m0 := c.MeanSNRdBAt(i, 0)
+		m1 := c.MeanSNRdBAt(i, des.Time(5*des.Minute))
+		if math.Abs(m1-m0) > 1 {
+			drifted++
+		}
+		// Distance stays within the cell.
+		for s := 0; s < 100; s++ {
+			d := c.DistanceMAt(i, des.Time(s)*des.Time(3*des.Second))
+			if d < p.MinDistanceM || d > p.CellRadiusM {
+				t.Fatalf("client %d at distance %v", i, d)
+			}
+		}
+	}
+	if drifted < 7 {
+		t.Fatalf("only %d of 10 clients drifted", drifted)
+	}
+	// Instantaneous SNR must track the drifting mean: linear long-run
+	// average over a window should sit near the window's mean SNR.
+	i := 0
+	sum := 0.0
+	const samples = 5000
+	for s := 0; s < samples; s++ {
+		at := des.Time(6*des.Minute) + des.Time(s)*des.Time(4*des.Millisecond)
+		sum += FromDB(c.SNRdB(i, at))
+	}
+	got := ToDB(sum / samples)
+	want := c.MeanSNRdBAt(i, des.Time(6*des.Minute)+des.Time(10*des.Second))
+	if math.Abs(got-want) > 3 {
+		t.Fatalf("windowed SNR average %v dB, mean %v dB", got, want)
+	}
+}
+
+func TestChannelMobilityRequiresGeometry(t *testing.T) {
+	p := DefaultParams()
+	p.Mobility = &mobility.Config{CellRadiusM: 100, SpeedMinMps: 1, SpeedMaxMps: 2}
+	if _, err := New(p, DefaultAMC(), 4, rng.New(1)); err == nil {
+		t.Fatal("mobility without geometry accepted")
+	}
+}

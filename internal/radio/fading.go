@@ -1,0 +1,179 @@
+package radio
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// FSMC is a finite-state Markov chain abstraction of Rayleigh fading around
+// a fixed mean SNR. The SNR axis is partitioned into K equal-stationary-
+// probability states; per-slot transition probabilities to the adjacent
+// states follow the level-crossing-rate formula for Rayleigh fading at
+// Doppler frequency fd:
+//
+//	N(Γ) = sqrt(2π·Γ/γ̄) · fd · exp(−Γ/γ̄)
+//	p(k→k+1) ≈ N(Γ_{k+1})·T_slot / π_k,   p(k→k−1) ≈ N(Γ_k)·T_slot / π_k
+//
+// (Wang & Moayeri 1995). The approximation requires fd·T_slot ≪ 1; the
+// constructor enforces p_up + p_down ≤ 1 by clamping and reports the clamp
+// through Strained so configurations that violate the regime are visible.
+type FSMC struct {
+	meanSNR   float64   // γ̄, linear
+	slotSec   float64   // T_slot
+	doppler   float64   // fd, Hz
+	repDB     []float64 // representative SNR per state, dB
+	pUp       []float64
+	pDown     []float64
+	mixSlots  int64 // gap beyond which the chain is resampled stationary
+	strained  bool
+	numStates int
+}
+
+// NewFSMC builds a K-state chain for the given mean SNR (dB), Doppler (Hz),
+// and slot duration (seconds). K must be ≥ 2.
+func NewFSMC(meanSNRdB float64, dopplerHz float64, slotSec float64, states int) (*FSMC, error) {
+	if states < 2 {
+		return nil, fmt.Errorf("radio: FSMC needs at least 2 states, got %d", states)
+	}
+	if dopplerHz <= 0 || slotSec <= 0 {
+		return nil, fmt.Errorf("radio: FSMC needs positive doppler and slot (fd=%v, T=%v)", dopplerHz, slotSec)
+	}
+	mean := FromDB(meanSNRdB)
+	f := &FSMC{
+		meanSNR:   mean,
+		slotSec:   slotSec,
+		doppler:   dopplerHz,
+		numStates: states,
+		repDB:     make([]float64, states),
+		pUp:       make([]float64, states),
+		pDown:     make([]float64, states),
+	}
+
+	// Equal-probability thresholds of the exponential SNR distribution:
+	// Γ_k = −γ̄·ln(1 − k/K), k = 0…K (Γ_0 = 0, Γ_K = ∞).
+	thr := make([]float64, states+1)
+	for k := 0; k <= states; k++ {
+		frac := float64(k) / float64(states)
+		if k == states {
+			thr[k] = math.Inf(1)
+		} else {
+			thr[k] = -mean * math.Log(1-frac)
+		}
+	}
+
+	// Representative SNR per state: conditional mean of the exponential over
+	// [Γ_k, Γ_{k+1}), scaled by 1/π_k = K.
+	// ∫_a^b γ·(1/γ̄)e^{−γ/γ̄} dγ = (a+γ̄)e^{−a/γ̄} − (b+γ̄)e^{−b/γ̄}.
+	partial := func(x float64) float64 {
+		if math.IsInf(x, 1) {
+			return 0
+		}
+		return (x + mean) * math.Exp(-x/mean)
+	}
+	for k := 0; k < states; k++ {
+		rep := float64(states) * (partial(thr[k]) - partial(thr[k+1]))
+		if rep <= 0 {
+			rep = thr[k] // degenerate numeric corner; fall back to lower edge
+		}
+		f.repDB[k] = ToDB(rep)
+	}
+
+	// Transition probabilities from level-crossing rates.
+	pi := 1.0 / float64(states)
+	lcr := func(g float64) float64 {
+		if g <= 0 || math.IsInf(g, 1) {
+			return 0
+		}
+		return math.Sqrt(2*math.Pi*g/mean) * dopplerHz * math.Exp(-g/mean)
+	}
+	for k := 0; k < states; k++ {
+		var up, down float64
+		if k < states-1 {
+			up = lcr(thr[k+1]) * slotSec / pi
+		}
+		if k > 0 {
+			down = lcr(thr[k]) * slotSec / pi
+		}
+		if up+down > 1 {
+			// Out of the slow-fading regime: renormalize and flag.
+			scale := 1 / (up + down)
+			up *= scale
+			down *= scale
+			f.strained = true
+		}
+		f.pUp[k] = up
+		f.pDown[k] = down
+	}
+
+	// Beyond ~K level-crossing times the chain has mixed; resampling the
+	// stationary distribution is then both correct and O(1).
+	mixSec := float64(states) / dopplerHz
+	f.mixSlots = int64(math.Ceil(mixSec / slotSec))
+	if f.mixSlots < 1 {
+		f.mixSlots = 1
+	}
+	return f, nil
+}
+
+// States reports K.
+func (f *FSMC) States() int { return f.numStates }
+
+// Strained reports whether any transition probability had to be clamped,
+// i.e. the (doppler, slot) pair is outside the FSMC validity regime.
+func (f *FSMC) Strained() bool { return f.strained }
+
+// RepSNRdB reports the representative SNR of a state in dB.
+func (f *FSMC) RepSNRdB(state int) float64 { return f.repDB[state] }
+
+// MeanSNRdB reports γ̄ in dB.
+func (f *FSMC) MeanSNRdB() float64 { return ToDB(f.meanSNR) }
+
+// SlotSec reports the chain's slot duration in seconds.
+func (f *FSMC) SlotSec() float64 { return f.slotSec }
+
+// StationarySample draws a state from the stationary distribution (uniform
+// by construction).
+func (f *FSMC) StationarySample(r *rng.Source) int {
+	return r.Intn(f.numStates)
+}
+
+// Step advances the chain one slot from the given state.
+func (f *FSMC) Step(state int, r *rng.Source) int {
+	u := r.Float64()
+	switch {
+	case u < f.pUp[state]:
+		return state + 1
+	case u < f.pUp[state]+f.pDown[state]:
+		return state - 1
+	default:
+		return state
+	}
+}
+
+// Advance moves the chain `slots` slots forward. Gaps longer than the mixing
+// horizon are resolved by a single stationary draw, keeping lazy advancement
+// O(min(slots, mixSlots)).
+func (f *FSMC) Advance(state int, slots int64, r *rng.Source) int {
+	if slots <= 0 {
+		return state
+	}
+	if slots >= f.mixSlots {
+		return f.StationarySample(r)
+	}
+	for i := int64(0); i < slots; i++ {
+		state = f.Step(state, r)
+	}
+	return state
+}
+
+// StationaryDB reports the mean SNR in dB averaged over representative state
+// values (a sanity quantity used in tests: it must sit close to γ̄).
+func (f *FSMC) StationaryDB() float64 {
+	sum := 0.0
+	for _, db := range f.repDB {
+		sum += FromDB(db)
+	}
+	return ToDB(sum / float64(f.numStates))
+}

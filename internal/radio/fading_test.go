@@ -1,0 +1,172 @@
+package radio
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestFSMCConstruction(t *testing.T) {
+	f, err := NewFSMC(15, 6, 0.002, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.States() != 8 {
+		t.Fatalf("states %d", f.States())
+	}
+	if f.Strained() {
+		t.Fatal("pedestrian doppler at 10ms slots should not strain the chain")
+	}
+	// Representative SNRs must be strictly increasing.
+	for k := 1; k < f.States(); k++ {
+		if f.RepSNRdB(k) <= f.RepSNRdB(k-1) {
+			t.Fatalf("rep SNR not increasing at state %d", k)
+		}
+	}
+	// Averaging representative linear SNRs over the uniform stationary
+	// distribution must recover the mean SNR.
+	if got := f.StationaryDB(); math.Abs(got-15) > 0.2 {
+		t.Fatalf("stationary mean %v dB, want 15", got)
+	}
+	if f.MeanSNRdB() != 15 || f.SlotSec() != 0.002 {
+		t.Fatal("accessors broken")
+	}
+}
+
+func TestFSMCRejectsBadParams(t *testing.T) {
+	if _, err := NewFSMC(10, 6, 0.01, 1); err == nil {
+		t.Error("1 state accepted")
+	}
+	if _, err := NewFSMC(10, 0, 0.01, 4); err == nil {
+		t.Error("zero doppler accepted")
+	}
+	if _, err := NewFSMC(10, 6, 0, 4); err == nil {
+		t.Error("zero slot accepted")
+	}
+}
+
+func TestFSMCStrainedFlag(t *testing.T) {
+	// Enormous Doppler with long slots violates fd·T ≪ 1; construction must
+	// still succeed but flag the regime violation.
+	f, err := NewFSMC(10, 500, 0.05, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Strained() {
+		t.Fatal("expected strained chain")
+	}
+	// Probabilities must still be valid after clamping.
+	r := rng.New(1)
+	state := f.StationarySample(r)
+	for i := 0; i < 10000; i++ {
+		state = f.Step(state, r)
+		if state < 0 || state >= f.States() {
+			t.Fatalf("state %d escaped", state)
+		}
+	}
+}
+
+func TestFSMCStationaryOccupancy(t *testing.T) {
+	// The empirical state occupancy of a long trajectory must converge to
+	// the analytic (uniform) stationary distribution — the key invariant
+	// linking the chain back to Rayleigh statistics.
+	f, err := NewFSMC(18, 6, 0.005, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(42)
+	counts := make([]int, f.States())
+	state := f.StationarySample(r)
+	const steps = 2_000_000
+	for i := 0; i < steps; i++ {
+		state = f.Step(state, r)
+		counts[state]++
+	}
+	want := float64(steps) / float64(f.States())
+	for k, c := range counts {
+		if math.Abs(float64(c)-want)/want > 0.08 {
+			t.Errorf("state %d occupancy %d, want ~%.0f", k, c, want)
+		}
+	}
+}
+
+func TestFSMCAdjacentOnly(t *testing.T) {
+	f, err := NewFSMC(12, 6, 0.01, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(7)
+	state := 3
+	for i := 0; i < 100000; i++ {
+		next := f.Step(state, r)
+		if d := next - state; d < -1 || d > 1 {
+			t.Fatalf("non-adjacent jump %d -> %d", state, next)
+		}
+		state = next
+	}
+}
+
+func TestFSMCAdvance(t *testing.T) {
+	f, err := NewFSMC(12, 6, 0.01, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(9)
+	// Zero or negative advancement is identity.
+	if got := f.Advance(4, 0, r); got != 4 {
+		t.Fatalf("Advance(…,0) = %d", got)
+	}
+	if got := f.Advance(4, -3, r); got != 4 {
+		t.Fatalf("Advance(…,-3) = %d", got)
+	}
+	// Short advancement stays within ±slots of the start.
+	for i := 0; i < 1000; i++ {
+		got := f.Advance(4, 3, r)
+		if got < 1 || got > 7 {
+			t.Fatalf("3-slot advance moved 4 -> %d", got)
+		}
+	}
+	// A gap beyond the mixing horizon resamples the stationary distribution;
+	// starting pinned at state 0, the long-gap distribution must be ~uniform.
+	counts := make([]int, f.States())
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[f.Advance(0, 1<<40, r)]++
+	}
+	want := float64(n) / float64(f.States())
+	for k, c := range counts {
+		if math.Abs(float64(c)-want)/want > 0.1 {
+			t.Errorf("long-gap state %d count %d, want ~%.0f", k, c, want)
+		}
+	}
+}
+
+func TestFSMCTimeCorrelation(t *testing.T) {
+	// One slot apart the chain must be strongly correlated; far apart it
+	// must decorrelate. Measured via P(same state).
+	f, err := NewFSMC(15, 6, 0.002, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(11)
+	sameNear, sameFar := 0, 0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		s0 := f.StationarySample(r)
+		if f.Advance(s0, 1, r) == s0 {
+			sameNear++
+		}
+		if f.Advance(s0, f.mixSlots+1, r) == s0 {
+			sameFar++
+		}
+	}
+	pNear := float64(sameNear) / trials
+	pFar := float64(sameFar) / trials
+	if pNear < 0.8 {
+		t.Errorf("near correlation too weak: %v", pNear)
+	}
+	if math.Abs(pFar-1.0/8) > 0.03 {
+		t.Errorf("far correlation should be ~1/K: %v", pFar)
+	}
+}

@@ -1,0 +1,102 @@
+package rng
+
+import (
+	"math"
+	"sort"
+)
+
+// Zipf samples from a Zipf(theta) distribution over {0, 1, …, n-1}:
+// P(k) ∝ 1/(k+1)^theta. theta = 0 degenerates to uniform; theta around
+// 0.8–1.0 is the conventional "web-like" skew used throughout the wireless
+// data-caching literature.
+//
+// Sampling uses a precomputed CDF with binary search: O(n) memory once,
+// O(log n) per draw, exact for any theta ≥ 0 (unlike rejection samplers that
+// require theta > 1).
+type Zipf struct {
+	cdf   []float64
+	theta float64
+}
+
+// NewZipf builds a sampler over n items with skew theta. It panics if n <= 0
+// or theta < 0.
+func NewZipf(n int, theta float64) *Zipf {
+	if n <= 0 {
+		panic("rng: Zipf with non-positive n")
+	}
+	if theta < 0 {
+		panic("rng: Zipf with negative theta")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for k := 0; k < n; k++ {
+		sum += 1 / math.Pow(float64(k+1), theta)
+		cdf[k] = sum
+	}
+	inv := 1 / sum
+	for k := range cdf {
+		cdf[k] *= inv
+	}
+	cdf[n-1] = 1 // guard against rounding leaving the tail short of 1
+	return &Zipf{cdf: cdf, theta: theta}
+}
+
+// N reports the support size.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Theta reports the skew parameter.
+func (z *Zipf) Theta() float64 { return z.theta }
+
+// Sample draws one value in [0, n).
+func (z *Zipf) Sample(r *Source) int {
+	u := r.Float64()
+	return sort.SearchFloat64s(z.cdf, u)
+}
+
+// Prob reports P(k).
+func (z *Zipf) Prob(k int) float64 {
+	if k < 0 || k >= len(z.cdf) {
+		return 0
+	}
+	if k == 0 {
+		return z.cdf[0]
+	}
+	return z.cdf[k] - z.cdf[k-1]
+}
+
+// Discrete samples from an arbitrary finite distribution given by
+// non-negative weights.
+type Discrete struct {
+	cdf []float64
+}
+
+// NewDiscrete builds a sampler from weights. It panics if weights is empty,
+// contains a negative entry, or sums to zero.
+func NewDiscrete(weights []float64) *Discrete {
+	if len(weights) == 0 {
+		panic("rng: Discrete with no weights")
+	}
+	cdf := make([]float64, len(weights))
+	sum := 0.0
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			panic("rng: Discrete with negative or NaN weight")
+		}
+		sum += w
+		cdf[i] = sum
+	}
+	if sum == 0 {
+		panic("rng: Discrete weights sum to zero")
+	}
+	inv := 1 / sum
+	for i := range cdf {
+		cdf[i] *= inv
+	}
+	cdf[len(cdf)-1] = 1
+	return &Discrete{cdf: cdf}
+}
+
+// Sample draws one index.
+func (d *Discrete) Sample(r *Source) int {
+	return sort.SearchFloat64s(d.cdf, r.Float64())
+}

@@ -1,0 +1,224 @@
+// Package traffic generates the background downlink load that competes with
+// invalidation reports and query responses for airtime. Three models cover
+// the regimes that matter to a traffic-aware invalidation scheme: memoryless
+// (Poisson), perfectly smooth (CBR), and bursty/heavy-tailed (Pareto ON/OFF,
+// the classic self-similar traffic construction).
+package traffic
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/rng"
+)
+
+// Model selects the arrival process.
+type Model int
+
+// Supported models.
+const (
+	Poisson Model = iota
+	CBR
+	ParetoOnOff
+)
+
+// String names the model.
+func (m Model) String() string {
+	switch m {
+	case Poisson:
+		return "poisson"
+	case CBR:
+		return "cbr"
+	case ParetoOnOff:
+		return "pareto-onoff"
+	default:
+		return "unknown"
+	}
+}
+
+// ParseModel converts a model name as used in CLI flags.
+func ParseModel(s string) (Model, error) {
+	switch s {
+	case "poisson":
+		return Poisson, nil
+	case "cbr":
+		return CBR, nil
+	case "pareto-onoff", "pareto":
+		return ParetoOnOff, nil
+	}
+	return 0, fmt.Errorf("traffic: unknown model %q", s)
+}
+
+// Config parameterizes a background flow aggregate.
+type Config struct {
+	Model      Model
+	RateBps    float64 // long-term average offered load, bits/second
+	FrameBits  int     // mean frame payload size
+	NumClients int     // frames address a uniformly random client
+
+	// Pareto ON/OFF parameters: mean burst and gap lengths in seconds and
+	// the Pareto shape (1 < shape ≤ 2 gives the heavy tail).
+	OnMeanSec  float64
+	OffMeanSec float64
+	Shape      float64
+}
+
+// DefaultConfig returns Poisson background traffic with 1 KB mean frames.
+// RateBps is left zero: callers set it from the desired downlink load.
+func DefaultConfig(numClients int) Config {
+	return Config{
+		Model:      Poisson,
+		FrameBits:  8192,
+		NumClients: numClients,
+		OnMeanSec:  1.0,
+		OffMeanSec: 3.0,
+		Shape:      1.5,
+	}
+}
+
+// Sink receives each generated frame.
+type Sink func(dest int, bits int)
+
+// Generator drives one background flow aggregate.
+type Generator struct {
+	cfg  Config
+	sch  *des.Scheduler
+	src  *rng.Source
+	sink Sink
+
+	running  bool
+	inBurst  bool
+	peakBps  float64
+	genBits  uint64
+	genCount uint64
+}
+
+// New validates the config and builds a generator. A RateBps of zero is
+// allowed and produces no traffic.
+func New(sch *des.Scheduler, cfg Config, src *rng.Source, sink Sink) (*Generator, error) {
+	if sink == nil {
+		return nil, fmt.Errorf("traffic: nil sink")
+	}
+	if cfg.RateBps < 0 {
+		return nil, fmt.Errorf("traffic: negative rate %v", cfg.RateBps)
+	}
+	if cfg.FrameBits <= 0 {
+		return nil, fmt.Errorf("traffic: non-positive frame size %d", cfg.FrameBits)
+	}
+	if cfg.NumClients <= 0 {
+		return nil, fmt.Errorf("traffic: need clients to address, got %d", cfg.NumClients)
+	}
+	if cfg.Model == ParetoOnOff {
+		if cfg.OnMeanSec <= 0 || cfg.OffMeanSec <= 0 {
+			return nil, fmt.Errorf("traffic: ON/OFF means must be positive")
+		}
+		if cfg.Shape <= 1 {
+			return nil, fmt.Errorf("traffic: Pareto shape must exceed 1 for a finite mean, got %v", cfg.Shape)
+		}
+	}
+	g := &Generator{cfg: cfg, sch: sch, src: src, sink: sink}
+	if cfg.Model == ParetoOnOff {
+		// Peak rate during bursts such that the duty-cycled average hits
+		// RateBps.
+		duty := cfg.OnMeanSec / (cfg.OnMeanSec + cfg.OffMeanSec)
+		g.peakBps = cfg.RateBps / duty
+	}
+	return g, nil
+}
+
+// GeneratedBits reports the total offered bits so far.
+func (g *Generator) GeneratedBits() uint64 { return g.genBits }
+
+// GeneratedFrames reports the total offered frames so far.
+func (g *Generator) GeneratedFrames() uint64 { return g.genCount }
+
+// Start begins generation. Starting a running or zero-rate generator is a
+// no-op.
+func (g *Generator) Start() {
+	if g.running || g.cfg.RateBps == 0 {
+		return
+	}
+	g.running = true
+	switch g.cfg.Model {
+	case Poisson, CBR:
+		g.scheduleNext()
+	case ParetoOnOff:
+		g.scheduleOff()
+	}
+}
+
+// Stop halts generation after any already-scheduled arrival.
+func (g *Generator) Stop() { g.running = false }
+
+func (g *Generator) emit(bits int) {
+	if bits < 128 {
+		bits = 128
+	}
+	g.genBits += uint64(bits)
+	g.genCount++
+	g.sink(g.src.Intn(g.cfg.NumClients), bits)
+}
+
+// scheduleNext drives the Poisson and CBR models.
+func (g *Generator) scheduleNext() {
+	if !g.running {
+		return
+	}
+	frameRate := g.cfg.RateBps / float64(g.cfg.FrameBits)
+	var gap float64
+	var bits int
+	switch g.cfg.Model {
+	case Poisson:
+		gap = g.src.Exp(frameRate)
+		bits = int(g.src.Exp(1.0/float64(g.cfg.FrameBits)) + 0.5)
+	case CBR:
+		gap = 1 / frameRate
+		bits = g.cfg.FrameBits
+	}
+	g.sch.After(des.FromSeconds(gap), "traffic.arrival", func() {
+		if !g.running {
+			return
+		}
+		g.emit(bits)
+		g.scheduleNext()
+	})
+}
+
+// scheduleOff waits out an OFF gap then enters a burst.
+func (g *Generator) scheduleOff() {
+	if !g.running {
+		return
+	}
+	xm := g.cfg.OffMeanSec * (g.cfg.Shape - 1) / g.cfg.Shape
+	gap := g.src.Pareto(g.cfg.Shape, xm)
+	g.sch.After(des.FromSeconds(gap), "traffic.burst", func() {
+		if !g.running {
+			return
+		}
+		xmOn := g.cfg.OnMeanSec * (g.cfg.Shape - 1) / g.cfg.Shape
+		burst := g.src.Pareto(g.cfg.Shape, xmOn)
+		g.inBurst = true
+		g.burstArrival(g.sch.Now().Add(des.FromSeconds(burst)))
+	})
+}
+
+// burstArrival emits CBR frames at the peak rate until the burst deadline.
+func (g *Generator) burstArrival(deadline des.Time) {
+	if !g.running {
+		return
+	}
+	gap := float64(g.cfg.FrameBits) / g.peakBps
+	next := g.sch.Now().Add(des.FromSeconds(gap))
+	if next.After(deadline) {
+		g.inBurst = false
+		g.scheduleOff()
+		return
+	}
+	g.sch.At(next, "traffic.arrival", func() {
+		if !g.running {
+			return
+		}
+		g.emit(g.cfg.FrameBits)
+		g.burstArrival(deadline)
+	})
+}

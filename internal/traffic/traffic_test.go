@@ -1,0 +1,192 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/rng"
+)
+
+type capture struct {
+	dests []int
+	bits  []int
+}
+
+func (c *capture) sink(dest, bits int) {
+	c.dests = append(c.dests, dest)
+	c.bits = append(c.bits, bits)
+}
+
+func (c *capture) totalBits() float64 {
+	t := 0.0
+	for _, b := range c.bits {
+		t += float64(b)
+	}
+	return t
+}
+
+func runModel(t *testing.T, m Model, rate float64, horizon des.Duration, seed uint64) (*capture, *Generator) {
+	t.Helper()
+	sch := des.NewScheduler()
+	var got capture
+	cfg := DefaultConfig(10)
+	cfg.Model = m
+	cfg.RateBps = rate
+	g, err := New(sch, cfg, rng.New(seed), got.sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Start()
+	sch.Run(des.Time(0).Add(horizon))
+	return &got, g
+}
+
+func TestModelString(t *testing.T) {
+	if Poisson.String() != "poisson" || CBR.String() != "cbr" ||
+		ParetoOnOff.String() != "pareto-onoff" || Model(9).String() != "unknown" {
+		t.Fatal("Model.String broken")
+	}
+}
+
+func TestParseModel(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want Model
+	}{{"poisson", Poisson}, {"cbr", CBR}, {"pareto", ParetoOnOff}, {"pareto-onoff", ParetoOnOff}} {
+		got, err := ParseModel(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("ParseModel(%q) = %v, %v", c.in, got, err)
+		}
+	}
+	if _, err := ParseModel("bogus"); err == nil {
+		t.Error("bogus model accepted")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	sch := des.NewScheduler()
+	src := rng.New(1)
+	sink := func(int, int) {}
+	bad := []Config{
+		{Model: Poisson, RateBps: -1, FrameBits: 100, NumClients: 1},
+		{Model: Poisson, RateBps: 1, FrameBits: 0, NumClients: 1},
+		{Model: Poisson, RateBps: 1, FrameBits: 100, NumClients: 0},
+		{Model: ParetoOnOff, RateBps: 1, FrameBits: 100, NumClients: 1, OnMeanSec: 0, OffMeanSec: 1, Shape: 1.5},
+		{Model: ParetoOnOff, RateBps: 1, FrameBits: 100, NumClients: 1, OnMeanSec: 1, OffMeanSec: 1, Shape: 1},
+	}
+	for i, cfg := range bad {
+		if _, err := New(sch, cfg, src, sink); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if _, err := New(sch, DefaultConfig(4), src, nil); err == nil {
+		t.Error("nil sink accepted")
+	}
+}
+
+func TestPoissonRate(t *testing.T) {
+	const rate = 100_000 // 100 kb/s over 200 s
+	got, g := runModel(t, Poisson, rate, 200*des.Second, 1)
+	offered := got.totalBits() / 200
+	if math.Abs(offered-rate)/rate > 0.1 {
+		t.Fatalf("offered %v b/s, want ~%v", offered, rate)
+	}
+	if g.GeneratedBits() != uint64(got.totalBits()) {
+		t.Fatal("GeneratedBits mismatch")
+	}
+	if g.GeneratedFrames() != uint64(len(got.bits)) {
+		t.Fatal("GeneratedFrames mismatch")
+	}
+}
+
+func TestCBRIsDeterministicAndExact(t *testing.T) {
+	const rate = 81_920 // exactly 10 frames/s at 8192-bit frames
+	got, _ := runModel(t, CBR, rate, 10*des.Second, 2)
+	if len(got.bits) != 100 {
+		t.Fatalf("frames %d, want 100", len(got.bits))
+	}
+	for _, b := range got.bits {
+		if b != 8192 {
+			t.Fatalf("CBR frame size %d", b)
+		}
+	}
+}
+
+func TestParetoOnOffRateAndBurstiness(t *testing.T) {
+	const rate = 100_000
+	got, _ := runModel(t, ParetoOnOff, rate, 2000*des.Second, 3)
+	offered := got.totalBits() / 2000
+	if math.Abs(offered-rate)/rate > 0.35 {
+		t.Fatalf("offered %v b/s, want ~%v (heavy tail tolerance)", offered, rate)
+	}
+	if len(got.bits) == 0 {
+		t.Fatal("no traffic")
+	}
+}
+
+func TestZeroRateProducesNothing(t *testing.T) {
+	got, _ := runModel(t, Poisson, 0, 100*des.Second, 4)
+	if len(got.bits) != 0 {
+		t.Fatalf("zero-rate generator emitted %d frames", len(got.bits))
+	}
+}
+
+func TestStop(t *testing.T) {
+	sch := des.NewScheduler()
+	var got capture
+	cfg := DefaultConfig(5)
+	cfg.RateBps = 1e6
+	g, err := New(sch, cfg, rng.New(5), got.sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Start()
+	sch.After(des.Second, "stop", g.Stop)
+	sch.Run(des.Time(0).Add(10 * des.Second))
+	n := len(got.bits)
+	if n == 0 {
+		t.Fatal("no frames before Stop")
+	}
+	// Nothing arrives after the stop (plus one grace arrival at most).
+	sch.Run(des.Time(0).Add(20 * des.Second))
+	if len(got.bits) > n {
+		t.Fatalf("frames after Stop: %d -> %d", n, len(got.bits))
+	}
+}
+
+func TestDestsCoverClients(t *testing.T) {
+	got, _ := runModel(t, Poisson, 1e6, 60*des.Second, 6)
+	seen := make(map[int]bool)
+	for _, d := range got.dests {
+		if d < 0 || d >= 10 {
+			t.Fatalf("dest %d out of range", d)
+		}
+		seen[d] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("only %d of 10 clients addressed", len(seen))
+	}
+}
+
+func TestMinFrameSizeClamp(t *testing.T) {
+	got, _ := runModel(t, Poisson, 1e6, 60*des.Second, 7)
+	for _, b := range got.bits {
+		if b < 128 {
+			t.Fatalf("frame below clamp: %d", b)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, _ := runModel(t, ParetoOnOff, 50_000, 300*des.Second, 42)
+	b, _ := runModel(t, ParetoOnOff, 50_000, 300*des.Second, 42)
+	if len(a.bits) != len(b.bits) {
+		t.Fatalf("frame counts differ: %d vs %d", len(a.bits), len(b.bits))
+	}
+	for i := range a.bits {
+		if a.bits[i] != b.bits[i] || a.dests[i] != b.dests[i] {
+			t.Fatal("same seed diverged")
+		}
+	}
+}

@@ -1,0 +1,106 @@
+// Package workload provides the client-side stochastic processes: Zipf item
+// selection with exponential think times, and the awake/doze (disconnection)
+// alternation that stresses the invalidation schemes' coverage windows.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/rng"
+)
+
+// Config parameterizes one client population's behaviour.
+type Config struct {
+	QueryRate float64 // queries per second per client while awake
+	Zipf      float64 // access skew over the item space
+	NumItems  int
+
+	// SleepRatio is the long-run fraction of time a client is dozing
+	// (disconnected). AwakeMeanSec sets the mean awake period; the mean doze
+	// period follows from the ratio. Both periods are exponential.
+	SleepRatio   float64
+	AwakeMeanSec float64
+}
+
+// DefaultConfig mirrors the literature's canonical client: one query per
+// 10 s while awake, Zipf 0.8, no disconnection.
+func DefaultConfig(numItems int) Config {
+	return Config{
+		QueryRate:    0.1,
+		Zipf:         0.8,
+		NumItems:     numItems,
+		SleepRatio:   0,
+		AwakeMeanSec: 100,
+	}
+}
+
+// Validate reports the first configuration problem.
+func (c Config) Validate() error {
+	switch {
+	case c.QueryRate < 0:
+		return fmt.Errorf("workload: QueryRate %v", c.QueryRate)
+	case c.Zipf < 0:
+		return fmt.Errorf("workload: Zipf %v", c.Zipf)
+	case c.NumItems <= 0:
+		return fmt.Errorf("workload: NumItems %d", c.NumItems)
+	case c.SleepRatio < 0 || c.SleepRatio >= 1:
+		return fmt.Errorf("workload: SleepRatio %v", c.SleepRatio)
+	case c.SleepRatio > 0 && c.AwakeMeanSec <= 0:
+		return fmt.Errorf("workload: AwakeMeanSec %v with sleeping enabled", c.AwakeMeanSec)
+	}
+	return nil
+}
+
+// SleepMeanSec reports the mean doze period implied by the ratio.
+func (c Config) SleepMeanSec() float64 {
+	if c.SleepRatio == 0 {
+		return 0
+	}
+	return c.AwakeMeanSec * c.SleepRatio / (1 - c.SleepRatio)
+}
+
+// Sampler draws one client's behaviour from its private stream. The Zipf
+// table is shared across clients (same popularity law); the stream is not.
+type Sampler struct {
+	cfg  Config
+	zipf *rng.Zipf
+	src  *rng.Source
+}
+
+// NewSampler builds a sampler. zipf must be built over cfg.NumItems; sharing
+// one table across all clients avoids N copies of the CDF.
+func NewSampler(cfg Config, zipf *rng.Zipf, src *rng.Source) (*Sampler, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if zipf.N() != cfg.NumItems {
+		return nil, fmt.Errorf("workload: zipf table over %d items, config %d", zipf.N(), cfg.NumItems)
+	}
+	return &Sampler{cfg: cfg, zipf: zipf, src: src}, nil
+}
+
+// NextQueryGap draws the think time to the next query. A zero QueryRate
+// returns des.Duration of ~forever (no queries).
+func (s *Sampler) NextQueryGap() des.Duration {
+	if s.cfg.QueryRate == 0 {
+		return des.Duration(1<<62 - 1)
+	}
+	return des.FromSeconds(s.src.Exp(s.cfg.QueryRate))
+}
+
+// NextItem draws the item the next query asks for.
+func (s *Sampler) NextItem() int { return s.zipf.Sample(s.src) }
+
+// Sleeps reports whether this client ever dozes.
+func (s *Sampler) Sleeps() bool { return s.cfg.SleepRatio > 0 }
+
+// NextAwake draws the next awake period length.
+func (s *Sampler) NextAwake() des.Duration {
+	return des.FromSeconds(s.src.Exp(1 / s.cfg.AwakeMeanSec))
+}
+
+// NextSleep draws the next doze period length.
+func (s *Sampler) NextSleep() des.Duration {
+	return des.FromSeconds(s.src.Exp(1 / s.cfg.SleepMeanSec()))
+}

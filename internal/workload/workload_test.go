@@ -1,0 +1,146 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig(100).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mut := []func(*Config){
+		func(c *Config) { c.QueryRate = -1 },
+		func(c *Config) { c.Zipf = -0.1 },
+		func(c *Config) { c.NumItems = 0 },
+		func(c *Config) { c.SleepRatio = 1 },
+		func(c *Config) { c.SleepRatio = -0.1 },
+		func(c *Config) { c.SleepRatio = 0.5; c.AwakeMeanSec = 0 },
+	}
+	for i, f := range mut {
+		c := DefaultConfig(100)
+		f(&c)
+		if c.Validate() == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestSleepMean(t *testing.T) {
+	c := DefaultConfig(10)
+	if c.SleepMeanSec() != 0 {
+		t.Fatal("no-sleep config must report zero sleep mean")
+	}
+	c.SleepRatio = 0.5
+	c.AwakeMeanSec = 100
+	if got := c.SleepMeanSec(); math.Abs(got-100) > 1e-9 {
+		t.Fatalf("50%% ratio sleep mean %v", got)
+	}
+	c.SleepRatio = 0.75
+	if got := c.SleepMeanSec(); math.Abs(got-300) > 1e-9 {
+		t.Fatalf("75%% ratio sleep mean %v", got)
+	}
+}
+
+func TestNewSamplerRejects(t *testing.T) {
+	z := rng.NewZipf(100, 0.8)
+	bad := DefaultConfig(100)
+	bad.QueryRate = -1
+	if _, err := NewSampler(bad, z, rng.New(1)); err == nil {
+		t.Error("invalid config accepted")
+	}
+	if _, err := NewSampler(DefaultConfig(50), z, rng.New(1)); err == nil {
+		t.Error("mismatched zipf table accepted")
+	}
+}
+
+func TestQueryGapMean(t *testing.T) {
+	cfg := DefaultConfig(100)
+	cfg.QueryRate = 0.1 // mean gap 10 s
+	s, err := NewSampler(cfg, rng.NewZipf(100, cfg.Zipf), rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		sum += s.NextQueryGap().Seconds()
+	}
+	if got := sum / n; math.Abs(got-10) > 0.2 {
+		t.Fatalf("mean gap %v, want ~10", got)
+	}
+}
+
+func TestZeroQueryRate(t *testing.T) {
+	cfg := DefaultConfig(100)
+	cfg.QueryRate = 0
+	s, err := NewSampler(cfg, rng.NewZipf(100, cfg.Zipf), rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NextQueryGap().Seconds() < 1e9 {
+		t.Fatal("zero rate must push queries past any horizon")
+	}
+}
+
+func TestItemsFollowZipf(t *testing.T) {
+	cfg := DefaultConfig(20)
+	z := rng.NewZipf(20, cfg.Zipf)
+	s, err := NewSampler(cfg, z, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 20)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[s.NextItem()]++
+	}
+	for k := 0; k < 20; k++ {
+		got := float64(counts[k]) / n
+		if math.Abs(got-z.Prob(k)) > 0.01 {
+			t.Errorf("P(%d) = %v, want %v", k, got, z.Prob(k))
+		}
+	}
+}
+
+func TestSleepDutyCycle(t *testing.T) {
+	cfg := DefaultConfig(10)
+	cfg.SleepRatio = 0.25
+	cfg.AwakeMeanSec = 60
+	s, err := NewSampler(cfg, rng.NewZipf(10, cfg.Zipf), rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Sleeps() {
+		t.Fatal("Sleeps() false with ratio 0.25")
+	}
+	awake, asleep := 0.0, 0.0
+	for i := 0; i < 20000; i++ {
+		awake += s.NextAwake().Seconds()
+		asleep += s.NextSleep().Seconds()
+	}
+	got := asleep / (awake + asleep)
+	if math.Abs(got-0.25) > 0.01 {
+		t.Fatalf("duty cycle %v, want 0.25", got)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	mk := func() []int {
+		cfg := DefaultConfig(50)
+		s, _ := NewSampler(cfg, rng.NewZipf(50, cfg.Zipf), rng.New(6))
+		var out []int
+		for i := 0; i < 100; i++ {
+			out = append(out, s.NextItem(), int(s.NextQueryGap()))
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
