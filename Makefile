@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test vet race check sweep
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The sweep scheduler is the only concurrent code in the repository; race
+# runs its packages (and the core pool they drive) under the race detector.
+race:
+	$(GO) test -race ./internal/core ./internal/experiment
+
+# check is the pre-commit gate.
+check: build vet race
+
+# sweep regenerates the full evaluation into results/ (resumable).
+sweep: build
+	$(GO) run ./cmd/wdcsweep -exp all -out results -resume

@@ -11,11 +11,14 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"repro/internal/cache"
 	"repro/internal/core"
@@ -167,7 +170,9 @@ func main() {
 		}
 		return
 	}
-	agg, err := core.RunReplications(cfg, *reps, *workers)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	agg, err := core.RunReplicationsCtx(ctx, cfg, *reps, *workers)
 	if err != nil {
 		fatal(err)
 	}

@@ -6,17 +6,27 @@
 //	wdcsweep -exp F4               # run one experiment, print its table
 //	wdcsweep -exp all -out results # run everything, write CSVs as well
 //	wdcsweep -exp F1 -quick        # 2 reps at a quarter horizon (smoke)
+//	wdcsweep -exp all -out results -resume   # continue an interrupted run
 //
 // Tables print to stdout; -out writes one CSV per experiment into the given
-// directory.
+// directory plus a checkpoint.jsonl with one JSON record per completed
+// cell. Interrupting a run (SIGINT/SIGTERM) keeps the checkpoint, and
+// -resume skips the cells it records instead of rerunning them. All
+// requested experiments are scheduled through one global worker pool of
+// (cell × replication) units, so even a single small figure uses every
+// core.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/des"
@@ -27,10 +37,11 @@ func main() {
 	expID := flag.String("exp", "", "experiment id (F1..F10, T1..T4, A1..A6) or 'all'")
 	list := flag.Bool("list", false, "list experiments and exit")
 	reps := flag.Int("reps", 5, "replications per cell")
-	workers := flag.Int("workers", 0, "parallel cells (0 = default)")
+	workers := flag.Int("workers", 0, "global (cell × replication) worker pool size (≤0 = all cores)")
 	seed := flag.Uint64("seed", 1, "base seed")
 	algos := flag.String("algos", "", "comma-separated algorithm filter (default: experiment's own set)")
-	outDir := flag.String("out", "", "directory for CSV output (optional)")
+	outDir := flag.String("out", "", "directory for CSV output and the cell checkpoint (optional)")
+	resume := flag.Bool("resume", false, "skip cells already recorded in <out>/checkpoint.jsonl (requires -out)")
 	quick := flag.Bool("quick", false, "quarter horizon, 2 reps: smoke-test mode")
 	horizon := flag.Float64("horizon", 0, "override simulated span in seconds (0 = default)")
 	quiet := flag.Bool("q", false, "suppress progress lines")
@@ -48,6 +59,10 @@ func main() {
 	}
 	if *expID == "" {
 		fmt.Fprintln(os.Stderr, "wdcsweep: -exp required (or -list); e.g. -exp F1")
+		os.Exit(2)
+	}
+	if *resume && *outDir == "" {
+		fmt.Fprintln(os.Stderr, "wdcsweep: -resume requires -out (the checkpoint lives there)")
 		os.Exit(2)
 	}
 
@@ -90,30 +105,71 @@ func main() {
 	}
 
 	if *algos != "" {
+		// Filter copies: the registry hands out shared *Experiment values,
+		// and mutating them would leak the filter into later lookups.
 		filter := strings.Split(*algos, ",")
-		for _, e := range exps {
-			e.Algorithms = filter
+		for i, e := range exps {
+			dup := *e
+			dup.Algorithms = filter
+			exps[i] = &dup
 		}
 	}
 
-	for _, e := range exps {
-		start := time.Now()
-		opt := experiment.Options{Base: base, Reps: r, Workers: *workers}
-		if !*quiet {
-			opt.Progress = func(done, total int, cell string) {
-				fmt.Fprintf(os.Stderr, "\r%s: %d/%d cells   ", e.ID, done, total)
-			}
-		}
-		res, err := e.Run(opt)
+	var ckpt *experiment.Checkpoint
+	if *outDir != "" {
+		var err error
+		ckpt, err = experiment.OpenCheckpoint(filepath.Join(*outDir, experiment.CheckpointName), *resume)
 		if err != nil {
 			fatal(err)
 		}
-		if !*quiet {
-			fmt.Fprintf(os.Stderr, "\r%s done in %.1fs          \n", e.ID, time.Since(start).Seconds())
+		defer ckpt.Close()
+		if *resume && !*quiet {
+			fmt.Fprintf(os.Stderr, "wdcsweep: resuming from %s (%d cells recorded)\n",
+				ckpt.Path(), ckpt.Len())
 		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	opt := experiment.Options{Base: base, Reps: r, Workers: *workers, Checkpoint: ckpt}
+	if !*quiet {
+		opt.Progress = func(p experiment.Progress) {
+			line := fmt.Sprintf("%d/%d reps  %d/%d cells", p.DoneUnits, p.TotalUnits, p.DoneCells, p.TotalCells)
+			if p.ETA > 0 {
+				line += fmt.Sprintf("  eta %s", p.ETA.Round(time.Second))
+			}
+			if p.Cell != "" {
+				line += "  " + p.Cell
+			}
+			fmt.Fprintf(os.Stderr, "\r%-78s", line)
+		}
+	}
+	start := time.Now()
+	results, err := experiment.RunAll(ctx, exps, opt)
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "\r%-78s\r", "")
+	}
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			if ckpt != nil {
+				fmt.Fprintf(os.Stderr, "wdcsweep: interrupted; finished cells are in %s — rerun with -resume to continue\n",
+					ckpt.Path())
+			} else {
+				fmt.Fprintln(os.Stderr, "wdcsweep: interrupted")
+			}
+			os.Exit(130)
+		}
+		fatal(err)
+	}
+	if !*quiet {
+		fmt.Fprintf(os.Stderr, "%d experiment(s) done in %.1fs\n", len(results), time.Since(start).Seconds())
+	}
+
+	for _, res := range results {
 		fmt.Println(res.Table())
 		if *outDir != "" {
-			path := filepath.Join(*outDir, e.ID+".csv")
+			path := filepath.Join(*outDir, res.Exp.ID+".csv")
 			if err := os.WriteFile(path, []byte(res.CSV()), 0o644); err != nil {
 				fatal(err)
 			}

@@ -5,7 +5,9 @@
 // (database + invalidation-report server + shared downlink + contention
 // uplink) and a population of caching clients over fading channels.
 // RunReplications runs independent seeds across a worker pool and
-// aggregates.
+// aggregates; the Ctx variants (RunReplicationsCtx, RunRep,
+// Simulation.ExecuteCtx) add fail-fast cancellation, and RunRep is the
+// per-replication unit an external scheduler can distribute itself.
 package core
 
 import (

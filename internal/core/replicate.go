@@ -1,7 +1,11 @@
 package core
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 
@@ -33,25 +37,128 @@ type Aggregate struct {
 	Runs []*RunStats
 }
 
+// JSONFloat is a float64 whose JSON encoding represents NaN as null, so
+// per-replication values (where NaN means "nothing measured") survive a
+// checkpoint round-trip; Go's encoder rejects NaN outright. Finite values
+// round-trip exactly (shortest-representation encoding).
+type JSONFloat float64
+
+// MarshalJSON implements json.Marshaler.
+func (f JSONFloat) MarshalJSON() ([]byte, error) {
+	if math.IsNaN(float64(f)) {
+		return []byte("null"), nil
+	}
+	return json.Marshal(float64(f))
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (f *JSONFloat) UnmarshalJSON(b []byte) error {
+	if string(b) == "null" {
+		*f = JSONFloat(math.NaN())
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	*f = JSONFloat(v)
+	return nil
+}
+
+// RepValues are one replication's scalar contributions to an Aggregate —
+// exactly what the cross-replication summaries fold in, and nothing
+// process-local. Checkpointing these and replaying them through
+// AggregateValues rebuilds a bit-identical Aggregate without rerunning
+// the simulation.
+type RepValues struct {
+	Seed            uint64    `json:"seed"`
+	MeanDelay       JSONFloat `json:"delay"`
+	P95Delay        JSONFloat `json:"p95"`
+	HitRatio        JSONFloat `json:"hit"`
+	UplinkPerAns    JSONFloat `json:"uplink"`
+	OverheadBps     JSONFloat `json:"overhead"`
+	DownlinkUtil    JSONFloat `json:"util"`
+	EnergyPerQuery  JSONFloat `json:"energy"`
+	ReportLoss      JSONFloat `json:"rptloss"`
+	CacheDropsRate  JSONFloat `json:"dropsrate"` // NaN when nothing was measured
+	StaleViolations uint64    `json:"stale"`
+	Queries         uint64    `json:"queries"`
+	Answered        uint64    `json:"answered"`
+	PendingAtEnd    int       `json:"pending"`
+}
+
+// Values extracts the aggregable scalars of one replication. numClients
+// normalizes the cache-drop rate and must match the config that ran.
+func (r *RunStats) Values(numClients int) RepValues {
+	drops := math.NaN()
+	if r.MeasuredSec > 0 {
+		drops = float64(r.CacheDrops) / float64(numClients) / (r.MeasuredSec / 3600)
+	}
+	return RepValues{
+		Seed:            r.Seed,
+		MeanDelay:       JSONFloat(r.MeanDelay),
+		P95Delay:        JSONFloat(r.P95Delay),
+		HitRatio:        JSONFloat(r.HitRatio),
+		UplinkPerAns:    JSONFloat(r.UplinkPerAnswer()),
+		OverheadBps:     JSONFloat(r.OverheadBitsPerSec()),
+		DownlinkUtil:    JSONFloat(r.DownlinkUtil),
+		EnergyPerQuery:  JSONFloat(r.EnergyPerQuery),
+		ReportLoss:      JSONFloat(r.ReportLossRate()),
+		CacheDropsRate:  JSONFloat(drops),
+		StaleViolations: r.StaleViolations,
+		Queries:         r.Queries,
+		Answered:        r.Answered,
+		PendingAtEnd:    r.PendingAtEnd,
+	}
+}
+
+// addValues folds one replication's scalars into the aggregate. Summary
+// drops NaN contributions, so a NaN field adds nothing — the same rule
+// the live path applies.
+func (a *Aggregate) addValues(v RepValues) {
+	a.Reps++
+	a.MeanDelay.Add(float64(v.MeanDelay))
+	a.P95Delay.Add(float64(v.P95Delay))
+	a.HitRatio.Add(float64(v.HitRatio))
+	a.UplinkPerAns.Add(float64(v.UplinkPerAns))
+	a.OverheadBps.Add(float64(v.OverheadBps))
+	a.DownlinkUtil.Add(float64(v.DownlinkUtil))
+	a.EnergyPerQuery.Add(float64(v.EnergyPerQuery))
+	a.ReportLoss.Add(float64(v.ReportLoss))
+	a.CacheDropsRate.Add(float64(v.CacheDropsRate))
+	a.StaleViolations += v.StaleViolations
+	a.Queries += v.Queries
+	a.Answered += v.Answered
+	a.PendingAtEnd += v.PendingAtEnd
+}
+
 // add folds one replication into the aggregate.
 func (a *Aggregate) add(r *RunStats, numClients int) {
-	a.Reps++
-	a.MeanDelay.Add(r.MeanDelay)
-	a.P95Delay.Add(r.P95Delay)
-	a.HitRatio.Add(r.HitRatio)
-	a.UplinkPerAns.Add(r.UplinkPerAnswer())
-	a.OverheadBps.Add(r.OverheadBitsPerSec())
-	a.DownlinkUtil.Add(r.DownlinkUtil)
-	a.EnergyPerQuery.Add(r.EnergyPerQuery)
-	a.ReportLoss.Add(r.ReportLossRate())
-	if r.MeasuredSec > 0 {
-		a.CacheDropsRate.Add(float64(r.CacheDrops) / float64(numClients) / (r.MeasuredSec / 3600))
-	}
-	a.StaleViolations += r.StaleViolations
-	a.Queries += r.Queries
-	a.Answered += r.Answered
-	a.PendingAtEnd += r.PendingAtEnd
+	a.addValues(r.Values(numClients))
 	a.Runs = append(a.Runs, r)
+}
+
+// AggregateRuns folds completed replications, in replication (seed) order,
+// into an Aggregate. It is the deterministic reduce step of the flattened
+// sweep scheduler: however the runs were scheduled, folding them in index
+// order yields identical summaries for every worker count.
+func AggregateRuns(cfg Config, runs []*RunStats) *Aggregate {
+	agg := &Aggregate{Algorithm: cfg.Algorithm}
+	for _, r := range runs {
+		agg.add(r, cfg.NumClients)
+	}
+	return agg
+}
+
+// AggregateValues rebuilds an Aggregate from checkpointed per-replication
+// values, in the order they were recorded. Runs stays nil: raw per-run
+// series and histograms are process-local and never checkpointed.
+func AggregateValues(algorithm string, vals []RepValues) *Aggregate {
+	agg := &Aggregate{Algorithm: algorithm}
+	for _, v := range vals {
+		agg.addValues(v)
+	}
+	return agg
 }
 
 // String renders the aggregate as one line.
@@ -65,12 +172,32 @@ func (a *Aggregate) String() string {
 		a.StaleViolations)
 }
 
+// RunRep builds and executes replication i of cfg (seed cfg.Seed+i) under
+// ctx. Each replication has fully independent state and RNG streams, so it
+// is the unit of work a scheduler can distribute in any order.
+func RunRep(ctx context.Context, cfg Config, i int) (*RunStats, error) {
+	c := cfg
+	c.Seed = cfg.Seed + uint64(i)
+	sim, err := NewSimulation(c)
+	if err != nil {
+		return nil, err
+	}
+	return sim.ExecuteCtx(ctx)
+}
+
 // RunReplications executes reps independent replications of cfg (seeds
 // cfg.Seed, cfg.Seed+1, …) across a bounded worker pool and aggregates. A
 // workers value ≤ 0 uses GOMAXPROCS. The simulation itself is sequential;
 // all parallelism is across replications, each with fully independent state
 // and RNG streams, so results are deterministic regardless of worker count.
 func RunReplications(cfg Config, reps, workers int) (*Aggregate, error) {
+	return RunReplicationsCtx(context.Background(), cfg, reps, workers)
+}
+
+// RunReplicationsCtx is RunReplications with fail-fast cancellation: the
+// first failing replication cancels its siblings, and a cancelled ctx
+// stops the pool and returns the context's error.
+func RunReplicationsCtx(ctx context.Context, cfg Config, reps, workers int) (*Aggregate, error) {
 	if reps <= 0 {
 		return nil, fmt.Errorf("core: reps %d", reps)
 	}
@@ -80,6 +207,8 @@ func RunReplications(cfg Config, reps, workers int) (*Aggregate, error) {
 	if workers > reps {
 		workers = reps
 	}
+	rctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 
 	results := make([]*RunStats, reps)
 	errs := make([]error, reps)
@@ -90,9 +219,13 @@ func RunReplications(cfg Config, reps, workers int) (*Aggregate, error) {
 		go func() {
 			defer wg.Done()
 			for i := range work {
-				c := cfg
-				c.Seed = cfg.Seed + uint64(i)
-				results[i], errs[i] = Run(c)
+				if errs[i] = rctx.Err(); errs[i] != nil {
+					continue // fail-fast: a sibling already failed
+				}
+				results[i], errs[i] = RunRep(rctx, cfg, i)
+				if errs[i] != nil {
+					cancel()
+				}
 			}
 		}()
 	}
@@ -102,12 +235,21 @@ func RunReplications(cfg Config, reps, workers int) (*Aggregate, error) {
 	close(work)
 	wg.Wait()
 
-	agg := &Aggregate{Algorithm: cfg.Algorithm}
-	for i := 0; i < reps; i++ {
-		if errs[i] != nil {
-			return nil, fmt.Errorf("core: replication %d: %w", i, errs[i])
+	// Report the first real failure in replication order; cancellation
+	// fallout only surfaces when nothing better explains the stop.
+	for pass := 0; pass < 2; pass++ {
+		for i, err := range errs {
+			if err == nil || (pass == 0 && isCancellation(err)) {
+				continue
+			}
+			return nil, fmt.Errorf("core: replication %d: %w", i, err)
 		}
-		agg.add(results[i], cfg.NumClients)
 	}
-	return agg, nil
+	return AggregateRuns(cfg, results), nil
+}
+
+// isCancellation reports whether err is context-cancellation fallout
+// rather than a failure in its own right.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }

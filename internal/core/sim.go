@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/db"
@@ -135,8 +136,24 @@ func (s *Simulation) referenceRate() float64 {
 // Executed reports how many discrete events have run so far.
 func (s *Simulation) Executed() uint64 { return s.sch.Executed() }
 
+// cancelCheckEvents is how many DES events run between context polls in
+// ExecuteCtx: coarse enough to cost nothing, fine enough that a cancelled
+// run stops within milliseconds of wall-clock time.
+const cancelCheckEvents = 4096
+
 // Execute runs the simulation to its horizon and returns the statistics.
 func (s *Simulation) Execute() *RunStats {
+	r, _ := s.ExecuteCtx(context.Background())
+	return r
+}
+
+// ExecuteCtx runs the simulation to its horizon, polling ctx every few
+// thousand events; a cancelled context aborts the run mid-flight and
+// returns the context's error instead of partial statistics.
+func (s *Simulation) ExecuteCtx(ctx context.Context) (*RunStats, error) {
+	if ctx.Done() != nil { // Background and friends can never cancel
+		s.sch.SetInterrupt(cancelCheckEvents, func() error { return ctx.Err() })
+	}
 	s.db.Start()
 	s.bg.Start()
 	s.server.start()
@@ -145,7 +162,10 @@ func (s *Simulation) Execute() *RunStats {
 	}
 	s.sch.At(s.warmupAt, "sim.warmup", s.resetAtWarmup)
 	end := s.sch.Run(des.Time(0).Add(s.cfg.Horizon))
-	return s.collect(end)
+	if err := s.sch.Err(); err != nil {
+		return nil, err
+	}
+	return s.collect(end), nil
 }
 
 // resetAtWarmup snapshots cumulative counters so collect can report

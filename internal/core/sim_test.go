@@ -1,8 +1,12 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"math"
+	"runtime"
+	"strings"
 	"testing"
 
 	"repro/internal/des"
@@ -261,6 +265,22 @@ func TestRunStatsDerivedMetrics(t *testing.T) {
 	}
 }
 
+// repJSON renders an aggregate's per-replication values as JSON lines, a
+// convenient deep-equality fingerprint (NaN encodes as null).
+func repJSON(t *testing.T, a *Aggregate, numClients int) string {
+	t.Helper()
+	var b strings.Builder
+	for _, r := range a.Runs {
+		data, err := json.Marshal(r.Values(numClients))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Write(data)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
 func TestRunReplicationsParallelDeterminism(t *testing.T) {
 	cfg := fastConfig("ts")
 	cfg.Horizon = 400 * des.Second
@@ -279,6 +299,20 @@ func TestRunReplicationsParallelDeterminism(t *testing.T) {
 	if seq.MeanDelay.Mean() != par.MeanDelay.Mean() ||
 		seq.HitRatio.Mean() != par.HitRatio.Mean() {
 		t.Fatal("parallel and sequential replications disagree")
+	}
+	// Every per-replication scalar must match, for any worker count.
+	want := repJSON(t, seq, cfg.NumClients)
+	for _, workers := range []int{2, runtime.GOMAXPROCS(0)} {
+		agg, err := RunReplications(cfg, 4, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := repJSON(t, agg, cfg.NumClients); got != want {
+			t.Fatalf("workers=%d changed replication values:\n%s\nvs\n%s", workers, got, want)
+		}
+		if agg.String() != seq.String() {
+			t.Fatalf("workers=%d changed aggregate: %s vs %s", workers, agg, seq)
+		}
 	}
 	if seq.MeanDelay.CI95() <= 0 {
 		t.Fatalf("CI %v", seq.MeanDelay.CI95())
@@ -303,6 +337,61 @@ func TestRunReplicationsErrors(t *testing.T) {
 	bad.Algorithm = "nope"
 	if _, err := RunReplications(bad, 2, 2); err == nil {
 		t.Error("invalid config accepted")
+	}
+	// A bad config must surface its own error, not cancellation fallout
+	// from the fail-fast pool.
+	if _, err := RunReplicationsCtx(context.Background(), bad, 4, 4); err == nil ||
+		errors.Is(err, context.Canceled) {
+		t.Errorf("fail-fast hid the real error: %v", err)
+	}
+}
+
+func TestExecuteCtxCancellation(t *testing.T) {
+	cfg := fastConfig("ts")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunRep(ctx, cfg, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunRep under cancelled ctx: %v", err)
+	}
+	if _, err := RunReplicationsCtx(ctx, cfg, 3, 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunReplicationsCtx under cancelled ctx: %v", err)
+	}
+	// A live context leaves the run untouched.
+	if _, err := RunRep(context.Background(), cfg, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAggregateValuesRoundTrip(t *testing.T) {
+	cfg := fastConfig("uir")
+	cfg.Horizon = 400 * des.Second
+	cfg.Warmup = 100 * des.Second
+	agg, err := RunReplications(cfg, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vals []RepValues
+	for _, r := range agg.Runs {
+		data, err := json.Marshal(r.Values(cfg.NumClients))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v RepValues
+		if err := json.Unmarshal(data, &v); err != nil {
+			t.Fatal(err)
+		}
+		vals = append(vals, v)
+	}
+	back := AggregateValues(cfg.Algorithm, vals)
+	if back.String() != agg.String() {
+		t.Fatalf("round trip changed aggregate:\n%s\n%s", back, agg)
+	}
+	if back.Reps != agg.Reps ||
+		back.MeanDelay.Mean() != agg.MeanDelay.Mean() ||
+		back.MeanDelay.CI95() != agg.MeanDelay.CI95() ||
+		back.CacheDropsRate.Mean() != agg.CacheDropsRate.Mean() ||
+		back.Queries != agg.Queries {
+		t.Fatal("round trip changed summary values")
 	}
 }
 

@@ -123,6 +123,12 @@ type Scheduler struct {
 	stopped   bool
 	free      []*Event // recycled Event structs to reduce allocation churn
 	onAdvance func(Time)
+
+	// Coarse cancellation: Run evaluates intFn every intEvery executed
+	// events and stops when it returns a non-nil error (kept in intErr).
+	intEvery uint64
+	intFn    func() error
+	intErr   error
 }
 
 // NewScheduler returns a scheduler with its clock at time zero.
@@ -207,6 +213,23 @@ func (s *Scheduler) Reschedule(e *Event, t Time) *Event {
 // finishes. Pending events remain queued.
 func (s *Scheduler) Stop() { s.stopped = true }
 
+// SetInterrupt installs a check that Run evaluates every `every` executed
+// events: a non-nil return stops the run (like Stop) and is reported by
+// Err. This gives long simulations a coarse cancellation point — e.g. a
+// context poll — without paying a per-event cost. every of 0 or a nil fn
+// removes the check.
+func (s *Scheduler) SetInterrupt(every uint64, fn func() error) {
+	if every == 0 || fn == nil {
+		s.intEvery, s.intFn = 0, nil
+		return
+	}
+	s.intEvery, s.intFn = every, fn
+}
+
+// Err reports the error that interrupted the most recent Run, or nil when
+// it ended normally (horizon reached, queue drained, or Stop).
+func (s *Scheduler) Err() error { return s.intErr }
+
 // Run executes events in timestamp order until the queue is empty, the clock
 // would pass `until`, or Stop is called. It returns the final clock value.
 // The clock is left at min(until, time of last executed event); if the run
@@ -218,6 +241,7 @@ func (s *Scheduler) Run(until Time) Time {
 	}
 	s.running = true
 	s.stopped = false
+	s.intErr = nil
 	defer func() { s.running = false }()
 
 	for !s.stopped && s.heap.len() > 0 {
@@ -237,6 +261,12 @@ func (s *Scheduler) Run(until Time) Time {
 		s.free = append(s.free, e)
 		s.executed++
 		fn()
+		if s.intEvery > 0 && s.executed%s.intEvery == 0 {
+			if err := s.intFn(); err != nil {
+				s.intErr = err
+				s.stopped = true
+			}
+		}
 	}
 	if !s.stopped && s.now < until && until != Never {
 		s.now = until

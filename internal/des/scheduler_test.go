@@ -461,3 +461,42 @@ func TestTickerStopOrdering(t *testing.T) {
 		t.Fatalf("early stop: %d ticks", m)
 	}
 }
+
+func TestSchedulerInterrupt(t *testing.T) {
+	s := NewScheduler()
+	var tick func()
+	tick = func() { s.After(Second, "tick", tick) }
+	s.After(0, "tick", tick)
+
+	stop := errTest("interrupted")
+	s.SetInterrupt(10, func() error {
+		if s.Executed() >= 50 {
+			return stop
+		}
+		return nil
+	})
+	s.Run(Never)
+	if s.Err() != stop {
+		t.Fatalf("Err = %v", s.Err())
+	}
+	if got := s.Executed(); got != 50 {
+		t.Fatalf("executed %d events, want exactly 50 (check every 10)", got)
+	}
+
+	// Clearing the interrupt lets a later Run proceed normally and reset
+	// the recorded error.
+	s.SetInterrupt(0, nil)
+	until := s.Now().Add(5 * Second)
+	s.Run(until)
+	if s.Err() != nil {
+		t.Fatalf("Err after clean run = %v", s.Err())
+	}
+	if s.Now() != until {
+		t.Fatalf("clock %v, want %v", s.Now(), until)
+	}
+}
+
+// errTest is a trivial comparable error for interrupt identity checks.
+type errTest string
+
+func (e errTest) Error() string { return string(e) }

@@ -1,0 +1,132 @@
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// CheckpointName is the file RunAll appends to inside the -out directory.
+const CheckpointName = "checkpoint.jsonl"
+
+// CellRecord is one completed (experiment, point, algorithm) cell as
+// stored in the checkpoint file: one JSON object per line. The guard
+// fields (seed, reps, horizon) must match the requesting run for a record
+// to be restored, so a checkpoint from a different -seed / -reps /
+// -quick invocation is ignored rather than silently mixed in.
+type CellRecord struct {
+	Exp        string           `json:"exp"`
+	X          float64          `json:"x"`
+	Label      string           `json:"label"`
+	Algo       string           `json:"algo"`
+	Seed       uint64           `json:"seed"`
+	Reps       int              `json:"reps"`
+	HorizonSec float64          `json:"horizon_sec"`
+	Runs       []core.RepValues `json:"runs"`
+}
+
+// Checkpoint is an append-only record of completed sweep cells. Each
+// append is one short write to an O_APPEND descriptor followed by a sync,
+// so concurrent cells never interleave and a crash can at worst truncate
+// the final line — which OpenCheckpoint tolerates.
+type Checkpoint struct {
+	path string
+	mu   sync.Mutex
+	f    *os.File
+	done map[string]*CellRecord
+}
+
+func ckptKey(exp, label, algo string) string {
+	return exp + "\x00" + label + "\x00" + algo
+}
+
+// OpenCheckpoint opens (creating if needed) the checkpoint at path. With
+// resume true the cells it already records are loaded and later restored;
+// with resume false the file is truncated, so the run starts fresh but
+// still records completions for a future -resume.
+func OpenCheckpoint(path string, resume bool) (*Checkpoint, error) {
+	c := &Checkpoint{path: path, done: map[string]*CellRecord{}}
+	flags := os.O_CREATE | os.O_WRONLY | os.O_APPEND
+	if !resume {
+		flags |= os.O_TRUNC
+	} else if data, err := os.ReadFile(path); err == nil {
+		lines := strings.Split(string(data), "\n")
+		for i, line := range lines {
+			if strings.TrimSpace(line) == "" {
+				continue
+			}
+			rec := &CellRecord{}
+			if err := json.Unmarshal([]byte(line), rec); err != nil {
+				if i == len(lines)-1 {
+					break // torn final line from a crash mid-append
+				}
+				return nil, fmt.Errorf("experiment: checkpoint %s line %d: %w", path, i+1, err)
+			}
+			c.done[ckptKey(rec.Exp, rec.Label, rec.Algo)] = rec
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	c.f = f
+	return c, nil
+}
+
+// Path reports the backing file.
+func (c *Checkpoint) Path() string { return c.path }
+
+// Len reports how many cells the checkpoint records.
+func (c *Checkpoint) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.done)
+}
+
+// Close closes the backing file.
+func (c *Checkpoint) Close() error { return c.f.Close() }
+
+// restore rebuilds the recorded Aggregate for one cell, or returns nil
+// when the checkpoint has no record matching the cell and its guards.
+func (c *Checkpoint) restore(exp, label, algo string, cfg core.Config, reps int) *core.Aggregate {
+	c.mu.Lock()
+	rec := c.done[ckptKey(exp, label, algo)]
+	c.mu.Unlock()
+	if rec == nil || rec.Reps != reps || rec.Seed != cfg.Seed ||
+		rec.HorizonSec != cfg.Horizon.Seconds() || len(rec.Runs) != reps {
+		return nil
+	}
+	return core.AggregateValues(algo, rec.Runs)
+}
+
+// record appends one completed cell to the file and the in-memory index.
+func (c *Checkpoint) record(exp string, p Point, algo string, cfg core.Config, agg *core.Aggregate) error {
+	rec := &CellRecord{
+		Exp: exp, X: p.X, Label: p.Label, Algo: algo,
+		Seed: cfg.Seed, Reps: agg.Reps, HorizonSec: cfg.Horizon.Seconds(),
+	}
+	for _, r := range agg.Runs {
+		rec.Runs = append(rec.Runs, r.Values(cfg.NumClients))
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := c.f.Write(line); err != nil {
+		return err
+	}
+	if err := c.f.Sync(); err != nil {
+		return err
+	}
+	c.done[ckptKey(exp, p.Label, algo)] = rec
+	return nil
+}

@@ -1,0 +1,196 @@
+package experiment
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func ckptExperiment(algos ...string) *Experiment {
+	return &Experiment{
+		ID: "CK", Title: "checkpointed", XLabel: "u",
+		Algorithms: algos,
+		Points: points([]float64{0.1, 1}, gLabel,
+			func(c *core.Config, x float64) { c.DB.UpdateRate = x }),
+		Metrics: []Metric{MetricDelay, MetricHit},
+	}
+}
+
+func TestCheckpointResumeSkipsCompletedCells(t *testing.T) {
+	path := filepath.Join(t.TempDir(), CheckpointName)
+
+	ck, err := OpenCheckpoint(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ckptExperiment("ts").Run(Options{Base: tinyBase(), Reps: 2, Workers: 2, Checkpoint: ck})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ck.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want := res.CSV() + "\n" + res.Table()
+
+	// Resume: every cell is recorded, so nothing is scheduled and the
+	// output is byte-identical.
+	ck2, err := OpenCheckpoint(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck2.Close()
+	if ck2.Len() != 2 {
+		t.Fatalf("recorded cells %d", ck2.Len())
+	}
+	var last Progress
+	res2, err := ckptExperiment("ts").Run(Options{
+		Base: tinyBase(), Reps: 2, Workers: 2, Checkpoint: ck2,
+		Progress: func(p Progress) { last = p },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last.TotalUnits != 0 || last.DoneCells != 2 || last.TotalCells != 2 {
+		t.Fatalf("resume ran work: %+v", last)
+	}
+	if got := res2.CSV() + "\n" + res2.Table(); got != want {
+		t.Fatalf("restored output differs:\n--- want ---\n%s\n--- got ---\n%s", want, got)
+	}
+}
+
+func TestCheckpointPartialResumeRunsOnlyMissingCells(t *testing.T) {
+	path := filepath.Join(t.TempDir(), CheckpointName)
+
+	ck, err := OpenCheckpoint(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ckptExperiment("ts").Run(Options{Base: tinyBase(), Reps: 2, Workers: 2, Checkpoint: ck}); err != nil {
+		t.Fatal(err)
+	}
+	ck.Close()
+
+	// The rerun adds an algorithm: only the tair cells are scheduled.
+	ck2, err := OpenCheckpoint(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck2.Close()
+	var last Progress
+	res, err := ckptExperiment("ts", "tair").Run(Options{
+		Base: tinyBase(), Reps: 2, Workers: 2, Checkpoint: ck2,
+		Progress: func(p Progress) { last = p },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last.TotalUnits != 4 { // 2 points × 2 reps of the new algorithm
+		t.Fatalf("scheduled units %d", last.TotalUnits)
+	}
+	for _, c := range res.Cells {
+		if c.Agg == nil || c.Agg.Reps != 2 {
+			t.Fatalf("cell %s/%s missing", c.Algo, c.Point.Label)
+		}
+	}
+	if ck2.Len() != 4 {
+		t.Fatalf("checkpoint now records %d cells", ck2.Len())
+	}
+}
+
+func TestCheckpointGuardsRejectMismatchedRuns(t *testing.T) {
+	path := filepath.Join(t.TempDir(), CheckpointName)
+
+	ck, err := OpenCheckpoint(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ckptExperiment("ts").Run(Options{Base: tinyBase(), Reps: 2, Workers: 2, Checkpoint: ck}); err != nil {
+		t.Fatal(err)
+	}
+	ck.Close()
+
+	// A different base seed must not restore anything.
+	ck2, err := OpenCheckpoint(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck2.Close()
+	base := tinyBase()
+	base.Seed = 99
+	var last Progress
+	if _, err := ckptExperiment("ts").Run(Options{
+		Base: base, Reps: 2, Workers: 2, Checkpoint: ck2,
+		Progress: func(p Progress) { last = p },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if last.TotalUnits != 4 {
+		t.Fatalf("mismatched seed still restored cells: %+v", last)
+	}
+}
+
+func TestCheckpointToleratesTornFinalLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), CheckpointName)
+
+	ck, err := OpenCheckpoint(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ckptExperiment("ts").Run(Options{Base: tinyBase(), Reps: 2, Workers: 2, Checkpoint: ck}); err != nil {
+		t.Fatal(err)
+	}
+	ck.Close()
+
+	// Simulate a crash mid-append: a torn final line is skipped on load.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"exp":"CK","x":9,"label":"9","algo":"ts","ru`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	ck2, err := OpenCheckpoint(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck2.Close()
+	if ck2.Len() != 2 {
+		t.Fatalf("recorded cells %d", ck2.Len())
+	}
+
+	// Corruption anywhere else is loud, not silent.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := "not json\n" + string(data)
+	if err := os.WriteFile(path, []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenCheckpoint(path, true); err == nil || !strings.Contains(err.Error(), "line 1") {
+		t.Fatalf("corrupt interior line accepted: %v", err)
+	}
+}
+
+func TestCheckpointOpenFreshTruncates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), CheckpointName)
+	if err := os.WriteFile(path, []byte("{\"exp\":\"CK\"}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := OpenCheckpoint(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck.Close()
+	if ck.Len() != 0 {
+		t.Fatalf("fresh open kept %d records", ck.Len())
+	}
+	if data, _ := os.ReadFile(path); len(data) != 0 {
+		t.Fatalf("fresh open did not truncate: %q", data)
+	}
+}

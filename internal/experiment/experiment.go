@@ -5,11 +5,15 @@
 package experiment
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/des"
@@ -88,88 +92,253 @@ type Result struct {
 	Cells []Cell
 }
 
+// Progress is a snapshot of sweep completion, delivered to
+// Options.Progress after every finished unit (one replication). Units
+// restored from a checkpoint are excluded from the unit counts but show
+// up as already-done cells.
+type Progress struct {
+	DoneUnits  int // replications finished so far
+	TotalUnits int // replications the schedule will run
+	DoneCells  int
+	TotalCells int
+	Cell       string        // most recently advanced cell, "EXP algo x=label"
+	ETA        time.Duration // remaining wall-clock estimate; 0 until measurable
+}
+
 // Options configures a run of the harness.
 type Options struct {
 	Base     core.Config // base configuration each point mutates
 	Reps     int
-	Workers  int // concurrent cells; ≤0 means GOMAXPROCS
-	Progress func(done, total int, cell string)
+	Workers  int // global (cell × replication) pool size; ≤0 means GOMAXPROCS
+	Progress func(Progress)
+
+	// Checkpoint, when non-nil, is consulted before scheduling: cells it
+	// already records are restored without rerunning, and every cell this
+	// run completes is appended to it.
+	Checkpoint *Checkpoint
 }
 
 // DefaultBase returns the evaluation's base configuration.
 func DefaultBase() core.Config { return core.DefaultConfig() }
 
+// cellConfig derives one cell's concrete configuration from the base.
+func cellConfig(e *Experiment, base core.Config, p Point, algo string) core.Config {
+	cfg := base
+	if e.Scale > 0 && e.Scale != 1 {
+		cfg.Horizon = des.Duration(float64(cfg.Horizon) * e.Scale)
+		if cfg.Warmup >= cfg.Horizon {
+			cfg.Warmup = cfg.Horizon / 4
+		}
+	}
+	p.Mutate(&cfg)
+	cfg.Algorithm = algo
+	return cfg
+}
+
+// cellState tracks one (experiment, point, algorithm) cell through the
+// flattened scheduler. pending, runs and err are guarded by the pool mutex.
+type cellState struct {
+	res     *Result
+	idx     int // index into res.Cells
+	exp     *Experiment
+	point   Point
+	algo    string
+	cfg     core.Config // fully mutated; replication i runs at cfg.Seed+i
+	runs    []*core.RunStats
+	pending int
+	err     error
+}
+
+func (c *cellState) String() string {
+	return fmt.Sprintf("%s %s x=%s", c.exp.ID, c.algo, c.point.Label)
+}
+
 // Run executes the experiment: every (point, algorithm) cell with Reps
-// replications, cells in parallel.
+// replications, scheduled as one flat pool of per-replication units.
 func (e *Experiment) Run(opt Options) (*Result, error) {
+	return e.RunCtx(context.Background(), opt)
+}
+
+// RunCtx is Run with cancellation: a cancelled ctx stops the pool and
+// returns the context's error.
+func (e *Experiment) RunCtx(ctx context.Context, opt Options) (*Result, error) {
+	rs, err := RunAll(ctx, []*Experiment{e}, opt)
+	if err != nil {
+		return nil, err
+	}
+	return rs[0], nil
+}
+
+// RunAll executes several experiments through one bounded worker pool of
+// (experiment, point, algorithm, replication) units, so a sweep with few
+// cells no longer serializes on them — every worker stays busy until the
+// whole schedule drains. Replication i of a cell runs at seed cfg.Seed+i
+// with fully independent state, and each finished cell is reduced in
+// replication order, so results are byte-identical for every worker
+// count. The first failing unit cancels the rest (fail-fast); completed
+// cells are appended to opt.Checkpoint as they finish, and cells already
+// recorded there are restored without running. On error the partially
+// filled results are returned alongside it; missing cells have a nil Agg.
+func RunAll(ctx context.Context, exps []*Experiment, opt Options) ([]*Result, error) {
 	if opt.Reps <= 0 {
 		opt.Reps = 5
 	}
-	algos := e.Algorithms
-	if len(algos) == 0 {
-		algos = append([]string(nil), allAlgos...)
-	}
-	type job struct {
-		idx   int
-		point Point
-		algo  string
-	}
-	var jobs []job
-	for _, p := range e.Points {
-		for _, a := range algos {
-			jobs = append(jobs, job{len(jobs), p, a})
-		}
-	}
-	res := &Result{Exp: e, Reps: opt.Reps, Cells: make([]Cell, len(jobs))}
-
 	workers := opt.Workers
 	if workers <= 0 {
-		workers = 8
+		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(jobs) {
-		workers = len(jobs)
+
+	// Lay out every cell of every experiment in deterministic order,
+	// restoring checkpointed cells instead of scheduling them.
+	results := make([]*Result, len(exps))
+	var cells []*cellState
+	restored := 0
+	for xi, e := range exps {
+		algos := e.Algorithms
+		if len(algos) == 0 {
+			algos = append([]string(nil), allAlgos...)
+		}
+		res := &Result{Exp: e, Reps: opt.Reps, Cells: make([]Cell, 0, len(e.Points)*len(algos))}
+		results[xi] = res
+		for _, p := range e.Points {
+			for _, a := range algos {
+				idx := len(res.Cells)
+				res.Cells = append(res.Cells, Cell{Point: p, Algo: a})
+				cfg := cellConfig(e, opt.Base, p, a)
+				if opt.Checkpoint != nil {
+					if agg := opt.Checkpoint.restore(e.ID, p.Label, a, cfg, opt.Reps); agg != nil {
+						res.Cells[idx].Agg = agg
+						restored++
+						continue
+					}
+				}
+				cells = append(cells, &cellState{
+					res: res, idx: idx, exp: e, point: p, algo: a,
+					cfg: cfg, runs: make([]*core.RunStats, opt.Reps),
+					pending: opt.Reps,
+				})
+			}
+		}
 	}
-	work := make(chan job)
+
+	totalUnits := len(cells) * opt.Reps
+	totalCells := restored + len(cells)
+
+	var mu sync.Mutex // guards cell state, counters, and checkpoint errors
+	doneUnits, doneCells := 0, restored
+	start := time.Now()
+	report := func(cell string) {
+		if opt.Progress == nil {
+			return
+		}
+		var eta time.Duration
+		if doneUnits > 0 && doneUnits < totalUnits {
+			eta = time.Duration(float64(time.Since(start)) / float64(doneUnits) *
+				float64(totalUnits-doneUnits))
+		}
+		opt.Progress(Progress{
+			DoneUnits: doneUnits, TotalUnits: totalUnits,
+			DoneCells: doneCells, TotalCells: totalCells,
+			Cell: cell, ETA: eta,
+		})
+	}
+	if restored > 0 {
+		mu.Lock()
+		report("(checkpoint)")
+		mu.Unlock()
+	}
+
+	rctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var ckptErr error
+
+	type unit struct {
+		cell *cellState
+		rep  int
+	}
+	finish := func(u unit, r *core.RunStats, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		c := u.cell
+		c.runs[u.rep] = r
+		if err != nil && c.err == nil {
+			c.err = fmt.Errorf("replication %d: %w", u.rep, err)
+		}
+		doneUnits++
+		c.pending--
+		if c.pending > 0 {
+			report(c.String())
+			return
+		}
+		// Last replication of the cell: reduce in replication order.
+		if c.err == nil {
+			agg := core.AggregateRuns(c.cfg, c.runs)
+			c.res.Cells[c.idx].Agg = agg
+			if opt.Checkpoint != nil {
+				if err := opt.Checkpoint.record(c.exp.ID, c.point, c.algo, c.cfg, agg); err != nil && ckptErr == nil {
+					ckptErr = err
+				}
+			}
+		} else {
+			c.res.Cells[c.idx].Err = c.err
+		}
+		doneCells++
+		report(c.String())
+	}
+
+	if workers > totalUnits {
+		workers = totalUnits
+	}
+	work := make(chan unit)
 	var wg sync.WaitGroup
-	var mu sync.Mutex
-	done := 0
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for j := range work {
-				cfg := opt.Base
-				if e.Scale > 0 && e.Scale != 1 {
-					cfg.Horizon = des.Duration(float64(cfg.Horizon) * e.Scale)
-					if cfg.Warmup >= cfg.Horizon {
-						cfg.Warmup = cfg.Horizon / 4
-					}
+			for u := range work {
+				var r *core.RunStats
+				err := rctx.Err() // fail-fast: skip work after cancellation
+				if err == nil {
+					r, err = core.RunRep(rctx, u.cell.cfg, u.rep)
 				}
-				j.point.Mutate(&cfg)
-				cfg.Algorithm = j.algo
-				agg, err := core.RunReplications(cfg, opt.Reps, 1)
-				res.Cells[j.idx] = Cell{Point: j.point, Algo: j.algo, Agg: agg, Err: err}
-				if opt.Progress != nil {
-					mu.Lock()
-					done++
-					opt.Progress(done, len(jobs), fmt.Sprintf("%s %s x=%s", e.ID, j.algo, j.point.Label))
-					mu.Unlock()
+				if err != nil {
+					cancel()
 				}
+				finish(u, r, err)
 			}
 		}()
 	}
-	for _, j := range jobs {
-		work <- j
+	for _, c := range cells {
+		for i := 0; i < opt.Reps; i++ {
+			work <- unit{c, i}
+		}
 	}
 	close(work)
 	wg.Wait()
 
-	for _, c := range res.Cells {
-		if c.Err != nil {
-			return nil, fmt.Errorf("experiment %s (%s, x=%s): %w", e.ID, c.Algo, c.Point.Label, c.Err)
+	// Surface the first real failure in schedule order; cancellation
+	// fallout only matters when nothing else explains the stop.
+	cellErr := func(c *cellState) error {
+		return fmt.Errorf("experiment %s (%s, x=%s): %w", c.exp.ID, c.algo, c.point.Label, c.err)
+	}
+	for _, c := range cells {
+		if c.err != nil && !errors.Is(c.err, context.Canceled) &&
+			!errors.Is(c.err, context.DeadlineExceeded) {
+			return results, cellErr(c)
 		}
 	}
-	return res, nil
+	if err := ctx.Err(); err != nil {
+		return results, err
+	}
+	for _, c := range cells {
+		if c.err != nil {
+			return results, cellErr(c)
+		}
+	}
+	if ckptErr != nil {
+		return results, fmt.Errorf("experiment: checkpoint: %w", ckptErr)
+	}
+	return results, nil
 }
 
 // algos lists the algorithms present in the result, in canonical order.
@@ -225,6 +394,10 @@ func (r *Result) Table() string {
 			fmt.Fprintf(&b, "%-12s", label)
 			for _, a := range algos {
 				c := r.cell(label, a)
+				if c == nil || c.Agg == nil { // cancelled or failed cell
+					fmt.Fprintf(&b, " %9s±%-6s", "-", "-")
+					continue
+				}
 				mean, ci := m.Get(c.Agg)
 				fmt.Fprintf(&b, " %9s±%-6s", fmtG(mean), fmtG(ci))
 			}
@@ -269,6 +442,10 @@ func (r *Result) CSV() string {
 	for _, c := range cells {
 		fmt.Fprintf(&b, "%s,%g,%s,%s", r.Exp.ID, c.Point.X, c.Point.Label, c.Algo)
 		for _, m := range r.Exp.Metrics {
+			if c.Agg == nil { // cancelled or failed cell
+				b.WriteString(",-,-")
+				continue
+			}
 			mean, ci := m.Get(c.Agg)
 			fmt.Fprintf(&b, ",%g,%g", mean, ci)
 		}

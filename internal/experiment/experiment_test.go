@@ -1,6 +1,9 @@
 package experiment
 
 import (
+	"context"
+	"errors"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -90,13 +93,21 @@ func TestRunSmallExperiment(t *testing.T) {
 		Metrics: []Metric{MetricDelay, MetricHit},
 	}
 	var progressCalls int
+	var last Progress
 	res, err := exp.Run(Options{
 		Base: tinyBase(), Reps: 2, Workers: 4,
-		Progress: func(done, total int, cell string) {
+		Progress: func(p Progress) {
 			progressCalls++
-			if done < 1 || done > total || total != 4 {
-				t.Errorf("progress %d/%d", done, total)
+			if p.DoneUnits < 1 || p.DoneUnits > p.TotalUnits || p.TotalUnits != 8 {
+				t.Errorf("progress units %d/%d", p.DoneUnits, p.TotalUnits)
 			}
+			if p.DoneCells > p.TotalCells || p.TotalCells != 4 {
+				t.Errorf("progress cells %d/%d", p.DoneCells, p.TotalCells)
+			}
+			if p.Cell == "" {
+				t.Error("progress without cell label")
+			}
+			last = p
 		},
 	})
 	if err != nil {
@@ -105,8 +116,11 @@ func TestRunSmallExperiment(t *testing.T) {
 	if len(res.Cells) != 4 {
 		t.Fatalf("cells %d", len(res.Cells))
 	}
-	if progressCalls != 4 {
+	if progressCalls != 8 { // one per (cell, replication) unit
 		t.Fatalf("progress calls %d", progressCalls)
+	}
+	if last.DoneUnits != 8 || last.DoneCells != 4 {
+		t.Fatalf("final progress %+v", last)
 	}
 	for _, c := range res.Cells {
 		if c.Agg == nil || c.Agg.Reps != 2 {
@@ -143,10 +157,89 @@ func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		return res.CSV()
+		return res.CSV() + "\n" + res.Table()
 	}
-	if run(1) != run(4) {
-		t.Fatal("worker count changed results")
+	serial := run(1)
+	for _, w := range []int{2, 4, runtime.GOMAXPROCS(0)} {
+		if run(w) != serial {
+			t.Fatalf("workers=%d changed results", w)
+		}
+	}
+}
+
+func TestRunAllSchedulesAcrossExperiments(t *testing.T) {
+	mk := func(id string) *Experiment {
+		return &Experiment{
+			ID: id, Title: "t", XLabel: "u",
+			Algorithms: []string{"ts"},
+			Points: points([]float64{0.1}, gLabel,
+				func(c *core.Config, x float64) { c.DB.UpdateRate = x }),
+			Metrics: []Metric{MetricDelay},
+		}
+	}
+	var last Progress
+	rs, err := RunAll(context.Background(), []*Experiment{mk("Y1"), mk("Y2")}, Options{
+		Base: tinyBase(), Reps: 2, Workers: 4,
+		Progress: func(p Progress) { last = p },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 || rs[0].Exp.ID != "Y1" || rs[1].Exp.ID != "Y2" {
+		t.Fatalf("results %v", rs)
+	}
+	// The pool is global: both experiments' replications share one schedule.
+	if last.TotalUnits != 4 || last.TotalCells != 2 {
+		t.Fatalf("progress %+v", last)
+	}
+	for _, r := range rs {
+		if r.Cells[0].Agg == nil || r.Cells[0].Agg.Reps != 2 {
+			t.Fatalf("%s not aggregated", r.Exp.ID)
+		}
+	}
+}
+
+func TestRunFailFast(t *testing.T) {
+	exp := &Experiment{
+		ID: "XF", Title: "fail", XLabel: "n",
+		Algorithms: []string{"ts"},
+		Points: []Point{
+			{X: 1, Label: "ok", Mutate: func(c *core.Config) {}},
+			{X: 2, Label: "bad", Mutate: func(c *core.Config) { c.NumClients = -1 }},
+		},
+		Metrics: []Metric{MetricDelay},
+	}
+	_, err := exp.Run(Options{Base: tinyBase(), Reps: 2, Workers: 2})
+	if err == nil {
+		t.Fatal("invalid cell did not fail the run")
+	}
+	if !strings.Contains(err.Error(), "x=bad") {
+		t.Fatalf("error does not name the failing cell: %v", err)
+	}
+}
+
+func TestRunCtxCancelled(t *testing.T) {
+	exp := &Experiment{
+		ID: "XC", Title: "cancel", XLabel: "n",
+		Algorithms: []string{"ts"},
+		Points:     []Point{{X: 1, Label: "p", Mutate: func(c *core.Config) {}}},
+		Metrics:    []Metric{MetricDelay},
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := exp.RunCtx(ctx, Options{Base: tinyBase(), Reps: 2, Workers: 2}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err %v", err)
+	}
+	// A partially filled result must still render (missing cells as "-").
+	rs, err := RunAll(ctx, []*Experiment{exp}, Options{Base: tinyBase(), Reps: 2, Workers: 2})
+	if !errors.Is(err, context.Canceled) || len(rs) != 1 {
+		t.Fatalf("RunAll err=%v results=%d", err, len(rs))
+	}
+	if table := rs[0].Table(); !strings.Contains(table, "-") {
+		t.Fatalf("partial table missing placeholder:\n%s", table)
+	}
+	if csv := rs[0].CSV(); !strings.Contains(csv, ",-,-") {
+		t.Fatalf("partial CSV missing placeholder:\n%s", csv)
 	}
 }
 

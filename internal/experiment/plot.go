@@ -155,6 +155,9 @@ func (r *Result) Chart(m Metric, width, height int) string {
 		s := Series{Name: algo}
 		for _, label := range r.labels() {
 			c := r.cell(label, algo)
+			if c == nil || c.Agg == nil { // cancelled or failed cell
+				continue
+			}
 			mean, _ := m.Get(c.Agg)
 			s.X = append(s.X, c.Point.X)
 			s.Y = append(s.Y, mean)

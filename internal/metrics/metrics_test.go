@@ -291,3 +291,50 @@ func TestBatchMeansPanics(t *testing.T) {
 	}()
 	NewBatchMeans(0)
 }
+
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	// Empty: every quantile is NaN, including the clamped extremes.
+	empty := NewLatencyHistogram()
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if !math.IsNaN(empty.Quantile(q)) {
+			t.Fatalf("empty Quantile(%v) = %v", q, empty.Quantile(q))
+		}
+	}
+
+	// All observations ≤ 0 land in the under bucket: every quantile is 0.
+	under := NewHistogram(1, 2, 4)
+	under.Observe(0)
+	under.Observe(-3)
+	under.Observe(0)
+	for _, q := range []float64{-0.5, 0, 0.25, 1, 7} {
+		if got := under.Quantile(q); got != 0 {
+			t.Fatalf("all-under Quantile(%v) = %v", q, got)
+		}
+	}
+
+	// A value beyond the last edge is clamped into the top bucket, whose
+	// edge bounds every quantile that reaches it; out-of-range q clamps.
+	top := NewHistogram(1, 2, 4) // edges 1, 2, 4, 8
+	top.Observe(1e12)
+	for _, q := range []float64{0, 0.5, 1, 42} {
+		if got := top.Quantile(q); got != 8 {
+			t.Fatalf("clamped-top Quantile(%v) = %v", q, got)
+		}
+	}
+
+	// Mixed under and clamped observations: rank walks past the under
+	// bucket into the real buckets.
+	mix := NewHistogram(1, 2, 4)
+	mix.Observe(-1) // under
+	mix.Observe(1.5)
+	mix.Observe(100) // clamped
+	if got := mix.Quantile(0.33); got != 0 {
+		t.Fatalf("mixed low quantile %v", got)
+	}
+	if got := mix.Quantile(0.6); got != 2 {
+		t.Fatalf("mixed mid quantile %v", got)
+	}
+	if got := mix.Quantile(1); got != 8 {
+		t.Fatalf("mixed top quantile %v", got)
+	}
+}
