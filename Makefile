@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check sweep
+.PHONY: build test vet race check sweep bench bench-smoke
 
 build:
 	$(GO) build ./...
@@ -22,3 +22,15 @@ check: build vet race
 # sweep regenerates the full evaluation into results/ (resumable).
 sweep: build
 	$(GO) run ./cmd/wdcsweep -exp all -out results -resume
+
+# bench runs every benchmark once per cell and archives the raw test2json
+# stream as BENCH_<date>.json for cross-commit comparison. Expect minutes:
+# it regenerates every figure at benchmark scale.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x -json ./... | tee BENCH_$$(date +%F).json
+
+# bench-smoke is the CI-sized subset: engine throughput plus the
+# disabled-tracer overhead guard.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'Engine|TracerOverhead' -benchtime 1x .
+	$(GO) test -run '^$$' -bench . ./internal/obs

@@ -13,11 +13,13 @@ package repro
 
 import (
 	"fmt"
+	"io"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/des"
 	"repro/internal/experiment"
+	"repro/internal/obs"
 )
 
 // benchBase is the reduced-scale configuration the benchmarks run.
@@ -131,4 +133,39 @@ func BenchmarkEngine(b *testing.B) {
 	}
 	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
 	b.ReportMetric(simSec/b.Elapsed().Seconds(), "simsec/s")
+}
+
+// BenchmarkTracerOverhead measures the simulator at the tracer's three
+// operating points: disabled (the nil-guard fast path every production run
+// takes), a bounded in-memory ring, and a JSONL sink writing to a discarded
+// stream. Comparing "off" against BenchmarkEngine is the CI guard that the
+// disabled tracer adds no measurable overhead; "ring" and "jsonl" bound what
+// enabling tracing costs.
+func BenchmarkTracerOverhead(b *testing.B) {
+	variants := []struct {
+		name   string
+		tracer func() obs.Tracer
+	}{
+		{"off", func() obs.Tracer { return nil }},
+		{"ring", func() obs.Tracer { return obs.NewRing(1 << 12) }},
+		{"jsonl", func() obs.Tracer { return obs.NewJSONL(io.Discard) }},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			cfg := benchBase()
+			cfg.Algorithm = "hybrid"
+			var events uint64
+			for i := 0; i < b.N; i++ {
+				cfg.Seed = uint64(i) + 1
+				cfg.Tracer = v.tracer()
+				sim, err := core.NewSimulation(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sim.Execute()
+				events += sim.Executed()
+			}
+			b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+		})
+	}
 }

@@ -7,7 +7,9 @@
 //
 // Every knob of the model is exposed as a flag; defaults reproduce the
 // evaluation's base configuration. Add -v for the full metric breakdown and
-// -reps N to average over independent replications.
+// -reps N to average over independent replications. -trace out.jsonl writes
+// the run's full event trace (reports, queries, cache ops, frames, sleep
+// transitions, database updates) as one JSON object per line.
 package main
 
 import (
@@ -24,6 +26,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/des"
 	"repro/internal/ir"
+	"repro/internal/obs"
 	"repro/internal/traffic"
 )
 
@@ -53,6 +56,7 @@ func main() {
 	strict := flag.Bool("strict-priority", false, "responses strictly preempt background traffic")
 	snoop := flag.Bool("snoop", false, "clients cache overheard responses")
 	coalesce := flag.Bool("coalesce", false, "server coalesces same-item responses")
+	tracePath := flag.String("trace", "", "write a JSONL event trace to this file (single replication only)")
 	configPath := flag.String("config", "", "JSON config file to overlay before flags")
 	saveConfig := flag.String("save-config", "", "write the effective config as JSON and exit")
 	verbose := flag.Bool("v", false, "print the full metric breakdown")
@@ -151,10 +155,29 @@ func main() {
 		return
 	}
 
+	if *tracePath != "" && *reps > 1 {
+		fatal(fmt.Errorf("-trace records a single replication; drop -reps %d", *reps))
+	}
+
 	if *reps <= 1 {
+		var sink *obs.JSONL
+		if *tracePath != "" {
+			f, err := os.Create(*tracePath)
+			if err != nil {
+				fatal(err)
+			}
+			sink = obs.NewJSONL(f)
+			cfg.Tracer = sink
+		}
 		r, err := core.Run(cfg)
 		if err != nil {
 			fatal(err)
+		}
+		if sink != nil {
+			if err := sink.Close(); err != nil {
+				fatal(fmt.Errorf("trace %s: %w", *tracePath, err))
+			}
+			fmt.Fprintf(os.Stderr, "wdcsim: %d events traced to %s\n", sink.Events(), *tracePath)
 		}
 		if *asJSON {
 			data, err := json.MarshalIndent(r, "", "  ")
@@ -204,6 +227,7 @@ func printVerbose(r *core.RunStats) {
 	fmt.Printf("  energy               %.1f J total, %.2f J/query\n", r.EnergyJoules, r.EnergyPerQuery)
 	fmt.Printf("  db updates           %d\n", r.Updates)
 	fmt.Printf("  stale violations     %d\n", r.StaleViolations)
+	fmt.Printf("  %s\n", r.PerfString())
 }
 
 func fatal(err error) {

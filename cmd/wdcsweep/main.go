@@ -15,6 +15,13 @@
 // requested experiments are scheduled through one global worker pool of
 // (cell × replication) units, so even a single small figure uses every
 // core.
+//
+// Observability: -debug-addr :6060 serves net/http/pprof plus a live JSON
+// progress snapshot at /debug/sweep (units and cells done, events/sec,
+// worker utilization, ETA, per-algorithm breakdown). A perf table per
+// experiment goes to stderr after the run. -quiet (or -q) silences all
+// progress; the \r progress line is also auto-suppressed when stderr is
+// not a terminal.
 package main
 
 import (
@@ -22,6 +29,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -31,6 +41,7 @@ import (
 
 	"repro/internal/des"
 	"repro/internal/experiment"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -44,8 +55,16 @@ func main() {
 	resume := flag.Bool("resume", false, "skip cells already recorded in <out>/checkpoint.jsonl (requires -out)")
 	quick := flag.Bool("quick", false, "quarter horizon, 2 reps: smoke-test mode")
 	horizon := flag.Float64("horizon", 0, "override simulated span in seconds (0 = default)")
-	quiet := flag.Bool("q", false, "suppress progress lines")
+	quietShort := flag.Bool("q", false, "suppress progress and status lines")
+	quietLong := flag.Bool("quiet", false, "alias for -q")
+	debugAddr := flag.String("debug-addr", "", "serve pprof and a live sweep snapshot on this address (e.g. :6060)")
 	flag.Parse()
+
+	quiet := *quietShort || *quietLong
+	// The \r-rewritten progress line only makes sense on a terminal; when
+	// stderr is piped into a log it degrades to noise, so suppress it there
+	// even without -q. Plain newline-terminated status lines stay.
+	progressOK := !quiet && stderrIsTerminal()
 
 	if *list {
 		for _, e := range experiment.Registry() {
@@ -123,7 +142,7 @@ func main() {
 			fatal(err)
 		}
 		defer ckpt.Close()
-		if *resume && !*quiet {
+		if *resume && !quiet {
 			fmt.Fprintf(os.Stderr, "wdcsweep: resuming from %s (%d cells recorded)\n",
 				ckpt.Path(), ckpt.Len())
 		}
@@ -133,7 +152,11 @@ func main() {
 	defer stop()
 
 	opt := experiment.Options{Base: base, Reps: r, Workers: *workers, Checkpoint: ckpt}
-	if !*quiet {
+	if *debugAddr != "" {
+		opt.Monitor = &obs.SweepMonitor{}
+		serveDebug(*debugAddr, opt.Monitor, quiet)
+	}
+	if progressOK {
 		opt.Progress = func(p experiment.Progress) {
 			line := fmt.Sprintf("%d/%d reps  %d/%d cells", p.DoneUnits, p.TotalUnits, p.DoneCells, p.TotalCells)
 			if p.ETA > 0 {
@@ -147,7 +170,7 @@ func main() {
 	}
 	start := time.Now()
 	results, err := experiment.RunAll(ctx, exps, opt)
-	if !*quiet {
+	if progressOK {
 		fmt.Fprintf(os.Stderr, "\r%-78s\r", "")
 	}
 	if err != nil {
@@ -162,20 +185,56 @@ func main() {
 		}
 		fatal(err)
 	}
-	if !*quiet {
+	if !quiet {
 		fmt.Fprintf(os.Stderr, "%d experiment(s) done in %.1fs\n", len(results), time.Since(start).Seconds())
 	}
 
 	for _, res := range results {
 		fmt.Println(res.Table())
+		if !quiet {
+			// Perf is wall-clock telemetry, deliberately kept off stdout so
+			// tables stay byte-comparable between runs and worker counts.
+			fmt.Fprintln(os.Stderr, res.PerfTable())
+		}
 		if *outDir != "" {
 			path := filepath.Join(*outDir, res.Exp.ID+".csv")
 			if err := os.WriteFile(path, []byte(res.CSV()), 0o644); err != nil {
 				fatal(err)
 			}
-			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+			if !quiet {
+				fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+			}
 		}
 	}
+}
+
+// stderrIsTerminal reports whether stderr is attached to a character device
+// (as opposed to a pipe or file).
+func stderrIsTerminal() bool {
+	fi, err := os.Stderr.Stat()
+	return err == nil && fi.Mode()&os.ModeCharDevice != 0
+}
+
+// serveDebug starts the introspection server: the standard pprof handlers
+// plus /debug/sweep, a JSON snapshot of live sweep progress fed by the
+// worker pool's atomic counters.
+func serveDebug(addr string, mon *obs.SweepMonitor, quiet bool) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/sweep", mon)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatal(fmt.Errorf("debug server: %w", err))
+	}
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "wdcsweep: debug server at http://%s/debug/sweep (pprof under /debug/pprof/)\n",
+			ln.Addr())
+	}
+	go func() { _ = http.Serve(ln, mux) }()
 }
 
 func fatal(err error) {

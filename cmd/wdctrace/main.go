@@ -1,7 +1,7 @@
 // Command wdctrace runs a short simulation and prints the invalidation
-// report timeline: when each report went out, its kind, rate, window and
-// contents. It also exercises the wire codec round-trip on every report, so
-// it doubles as an end-to-end encoding check.
+// report timeline: when each report went out, its kind, carrier, rate,
+// window and contents. It is a thin consumer of the obs.Tracer event layer —
+// the same events `wdcsim -trace` writes as JSONL.
 //
 // Usage:
 //
@@ -12,13 +12,48 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"reflect"
 	"strings"
 
 	"repro/internal/core"
 	"repro/internal/des"
 	"repro/internal/ir"
+	"repro/internal/obs"
 )
+
+// reportPrinter is a Tracer interested only in report broadcasts.
+type reportPrinter struct {
+	obs.Base
+	maxItems int
+	all      bool // include piggybacked digests, not just standalone reports
+	n        int
+}
+
+func (p *reportPrinter) ReportBroadcast(e obs.ReportBroadcastEvent) {
+	if !p.all && e.Carrier != obs.CarrierIR {
+		return
+	}
+	p.n++
+	window := "since-epoch"
+	if e.WindowStart > 0 {
+		window = fmt.Sprintf("%.1fs", e.At.Sub(e.WindowStart).Seconds())
+	}
+	var detail string
+	if e.Sig {
+		detail = "sig"
+	} else {
+		ids := make([]string, 0, p.maxItems)
+		for i, id := range e.Items {
+			if i == p.maxItems {
+				ids = append(ids, "…")
+				break
+			}
+			ids = append(ids, fmt.Sprintf("%d", id))
+		}
+		detail = fmt.Sprintf("items=%d [%s]", len(e.Items), strings.Join(ids, " "))
+	}
+	fmt.Printf("%9.3fs  seq=%-4d %-9s via=%-10s mcs=%d window=%-12s size=%5db  %s\n",
+		e.At.Seconds(), e.Seq, e.Kind, e.Carrier, e.MCS, window, e.SizeBits/8, detail)
+}
 
 func main() {
 	algo := flag.String("algo", "hybrid", "invalidation algorithm: "+strings.Join(ir.Names, ", "))
@@ -27,6 +62,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "master RNG seed")
 	updateRate := flag.Float64("update-rate", 0.5, "aggregate updates/s")
 	maxItems := flag.Int("max-items", 8, "item ids to print per report")
+	all := flag.Bool("all", false, "also print piggybacked digests riding data frames")
 	flag.Parse()
 
 	cfg := core.DefaultConfig()
@@ -38,46 +74,14 @@ func main() {
 	cfg.Warmup = 0
 	cfg.NumClients = 20
 
-	n := 0
-	codecFailures := 0
-	cfg.OnReportBroadcast = func(r *ir.Report, mcs int, at des.Time) {
-		n++
-		// Round-trip through the wire codec as a live check.
-		decoded, err := ir.Unmarshal(r.Marshal())
-		if err != nil || !reflect.DeepEqual(decoded, r) {
-			codecFailures++
-		}
-		window := "since-epoch"
-		if r.WindowStart > 0 {
-			window = fmt.Sprintf("%.1fs", at.Sub(r.WindowStart).Seconds())
-		}
-		var detail string
-		if r.Sig != nil {
-			detail = fmt.Sprintf("sig{bits=%d cap=%d fp=%g}", r.Sig.Bits, r.Sig.Capacity, r.Sig.FalsePositive)
-		} else {
-			ids := make([]string, 0, *maxItems)
-			for i, u := range r.Items {
-				if i == *maxItems {
-					ids = append(ids, "…")
-					break
-				}
-				ids = append(ids, fmt.Sprintf("%d", u.ID))
-			}
-			detail = fmt.Sprintf("items=%d [%s]", len(r.Items), strings.Join(ids, " "))
-		}
-		fmt.Printf("%9.3fs  seq=%-4d %-9s mcs=%d window=%-12s size=%5db  %s\n",
-			at.Seconds(), r.Seq, r.Kind, mcs, window, r.SizeBits()/8, detail)
-	}
+	printer := &reportPrinter{maxItems: *maxItems, all: *all}
+	cfg.Tracer = printer
 
 	r, err := core.Run(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wdctrace:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("\n%d reports in %.0fs; codec round-trip failures: %d\n",
-		n, *span, codecFailures)
+	fmt.Printf("\n%d reports in %.0fs\n", printer.n, *span)
 	fmt.Println(r)
-	if codecFailures > 0 {
-		os.Exit(1)
-	}
 }

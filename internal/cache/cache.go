@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/des"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
@@ -85,6 +86,12 @@ type Cache struct {
 	slot     []int       // entry id → index in resident, -1 if absent
 	size     int
 	stats    Stats
+
+	// Tracing (nil tr = disabled). The cache has no clock of its own, so the
+	// owner supplies one alongside its client id.
+	tr      obs.Tracer
+	trOwner int
+	trClock func() des.Time
 }
 
 // New builds an LRU cache holding up to capacity of universe items.
@@ -114,6 +121,16 @@ func NewWithPolicy(capacity, universe int, policy Policy, src *rng.Source) *Cach
 		c.slot[i] = -1
 	}
 	return c
+}
+
+// SetTracer attaches an event tracer. owner is the client id stamped on
+// every CacheEvent; clock supplies the simulation time. A nil tr disables
+// tracing; clock must be non-nil when tr is.
+func (c *Cache) SetTracer(tr obs.Tracer, owner int, clock func() des.Time) {
+	if tr != nil && clock == nil {
+		panic("cache: tracer without clock")
+	}
+	c.tr, c.trOwner, c.trClock = tr, owner, clock
 }
 
 // Policy reports the replacement policy in force.
@@ -211,12 +228,16 @@ func (c *Cache) Invalidate(id int) bool {
 	c.size--
 	c.untrackResident(e.ID)
 	c.stats.Invalidations.Inc()
+	if c.tr != nil {
+		c.tr.Cache(obs.CacheEvent{At: c.trClock(), Client: c.trOwner, Op: obs.CacheInvalidate, Item: id})
+	}
 	return true
 }
 
 // InvalidateAll drops every entry (the "drop cache" action of schemes whose
 // coverage window was exceeded).
 func (c *Cache) InvalidateAll() {
+	dropped := c.size
 	for e := c.head; e != nil; {
 		next := e.next
 		e.resident = false
@@ -228,6 +249,9 @@ func (c *Cache) InvalidateAll() {
 	c.head, c.tail = nil, nil
 	c.size = 0
 	c.stats.Flushes.Inc()
+	if c.tr != nil {
+		c.tr.Cache(obs.CacheEvent{At: c.trClock(), Client: c.trOwner, Op: obs.CacheFlush, Item: -1, Count: dropped})
+	}
 }
 
 // Range calls fn for every resident entry in MRU→LRU order; fn returning
@@ -263,6 +287,9 @@ func (c *Cache) evict(e *Entry) {
 	c.size--
 	c.untrackResident(e.ID)
 	c.stats.Evictions.Inc()
+	if c.tr != nil {
+		c.tr.Cache(obs.CacheEvent{At: c.trClock(), Client: c.trOwner, Op: obs.CacheEvict, Item: e.ID})
+	}
 }
 
 func (c *Cache) pushFront(e *Entry) {

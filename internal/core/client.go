@@ -5,6 +5,7 @@ import (
 	"repro/internal/des"
 	"repro/internal/energy"
 	"repro/internal/ir"
+	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/workload"
 )
@@ -103,6 +104,9 @@ func (c *client) doze() {
 	c.sleepPending = false
 	c.awake = false
 	c.sleptAt = c.sim.sch.Now()
+	if tr := c.sim.tr; tr != nil {
+		tr.SleepWake(obs.SleepWakeEvent{At: c.sleptAt, Client: c.id, Awake: false})
+	}
 	if c.queryEv != nil {
 		c.sim.sch.Cancel(c.queryEv)
 		c.queryEv = nil
@@ -120,6 +124,9 @@ func (c *client) wake() {
 		c.meter.AddDoze(now.Sub(from).Seconds())
 	}
 	c.awake = true
+	if tr := c.sim.tr; tr != nil {
+		tr.SleepWake(obs.SleepWakeEvent{At: now, Client: c.id, Awake: true})
+	}
 	c.scheduleQuery()
 	c.sim.sch.After(c.sampler.NextAwake(), "client.doze", c.tryDoze)
 }
@@ -235,6 +242,12 @@ func (c *client) maybeDozeAfterDrain() {
 }
 
 func (c *client) answer(q pendingQuery, now des.Time, fromCache bool) {
+	if tr := c.sim.tr; tr != nil {
+		// Traces cover the whole run, including the warmup transient the
+		// statistics below exclude.
+		tr.Query(obs.QueryEvent{At: now, Client: c.id, Item: q.item,
+			Hit: fromCache, DelaySec: now.Sub(q.issued).Seconds()})
+	}
 	if q.issued < c.sim.warmupAt {
 		return // warmup transient: not measured
 	}

@@ -19,6 +19,7 @@ import (
 	"repro/internal/energy"
 	"repro/internal/ir"
 	"repro/internal/mac"
+	"repro/internal/obs"
 	"repro/internal/radio"
 	"repro/internal/traffic"
 	"repro/internal/workload"
@@ -75,10 +76,19 @@ type Config struct {
 	// It costs little and is on by default.
 	CheckConsistency bool
 
-	// OnReportBroadcast, when non-nil, observes every invalidation report
-	// as it is enqueued on the downlink (report, MCS index, time). Used by
-	// the trace tool; nil in normal runs.
-	OnReportBroadcast func(r *ir.Report, mcs int, at des.Time)
+	// Tracer, when non-nil, observes every typed simulation event (report
+	// broadcasts, query resolutions, cache mutations, frame transmissions,
+	// sleep/wake transitions, database updates; see internal/obs). Tracing
+	// observes and never perturbs: results are byte-identical with or
+	// without it. Process-local; excluded from JSON round-trips.
+	Tracer obs.Tracer
+
+	// OnEventPulse, when non-nil, is called from inside the event loop
+	// every few thousand executed events with the number executed since the
+	// previous call, so a live monitor can track events/sec. It must be
+	// cheap and must not touch simulation state. Process-local; excluded
+	// from JSON round-trips.
+	OnEventPulse func(delta uint64)
 }
 
 // DefaultConfig returns the evaluation defaults: 100 clients, 100-entry

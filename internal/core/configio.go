@@ -26,7 +26,8 @@ func (c *Config) SaveJSON(path string) error {
 // ToJSON renders the config as indented JSON.
 func (c *Config) ToJSON() ([]byte, error) {
 	shadow := *c
-	shadow.OnReportBroadcast = nil
+	shadow.Tracer = nil
+	shadow.OnEventPulse = nil
 	var buf bytes.Buffer
 	enc := json.NewEncoder(&buf)
 	enc.SetIndent("", "  ")
@@ -55,15 +56,16 @@ func (c *Config) FromJSON(data []byte) error {
 	if err := dec.Decode(&shadow); err != nil {
 		return fmt.Errorf("core: decoding config: %w", err)
 	}
-	hook := c.OnReportBroadcast
+	tracer, pulse := c.Tracer, c.OnEventPulse
 	*c = Config(shadow)
-	c.OnReportBroadcast = hook
+	c.Tracer = tracer
+	c.OnEventPulse = pulse
 	return nil
 }
 
-// configJSON exists so the exported hook field can be skipped without
-// tagging the public struct: it shadows Config and drops the func during
-// conversion.
+// configJSON exists so the exported hook fields (Tracer, OnEventPulse) can
+// be skipped without tagging the public struct: it shadows Config and drops
+// them during conversion.
 type configJSON Config
 
 // MarshalJSON implements json.Marshaler, excluding the hook.

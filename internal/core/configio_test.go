@@ -26,9 +26,9 @@ func TestConfigJSONRoundTrip(t *testing.T) {
 	if err := got.FromJSON(data); err != nil {
 		t.Fatal(err)
 	}
-	// The hook is process-local and excluded from comparison.
-	orig.OnReportBroadcast = nil
-	got.OnReportBroadcast = nil
+	// The hooks are process-local and excluded from comparison.
+	orig.Tracer, orig.OnEventPulse = nil, nil
+	got.Tracer, got.OnEventPulse = nil, nil
 	if !reflect.DeepEqual(orig, got) {
 		t.Fatalf("round trip mismatch:\n%+v\n%+v", orig, got)
 	}

@@ -66,6 +66,17 @@ type RunStats struct {
 	// excluded from delay statistics; a large value flags saturation).
 	PendingAtEnd int
 
+	// Execution performance — wall-clock telemetry about the run itself,
+	// not simulation output. Never folded into aggregates or checkpointed
+	// cell results, which must stay machine- and load-independent.
+	// HeapAllocBytes is the process heap at collection time; concurrent
+	// replications share one heap, so treat it as an upper-bound indicator,
+	// not a per-replication measurement.
+	WallSec        float64
+	Events         uint64
+	EventsPerSec   float64
+	HeapAllocBytes uint64
+
 	DelaySeries metrics.Series
 	DelayHist   *metrics.Histogram
 }
@@ -177,6 +188,12 @@ func (r *RunStats) String() string {
 	return b.String()
 }
 
+// PerfString renders the execution-performance telemetry as one line.
+func (r *RunStats) PerfString() string {
+	return fmt.Sprintf("perf: wall=%.2fs events=%d (%.0f ev/s) heap=%.1fMB",
+		r.WallSec, r.Events, r.EventsPerSec, float64(r.HeapAllocBytes)/(1<<20))
+}
+
 // MarshalJSON renders the scalar statistics for scripting (series and
 // histogram internals are process-local and omitted; derived rates are
 // included; NaN — not representable in JSON — becomes -1).
@@ -221,6 +238,10 @@ func (r *RunStats) MarshalJSON() ([]byte, error) {
 		"OverheadBps":          jsonSafe(r.OverheadBitsPerSec()),
 		"UplinkPerAns":         jsonSafe(r.UplinkPerAnswer()),
 		"ReportLossRate":       jsonSafe(r.ReportLossRate()),
+		"WallSec":              r.WallSec,
+		"Events":               r.Events,
+		"EventsPerSec":         r.EventsPerSec,
+		"HeapAllocBytes":       r.HeapAllocBytes,
 	})
 }
 

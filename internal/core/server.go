@@ -5,6 +5,7 @@ import (
 	"repro/internal/des"
 	"repro/internal/ir"
 	"repro/internal/mac"
+	"repro/internal/obs"
 	"repro/internal/radio"
 )
 
@@ -108,6 +109,7 @@ func (s *server) onRequest(src int, meta any, now des.Time) {
 		resp.piggy = pg
 		robust = pg.SizeBits()
 		s.piggyBitsSent += uint64(robust)
+		s.sim.traceReport(pg, obs.CarrierResponse, 0)
 	}
 	s.responsesSent++
 	if s.sim.cfg.CoalesceResponses {
@@ -148,6 +150,7 @@ func (s *server) onBackground(dest int, bits int) {
 	})
 	if accepted && robust > 0 {
 		s.piggyBitsSent += uint64(robust)
+		s.sim.traceReport(meta.piggy, obs.CarrierBackground, 0)
 	}
 }
 
@@ -164,9 +167,7 @@ func (s *server) UpdatedSince(since des.Time, buf []db.Update) []db.Update {
 // Broadcast implements ir.ServerEnv.
 func (s *server) Broadcast(r *ir.Report, mcs int) {
 	s.irBitsSent += uint64(r.SizeBits())
-	if s.sim.cfg.OnReportBroadcast != nil {
-		s.sim.cfg.OnReportBroadcast(r, mcs, s.sim.sch.Now())
-	}
+	s.sim.traceReport(r, obs.CarrierIR, mcs)
 	s.sim.downlink.Enqueue(&mac.Frame{
 		Kind: mac.KindIR,
 		Dest: mac.Broadcast,

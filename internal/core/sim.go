@@ -3,12 +3,15 @@ package core
 import (
 	"context"
 	"fmt"
+	"runtime"
+	"time"
 
 	"repro/internal/db"
 	"repro/internal/des"
 	"repro/internal/ir"
 	"repro/internal/mac"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/radio"
 	"repro/internal/rng"
 	"repro/internal/traffic"
@@ -34,6 +37,7 @@ type Simulation struct {
 	server   *server
 	clients  []*client
 	oracle   ir.Oracle
+	tr       obs.Tracer // nil = tracing disabled
 
 	warmupAt des.Time
 	refRate  float64 // reference downlink bit rate for load calibration
@@ -114,6 +118,21 @@ func NewSimulation(cfg Config) (*Simulation, error) {
 		}
 		sim.clients[i] = newClient(i, sim, sampler, csrc.SubStream(uint64(i)))
 	}
+
+	// Attach tracing last, once every component exists. All emission sites
+	// are nil-guarded, so this block is the only tracing cost of an
+	// untraced run.
+	if tr := cfg.Tracer; tr != nil {
+		sim.tr = tr
+		sim.db.SetTracer(tr)
+		sim.downlink.SetTracer(tr)
+		for _, c := range sim.clients {
+			c.cache.SetTracer(tr, c.id, sim.sch.Now)
+			c.istate.Tracer = tr
+			c.istate.Owner = c.id
+			c.istate.Clock = sim.sch.Now
+		}
+	}
 	return sim, nil
 }
 
@@ -151,8 +170,16 @@ func (s *Simulation) Execute() *RunStats {
 // thousand events; a cancelled context aborts the run mid-flight and
 // returns the context's error instead of partial statistics.
 func (s *Simulation) ExecuteCtx(ctx context.Context) (*RunStats, error) {
+	wallStart := time.Now()
 	if ctx.Done() != nil { // Background and friends can never cancel
 		s.sch.SetInterrupt(cancelCheckEvents, func() error { return ctx.Err() })
+	}
+	var pulsed uint64
+	if fn := s.cfg.OnEventPulse; fn != nil {
+		s.sch.SetPulse(cancelCheckEvents, func(executed uint64) {
+			fn(executed - pulsed)
+			pulsed = executed
+		})
 	}
 	s.db.Start()
 	s.bg.Start()
@@ -162,10 +189,22 @@ func (s *Simulation) ExecuteCtx(ctx context.Context) (*RunStats, error) {
 	}
 	s.sch.At(s.warmupAt, "sim.warmup", s.resetAtWarmup)
 	end := s.sch.Run(des.Time(0).Add(s.cfg.Horizon))
+	if fn := s.cfg.OnEventPulse; fn != nil && s.sch.Executed() > pulsed {
+		fn(s.sch.Executed() - pulsed) // residual below the pulse granularity
+	}
 	if err := s.sch.Err(); err != nil {
 		return nil, err
 	}
-	return s.collect(end), nil
+	r := s.collect(end)
+	r.WallSec = time.Since(wallStart).Seconds()
+	r.Events = s.sch.Executed()
+	if r.WallSec > 0 {
+		r.EventsPerSec = float64(r.Events) / r.WallSec
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	r.HeapAllocBytes = ms.HeapAlloc
+	return r, nil
 }
 
 // resetAtWarmup snapshots cumulative counters so collect can report
@@ -284,4 +323,33 @@ func (s *Simulation) chargeRx(c *client, airtimeSec float64) {
 		return
 	}
 	c.meter.AddRx(airtimeSec)
+}
+
+// traceReport emits a ReportBroadcastEvent for a report leaving the server,
+// whether standalone (carrier "ir") or piggybacked on a data frame. mcs is
+// the scheme the report's bits travel at: the explicit broadcast MCS for
+// standalone reports, the robust base scheme (0) for piggybacked digests.
+func (s *Simulation) traceReport(r *ir.Report, carrier string, mcs int) {
+	tr := s.tr
+	if tr == nil {
+		return
+	}
+	var items []int
+	if len(r.Items) > 0 {
+		items = make([]int, len(r.Items))
+		for i, u := range r.Items {
+			items[i] = u.ID
+		}
+	}
+	tr.ReportBroadcast(obs.ReportBroadcastEvent{
+		At:          s.sch.Now(),
+		Seq:         r.Seq,
+		Kind:        r.Kind.String(),
+		Carrier:     carrier,
+		MCS:         mcs,
+		SizeBits:    r.SizeBits(),
+		WindowStart: r.WindowStart,
+		Sig:         r.Sig != nil,
+		Items:       items,
+	})
 }

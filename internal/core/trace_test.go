@@ -1,0 +1,93 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/obs"
+)
+
+func traceTestConfig(algo string) Config {
+	cfg := DefaultConfig()
+	cfg.Algorithm = algo
+	cfg.NumClients = 20
+	cfg.Horizon = 300 * des.Second
+	cfg.Warmup = 60 * des.Second
+	cfg.DB.UpdateRate = 0.5
+	cfg.TrafficLoad = 0.3
+	return cfg
+}
+
+// TestTracingDoesNotPerturb is the telemetry contract: every measured output
+// of a run must be identical whether or not a tracer and an event pulse are
+// attached. Only the wall-clock perf fields may differ.
+func TestTracingDoesNotPerturb(t *testing.T) {
+	for _, algo := range []string{"ts", "sig", "hybrid"} {
+		t.Run(algo, func(t *testing.T) {
+			plain, err := Run(traceTestConfig(algo))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			cfg := traceTestConfig(algo)
+			ring := obs.NewRing(1024)
+			cfg.Tracer = ring
+			var pulsed uint64
+			cfg.OnEventPulse = func(delta uint64) { pulsed += delta }
+			traced, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if ring.Total() == 0 {
+				t.Fatal("tracer saw no events")
+			}
+			if pulsed != traced.Events {
+				t.Fatalf("pulse total %d != executed events %d", pulsed, traced.Events)
+			}
+
+			// Blank the wall-clock perf fields, then everything must match —
+			// including the full delay series and histogram.
+			scrub := func(r *RunStats) RunStats {
+				c := *r
+				c.WallSec, c.Events, c.EventsPerSec, c.HeapAllocBytes = 0, 0, 0, 0
+				return c
+			}
+			a, b := scrub(plain), scrub(traced)
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("tracing perturbed the run:\nplain:  %+v\ntraced: %+v", a, b)
+			}
+		})
+	}
+}
+
+// TestTracedEventsArriveEverywhere checks that each emission site actually
+// fires under a normal run: all event families should appear.
+func TestTracedEventsArriveEverywhere(t *testing.T) {
+	cfg := traceTestConfig("hybrid")
+	ring := obs.NewRing(1 << 16)
+	cfg.Tracer = ring
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	counts := ring.Counts()
+	for _, ev := range []string{obs.EvReportBroadcast, obs.EvQuery, obs.EvCache,
+		obs.EvFrameTx, obs.EvDBUpdate, obs.EvReportProcess} {
+		if counts[ev] == 0 {
+			t.Errorf("no %s events traced (counts %v)", ev, counts)
+		}
+	}
+	// Sleep/wake needs a sleeping workload; the default may keep clients
+	// awake, so exercise it explicitly.
+	cfg = traceTestConfig("ts")
+	cfg.Workload.SleepRatio = 0.5
+	ring2 := obs.NewRing(1 << 10)
+	cfg.Tracer = ring2
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if ring2.Counts()[obs.EvSleepWake] == 0 {
+		t.Error("no sleep_wake events traced under a sleeping workload")
+	}
+}

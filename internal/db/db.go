@@ -7,6 +7,7 @@ import (
 	"fmt"
 
 	"repro/internal/des"
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
@@ -98,6 +99,7 @@ type DB struct {
 	updates  uint64
 	onUpdate func(id int, now des.Time)
 	running  bool
+	tr       obs.Tracer
 }
 
 // New validates the config and builds the database.
@@ -132,6 +134,9 @@ func (d *DB) Updates() uint64 { return d.updates }
 
 // SetUpdateHook installs fn to observe every update.
 func (d *DB) SetUpdateHook(fn func(id int, now des.Time)) { d.onUpdate = fn }
+
+// SetTracer attaches an event tracer; nil disables tracing.
+func (d *DB) SetTracer(tr obs.Tracer) { d.tr = tr }
 
 // Start launches the update process. Idempotent; a zero UpdateRate produces
 // no updates.
@@ -177,6 +182,9 @@ func (d *DB) ApplyUpdate(id int) {
 	d.updates++
 	d.history = append(d.history, Update{ID: id, At: now})
 	d.prune(now)
+	if d.tr != nil {
+		d.tr.DBUpdate(obs.DBUpdateEvent{At: now, Item: id, Version: it.Version})
+	}
 	if d.onUpdate != nil {
 		d.onUpdate(id, now)
 	}

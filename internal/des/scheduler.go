@@ -129,6 +129,11 @@ type Scheduler struct {
 	intEvery uint64
 	intFn    func() error
 	intErr   error
+
+	// Telemetry pulse: Run calls pulseFn(executed) every pulseEvery events,
+	// giving live monitors a cheap events-processed feed.
+	pulseEvery uint64
+	pulseFn    func(executed uint64)
 }
 
 // NewScheduler returns a scheduler with its clock at time zero.
@@ -230,6 +235,20 @@ func (s *Scheduler) SetInterrupt(every uint64, fn func() error) {
 // it ended normally (horizon reached, queue drained, or Stop).
 func (s *Scheduler) Err() error { return s.intErr }
 
+// SetPulse installs a telemetry callback that Run invokes with the running
+// Executed count every `every` events. Unlike SetInterrupt it cannot stop
+// the run; it exists so a live monitor can track events/sec without a
+// per-event hook. every of 0 or a nil fn removes the pulse. Callers wanting
+// exact totals should read Executed after Run returns — the pulse only
+// fires on multiples of `every`.
+func (s *Scheduler) SetPulse(every uint64, fn func(executed uint64)) {
+	if every == 0 || fn == nil {
+		s.pulseEvery, s.pulseFn = 0, nil
+		return
+	}
+	s.pulseEvery, s.pulseFn = every, fn
+}
+
 // Run executes events in timestamp order until the queue is empty, the clock
 // would pass `until`, or Stop is called. It returns the final clock value.
 // The clock is left at min(until, time of last executed event); if the run
@@ -266,6 +285,9 @@ func (s *Scheduler) Run(until Time) Time {
 				s.intErr = err
 				s.stopped = true
 			}
+		}
+		if s.pulseEvery > 0 && s.executed%s.pulseEvery == 0 {
+			s.pulseFn(s.executed)
 		}
 	}
 	if !s.stopped && s.now < until && until != Never {

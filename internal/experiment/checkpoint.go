@@ -29,6 +29,23 @@ type CellRecord struct {
 	Runs       []core.RepValues `json:"runs"`
 }
 
+// PerfRecord mirrors CellPerf in the checkpoint file: one line per completed
+// cell, alongside its CellRecord. The "perf" key doubles as the line
+// discriminator so resume loading can tell perf telemetry from cell results.
+// Perf lines are informational only — they carry no guard fields and are
+// never restored, and they are appended whether or not tracing is enabled,
+// so the CellRecord lines stay byte-identical either way.
+type PerfRecord struct {
+	Exp           string  `json:"perf"`
+	X             float64 `json:"x"`
+	Label         string  `json:"label"`
+	Algo          string  `json:"algo"`
+	WallSec       float64 `json:"wall_sec"`
+	Events        uint64  `json:"events"`
+	EventsPerSec  float64 `json:"events_per_sec"`
+	PeakHeapBytes uint64  `json:"peak_heap_bytes"`
+}
+
 // Checkpoint is an append-only record of completed sweep cells. Each
 // append is one short write to an O_APPEND descriptor followed by a sync,
 // so concurrent cells never interleave and a crash can at worst truncate
@@ -58,6 +75,12 @@ func OpenCheckpoint(path string, resume bool) (*Checkpoint, error) {
 		for i, line := range lines {
 			if strings.TrimSpace(line) == "" {
 				continue
+			}
+			var probe struct {
+				Perf json.RawMessage `json:"perf"`
+			}
+			if err := json.Unmarshal([]byte(line), &probe); err == nil && probe.Perf != nil {
+				continue // perf telemetry line, not a restorable cell
 			}
 			rec := &CellRecord{}
 			if err := json.Unmarshal([]byte(line), rec); err != nil {
@@ -129,4 +152,24 @@ func (c *Checkpoint) record(exp string, p Point, algo string, cfg core.Config, a
 	}
 	c.done[ckptKey(exp, p.Label, algo)] = rec
 	return nil
+}
+
+// recordPerf appends one cell's execution-performance line (see PerfRecord).
+func (c *Checkpoint) recordPerf(exp string, p Point, algo string, perf *CellPerf) error {
+	rec := &PerfRecord{
+		Exp: exp, X: p.X, Label: p.Label, Algo: algo,
+		WallSec: perf.WallSec, Events: perf.Events,
+		EventsPerSec: perf.EventsPerSec, PeakHeapBytes: perf.PeakHeapBytes,
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := c.f.Write(line); err != nil {
+		return err
+	}
+	return c.f.Sync()
 }

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/des"
+	"repro/internal/obs"
 )
 
 // Metric extracts one column from an aggregated cell.
@@ -77,12 +78,42 @@ type Experiment struct {
 	Scale float64
 }
 
+// CellPerf summarizes the execution performance of one cell's replications —
+// wall-clock telemetry about the sweep itself, kept separate from the
+// simulation outputs so tables and CSVs stay deterministic.
+type CellPerf struct {
+	WallSec       float64 // summed across replications (CPU-seconds of sim work)
+	Events        uint64  // DES events executed, summed
+	EventsPerSec  float64 // Events / WallSec
+	PeakHeapBytes uint64  // max heap any replication observed (shared-heap approximation)
+}
+
+// perfOf reduces the perf fields of a cell's completed replications.
+func perfOf(runs []*core.RunStats) *CellPerf {
+	p := &CellPerf{}
+	for _, r := range runs {
+		p.WallSec += r.WallSec
+		p.Events += r.Events
+		if r.HeapAllocBytes > p.PeakHeapBytes {
+			p.PeakHeapBytes = r.HeapAllocBytes
+		}
+	}
+	if p.WallSec > 0 {
+		p.EventsPerSec = float64(p.Events) / p.WallSec
+	}
+	return p
+}
+
 // Cell is the aggregated outcome of one (point, algorithm) pair.
 type Cell struct {
 	Point Point
 	Algo  string
 	Agg   *core.Aggregate
 	Err   error
+
+	// Perf is the cell's execution-performance summary; nil for cells
+	// restored from a checkpoint (they did not run in this process).
+	Perf *CellPerf
 }
 
 // Result is a completed experiment.
@@ -114,8 +145,14 @@ type Options struct {
 
 	// Checkpoint, when non-nil, is consulted before scheduling: cells it
 	// already records are restored without rerunning, and every cell this
-	// run completes is appended to it.
+	// run completes is appended to it (plus one perf line per cell).
 	Checkpoint *Checkpoint
+
+	// Monitor, when non-nil, receives live telemetry from the worker pool:
+	// unit start/finish, cell completions, and per-algorithm DES event
+	// counts (via each replication's event pulse). wdcsweep serves it over
+	// HTTP next to pprof when -debug-addr is set.
+	Monitor *obs.SweepMonitor
 }
 
 // DefaultBase returns the evaluation's base configuration.
@@ -192,6 +229,8 @@ func RunAll(ctx context.Context, exps []*Experiment, opt Options) ([]*Result, er
 	// restoring checkpointed cells instead of scheduling them.
 	results := make([]*Result, len(exps))
 	var cells []*cellState
+	var algoList []string // unique algorithms scheduled, in first-seen order
+	algoSeen := map[string]bool{}
 	restored := 0
 	for xi, e := range exps {
 		algos := e.Algorithms
@@ -212,17 +251,39 @@ func RunAll(ctx context.Context, exps []*Experiment, opt Options) ([]*Result, er
 						continue
 					}
 				}
-				cells = append(cells, &cellState{
+				cs := &cellState{
 					res: res, idx: idx, exp: e, point: p, algo: a,
 					cfg: cfg, runs: make([]*core.RunStats, opt.Reps),
 					pending: opt.Reps,
-				})
+				}
+				if mon := opt.Monitor; mon != nil {
+					// Feed the live event counters from each replication's
+					// scheduler pulse. The hook is process-local and excluded
+					// from every persisted or aggregated output, so attaching
+					// it cannot change results.
+					algo := a
+					cs.cfg.OnEventPulse = func(delta uint64) { mon.AddEvents(algo, delta) }
+				}
+				cells = append(cells, cs)
+				if !algoSeen[a] {
+					algoSeen[a] = true
+					algoList = append(algoList, a)
+				}
 			}
 		}
 	}
 
 	totalUnits := len(cells) * opt.Reps
 	totalCells := restored + len(cells)
+	if workers > totalUnits {
+		workers = totalUnits
+	}
+	if opt.Monitor != nil {
+		opt.Monitor.Begin(workers, totalUnits, totalCells, algoList)
+		for i := 0; i < restored; i++ {
+			opt.Monitor.CellDone() // checkpointed cells count as already finished
+		}
+	}
 
 	var mu sync.Mutex // guards cell state, counters, and checkpoint errors
 	doneUnits, doneCells := 0, restored
@@ -274,8 +335,13 @@ func RunAll(ctx context.Context, exps []*Experiment, opt Options) ([]*Result, er
 		if c.err == nil {
 			agg := core.AggregateRuns(c.cfg, c.runs)
 			c.res.Cells[c.idx].Agg = agg
+			perf := perfOf(c.runs)
+			c.res.Cells[c.idx].Perf = perf
 			if opt.Checkpoint != nil {
 				if err := opt.Checkpoint.record(c.exp.ID, c.point, c.algo, c.cfg, agg); err != nil && ckptErr == nil {
+					ckptErr = err
+				}
+				if err := opt.Checkpoint.recordPerf(c.exp.ID, c.point, c.algo, perf); err != nil && ckptErr == nil {
 					ckptErr = err
 				}
 			}
@@ -283,12 +349,12 @@ func RunAll(ctx context.Context, exps []*Experiment, opt Options) ([]*Result, er
 			c.res.Cells[c.idx].Err = c.err
 		}
 		doneCells++
+		if opt.Monitor != nil {
+			opt.Monitor.CellDone()
+		}
 		report(c.String())
 	}
 
-	if workers > totalUnits {
-		workers = totalUnits
-	}
 	work := make(chan unit)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -296,6 +362,9 @@ func RunAll(ctx context.Context, exps []*Experiment, opt Options) ([]*Result, er
 		go func() {
 			defer wg.Done()
 			for u := range work {
+				if opt.Monitor != nil {
+					opt.Monitor.UnitStart()
+				}
 				var r *core.RunStats
 				err := rctx.Err() // fail-fast: skip work after cancellation
 				if err == nil {
@@ -305,6 +374,9 @@ func RunAll(ctx context.Context, exps []*Experiment, opt Options) ([]*Result, er
 					cancel()
 				}
 				finish(u, r, err)
+				if opt.Monitor != nil {
+					opt.Monitor.UnitDone(u.cell.algo)
+				}
 			}
 		}()
 	}
@@ -402,6 +474,30 @@ func (r *Result) Table() string {
 				fmt.Fprintf(&b, " %9s±%-6s", fmtG(mean), fmtG(ci))
 			}
 			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// PerfTable renders the per-cell execution-performance summary (wall time,
+// events, throughput, peak heap). It reflects this process's work only:
+// checkpoint-restored cells print "-". Unlike Table/CSV the values are
+// machine-dependent, so callers should keep it out of deterministic outputs.
+func (r *Result) PerfTable() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s perf (reps=%d) ==\n", r.Exp.ID, r.Reps)
+	fmt.Fprintf(&b, "%-12s %-8s %9s %12s %12s %9s\n",
+		r.Exp.XLabel, "algo", "wall_s", "events", "ev/s", "heap_MB")
+	for _, label := range r.labels() {
+		for _, a := range r.algos() {
+			c := r.cell(label, a)
+			if c == nil || c.Perf == nil { // restored, cancelled, or failed
+				fmt.Fprintf(&b, "%-12s %-8s %9s %12s %12s %9s\n", label, a, "-", "-", "-", "-")
+				continue
+			}
+			p := c.Perf
+			fmt.Fprintf(&b, "%-12s %-8s %9.2f %12d %12.0f %9.1f\n",
+				label, a, p.WallSec, p.Events, p.EventsPerSec, float64(p.PeakHeapBytes)/(1<<20))
 		}
 	}
 	return b.String()

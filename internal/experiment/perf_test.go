@@ -1,0 +1,179 @@
+package experiment
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestMonitorFedByRunAll wires a SweepMonitor through a small sweep and
+// checks the counters land: all units and cells accounted, simulation
+// events attributed per algorithm, no worker left marked busy.
+func TestMonitorFedByRunAll(t *testing.T) {
+	exp := ckptExperiment("ts", "sig")
+	var mon obs.SweepMonitor
+	res, err := exp.Run(Options{Base: tinyBase(), Reps: 2, Workers: 2, Monitor: &mon})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := mon.Snapshot(time.Now())
+	if s.UnitsDone != 8 || s.UnitsTotal != 8 { // 2 points × 2 algos × 2 reps
+		t.Fatalf("units %d/%d", s.UnitsDone, s.UnitsTotal)
+	}
+	if s.CellsDone != 4 || s.CellsTotal != 4 {
+		t.Fatalf("cells %d/%d", s.CellsDone, s.CellsTotal)
+	}
+	if s.BusyWorkers != 0 {
+		t.Fatalf("workers still busy: %d", s.BusyWorkers)
+	}
+	if s.Events == 0 || s.ETASec != 0 {
+		t.Fatalf("events=%d eta=%v", s.Events, s.ETASec)
+	}
+	if len(s.Algos) != 2 {
+		t.Fatalf("algo breakdown %+v", s.Algos)
+	}
+	var evSum uint64
+	for _, a := range s.Algos {
+		if a.UnitsDone != 4 || a.Events == 0 {
+			t.Fatalf("algo %s: units=%d events=%d", a.Algo, a.UnitsDone, a.Events)
+		}
+		evSum += a.Events
+	}
+	if evSum != s.Events {
+		t.Fatalf("per-algo events %d != total %d", evSum, s.Events)
+	}
+
+	// Perf summaries are populated for every cell that actually ran.
+	for _, c := range res.Cells {
+		if c.Perf == nil || c.Perf.Events == 0 || c.Perf.WallSec <= 0 {
+			t.Fatalf("cell %s/%s missing perf: %+v", c.Algo, c.Point.Label, c.Perf)
+		}
+	}
+	if pt := res.PerfTable(); !strings.Contains(pt, "ev/s") || strings.Contains(pt, " -\n") {
+		t.Fatalf("perf table incomplete:\n%s", pt)
+	}
+}
+
+// TestMonitorDoesNotPerturbResults runs the same sweep monitored and
+// unmonitored: tables, CSVs, and the checkpointed cell records must be
+// byte-identical — the telemetry path may not leak into results.
+func TestMonitorDoesNotPerturbResults(t *testing.T) {
+	run := func(dir string, mon *obs.SweepMonitor) (string, []string) {
+		path := filepath.Join(dir, CheckpointName)
+		ck, err := OpenCheckpoint(path, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := ckptExperiment("ts").Run(Options{
+			Base: tinyBase(), Reps: 2, Workers: 2, Checkpoint: ck, Monitor: mon,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ck.Close()
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Keep only cell-record lines; perf lines are wall-clock dependent.
+		var cellLines []string
+		for _, line := range strings.Split(string(data), "\n") {
+			if strings.TrimSpace(line) == "" || strings.Contains(line, `"perf"`) {
+				continue
+			}
+			cellLines = append(cellLines, line)
+		}
+		return res.Table() + res.CSV(), cellLines
+	}
+
+	var mon obs.SweepMonitor
+	plainOut, plainCells := run(t.TempDir(), nil)
+	monOut, monCells := run(t.TempDir(), &mon)
+	if plainOut != monOut {
+		t.Fatalf("monitoring changed rendered results:\n--- plain ---\n%s\n--- monitored ---\n%s", plainOut, monOut)
+	}
+	if strings.Join(plainCells, "\n") != strings.Join(monCells, "\n") {
+		t.Fatalf("monitoring changed checkpoint cell records:\n--- plain ---\n%v\n--- monitored ---\n%v", plainCells, monCells)
+	}
+}
+
+// TestCheckpointPerfLines checks every completed cell writes one perf line,
+// that the line decodes, and that resume ignores perf lines entirely.
+func TestCheckpointPerfLines(t *testing.T) {
+	path := filepath.Join(t.TempDir(), CheckpointName)
+	ck, err := OpenCheckpoint(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ckptExperiment("ts").Run(Options{Base: tinyBase(), Reps: 2, Workers: 2, Checkpoint: ck}); err != nil {
+		t.Fatal(err)
+	}
+	ck.Close()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var perfs []PerfRecord
+	cellLines := 0
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		var probe struct {
+			Perf json.RawMessage `json:"perf"`
+		}
+		if err := json.Unmarshal([]byte(line), &probe); err != nil {
+			t.Fatalf("bad checkpoint line %q: %v", line, err)
+		}
+		if probe.Perf == nil {
+			cellLines++
+			continue
+		}
+		var p PerfRecord
+		if err := json.Unmarshal([]byte(line), &p); err != nil {
+			t.Fatalf("bad perf line %q: %v", line, err)
+		}
+		perfs = append(perfs, p)
+	}
+	if cellLines != 2 || len(perfs) != 2 {
+		t.Fatalf("got %d cell lines, %d perf lines; want 2 and 2", cellLines, len(perfs))
+	}
+	for _, p := range perfs {
+		if p.Exp != "CK" || p.Algo != "ts" || p.Events == 0 || p.WallSec <= 0 {
+			t.Fatalf("implausible perf record %+v", p)
+		}
+	}
+
+	// Resume restores from the cell records and skips perf lines.
+	ck2, err := OpenCheckpoint(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck2.Close()
+	if ck2.Len() != 2 {
+		t.Fatalf("resume loaded %d cells, want 2", ck2.Len())
+	}
+	var last Progress
+	res, err := ckptExperiment("ts").Run(Options{
+		Base: tinyBase(), Reps: 2, Workers: 2, Checkpoint: ck2,
+		Progress: func(p Progress) { last = p },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last.TotalUnits != 0 {
+		t.Fatalf("resume scheduled work: %+v", last)
+	}
+	// Restored cells ran in another process: no perf, rendered as "-".
+	for _, c := range res.Cells {
+		if c.Perf != nil {
+			t.Fatalf("restored cell has perf %+v", c.Perf)
+		}
+	}
+	if pt := res.PerfTable(); !strings.Contains(pt, "-") {
+		t.Fatalf("perf table should dash restored cells:\n%s", pt)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/des"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/rng"
 )
 
@@ -37,6 +38,13 @@ type ClientState struct {
 
 	Stats ClientStats
 
+	// Tracing (nil Tracer = disabled). The owner (core's client) sets all
+	// three; Owner is the client id stamped on events, Clock the simulation
+	// time source.
+	Tracer obs.Tracer
+	Owner  int
+	Clock  func() des.Time
+
 	scratch []int // reused id buffer for signature processing
 }
 
@@ -50,12 +58,14 @@ func (s *ClientState) Process(r *Report, c *cache.Cache, oracle Oracle, src *rng
 	if r.At < s.LastConsistent {
 		// Stale or reordered report: nothing it could teach us.
 		s.Stats.Unusable.Inc()
+		s.trace(r, obs.ReportUnusable)
 		return false
 	}
 	if r.Sig != nil {
 		s.processSig(r, c, oracle, src)
 		s.LastConsistent = r.At
 		s.Stats.Applied.Inc()
+		s.trace(r, obs.ReportApplied)
 		return true
 	}
 	if s.LastConsistent >= r.WindowStart {
@@ -66,6 +76,7 @@ func (s *ClientState) Process(r *Report, c *cache.Cache, oracle Oracle, src *rng
 		}
 		s.LastConsistent = r.At
 		s.Stats.Applied.Inc()
+		s.trace(r, obs.ReportApplied)
 		return true
 	}
 	if r.Kind == KindFull {
@@ -75,10 +86,26 @@ func (s *ClientState) Process(r *Report, c *cache.Cache, oracle Oracle, src *rng
 		s.LastConsistent = r.At
 		s.Stats.Applied.Inc()
 		s.Stats.Drops.Inc()
+		s.trace(r, obs.ReportDropAll)
 		return true
 	}
 	s.Stats.Unusable.Inc()
+	s.trace(r, obs.ReportUnusable)
 	return false
+}
+
+// trace emits the processing outcome when a tracer is attached.
+func (s *ClientState) trace(r *Report, outcome string) {
+	if s.Tracer == nil {
+		return
+	}
+	s.Tracer.ReportProcess(obs.ReportProcessEvent{
+		At:      s.Clock(),
+		Client:  s.Owner,
+		Seq:     r.Seq,
+		Kind:    r.Kind.String(),
+		Outcome: outcome,
+	})
 }
 
 // processSig performs the behavioural signature comparison: entries whose

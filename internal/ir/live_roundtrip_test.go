@@ -1,0 +1,50 @@
+package ir
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/des"
+)
+
+// TestLiveReportCodecRoundTrip runs every algorithm over a busy update
+// stream and round-trips each report it actually broadcasts through the
+// wire codec. This is the live end-to-end check the wdctrace tool used to
+// perform inline; as a table-driven test it covers all algorithms on every
+// run instead of whichever one the tool was pointed at.
+func TestLiveReportCodecRoundTrip(t *testing.T) {
+	for _, name := range Names {
+		t.Run(name, func(t *testing.T) {
+			env := newFakeEnv()
+			for i := 0; i < 300; i++ {
+				env.update(i%53, des.Duration(i)*300*des.Millisecond)
+			}
+			p := DefaultParams()
+			p.Interval = 5 * des.Second
+			a := mustNew(t, name, p)
+			a.Start(env)
+			env.run(90 * des.Second)
+			if len(env.sent) == 0 {
+				t.Fatalf("%s broadcast nothing", name)
+			}
+			roundTrip := func(r *Report) {
+				t.Helper()
+				decoded, err := Unmarshal(r.Marshal())
+				if err != nil {
+					t.Fatalf("unmarshal: %v (report %+v)", err, r)
+				}
+				if !reflect.DeepEqual(decoded, r) {
+					t.Fatalf("codec round trip lossy:\nsent:    %+v\ndecoded: %+v", r, decoded)
+				}
+			}
+			for _, s := range env.sent {
+				roundTrip(s.r)
+			}
+			// Piggyback digests cross the same wire; include one when the
+			// algorithm produces them.
+			if pg := a.Piggyback(env.Now()); pg != nil {
+				roundTrip(pg)
+			}
+		})
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/des"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/radio"
 )
 
@@ -75,6 +76,7 @@ type Downlink struct {
 	inFlight *Frame
 
 	stats DownlinkStats
+	tr    obs.Tracer
 }
 
 // NewDownlink builds the downlink. deliver must be non-nil.
@@ -93,6 +95,10 @@ func NewDownlink(sch *des.Scheduler, ch *radio.Channel, cfg DownlinkConfig, deli
 
 // Stats exposes the accumulated measurements.
 func (d *Downlink) Stats() *DownlinkStats { return &d.stats }
+
+// SetTracer attaches an event tracer; nil disables tracing. Every completed
+// transmission attempt emits one FrameTxEvent (retries included).
+func (d *Downlink) SetTracer(tr obs.Tracer) { d.tr = tr }
 
 // QueuedFrames reports the number of frames waiting (not in flight).
 func (d *Downlink) QueuedFrames() int {
@@ -222,16 +228,20 @@ func (d *Downlink) txDone(f *Frame, mcs int) {
 	ok := true
 	if f.Dest != Broadcast {
 		ok = d.channel.Decode(f.Dest, now, mcs, f.Bits)
-		if !ok && f.retries < d.cfg.RetryLimit {
-			f.retries++
-			d.stats.Retries.Inc()
-			// Retries rejoin the tail of their queue so a stuck link cannot
-			// starve the medium.
-			d.queueFor(f).push(f)
-			d.stats.QueueLen.Add(now.Seconds(), 1)
-			d.pump()
-			return
-		}
+	}
+	if d.tr != nil {
+		d.tr.FrameTx(obs.FrameTxEvent{At: now, Kind: f.Kind.String(), Dest: f.Dest,
+			MCS: mcs, Bits: f.Bits, Airtime: d.airtime(f, mcs), OK: ok, Retries: f.retries})
+	}
+	if f.Dest != Broadcast && !ok && f.retries < d.cfg.RetryLimit {
+		f.retries++
+		d.stats.Retries.Inc()
+		// Retries rejoin the tail of their queue so a stuck link cannot
+		// starve the medium.
+		d.queueFor(f).push(f)
+		d.stats.QueueLen.Add(now.Seconds(), 1)
+		d.pump()
+		return
 	}
 	d.stats.Frames[f.Kind]++
 	d.stats.Bits[f.Kind] += uint64(f.Bits)

@@ -1,0 +1,106 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+// TestHistogramMergeMismatchedLayoutPanics pins the contract that a layout
+// mismatch is a programming error, not a silent mis-merge: every way two
+// layouts can differ must panic.
+func TestHistogramMergeMismatchedLayoutPanics(t *testing.T) {
+	base := func() *Histogram { return NewHistogram(1e-3, 1.5, 10) }
+	others := map[string]*Histogram{
+		"lo":       NewHistogram(2e-3, 1.5, 10),
+		"growth":   NewHistogram(1e-3, 2.0, 10),
+		"nbuckets": NewHistogram(1e-3, 1.5, 11),
+	}
+	for name, o := range others {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("merge with different %s did not panic", name)
+				}
+			}()
+			h := base()
+			o.Observe(0.5)
+			h.Merge(o)
+		}()
+	}
+	// Identical layouts from separate constructions must still merge.
+	h, o := base(), base()
+	h.Observe(0.1)
+	o.Observe(0.2)
+	h.Merge(o)
+	if h.Count() != 2 {
+		t.Fatalf("count %d after valid merge", h.Count())
+	}
+}
+
+// TestSeriesMergeMinMax checks the extrema survive merging in both
+// directions, including when one side's range contains the other's.
+func TestSeriesMergeMinMax(t *testing.T) {
+	cases := []struct {
+		a, b             []float64
+		wantMin, wantMax float64
+	}{
+		{[]float64{5, 7}, []float64{1, 9}, 1, 9},   // b spans a
+		{[]float64{1, 9}, []float64{5, 7}, 1, 9},   // a spans b
+		{[]float64{-3, 0}, []float64{2, 4}, -3, 4}, // disjoint ranges
+		{[]float64{2}, []float64{2}, 2, 2},         // degenerate
+	}
+	for i, c := range cases {
+		var a, b Series
+		for _, x := range c.a {
+			a.Observe(x)
+		}
+		for _, x := range c.b {
+			b.Observe(x)
+		}
+		a.Merge(&b)
+		if a.Min() != c.wantMin || a.Max() != c.wantMax {
+			t.Errorf("case %d: min/max %g/%g, want %g/%g",
+				i, a.Min(), a.Max(), c.wantMin, c.wantMax)
+		}
+	}
+	// Merging into an empty series adopts the other's extrema rather than
+	// comparing against zero values.
+	var empty, full Series
+	full.Observe(-5)
+	full.Observe(-2)
+	empty.Merge(&full)
+	if empty.Min() != -5 || empty.Max() != -2 {
+		t.Fatalf("empty-merge extrema %g/%g", empty.Min(), empty.Max())
+	}
+}
+
+// TestTimeWeightedZeroDurationSpans checks that instantaneous transitions
+// (several Set calls at the same timestamp) contribute no weight: only the
+// value in force across nonzero time shapes the average.
+func TestTimeWeightedZeroDurationSpans(t *testing.T) {
+	var w TimeWeighted
+	w.Set(0, 1)
+	// A burst of instantaneous changes at t=10: none should carry weight,
+	// and the last one wins going forward.
+	w.Set(10, 100)
+	w.Set(10, 7)
+	w.Set(10, 3)
+	if got := w.Average(20); math.Abs(got-2) > 1e-12 {
+		// 1 for 10 s, then 3 for 10 s → (10 + 30) / 20 = 2.
+		t.Fatalf("average %g, want 2", got)
+	}
+	if w.Max() != 100 {
+		t.Fatalf("max %g should still see the instantaneous spike", w.Max())
+	}
+
+	// Average over a zero-length observation window is undefined, not ±Inf.
+	var z TimeWeighted
+	z.Set(5, 42)
+	if !math.IsNaN(z.Average(5)) {
+		t.Fatalf("zero-span average = %g, want NaN", z.Average(5))
+	}
+	// And once time passes, the constant value is exact.
+	if got := z.Average(6); got != 42 {
+		t.Fatalf("constant average %g", got)
+	}
+}

@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SweepMonitor collects live telemetry for a multi-cell sweep: work-unit and
+// cell completion, simulation events processed, and per-algorithm activity.
+// The worker pool updates it with lock-free atomic counters; Snapshot (and
+// the HTTP handler wrapping it) assembles a consistent-enough view for a
+// human watching a long run. The zero value is unusable — call Begin first.
+type SweepMonitor struct {
+	startNS   atomic.Int64 // wall clock at Begin, UnixNano
+	workers   atomic.Int64
+	busy      atomic.Int64 // workers currently executing a unit
+	unitsDone atomic.Int64
+	units     atomic.Int64
+	cellsDone atomic.Int64
+	cells     atomic.Int64
+	events    atomic.Uint64 // simulation events processed, all algorithms
+
+	mu     sync.RWMutex
+	byAlgo map[string]*algoCounters
+}
+
+type algoCounters struct {
+	units  atomic.Int64
+	events atomic.Uint64
+}
+
+// Begin (re)initializes the monitor for a sweep of totalUnits work units
+// across totalCells cells, executed by workers goroutines. algos seeds the
+// per-algorithm breakdown; unknown algorithms reported later are added
+// on demand.
+func (m *SweepMonitor) Begin(workers, totalUnits, totalCells int, algos []string) {
+	m.startNS.Store(time.Now().UnixNano())
+	m.workers.Store(int64(workers))
+	m.busy.Store(0)
+	m.unitsDone.Store(0)
+	m.units.Store(int64(totalUnits))
+	m.cellsDone.Store(0)
+	m.cells.Store(int64(totalCells))
+	m.events.Store(0)
+	m.mu.Lock()
+	m.byAlgo = make(map[string]*algoCounters, len(algos))
+	for _, a := range algos {
+		m.byAlgo[a] = &algoCounters{}
+	}
+	m.mu.Unlock()
+}
+
+func (m *SweepMonitor) algo(name string) *algoCounters {
+	m.mu.RLock()
+	c := m.byAlgo[name]
+	m.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c = m.byAlgo[name]; c == nil {
+		if m.byAlgo == nil {
+			m.byAlgo = make(map[string]*algoCounters)
+		}
+		c = &algoCounters{}
+		m.byAlgo[name] = c
+	}
+	return c
+}
+
+// UnitStart marks one worker busy on a unit.
+func (m *SweepMonitor) UnitStart() { m.busy.Add(1) }
+
+// UnitDone marks one replication unit of the named algorithm finished.
+func (m *SweepMonitor) UnitDone(algoName string) {
+	m.busy.Add(-1)
+	m.unitsDone.Add(1)
+	m.algo(algoName).units.Add(1)
+}
+
+// CellDone marks one sweep cell (all replications of one point × algorithm)
+// finished.
+func (m *SweepMonitor) CellDone() { m.cellsDone.Add(1) }
+
+// AddEvents accumulates simulation events processed on behalf of the named
+// algorithm. Called from des-scheduler pulses, so it must stay cheap.
+func (m *SweepMonitor) AddEvents(algoName string, n uint64) {
+	m.events.Add(n)
+	m.algo(algoName).events.Add(n)
+}
+
+// AlgoSnapshot is the per-algorithm slice of a Snapshot.
+type AlgoSnapshot struct {
+	Algo      string `json:"algo"`
+	UnitsDone int64  `json:"units_done"`
+	Events    uint64 `json:"events"`
+}
+
+// Snapshot is a point-in-time JSON-friendly view of the sweep.
+type Snapshot struct {
+	ElapsedSec  float64 `json:"elapsed_sec"`
+	Workers     int64   `json:"workers"`
+	BusyWorkers int64   `json:"busy_workers"`
+	// Utilization is busy/workers averaged at this instant, 0..1.
+	Utilization  float64 `json:"utilization"`
+	UnitsDone    int64   `json:"units_done"`
+	UnitsTotal   int64   `json:"units_total"`
+	UnitsPerSec  float64 `json:"units_per_sec"`
+	CellsDone    int64   `json:"cells_done"`
+	CellsTotal   int64   `json:"cells_total"`
+	Events       uint64  `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	// ETASec extrapolates the remaining units at the observed rate; -1
+	// until the first unit completes.
+	ETASec float64        `json:"eta_sec"`
+	Algos  []AlgoSnapshot `json:"algos"`
+}
+
+// Snapshot assembles the current view. now is usually time.Now(); it is a
+// parameter so tests stay deterministic.
+func (m *SweepMonitor) Snapshot(now time.Time) Snapshot {
+	elapsed := now.Sub(time.Unix(0, m.startNS.Load())).Seconds()
+	if elapsed <= 0 {
+		elapsed = 1e-9
+	}
+	s := Snapshot{
+		ElapsedSec:  elapsed,
+		Workers:     m.workers.Load(),
+		BusyWorkers: m.busy.Load(),
+		UnitsDone:   m.unitsDone.Load(),
+		UnitsTotal:  m.units.Load(),
+		CellsDone:   m.cellsDone.Load(),
+		CellsTotal:  m.cells.Load(),
+		Events:      m.events.Load(),
+		ETASec:      -1,
+	}
+	if s.Workers > 0 {
+		s.Utilization = float64(s.BusyWorkers) / float64(s.Workers)
+	}
+	s.UnitsPerSec = float64(s.UnitsDone) / elapsed
+	s.EventsPerSec = float64(s.Events) / elapsed
+	if s.UnitsDone > 0 && s.UnitsTotal > s.UnitsDone {
+		s.ETASec = float64(s.UnitsTotal-s.UnitsDone) / s.UnitsPerSec
+	} else if s.UnitsDone >= s.UnitsTotal {
+		s.ETASec = 0
+	}
+	m.mu.RLock()
+	for name, c := range m.byAlgo {
+		s.Algos = append(s.Algos, AlgoSnapshot{
+			Algo:      name,
+			UnitsDone: c.units.Load(),
+			Events:    c.events.Load(),
+		})
+	}
+	m.mu.RUnlock()
+	sort.Slice(s.Algos, func(i, j int) bool { return s.Algos[i].Algo < s.Algos[j].Algo })
+	return s
+}
+
+// ServeHTTP serves the snapshot as indented JSON, for mounting under a debug
+// mux next to net/http/pprof.
+func (m *SweepMonitor) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(m.Snapshot(time.Now()))
+}

@@ -1,0 +1,222 @@
+// Package obs is the simulator's observability layer: typed event tracing,
+// trace sinks, and live sweep telemetry.
+//
+// The design splits into three pieces:
+//
+//   - Tracer: a typed event interface the simulation substrates (des, core,
+//     ir, cache, mac, db) emit into. Every emission site guards with a plain
+//     nil check, so a disabled tracer costs a single predictable branch and
+//     zero allocations — the overhead guard in the top-level benchmarks
+//     (BenchmarkTracerOverhead) keeps it that way.
+//   - Sinks: JSONL (one JSON object per event, replayable via Decode) and
+//     Ring (bounded in-memory buffer for live inspection). Both are safe for
+//     concurrent use, because parallel replications may share one sink.
+//   - SweepMonitor: atomic run-telemetry counters for a multi-cell sweep,
+//     served as a JSON snapshot over HTTP next to net/http/pprof.
+//
+// Event timestamps are simulation time (des.Time, integer microseconds) and
+// appear on the wire as the field "t"; all other fields are event-specific
+// and documented in the README's Observability section.
+package obs
+
+import "repro/internal/des"
+
+// CacheOp names for the CacheEvent.Op field.
+const (
+	CacheInvalidate = "invalidate" // targeted invalidation by a report
+	CacheEvict      = "evict"      // capacity eviction
+	CacheFlush      = "flush"      // whole-cache drop (coverage loss, sig overflow)
+)
+
+// Carrier names for the ReportBroadcastEvent.Carrier field: how the report
+// reached the air.
+const (
+	CarrierIR         = "ir"         // standalone broadcast report frame
+	CarrierResponse   = "response"   // piggybacked on a query response
+	CarrierBackground = "background" // piggybacked on background traffic
+)
+
+// ReportProcess outcomes.
+const (
+	ReportApplied  = "applied"  // report validated the cache
+	ReportUnusable = "unusable" // mini/piggyback outside the coverage window
+	ReportDropAll  = "drop"     // full report forced a cache flush
+)
+
+// ReportBroadcastEvent records one invalidation report leaving the server,
+// whether as a standalone broadcast frame (Carrier "ir") or piggybacked on a
+// unicast data frame (Carrier "response" or "background").
+type ReportBroadcastEvent struct {
+	At       des.Time `json:"t"`
+	Seq      uint64   `json:"seq"`
+	Kind     string   `json:"kind"` // full | mini | piggyback
+	Carrier  string   `json:"carrier"`
+	MCS      int      `json:"mcs"`
+	SizeBits int      `json:"size_bits"`
+	// WindowStart is the report's coverage guarantee; Items lists the
+	// invalidated ids (empty for signature reports).
+	WindowStart des.Time `json:"window_start"`
+	Sig         bool     `json:"sig,omitempty"`
+	Items       []int    `json:"items,omitempty"`
+}
+
+// QueryEvent records one query resolution: a cache hit served locally or a
+// miss answered by a downlink response.
+type QueryEvent struct {
+	At       des.Time `json:"t"`
+	Client   int      `json:"client"`
+	Item     int      `json:"item"`
+	Hit      bool     `json:"hit"`
+	DelaySec float64  `json:"delay_sec"` // issue → answer, seconds
+}
+
+// CacheEvent records one cache mutation. For Op CacheFlush, Item is -1 and
+// Count carries the number of entries dropped.
+type CacheEvent struct {
+	At     des.Time `json:"t"`
+	Client int      `json:"client"`
+	Op     string   `json:"op"`
+	Item   int      `json:"item"`
+	Count  int      `json:"count,omitempty"`
+}
+
+// FrameTxEvent records one completed downlink transmission attempt
+// (retransmissions emit one event each, with Retries counting prior
+// attempts). MCS is the payload scheme link adaptation picked.
+type FrameTxEvent struct {
+	At      des.Time     `json:"t"`
+	Kind    string       `json:"kind"` // ir | response | background
+	Dest    int          `json:"dest"` // client id, -1 for broadcast
+	MCS     int          `json:"mcs"`
+	Bits    int          `json:"bits"`
+	Airtime des.Duration `json:"airtime_us"`
+	OK      bool         `json:"ok"`
+	Retries int          `json:"retries"`
+}
+
+// SleepWakeEvent records a client power-state transition.
+type SleepWakeEvent struct {
+	At     des.Time `json:"t"`
+	Client int      `json:"client"`
+	Awake  bool     `json:"awake"`
+}
+
+// DBUpdateEvent records one server database update.
+type DBUpdateEvent struct {
+	At      des.Time `json:"t"`
+	Item    int      `json:"item"`
+	Version uint64   `json:"version"`
+}
+
+// ReportProcessEvent records a client's outcome for one decoded report:
+// whether it validated the cache, was unusable (coverage chain broken), or
+// forced a full drop.
+type ReportProcessEvent struct {
+	At      des.Time `json:"t"`
+	Client  int      `json:"client"`
+	Seq     uint64   `json:"seq"`
+	Kind    string   `json:"kind"`
+	Outcome string   `json:"outcome"`
+}
+
+// Tracer observes typed simulation events. Implementations must be safe for
+// concurrent use: parallel replications of one configuration share a single
+// tracer. All emission sites treat a nil Tracer as "tracing disabled".
+type Tracer interface {
+	ReportBroadcast(e ReportBroadcastEvent)
+	Query(e QueryEvent)
+	Cache(e CacheEvent)
+	FrameTx(e FrameTxEvent)
+	SleepWake(e SleepWakeEvent)
+	DBUpdate(e DBUpdateEvent)
+	ReportProcess(e ReportProcessEvent)
+}
+
+// Base is a no-op Tracer meant for embedding, so consumers interested in a
+// single event type (like cmd/wdctrace) override one method.
+type Base struct{}
+
+// ReportBroadcast implements Tracer.
+func (Base) ReportBroadcast(ReportBroadcastEvent) {}
+
+// Query implements Tracer.
+func (Base) Query(QueryEvent) {}
+
+// Cache implements Tracer.
+func (Base) Cache(CacheEvent) {}
+
+// FrameTx implements Tracer.
+func (Base) FrameTx(FrameTxEvent) {}
+
+// SleepWake implements Tracer.
+func (Base) SleepWake(SleepWakeEvent) {}
+
+// DBUpdate implements Tracer.
+func (Base) DBUpdate(DBUpdateEvent) {}
+
+// ReportProcess implements Tracer.
+func (Base) ReportProcess(ReportProcessEvent) {}
+
+// tee fans every event out to several tracers in order.
+type tee struct{ ts []Tracer }
+
+// Tee returns a Tracer that forwards every event to each of the given
+// tracers in order. Nil entries are dropped; with zero or one non-nil
+// tracers the input is returned directly.
+func Tee(tracers ...Tracer) Tracer {
+	kept := make([]Tracer, 0, len(tracers))
+	for _, t := range tracers {
+		if t != nil {
+			kept = append(kept, t)
+		}
+	}
+	switch len(kept) {
+	case 0:
+		return nil
+	case 1:
+		return kept[0]
+	}
+	return &tee{ts: kept}
+}
+
+func (t *tee) ReportBroadcast(e ReportBroadcastEvent) {
+	for _, s := range t.ts {
+		s.ReportBroadcast(e)
+	}
+}
+
+func (t *tee) Query(e QueryEvent) {
+	for _, s := range t.ts {
+		s.Query(e)
+	}
+}
+
+func (t *tee) Cache(e CacheEvent) {
+	for _, s := range t.ts {
+		s.Cache(e)
+	}
+}
+
+func (t *tee) FrameTx(e FrameTxEvent) {
+	for _, s := range t.ts {
+		s.FrameTx(e)
+	}
+}
+
+func (t *tee) SleepWake(e SleepWakeEvent) {
+	for _, s := range t.ts {
+		s.SleepWake(e)
+	}
+}
+
+func (t *tee) DBUpdate(e DBUpdateEvent) {
+	for _, s := range t.ts {
+		s.DBUpdate(e)
+	}
+}
+
+func (t *tee) ReportProcess(e ReportProcessEvent) {
+	for _, s := range t.ts {
+		s.ReportProcess(e)
+	}
+}

@@ -1,0 +1,324 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/des"
+)
+
+// emitOne sends one event of every type, with distinguishable payloads.
+func emitOne(tr Tracer) []any {
+	events := []any{
+		ReportBroadcastEvent{At: 1000, Seq: 7, Kind: "full", Carrier: "ir",
+			MCS: 3, SizeBits: 512, WindowStart: 500, Items: []int{4, 9}},
+		QueryEvent{At: 2000, Client: 5, Item: 42, Hit: true, DelaySec: 0.25},
+		CacheEvent{At: 3000, Client: 5, Op: CacheInvalidate, Item: 42},
+		CacheEvent{At: 3500, Client: 6, Op: CacheFlush, Item: -1, Count: 17},
+		FrameTxEvent{At: 4000, Kind: "response", Dest: 5, MCS: 2, Bits: 8192,
+			Airtime: 1200, OK: false, Retries: 1},
+		SleepWakeEvent{At: 5000, Client: 9, Awake: true},
+		DBUpdateEvent{At: 6000, Item: 42, Version: 3},
+		ReportProcessEvent{At: 7000, Client: 5, Seq: 7, Kind: "full", Outcome: ReportApplied},
+	}
+	for _, e := range events {
+		switch v := e.(type) {
+		case ReportBroadcastEvent:
+			tr.ReportBroadcast(v)
+		case QueryEvent:
+			tr.Query(v)
+		case CacheEvent:
+			tr.Cache(v)
+		case FrameTxEvent:
+			tr.FrameTx(v)
+		case SleepWakeEvent:
+			tr.SleepWake(v)
+		case DBUpdateEvent:
+			tr.DBUpdate(v)
+		case ReportProcessEvent:
+			tr.ReportProcess(v)
+		}
+	}
+	return events
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONL(&buf)
+	want := emitOne(sink)
+	if err := sink.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if got := sink.Events(); got != uint64(len(want)) {
+		t.Fatalf("Events() = %d, want %d", got, len(want))
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSONL: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %#v\nwant %#v", got, want)
+	}
+}
+
+func TestJSONLTimesAreMicroseconds(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONL(&buf)
+	sink.DBUpdate(DBUpdateEvent{At: des.Time(des.FromSeconds(1.5)), Item: 1, Version: 1})
+	if err := sink.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	line := strings.TrimSpace(buf.String())
+	if !strings.Contains(line, `"t":1500000`) {
+		t.Fatalf("timestamp not integer microseconds: %s", line)
+	}
+	if !strings.HasPrefix(line, `{"ev":"db_update"`) {
+		t.Fatalf("line does not lead with ev tag: %s", line)
+	}
+}
+
+func TestReadJSONLToleratesTornFinalLine(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONL(&buf)
+	sink.DBUpdate(DBUpdateEvent{At: 1, Item: 1, Version: 1})
+	sink.DBUpdate(DBUpdateEvent{At: 2, Item: 2, Version: 1})
+	if err := sink.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	whole := buf.String()
+	torn := whole[:len(whole)-9] // chop mid-way through the final object
+	got, err := ReadJSONL(strings.NewReader(torn))
+	if err != nil {
+		t.Fatalf("ReadJSONL(torn): %v", err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("got %d events from torn stream, want 1", len(got))
+	}
+}
+
+func TestReadJSONLRejectsMidStreamCorruption(t *testing.T) {
+	in := `{"ev":"db_update","t":1,"item":1,"version":1}
+not json at all
+{"ev":"db_update","t":2,"item":2,"version":1}
+`
+	if _, err := ReadJSONL(strings.NewReader(in)); err == nil {
+		t.Fatal("ReadJSONL accepted mid-stream corruption")
+	}
+}
+
+func TestDecodeUnknownEvent(t *testing.T) {
+	if _, err := Decode([]byte(`{"ev":"martian"}`)); err == nil {
+		t.Fatal("Decode accepted unknown event type")
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 10; i++ {
+		r.DBUpdate(DBUpdateEvent{At: des.Time(i), Item: i, Version: 1})
+	}
+	if got := r.Total(); got != 10 {
+		t.Fatalf("Total() = %d, want 10", got)
+	}
+	snap := r.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("Snapshot len = %d, want 4", len(snap))
+	}
+	for i, ev := range snap {
+		want := 6 + i // oldest surviving first
+		if got := ev.(DBUpdateEvent).Item; got != want {
+			t.Fatalf("snap[%d].Item = %d, want %d", i, got, want)
+		}
+	}
+	counts := r.Counts()
+	if counts[EvDBUpdate] != 10 || counts[EvQuery] != 0 {
+		t.Fatalf("Counts() = %v", counts)
+	}
+}
+
+func TestRingPartiallyFilled(t *testing.T) {
+	r := NewRing(8)
+	r.Query(QueryEvent{At: 1, Client: 1, Item: 1, Hit: true})
+	r.Query(QueryEvent{At: 2, Client: 2, Item: 2, Hit: false})
+	snap := r.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("Snapshot len = %d, want 2", len(snap))
+	}
+	if snap[0].(QueryEvent).At != 1 || snap[1].(QueryEvent).At != 2 {
+		t.Fatalf("order wrong: %#v", snap)
+	}
+}
+
+func TestRingConcurrent(t *testing.T) {
+	r := NewRing(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Query(QueryEvent{At: des.Time(i), Client: w, Item: i})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Total(); got != 8000 {
+		t.Fatalf("Total() = %d, want 8000", got)
+	}
+	if got := len(r.Snapshot()); got != 64 {
+		t.Fatalf("Snapshot len = %d, want 64", got)
+	}
+}
+
+func TestTee(t *testing.T) {
+	a, b := NewRing(16), NewRing(16)
+	if got := Tee(); got != nil {
+		t.Fatalf("Tee() = %v, want nil", got)
+	}
+	if got := Tee(nil, nil); got != nil {
+		t.Fatalf("Tee(nil, nil) = %v, want nil", got)
+	}
+	if got := Tee(nil, a); got != Tracer(a) {
+		t.Fatalf("Tee(nil, a) did not collapse to a")
+	}
+	both := Tee(a, nil, b)
+	emitOne(both)
+	if a.Total() != b.Total() || a.Total() == 0 {
+		t.Fatalf("tee fan-out uneven: a=%d b=%d", a.Total(), b.Total())
+	}
+	if !reflect.DeepEqual(a.Snapshot(), b.Snapshot()) {
+		t.Fatal("tee delivered different events to each sink")
+	}
+}
+
+func TestBaseImplementsTracer(t *testing.T) {
+	var tr Tracer = Base{}
+	emitOne(tr) // must not panic
+}
+
+func TestSweepMonitorSnapshot(t *testing.T) {
+	var m SweepMonitor
+	m.Begin(4, 100, 10, []string{"ts", "at"})
+	start := time.Unix(0, m.startNS.Load())
+
+	m.UnitStart()
+	m.UnitStart()
+	m.AddEvents("ts", 5000)
+	m.AddEvents("at", 3000)
+	m.UnitDone("ts")
+	m.CellDone()
+
+	s := m.Snapshot(start.Add(2 * time.Second))
+	if s.Workers != 4 || s.BusyWorkers != 1 {
+		t.Fatalf("workers/busy = %d/%d, want 4/1", s.Workers, s.BusyWorkers)
+	}
+	if s.Utilization != 0.25 {
+		t.Fatalf("Utilization = %v, want 0.25", s.Utilization)
+	}
+	if s.UnitsDone != 1 || s.UnitsTotal != 100 || s.CellsDone != 1 || s.CellsTotal != 10 {
+		t.Fatalf("progress = %d/%d units, %d/%d cells", s.UnitsDone, s.UnitsTotal, s.CellsDone, s.CellsTotal)
+	}
+	if s.Events != 8000 {
+		t.Fatalf("Events = %d, want 8000", s.Events)
+	}
+	if s.EventsPerSec != 4000 {
+		t.Fatalf("EventsPerSec = %v, want 4000", s.EventsPerSec)
+	}
+	if s.UnitsPerSec != 0.5 {
+		t.Fatalf("UnitsPerSec = %v, want 0.5", s.UnitsPerSec)
+	}
+	// 99 units remain at 0.5 units/sec.
+	if s.ETASec != 198 {
+		t.Fatalf("ETASec = %v, want 198", s.ETASec)
+	}
+	if len(s.Algos) != 2 || s.Algos[0].Algo != "at" || s.Algos[1].Algo != "ts" {
+		t.Fatalf("Algos = %#v", s.Algos)
+	}
+	if s.Algos[1].UnitsDone != 1 || s.Algos[1].Events != 5000 {
+		t.Fatalf("ts algo counters = %#v", s.Algos[1])
+	}
+}
+
+func TestSweepMonitorETAEdges(t *testing.T) {
+	var m SweepMonitor
+	m.Begin(1, 2, 2, nil)
+	start := time.Unix(0, m.startNS.Load())
+	if eta := m.Snapshot(start.Add(time.Second)).ETASec; eta != -1 {
+		t.Fatalf("ETA before first unit = %v, want -1", eta)
+	}
+	m.UnitStart()
+	m.UnitDone("ts") // algorithm not pre-seeded: added on demand
+	m.UnitStart()
+	m.UnitDone("ts")
+	if eta := m.Snapshot(start.Add(time.Second)).ETASec; eta != 0 {
+		t.Fatalf("ETA when complete = %v, want 0", eta)
+	}
+	if got := m.Snapshot(start).Algos[0].UnitsDone; got != 2 {
+		t.Fatalf("on-demand algo units = %d, want 2", got)
+	}
+}
+
+func TestSweepMonitorConcurrent(t *testing.T) {
+	var m SweepMonitor
+	m.Begin(8, 8000, 8, []string{"ts"})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			algo := fmt.Sprintf("algo%d", w%3)
+			for i := 0; i < 1000; i++ {
+				m.UnitStart()
+				m.AddEvents(algo, 10)
+				m.UnitDone(algo)
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := m.Snapshot(time.Now())
+	if s.UnitsDone != 8000 || s.BusyWorkers != 0 || s.Events != 80000 {
+		t.Fatalf("snapshot after concurrent load: %+v", s)
+	}
+}
+
+// BenchmarkNilGuard measures the disabled-tracer fast path exactly as the
+// emission sites compile it: one nil check on an interface variable. The
+// top-level BenchmarkTracerOverhead guards the end-to-end number.
+func BenchmarkNilGuard(b *testing.B) {
+	var tr Tracer
+	var n int
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if tr != nil {
+			tr.Query(QueryEvent{At: des.Time(i)})
+		} else {
+			n++
+		}
+	}
+	_ = n
+}
+
+func BenchmarkRingEmit(b *testing.B) {
+	r := NewRing(4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Query(QueryEvent{At: des.Time(i), Client: 1, Item: i, Hit: true})
+	}
+}
+
+func BenchmarkJSONLEmit(b *testing.B) {
+	var sink Tracer = NewJSONL(discard{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sink.Query(QueryEvent{At: des.Time(i), Client: 1, Item: i, Hit: true})
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

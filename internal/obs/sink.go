@@ -1,0 +1,329 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Event type tags used as the "ev" field of JSONL trace lines.
+const (
+	EvReportBroadcast = "report"
+	EvQuery           = "query"
+	EvCache           = "cache"
+	EvFrameTx         = "frame_tx"
+	EvSleepWake       = "sleep_wake"
+	EvDBUpdate        = "db_update"
+	EvReportProcess   = "report_process"
+)
+
+// JSONL is a Tracer that appends one JSON object per event to a writer. It
+// buffers internally; call Close (or Flush) before reading the output. Safe
+// for concurrent use.
+type JSONL struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	c   io.Closer // underlying closer, if the writer has one
+	enc *json.Encoder
+	n   uint64
+	err error
+}
+
+// NewJSONL wraps w in a JSONL trace sink. If w is an io.Closer, Close
+// closes it after flushing.
+func NewJSONL(w io.Writer) *JSONL {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	s := &JSONL{w: bw, enc: json.NewEncoder(bw)}
+	if c, ok := w.(io.Closer); ok {
+		s.c = c
+	}
+	return s
+}
+
+// Events reports how many events have been written.
+func (s *JSONL) Events() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// Err reports the first write error, if any.
+func (s *JSONL) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Flush writes buffered events through to the underlying writer.
+func (s *JSONL) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.w.Flush(); err != nil && s.err == nil {
+		s.err = err
+	}
+	return s.err
+}
+
+// Close flushes and closes the underlying writer (when closable).
+func (s *JSONL) Close() error {
+	err := s.Flush()
+	if s.c != nil {
+		if cerr := s.c.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+func (s *JSONL) emit(v any) {
+	s.mu.Lock()
+	if err := s.enc.Encode(v); err != nil && s.err == nil {
+		s.err = err
+	}
+	s.n++
+	s.mu.Unlock()
+}
+
+// The per-event wrappers prepend the "ev" type tag; the event's own tags
+// (starting with "t") carry the rest of the line.
+
+// ReportBroadcast implements Tracer.
+func (s *JSONL) ReportBroadcast(e ReportBroadcastEvent) {
+	s.emit(struct {
+		Ev string `json:"ev"`
+		ReportBroadcastEvent
+	}{EvReportBroadcast, e})
+}
+
+// Query implements Tracer.
+func (s *JSONL) Query(e QueryEvent) {
+	s.emit(struct {
+		Ev string `json:"ev"`
+		QueryEvent
+	}{EvQuery, e})
+}
+
+// Cache implements Tracer.
+func (s *JSONL) Cache(e CacheEvent) {
+	s.emit(struct {
+		Ev string `json:"ev"`
+		CacheEvent
+	}{EvCache, e})
+}
+
+// FrameTx implements Tracer.
+func (s *JSONL) FrameTx(e FrameTxEvent) {
+	s.emit(struct {
+		Ev string `json:"ev"`
+		FrameTxEvent
+	}{EvFrameTx, e})
+}
+
+// SleepWake implements Tracer.
+func (s *JSONL) SleepWake(e SleepWakeEvent) {
+	s.emit(struct {
+		Ev string `json:"ev"`
+		SleepWakeEvent
+	}{EvSleepWake, e})
+}
+
+// DBUpdate implements Tracer.
+func (s *JSONL) DBUpdate(e DBUpdateEvent) {
+	s.emit(struct {
+		Ev string `json:"ev"`
+		DBUpdateEvent
+	}{EvDBUpdate, e})
+}
+
+// ReportProcess implements Tracer.
+func (s *JSONL) ReportProcess(e ReportProcessEvent) {
+	s.emit(struct {
+		Ev string `json:"ev"`
+		ReportProcessEvent
+	}{EvReportProcess, e})
+}
+
+// Decode parses one JSONL trace line back into its typed event. The first
+// return value is one of the *Event structs (by value): ReportBroadcastEvent,
+// QueryEvent, CacheEvent, FrameTxEvent, SleepWakeEvent, DBUpdateEvent or
+// ReportProcessEvent.
+func Decode(line []byte) (any, error) {
+	var tag struct {
+		Ev string `json:"ev"`
+	}
+	if err := json.Unmarshal(line, &tag); err != nil {
+		return nil, fmt.Errorf("obs: bad trace line: %w", err)
+	}
+	unmarshal := func(v any) (any, error) {
+		if err := json.Unmarshal(line, v); err != nil {
+			return nil, fmt.Errorf("obs: bad %s event: %w", tag.Ev, err)
+		}
+		return v, nil
+	}
+	switch tag.Ev {
+	case EvReportBroadcast:
+		v, err := unmarshal(&ReportBroadcastEvent{})
+		if err != nil {
+			return nil, err
+		}
+		return *v.(*ReportBroadcastEvent), nil
+	case EvQuery:
+		v, err := unmarshal(&QueryEvent{})
+		if err != nil {
+			return nil, err
+		}
+		return *v.(*QueryEvent), nil
+	case EvCache:
+		v, err := unmarshal(&CacheEvent{})
+		if err != nil {
+			return nil, err
+		}
+		return *v.(*CacheEvent), nil
+	case EvFrameTx:
+		v, err := unmarshal(&FrameTxEvent{})
+		if err != nil {
+			return nil, err
+		}
+		return *v.(*FrameTxEvent), nil
+	case EvSleepWake:
+		v, err := unmarshal(&SleepWakeEvent{})
+		if err != nil {
+			return nil, err
+		}
+		return *v.(*SleepWakeEvent), nil
+	case EvDBUpdate:
+		v, err := unmarshal(&DBUpdateEvent{})
+		if err != nil {
+			return nil, err
+		}
+		return *v.(*DBUpdateEvent), nil
+	case EvReportProcess:
+		v, err := unmarshal(&ReportProcessEvent{})
+		if err != nil {
+			return nil, err
+		}
+		return *v.(*ReportProcessEvent), nil
+	}
+	return nil, fmt.Errorf("obs: unknown event type %q", tag.Ev)
+}
+
+// ReadJSONL decodes an entire JSONL trace stream, tolerating a torn final
+// line (a crashed writer). Blank lines are skipped.
+func ReadJSONL(r io.Reader) ([]any, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	var out []any
+	for sc.Scan() {
+		line := sc.Bytes()
+		trimmed := false
+		for _, b := range line {
+			if b != ' ' && b != '\t' {
+				trimmed = true
+				break
+			}
+		}
+		if len(line) == 0 || !trimmed {
+			continue
+		}
+		ev, err := Decode(line)
+		if err != nil {
+			// A torn final line is a crash artifact, not corruption.
+			if !sc.Scan() {
+				break
+			}
+			return nil, fmt.Errorf("obs: line %d: %w", len(out)+1, err)
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Ring is a Tracer that keeps the last N events in memory, for live
+// inspection of a running simulation without unbounded growth. Safe for
+// concurrent use.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []any
+	next  int
+	total uint64
+	byEv  [7]uint64 // per-type counts, indexed by evIndex order
+}
+
+var evOrder = [...]string{EvReportBroadcast, EvQuery, EvCache, EvFrameTx,
+	EvSleepWake, EvDBUpdate, EvReportProcess}
+
+// NewRing builds a ring sink holding the most recent capacity events.
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		panic("obs: ring capacity must be positive")
+	}
+	return &Ring{buf: make([]any, 0, capacity)}
+}
+
+func (r *Ring) add(i int, e any) {
+	r.mu.Lock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+	} else {
+		r.buf[r.next] = e
+		r.next = (r.next + 1) % cap(r.buf)
+	}
+	r.total++
+	r.byEv[i]++
+	r.mu.Unlock()
+}
+
+// Total reports how many events have been observed (including overwritten
+// ones).
+func (r *Ring) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Counts reports the per-event-type totals keyed by the JSONL "ev" tags.
+func (r *Ring) Counts() map[string]uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]uint64, len(evOrder))
+	for i, name := range evOrder {
+		out[name] = r.byEv[i]
+	}
+	return out
+}
+
+// Snapshot returns the buffered events, oldest first.
+func (r *Ring) Snapshot() []any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]any, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// ReportBroadcast implements Tracer.
+func (r *Ring) ReportBroadcast(e ReportBroadcastEvent) { r.add(0, e) }
+
+// Query implements Tracer.
+func (r *Ring) Query(e QueryEvent) { r.add(1, e) }
+
+// Cache implements Tracer.
+func (r *Ring) Cache(e CacheEvent) { r.add(2, e) }
+
+// FrameTx implements Tracer.
+func (r *Ring) FrameTx(e FrameTxEvent) { r.add(3, e) }
+
+// SleepWake implements Tracer.
+func (r *Ring) SleepWake(e SleepWakeEvent) { r.add(4, e) }
+
+// DBUpdate implements Tracer.
+func (r *Ring) DBUpdate(e DBUpdateEvent) { r.add(5, e) }
+
+// ReportProcess implements Tracer.
+func (r *Ring) ReportProcess(e ReportProcessEvent) { r.add(6, e) }
