@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check sweep bench bench-smoke
+.PHONY: build test vet race check sweep bench bench-smoke bench-json
 
 build:
 	$(GO) build ./...
@@ -34,3 +34,12 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'Engine|TracerOverhead' -benchtime 1x .
 	$(GO) test -run '^$$' -bench . ./internal/obs
+
+# bench-json refreshes the committed perf record BENCH_1.json: it runs the
+# engine throughput and tracer-overhead benchmarks, preserves the pinned
+# pre-overhaul `baseline` block, rewrites `current`, and fails when events/s
+# drops more than 15% below the committed current — the perf ratchet CI
+# enforces. See EXPERIMENTS.md for the BENCH_<n>.json convention.
+bench-json:
+	$(GO) test -run '^$$' -bench 'Engine$$|TracerOverhead' -benchtime 5x -benchmem . \
+		| $(GO) run ./cmd/wdcbench -baseline BENCH_1.json -out BENCH_1.json -max-regress-pct 15

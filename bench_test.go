@@ -14,6 +14,7 @@ package repro
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
@@ -121,6 +122,9 @@ func BenchmarkEngine(b *testing.B) {
 	cfg.Algorithm = "hybrid"
 	var events uint64
 	var simSec float64
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	mallocs := ms.Mallocs
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = uint64(i) + 1
 		sim, err := core.NewSimulation(cfg)
@@ -131,8 +135,10 @@ func BenchmarkEngine(b *testing.B) {
 		events += sim.Executed()
 		simSec += r.MeasuredSec
 	}
+	runtime.ReadMemStats(&ms)
 	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
 	b.ReportMetric(simSec/b.Elapsed().Seconds(), "simsec/s")
+	b.ReportMetric(float64(ms.Mallocs-mallocs)/float64(events), "allocs/event")
 }
 
 // BenchmarkTracerOverhead measures the simulator at the tracer's three

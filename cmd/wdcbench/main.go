@@ -1,0 +1,186 @@
+// Command wdcbench turns `go test -bench` output into the machine-readable
+// perf record BENCH_<n>.json and gates on throughput regressions.
+//
+// It reads the benchmark stream on stdin — typically
+//
+//	go test -run '^$' -bench 'Engine$|TracerOverhead' -benchmem . | wdcbench
+//
+// extracts the engine's events/s and allocs/event plus the tracer-overhead
+// variants, and writes a JSON record with three blocks:
+//
+//	baseline   the pinned "before" reference; preserved from the existing
+//	           record (or initialized to the current run if absent)
+//	current    this run's numbers
+//	delta_pct  current vs baseline, percent
+//
+// With -max-regress-pct set, wdcbench exits non-zero when the current
+// events/s falls more than that percentage below the committed record's
+// current block (falling back to baseline for a fresh record) — the ratchet
+// CI uses to catch hot-path regressions. The record is written before the
+// gate decision so a failing run still leaves its evidence behind.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Record is one measurement of the benchmark suite.
+type Record struct {
+	EngineEventsPerSec   float64            `json:"engine_events_per_sec"`
+	EngineSimSecPerSec   float64            `json:"engine_simsec_per_sec,omitempty"`
+	EngineAllocsPerEvent float64            `json:"engine_allocs_per_event"`
+	TracerEventsPerSec   map[string]float64 `json:"tracer_events_per_sec,omitempty"`
+}
+
+// File is the on-disk layout of BENCH_<n>.json.
+type File struct {
+	Schema   string             `json:"schema"`
+	Command  string             `json:"command"`
+	Baseline *Record            `json:"baseline"`
+	Current  *Record            `json:"current"`
+	DeltaPct map[string]float64 `json:"delta_pct,omitempty"`
+	Note     string             `json:"note,omitempty"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_1.json", "record file to write")
+	baseline := flag.String("baseline", "BENCH_1.json", "existing record to preserve the baseline from and gate against")
+	maxRegress := flag.Float64("max-regress-pct", 0, "fail when events/s drops more than this percent below the committed record (0 disables)")
+	flag.Parse()
+
+	metrics, err := parseBench(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+	engine, ok := metrics["BenchmarkEngine"]
+	if !ok {
+		fatal(fmt.Errorf("no BenchmarkEngine line on stdin (pass -bench 'Engine$|TracerOverhead')"))
+	}
+	current := &Record{
+		EngineEventsPerSec:   engine["events/s"],
+		EngineSimSecPerSec:   engine["simsec/s"],
+		EngineAllocsPerEvent: engine["allocs/event"],
+	}
+	for _, variant := range []string{"off", "ring", "jsonl"} {
+		if m, ok := metrics["BenchmarkTracerOverhead/"+variant]; ok {
+			if current.TracerEventsPerSec == nil {
+				current.TracerEventsPerSec = map[string]float64{}
+			}
+			current.TracerEventsPerSec[variant] = m["events/s"]
+		}
+	}
+
+	prior := readFile(*baseline)
+	rec := File{
+		Schema:  "wdc-bench-v1",
+		Command: "go test -run '^$' -bench 'Engine$|TracerOverhead' -benchtime 5x -benchmem .",
+		Current: current,
+	}
+	if prior != nil && prior.Baseline != nil {
+		rec.Baseline = prior.Baseline
+		rec.Note = prior.Note
+	} else {
+		rec.Baseline = current
+	}
+	rec.DeltaPct = map[string]float64{
+		"events_per_sec":   pct(current.EngineEventsPerSec, rec.Baseline.EngineEventsPerSec),
+		"allocs_per_event": pct(current.EngineAllocsPerEvent, rec.Baseline.EngineAllocsPerEvent),
+	}
+	if err := writeFile(*out, &rec); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wdcbench: %s: %.0f events/s (%+.1f%% vs baseline), %.3f allocs/event (%+.1f%%)\n",
+		*out, current.EngineEventsPerSec, rec.DeltaPct["events_per_sec"],
+		current.EngineAllocsPerEvent, rec.DeltaPct["allocs_per_event"])
+
+	if *maxRegress > 0 && prior != nil {
+		ref := prior.Current
+		if ref == nil {
+			ref = prior.Baseline
+		}
+		if ref != nil && ref.EngineEventsPerSec > 0 {
+			floor := ref.EngineEventsPerSec * (1 - *maxRegress/100)
+			if current.EngineEventsPerSec < floor {
+				fatal(fmt.Errorf("events/s regression: %.0f < %.0f (%.0f%% of committed %.0f)",
+					current.EngineEventsPerSec, floor, 100-*maxRegress, ref.EngineEventsPerSec))
+			}
+		}
+	}
+}
+
+// parseBench extracts metric pairs from `go test -bench` lines. Each line is
+// "BenchmarkName-P  N  value unit  value unit ..."; the -P GOMAXPROCS suffix
+// is stripped so records compare across machines.
+func parseBench(r *os.File) (map[string]map[string]float64, error) {
+	metrics := map[string]map[string]float64{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass the stream through for the log
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		m := metrics[name]
+		if m == nil {
+			m = map[string]float64{}
+			metrics[name] = m
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			m[fields[i+1]] = v
+		}
+	}
+	return metrics, sc.Err()
+}
+
+// pct reports the percent change from base to cur, or 0 when base is zero.
+func pct(cur, base float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (cur - base) / base * 100
+}
+
+func readFile(path string) *File {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	var f File
+	if err := json.Unmarshal(b, &f); err != nil {
+		return nil
+	}
+	return &f
+}
+
+func writeFile(path string, f *File) error {
+	b, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wdcbench:", err)
+	os.Exit(1)
+}

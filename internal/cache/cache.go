@@ -123,6 +123,35 @@ func NewWithPolicy(capacity, universe int, policy Policy, src *rng.Source) *Cach
 	return c
 }
 
+// Reset returns the cache to its freshly constructed state — no resident
+// entries, zeroed statistics, no tracer — while keeping the O(universe)
+// entry and index tables, so a pooled cache can serve a new replication
+// without reallocating. src replaces the Random-eviction stream (ignored by
+// the other policies); capacity, universe and policy are unchanged.
+func (c *Cache) Reset(src *rng.Source) {
+	if c.policy == Random && src == nil {
+		panic("cache: Random policy needs a rng source")
+	}
+	for e := c.head; e != nil; {
+		next := e.next
+		e.Version = 0
+		e.CachedAt = 0
+		e.prev, e.next = nil, nil
+		e.resident = false
+		c.slot[e.ID] = -1
+		e = next
+	}
+	c.resident = c.resident[:0]
+	c.head, c.tail = nil, nil
+	c.size = 0
+	c.src = src
+	c.stats = Stats{}
+	c.tr, c.trOwner, c.trClock = nil, 0, nil
+}
+
+// Universe reports the id space size the cache was built for.
+func (c *Cache) Universe() int { return len(c.entries) }
+
 // SetTracer attaches an event tracer. owner is the client id stamped on
 // every CacheEvent; clock supplies the simulation time. A nil tr disables
 // tracing; clock must be non-nil when tr is.

@@ -1,0 +1,86 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/rng"
+)
+
+// driveOps applies a deterministic mixed workload and returns the resulting
+// observable state as (stats, resident ids in MRU order).
+func driveOps(c *Cache, seed uint64) (Stats, []int) {
+	src := rng.New(seed)
+	for i := 0; i < 500; i++ {
+		id := src.Intn(c.Universe())
+		switch src.Intn(4) {
+		case 0:
+			c.Put(id, uint64(i), des.Time(i))
+		case 1:
+			c.Get(id)
+		case 2:
+			c.Invalidate(id)
+		case 3:
+			if i%97 == 0 {
+				c.InvalidateAll()
+			} else {
+				c.Peek(id)
+			}
+		}
+	}
+	return *c.Stats(), c.ResidentIDs(nil)
+}
+
+// TestResetMatchesFresh drives a cache hard, Resets it, and checks that the
+// recycled cache reproduces a fresh cache's behaviour exactly — same stats,
+// same residency order — for every policy.
+func TestResetMatchesFresh(t *testing.T) {
+	for _, policy := range []Policy{LRU, FIFO, Random} {
+		t.Run(policy.String(), func(t *testing.T) {
+			recycled := NewWithPolicy(8, 64, policy, rng.New(1))
+			driveOps(recycled, 99) // arbitrary history to clear
+			recycled.Reset(rng.New(2))
+			if err := recycled.checkInvariants(); err != nil {
+				t.Fatalf("after Reset: %v", err)
+			}
+			if recycled.Len() != 0 {
+				t.Fatalf("Reset left %d resident", recycled.Len())
+			}
+			if s := recycled.Stats(); *s != (Stats{}) {
+				t.Fatalf("Reset kept stats %+v", *s)
+			}
+
+			fresh := NewWithPolicy(8, 64, policy, rng.New(2))
+			gotStats, gotIDs := driveOps(recycled, 7)
+			wantStats, wantIDs := driveOps(fresh, 7)
+			if gotStats != wantStats {
+				t.Errorf("stats diverged: recycled %+v, fresh %+v", gotStats, wantStats)
+			}
+			if len(gotIDs) != len(wantIDs) {
+				t.Fatalf("residency diverged: %v vs %v", gotIDs, wantIDs)
+			}
+			for i := range gotIDs {
+				if gotIDs[i] != wantIDs[i] {
+					t.Fatalf("residency order diverged: %v vs %v", gotIDs, wantIDs)
+				}
+			}
+			if err := recycled.checkInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestResetClearsEntryValues verifies stale versions cannot leak through a
+// Reset: an id cached before the Reset reads as absent after it.
+func TestResetClearsEntryValues(t *testing.T) {
+	c := New(4, 16)
+	c.Put(3, 77, des.Time(5))
+	c.Reset(nil)
+	if _, ok := c.Peek(3); ok {
+		t.Fatal("entry survived Reset")
+	}
+	if c.Contains(3) {
+		t.Fatal("residency flag survived Reset")
+	}
+}

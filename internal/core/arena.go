@@ -1,0 +1,70 @@
+package core
+
+import (
+	"repro/internal/cache"
+	"repro/internal/db"
+	"repro/internal/radio"
+)
+
+// Arena recycles the allocation-heavy components of a Simulation across the
+// replications a worker runs sequentially: the O(universe) cache tables of
+// every client, the database's item and dedup tables, and the channel's
+// per-link buffers. Each component is handed back through an explicit Reset
+// that restores the freshly-constructed state, so a recycled simulation is
+// bit-identical to a cold one — the arena changes where the memory comes
+// from, never what runs.
+//
+// An Arena is not safe for concurrent use: worker pools create one per
+// worker goroutine.
+type Arena struct {
+	caches  []*cache.Cache
+	db      *db.DB
+	channel *radio.Channel
+}
+
+// NewArena returns an empty arena.
+func NewArena() *Arena { return &Arena{} }
+
+// takeCache pops a pooled cache of exactly this shape, or returns nil when
+// none is available. The caller must Reset the cache before use.
+func (a *Arena) takeCache(capacity, universe int, policy cache.Policy) *cache.Cache {
+	for i, c := range a.caches {
+		if c.Capacity() == capacity && c.Universe() == universe && c.Policy() == policy {
+			last := len(a.caches) - 1
+			a.caches[i] = a.caches[last]
+			a.caches[last] = nil
+			a.caches = a.caches[:last]
+			return c
+		}
+	}
+	return nil
+}
+
+// takeDB pops the pooled database, or nil. The caller must Reset it.
+func (a *Arena) takeDB() *db.DB {
+	d := a.db
+	a.db = nil
+	return d
+}
+
+// takeChannel pops the pooled channel, or nil. The caller must Reset it.
+func (a *Arena) takeChannel() *radio.Channel {
+	c := a.channel
+	a.channel = nil
+	return c
+}
+
+// Reclaim stores sim's recyclable components for the worker's next
+// replication. Call it only after the run's statistics have been collected;
+// the simulation must not be executed or inspected afterwards. Components
+// left over from a previous shape (a cell with a different client count or
+// cache size) are dropped so the pool never grows past one simulation's
+// worth of state.
+func (a *Arena) Reclaim(sim *Simulation) {
+	a.caches = a.caches[:0]
+	for _, c := range sim.clients {
+		a.caches = append(a.caches, c.cache)
+	}
+	a.db = sim.db
+	a.channel = sim.channel
+}

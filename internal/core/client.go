@@ -36,6 +36,12 @@ type client struct {
 	pending      []pendingQuery
 	outstanding  map[int]bool // items with an uplink request in flight
 
+	// Method-value callbacks bound once at construction: scheduling a
+	// query/doze/wake event then costs no closure allocation.
+	queryFn func()
+	dozeFn  func()
+	wakeFn  func()
+
 	// per-client measurements
 	queries        uint64 // issued post-warmup
 	hits           uint64
@@ -46,25 +52,40 @@ type client struct {
 	drainedVia     [3]uint64 // answers enabled by full/mini/piggyback reports
 }
 
-func newClient(id int, sim *Simulation, sampler *workload.Sampler, src *rng.Source) *client {
-	return &client{
-		id:  id,
-		sim: sim,
-		cache: cache.NewWithPolicy(sim.cfg.CacheCapacity, sim.cfg.DB.NumItems,
-			sim.cfg.CachePolicy, src.SubStream(1<<40)),
+func newClient(id int, sim *Simulation, sampler *workload.Sampler, src *rng.Source, arena *Arena) *client {
+	// SubStream only reads generator state, so both branches leave src's draw
+	// sequence untouched — a pooled cache and a fresh one are seeded alike.
+	var cc *cache.Cache
+	if arena != nil {
+		cc = arena.takeCache(sim.cfg.CacheCapacity, sim.cfg.DB.NumItems, sim.cfg.CachePolicy)
+	}
+	if cc != nil {
+		cc.Reset(src.SubStream(1 << 40))
+	} else {
+		cc = cache.NewWithPolicy(sim.cfg.CacheCapacity, sim.cfg.DB.NumItems,
+			sim.cfg.CachePolicy, src.SubStream(1<<40))
+	}
+	c := &client{
+		id:          id,
+		sim:         sim,
+		cache:       cc,
 		sampler:     sampler,
 		meter:       energy.NewMeter(sim.cfg.Energy),
 		src:         src,
 		awake:       true,
 		outstanding: make(map[int]bool),
 	}
+	c.queryFn = c.issueQuery
+	c.dozeFn = c.tryDoze
+	c.wakeFn = c.wake
+	return c
 }
 
 // start arms the query and sleep processes.
 func (c *client) start() {
 	c.scheduleQuery()
 	if c.sampler.Sleeps() {
-		c.sim.sch.After(c.sampler.NextAwake(), "client.doze", c.tryDoze)
+		c.sim.sch.After(c.sampler.NextAwake(), "client.doze", c.dozeFn)
 	}
 }
 
@@ -73,7 +94,7 @@ func (c *client) scheduleQuery() {
 	if des.Time(0).Add(gap) >= des.Never {
 		return // zero query rate
 	}
-	c.queryEv = c.sim.sch.After(gap, "client.query", c.issueQuery)
+	c.queryEv = c.sim.sch.After(gap, "client.query", c.queryFn)
 }
 
 func (c *client) issueQuery() {
@@ -103,6 +124,7 @@ func (c *client) tryDoze() {
 func (c *client) doze() {
 	c.sleepPending = false
 	c.awake = false
+	c.sim.rosterRemove(c.id)
 	c.sleptAt = c.sim.sch.Now()
 	if tr := c.sim.tr; tr != nil {
 		tr.SleepWake(obs.SleepWakeEvent{At: c.sleptAt, Client: c.id, Awake: false})
@@ -111,7 +133,7 @@ func (c *client) doze() {
 		c.sim.sch.Cancel(c.queryEv)
 		c.queryEv = nil
 	}
-	c.sim.sch.After(c.sampler.NextSleep(), "client.wake", c.wake)
+	c.sim.sch.After(c.sampler.NextSleep(), "client.wake", c.wakeFn)
 }
 
 func (c *client) wake() {
@@ -124,11 +146,12 @@ func (c *client) wake() {
 		c.meter.AddDoze(now.Sub(from).Seconds())
 	}
 	c.awake = true
+	c.sim.rosterAdd(c.id)
 	if tr := c.sim.tr; tr != nil {
 		tr.SleepWake(obs.SleepWakeEvent{At: now, Client: c.id, Awake: true})
 	}
 	c.scheduleQuery()
-	c.sim.sch.After(c.sampler.NextAwake(), "client.doze", c.tryDoze)
+	c.sim.sch.After(c.sampler.NextAwake(), "client.doze", c.dozeFn)
 }
 
 // onReport handles a decoded invalidation report (standalone or piggyback).
@@ -251,10 +274,7 @@ func (c *client) answer(q pendingQuery, now des.Time, fromCache bool) {
 	if q.issued < c.sim.warmupAt {
 		return // warmup transient: not measured
 	}
-	delay := now.Sub(q.issued).Seconds()
-	c.sim.delay.Observe(delay)
-	c.sim.delayHist.Observe(delay)
-	c.sim.delayBatch.Observe(delay)
+	c.sim.delay.Observe(now.Sub(q.issued).Seconds())
 	if fromCache {
 		c.hits++
 	} else {

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/des"
+)
+
+// goldenConfig is a small but fully featured run: sleeping clients (so the
+// awake roster is exercised through doze/wake churn), response snooping and
+// coalescing (the O(awake) fan-out paths), and enough horizon for report
+// cycles, ARQ and cache pressure to all occur.
+func goldenConfig(algo string, seed uint64) Config {
+	cfg := DefaultConfig()
+	cfg.NumClients = 30
+	cfg.Horizon = 600 * des.Second
+	cfg.Warmup = 120 * des.Second
+	cfg.Seed = seed
+	cfg.Algorithm = algo
+	cfg.Workload.SleepRatio = 0.4
+	cfg.Workload.AwakeMeanSec = 60
+	cfg.SnoopResponses = true
+	cfg.CoalesceResponses = true
+	return cfg
+}
+
+// goldenRuns pins the full statistics of six runs, captured before the
+// hot-path overhaul (awake roster, frame/report free lists, decode
+// memoization, replication arena). Those optimizations must not change what
+// the simulator computes — only how fast — so every run must keep
+// reproducing these fingerprints byte for byte. If an intentional semantic
+// change lands, recapture with fingerprintStats and update.
+var goldenRuns = []struct {
+	algo string
+	seed uint64
+	want string
+}{
+	{"ts", 7, "q=896 ans=848 hit=174 miss=674 d=11.910735323113197 ci=0.8065478171020236 p95=21.948758049625926 max=82.531607 stale=0 drops=60 sig=0 fi=0 rd=568 rl=32 via=[455 0 0] up=744 att=2809 col=613 airIR=0.14745599999999992 airR=28.165216999999977 airBG=212.72822499999967 util=0.5021685374999992 ir=15792 pig=0 rtry=1557 drop=208 e=8065.627700580002 upd=99 pend=48"},
+	{"ts", 42, "q=796 ans=762 hit=176 miss=586 d=12.296422325459314 ci=1.8769440077107302 p95=21.948758049625926 max=121.237983 stale=0 drops=54 sig=0 fi=0 rd=540 rl=25 via=[435 0 0] up=612 att=2179 col=487 airIR=0.13363199999999995 airR=16.74618899999991 airBG=202.63910499999974 util=0.4573310958333326 ir=14064 pig=0 rtry=1097 drop=51 e=7884.734674182221 upd=93 pend=34"},
+	{"hybrid", 7, "q=880 ans=862 hit=162 miss=700 d=3.0228586496519707 ci=1.2094086578639813 p95=14.431664699351312 max=105.092052 stale=0 drops=81 sig=0 fi=0 rd=20443 rl=1260 via=[443 792 11093] up=727 att=988 col=102 airIR=0.25561699999999987 airR=29.53333500000099 airBG=213.87324699999886 util=0.5076295812499997 ir=31072 pig=148576 rtry=1531 drop=197 e=7771.5060948288865 upd=99 pend=18"},
+	{"hybrid", 42, "q=830 ans=830 hit=187 miss=643 d=2.1945949855421665 ci=0.6557152577455312 p95=14.431664699351312 max=38.568873 stale=0 drops=70 sig=0 fi=0 rd=20847 rl=720 via=[477 992 11628] up=646 att=765 col=48 airIR=0.26206000000000035 airR=20.636548999999913 airBG=198.7636189999997 util=0.4576296416666658 ir=30336 pig=134432 rtry=1099 drop=63 e=7905.610882206665 upd=93 pend=0"},
+	{"sig", 7, "q=880 ans=843 hit=212 miss=631 d=14.416646867141173 ci=2.3186857333676634 p95=38.388515008533545 max=198.862318 stale=0 drops=0 sig=0 fi=883 rd=557 rl=46 via=[449 0 0] up=703 att=2552 col=547 airIR=1.6435200000000012 airR=29.11103600000025 airBG=214.96568099999948 util=0.5119171604166661 ir=210800 pig=0 rtry=1630 drop=223 e=8270.115960068888 upd=99 pend=37"},
+	{"sig", 42, "q=775 ans=743 hit=212 miss=531 d=12.143507130551825 ci=1.1514135646194605 p95=29.027232520630285 max=65.781272 stale=0 drops=0 sig=1 fi=840 rd=523 rl=39 via=[421 0 0] up=564 att=1974 col=461 airIR=1.6435200000000012 airR=16.199176999999914 airBG=201.22826399999968 util=0.45639783541666584 ir=210800 pig=0 rtry=1135 drop=54 e=7514.426488926665 upd=93 pend=32"},
+}
+
+// fingerprintStats formats every deterministic RunStats field (perf telemetry
+// excluded) so any behavioural divergence shows up byte-for-byte.
+func fingerprintStats(r *RunStats) string {
+	return fmt.Sprintf("q=%d ans=%d hit=%d miss=%d d=%v ci=%v p95=%v max=%v stale=%d drops=%d sig=%d fi=%d rd=%d rl=%d via=%v up=%d att=%d col=%d airIR=%v airR=%v airBG=%v util=%v ir=%d pig=%d rtry=%d drop=%d e=%v upd=%d pend=%d",
+		r.Queries, r.Answered, r.CacheHits, r.MissAnswers,
+		r.MeanDelay, r.DelayCI95, r.P95Delay, r.MaxDelay,
+		r.StaleViolations, r.CacheDrops, r.SigDrops, r.FalseInval,
+		r.ReportsDecoded, r.ReportsLost, r.AnsweredVia,
+		r.UplinkSent, r.UplinkAttempts, r.UplinkCollisions,
+		r.AirtimeIR, r.AirtimeResponse, r.AirtimeBackground, r.DownlinkUtil,
+		r.IRBits, r.PiggyBits, r.ResponseRetries, r.ResponseDrops,
+		r.EnergyJoules, r.Updates, r.PendingAtEnd)
+}
+
+// TestGoldenDeterminism replays the pinned runs cold and compares every
+// statistic byte for byte.
+func TestGoldenDeterminism(t *testing.T) {
+	for _, g := range goldenRuns {
+		t.Run(fmt.Sprintf("%s-%d", g.algo, g.seed), func(t *testing.T) {
+			r, err := Run(goldenConfig(g.algo, g.seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := fingerprintStats(r); got != g.want {
+				t.Errorf("fingerprint diverged\n got: %s\nwant: %s", got, g.want)
+			}
+		})
+	}
+}
+
+// TestArenaRecycledRunMatchesCold proves that a simulation built from
+// recycled component state — caches, database and channel reclaimed from
+// earlier runs with different algorithms and seeds — is bit-identical to a
+// cold one: the arena changes where memory comes from, never what runs.
+func TestArenaRecycledRunMatchesCold(t *testing.T) {
+	ctx := context.Background()
+	arena := NewArena()
+	// Dirty the arena with runs whose caches, update histories and fading
+	// trajectories all differ from the run under test.
+	for _, warmup := range []Config{goldenConfig("hybrid", 3), goldenConfig("sig", 11)} {
+		warmup.Horizon = 200 * des.Second
+		warmup.Warmup = 50 * des.Second
+		if _, err := RunRepArena(ctx, warmup, 0, arena); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, g := range goldenRuns[:2] { // both ts seeds: cheap and roster-heavy
+		warm, err := RunRepArena(ctx, goldenConfig(g.algo, g.seed), 0, arena)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := fingerprintStats(warm); got != g.want {
+			t.Errorf("%s-%d: recycled run diverged from cold\n got: %s\nwant: %s",
+				g.algo, g.seed, got, g.want)
+		}
+	}
+}

@@ -176,13 +176,28 @@ func (a *Aggregate) String() string {
 // ctx. Each replication has fully independent state and RNG streams, so it
 // is the unit of work a scheduler can distribute in any order.
 func RunRep(ctx context.Context, cfg Config, i int) (*RunStats, error) {
+	return RunRepArena(ctx, cfg, i, nil)
+}
+
+// RunRepArena is RunRep drawing component state from — and, after a
+// successful run, reclaiming it into — the given arena, so a worker running
+// replications back to back reuses the O(universe) tables instead of
+// reallocating them each time. A nil arena runs cold.
+func RunRepArena(ctx context.Context, cfg Config, i int, arena *Arena) (*RunStats, error) {
 	c := cfg
 	c.Seed = cfg.Seed + uint64(i)
-	sim, err := NewSimulation(c)
+	sim, err := NewSimulationArena(c, arena)
 	if err != nil {
 		return nil, err
 	}
-	return sim.ExecuteCtx(ctx)
+	r, err := sim.ExecuteCtx(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if arena != nil {
+		arena.Reclaim(sim)
+	}
+	return r, nil
 }
 
 // RunReplications executes reps independent replications of cfg (seeds
@@ -218,11 +233,12 @@ func RunReplicationsCtx(ctx context.Context, cfg Config, reps, workers int) (*Ag
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			arena := NewArena() // per-worker: replications on one worker recycle state
 			for i := range work {
 				if errs[i] = rctx.Err(); errs[i] != nil {
 					continue // fail-fast: a sibling already failed
 				}
-				results[i], errs[i] = RunRep(rctx, cfg, i)
+				results[i], errs[i] = RunRepArena(rctx, cfg, i, arena)
 				if errs[i] != nil {
 					cancel()
 				}

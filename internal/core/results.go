@@ -88,11 +88,11 @@ func (s *Simulation) collect(end des.Time) *RunStats {
 		Seed:        s.cfg.Seed,
 		Algorithm:   s.cfg.Algorithm,
 		MeasuredSec: measured,
-		DelaySeries: s.delay,
-		DelayHist:   s.delayHist,
+		DelaySeries: s.delay.Series(),
+		DelayHist:   s.delay.Histogram(),
 		MeanDelay:   s.delay.Mean(),
-		DelayCI95:   s.delayBatch.CI95(),
-		P95Delay:    s.delayHist.Quantile(0.95),
+		DelayCI95:   s.delay.CI95(),
+		P95Delay:    s.delay.Quantile(0.95),
 		MaxDelay:    s.delay.Max(),
 		Updates:     s.db.Updates() - s.snapUpd,
 	}

@@ -54,6 +54,13 @@ type server struct {
 	// inFlightResp tracks queued/in-flight responses by item so later
 	// requests for the same item can join them (coalescing).
 	inFlightResp map[int]*respMeta
+
+	// Free lists for the per-frame metadata. A respMeta is recycled after
+	// its delivery fan-out, by which point onResponseDelivered has retired
+	// (or a newer response replaced) its coalescing slot, so nothing still
+	// references it; waiters backing arrays are kept across reuses.
+	respFree []*respMeta
+	bgFree   []*bgMeta
 }
 
 const loadSampleEvery = des.Second
@@ -89,6 +96,40 @@ func (s *server) sampleLoad(des.Time) {
 	s.loadEWMA = alpha*sample + (1-alpha)*s.loadEWMA
 }
 
+// acquireResp returns a cleared respMeta, reusing its waiters capacity.
+func (s *server) acquireResp() *respMeta {
+	if n := len(s.respFree); n > 0 {
+		m := s.respFree[n-1]
+		s.respFree = s.respFree[:n-1]
+		*m = respMeta{waiters: m.waiters[:0]}
+		return m
+	}
+	return &respMeta{}
+}
+
+// releaseResp recycles a fully fanned-out respMeta.
+func (s *server) releaseResp(m *respMeta) {
+	m.piggy = nil // the report was recycled separately; drop the reference
+	s.respFree = append(s.respFree, m)
+}
+
+// acquireBg returns a cleared bgMeta.
+func (s *server) acquireBg() *bgMeta {
+	if n := len(s.bgFree); n > 0 {
+		m := s.bgFree[n-1]
+		s.bgFree = s.bgFree[:n-1]
+		m.piggy = nil
+		return m
+	}
+	return &bgMeta{}
+}
+
+// releaseBg recycles a fully fanned-out bgMeta.
+func (s *server) releaseBg(m *bgMeta) {
+	m.piggy = nil
+	s.bgFree = append(s.bgFree, m)
+}
+
 // onRequest handles a delivered uplink request.
 func (s *server) onRequest(src int, meta any, now des.Time) {
 	req := meta.(reqMeta)
@@ -103,7 +144,8 @@ func (s *server) onRequest(src int, meta any, now des.Time) {
 			return
 		}
 	}
-	resp := &respMeta{item: it.ID, version: it.Version, genAt: now}
+	resp := s.acquireResp()
+	resp.item, resp.version, resp.genAt = it.ID, it.Version, now
 	robust := 0
 	if pg := s.algo.Piggyback(now); pg != nil {
 		resp.piggy = pg
@@ -115,14 +157,14 @@ func (s *server) onRequest(src int, meta any, now des.Time) {
 	if s.sim.cfg.CoalesceResponses {
 		s.inFlightResp[req.item] = resp
 	}
-	s.sim.downlink.Enqueue(&mac.Frame{
-		Kind:       mac.KindResponse,
-		Dest:       src,
-		Bits:       it.Bits + s.sim.cfg.ResponseOverheadBits,
-		RobustBits: robust,
-		MCS:        mac.AutoMCS,
-		Meta:       resp,
-	})
+	f := s.sim.downlink.AcquireFrame()
+	f.Kind = mac.KindResponse
+	f.Dest = src
+	f.Bits = it.Bits + s.sim.cfg.ResponseOverheadBits
+	f.RobustBits = robust
+	f.MCS = mac.AutoMCS
+	f.Meta = resp
+	s.sim.downlink.Enqueue(f)
 }
 
 // onResponseDelivered retires the coalescing slot for a departed response.
@@ -134,21 +176,28 @@ func (s *server) onResponseDelivered(m *respMeta) {
 
 // onBackground handles a background-traffic arrival.
 func (s *server) onBackground(dest int, bits int) {
-	meta := &bgMeta{}
+	meta := s.acquireBg()
 	robust := 0
 	if pg := s.algo.Piggyback(s.sim.sch.Now()); pg != nil {
 		meta.piggy = pg
 		robust = pg.SizeBits()
 	}
-	accepted := s.sim.downlink.Enqueue(&mac.Frame{
-		Kind:       mac.KindBackground,
-		Dest:       dest,
-		Bits:       bits,
-		RobustBits: robust,
-		MCS:        mac.AutoMCS,
-		Meta:       meta,
-	})
-	if accepted && robust > 0 {
+	f := s.sim.downlink.AcquireFrame()
+	f.Kind = mac.KindBackground
+	f.Dest = dest
+	f.Bits = bits
+	f.RobustBits = robust
+	f.MCS = mac.AutoMCS
+	f.Meta = meta
+	accepted := s.sim.downlink.Enqueue(f)
+	if !accepted {
+		// Admission control refused the frame: its digest never hits the
+		// air, so both metadata objects go straight back to their pools.
+		s.algo.Recycle(meta.piggy)
+		s.releaseBg(meta)
+		return
+	}
+	if robust > 0 {
 		s.piggyBitsSent += uint64(robust)
 		s.sim.traceReport(meta.piggy, obs.CarrierBackground, 0)
 	}
@@ -168,13 +217,13 @@ func (s *server) UpdatedSince(since des.Time, buf []db.Update) []db.Update {
 func (s *server) Broadcast(r *ir.Report, mcs int) {
 	s.irBitsSent += uint64(r.SizeBits())
 	s.sim.traceReport(r, obs.CarrierIR, mcs)
-	s.sim.downlink.Enqueue(&mac.Frame{
-		Kind: mac.KindIR,
-		Dest: mac.Broadcast,
-		Bits: r.SizeBits(),
-		MCS:  mcs,
-		Meta: r,
-	})
+	f := s.sim.downlink.AcquireFrame()
+	f.Kind = mac.KindIR
+	f.Dest = mac.Broadcast
+	f.Bits = r.SizeBits()
+	f.MCS = mcs
+	f.Meta = r
+	s.sim.downlink.Enqueue(f)
 }
 
 // NewTicker implements ir.ServerEnv.
@@ -187,10 +236,8 @@ func (s *server) NewTicker(period des.Duration, name string, fn func(des.Time)) 
 func (s *server) AwakeSNRs() []float64 {
 	s.snrScratch = s.snrScratch[:0]
 	now := s.sim.sch.Now()
-	for _, c := range s.sim.clients {
-		if c.awake {
-			s.snrScratch = append(s.snrScratch, s.sim.channel.SNRdB(c.id, now))
-		}
+	for _, id := range s.sim.roster { // ascending ids, awake only
+		s.snrScratch = append(s.snrScratch, s.sim.channel.SNRdB(id, now))
 	}
 	return s.snrScratch
 }

@@ -39,13 +39,20 @@ type Simulation struct {
 	oracle   ir.Oracle
 	tr       obs.Tracer // nil = tracing disabled
 
+	// roster holds the ids of awake clients in ascending order, maintained
+	// by doze/wake, so broadcast fan-out costs O(awake) instead of O(N).
+	// rosterScratch is the reusable snapshot buffer fan-out loops iterate:
+	// a visited client may doze itself mid-loop (mutating roster), so loops
+	// walk a snapshot and re-check awake per visit, exactly reproducing the
+	// historical full-scan semantics.
+	roster        []int
+	rosterScratch []int
+
 	warmupAt des.Time
 	refRate  float64 // reference downlink bit rate for load calibration
 
 	// post-warmup accumulators
-	delay      metrics.Series
-	delayHist  *metrics.Histogram
-	delayBatch *metrics.BatchMeans
+	delay *metrics.DelayRecorder
 
 	// warmup snapshots
 	snapDown mac.DownlinkStats
@@ -61,28 +68,55 @@ type snapshotUplink struct {
 
 // NewSimulation validates cfg and wires every component.
 func NewSimulation(cfg Config) (*Simulation, error) {
+	return NewSimulationArena(cfg, nil)
+}
+
+// NewSimulationArena is NewSimulation drawing the allocation-heavy component
+// state (cache tables, database tables, channel buffers) from arena when one
+// is supplied. A nil arena — or an arena holding nothing of the right shape —
+// allocates fresh, so the wiring and the resulting run are identical either
+// way.
+func NewSimulationArena(cfg Config, arena *Arena) (*Simulation, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	sim := &Simulation{
-		cfg:        cfg,
-		sch:        des.NewScheduler(),
-		warmupAt:   des.Time(0).Add(cfg.Warmup),
-		delayHist:  metrics.NewLatencyHistogram(),
-		delayBatch: metrics.NewBatchMeans(64),
+		cfg:      cfg,
+		sch:      des.NewScheduler(),
+		warmupAt: des.Time(0).Add(cfg.Warmup),
+		delay:    metrics.NewDelayRecorder(64),
 	}
 
 	var err error
-	sim.db, err = db.New(sim.sch, cfg.DB, rng.Stream(cfg.Seed, "db"))
-	if err != nil {
-		return nil, err
+	if arena != nil {
+		if d := arena.takeDB(); d != nil {
+			if err := d.Reset(sim.sch, cfg.DB, rng.Stream(cfg.Seed, "db")); err != nil {
+				return nil, err
+			}
+			sim.db = d
+		}
+		if ch := arena.takeChannel(); ch != nil {
+			if err := ch.Reset(cfg.Channel, radio.DefaultAMC(), cfg.NumClients,
+				rng.Stream(cfg.Seed, "channel")); err != nil {
+				return nil, err
+			}
+			sim.channel = ch
+		}
+	}
+	if sim.db == nil {
+		sim.db, err = db.New(sim.sch, cfg.DB, rng.Stream(cfg.Seed, "db"))
+		if err != nil {
+			return nil, err
+		}
 	}
 	sim.oracle = dbOracle{sim.db}
 
-	sim.channel, err = radio.New(cfg.Channel, radio.DefaultAMC(), cfg.NumClients,
-		rng.Stream(cfg.Seed, "channel"))
-	if err != nil {
-		return nil, err
+	if sim.channel == nil {
+		sim.channel, err = radio.New(cfg.Channel, radio.DefaultAMC(), cfg.NumClients,
+			rng.Stream(cfg.Seed, "channel"))
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	sim.downlink = mac.NewDownlink(sim.sch, sim.channel, cfg.Downlink, sim.deliver)
@@ -116,7 +150,12 @@ func NewSimulation(cfg Config) (*Simulation, error) {
 		if err != nil {
 			return nil, err
 		}
-		sim.clients[i] = newClient(i, sim, sampler, csrc.SubStream(uint64(i)))
+		sim.clients[i] = newClient(i, sim, sampler, csrc.SubStream(uint64(i)), arena)
+	}
+
+	sim.roster = make([]int, cfg.NumClients) // everyone starts awake
+	for i := range sim.roster {
+		sim.roster[i] = i
 	}
 
 	// Attach tracing last, once every component exists. All emission sites
@@ -227,6 +266,43 @@ func (s *Simulation) resetAtWarmup() {
 	}
 }
 
+// rosterAdd inserts a freshly woken client into the sorted awake roster.
+// Doze/wake transitions are orders of magnitude rarer than fan-outs, so the
+// O(awake) insertion is cheap where an O(N) scan per broadcast is not.
+func (s *Simulation) rosterAdd(id int) {
+	i := sortSearchInt(s.roster, id)
+	s.roster = append(s.roster, 0)
+	copy(s.roster[i+1:], s.roster[i:])
+	s.roster[i] = id
+}
+
+// rosterRemove drops a dozing client from the awake roster.
+func (s *Simulation) rosterRemove(id int) {
+	i := sortSearchInt(s.roster, id)
+	s.roster = append(s.roster[:i], s.roster[i+1:]...)
+}
+
+// sortSearchInt is sort.SearchInts without the interface indirection.
+func sortSearchInt(a []int, x int) int {
+	lo, hi := 0, len(a)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if a[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// awakeSnapshot copies the roster into the reusable scratch buffer so a
+// fan-out loop survives visited clients dozing themselves mid-iteration.
+func (s *Simulation) awakeSnapshot() []int {
+	s.rosterScratch = append(s.rosterScratch[:0], s.roster...)
+	return s.rosterScratch
+}
+
 // onUplinkAttempt charges transmit energy for one contention slot.
 func (s *Simulation) onUplinkAttempt(src int) {
 	if s.sch.Now() < s.warmupAt {
@@ -244,7 +320,8 @@ func (s *Simulation) deliver(f *mac.Frame, ok bool, mcs int, now des.Time) {
 		amc.Airtime(mcs, f.Bits)
 	switch m := f.Meta.(type) {
 	case *ir.Report:
-		for _, c := range s.clients {
+		for _, id := range s.awakeSnapshot() {
+			c := s.clients[id]
 			if !c.awake {
 				continue
 			}
@@ -255,6 +332,7 @@ func (s *Simulation) deliver(f *mac.Frame, ok bool, mcs int, now des.Time) {
 				c.onReportLost()
 			}
 		}
+		s.server.algo.Recycle(m)
 	case *respMeta:
 		s.server.onResponseDelivered(m)
 		dest := s.clients[f.Dest]
@@ -273,7 +351,8 @@ func (s *Simulation) deliver(f *mac.Frame, ok bool, mcs int, now des.Time) {
 			c.onResponse(m, s.channel.Decode(w, now, mcs, f.Bits))
 		}
 		if s.cfg.SnoopResponses {
-			for _, c := range s.clients {
+			for _, id := range s.awakeSnapshot() {
+				c := s.clients[id]
 				if !c.awake || c.id == f.Dest {
 					continue
 				}
@@ -284,12 +363,14 @@ func (s *Simulation) deliver(f *mac.Frame, ok bool, mcs int, now des.Time) {
 			}
 		}
 		s.fanPiggy(m.piggy, f.RobustBits, now)
+		s.server.releaseResp(m)
 	case *bgMeta:
 		dest := s.clients[f.Dest]
 		if dest.awake {
 			s.chargeRx(dest, airtime)
 		}
 		s.fanPiggy(m.piggy, f.RobustBits, now)
+		s.server.releaseBg(m)
 	default:
 		panic(fmt.Sprintf("core: unknown frame meta %T", f.Meta))
 	}
@@ -305,7 +386,8 @@ func (s *Simulation) fanPiggy(pg *ir.Report, robustBits int, now des.Time) {
 	}
 	headBits := s.cfg.Downlink.HeaderBits + robustBits
 	headAir := s.channel.AMC().Airtime(0, headBits)
-	for _, c := range s.clients {
+	for _, id := range s.awakeSnapshot() {
+		c := s.clients[id]
 		if !c.awake {
 			continue
 		}
@@ -316,6 +398,7 @@ func (s *Simulation) fanPiggy(pg *ir.Report, robustBits int, now des.Time) {
 			c.onReportLost()
 		}
 	}
+	s.server.algo.Recycle(pg)
 }
 
 func (s *Simulation) chargeRx(c *client, airtimeSec float64) {

@@ -98,6 +98,7 @@ type DB struct {
 
 	updates  uint64
 	onUpdate func(id int, now des.Time)
+	updateFn func() // persistent arrival callback; rescheduled, never rebuilt
 	running  bool
 	tr       obs.Tracer
 }
@@ -117,7 +118,46 @@ func New(sch *des.Scheduler, cfg Config, src *rng.Source) (*DB, error) {
 	for i := range d.items {
 		d.items[i] = Item{ID: i, Bits: cfg.ItemBits}
 	}
+	d.updateFn = func() {
+		if !d.running {
+			return
+		}
+		d.applyRandomUpdate()
+		d.scheduleNext()
+	}
 	return d, nil
+}
+
+// Reset re-initializes the database in place for a new replication,
+// reusing the O(NumItems) item and dedup tables when the size is unchanged.
+// The scheduler and source are replaced (each replication owns fresh ones);
+// hooks and tracer are cleared.
+func (d *DB) Reset(sch *des.Scheduler, cfg Config, src *rng.Source) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if cfg.NumItems != d.cfg.NumItems {
+		d.items = make([]Item, cfg.NumItems)
+		d.lastGen = make([]uint32, cfg.NumItems)
+	} else {
+		for i := range d.lastGen {
+			d.lastGen[i] = 0
+		}
+	}
+	for i := range d.items {
+		d.items[i] = Item{ID: i, Bits: cfg.ItemBits}
+	}
+	d.cfg = cfg
+	d.sch = sch
+	d.src = src
+	d.history = d.history[:0]
+	d.head = 0
+	d.gen = 0
+	d.updates = 0
+	d.onUpdate = nil
+	d.running = false
+	d.tr = nil
+	return nil
 }
 
 // Config reports the active configuration.
@@ -153,13 +193,7 @@ func (d *DB) Stop() { d.running = false }
 
 func (d *DB) scheduleNext() {
 	gap := des.FromSeconds(d.src.Exp(d.cfg.UpdateRate))
-	d.sch.After(gap, "db.update", func() {
-		if !d.running {
-			return
-		}
-		d.applyRandomUpdate()
-		d.scheduleNext()
-	})
+	d.sch.After(gap, "db.update", d.updateFn)
 }
 
 func (d *DB) applyRandomUpdate() {

@@ -1,0 +1,117 @@
+package des
+
+import (
+	"testing"
+)
+
+// schedule queues n no-op events at times 1..n.
+func scheduleN(sch *Scheduler, n int) {
+	for i := 1; i <= n; i++ {
+		sch.At(Time(i), "e", func() {})
+	}
+}
+
+// TestInterruptCadence pins the countdown-counter implementation to the
+// historical `executed % every == 0` semantics: the check fires exactly on
+// multiples of `every` of the global executed count.
+func TestInterruptCadence(t *testing.T) {
+	sch := NewScheduler()
+	scheduleN(sch, 23)
+	var fires []uint64
+	sch.SetInterrupt(5, func() error {
+		fires = append(fires, sch.Executed())
+		return nil
+	})
+	sch.RunAll()
+	want := []uint64{5, 10, 15, 20}
+	if len(fires) != len(want) {
+		t.Fatalf("fired at %v, want %v", fires, want)
+	}
+	for i := range want {
+		if fires[i] != want[i] {
+			t.Fatalf("fired at %v, want %v", fires, want)
+		}
+	}
+}
+
+// TestInterruptInstalledMidRun installs the check when executed is not a
+// multiple of `every`; the first evaluation must still land on the next
+// multiple of the global count, not `every` events after installation.
+func TestInterruptInstalledMidRun(t *testing.T) {
+	sch := NewScheduler()
+	scheduleN(sch, 20)
+	for i := 0; i < 3; i++ { // executed = 3 before the check exists
+		sch.Step()
+	}
+	var fires []uint64
+	sch.SetInterrupt(4, func() error {
+		fires = append(fires, sch.Executed())
+		return nil
+	})
+	sch.RunAll()
+	want := []uint64{4, 8, 12, 16, 20}
+	if len(fires) != len(want) {
+		t.Fatalf("fired at %v, want %v", fires, want)
+	}
+	for i := range want {
+		if fires[i] != want[i] {
+			t.Fatalf("fired at %v, want %v", fires, want)
+		}
+	}
+}
+
+// TestStepKeepsHookPhase: Step never evaluates the hooks, but the events it
+// executes count toward their phase, so a later Run fires on the same global
+// multiples as an uninterrupted Run would.
+func TestStepKeepsHookPhase(t *testing.T) {
+	sch := NewScheduler()
+	scheduleN(sch, 18)
+	var fires []uint64
+	sch.SetInterrupt(6, func() error {
+		fires = append(fires, sch.Executed())
+		return nil
+	})
+	for i := 0; i < 7; i++ { // crosses executed=6 silently
+		sch.Step()
+	}
+	if len(fires) != 0 {
+		t.Fatalf("Step fired the interrupt at %v", fires)
+	}
+	sch.RunAll()
+	want := []uint64{12, 18}
+	if len(fires) != len(want) {
+		t.Fatalf("fired at %v, want %v", fires, want)
+	}
+	for i := range want {
+		if fires[i] != want[i] {
+			t.Fatalf("fired at %v, want %v", fires, want)
+		}
+	}
+}
+
+// TestPulseCadence checks the telemetry pulse fires with the exact executed
+// counts on multiples of `every`, including after a mid-run install.
+func TestPulseCadence(t *testing.T) {
+	sch := NewScheduler()
+	scheduleN(sch, 17)
+	for i := 0; i < 2; i++ {
+		sch.Step()
+	}
+	var fires []uint64
+	sch.SetPulse(3, func(executed uint64) {
+		fires = append(fires, executed)
+		if executed != sch.Executed() {
+			t.Fatalf("pulse executed %d, scheduler says %d", executed, sch.Executed())
+		}
+	})
+	sch.RunAll()
+	want := []uint64{3, 6, 9, 12, 15}
+	if len(fires) != len(want) {
+		t.Fatalf("pulsed at %v, want %v", fires, want)
+	}
+	for i := range want {
+		if fires[i] != want[i] {
+			t.Fatalf("pulsed at %v, want %v", fires, want)
+		}
+	}
+}

@@ -126,13 +126,18 @@ type Scheduler struct {
 
 	// Coarse cancellation: Run evaluates intFn every intEvery executed
 	// events and stops when it returns a non-nil error (kept in intErr).
+	// intLeft counts down to the next evaluation so the hot loop tests a
+	// decrement against zero instead of a modulo.
 	intEvery uint64
+	intLeft  uint64
 	intFn    func() error
 	intErr   error
 
 	// Telemetry pulse: Run calls pulseFn(executed) every pulseEvery events,
-	// giving live monitors a cheap events-processed feed.
+	// giving live monitors a cheap events-processed feed. pulseLeft counts
+	// down like intLeft.
 	pulseEvery uint64
+	pulseLeft  uint64
 	pulseFn    func(executed uint64)
 }
 
@@ -229,6 +234,9 @@ func (s *Scheduler) SetInterrupt(every uint64, fn func() error) {
 		return
 	}
 	s.intEvery, s.intFn = every, fn
+	// First check lands on the next multiple of `every` of the global
+	// executed count, exactly as the old `executed % every == 0` test did.
+	s.intLeft = every - s.executed%every
 }
 
 // Err reports the error that interrupted the most recent Run, or nil when
@@ -247,6 +255,7 @@ func (s *Scheduler) SetPulse(every uint64, fn func(executed uint64)) {
 		return
 	}
 	s.pulseEvery, s.pulseFn = every, fn
+	s.pulseLeft = every - s.executed%every
 }
 
 // Run executes events in timestamp order until the queue is empty, the clock
@@ -280,14 +289,20 @@ func (s *Scheduler) Run(until Time) Time {
 		s.free = append(s.free, e)
 		s.executed++
 		fn()
-		if s.intEvery > 0 && s.executed%s.intEvery == 0 {
-			if err := s.intFn(); err != nil {
-				s.intErr = err
-				s.stopped = true
+		if s.intEvery > 0 {
+			if s.intLeft--; s.intLeft == 0 {
+				s.intLeft = s.intEvery
+				if err := s.intFn(); err != nil {
+					s.intErr = err
+					s.stopped = true
+				}
 			}
 		}
-		if s.pulseEvery > 0 && s.executed%s.pulseEvery == 0 {
-			s.pulseFn(s.executed)
+		if s.pulseEvery > 0 {
+			if s.pulseLeft--; s.pulseLeft == 0 {
+				s.pulseLeft = s.pulseEvery
+				s.pulseFn(s.executed)
+			}
 		}
 	}
 	if !s.stopped && s.now < until && until != Never {
@@ -319,6 +334,18 @@ func (s *Scheduler) Step() bool {
 	e.fn = nil
 	s.free = append(s.free, e)
 	s.executed++
+	// Step never fires the interrupt/pulse hooks, but it always counted
+	// toward their executed-count phase; keep the countdowns aligned.
+	if s.intEvery > 0 {
+		if s.intLeft--; s.intLeft == 0 {
+			s.intLeft = s.intEvery
+		}
+	}
+	if s.pulseEvery > 0 {
+		if s.pulseLeft--; s.pulseLeft == 0 {
+			s.pulseLeft = s.pulseEvery
+		}
+	}
 	fn()
 	return true
 }

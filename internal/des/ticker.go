@@ -8,6 +8,7 @@ type Ticker struct {
 	period Duration
 	name   string
 	fn     func(Time)
+	tick   func() // built once; re-armed every period without a fresh closure
 	ev     *Event
 	active bool
 }
@@ -18,7 +19,16 @@ func NewTicker(s *Scheduler, period Duration, name string, fn func(Time)) *Ticke
 	if period <= 0 {
 		panic("des: ticker period must be positive")
 	}
-	return &Ticker{s: s, period: period, name: name, fn: fn}
+	t := &Ticker{s: s, period: period, name: name, fn: fn}
+	t.tick = func() {
+		if !t.active {
+			return
+		}
+		now := t.s.Now()
+		t.arm() // arm first so fn may call SetPeriod/Stop
+		t.fn(now)
+	}
+	return t
 }
 
 // Start arms the ticker. Starting an active ticker is a no-op.
@@ -65,12 +75,5 @@ func (t *Ticker) SetPeriod(period Duration) {
 }
 
 func (t *Ticker) arm() {
-	t.ev = t.s.After(t.period, t.name, func() {
-		if !t.active {
-			return
-		}
-		now := t.s.Now()
-		t.arm() // arm first so fn may call SetPeriod/Stop
-		t.fn(now)
-	})
+	t.ev = t.s.After(t.period, t.name, t.tick)
 }

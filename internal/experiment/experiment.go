@@ -361,6 +361,7 @@ func RunAll(ctx context.Context, exps []*Experiment, opt Options) ([]*Result, er
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			arena := core.NewArena() // per-worker: consecutive units recycle state
 			for u := range work {
 				if opt.Monitor != nil {
 					opt.Monitor.UnitStart()
@@ -368,7 +369,7 @@ func RunAll(ctx context.Context, exps []*Experiment, opt Options) ([]*Result, er
 				var r *core.RunStats
 				err := rctx.Err() // fail-fast: skip work after cancellation
 				if err == nil {
-					r, err = core.RunRep(rctx, u.cell.cfg, u.rep)
+					r, err = core.RunRepArena(rctx, u.cell.cfg, u.rep, arena)
 				}
 				if err != nil {
 					cancel()

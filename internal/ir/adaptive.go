@@ -1,7 +1,6 @@
 package ir
 
 import (
-	"repro/internal/db"
 	"repro/internal/des"
 )
 
@@ -38,6 +37,7 @@ import (
 // streams spend, link awareness splits it across the two rates, and digests
 // piggyback on data traffic.
 type Adaptive struct {
+	reportArena
 	p            Params
 	trafficAware bool
 	linkAware    bool
@@ -50,7 +50,6 @@ type Adaptive struct {
 	winAnchor  *windowTracker // anchor-stream reports only
 	lastPiggy  des.Time
 	started    bool
-	buf        []db.Update
 
 	// stats exposed for experiments
 	piggybacks  uint64
@@ -126,21 +125,20 @@ func (a *Adaptive) baseInterval() des.Duration {
 func (a *Adaptive) anchor(now des.Time) {
 	winStart := a.winAnchor.startK(a.p.WindowReports)
 	prev := a.winAll.last()
-	a.buf = a.env.UpdatedSince(winStart, a.buf[:0])
-	items := append([]db.Update(nil), a.buf...)
+	items := a.env.UpdatedSince(winStart, a.takeItems())
 	sortUpdates(items)
 	a.seq++
 	a.anchorsSent++
 	a.winAnchor.record(now)
 	a.winAll.record(now)
-	a.env.Broadcast(&Report{
-		Kind:        KindFull,
-		Seq:         a.seq,
-		At:          now,
-		PrevAt:      prev,
-		WindowStart: winStart,
-		Items:       items,
-	}, robustMCS)
+	r := a.getReport()
+	r.Kind = KindFull
+	r.Seq = a.seq
+	r.At = now
+	r.PrevAt = prev
+	r.WindowStart = winStart
+	r.Items = a.sealItems(items)
+	a.env.Broadcast(r, robustMCS)
 	a.anchorTick.SetPeriod(a.baseInterval())
 }
 
@@ -157,20 +155,19 @@ func (a *Adaptive) fast(now des.Time) {
 	}
 	winStart := a.winAll.startK(a.p.WindowReports)
 	prev := a.winAll.last()
-	a.buf = a.env.UpdatedSince(winStart, a.buf[:0])
-	items := append([]db.Update(nil), a.buf...)
+	items := a.env.UpdatedSince(winStart, a.takeItems())
 	sortUpdates(items)
 	a.seq++
 	a.fastSent++
 	a.winAll.record(now)
-	a.env.Broadcast(&Report{
-		Kind:        KindMini,
-		Seq:         a.seq,
-		At:          now,
-		PrevAt:      prev,
-		WindowStart: winStart,
-		Items:       items,
-	}, mcs)
+	r := a.getReport()
+	r.Kind = KindMini
+	r.Seq = a.seq
+	r.At = now
+	r.PrevAt = prev
+	r.WindowStart = winStart
+	r.Items = a.sealItems(items)
+	a.env.Broadcast(r, mcs)
 
 	table := a.env.AMC().Table
 	ratio := table[robustMCS].Efficiency() / table[mcs].Efficiency()
@@ -196,20 +193,20 @@ func (a *Adaptive) Piggyback(now des.Time) *Report {
 	}
 	a.lastPiggy = now // rate-limit even unsuccessful attempts
 	winStart := a.winAll.last()
-	a.buf = a.env.UpdatedSince(winStart, a.buf[:0])
-	if len(a.buf) > a.p.PiggyMaxItems {
+	items := a.env.UpdatedSince(winStart, a.takeItems())
+	if len(items) > a.p.PiggyMaxItems {
+		a.saveItems(items)
 		return nil
 	}
-	items := append([]db.Update(nil), a.buf...)
 	sortUpdates(items)
 	a.seq++
 	a.piggybacks++
-	return &Report{
-		Kind:        KindPiggyback,
-		Seq:         a.seq,
-		At:          now,
-		PrevAt:      a.winAll.last(),
-		WindowStart: winStart,
-		Items:       items,
-	}
+	r := a.getReport()
+	r.Kind = KindPiggyback
+	r.Seq = a.seq
+	r.At = now
+	r.PrevAt = a.winAll.last()
+	r.WindowStart = winStart
+	r.Items = a.sealItems(items)
+	return r
 }

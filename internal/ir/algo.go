@@ -42,6 +42,71 @@ type ServerAlgo interface {
 	// departs; a non-nil report is attached to the frame. Only the
 	// traffic-aware schemes return non-nil.
 	Piggyback(now des.Time) *Report
+	// Recycle returns a fully consumed report (Broadcast or Piggyback
+	// output) to the algorithm for reuse. Callers must drop every
+	// reference to the report and its Items afterwards; recycling nil is
+	// a no-op. Consumers that retain reports simply never call it.
+	Recycle(r *Report)
+}
+
+// reportArena is the per-algorithm free list behind ServerAlgo.Recycle:
+// Report structs and their Items backing arrays cycle server → downlink
+// queue → client fan-out → arena, so a steady-state run stops allocating
+// per report. Everything happens on one simulation goroutine; the arena is
+// never shared across simulations.
+type reportArena struct {
+	freeReports []*Report
+	freeItems   [][]db.Update
+}
+
+// getReport returns a cleared report.
+func (ra *reportArena) getReport() *Report {
+	if n := len(ra.freeReports); n > 0 {
+		r := ra.freeReports[n-1]
+		ra.freeReports = ra.freeReports[:n-1]
+		*r = Report{}
+		return r
+	}
+	return &Report{}
+}
+
+// takeItems returns a zero-length items buffer, reusing recycled capacity.
+func (ra *reportArena) takeItems() []db.Update {
+	if n := len(ra.freeItems); n > 0 {
+		b := ra.freeItems[n-1]
+		ra.freeItems = ra.freeItems[:n-1]
+		return b
+	}
+	return nil
+}
+
+// saveItems stores an items buffer's backing array for reuse.
+func (ra *reportArena) saveItems(b []db.Update) {
+	if cap(b) > 0 {
+		ra.freeItems = append(ra.freeItems, b[:0])
+	}
+}
+
+// sealItems canonicalizes a finished items slice: empty reports carry nil
+// Items on the wire (what Unmarshal produces), so an empty buffer goes back
+// to the spare list and nil is returned.
+func (ra *reportArena) sealItems(b []db.Update) []db.Update {
+	if len(b) == 0 {
+		ra.saveItems(b)
+		return nil
+	}
+	return b
+}
+
+// Recycle implements ServerAlgo.Recycle for every embedding algorithm.
+func (ra *reportArena) Recycle(r *Report) {
+	if r == nil {
+		return
+	}
+	ra.saveItems(r.Items)
+	r.Items = nil
+	r.Sig = nil
+	ra.freeReports = append(ra.freeReports, r)
 }
 
 // Params carries every scheme tunable with literature-conventional defaults.

@@ -1,7 +1,6 @@
 package ir
 
 import (
-	"repro/internal/db"
 	"repro/internal/des"
 )
 
@@ -9,11 +8,11 @@ import (
 // the server broadcasts, at the robust rate, the ids and update times of all
 // items changed in the last WindowReports intervals.
 type TS struct {
+	reportArena
 	p   Params
 	env ServerEnv
 	seq uint64
 	win *windowTracker
-	buf []db.Update
 }
 
 // Name implements ServerAlgo.
@@ -32,30 +31,29 @@ func (a *TS) Start(env ServerEnv) {
 func (a *TS) tick(now des.Time) {
 	winStart := a.win.startK(a.p.WindowReports)
 	prev := a.win.last()
-	a.buf = a.env.UpdatedSince(winStart, a.buf[:0])
-	items := append([]db.Update(nil), a.buf...)
+	items := a.env.UpdatedSince(winStart, a.takeItems())
 	sortUpdates(items)
 	a.seq++
 	a.win.record(now)
-	a.env.Broadcast(&Report{
-		Kind:        KindFull,
-		Seq:         a.seq,
-		At:          now,
-		PrevAt:      prev,
-		WindowStart: winStart,
-		Items:       items,
-	}, robustMCS)
+	r := a.getReport()
+	r.Kind = KindFull
+	r.Seq = a.seq
+	r.At = now
+	r.PrevAt = prev
+	r.WindowStart = winStart
+	r.Items = a.sealItems(items)
+	a.env.Broadcast(r, robustMCS)
 }
 
 // AT is Amnesic Terminals (Barbara & Imielinski 1994): each report lists
 // only the updates since the previous report, so a single missed report
 // forces the client to drop its whole cache.
 type AT struct {
+	reportArena
 	p   Params
 	env ServerEnv
 	seq uint64
 	prv des.Time
-	buf []db.Update
 }
 
 // Name implements ServerAlgo.
@@ -71,20 +69,19 @@ func (a *AT) Start(env ServerEnv) {
 }
 
 func (a *AT) tick(now des.Time) {
-	a.buf = a.env.UpdatedSince(a.prv, a.buf[:0])
-	items := append([]db.Update(nil), a.buf...)
+	items := a.env.UpdatedSince(a.prv, a.takeItems())
 	sortUpdates(items)
 	a.seq++
 	prev := a.prv
 	a.prv = now
-	a.env.Broadcast(&Report{
-		Kind:        KindFull,
-		Seq:         a.seq,
-		At:          now,
-		PrevAt:      prev,
-		WindowStart: prev, // amnesic: coverage reaches back exactly one report
-		Items:       items,
-	}, robustMCS)
+	r := a.getReport()
+	r.Kind = KindFull
+	r.Seq = a.seq
+	r.At = now
+	r.PrevAt = prev
+	r.WindowStart = prev // amnesic: coverage reaches back exactly one report
+	r.Items = a.sealItems(items)
+	a.env.Broadcast(r, robustMCS)
 }
 
 // SIG is the signature scheme: every Interval a fixed-size block of combined
@@ -92,6 +89,7 @@ func (a *AT) tick(now des.Time) {
 // long disconnection (the report describes the full database state), paying
 // a large fixed report size and occasional false-positive invalidations.
 type SIG struct {
+	reportArena
 	p   Params
 	env ServerEnv
 	seq uint64
@@ -114,18 +112,18 @@ func (a *SIG) tick(now des.Time) {
 	a.seq++
 	prev := a.prv
 	a.prv = now
-	a.env.Broadcast(&Report{
-		Kind:   KindFull,
-		Seq:    a.seq,
-		At:     now,
-		PrevAt: prev,
-		Sig: &SigBlock{
-			AsOf:          now,
-			Capacity:      a.p.SigCapacity,
-			FalsePositive: a.p.SigFalsePositive,
-			Bits:          a.p.SigBits,
-		},
-	}, robustMCS)
+	r := a.getReport()
+	r.Kind = KindFull
+	r.Seq = a.seq
+	r.At = now
+	r.PrevAt = prev
+	r.Sig = &SigBlock{
+		AsOf:          now,
+		Capacity:      a.p.SigCapacity,
+		FalsePositive: a.p.SigFalsePositive,
+		Bits:          a.p.SigBits,
+	}
+	a.env.Broadcast(r, robustMCS)
 }
 
 // UIR is Updated Invalidation Reports (Cao 2000): full TS-style reports
@@ -134,6 +132,7 @@ func (a *SIG) tick(now des.Time) {
 // the very next mini instead of waiting out the full interval, cutting the
 // average wait from L/2 to L/(2m).
 type UIR struct {
+	reportArena
 	p        Params
 	env      ServerEnv
 	seq      uint64
@@ -141,7 +140,6 @@ type UIR struct {
 	lastFull des.Time
 	prv      des.Time
 	nth      int
-	buf      []db.Update
 }
 
 // Name implements ServerAlgo.
@@ -169,34 +167,32 @@ func (a *UIR) tick(now des.Time) {
 	if a.nth%a.p.MiniPerInterval == 0 {
 		// Full report: TS window over full-report times.
 		winStart := a.win.startK(a.p.WindowReports)
-		a.buf = a.env.UpdatedSince(winStart, a.buf[:0])
-		items := append([]db.Update(nil), a.buf...)
+		items := a.env.UpdatedSince(winStart, a.takeItems())
 		sortUpdates(items)
 		a.win.record(now)
 		a.lastFull = now
-		a.env.Broadcast(&Report{
-			Kind:        KindFull,
-			Seq:         a.seq,
-			At:          now,
-			PrevAt:      prev,
-			WindowStart: winStart,
-			Items:       items,
-		}, robustMCS)
+		r := a.getReport()
+		r.Kind = KindFull
+		r.Seq = a.seq
+		r.At = now
+		r.PrevAt = prev
+		r.WindowStart = winStart
+		r.Items = a.sealItems(items)
+		a.env.Broadcast(r, robustMCS)
 		return
 	}
 	// Mini: everything since the last full report. Usable by any client
 	// that processed that full report (or a later mini).
-	a.buf = a.env.UpdatedSince(a.lastFull, a.buf[:0])
-	items := append([]db.Update(nil), a.buf...)
+	items := a.env.UpdatedSince(a.lastFull, a.takeItems())
 	sortUpdates(items)
-	a.env.Broadcast(&Report{
-		Kind:        KindMini,
-		Seq:         a.seq,
-		At:          now,
-		PrevAt:      prev,
-		WindowStart: a.lastFull,
-		Items:       items,
-	}, robustMCS)
+	r := a.getReport()
+	r.Kind = KindMini
+	r.Seq = a.seq
+	r.At = now
+	r.PrevAt = prev
+	r.WindowStart = a.lastFull
+	r.Items = a.sealItems(items)
+	a.env.Broadcast(r, robustMCS)
 }
 
 // BS is the Bit-Sequences scheme (Jing, Elmagarmid, Helal & Alonso 1997):
@@ -212,6 +208,7 @@ func (a *UIR) tick(now des.Time) {
 // database item plus the timestamp ladder. DESIGN.md documents the
 // substitution.
 type BS struct {
+	reportArena
 	p        Params
 	numItems int
 	env      ServerEnv
@@ -236,18 +233,18 @@ func (a *BS) tick(now des.Time) {
 	prev := a.prv
 	a.prv = now
 	bits := 2*a.numItems + 32*bitsLen(a.numItems)
-	a.env.Broadcast(&Report{
-		Kind:   KindFull,
-		Seq:    a.seq,
-		At:     now,
-		PrevAt: prev,
-		Sig: &SigBlock{
-			AsOf:          now,
-			Capacity:      a.numItems / 2, // the half-database rule
-			FalsePositive: 0,              // bit sequences are exact
-			Bits:          bits,
-		},
-	}, robustMCS)
+	r := a.getReport()
+	r.Kind = KindFull
+	r.Seq = a.seq
+	r.At = now
+	r.PrevAt = prev
+	r.Sig = &SigBlock{
+		AsOf:          now,
+		Capacity:      a.numItems / 2, // the half-database rule
+		FalsePositive: 0,              // bit sequences are exact
+		Bits:          bits,
+	}
+	a.env.Broadcast(r, robustMCS)
 }
 
 // bitsLen reports the number of levels in the bit-sequence hierarchy.

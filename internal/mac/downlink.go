@@ -70,10 +70,21 @@ type Downlink struct {
 	channel *radio.Channel
 	deliver DeliverFunc
 
-	queues   [numKinds]fifo // KindBackground queue unused in shared mode
-	bgQueued int            // queued background bits (admission control)
-	sending  bool
-	inFlight *Frame
+	queues     [numKinds]fifo // KindBackground queue unused in shared mode
+	queuedBits [numKinds]int  // payload bits waiting, by frame class
+	bgQueued   int            // queued background bits (admission control)
+	sending    bool
+	inFlight   *Frame
+
+	// In-flight transmission state, read by txDoneFn. A single serial
+	// medium has at most one frame on the air, so the completion callback
+	// is one pre-bound closure reading these fields instead of a fresh
+	// closure per transmission.
+	inFlightMCS int
+	inFlightAir des.Duration
+	txDoneFn    func()
+
+	free []*Frame // recycled frames; see AcquireFrame
 
 	stats DownlinkStats
 	tr    obs.Tracer
@@ -90,7 +101,34 @@ func NewDownlink(sch *des.Scheduler, ch *radio.Channel, cfg DownlinkConfig, deli
 	if cfg.BgQueueLimitBits == 0 {
 		cfg.BgQueueLimitBits = 4_000_000
 	}
-	return &Downlink{cfg: cfg, sch: sch, channel: ch, deliver: deliver}
+	d := &Downlink{cfg: cfg, sch: sch, channel: ch, deliver: deliver}
+	d.txDoneFn = func() {
+		f := d.inFlight
+		d.stats.Busy[f.Kind] += d.inFlightAir.Seconds()
+		d.txDone(f, d.inFlightMCS)
+	}
+	return d
+}
+
+// AcquireFrame returns a zeroed frame, recycled from the completed-frame
+// free list when one is available. Frames obtained here are reclaimed by the
+// downlink once delivered (or rejected at admission), so callers must not
+// retain them past Enqueue.
+func (d *Downlink) AcquireFrame() *Frame {
+	if n := len(d.free); n > 0 {
+		f := d.free[n-1]
+		d.free = d.free[:n-1]
+		*f = Frame{}
+		return f
+	}
+	return &Frame{}
+}
+
+// release returns a finished frame to the free list. The contents are
+// cleared on the next AcquireFrame, not here, so diagnostics (and tests)
+// may still inspect a frame right after its delivery callback.
+func (d *Downlink) release(f *Frame) {
+	d.free = append(d.free, f)
 }
 
 // Stats exposes the accumulated measurements.
@@ -110,8 +148,15 @@ func (d *Downlink) QueuedFrames() int {
 }
 
 // QueuedBits reports the payload bits waiting that belong to the given
-// class, wherever they are queued.
+// class, wherever they are queued. O(1): per-class counters are maintained
+// at every enqueue, dequeue and retry-requeue.
 func (d *Downlink) QueuedBits(kind FrameKind) int {
+	return d.queuedBits[kind]
+}
+
+// queuedBitsScan recomputes QueuedBits by walking every queue — the
+// brute-force reference the counter tests compare against.
+func (d *Downlink) queuedBitsScan(kind FrameKind) int {
 	bits := 0
 	for k := range d.queues {
 		q := &d.queues[k]
@@ -154,12 +199,14 @@ func (d *Downlink) Enqueue(f *Frame) bool {
 	if f.Kind == KindBackground {
 		if d.bgQueued+f.Bits > d.cfg.BgQueueLimitBits {
 			d.stats.BgRejected.Inc()
+			d.release(f)
 			return false
 		}
 		d.bgQueued += f.Bits
 	}
 	f.Enqueued = d.sch.Now()
 	d.queueFor(f).push(f)
+	d.queuedBits[f.Kind] += f.Bits
 	d.stats.QueueLen.Add(d.sch.Now().Seconds(), 1)
 	d.pump()
 	return true
@@ -184,6 +231,7 @@ func (d *Downlink) pump() {
 	if f.Kind == KindBackground && f.retries == 0 {
 		d.bgQueued -= f.Bits
 	}
+	d.queuedBits[f.Kind] -= f.Bits
 	d.stats.QueueLen.Add(d.sch.Now().Seconds(), -1)
 	d.transmit(f)
 }
@@ -212,12 +260,11 @@ func (d *Downlink) transmit(f *Frame) {
 	air := d.airtime(f, mcs)
 	d.sending = true
 	d.inFlight = f
+	d.inFlightMCS = mcs
+	d.inFlightAir = air
 	// Busy time is credited at completion (txDone) so that utilization over
 	// any observation window never exceeds the window.
-	d.sch.After(air, "mac.txdone", func() {
-		d.stats.Busy[f.Kind] += air.Seconds()
-		d.txDone(f, mcs)
-	})
+	d.sch.After(air, "mac.txdone", d.txDoneFn)
 }
 
 func (d *Downlink) txDone(f *Frame, mcs int) {
@@ -239,6 +286,7 @@ func (d *Downlink) txDone(f *Frame, mcs int) {
 		// Retries rejoin the tail of their queue so a stuck link cannot
 		// starve the medium.
 		d.queueFor(f).push(f)
+		d.queuedBits[f.Kind] += f.Bits
 		d.stats.QueueLen.Add(now.Seconds(), 1)
 		d.pump()
 		return
@@ -251,5 +299,6 @@ func (d *Downlink) txDone(f *Frame, mcs int) {
 	// Deliver before pumping so protocol reactions (e.g. enqueueing a
 	// follow-up IR) can still win this scheduling round by priority.
 	d.deliver(f, ok, mcs, now)
+	d.release(f) // deliver consumed the frame; callers never retain it
 	d.pump()
 }

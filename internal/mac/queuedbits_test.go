@@ -1,0 +1,68 @@
+package mac
+
+import (
+	"testing"
+
+	"repro/internal/des"
+)
+
+// TestQueuedBitsCountersMatchScan cross-checks the O(1) per-class byte
+// counters against a brute-force queue walk at every step of a run that
+// exercises all the mutation paths: enqueue, dequeue, ARQ retry-requeue
+// (weak channel), retry-exhaustion drops, and background admission.
+func TestQueuedBitsCountersMatchScan(t *testing.T) {
+	sch := des.NewScheduler()
+	ch := weakChannel(t, 3)
+	cfg := DefaultDownlinkConfig()
+	cfg.RetryLimit = 2
+	cfg.BgQueueLimitBits = 300_000
+	var dl *Downlink
+	check := func() {
+		t.Helper()
+		for k := FrameKind(0); k < numKinds; k++ {
+			if got, want := dl.QueuedBits(k), dl.queuedBitsScan(k); got != want {
+				t.Fatalf("QueuedBits(%v) = %d, scan says %d", k, got, want)
+			}
+		}
+	}
+	dl = NewDownlink(sch, ch, cfg, func(f *Frame, ok bool, mcs int, now des.Time) {
+		check()
+	})
+
+	enqueue := func(kind FrameKind, dest, bits int) {
+		f := dl.AcquireFrame()
+		f.Kind, f.Dest, f.Bits, f.MCS = kind, dest, bits, 0
+		dl.Enqueue(f)
+		check()
+	}
+	// Initial burst: a broadcast report, unicast responses that will retry
+	// and eventually drop at -10 dB, and background filler.
+	enqueue(KindIR, Broadcast, 4096)
+	for dest := 0; dest < 3; dest++ {
+		enqueue(KindResponse, dest, 65536)
+	}
+	enqueue(KindBackground, 1, 120_000)
+	enqueue(KindBackground, 2, 120_000)
+	enqueue(KindBackground, 0, 120_000) // over the admission limit: rejected
+	// A second wave lands mid-run, while retries are interleaving.
+	sch.After(30*des.Millisecond, "wave2", func() {
+		enqueue(KindResponse, 1, 32768)
+		enqueue(KindIR, Broadcast, 2048)
+	})
+
+	for sch.Step() {
+		check()
+	}
+	for k := FrameKind(0); k < numKinds; k++ {
+		if dl.QueuedBits(k) != 0 {
+			t.Fatalf("drained medium still reports %d bits for %v", dl.QueuedBits(k), k)
+		}
+	}
+	if dl.Stats().Retries.Value() == 0 || dl.Stats().Drops.Value() == 0 {
+		t.Fatalf("test did not exercise ARQ: retries=%d drops=%d",
+			dl.Stats().Retries.Value(), dl.Stats().Drops.Value())
+	}
+	if dl.Stats().BgRejected.Value() == 0 {
+		t.Fatal("test did not exercise background rejection")
+	}
+}

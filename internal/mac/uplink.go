@@ -44,6 +44,14 @@ type attempt struct {
 	meta  any
 	sent  des.Time
 	tries int
+	next  *attempt // intrusive link: slot queue when pending, free list when idle
+}
+
+// slotQueue is the FIFO of attempts contending in one slot, linked through
+// attempt.next so enqueueing never allocates.
+type slotQueue struct {
+	head, tail *attempt
+	n          int
 }
 
 // Uplink is a slotted-ALOHA random access channel with binary exponential
@@ -56,7 +64,17 @@ type Uplink struct {
 	deliver UplinkDeliver
 	src     *rng.Source
 
-	slots     map[int64][]*attempt
+	slots map[int64]slotQueue
+
+	// pendingSlots is a min-heap of armed slot indices. Slot-resolution
+	// events fire in slot order (their times are strictly increasing in the
+	// index), so one pre-bound callback that pops the minimum replaces a
+	// fresh closure capturing the slot per arming.
+	pendingSlots []int64
+	resolveFn    func()
+
+	free *attempt // recycled attempts, linked through next
+
 	stats     UplinkStats
 	onAttempt func(src int)
 }
@@ -70,13 +88,15 @@ func NewUplink(sch *des.Scheduler, cfg UplinkConfig, src *rng.Source, deliver Up
 		cfg.LossProb < 0 || cfg.LossProb >= 1 {
 		panic(fmt.Sprintf("mac: invalid uplink config %+v", cfg))
 	}
-	return &Uplink{
+	u := &Uplink{
 		cfg:     cfg,
 		sch:     sch,
 		deliver: deliver,
 		src:     src,
-		slots:   make(map[int64][]*attempt),
+		slots:   make(map[int64]slotQueue),
 	}
+	u.resolveFn = func() { u.resolve(u.popSlot()) }
+	return u
 }
 
 // Stats exposes the accumulated measurements.
@@ -91,9 +111,66 @@ func (u *Uplink) SetAttemptHook(fn func(src int)) { u.onAttempt = fn }
 // are retried with binary exponential backoff until delivered.
 func (u *Uplink) Send(src int, meta any) {
 	u.stats.Sent.Inc()
-	a := &attempt{src: src, meta: meta, sent: u.sch.Now()}
+	a := u.acquire()
+	a.src, a.meta, a.sent = src, meta, u.sch.Now()
 	jitter := int64(u.src.Uint64n(uint64(u.cfg.InitialWindow)))
 	u.scheduleIn(a, u.nextSlot()+jitter)
+}
+
+// acquire pops a recycled attempt or allocates a fresh one.
+func (u *Uplink) acquire() *attempt {
+	if a := u.free; a != nil {
+		u.free = a.next
+		*a = attempt{}
+		return a
+	}
+	return &attempt{}
+}
+
+// releaseAttempt returns a delivered attempt to the free list, dropping its
+// meta reference.
+func (u *Uplink) releaseAttempt(a *attempt) {
+	*a = attempt{next: u.free}
+	u.free = a
+}
+
+// pushSlot adds an armed slot index to the min-heap.
+func (u *Uplink) pushSlot(s int64) {
+	u.pendingSlots = append(u.pendingSlots, s)
+	i := len(u.pendingSlots) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if u.pendingSlots[p] <= u.pendingSlots[i] {
+			break
+		}
+		u.pendingSlots[p], u.pendingSlots[i] = u.pendingSlots[i], u.pendingSlots[p]
+		i = p
+	}
+}
+
+// popSlot removes and returns the smallest armed slot index.
+func (u *Uplink) popSlot() int64 {
+	s := u.pendingSlots[0]
+	n := len(u.pendingSlots) - 1
+	u.pendingSlots[0] = u.pendingSlots[n]
+	u.pendingSlots = u.pendingSlots[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && u.pendingSlots[r] < u.pendingSlots[l] {
+			m = r
+		}
+		if u.pendingSlots[i] <= u.pendingSlots[m] {
+			break
+		}
+		u.pendingSlots[i], u.pendingSlots[m] = u.pendingSlots[m], u.pendingSlots[i]
+		i = m
+	}
+	return s
 }
 
 // nextSlot reports the first slot index whose start is strictly after now.
@@ -102,39 +179,50 @@ func (u *Uplink) nextSlot() int64 {
 }
 
 func (u *Uplink) scheduleIn(a *attempt, slot int64) {
-	first := len(u.slots[slot]) == 0
-	u.slots[slot] = append(u.slots[slot], a)
-	if first {
+	q := u.slots[slot]
+	a.next = nil
+	if q.head == nil {
+		q.head = a
+	} else {
+		q.tail.next = a
+	}
+	q.tail = a
+	q.n++
+	u.slots[slot] = q
+	if q.n == 1 {
+		u.pushSlot(slot)
 		end := des.Time((slot + 1) * int64(u.cfg.SlotDur))
-		u.sch.At(end, "mac.ulslot", func() { u.resolve(slot) })
+		u.sch.At(end, "mac.ulslot", u.resolveFn)
 	}
 }
 
 func (u *Uplink) resolve(slot int64) {
-	attempts := u.slots[slot]
+	q := u.slots[slot]
 	delete(u.slots, slot)
 	now := u.sch.Now()
-	u.stats.Attempts.Add(uint64(len(attempts)))
+	u.stats.Attempts.Add(uint64(q.n))
 	if u.onAttempt != nil {
-		for _, a := range attempts {
+		for a := q.head; a != nil; a = a.next {
 			u.onAttempt(a.src)
 		}
 	}
 	switch {
-	case len(attempts) == 0:
+	case q.n == 0:
 		return
-	case len(attempts) == 1 && !u.src.Bool(u.cfg.LossProb):
-		a := attempts[0]
+	case q.n == 1 && !u.src.Bool(u.cfg.LossProb):
+		a := q.head
 		u.stats.Delivered.Inc()
 		u.stats.Delay.Observe(now.Sub(a.sent).Seconds())
 		u.deliver(a.src, a.meta, now)
+		u.releaseAttempt(a)
 		return
-	case len(attempts) == 1:
+	case q.n == 1:
 		u.stats.Losses.Inc()
 	default:
 		u.stats.Collisions.Inc()
 	}
-	for _, a := range attempts {
+	for a := q.head; a != nil; {
+		next := a.next // scheduleIn relinks a into another slot's queue
 		a.tries++
 		exp := a.tries
 		if exp > u.cfg.MaxBackoffExp {
@@ -142,5 +230,6 @@ func (u *Uplink) resolve(slot int64) {
 		}
 		window := int64(u.cfg.InitialWindow) << uint(exp)
 		u.scheduleIn(a, slot+1+int64(u.src.Uint64n(uint64(window))))
+		a = next
 	}
 }

@@ -1,0 +1,71 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+// TestDelayRecorderMatchesSeparateAccumulators feeds the fused recorder and
+// the three accumulators it replaced the same stream and requires every
+// exposed statistic to match bit for bit — the recorder is a fusion, not an
+// approximation.
+func TestDelayRecorderMatchesSeparateAccumulators(t *testing.T) {
+	rec := NewDelayRecorder(16)
+	var series Series
+	hist := NewLatencyHistogram()
+	batch := NewBatchMeans(16)
+
+	x := 0.4321
+	for i := 0; i < 1000; i++ {
+		// A deterministic, irregular positive stream spanning several bucket
+		// decades, with a sprinkle of zeros for the under-bucket path.
+		x = math.Mod(x*997.1+0.123, 37.0)
+		v := x * x / 100
+		if i%113 == 0 {
+			v = 0
+		}
+		rec.Observe(v)
+		series.Observe(v)
+		hist.Observe(v)
+		batch.Observe(v)
+	}
+
+	eq := func(name string, got, want float64) {
+		t.Helper()
+		if got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+			t.Errorf("%s: recorder %v, separate %v", name, got, want)
+		}
+	}
+	if rec.Count() != series.Count() {
+		t.Errorf("count: %d vs %d", rec.Count(), series.Count())
+	}
+	eq("mean", rec.Mean(), series.Mean())
+	eq("max", rec.Max(), series.Max())
+	eq("ci95", rec.CI95(), batch.CI95())
+	for _, q := range []float64{0, 0.5, 0.9, 0.95, 0.99, 1} {
+		eq("quantile", rec.Quantile(q), hist.Quantile(q))
+	}
+
+	s := rec.Series()
+	eq("series mean", s.Mean(), series.Mean())
+	eq("series var", s.Var(), series.Var())
+	eq("series min", s.Min(), series.Min())
+	eq("series max", s.Max(), series.Max())
+	eq("series sum", s.Sum(), series.Sum())
+}
+
+// TestDelayRecorderEmpty checks the empty-state conventions carry over.
+func TestDelayRecorderEmpty(t *testing.T) {
+	rec := NewDelayRecorder(8)
+	if rec.Count() != 0 {
+		t.Fatalf("count %d", rec.Count())
+	}
+	for name, v := range map[string]float64{
+		"mean": rec.Mean(), "max": rec.Max(),
+		"ci95": rec.CI95(), "p95": rec.Quantile(0.95),
+	} {
+		if !math.IsNaN(v) {
+			t.Errorf("%s of empty recorder = %v, want NaN", name, v)
+		}
+	}
+}

@@ -356,6 +356,54 @@ func (s *Summary) Median() float64 {
 	return (sorted[n/2-1] + sorted[n/2]) / 2
 }
 
+// DelayRecorder fuses the three views a run keeps of its delay stream —
+// exact moments (Series), quantile histogram, and batch-means confidence
+// interval — behind a single Observe. The histogram already maintains the
+// exact moments internally, so the fused recorder runs one Welford pass
+// where three separate accumulators ran two, and the per-query hot path
+// makes one call instead of three.
+type DelayRecorder struct {
+	hist  *Histogram
+	batch *BatchMeans
+}
+
+// NewDelayRecorder builds a recorder with the standard latency histogram
+// layout and the given batch-means batch size.
+func NewDelayRecorder(batchSize int) *DelayRecorder {
+	return &DelayRecorder{hist: NewLatencyHistogram(), batch: NewBatchMeans(batchSize)}
+}
+
+// Observe adds one observation to every view.
+func (d *DelayRecorder) Observe(x float64) {
+	d.hist.Observe(x)
+	d.batch.Observe(x)
+}
+
+// Series returns the exact-moment view (count, mean, variance, min, max).
+func (d *DelayRecorder) Series() Series { return d.hist.series }
+
+// Histogram exposes the quantile view.
+func (d *DelayRecorder) Histogram() *Histogram { return d.hist }
+
+// Count reports the number of observations.
+func (d *DelayRecorder) Count() uint64 { return d.hist.total }
+
+// Mean reports the exact sample mean, or NaN when empty.
+func (d *DelayRecorder) Mean() float64 { return d.hist.Mean() }
+
+// Max reports the largest observation, or NaN when empty.
+func (d *DelayRecorder) Max() float64 {
+	s := d.hist.series
+	return s.Max()
+}
+
+// Quantile reports an upper bound on the q-quantile from the histogram.
+func (d *DelayRecorder) Quantile(q float64) float64 { return d.hist.Quantile(q) }
+
+// CI95 reports the batch-means 95% half-width — the single-run interval that
+// respects the stream's serial correlation.
+func (d *DelayRecorder) CI95() float64 { return d.batch.CI95() }
+
 // BatchMeans estimates a confidence interval for the mean of a correlated
 // observation stream (like per-query delays within one run, which share
 // report cycles and queue states) by aggregating consecutive observations

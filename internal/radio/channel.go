@@ -70,6 +70,20 @@ type link struct {
 	meanDB   float64 // static mean SNR (initial position under mobility)
 	shadowDB float64
 	distM    float64
+
+	// pCache memoizes FrameSuccessProb per (mcs, state) slot with a 2-way
+	// cache tagged by frame size. Without mobility the link's instantaneous
+	// SNR takes only K discrete values (one per fading state), so the
+	// exp/pow chain behind each decode probability is worth computing once.
+	// Nil under mobility, where the SNR drifts continuously.
+	pCache []pEntry
+}
+
+// pEntry is one (mcs, state) slot of the decode-probability cache: two ways,
+// MRU first, tagged by frame bits (always positive, so 0 means empty).
+type pEntry struct {
+	bits0, bits1 int32
+	p0, p1       float64
 }
 
 // Channel is the population of downlink links from the base station to each
@@ -86,39 +100,64 @@ type Channel struct {
 // fading stream per client; the same (seed, n, params) triple always yields
 // the same channel realization.
 func New(p Params, amc *AMC, n int, src *rng.Source) (*Channel, error) {
+	c := &Channel{}
+	if err := c.init(p, amc, n, src); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Reset re-initializes the channel in place for a new replication, reusing
+// the per-link tables (link array, SNR buffer, decode-probability caches)
+// when the population shape is unchanged. The channel realization drawn from
+// src is identical to what New would produce: Reset makes exactly the same
+// draws in the same order.
+func (c *Channel) Reset(p Params, amc *AMC, n int, src *rng.Source) error {
+	return c.init(p, amc, n, src)
+}
+
+// init builds the channel state in place, reusing any backing slices of the
+// right shape that c already holds.
+func (c *Channel) init(p Params, amc *AMC, n int, src *rng.Source) error {
 	if n <= 0 {
-		return nil, fmt.Errorf("radio: need at least one client, got %d", n)
+		return fmt.Errorf("radio: need at least one client, got %d", n)
 	}
 	if amc == nil {
 		amc = DefaultAMC()
 	}
 	if err := amc.Validate(); err != nil {
-		return nil, err
+		return err
 	}
 	if p.FadingSlot <= 0 || p.FadingStates < 2 || p.DopplerHz <= 0 {
-		return nil, fmt.Errorf("radio: invalid fading params (slot=%v states=%d fd=%v)",
+		return fmt.Errorf("radio: invalid fading params (slot=%v states=%d fd=%v)",
 			p.FadingSlot, p.FadingStates, p.DopplerHz)
 	}
 	if p.Mobility != nil && !p.UseGeometry {
-		return nil, fmt.Errorf("radio: mobility requires geometry mode")
+		return fmt.Errorf("radio: mobility requires geometry mode")
 	}
-	c := &Channel{
-		params: p,
-		amc:    amc,
-		links:  make([]link, n),
-		snrBuf: make([]float64, n),
+	c.params = p
+	c.amc = amc
+	c.mob = nil
+	if len(c.links) != n {
+		c.links = make([]link, n)
+		c.snrBuf = make([]float64, n)
 	}
 	if p.Mobility != nil {
 		mob, err := mobility.New(*p.Mobility, n, src.SubStream(1<<32))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		c.mob = mob
+	}
+	pCacheLen := 0
+	if c.mob == nil {
+		pCacheLen = len(amc.Table) * p.FadingStates
 	}
 	placement := src.SubStream(0)
 	for i := range c.links {
 		l := &c.links[i]
-		l.src = src.SubStream(uint64(i) + 1)
+		pCache := l.pCache
+		*l = link{src: src.SubStream(uint64(i) + 1)}
 		l.shadowDB = placement.Normal(0, p.ShadowSigmaDB)
 		if p.UseGeometry {
 			if c.mob != nil {
@@ -142,12 +181,22 @@ func New(p Params, amc *AMC, n int, src *rng.Source) (*Channel, error) {
 		}
 		fsmc, err := NewFSMC(fsmcMean, p.DopplerHz, p.FadingSlot.Seconds(), p.FadingStates)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		l.fsmc = fsmc
 		l.state = fsmc.StationarySample(l.src)
+		if pCacheLen > 0 {
+			if len(pCache) == pCacheLen {
+				for j := range pCache {
+					pCache[j] = pEntry{}
+				}
+				l.pCache = pCache
+			} else {
+				l.pCache = make([]pEntry, pCacheLen)
+			}
+		}
 	}
-	return c, nil
+	return nil
 }
 
 // N reports the number of client links.
@@ -233,10 +282,22 @@ func (c *Channel) SelectMCS(i int, now des.Time) (idx int, snrDB float64) {
 // information bits sent at MCS index mcs, given its channel state at `now`.
 func (c *Channel) Decode(i int, now des.Time, mcs int, bits int) bool {
 	l := c.advance(i, now)
-	snr := l.fsmc.RepSNRdB(l.state)
-	if c.mob != nil {
-		snr += c.MeanSNRdBAt(i, now)
+	if l.pCache != nil {
+		e := &l.pCache[mcs*c.params.FadingStates+l.state]
+		var p float64
+		switch int32(bits) {
+		case e.bits0:
+			p = e.p0
+		case e.bits1:
+			p = e.p1
+		default:
+			p = c.amc.Table[mcs].FrameSuccessProb(l.fsmc.RepSNRdB(l.state), bits)
+			e.bits1, e.p1 = e.bits0, e.p0
+			e.bits0, e.p0 = int32(bits), p
+		}
+		return l.src.Bool(p)
 	}
+	snr := l.fsmc.RepSNRdB(l.state) + c.MeanSNRdBAt(i, now)
 	p := c.amc.Table[mcs].FrameSuccessProb(snr, bits)
 	return l.src.Bool(p)
 }

@@ -26,7 +26,8 @@ type FSMC struct {
 	repDB     []float64 // representative SNR per state, dB
 	pUp       []float64
 	pDown     []float64
-	mixSlots  int64 // gap beyond which the chain is resampled stationary
+	pSum      []float64 // pUp + pDown, precomputed for the step hot loop
+	mixSlots  int64     // gap beyond which the chain is resampled stationary
 	strained  bool
 	numStates int
 }
@@ -49,6 +50,7 @@ func NewFSMC(meanSNRdB float64, dopplerHz float64, slotSec float64, states int) 
 		repDB:     make([]float64, states),
 		pUp:       make([]float64, states),
 		pDown:     make([]float64, states),
+		pSum:      make([]float64, states),
 	}
 
 	// Equal-probability thresholds of the exponential SNR distribution:
@@ -105,6 +107,7 @@ func NewFSMC(meanSNRdB float64, dopplerHz float64, slotSec float64, states int) 
 		}
 		f.pUp[k] = up
 		f.pDown[k] = down
+		f.pSum[k] = up + down
 	}
 
 	// Beyond ~K level-crossing times the chain has mixed; resampling the
@@ -145,7 +148,7 @@ func (f *FSMC) Step(state int, r *rng.Source) int {
 	switch {
 	case u < f.pUp[state]:
 		return state + 1
-	case u < f.pUp[state]+f.pDown[state]:
+	case u < f.pSum[state]:
 		return state - 1
 	default:
 		return state
@@ -154,7 +157,10 @@ func (f *FSMC) Step(state int, r *rng.Source) int {
 
 // Advance moves the chain `slots` slots forward. Gaps longer than the mixing
 // horizon are resolved by a single stationary draw, keeping lazy advancement
-// O(min(slots, mixSlots)).
+// O(min(slots, mixSlots)). The walk consumes exactly one uniform per slot —
+// the same sequence as repeated Step calls — drawn through a register-
+// resident batch so the generator state is loaded and stored once per
+// Advance instead of once per slot.
 func (f *FSMC) Advance(state int, slots int64, r *rng.Source) int {
 	if slots <= 0 {
 		return state
@@ -162,9 +168,17 @@ func (f *FSMC) Advance(state int, slots int64, r *rng.Source) int {
 	if slots >= f.mixSlots {
 		return f.StationarySample(r)
 	}
-	for i := int64(0); i < slots; i++ {
-		state = f.Step(state, r)
+	pUp, pSum := f.pUp, f.pSum
+	b := r.Batch()
+	for ; slots > 0; slots-- {
+		u := b.Float64()
+		if u < pUp[state] {
+			state++
+		} else if u < pSum[state] {
+			state--
+		}
 	}
+	b.End(r)
 	return state
 }
 

@@ -91,6 +91,15 @@ type Generator struct {
 	peakBps  float64
 	genBits  uint64
 	genCount uint64
+
+	// Persistent event callbacks with their pending state, so the steady
+	// state reschedules the same three closures instead of allocating one
+	// per arrival.
+	arrivalFn     func() // Poisson/CBR arrival; emits nextBits
+	burstStartFn  func() // Pareto OFF→ON transition
+	burstTickFn   func() // one in-burst CBR arrival
+	nextBits      int
+	burstDeadline des.Time
 }
 
 // New validates the config and builds a generator. A RateBps of zero is
@@ -117,6 +126,30 @@ func New(sch *des.Scheduler, cfg Config, src *rng.Source, sink Sink) (*Generator
 		}
 	}
 	g := &Generator{cfg: cfg, sch: sch, src: src, sink: sink}
+	g.arrivalFn = func() {
+		if !g.running {
+			return
+		}
+		g.emit(g.nextBits)
+		g.scheduleNext()
+	}
+	g.burstStartFn = func() {
+		if !g.running {
+			return
+		}
+		xmOn := g.cfg.OnMeanSec * (g.cfg.Shape - 1) / g.cfg.Shape
+		burst := g.src.Pareto(g.cfg.Shape, xmOn)
+		g.inBurst = true
+		g.burstDeadline = g.sch.Now().Add(des.FromSeconds(burst))
+		g.burstArrival()
+	}
+	g.burstTickFn = func() {
+		if !g.running {
+			return
+		}
+		g.emit(g.cfg.FrameBits)
+		g.burstArrival()
+	}
 	if cfg.Model == ParetoOnOff {
 		// Peak rate during bursts such that the duty-cycled average hits
 		// RateBps.
@@ -175,13 +208,8 @@ func (g *Generator) scheduleNext() {
 		gap = 1 / frameRate
 		bits = g.cfg.FrameBits
 	}
-	g.sch.After(des.FromSeconds(gap), "traffic.arrival", func() {
-		if !g.running {
-			return
-		}
-		g.emit(bits)
-		g.scheduleNext()
-	})
+	g.nextBits = bits
+	g.sch.After(des.FromSeconds(gap), "traffic.arrival", g.arrivalFn)
 }
 
 // scheduleOff waits out an OFF gap then enters a burst.
@@ -191,34 +219,20 @@ func (g *Generator) scheduleOff() {
 	}
 	xm := g.cfg.OffMeanSec * (g.cfg.Shape - 1) / g.cfg.Shape
 	gap := g.src.Pareto(g.cfg.Shape, xm)
-	g.sch.After(des.FromSeconds(gap), "traffic.burst", func() {
-		if !g.running {
-			return
-		}
-		xmOn := g.cfg.OnMeanSec * (g.cfg.Shape - 1) / g.cfg.Shape
-		burst := g.src.Pareto(g.cfg.Shape, xmOn)
-		g.inBurst = true
-		g.burstArrival(g.sch.Now().Add(des.FromSeconds(burst)))
-	})
+	g.sch.After(des.FromSeconds(gap), "traffic.burst", g.burstStartFn)
 }
 
 // burstArrival emits CBR frames at the peak rate until the burst deadline.
-func (g *Generator) burstArrival(deadline des.Time) {
+func (g *Generator) burstArrival() {
 	if !g.running {
 		return
 	}
 	gap := float64(g.cfg.FrameBits) / g.peakBps
 	next := g.sch.Now().Add(des.FromSeconds(gap))
-	if next.After(deadline) {
+	if next.After(g.burstDeadline) {
 		g.inBurst = false
 		g.scheduleOff()
 		return
 	}
-	g.sch.At(next, "traffic.arrival", func() {
-		if !g.running {
-			return
-		}
-		g.emit(g.cfg.FrameBits)
-		g.burstArrival(deadline)
-	})
+	g.sch.At(next, "traffic.arrival", g.burstTickFn)
 }
