@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race check sweep bench bench-smoke bench-json
+.PHONY: build test vet race smoke-multicell check sweep bench bench-smoke bench-json
 
 build:
 	$(GO) build ./...
@@ -16,8 +16,14 @@ vet:
 race:
 	$(GO) test -race ./internal/core ./internal/experiment
 
+# smoke-multicell exercises the sharded multi-cell topology (handoffs, the
+# single-cell equivalence goldens, worker-count invariance) under the race
+# detector.
+smoke-multicell:
+	$(GO) test -race -run 'MultiCell|Handoff|SingleCellMatchesLegacy' ./internal/core ./internal/topology
+
 # check is the pre-commit gate.
-check: build vet race
+check: build vet race smoke-multicell
 
 # sweep regenerates the full evaluation into results/ (resumable).
 sweep: build

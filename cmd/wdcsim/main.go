@@ -27,6 +27,7 @@ import (
 	"repro/internal/des"
 	"repro/internal/ir"
 	"repro/internal/obs"
+	"repro/internal/topology"
 	"repro/internal/traffic"
 )
 
@@ -53,6 +54,9 @@ func main() {
 	coverage := flag.Float64("coverage", cfg.IR.Coverage, "LAIR fast-report coverage target")
 	horizon := flag.Float64("horizon", cfg.Horizon.Seconds(), "simulated span (s)")
 	warmup := flag.Float64("warmup", cfg.Warmup.Seconds(), "warmup excluded from stats (s)")
+	cells := flag.Int("cells", cfg.Topology.NumCells, "base-station cells (>1 shards the run into a multi-cell grid)")
+	handoffPolicy := flag.String("handoff-policy", cfg.Topology.Policy.String(), "cache treatment at handoff: drop, revalidate")
+	handoffSpeed := flag.Float64("handoff-speed", cfg.Topology.SpeedMaxMps, "top client speed over the grid (m/s); min is a third of it")
 	strict := flag.Bool("strict-priority", false, "responses strictly preempt background traffic")
 	snoop := flag.Bool("snoop", false, "clients cache overheard responses")
 	coalesce := flag.Bool("coalesce", false, "server coalesces same-item responses")
@@ -146,6 +150,20 @@ func main() {
 		}
 		cfg.Traffic.Model = model
 	}
+	if use("cells") {
+		cfg.Topology.NumCells = *cells
+	}
+	if use("handoff-policy") {
+		p, err := topology.ParsePolicy(*handoffPolicy)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Topology.Policy = p
+	}
+	if use("handoff-speed") {
+		cfg.Topology.SpeedMaxMps = *handoffSpeed
+		cfg.Topology.SpeedMinMps = *handoffSpeed / 3
+	}
 
 	if *saveConfig != "" {
 		if err := cfg.SaveJSON(*saveConfig); err != nil {
@@ -227,6 +245,10 @@ func printVerbose(r *core.RunStats) {
 	fmt.Printf("  energy               %.1f J total, %.2f J/query\n", r.EnergyJoules, r.EnergyPerQuery)
 	fmt.Printf("  db updates           %d\n", r.Updates)
 	fmt.Printf("  stale violations     %d\n", r.StaleViolations)
+	if r.NumCells > 1 {
+		fmt.Printf("  cells / handoffs     %d / %d (caches flushed %d)\n",
+			r.NumCells, r.Handoffs, r.HandoffFlushes)
+	}
 	fmt.Printf("  %s\n", r.PerfString())
 }
 

@@ -45,7 +45,7 @@ import (
 )
 
 func main() {
-	expID := flag.String("exp", "", "experiment id (F1..F10, T1..T4, A1..A6) or 'all'")
+	expID := flag.String("exp", "", "experiment id (F1..F10, T1..T4, A1..A6, M1..M3) or 'all'")
 	list := flag.Bool("list", false, "list experiments and exit")
 	reps := flag.Int("reps", 5, "replications per cell")
 	workers := flag.Int("workers", 0, "global (cell × replication) worker pool size (≤0 = all cores)")
@@ -72,7 +72,12 @@ func main() {
 			if len(e.Algorithms) > 0 {
 				algos = strings.Join(e.Algorithms, ",")
 			}
-			fmt.Printf("%-4s %-55s x=%s algos=%s\n", e.ID, e.Title, e.XLabel, algos)
+			metrics := make([]string, len(e.Metrics))
+			for i, m := range e.Metrics {
+				metrics[i] = m.Name
+			}
+			fmt.Printf("%-4s %-55s x=%s pts=%d algos=%s metrics=%s\n",
+				e.ID, e.Title, e.XLabel, len(e.Points), algos, strings.Join(metrics, ","))
 		}
 		return
 	}

@@ -17,9 +17,9 @@ import (
 // An Arena is not safe for concurrent use: worker pools create one per
 // worker goroutine.
 type Arena struct {
-	caches  []*cache.Cache
-	db      *db.DB
-	channel *radio.Channel
+	caches   []*cache.Cache
+	db       *db.DB
+	channels []*radio.Channel
 }
 
 // NewArena returns an empty arena.
@@ -47,10 +47,15 @@ func (a *Arena) takeDB() *db.DB {
 	return d
 }
 
-// takeChannel pops the pooled channel, or nil. The caller must Reset it.
+// takeChannel pops one pooled channel, or nil. The caller must Reset it.
 func (a *Arena) takeChannel() *radio.Channel {
-	c := a.channel
-	a.channel = nil
+	n := len(a.channels)
+	if n == 0 {
+		return nil
+	}
+	c := a.channels[n-1]
+	a.channels[n-1] = nil
+	a.channels = a.channels[:n-1]
 	return c
 }
 
@@ -66,5 +71,8 @@ func (a *Arena) Reclaim(sim *Simulation) {
 		a.caches = append(a.caches, c.cache)
 	}
 	a.db = sim.db
-	a.channel = sim.channel
+	a.channels = a.channels[:0]
+	for _, cell := range sim.cells {
+		a.channels = append(a.channels, cell.channel)
+	}
 }

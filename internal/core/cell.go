@@ -1,0 +1,304 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/ir"
+	"repro/internal/mac"
+	"repro/internal/obs"
+	"repro/internal/radio"
+	"repro/internal/rng"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// Cell is one base station's worth of wiring: radio channel, downlink and
+// uplink MAC, background traffic source, invalidation server and algorithm
+// state, and the awake roster of the clients it currently serves. The
+// Simulation is the composition root: it owns the shared scheduler, database
+// and client population and composes one Cell per base station (one in the
+// classic single-cell configuration).
+type Cell struct {
+	id  int
+	sim *Simulation
+
+	channel  *radio.Channel
+	downlink *mac.Downlink
+	uplink   *mac.Uplink
+	bg       *traffic.Generator
+	server   *server
+	refRate  float64 // reference downlink bit rate for load calibration
+
+	// roster holds the ids of awake clients served by this cell in ascending
+	// order, maintained by doze/wake (and handoff), so broadcast fan-out
+	// costs O(awake) instead of O(N). rosterScratch is the reusable snapshot
+	// buffer fan-out loops iterate: a visited client may doze itself mid-loop
+	// (mutating roster), so loops walk a snapshot and re-check membership per
+	// visit, exactly reproducing the historical full-scan semantics.
+	roster        []int
+	rosterScratch []int
+
+	// warmup snapshots
+	snapDown mac.DownlinkStats
+	snapUp   snapshotUplink
+	snapIR   uint64
+	snapPig  uint64
+}
+
+// cellStream names a per-cell RNG stream. Single-cell simulations keep the
+// historical unsuffixed names so every pre-topology run replays bit-for-bit.
+func cellStream(base string, k, numCells int) string {
+	if numCells <= 1 {
+		return base
+	}
+	return fmt.Sprintf("%s.c%d", base, k)
+}
+
+// cellLocator routes one cell's link distances through the topology model.
+type cellLocator struct {
+	topo *topology.Model
+	cell int
+}
+
+// DistanceM implements radio.Locator.
+func (l cellLocator) DistanceM(i int, t des.Time) float64 {
+	return l.topo.DistanceToCellM(i, l.cell, t)
+}
+
+// newCell wires one cell. The construction order (channel → downlink →
+// uplink → algorithm → server → reference rate → traffic) mirrors the
+// historical single-cell wiring exactly, so a one-cell simulation makes the
+// same draws from the same streams as before the componentization.
+func newCell(sim *Simulation, k, numCells int, arena *Arena) (*Cell, error) {
+	cfg := &sim.cfg
+	cell := &Cell{id: k, sim: sim}
+
+	ccfg := cfg.Channel
+	var loc radio.Locator
+	if sim.topo != nil {
+		// The topology owns placement and motion: every link's distance
+		// routes through the grid, superseding the single-cell placement
+		// knobs (annulus drop, Params.Mobility).
+		ccfg.UseGeometry = true
+		ccfg.Mobility = nil
+		loc = cellLocator{topo: sim.topo, cell: k}
+	}
+	chSrc := rng.Stream(cfg.Seed, cellStream("channel", k, numCells))
+	if arena != nil {
+		if ch := arena.takeChannel(); ch != nil {
+			if err := ch.ResetWithLocator(ccfg, radio.DefaultAMC(), cfg.NumClients, chSrc, loc); err != nil {
+				return nil, err
+			}
+			cell.channel = ch
+		}
+	}
+	if cell.channel == nil {
+		ch, err := radio.NewWithLocator(ccfg, radio.DefaultAMC(), cfg.NumClients, chSrc, loc)
+		if err != nil {
+			return nil, err
+		}
+		cell.channel = ch
+	}
+
+	cell.downlink = mac.NewDownlink(sim.sch, cell.channel, cfg.Downlink, cell.deliver)
+	cell.downlink.SetCell(k)
+	cell.uplink = mac.NewUplink(sim.sch, cfg.Uplink, rng.Stream(cfg.Seed, cellStream("uplink", k, numCells)),
+		func(src int, meta any, now des.Time) { cell.server.onRequest(src, meta, now) })
+	cell.uplink.SetAttemptHook(sim.onUplinkAttempt)
+
+	algo, err := ir.New(cfg.Algorithm, cfg.IR)
+	if err != nil {
+		return nil, err
+	}
+	cell.server = newServer(cell, algo)
+
+	// Background load calibration: offered rate is TrafficLoad × the rate
+	// link adaptation would pick at the population's average mean SNR, as
+	// seen from this cell's base station.
+	cell.refRate = cell.referenceRate()
+	tcfg := cfg.Traffic
+	tcfg.RateBps = cfg.TrafficLoad * cell.refRate
+	cell.bg, err = traffic.New(sim.sch, tcfg, rng.Stream(cfg.Seed, cellStream("traffic", k, numCells)),
+		cell.server.onBackground)
+	if err != nil {
+		return nil, err
+	}
+	return cell, nil
+}
+
+// referenceRate reports the effective downlink rate for unicast traffic to
+// a uniformly random client: the harmonic mean of the per-client rates link
+// adaptation picks at each client's mean SNR. The harmonic mean is the right
+// aggregate because airtime per bit, not bits per second, is what adds up
+// across frames — so TrafficLoad ≈ the utilization the background traffic
+// actually contributes.
+func (cell *Cell) referenceRate() float64 {
+	amc := cell.channel.AMC()
+	invSum := 0.0
+	for i := 0; i < cell.channel.N(); i++ {
+		idx, _ := amc.Select(cell.channel.MeanSNRdB(i))
+		invSum += 1 / amc.Table[idx].BitRate(amc.SymbolRate)
+	}
+	return float64(cell.channel.N()) / invSum
+}
+
+// rosterAdd inserts a freshly woken (or handed-in) client into the sorted
+// awake roster. Doze/wake transitions are orders of magnitude rarer than
+// fan-outs, so the O(awake) insertion is cheap where an O(N) scan per
+// broadcast is not.
+func (cell *Cell) rosterAdd(id int) {
+	i := sortSearchInt(cell.roster, id)
+	cell.roster = append(cell.roster, 0)
+	copy(cell.roster[i+1:], cell.roster[i:])
+	cell.roster[i] = id
+}
+
+// rosterRemove drops a dozing (or handed-out) client from the awake roster.
+func (cell *Cell) rosterRemove(id int) {
+	i := sortSearchInt(cell.roster, id)
+	cell.roster = append(cell.roster[:i], cell.roster[i+1:]...)
+}
+
+// awakeSnapshot copies the roster into the reusable scratch buffer so a
+// fan-out loop survives visited clients dozing themselves mid-iteration.
+func (cell *Cell) awakeSnapshot() []int {
+	cell.rosterScratch = append(cell.rosterScratch[:0], cell.roster...)
+	return cell.rosterScratch
+}
+
+// deliver is the downlink completion fanout: reports go to every awake
+// client the cell serves (individual decode), responses to their
+// destination, piggybacked digests to every awake overhearer. In a
+// multi-cell run a unicast frame may complete after its destination was
+// handed to another cell; such frames are wasted airtime and are dropped at
+// delivery (the handoff already rescheduled the query), and every roster
+// visit re-checks membership alongside wakefulness.
+func (cell *Cell) deliver(f *mac.Frame, ok bool, mcs int, now des.Time) {
+	s := cell.sim
+	amc := cell.channel.AMC()
+	airtime := amc.Airtime(0, s.cfg.Downlink.HeaderBits+f.RobustBits) +
+		amc.Airtime(mcs, f.Bits)
+	switch m := f.Meta.(type) {
+	case *ir.Report:
+		for _, id := range cell.awakeSnapshot() {
+			c := s.clients[id]
+			if !c.awake || c.cell != cell {
+				continue
+			}
+			s.chargeRx(c, airtime)
+			if cell.channel.Decode(c.id, now, mcs, f.Bits) {
+				c.onReport(m)
+			} else {
+				c.onReportLost()
+			}
+		}
+		cell.server.algo.Recycle(m)
+	case *respMeta:
+		cell.server.onResponseDelivered(m)
+		dest := s.clients[f.Dest]
+		if dest.cell != cell {
+			s.respDeparted++
+		} else {
+			if dest.awake {
+				s.chargeRx(dest, airtime)
+			}
+			dest.onResponse(m, ok)
+		}
+		for _, w := range m.waiters {
+			c := s.clients[w]
+			if c.cell != cell {
+				s.respDeparted++
+				continue
+			}
+			if c.awake {
+				s.chargeRx(c, airtime)
+			}
+			// Waiters decode independently of the addressed destination;
+			// a failed decode falls back to their own re-request timer via
+			// onResponse's !ok path.
+			c.onResponse(m, cell.channel.Decode(w, now, mcs, f.Bits))
+		}
+		if s.cfg.SnoopResponses {
+			for _, id := range cell.awakeSnapshot() {
+				c := s.clients[id]
+				if !c.awake || c.cell != cell || c.id == f.Dest {
+					continue
+				}
+				s.chargeRx(c, airtime)
+				if cell.channel.Decode(c.id, now, mcs, f.Bits) {
+					c.onSnoop(m)
+				}
+			}
+		}
+		cell.fanPiggy(m.piggy, f.RobustBits, now)
+		cell.server.releaseResp(m)
+	case *bgMeta:
+		dest := s.clients[f.Dest]
+		if dest.cell == cell && dest.awake {
+			s.chargeRx(dest, airtime)
+		}
+		cell.fanPiggy(m.piggy, f.RobustBits, now)
+		cell.server.releaseBg(m)
+	default:
+		panic(fmt.Sprintf("core: unknown frame meta %T", f.Meta))
+	}
+}
+
+// fanPiggy lets every awake client of the cell receive a piggybacked digest.
+// The digest travels in the frame's robust control portion (base-rate MCS),
+// so even clients that could not decode the data payload usually get it;
+// they pay receive energy only for that portion and power down for the data
+// body.
+func (cell *Cell) fanPiggy(pg *ir.Report, robustBits int, now des.Time) {
+	if pg == nil {
+		return
+	}
+	s := cell.sim
+	headBits := s.cfg.Downlink.HeaderBits + robustBits
+	headAir := cell.channel.AMC().Airtime(0, headBits)
+	for _, id := range cell.awakeSnapshot() {
+		c := s.clients[id]
+		if !c.awake || c.cell != cell {
+			continue
+		}
+		s.chargeRx(c, headAir)
+		if cell.channel.Decode(c.id, now, 0, headBits) {
+			c.onReport(pg)
+		} else {
+			c.onReportLost()
+		}
+	}
+	cell.server.algo.Recycle(pg)
+}
+
+// traceReport emits a ReportBroadcastEvent for a report leaving this cell's
+// server, whether standalone (carrier "ir") or piggybacked on a data frame.
+// mcs is the scheme the report's bits travel at: the explicit broadcast MCS
+// for standalone reports, the robust base scheme (0) for piggybacked digests.
+func (cell *Cell) traceReport(r *ir.Report, carrier string, mcs int) {
+	s := cell.sim
+	tr := s.tr
+	if tr == nil {
+		return
+	}
+	var items []int
+	if len(r.Items) > 0 {
+		items = make([]int, len(r.Items))
+		for i, u := range r.Items {
+			items[i] = u.ID
+		}
+	}
+	tr.ReportBroadcast(obs.ReportBroadcastEvent{
+		At:          s.sch.Now(),
+		Cell:        cell.id,
+		Seq:         r.Seq,
+		Kind:        r.Kind.String(),
+		Carrier:     carrier,
+		MCS:         mcs,
+		SizeBits:    r.SizeBits(),
+		WindowStart: r.WindowStart,
+		Sig:         r.Sig != nil,
+		Items:       items,
+	})
+}

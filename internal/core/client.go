@@ -23,6 +23,7 @@ type pendingQuery struct {
 type client struct {
 	id      int
 	sim     *Simulation
+	cell    *Cell // serving cell; reassigned by handoff in multi-cell runs
 	cache   *cache.Cache
 	istate  ir.ClientState
 	sampler *workload.Sampler
@@ -124,7 +125,7 @@ func (c *client) tryDoze() {
 func (c *client) doze() {
 	c.sleepPending = false
 	c.awake = false
-	c.sim.rosterRemove(c.id)
+	c.cell.rosterRemove(c.id)
 	c.sleptAt = c.sim.sch.Now()
 	if tr := c.sim.tr; tr != nil {
 		tr.SleepWake(obs.SleepWakeEvent{At: c.sleptAt, Client: c.id, Awake: false})
@@ -146,7 +147,7 @@ func (c *client) wake() {
 		c.meter.AddDoze(now.Sub(from).Seconds())
 	}
 	c.awake = true
-	c.sim.rosterAdd(c.id)
+	c.cell.rosterAdd(c.id)
 	if tr := c.sim.tr; tr != nil {
 		tr.SleepWake(obs.SleepWakeEvent{At: now, Client: c.id, Awake: true})
 	}
@@ -186,7 +187,7 @@ func (c *client) drainPending(r *ir.Report) {
 		q.requested = true
 		if !c.outstanding[q.item] {
 			c.outstanding[q.item] = true
-			c.sim.uplink.Send(c.id, reqMeta{item: q.item})
+			c.cell.uplink.Send(c.id, reqMeta{item: q.item})
 		}
 		kept = append(kept, q)
 	}
@@ -203,7 +204,7 @@ func (c *client) onResponse(m *respMeta, ok bool) {
 		// ARQ exhausted; if we still want the item, ask again.
 		for i := range c.pending {
 			if c.pending[i].item == m.item && c.pending[i].requested {
-				c.sim.uplink.Send(c.id, reqMeta{item: m.item})
+				c.cell.uplink.Send(c.id, reqMeta{item: m.item})
 				return
 			}
 		}
@@ -268,8 +269,8 @@ func (c *client) answer(q pendingQuery, now des.Time, fromCache bool) {
 	if tr := c.sim.tr; tr != nil {
 		// Traces cover the whole run, including the warmup transient the
 		// statistics below exclude.
-		tr.Query(obs.QueryEvent{At: now, Client: c.id, Item: q.item,
-			Hit: fromCache, DelaySec: now.Sub(q.issued).Seconds()})
+		tr.Query(obs.QueryEvent{At: now, Client: c.id, Cell: c.cell.id,
+			Item: q.item, Hit: fromCache, DelaySec: now.Sub(q.issued).Seconds()})
 	}
 	if q.issued < c.sim.warmupAt {
 		return // warmup transient: not measured

@@ -21,6 +21,7 @@ import (
 	"repro/internal/mac"
 	"repro/internal/obs"
 	"repro/internal/radio"
+	"repro/internal/topology"
 	"repro/internal/traffic"
 	"repro/internal/workload"
 )
@@ -43,6 +44,11 @@ type Config struct {
 	Uplink   mac.UplinkConfig
 	Workload workload.Config
 	Energy   energy.Model
+
+	// Topology shards the simulation into a grid of cells with mobility-driven
+	// handoff. The zero value (and any NumCells ≤ 1) is the classic single-cell
+	// simulation, bit-identical to pre-topology runs.
+	Topology topology.Config
 
 	// Background downlink traffic. TrafficLoad is the offered load as a
 	// fraction of the reference downlink rate (the rate link adaptation
@@ -109,6 +115,7 @@ func DefaultConfig() Config {
 		Workload:             workload.DefaultConfig(dbCfg.NumItems),
 		Energy:               energy.DefaultModel(),
 		Traffic:              traffic.DefaultConfig(100),
+		Topology:             topology.DefaultConfig(),
 		TrafficLoad:          0.2,
 		Horizon:              des.Hour,
 		Warmup:               5 * des.Minute,
@@ -150,6 +157,31 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("core: ResponseOverheadBits %d", c.ResponseOverheadBits)
 	}
 	if err := c.Energy.Validate(); err != nil {
+		return err
+	}
+	if c.Topology.Enabled() {
+		if c.Channel.Mobility != nil {
+			return fmt.Errorf("core: Channel.Mobility and multi-cell Topology are mutually exclusive")
+		}
+		// Fill topology geometry/motion fields left zero (a JSON config that
+		// sets only NumCells) from the single-cell channel defaults.
+		if c.Topology.CellRadiusM <= 0 {
+			c.Topology.CellRadiusM = c.Channel.CellRadiusM
+		}
+		if c.Topology.MinDistanceM <= 0 {
+			c.Topology.MinDistanceM = c.Channel.MinDistanceM
+		}
+		if c.Topology.SpeedMinMps <= 0 {
+			c.Topology.SpeedMinMps = 0.5
+		}
+		if c.Topology.SpeedMaxMps <= 0 {
+			c.Topology.SpeedMaxMps = 2.0
+		}
+		if c.Topology.CheckPeriod <= 0 {
+			c.Topology.CheckPeriod = des.Second
+		}
+	}
+	if err := c.Topology.Validate(); err != nil {
 		return err
 	}
 

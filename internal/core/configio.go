@@ -84,6 +84,7 @@ func (c configJSON) MarshalJSON() ([]byte, error) {
 		Workload             any
 		Energy               any
 		Traffic              any
+		Topology             any
 		TrafficLoad          float64
 		Horizon              int64
 		Warmup               int64
@@ -96,8 +97,9 @@ func (c configJSON) MarshalJSON() ([]byte, error) {
 		Seed: c.Seed, NumClients: c.NumClients, CacheCapacity: c.CacheCapacity,
 		CachePolicy: int(c.CachePolicy), Algorithm: c.Algorithm, IR: c.IR, DB: c.DB, Channel: c.Channel,
 		Downlink: c.Downlink, Uplink: c.Uplink, Workload: c.Workload,
-		Energy: c.Energy, Traffic: c.Traffic, TrafficLoad: c.TrafficLoad,
-		Horizon: int64(c.Horizon), Warmup: int64(c.Warmup),
+		Energy: c.Energy, Traffic: c.Traffic, Topology: c.Topology,
+		TrafficLoad: c.TrafficLoad,
+		Horizon:     int64(c.Horizon), Warmup: int64(c.Warmup),
 		ResponseOverheadBits: c.ResponseOverheadBits,
 		CoalesceResponses:    c.CoalesceResponses,
 		SnoopResponses:       c.SnoopResponses,
@@ -122,6 +124,7 @@ func (c *configJSON) UnmarshalJSON(data []byte) error {
 		Workload             *json.RawMessage
 		Energy               *json.RawMessage
 		Traffic              *json.RawMessage
+		Topology             *json.RawMessage
 		TrafficLoad          *float64
 		Horizon              *int64
 		Warmup               *int64
@@ -140,7 +143,8 @@ func (c *configJSON) UnmarshalJSON(data []byte) error {
 		"Seed": true, "NumClients": true, "CacheCapacity": true, "CachePolicy": true,
 		"Algorithm": true, "IR": true, "DB": true, "Channel": true,
 		"Downlink": true, "Uplink": true, "Workload": true, "Energy": true,
-		"Traffic": true, "TrafficLoad": true, "Horizon": true, "Warmup": true,
+		"Traffic": true, "Topology": true, "TrafficLoad": true,
+		"Horizon": true, "Warmup": true,
 		"ResponseOverheadBits": true, "CoalesceResponses": true,
 		"SnoopResponses": true, "CheckConsistency": true,
 	}
@@ -171,11 +175,18 @@ func (c *configJSON) UnmarshalJSON(data []byte) error {
 	if a.Algorithm != nil {
 		cfg.Algorithm = *a.Algorithm
 	}
+	// Sub-configs get the same strictness as the top level: a typoed field
+	// inside e.g. "Topology" must not silently keep its default.
 	sub := func(raw *json.RawMessage, dst any) error {
 		if raw == nil {
 			return nil
 		}
-		return json.Unmarshal(*raw, dst)
+		dec := json.NewDecoder(bytes.NewReader(*raw))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(dst); err != nil {
+			return fmt.Errorf("core: decoding config sub-object: %w", err)
+		}
+		return nil
 	}
 	if err := sub(a.IR, &cfg.IR); err != nil {
 		return err
@@ -199,6 +210,9 @@ func (c *configJSON) UnmarshalJSON(data []byte) error {
 		return err
 	}
 	if err := sub(a.Traffic, &cfg.Traffic); err != nil {
+		return err
+	}
+	if err := sub(a.Topology, &cfg.Topology); err != nil {
 		return err
 	}
 	if a.TrafficLoad != nil {

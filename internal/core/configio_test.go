@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/des"
+	"repro/internal/topology"
 )
 
 func TestConfigJSONRoundTrip(t *testing.T) {
@@ -62,6 +63,54 @@ func TestConfigJSONRejectsUnknownFields(t *testing.T) {
 	}
 	if err := cfg.FromJSON([]byte(`{bad json`)); err == nil {
 		t.Fatal("malformed json accepted")
+	}
+}
+
+func TestConfigJSONTopologyRoundTrip(t *testing.T) {
+	orig := DefaultConfig()
+	orig.Topology = topology.Config{
+		NumCells:     9,
+		CellRadiusM:  300,
+		MinDistanceM: 15,
+		SpeedMinMps:  3,
+		SpeedMaxMps:  12,
+		PauseMeanSec: 7,
+		CheckPeriod:  2 * des.Second,
+		Policy:       topology.Revalidate,
+	}
+	data, err := orig.ToJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := DefaultConfig()
+	if err := got.FromJSON(data); err != nil {
+		t.Fatal(err)
+	}
+	if got.Topology != orig.Topology {
+		t.Fatalf("topology round trip mismatch:\n%+v\n%+v", orig.Topology, got.Topology)
+	}
+	// Partial nested overlay keeps the untouched topology fields.
+	if err := got.FromJSON([]byte(`{"Topology":{"NumCells":4}}`)); err != nil {
+		t.Fatal(err)
+	}
+	if got.Topology.NumCells != 4 || got.Topology.CellRadiusM != 300 {
+		t.Fatalf("nested topology overlay wrong: %+v", got.Topology)
+	}
+}
+
+func TestConfigJSONRejectsUnknownNestedFields(t *testing.T) {
+	// Strictness must reach inside sub-objects: a typo in a nested config
+	// silently keeping its default would corrupt an experiment.
+	cfg := DefaultConfig()
+	for _, bad := range []string{
+		`{"Topology":{"NumCels":4}}`,
+		`{"DB":{"UpdateRte":3}}`,
+		`{"Channel":{"UseGeometri":true}}`,
+		`{"Workload":{"SleepRatioo":0.5}}`,
+	} {
+		if err := cfg.FromJSON([]byte(bad)); err == nil {
+			t.Errorf("nested typo accepted: %s", bad)
+		}
 	}
 }
 

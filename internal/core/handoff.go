@@ -1,0 +1,86 @@
+package core
+
+import (
+	"repro/internal/des"
+	"repro/internal/obs"
+	"repro/internal/topology"
+)
+
+// startHandoff begins the periodic mobility check that re-associates clients
+// with their nearest cell. Handoffs fire only from this ticker — never from
+// inside a delivery fan-out — so a frame in flight always delivers under the
+// cell membership it was addressed with.
+func (s *Simulation) startHandoff() {
+	des.NewTicker(s.sch, s.cfg.Topology.CheckPeriod, "topology.handoff",
+		s.checkHandoffs).Start()
+}
+
+// checkHandoffs re-associates every client whose nearest base station changed
+// since the last check. Clients are visited in ascending id order, keeping
+// multi-cell runs deterministic.
+func (s *Simulation) checkHandoffs(now des.Time) {
+	for _, c := range s.clients {
+		to := s.cells[s.topo.NearestCell(c.id, now)]
+		if to != c.cell {
+			s.handoff(c, to, now)
+		}
+	}
+}
+
+// handoff moves one client from its current cell to another. The old cell
+// keeps any frames already queued for the client; they deliver as wasted
+// airtime (deliver drops departed destinations), which is what a real
+// handoff without context transfer costs. In-flight requests are reset so
+// the next validating report in the new cell re-issues them there.
+func (s *Simulation) handoff(c *client, to *Cell, now des.Time) {
+	from := c.cell
+	post := now >= s.warmupAt
+	if post {
+		s.handoffs++
+	}
+	if c.awake {
+		from.rosterRemove(c.id)
+	} else if post {
+		s.handoffsAsleep++
+	}
+	mid := false
+	for i := range c.pending {
+		if c.pending[i].requested {
+			c.pending[i].requested = false
+			mid = true
+		}
+	}
+	if mid && post {
+		s.handoffsMidQuery++
+	}
+	clear(c.outstanding)
+	c.cell = to
+	if c.awake {
+		to.rosterAdd(c.id)
+	}
+	flushed := false
+	if s.cfg.Topology.Policy == topology.Drop {
+		// Drop policy: cached entries do not survive re-association. An
+		// empty cache is trivially consistent as of now, so the consistency
+		// window restarts here instead of forcing a coverage-loss flush on
+		// the new cell's first report. Not counted as a protocol drop in
+		// istate.Stats — the invalidation scheme didn't cause it.
+		c.cache.InvalidateAll()
+		c.istate.LastConsistent = now
+		flushed = true
+		if post {
+			s.handoffFlushes++
+		}
+	}
+	// Revalidate policy: keep the cache and let the new cell's next report
+	// decide via the coverage-window rule (LastConsistent >= WindowStart).
+	// Every cell reports the same shared database timeline, so a report from
+	// the new cell validates exactly what one from the old cell would have;
+	// if the client's window lapsed, the standard full-report drop path
+	// re-synchronizes it.
+	if s.tr != nil {
+		s.tr.Handoff(obs.HandoffEvent{
+			At: now, Client: c.id, From: from.id, To: to.id, Flushed: flushed,
+		})
+	}
+}

@@ -28,6 +28,7 @@ type Aggregate struct {
 	EnergyPerQuery metrics.Summary
 	ReportLoss     metrics.Summary
 	CacheDropsRate metrics.Summary // flushes per client per hour
+	HandoffRate    metrics.Summary // handoffs per client per hour
 
 	StaleViolations uint64
 	Queries         uint64
@@ -81,6 +82,7 @@ type RepValues struct {
 	EnergyPerQuery  JSONFloat `json:"energy"`
 	ReportLoss      JSONFloat `json:"rptloss"`
 	CacheDropsRate  JSONFloat `json:"dropsrate"` // NaN when nothing was measured
+	HandoffRate     JSONFloat `json:"hoffrate"`  // absent in pre-topology checkpoints → 0
 	StaleViolations uint64    `json:"stale"`
 	Queries         uint64    `json:"queries"`
 	Answered        uint64    `json:"answered"`
@@ -91,8 +93,10 @@ type RepValues struct {
 // normalizes the cache-drop rate and must match the config that ran.
 func (r *RunStats) Values(numClients int) RepValues {
 	drops := math.NaN()
+	hoffs := math.NaN()
 	if r.MeasuredSec > 0 {
 		drops = float64(r.CacheDrops) / float64(numClients) / (r.MeasuredSec / 3600)
+		hoffs = float64(r.Handoffs) / float64(numClients) / (r.MeasuredSec / 3600)
 	}
 	return RepValues{
 		Seed:            r.Seed,
@@ -105,6 +109,7 @@ func (r *RunStats) Values(numClients int) RepValues {
 		EnergyPerQuery:  JSONFloat(r.EnergyPerQuery),
 		ReportLoss:      JSONFloat(r.ReportLossRate()),
 		CacheDropsRate:  JSONFloat(drops),
+		HandoffRate:     JSONFloat(hoffs),
 		StaleViolations: r.StaleViolations,
 		Queries:         r.Queries,
 		Answered:        r.Answered,
@@ -126,6 +131,7 @@ func (a *Aggregate) addValues(v RepValues) {
 	a.EnergyPerQuery.Add(float64(v.EnergyPerQuery))
 	a.ReportLoss.Add(float64(v.ReportLoss))
 	a.CacheDropsRate.Add(float64(v.CacheDropsRate))
+	a.HandoffRate.Add(float64(v.HandoffRate))
 	a.StaleViolations += v.StaleViolations
 	a.Queries += v.Queries
 	a.Answered += v.Answered

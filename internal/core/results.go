@@ -62,6 +62,13 @@ type RunStats struct {
 	// Workload realized.
 	Updates uint64
 
+	// Topology. NumCells is 1 for classic single-cell runs; Handoffs and
+	// HandoffFlushes count post-warmup re-associations and the cache flushes
+	// the drop policy charged for them.
+	NumCells       int
+	Handoffs       uint64
+	HandoffFlushes uint64
+
 	// PendingAtEnd counts queries still unanswered at the horizon (they are
 	// excluded from delay statistics; a large value flags saturation).
 	PendingAtEnd int
@@ -85,16 +92,19 @@ type RunStats struct {
 func (s *Simulation) collect(end des.Time) *RunStats {
 	measured := end.Sub(s.warmupAt).Seconds()
 	r := &RunStats{
-		Seed:        s.cfg.Seed,
-		Algorithm:   s.cfg.Algorithm,
-		MeasuredSec: measured,
-		DelaySeries: s.delay.Series(),
-		DelayHist:   s.delay.Histogram(),
-		MeanDelay:   s.delay.Mean(),
-		DelayCI95:   s.delay.CI95(),
-		P95Delay:    s.delay.Quantile(0.95),
-		MaxDelay:    s.delay.Max(),
-		Updates:     s.db.Updates() - s.snapUpd,
+		Seed:           s.cfg.Seed,
+		Algorithm:      s.cfg.Algorithm,
+		MeasuredSec:    measured,
+		DelaySeries:    s.delay.Series(),
+		DelayHist:      s.delay.Histogram(),
+		MeanDelay:      s.delay.Mean(),
+		DelayCI95:      s.delay.CI95(),
+		P95Delay:       s.delay.Quantile(0.95),
+		MaxDelay:       s.delay.Max(),
+		Updates:        s.db.Updates() - s.snapUpd,
+		NumCells:       len(s.cells),
+		Handoffs:       s.handoffs,
+		HandoffFlushes: s.handoffFlushes,
 	}
 	for _, c := range s.clients {
 		r.Queries += c.queries
@@ -124,17 +134,26 @@ func (s *Simulation) collect(end des.Time) *RunStats {
 		r.EnergyPerQuery = math.NaN()
 	}
 
-	up := s.uplink.Stats()
-	r.UplinkSent = up.Sent.Value() - s.snapUp.sent
-	r.UplinkAttempts = up.Attempts.Value() - s.snapUp.attempts
-	r.UplinkCollisions = up.Collisions.Value() - s.snapUp.collisions
+	for _, cell := range s.cells {
+		up := cell.uplink.Stats()
+		r.UplinkSent += up.Sent.Value() - cell.snapUp.sent
+		r.UplinkAttempts += up.Attempts.Value() - cell.snapUp.attempts
+		r.UplinkCollisions += up.Collisions.Value() - cell.snapUp.collisions
 
-	down := s.downlink.Stats()
-	r.AirtimeIR = down.Busy[mac.KindIR] - s.snapDown.Busy[mac.KindIR]
-	r.AirtimeResponse = down.Busy[mac.KindResponse] - s.snapDown.Busy[mac.KindResponse]
-	r.AirtimeBackground = down.Busy[mac.KindBackground] - s.snapDown.Busy[mac.KindBackground]
+		down := cell.downlink.Stats()
+		r.AirtimeIR += down.Busy[mac.KindIR] - cell.snapDown.Busy[mac.KindIR]
+		r.AirtimeResponse += down.Busy[mac.KindResponse] - cell.snapDown.Busy[mac.KindResponse]
+		r.AirtimeBackground += down.Busy[mac.KindBackground] - cell.snapDown.Busy[mac.KindBackground]
+		r.IRBits += cell.server.irBitsSent - cell.snapIR
+		r.PiggyBits += cell.server.piggyBitsSent - cell.snapPig
+		r.ResponseRetries += down.Retries.Value() - cell.snapDown.Retries.Value()
+		r.ResponseDrops += down.Drops.Value() - cell.snapDown.Drops.Value()
+	}
 	if measured > 0 {
-		r.DownlinkUtil = (r.AirtimeIR + r.AirtimeResponse + r.AirtimeBackground) / measured
+		// Cells are independent media, so utilization is the mean busy
+		// fraction across them.
+		r.DownlinkUtil = (r.AirtimeIR + r.AirtimeResponse + r.AirtimeBackground) /
+			(measured * float64(len(s.cells)))
 		// A frame straddling the warmup boundary credits its whole airtime
 		// to the measured window; at saturation that can push the ratio a
 		// fraction of a percent over 1. Clamp: utilization is a fraction.
@@ -142,10 +161,6 @@ func (s *Simulation) collect(end des.Time) *RunStats {
 			r.DownlinkUtil = 1
 		}
 	}
-	r.IRBits = s.server.irBitsSent - s.snapIR
-	r.PiggyBits = s.server.piggyBitsSent - s.snapPig
-	r.ResponseRetries = down.Retries.Value() - s.snapDown.Retries.Value()
-	r.ResponseDrops = down.Drops.Value() - s.snapDown.Drops.Value()
 	return r
 }
 
@@ -234,6 +249,9 @@ func (r *RunStats) MarshalJSON() ([]byte, error) {
 		"EnergyJoules":         r.EnergyJoules,
 		"EnergyPerQuery":       jsonSafe(r.EnergyPerQuery),
 		"Updates":              r.Updates,
+		"NumCells":             r.NumCells,
+		"Handoffs":             r.Handoffs,
+		"HandoffFlushes":       r.HandoffFlushes,
 		"PendingAtEnd":         r.PendingAtEnd,
 		"OverheadBps":          jsonSafe(r.OverheadBitsPerSec()),
 		"UplinkPerAns":         jsonSafe(r.UplinkPerAnswer()),

@@ -33,10 +33,11 @@ type bgMeta struct {
 	piggy *ir.Report
 }
 
-// server is the base-station logic: it owns the database view, generates
-// responses for uplink requests, runs the invalidation algorithm, and
-// implements ir.ServerEnv for it.
+// server is one cell's base-station logic: it reads the shared database,
+// generates responses for uplink requests, runs the cell's invalidation
+// algorithm instance, and implements ir.ServerEnv for it.
 type server struct {
+	cell *Cell
 	sim  *Simulation
 	algo ir.ServerAlgo
 
@@ -65,8 +66,8 @@ type server struct {
 
 const loadSampleEvery = des.Second
 
-func newServer(sim *Simulation, algo ir.ServerAlgo) *server {
-	return &server{sim: sim, algo: algo, inFlightResp: make(map[int]*respMeta)}
+func newServer(cell *Cell, algo ir.ServerAlgo) *server {
+	return &server{cell: cell, sim: cell.sim, algo: algo, inFlightResp: make(map[int]*respMeta)}
 }
 
 // start arms the algorithm and the load sampler.
@@ -85,7 +86,7 @@ func (s *server) start() {
 // high load, high load stretches the interval further, and the scheme locks
 // itself at IntervalMax even on an otherwise idle downlink.
 func (s *server) sampleLoad(des.Time) {
-	st := s.sim.downlink.Stats()
+	st := s.cell.downlink.Stats()
 	busy := st.Busy[mac.KindBackground]
 	sample := (busy - s.busyPrev) / loadSampleEvery.Seconds()
 	s.busyPrev = busy
@@ -151,20 +152,20 @@ func (s *server) onRequest(src int, meta any, now des.Time) {
 		resp.piggy = pg
 		robust = pg.SizeBits()
 		s.piggyBitsSent += uint64(robust)
-		s.sim.traceReport(pg, obs.CarrierResponse, 0)
+		s.cell.traceReport(pg, obs.CarrierResponse, 0)
 	}
 	s.responsesSent++
 	if s.sim.cfg.CoalesceResponses {
 		s.inFlightResp[req.item] = resp
 	}
-	f := s.sim.downlink.AcquireFrame()
+	f := s.cell.downlink.AcquireFrame()
 	f.Kind = mac.KindResponse
 	f.Dest = src
 	f.Bits = it.Bits + s.sim.cfg.ResponseOverheadBits
 	f.RobustBits = robust
 	f.MCS = mac.AutoMCS
 	f.Meta = resp
-	s.sim.downlink.Enqueue(f)
+	s.cell.downlink.Enqueue(f)
 }
 
 // onResponseDelivered retires the coalescing slot for a departed response.
@@ -182,14 +183,14 @@ func (s *server) onBackground(dest int, bits int) {
 		meta.piggy = pg
 		robust = pg.SizeBits()
 	}
-	f := s.sim.downlink.AcquireFrame()
+	f := s.cell.downlink.AcquireFrame()
 	f.Kind = mac.KindBackground
 	f.Dest = dest
 	f.Bits = bits
 	f.RobustBits = robust
 	f.MCS = mac.AutoMCS
 	f.Meta = meta
-	accepted := s.sim.downlink.Enqueue(f)
+	accepted := s.cell.downlink.Enqueue(f)
 	if !accepted {
 		// Admission control refused the frame: its digest never hits the
 		// air, so both metadata objects go straight back to their pools.
@@ -199,7 +200,7 @@ func (s *server) onBackground(dest int, bits int) {
 	}
 	if robust > 0 {
 		s.piggyBitsSent += uint64(robust)
-		s.sim.traceReport(meta.piggy, obs.CarrierBackground, 0)
+		s.cell.traceReport(meta.piggy, obs.CarrierBackground, 0)
 	}
 }
 
@@ -216,14 +217,14 @@ func (s *server) UpdatedSince(since des.Time, buf []db.Update) []db.Update {
 // Broadcast implements ir.ServerEnv.
 func (s *server) Broadcast(r *ir.Report, mcs int) {
 	s.irBitsSent += uint64(r.SizeBits())
-	s.sim.traceReport(r, obs.CarrierIR, mcs)
-	f := s.sim.downlink.AcquireFrame()
+	s.cell.traceReport(r, obs.CarrierIR, mcs)
+	f := s.cell.downlink.AcquireFrame()
 	f.Kind = mac.KindIR
 	f.Dest = mac.Broadcast
 	f.Bits = r.SizeBits()
 	f.MCS = mcs
 	f.Meta = r
-	s.sim.downlink.Enqueue(f)
+	s.cell.downlink.Enqueue(f)
 }
 
 // NewTicker implements ir.ServerEnv.
@@ -233,17 +234,18 @@ func (s *server) NewTicker(period des.Duration, name string, fn func(des.Time)) 
 
 // AwakeSNRs implements ir.ServerEnv. In a real system the base station
 // estimates these from CQI feedback; here it reads the channel directly.
+// Only clients the cell currently serves are visible to its algorithm.
 func (s *server) AwakeSNRs() []float64 {
 	s.snrScratch = s.snrScratch[:0]
 	now := s.sim.sch.Now()
-	for _, id := range s.sim.roster { // ascending ids, awake only
-		s.snrScratch = append(s.snrScratch, s.sim.channel.SNRdB(id, now))
+	for _, id := range s.cell.roster { // ascending ids, awake only
+		s.snrScratch = append(s.snrScratch, s.cell.channel.SNRdB(id, now))
 	}
 	return s.snrScratch
 }
 
 // AMC implements ir.ServerEnv.
-func (s *server) AMC() *radio.AMC { return s.sim.channel.AMC() }
+func (s *server) AMC() *radio.AMC { return s.cell.channel.AMC() }
 
 // DownlinkLoad implements ir.ServerEnv.
 func (s *server) DownlinkLoad() float64 { return s.loadEWMA }

@@ -2,19 +2,16 @@ package core
 
 import (
 	"context"
-	"fmt"
 	"runtime"
 	"time"
 
 	"repro/internal/db"
 	"repro/internal/des"
 	"repro/internal/ir"
-	"repro/internal/mac"
 	"repro/internal/metrics"
 	"repro/internal/obs"
-	"repro/internal/radio"
 	"repro/internal/rng"
-	"repro/internal/traffic"
+	"repro/internal/topology"
 	"repro/internal/workload"
 )
 
@@ -24,42 +21,38 @@ type dbOracle struct{ db *db.DB }
 // UpdatedAt implements ir.Oracle.
 func (o dbOracle) UpdatedAt(id int) des.Time { return o.db.Item(id).UpdatedAt }
 
-// Simulation is one fully wired run. Build with NewSimulation, execute with
-// Execute (or use the Run convenience wrapper).
+// Simulation is one fully wired run: the composition root owning the shared
+// scheduler, database, client population and one Cell per base station. Build
+// with NewSimulation, execute with Execute (or use the Run convenience
+// wrapper). A single-cell configuration (Topology.NumCells ≤ 1) wires exactly
+// one Cell with the historical stream names and reproduces pre-topology runs
+// bit-for-bit.
 type Simulation struct {
-	cfg      Config
-	sch      *des.Scheduler
-	db       *db.DB
-	channel  *radio.Channel
-	downlink *mac.Downlink
-	uplink   *mac.Uplink
-	bg       *traffic.Generator
-	server   *server
-	clients  []*client
-	oracle   ir.Oracle
-	tr       obs.Tracer // nil = tracing disabled
-
-	// roster holds the ids of awake clients in ascending order, maintained
-	// by doze/wake, so broadcast fan-out costs O(awake) instead of O(N).
-	// rosterScratch is the reusable snapshot buffer fan-out loops iterate:
-	// a visited client may doze itself mid-loop (mutating roster), so loops
-	// walk a snapshot and re-check awake per visit, exactly reproducing the
-	// historical full-scan semantics.
-	roster        []int
-	rosterScratch []int
+	cfg     Config
+	sch     *des.Scheduler
+	db      *db.DB
+	cells   []*Cell
+	topo    *topology.Model // nil when the run is single-cell
+	clients []*client
+	oracle  ir.Oracle
+	tr      obs.Tracer // nil = tracing disabled
 
 	warmupAt des.Time
-	refRate  float64 // reference downlink bit rate for load calibration
 
 	// post-warmup accumulators
 	delay *metrics.DelayRecorder
 
-	// warmup snapshots
-	snapDown mac.DownlinkStats
-	snapUp   snapshotUplink
-	snapIR   uint64
-	snapPig  uint64
-	snapUpd  uint64
+	// handoff accounting. handoffs and handoffFlushes are post-warmup and
+	// reported in RunStats; the remaining counters are whole-run internal
+	// telemetry the edge-case tests assert on.
+	handoffs         uint64
+	handoffFlushes   uint64
+	handoffsAsleep   uint64 // client was dozing when it crossed cells
+	handoffsMidQuery uint64 // client had an in-flight request at handoff
+	respDeparted     uint64 // responses delivered after their client left the cell
+
+	// warmup snapshot (per-cell snapshots live on each Cell)
+	snapUpd uint64
 }
 
 type snapshotUplink struct {
@@ -87,6 +80,16 @@ func NewSimulationArena(cfg Config, arena *Arena) (*Simulation, error) {
 		delay:    metrics.NewDelayRecorder(64),
 	}
 
+	numCells := cfg.Topology.Cells()
+	if cfg.Topology.Enabled() {
+		topo, err := topology.NewModel(cfg.Topology, cfg.NumClients,
+			rng.Stream(cfg.Seed, "topology"))
+		if err != nil {
+			return nil, err
+		}
+		sim.topo = topo
+	}
+
 	var err error
 	if arena != nil {
 		if d := arena.takeDB(); d != nil {
@@ -94,13 +97,6 @@ func NewSimulationArena(cfg Config, arena *Arena) (*Simulation, error) {
 				return nil, err
 			}
 			sim.db = d
-		}
-		if ch := arena.takeChannel(); ch != nil {
-			if err := ch.Reset(cfg.Channel, radio.DefaultAMC(), cfg.NumClients,
-				rng.Stream(cfg.Seed, "channel")); err != nil {
-				return nil, err
-			}
-			sim.channel = ch
 		}
 	}
 	if sim.db == nil {
@@ -111,34 +107,12 @@ func NewSimulationArena(cfg Config, arena *Arena) (*Simulation, error) {
 	}
 	sim.oracle = dbOracle{sim.db}
 
-	if sim.channel == nil {
-		sim.channel, err = radio.New(cfg.Channel, radio.DefaultAMC(), cfg.NumClients,
-			rng.Stream(cfg.Seed, "channel"))
+	sim.cells = make([]*Cell, numCells)
+	for k := range sim.cells {
+		sim.cells[k], err = newCell(sim, k, numCells, arena)
 		if err != nil {
 			return nil, err
 		}
-	}
-
-	sim.downlink = mac.NewDownlink(sim.sch, sim.channel, cfg.Downlink, sim.deliver)
-	sim.uplink = mac.NewUplink(sim.sch, cfg.Uplink, rng.Stream(cfg.Seed, "uplink"),
-		func(src int, meta any, now des.Time) { sim.server.onRequest(src, meta, now) })
-	sim.uplink.SetAttemptHook(sim.onUplinkAttempt)
-
-	algo, err := ir.New(cfg.Algorithm, cfg.IR)
-	if err != nil {
-		return nil, err
-	}
-	sim.server = newServer(sim, algo)
-
-	// Background load calibration: offered rate is TrafficLoad × the rate
-	// link adaptation would pick at the population's average mean SNR.
-	sim.refRate = sim.referenceRate()
-	tcfg := cfg.Traffic
-	tcfg.RateBps = cfg.TrafficLoad * sim.refRate
-	sim.bg, err = traffic.New(sim.sch, tcfg, rng.Stream(cfg.Seed, "traffic"),
-		sim.server.onBackground)
-	if err != nil {
-		return nil, err
 	}
 
 	zipf := rng.NewZipf(cfg.DB.NumItems, cfg.Workload.Zipf)
@@ -153,9 +127,16 @@ func NewSimulationArena(cfg Config, arena *Arena) (*Simulation, error) {
 		sim.clients[i] = newClient(i, sim, sampler, csrc.SubStream(uint64(i)), arena)
 	}
 
-	sim.roster = make([]int, cfg.NumClients) // everyone starts awake
-	for i := range sim.roster {
-		sim.roster[i] = i
+	// Associate each client with its nearest cell at t=0 and build the
+	// per-cell awake rosters (everyone starts awake). Ascending id order
+	// keeps rosters sorted.
+	for i, c := range sim.clients {
+		k := 0
+		if sim.topo != nil {
+			k = sim.topo.NearestCell(i, 0)
+		}
+		c.cell = sim.cells[k]
+		c.cell.roster = append(c.cell.roster, i)
 	}
 
 	// Attach tracing last, once every component exists. All emission sites
@@ -164,7 +145,9 @@ func NewSimulationArena(cfg Config, arena *Arena) (*Simulation, error) {
 	if tr := cfg.Tracer; tr != nil {
 		sim.tr = tr
 		sim.db.SetTracer(tr)
-		sim.downlink.SetTracer(tr)
+		for _, cell := range sim.cells {
+			cell.downlink.SetTracer(tr)
+		}
 		for _, c := range sim.clients {
 			c.cache.SetTracer(tr, c.id, sim.sch.Now)
 			c.istate.Tracer = tr
@@ -173,22 +156,6 @@ func NewSimulationArena(cfg Config, arena *Arena) (*Simulation, error) {
 		}
 	}
 	return sim, nil
-}
-
-// referenceRate reports the effective downlink rate for unicast traffic to
-// a uniformly random client: the harmonic mean of the per-client rates link
-// adaptation picks at each client's mean SNR. The harmonic mean is the right
-// aggregate because airtime per bit, not bits per second, is what adds up
-// across frames — so TrafficLoad ≈ the utilization the background traffic
-// actually contributes.
-func (s *Simulation) referenceRate() float64 {
-	amc := s.channel.AMC()
-	invSum := 0.0
-	for i := 0; i < s.channel.N(); i++ {
-		idx, _ := amc.Select(s.channel.MeanSNRdB(i))
-		invSum += 1 / amc.Table[idx].BitRate(amc.SymbolRate)
-	}
-	return float64(s.channel.N()) / invSum
 }
 
 // Executed reports how many discrete events have run so far.
@@ -221,10 +188,15 @@ func (s *Simulation) ExecuteCtx(ctx context.Context) (*RunStats, error) {
 		})
 	}
 	s.db.Start()
-	s.bg.Start()
-	s.server.start()
+	for _, cell := range s.cells {
+		cell.bg.Start()
+		cell.server.start()
+	}
 	for _, c := range s.clients {
 		c.start()
+	}
+	if s.topo != nil {
+		s.startHandoff()
 	}
 	s.sch.At(s.warmupAt, "sim.warmup", s.resetAtWarmup)
 	end := s.sch.Run(des.Time(0).Add(s.cfg.Horizon))
@@ -249,37 +221,23 @@ func (s *Simulation) ExecuteCtx(ctx context.Context) (*RunStats, error) {
 // resetAtWarmup snapshots cumulative counters so collect can report
 // post-warmup deltas, and resets the per-client energy meters.
 func (s *Simulation) resetAtWarmup() {
-	s.snapDown = *s.downlink.Stats()
-	up := s.uplink.Stats()
-	s.snapUp = snapshotUplink{
-		sent:       up.Sent.Value(),
-		attempts:   up.Attempts.Value(),
-		collisions: up.Collisions.Value(),
-		losses:     up.Losses.Value(),
-		delivered:  up.Delivered.Value(),
+	for _, cell := range s.cells {
+		cell.snapDown = *cell.downlink.Stats()
+		up := cell.uplink.Stats()
+		cell.snapUp = snapshotUplink{
+			sent:       up.Sent.Value(),
+			attempts:   up.Attempts.Value(),
+			collisions: up.Collisions.Value(),
+			losses:     up.Losses.Value(),
+			delivered:  up.Delivered.Value(),
+		}
+		cell.snapIR = cell.server.irBitsSent
+		cell.snapPig = cell.server.piggyBitsSent
 	}
-	s.snapIR = s.server.irBitsSent
-	s.snapPig = s.server.piggyBitsSent
 	s.snapUpd = s.db.Updates()
 	for _, c := range s.clients {
 		c.meter.Reset()
 	}
-}
-
-// rosterAdd inserts a freshly woken client into the sorted awake roster.
-// Doze/wake transitions are orders of magnitude rarer than fan-outs, so the
-// O(awake) insertion is cheap where an O(N) scan per broadcast is not.
-func (s *Simulation) rosterAdd(id int) {
-	i := sortSearchInt(s.roster, id)
-	s.roster = append(s.roster, 0)
-	copy(s.roster[i+1:], s.roster[i:])
-	s.roster[i] = id
-}
-
-// rosterRemove drops a dozing client from the awake roster.
-func (s *Simulation) rosterRemove(id int) {
-	i := sortSearchInt(s.roster, id)
-	s.roster = append(s.roster[:i], s.roster[i+1:]...)
 }
 
 // sortSearchInt is sort.SearchInts without the interface indirection.
@@ -296,13 +254,6 @@ func sortSearchInt(a []int, x int) int {
 	return lo
 }
 
-// awakeSnapshot copies the roster into the reusable scratch buffer so a
-// fan-out loop survives visited clients dozing themselves mid-iteration.
-func (s *Simulation) awakeSnapshot() []int {
-	s.rosterScratch = append(s.rosterScratch[:0], s.roster...)
-	return s.rosterScratch
-}
-
 // onUplinkAttempt charges transmit energy for one contention slot.
 func (s *Simulation) onUplinkAttempt(src int) {
 	if s.sch.Now() < s.warmupAt {
@@ -311,128 +262,9 @@ func (s *Simulation) onUplinkAttempt(src int) {
 	s.clients[src].meter.AddTx(s.cfg.Uplink.SlotDur.Seconds())
 }
 
-// deliver is the downlink completion fanout: reports go to every awake
-// client (individual decode), responses to their destination, piggybacked
-// digests to every awake overhearer.
-func (s *Simulation) deliver(f *mac.Frame, ok bool, mcs int, now des.Time) {
-	amc := s.channel.AMC()
-	airtime := amc.Airtime(0, s.cfg.Downlink.HeaderBits+f.RobustBits) +
-		amc.Airtime(mcs, f.Bits)
-	switch m := f.Meta.(type) {
-	case *ir.Report:
-		for _, id := range s.awakeSnapshot() {
-			c := s.clients[id]
-			if !c.awake {
-				continue
-			}
-			s.chargeRx(c, airtime)
-			if s.channel.Decode(c.id, now, mcs, f.Bits) {
-				c.onReport(m)
-			} else {
-				c.onReportLost()
-			}
-		}
-		s.server.algo.Recycle(m)
-	case *respMeta:
-		s.server.onResponseDelivered(m)
-		dest := s.clients[f.Dest]
-		if dest.awake {
-			s.chargeRx(dest, airtime)
-		}
-		dest.onResponse(m, ok)
-		for _, w := range m.waiters {
-			c := s.clients[w]
-			if c.awake {
-				s.chargeRx(c, airtime)
-			}
-			// Waiters decode independently of the addressed destination;
-			// a failed decode falls back to their own re-request timer via
-			// onResponse's !ok path.
-			c.onResponse(m, s.channel.Decode(w, now, mcs, f.Bits))
-		}
-		if s.cfg.SnoopResponses {
-			for _, id := range s.awakeSnapshot() {
-				c := s.clients[id]
-				if !c.awake || c.id == f.Dest {
-					continue
-				}
-				s.chargeRx(c, airtime)
-				if s.channel.Decode(c.id, now, mcs, f.Bits) {
-					c.onSnoop(m)
-				}
-			}
-		}
-		s.fanPiggy(m.piggy, f.RobustBits, now)
-		s.server.releaseResp(m)
-	case *bgMeta:
-		dest := s.clients[f.Dest]
-		if dest.awake {
-			s.chargeRx(dest, airtime)
-		}
-		s.fanPiggy(m.piggy, f.RobustBits, now)
-		s.server.releaseBg(m)
-	default:
-		panic(fmt.Sprintf("core: unknown frame meta %T", f.Meta))
-	}
-}
-
-// fanPiggy lets every awake client receive a piggybacked digest. The digest
-// travels in the frame's robust control portion (base-rate MCS), so even
-// clients that could not decode the data payload usually get it; they pay
-// receive energy only for that portion and power down for the data body.
-func (s *Simulation) fanPiggy(pg *ir.Report, robustBits int, now des.Time) {
-	if pg == nil {
-		return
-	}
-	headBits := s.cfg.Downlink.HeaderBits + robustBits
-	headAir := s.channel.AMC().Airtime(0, headBits)
-	for _, id := range s.awakeSnapshot() {
-		c := s.clients[id]
-		if !c.awake {
-			continue
-		}
-		s.chargeRx(c, headAir)
-		if s.channel.Decode(c.id, now, 0, headBits) {
-			c.onReport(pg)
-		} else {
-			c.onReportLost()
-		}
-	}
-	s.server.algo.Recycle(pg)
-}
-
 func (s *Simulation) chargeRx(c *client, airtimeSec float64) {
 	if s.sch.Now() < s.warmupAt {
 		return
 	}
 	c.meter.AddRx(airtimeSec)
-}
-
-// traceReport emits a ReportBroadcastEvent for a report leaving the server,
-// whether standalone (carrier "ir") or piggybacked on a data frame. mcs is
-// the scheme the report's bits travel at: the explicit broadcast MCS for
-// standalone reports, the robust base scheme (0) for piggybacked digests.
-func (s *Simulation) traceReport(r *ir.Report, carrier string, mcs int) {
-	tr := s.tr
-	if tr == nil {
-		return
-	}
-	var items []int
-	if len(r.Items) > 0 {
-		items = make([]int, len(r.Items))
-		for i, u := range r.Items {
-			items[i] = u.ID
-		}
-	}
-	tr.ReportBroadcast(obs.ReportBroadcastEvent{
-		At:          s.sch.Now(),
-		Seq:         r.Seq,
-		Kind:        r.Kind.String(),
-		Carrier:     carrier,
-		MCS:         mcs,
-		SizeBits:    r.SizeBits(),
-		WindowStart: r.WindowStart,
-		Sig:         r.Sig != nil,
-		Items:       items,
-	})
 }

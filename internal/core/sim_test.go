@@ -577,15 +577,15 @@ func TestResponseCoalescing(t *testing.T) {
 	}
 	simOff, off := mk(false)
 	simOn, on := mk(true)
-	if simOn.server.coalesced == 0 {
+	if simOn.cells[0].server.coalesced == 0 {
 		t.Fatal("nothing coalesced in a hot-item workload")
 	}
 	if on.StaleViolations != 0 {
 		t.Fatalf("coalescing broke consistency: %d", on.StaleViolations)
 	}
-	if !(simOn.server.responsesSent < simOff.server.responsesSent) {
+	if !(simOn.cells[0].server.responsesSent < simOff.cells[0].server.responsesSent) {
 		t.Fatalf("coalescing did not reduce responses: %d vs %d",
-			simOn.server.responsesSent, simOff.server.responsesSent)
+			simOn.cells[0].server.responsesSent, simOff.cells[0].server.responsesSent)
 	}
 	if float64(on.Answered) < 0.9*float64(off.Answered) {
 		t.Fatalf("coalescing lost answers: %d vs %d", on.Answered, off.Answered)

@@ -1,5 +1,6 @@
 // Package experiment defines the reconstructed evaluation matrix (figures
-// F1–F10, tables T1–T3, ablations and extensions A1–A6) and the harness that regenerates
+// F1–F10, tables T1–T3, ablations and extensions A1–A6, multi-cell sweeps
+// M1–M3) and the harness that regenerates
 // any of them: sweep definitions, a cell-parallel runner, and table/CSV
 // renderers. EXPERIMENTS.md records the expected versus measured shapes.
 package experiment
@@ -55,6 +56,9 @@ var (
 	}}
 	MetricDrops = Metric{"drops", "/client/h", func(a *core.Aggregate) (float64, float64) {
 		return a.CacheDropsRate.Mean(), a.CacheDropsRate.CI95()
+	}}
+	MetricHandoffs = Metric{"handoff", "/client/h", func(a *core.Aggregate) (float64, float64) {
+		return a.HandoffRate.Mean(), a.HandoffRate.CI95()
 	}}
 )
 

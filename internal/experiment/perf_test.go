@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"testing"
 	"time"
@@ -81,6 +82,9 @@ func TestMonitorDoesNotPerturbResults(t *testing.T) {
 			t.Fatal(err)
 		}
 		// Keep only cell-record lines; perf lines are wall-clock dependent.
+		// Records are appended as cells finish, so with Workers > 1 the file
+		// order depends on goroutine scheduling — sort so the comparison sees
+		// only content, which must be byte-identical.
 		var cellLines []string
 		for _, line := range strings.Split(string(data), "\n") {
 			if strings.TrimSpace(line) == "" || strings.Contains(line, `"perf"`) {
@@ -88,6 +92,7 @@ func TestMonitorDoesNotPerturbResults(t *testing.T) {
 			}
 			cellLines = append(cellLines, line)
 		}
+		sort.Strings(cellLines)
 		return res.Table() + res.CSV(), cellLines
 	}
 

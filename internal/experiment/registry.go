@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/des"
 	"repro/internal/mobility"
+	"repro/internal/topology"
 )
 
 // allAlgos is the canonical presentation order.
@@ -233,6 +234,69 @@ func Registry() []*Experiment {
 			},
 			Metrics: []Metric{MetricDelay, MetricUtil, MetricUplink, MetricHit},
 		},
+		{
+			ID: "M1", Title: "Multi-cell scaling: delay and handoff churn vs. cell count",
+			XLabel:     "cells",
+			Algorithms: []string{"ts", "sig", "hybrid"},
+			Scale:      0.5,
+			Points: append([]Point{{X: 1, Label: "1", Mutate: func(c *core.Config) {
+				// Single-cell baseline with the same geometry and motion the
+				// multi-cell points get, so the x=1 column differs only in
+				// sharding, not in channel realism.
+				c.Channel.UseGeometry = true
+				c.Channel.Mobility = &mobility.Config{
+					CellRadiusM:  c.Channel.CellRadiusM,
+					MinDistanceM: c.Channel.MinDistanceM,
+					SpeedMinMps:  5,
+					SpeedMaxMps:  15,
+					PauseMeanSec: 10,
+				}
+			}}}, points([]float64{2, 4, 9}, gLabel,
+				func(c *core.Config, x float64) { multiCell(c, int(x), 15) })...),
+			Metrics: []Metric{MetricDelay, MetricHit, MetricHandoffs, MetricDrops},
+		},
+		{
+			ID: "M2", Title: "Multi-cell: handoff churn vs. client speed (4 cells)",
+			XLabel:     "speed m/s",
+			Algorithms: []string{"ts", "sig", "hybrid"},
+			Scale:      0.5,
+			Points: points([]float64{2, 8, 15, 30}, gLabel,
+				func(c *core.Config, x float64) { multiCell(c, 4, x) }),
+			Metrics: []Metric{MetricDelay, MetricHit, MetricHandoffs, MetricDrops},
+		},
+		{
+			ID: "M3", Title: "Multi-cell: handoff policy (drop vs. revalidate, 4 cells)",
+			XLabel:     "policy",
+			Algorithms: []string{"ts", "uir", "hybrid"},
+			Scale:      0.5,
+			Points: []Point{
+				{X: 0, Label: "drop", Mutate: func(c *core.Config) {
+					multiCell(c, 4, 15)
+					c.Topology.Policy = topology.Drop
+				}},
+				{X: 1, Label: "revalidate", Mutate: func(c *core.Config) {
+					multiCell(c, 4, 15)
+					c.Topology.Policy = topology.Revalidate
+				}},
+			},
+			Metrics: []Metric{MetricHit, MetricDelay, MetricUplink, MetricHandoffs},
+		},
+	}
+}
+
+// multiCell shards the run across a grid of cells with vehicular motion at
+// the given top speed. The grid inherits the single-cell channel geometry so
+// per-cell path loss stays comparable to the legacy baseline.
+func multiCell(c *core.Config, cells int, speedMps float64) {
+	c.Topology = topology.Config{
+		NumCells:     cells,
+		CellRadiusM:  c.Channel.CellRadiusM,
+		MinDistanceM: c.Channel.MinDistanceM,
+		SpeedMinMps:  speedMps / 3,
+		SpeedMaxMps:  speedMps,
+		PauseMeanSec: 10,
+		CheckPeriod:  des.Second,
+		Policy:       topology.Drop,
 	}
 }
 

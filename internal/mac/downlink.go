@@ -88,6 +88,7 @@ type Downlink struct {
 
 	stats DownlinkStats
 	tr    obs.Tracer
+	cell  int // owning cell id, stamped on trace events
 }
 
 // NewDownlink builds the downlink. deliver must be non-nil.
@@ -137,6 +138,10 @@ func (d *Downlink) Stats() *DownlinkStats { return &d.stats }
 // SetTracer attaches an event tracer; nil disables tracing. Every completed
 // transmission attempt emits one FrameTxEvent (retries included).
 func (d *Downlink) SetTracer(tr obs.Tracer) { d.tr = tr }
+
+// SetCell records which cell this downlink belongs to, so multi-cell trace
+// events are attributable. Purely observational; defaults to 0.
+func (d *Downlink) SetCell(id int) { d.cell = id }
 
 // QueuedFrames reports the number of frames waiting (not in flight).
 func (d *Downlink) QueuedFrames() int {
@@ -277,7 +282,7 @@ func (d *Downlink) txDone(f *Frame, mcs int) {
 		ok = d.channel.Decode(f.Dest, now, mcs, f.Bits)
 	}
 	if d.tr != nil {
-		d.tr.FrameTx(obs.FrameTxEvent{At: now, Kind: f.Kind.String(), Dest: f.Dest,
+		d.tr.FrameTx(obs.FrameTxEvent{At: now, Cell: d.cell, Kind: f.Kind.String(), Dest: f.Dest,
 			MCS: mcs, Bits: f.Bits, Airtime: d.airtime(f, mcs), OK: ok, Retries: f.retries})
 	}
 	if f.Dest != Broadcast && !ok && f.retries < d.cfg.RetryLimit {

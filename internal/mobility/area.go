@@ -1,0 +1,74 @@
+package mobility
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/rng"
+)
+
+// AreaConfig parameterizes a random-waypoint walk over a rectangular field
+// [0, WidthM] × [0, HeightM] — the service area of a multi-cell grid, where
+// the annulus around a single mast no longer describes where clients may go.
+type AreaConfig struct {
+	WidthM       float64
+	HeightM      float64
+	SpeedMinMps  float64
+	SpeedMaxMps  float64
+	PauseMeanSec float64 // exponential pause between legs; 0 disables pauses
+}
+
+// Validate reports the first configuration problem.
+func (c AreaConfig) Validate() error {
+	switch {
+	case c.WidthM <= 0 || c.HeightM <= 0:
+		return fmt.Errorf("mobility: area %v x %v m", c.WidthM, c.HeightM)
+	case c.SpeedMinMps <= 0 || c.SpeedMaxMps < c.SpeedMinMps:
+		return fmt.Errorf("mobility: speed range [%v, %v]", c.SpeedMinMps, c.SpeedMaxMps)
+	case c.PauseMeanSec < 0:
+		return fmt.Errorf("mobility: PauseMeanSec %v", c.PauseMeanSec)
+	}
+	return nil
+}
+
+// AreaModel holds every client's trajectory over a rectangular field. Like
+// Model, positions must be queried with non-decreasing time per client.
+type AreaModel struct {
+	cfg     AreaConfig
+	walkers []walker
+}
+
+// NewArea builds trajectories for n clients, starting uniformly over the
+// rectangle.
+func NewArea(cfg AreaConfig, n int, src *rng.Source) (*AreaModel, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("mobility: need clients, got %d", n)
+	}
+	m := &AreaModel{cfg: cfg, walkers: make([]walker, n)}
+	for i := range m.walkers {
+		w := &m.walkers[i]
+		w.src = src.SubStream(uint64(i))
+		w.x0, w.y0 = m.samplePoint(w.src)
+		w.x1, w.y1 = w.x0, w.y0
+		// Start paused at the initial point; the first leg begins at once.
+	}
+	return m, nil
+}
+
+// samplePoint draws a uniform point in the rectangle.
+func (m *AreaModel) samplePoint(src *rng.Source) (x, y float64) {
+	return src.Uniform(0, m.cfg.WidthM), src.Uniform(0, m.cfg.HeightM)
+}
+
+// Position reports client i's coordinates at time t.
+func (m *AreaModel) Position(i int, t des.Time) (x, y float64) {
+	w := &m.walkers[i]
+	advanceWalker(w, t, m.samplePoint, m.cfg.SpeedMinMps, m.cfg.SpeedMaxMps, m.cfg.PauseMeanSec)
+	return w.positionAt(t)
+}
+
+// N reports the number of clients.
+func (m *AreaModel) N() int { return len(m.walkers) }

@@ -1,0 +1,87 @@
+package mobility
+
+import (
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/rng"
+)
+
+func areaConfig() AreaConfig {
+	return AreaConfig{
+		WidthM: 1200, HeightM: 800,
+		SpeedMinMps: 1, SpeedMaxMps: 5, PauseMeanSec: 5,
+	}
+}
+
+func TestAreaConfigValidate(t *testing.T) {
+	if err := areaConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mut := []func(*AreaConfig){
+		func(c *AreaConfig) { c.WidthM = 0 },
+		func(c *AreaConfig) { c.HeightM = -1 },
+		func(c *AreaConfig) { c.SpeedMinMps = 0 },
+		func(c *AreaConfig) { c.SpeedMaxMps = c.SpeedMinMps / 2 },
+		func(c *AreaConfig) { c.PauseMeanSec = -1 },
+	}
+	for i, f := range mut {
+		c := areaConfig()
+		f(&c)
+		if c.Validate() == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+	if _, err := NewArea(areaConfig(), 0, rng.New(1)); err == nil {
+		t.Error("zero walkers accepted")
+	}
+}
+
+func TestAreaPositionsStayInBounds(t *testing.T) {
+	cfg := areaConfig()
+	m, err := NewArea(cfg, 12, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.N() != 12 {
+		t.Fatalf("N %d", m.N())
+	}
+	moved := false
+	for i := 0; i < m.N(); i++ {
+		x0, y0 := m.Position(i, 0)
+		for s := 0; s < 1200; s++ {
+			at := des.Time(s) * des.Time(des.Second)
+			x, y := m.Position(i, at)
+			if x < -1e-9 || y < -1e-9 || x > cfg.WidthM+1e-9 || y > cfg.HeightM+1e-9 {
+				t.Fatalf("walker %d outside area: (%v, %v) at %v", i, x, y, at)
+			}
+			if x != x0 || y != y0 {
+				moved = true
+			}
+		}
+	}
+	if !moved {
+		t.Fatal("no walker ever moved")
+	}
+}
+
+func TestAreaDeterminism(t *testing.T) {
+	a, err := NewArea(areaConfig(), 8, rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewArea(areaConfig(), 8, rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		for s := 0; s <= 600; s += 13 {
+			at := des.Time(s) * des.Time(des.Second)
+			ax, ay := a.Position(i, at)
+			bx, by := b.Position(i, at)
+			if ax != bx || ay != by {
+				t.Fatalf("walker %d at %v: (%v,%v) != (%v,%v)", i, at, ax, ay, bx, by)
+			}
+		}
+	}
+}

@@ -97,14 +97,18 @@ func (m *Model) samplePoint(src *rng.Source) (x, y float64) {
 	return r * math.Cos(theta), r * math.Sin(theta)
 }
 
-// advance generates legs until the walker's schedule covers t.
-func (m *Model) advance(w *walker, t des.Time) {
+// advanceWalker generates legs until w's schedule covers t, drawing each
+// waypoint from sample and speed/pause from the given ranges. Shared by the
+// annulus Model and the rectangular AreaModel so both make identical draws
+// per leg (waypoint, speed, pause) in identical order.
+func advanceWalker(w *walker, t des.Time, sample func(*rng.Source) (float64, float64),
+	speedMin, speedMax, pauseMean float64) {
 	for t >= w.tNext {
 		// Finish the current leg; begin the next from its endpoint.
 		w.x0, w.y0 = w.x1, w.y1
 		w.t0 = w.tNext
-		w.x1, w.y1 = m.samplePoint(w.src)
-		speed := w.src.Uniform(m.cfg.SpeedMinMps, m.cfg.SpeedMaxMps)
+		w.x1, w.y1 = sample(w.src)
+		speed := w.src.Uniform(speedMin, speedMax)
 		dist := math.Hypot(w.x1-w.x0, w.y1-w.y0)
 		travel := des.FromSeconds(dist / speed)
 		if travel <= 0 {
@@ -112,18 +116,15 @@ func (m *Model) advance(w *walker, t des.Time) {
 		}
 		w.t1 = w.t0.Add(travel)
 		pause := des.Duration(0)
-		if m.cfg.PauseMeanSec > 0 {
-			pause = des.FromSeconds(w.src.Exp(1 / m.cfg.PauseMeanSec))
+		if pauseMean > 0 {
+			pause = des.FromSeconds(w.src.Exp(1 / pauseMean))
 		}
 		w.tNext = w.t1.Add(pause)
 	}
 }
 
-// Position reports client i's coordinates at time t (meters from the base
-// station at the origin). Queries must be non-decreasing in t per client.
-func (m *Model) Position(i int, t des.Time) (x, y float64) {
-	w := &m.walkers[i]
-	m.advance(w, t)
+// positionAt interpolates the walker at t; its schedule must already cover t.
+func (w *walker) positionAt(t des.Time) (x, y float64) {
 	if t >= w.t1 {
 		return w.x1, w.y1 // pausing at the endpoint
 	}
@@ -132,6 +133,19 @@ func (m *Model) Position(i int, t des.Time) (x, y float64) {
 	}
 	frac := float64(t.Sub(w.t0)) / float64(w.t1.Sub(w.t0))
 	return w.x0 + (w.x1-w.x0)*frac, w.y0 + (w.y1-w.y0)*frac
+}
+
+// advance generates legs until the walker's schedule covers t.
+func (m *Model) advance(w *walker, t des.Time) {
+	advanceWalker(w, t, m.samplePoint, m.cfg.SpeedMinMps, m.cfg.SpeedMaxMps, m.cfg.PauseMeanSec)
+}
+
+// Position reports client i's coordinates at time t (meters from the base
+// station at the origin). Queries must be non-decreasing in t per client.
+func (m *Model) Position(i int, t des.Time) (x, y float64) {
+	w := &m.walkers[i]
+	m.advance(w, t)
+	return w.positionAt(t)
 }
 
 // DistanceM reports client i's distance from the base station at time t.

@@ -48,6 +48,7 @@ const (
 // unicast data frame (Carrier "response" or "background").
 type ReportBroadcastEvent struct {
 	At       des.Time `json:"t"`
+	Cell     int      `json:"cell,omitempty"` // originating cell (0 in single-cell runs)
 	Seq      uint64   `json:"seq"`
 	Kind     string   `json:"kind"` // full | mini | piggyback
 	Carrier  string   `json:"carrier"`
@@ -65,6 +66,7 @@ type ReportBroadcastEvent struct {
 type QueryEvent struct {
 	At       des.Time `json:"t"`
 	Client   int      `json:"client"`
+	Cell     int      `json:"cell,omitempty"` // serving cell at answer time
 	Item     int      `json:"item"`
 	Hit      bool     `json:"hit"`
 	DelaySec float64  `json:"delay_sec"` // issue → answer, seconds
@@ -85,8 +87,9 @@ type CacheEvent struct {
 // attempts). MCS is the payload scheme link adaptation picked.
 type FrameTxEvent struct {
 	At      des.Time     `json:"t"`
-	Kind    string       `json:"kind"` // ir | response | background
-	Dest    int          `json:"dest"` // client id, -1 for broadcast
+	Cell    int          `json:"cell,omitempty"` // transmitting cell
+	Kind    string       `json:"kind"`           // ir | response | background
+	Dest    int          `json:"dest"`           // client id, -1 for broadcast
 	MCS     int          `json:"mcs"`
 	Bits    int          `json:"bits"`
 	Airtime des.Duration `json:"airtime_us"`
@@ -119,6 +122,16 @@ type ReportProcessEvent struct {
 	Outcome string   `json:"outcome"`
 }
 
+// HandoffEvent records a client's re-association from one cell to another.
+// Flushed reports whether the handoff policy dropped the client's cache.
+type HandoffEvent struct {
+	At      des.Time `json:"t"`
+	Client  int      `json:"client"`
+	From    int      `json:"from"`
+	To      int      `json:"to"`
+	Flushed bool     `json:"flushed,omitempty"`
+}
+
 // Tracer observes typed simulation events. Implementations must be safe for
 // concurrent use: parallel replications of one configuration share a single
 // tracer. All emission sites treat a nil Tracer as "tracing disabled".
@@ -130,6 +143,7 @@ type Tracer interface {
 	SleepWake(e SleepWakeEvent)
 	DBUpdate(e DBUpdateEvent)
 	ReportProcess(e ReportProcessEvent)
+	Handoff(e HandoffEvent)
 }
 
 // Base is a no-op Tracer meant for embedding, so consumers interested in a
@@ -156,6 +170,9 @@ func (Base) DBUpdate(DBUpdateEvent) {}
 
 // ReportProcess implements Tracer.
 func (Base) ReportProcess(ReportProcessEvent) {}
+
+// Handoff implements Tracer.
+func (Base) Handoff(HandoffEvent) {}
 
 // tee fans every event out to several tracers in order.
 type tee struct{ ts []Tracer }
@@ -218,5 +235,11 @@ func (t *tee) DBUpdate(e DBUpdateEvent) {
 func (t *tee) ReportProcess(e ReportProcessEvent) {
 	for _, s := range t.ts {
 		s.ReportProcess(e)
+	}
+}
+
+func (t *tee) Handoff(e HandoffEvent) {
+	for _, s := range t.ts {
+		s.Handoff(e)
 	}
 }

@@ -17,6 +17,7 @@ const (
 	EvSleepWake       = "sleep_wake"
 	EvDBUpdate        = "db_update"
 	EvReportProcess   = "report_process"
+	EvHandoff         = "handoff"
 )
 
 // JSONL is a Tracer that appends one JSON object per event to a writer. It
@@ -145,6 +146,14 @@ func (s *JSONL) ReportProcess(e ReportProcessEvent) {
 	}{EvReportProcess, e})
 }
 
+// Handoff implements Tracer.
+func (s *JSONL) Handoff(e HandoffEvent) {
+	s.emit(struct {
+		Ev string `json:"ev"`
+		HandoffEvent
+	}{EvHandoff, e})
+}
+
 // Decode parses one JSONL trace line back into its typed event. The first
 // return value is one of the *Event structs (by value): ReportBroadcastEvent,
 // QueryEvent, CacheEvent, FrameTxEvent, SleepWakeEvent, DBUpdateEvent or
@@ -205,6 +214,12 @@ func Decode(line []byte) (any, error) {
 			return nil, err
 		}
 		return *v.(*ReportProcessEvent), nil
+	case EvHandoff:
+		v, err := unmarshal(&HandoffEvent{})
+		if err != nil {
+			return nil, err
+		}
+		return *v.(*HandoffEvent), nil
 	}
 	return nil, fmt.Errorf("obs: unknown event type %q", tag.Ev)
 }
@@ -251,11 +266,11 @@ type Ring struct {
 	buf   []any
 	next  int
 	total uint64
-	byEv  [7]uint64 // per-type counts, indexed by evIndex order
+	byEv  [8]uint64 // per-type counts, indexed by evIndex order
 }
 
 var evOrder = [...]string{EvReportBroadcast, EvQuery, EvCache, EvFrameTx,
-	EvSleepWake, EvDBUpdate, EvReportProcess}
+	EvSleepWake, EvDBUpdate, EvReportProcess, EvHandoff}
 
 // NewRing builds a ring sink holding the most recent capacity events.
 func NewRing(capacity int) *Ring {
@@ -327,3 +342,6 @@ func (r *Ring) DBUpdate(e DBUpdateEvent) { r.add(5, e) }
 
 // ReportProcess implements Tracer.
 func (r *Ring) ReportProcess(e ReportProcessEvent) { r.add(6, e) }
+
+// Handoff implements Tracer.
+func (r *Ring) Handoff(e HandoffEvent) { r.add(7, e) }

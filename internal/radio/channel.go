@@ -86,6 +86,14 @@ type pEntry struct {
 	p0, p1       float64
 }
 
+// Locator supplies externally owned client positions as distances to this
+// channel's base station, for deployments (multi-cell grids) where placement
+// and motion live outside the radio layer. Queries are non-decreasing in t
+// per client, like every other time-indexed channel access.
+type Locator interface {
+	DistanceM(i int, t des.Time) float64
+}
+
 // Channel is the population of downlink links from the base station to each
 // client. All methods must be called from the simulation goroutine.
 type Channel struct {
@@ -94,14 +102,24 @@ type Channel struct {
 	links  []link
 	snrBuf []float64
 	mob    *mobility.Model
+	loc    Locator
 }
 
 // New builds a channel with n client links. The source seeds one independent
 // fading stream per client; the same (seed, n, params) triple always yields
 // the same channel realization.
 func New(p Params, amc *AMC, n int, src *rng.Source) (*Channel, error) {
+	return NewWithLocator(p, amc, n, src, nil)
+}
+
+// NewWithLocator is New with client distances supplied by an external
+// locator instead of the channel's own placement or mobility model. A
+// non-nil locator requires geometry mode and excludes Params.Mobility; like
+// mobility, it makes each link's mean SNR drift, so the decode-probability
+// memoization is disabled. A nil locator is exactly New.
+func NewWithLocator(p Params, amc *AMC, n int, src *rng.Source, loc Locator) (*Channel, error) {
 	c := &Channel{}
-	if err := c.init(p, amc, n, src); err != nil {
+	if err := c.init(p, amc, n, src, loc); err != nil {
 		return nil, err
 	}
 	return c, nil
@@ -113,12 +131,18 @@ func New(p Params, amc *AMC, n int, src *rng.Source) (*Channel, error) {
 // src is identical to what New would produce: Reset makes exactly the same
 // draws in the same order.
 func (c *Channel) Reset(p Params, amc *AMC, n int, src *rng.Source) error {
-	return c.init(p, amc, n, src)
+	return c.init(p, amc, n, src, nil)
+}
+
+// ResetWithLocator is Reset for a channel driven by an external locator; it
+// makes the same draws NewWithLocator would.
+func (c *Channel) ResetWithLocator(p Params, amc *AMC, n int, src *rng.Source, loc Locator) error {
+	return c.init(p, amc, n, src, loc)
 }
 
 // init builds the channel state in place, reusing any backing slices of the
 // right shape that c already holds.
-func (c *Channel) init(p Params, amc *AMC, n int, src *rng.Source) error {
+func (c *Channel) init(p Params, amc *AMC, n int, src *rng.Source, loc Locator) error {
 	if n <= 0 {
 		return fmt.Errorf("radio: need at least one client, got %d", n)
 	}
@@ -135,9 +159,16 @@ func (c *Channel) init(p Params, amc *AMC, n int, src *rng.Source) error {
 	if p.Mobility != nil && !p.UseGeometry {
 		return fmt.Errorf("radio: mobility requires geometry mode")
 	}
+	if loc != nil && p.Mobility != nil {
+		return fmt.Errorf("radio: locator and mobility are mutually exclusive")
+	}
+	if loc != nil && !p.UseGeometry {
+		return fmt.Errorf("radio: locator requires geometry mode")
+	}
 	c.params = p
 	c.amc = amc
 	c.mob = nil
+	c.loc = loc
 	if len(c.links) != n {
 		c.links = make([]link, n)
 		c.snrBuf = make([]float64, n)
@@ -150,7 +181,7 @@ func (c *Channel) init(p Params, amc *AMC, n int, src *rng.Source) error {
 		c.mob = mob
 	}
 	pCacheLen := 0
-	if c.mob == nil {
+	if !c.drifting() {
 		pCacheLen = len(amc.Table) * p.FadingStates
 	}
 	placement := src.SubStream(0)
@@ -160,9 +191,12 @@ func (c *Channel) init(p Params, amc *AMC, n int, src *rng.Source) error {
 		*l = link{src: src.SubStream(uint64(i) + 1)}
 		l.shadowDB = placement.Normal(0, p.ShadowSigmaDB)
 		if p.UseGeometry {
-			if c.mob != nil {
+			switch {
+			case c.mob != nil:
 				l.distM = c.mob.DistanceM(i, 0)
-			} else {
+			case c.loc != nil:
+				l.distM = c.loc.DistanceM(i, 0)
+			default:
 				// Uniform over the annulus area.
 				r2min := p.MinDistanceM * p.MinDistanceM
 				r2max := p.CellRadiusM * p.CellRadiusM
@@ -172,11 +206,12 @@ func (c *Channel) init(p Params, amc *AMC, n int, src *rng.Source) error {
 		} else {
 			l.meanDB = p.MeanSNRdB + l.shadowDB
 		}
-		// Under mobility the fading chain is built around 0 dB and the
-		// drifting path-loss mean is added per query: the Rayleigh FSMC is
-		// scale-invariant in its mean, so the offset form is exact.
+		// Under mobility (or an external locator) the fading chain is built
+		// around 0 dB and the drifting path-loss mean is added per query: the
+		// Rayleigh FSMC is scale-invariant in its mean, so the offset form is
+		// exact.
 		fsmcMean := l.meanDB
-		if c.mob != nil {
+		if c.drifting() {
 			fsmcMean = 0
 		}
 		fsmc, err := NewFSMC(fsmcMean, p.DopplerHz, p.FadingSlot.Seconds(), p.FadingStates)
@@ -199,6 +234,10 @@ func (c *Channel) init(p Params, amc *AMC, n int, src *rng.Source) error {
 	return nil
 }
 
+// drifting reports whether link means move over time (mobility model or
+// external locator), which disables the per-state decode memoization.
+func (c *Channel) drifting() bool { return c.mob != nil || c.loc != nil }
+
 // N reports the number of client links.
 func (c *Channel) N() int { return len(c.links) }
 
@@ -220,10 +259,13 @@ func (c *Channel) MeanSNRdB(i int) float64 { return c.links[i].meanDB }
 // MeanSNRdBAt reports client i's instantaneous mean SNR (path loss plus
 // shadowing, fading excluded) at time t.
 func (c *Channel) MeanSNRdBAt(i int, t des.Time) float64 {
-	if c.mob == nil {
-		return c.links[i].meanDB
+	switch {
+	case c.mob != nil:
+		return c.geoMeanDB(c.mob.DistanceM(i, t), c.links[i].shadowDB)
+	case c.loc != nil:
+		return c.geoMeanDB(c.loc.DistanceM(i, t), c.links[i].shadowDB)
 	}
-	return c.geoMeanDB(c.mob.DistanceM(i, t), c.links[i].shadowDB)
+	return c.links[i].meanDB
 }
 
 // DistanceM reports client i's distance from the base station (geometry mode
@@ -233,10 +275,13 @@ func (c *Channel) DistanceM(i int) float64 { return c.links[i].distM }
 
 // DistanceMAt reports client i's distance at time t.
 func (c *Channel) DistanceMAt(i int, t des.Time) float64 {
-	if c.mob == nil {
-		return c.links[i].distM
+	switch {
+	case c.mob != nil:
+		return c.mob.DistanceM(i, t)
+	case c.loc != nil:
+		return c.loc.DistanceM(i, t)
 	}
-	return c.mob.DistanceM(i, t)
+	return c.links[i].distM
 }
 
 // advance brings link i's fading state up to the slot containing `now`.
@@ -254,7 +299,7 @@ func (c *Channel) advance(i int, now des.Time) *link {
 func (c *Channel) SNRdB(i int, now des.Time) float64 {
 	l := c.advance(i, now)
 	snr := l.fsmc.RepSNRdB(l.state)
-	if c.mob != nil {
+	if c.drifting() {
 		snr += c.MeanSNRdBAt(i, now)
 	}
 	return snr

@@ -1,0 +1,238 @@
+// Package topology lays out a multi-cell deployment: a square grid of base
+// stations, nearest-cell association, and mobility-driven handoff. It owns
+// where clients are and which cell serves them; the core composes it with one
+// radio channel, MAC pair and invalidation server per cell.
+package topology
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/des"
+	"repro/internal/mobility"
+	"repro/internal/rng"
+)
+
+// HandoffPolicy selects what happens to a client's cache when it is handed
+// to a new cell.
+type HandoffPolicy int
+
+const (
+	// Drop flushes the cache at handoff: the new cell's reports carry no
+	// guarantee about what the old cell validated, so the client starts
+	// clean. Simple and always safe, at the price of refetching everything.
+	Drop HandoffPolicy = iota
+
+	// Revalidate keeps the cache and lets the new cell's coverage-window
+	// rule decide: all cells report about the same shared database timeline,
+	// so a report whose window reaches back past the client's last
+	// consistent time validates the carried-over entries exactly as if the
+	// client had dozed through the gap — and a broken chain forces the same
+	// full drop it always does.
+	Revalidate
+)
+
+// String names the policy as used in CLI flags.
+func (p HandoffPolicy) String() string {
+	switch p {
+	case Drop:
+		return "drop"
+	case Revalidate:
+		return "revalidate"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy converts a policy name as used in CLI flags.
+func ParsePolicy(s string) (HandoffPolicy, error) {
+	switch s {
+	case "drop":
+		return Drop, nil
+	case "revalidate":
+		return Revalidate, nil
+	}
+	return 0, fmt.Errorf("topology: unknown handoff policy %q", s)
+}
+
+// Config parameterizes the grid and the motion over it. The zero value (and
+// any NumCells ≤ 1) disables the topology: the simulation runs the legacy
+// single-cell wiring untouched.
+type Config struct {
+	// NumCells is the number of base stations; values ≤ 1 mean single-cell.
+	NumCells int
+
+	// CellRadiusM sets the grid pitch: cells are squares inscribed so every
+	// point is within CellRadiusM of its own base station.
+	CellRadiusM float64
+
+	// MinDistanceM clamps path-loss distances (a client cannot stand inside
+	// a mast).
+	MinDistanceM float64
+
+	// Random-waypoint motion over the whole grid area.
+	SpeedMinMps  float64
+	SpeedMaxMps  float64
+	PauseMeanSec float64
+
+	// CheckPeriod is how often association is re-evaluated (the measurement
+	// gap of a real handset). Handoffs fire on this cadence.
+	CheckPeriod des.Duration
+
+	// Policy selects the cache treatment at handoff.
+	Policy HandoffPolicy
+}
+
+// DefaultConfig returns a disabled (single-cell) topology whose grid and
+// motion parameters are ready to use once NumCells is raised: 500 m cells,
+// pedestrian speeds, 1 s association checks, cache drop at handoff.
+func DefaultConfig() Config {
+	return Config{
+		NumCells:     1,
+		CellRadiusM:  500,
+		MinDistanceM: 20,
+		SpeedMinMps:  0.5,
+		SpeedMaxMps:  2.0,
+		PauseMeanSec: 30,
+		CheckPeriod:  des.Second,
+		Policy:       Drop,
+	}
+}
+
+// Cells reports the effective cell count (at least 1).
+func (c Config) Cells() int {
+	if c.NumCells < 1 {
+		return 1
+	}
+	return c.NumCells
+}
+
+// Enabled reports whether the multi-cell topology is active.
+func (c Config) Enabled() bool { return c.NumCells > 1 }
+
+// Validate reports the first configuration problem. A disabled topology is
+// always valid; its other fields are ignored.
+func (c Config) Validate() error {
+	if !c.Enabled() {
+		return nil
+	}
+	switch {
+	case c.CellRadiusM <= 0:
+		return fmt.Errorf("topology: CellRadiusM %v", c.CellRadiusM)
+	case c.MinDistanceM < 0 || c.MinDistanceM >= c.CellRadiusM:
+		return fmt.Errorf("topology: MinDistanceM %v of %v", c.MinDistanceM, c.CellRadiusM)
+	case c.SpeedMinMps <= 0 || c.SpeedMaxMps < c.SpeedMinMps:
+		return fmt.Errorf("topology: speed range [%v, %v]", c.SpeedMinMps, c.SpeedMaxMps)
+	case c.PauseMeanSec < 0:
+		return fmt.Errorf("topology: PauseMeanSec %v", c.PauseMeanSec)
+	case c.CheckPeriod <= 0:
+		return fmt.Errorf("topology: CheckPeriod %v", c.CheckPeriod)
+	case c.Policy != Drop && c.Policy != Revalidate:
+		return fmt.Errorf("topology: policy %d", int(c.Policy))
+	}
+	return nil
+}
+
+// Grid is the base-station layout: NumCells square cells of side
+// CellRadiusM·√2 (so the far corner of a cell is exactly CellRadiusM from
+// its center), packed row-major into a near-square rectangle.
+type Grid struct {
+	n       int
+	cols    int
+	rows    int
+	spacing float64
+}
+
+// NewGrid lays out n cells with the given radius.
+func NewGrid(n int, cellRadiusM float64) Grid {
+	if n < 1 {
+		n = 1
+	}
+	cols := int(math.Ceil(math.Sqrt(float64(n))))
+	rows := (n + cols - 1) / cols
+	return Grid{n: n, cols: cols, rows: rows, spacing: cellRadiusM * math.Sqrt2}
+}
+
+// NumCells reports the cell count.
+func (g Grid) NumCells() int { return g.n }
+
+// WidthM and HeightM bound the service area. When n is not a perfect
+// cols×rows product the rectangle includes squares with no base station;
+// clients there associate to the nearest existing one (at reduced SNR).
+func (g Grid) WidthM() float64 { return float64(g.cols) * g.spacing }
+
+// HeightM reports the area height.
+func (g Grid) HeightM() float64 { return float64(g.rows) * g.spacing }
+
+// Center reports cell k's base-station coordinates.
+func (g Grid) Center(k int) (x, y float64) {
+	col, row := k%g.cols, k/g.cols
+	return (float64(col) + 0.5) * g.spacing, (float64(row) + 0.5) * g.spacing
+}
+
+// Nearest reports the cell whose base station is closest to (x, y), breaking
+// ties toward the lowest id so association is deterministic.
+func (g Grid) Nearest(x, y float64) int {
+	best, bestD2 := 0, math.Inf(1)
+	for k := 0; k < g.n; k++ {
+		cx, cy := g.Center(k)
+		d2 := (x-cx)*(x-cx) + (y-cy)*(y-cy)
+		if d2 < bestD2 {
+			best, bestD2 = k, d2
+		}
+	}
+	return best
+}
+
+// Model combines the grid with client motion: it answers where client i is,
+// which cell serves that position, and how far i is from any base station.
+type Model struct {
+	Grid
+	cfg Config
+	mob *mobility.AreaModel
+}
+
+// NewModel builds the grid and n client trajectories over its area. The
+// source seeds one independent walk per client; the same (cfg, n, src) always
+// yields the same trajectories.
+func NewModel(cfg Config, n int, src *rng.Source) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g := NewGrid(cfg.Cells(), cfg.CellRadiusM)
+	mob, err := mobility.NewArea(mobility.AreaConfig{
+		WidthM:       g.WidthM(),
+		HeightM:      g.HeightM(),
+		SpeedMinMps:  cfg.SpeedMinMps,
+		SpeedMaxMps:  cfg.SpeedMaxMps,
+		PauseMeanSec: cfg.PauseMeanSec,
+	}, n, src)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{Grid: g, cfg: cfg, mob: mob}, nil
+}
+
+// Position reports client i's coordinates at time t. Queries must be
+// non-decreasing in t per client (the simulator's clock is monotone).
+func (m *Model) Position(i int, t des.Time) (x, y float64) {
+	return m.mob.Position(i, t)
+}
+
+// NearestCell reports the cell serving client i's position at time t.
+func (m *Model) NearestCell(i int, t des.Time) int {
+	x, y := m.mob.Position(i, t)
+	return m.Nearest(x, y)
+}
+
+// DistanceToCellM reports client i's distance from cell k's base station at
+// time t, clamped below at MinDistanceM.
+func (m *Model) DistanceToCellM(i, k int, t des.Time) float64 {
+	x, y := m.mob.Position(i, t)
+	cx, cy := m.Center(k)
+	d := math.Hypot(x-cx, y-cy)
+	if d < m.cfg.MinDistanceM {
+		d = m.cfg.MinDistanceM
+	}
+	return d
+}

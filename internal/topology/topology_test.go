@@ -1,0 +1,160 @@
+package topology
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/rng"
+)
+
+func TestGridLayout(t *testing.T) {
+	cases := []struct {
+		n, cols, rows int
+	}{
+		{1, 1, 1}, {2, 2, 1}, {3, 2, 2}, {4, 2, 2}, {5, 3, 2},
+		{9, 3, 3}, {10, 4, 3}, {16, 4, 4},
+	}
+	for _, c := range cases {
+		g := NewGrid(c.n, 500)
+		if g.cols != c.cols || g.rows != c.rows {
+			t.Errorf("NewGrid(%d): %dx%d, want %dx%d", c.n, g.cols, g.rows, c.cols, c.rows)
+		}
+		if g.NumCells() != c.n {
+			t.Errorf("NewGrid(%d).NumCells() = %d", c.n, g.NumCells())
+		}
+		// Every cell center must map back to its own cell.
+		for k := 0; k < c.n; k++ {
+			x, y := g.Center(k)
+			if got := g.Nearest(x, y); got != k {
+				t.Errorf("NewGrid(%d): Nearest(Center(%d)) = %d", c.n, k, got)
+			}
+		}
+	}
+}
+
+func TestGridNearestTieBreak(t *testing.T) {
+	// Power-of-two spacing keeps every center coordinate exact, so the area
+	// midpoint is equidistant from all four centers down to the last bit; the
+	// lowest id must win so association is deterministic.
+	g := Grid{n: 4, cols: 2, rows: 2, spacing: 512}
+	if got := g.Nearest(g.WidthM()/2, g.HeightM()/2); got != 0 {
+		t.Fatalf("midpoint associated with cell %d, want 0", got)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{}).Validate(); err != nil {
+		t.Fatalf("zero config (disabled) must validate: %v", err)
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config: %v", err)
+	}
+	ok := DefaultConfig()
+	ok.NumCells = 4
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("4-cell default: %v", err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.CellRadiusM = 0 },
+		func(c *Config) { c.MinDistanceM = -1 },
+		func(c *Config) { c.MinDistanceM = c.CellRadiusM },
+		func(c *Config) { c.SpeedMinMps = 0 },
+		func(c *Config) { c.SpeedMaxMps = c.SpeedMinMps / 2 },
+		func(c *Config) { c.PauseMeanSec = -1 },
+		func(c *Config) { c.CheckPeriod = 0 },
+		func(c *Config) { c.Policy = HandoffPolicy(99) },
+	}
+	for i, mutate := range bad {
+		c := ok
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d validated", i)
+		}
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want HandoffPolicy
+	}{{"drop", Drop}, {"revalidate", Revalidate}} {
+		got, err := ParsePolicy(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("ParsePolicy(%q) = %v, %v", c.in, got, err)
+		}
+		if got.String() != c.in {
+			t.Errorf("%v.String() = %q, want %q", got, got.String(), c.in)
+		}
+	}
+	if _, err := ParsePolicy("nope"); err == nil {
+		t.Error("ParsePolicy accepted garbage")
+	}
+}
+
+func newTestModel(t *testing.T, n int, seed uint64) *Model {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.NumCells = 4
+	cfg.SpeedMinMps = 10
+	cfg.SpeedMaxMps = 20
+	cfg.PauseMeanSec = 2
+	m, err := NewModel(cfg, n, rng.Stream(seed, "topology"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestModelHandoffOccurs(t *testing.T) {
+	m := newTestModel(t, 10, 1)
+	changed := false
+	for i := 0; i < 10 && !changed; i++ {
+		first := m.NearestCell(i, 0)
+		for s := 1; s <= 600; s++ {
+			if m.NearestCell(i, des.Time(0).Add(des.Duration(s)*des.Second)) != first {
+				changed = true
+				break
+			}
+		}
+	}
+	if !changed {
+		t.Fatal("no client ever changed nearest cell over 10 minutes of vehicular motion")
+	}
+}
+
+func TestModelDeterministicAndMonotoneQueries(t *testing.T) {
+	a := newTestModel(t, 6, 42)
+	b := newTestModel(t, 6, 42)
+	for i := 0; i < 6; i++ {
+		for s := 0; s <= 120; s += 7 {
+			at := des.Time(0).Add(des.Duration(s) * des.Second)
+			ax, ay := a.Position(i, at)
+			bx, by := b.Position(i, at)
+			if ax != bx || ay != by {
+				t.Fatalf("client %d at %v: (%v,%v) != (%v,%v)", i, at, ax, ay, bx, by)
+			}
+			if ax < 0 || ay < 0 || ax > a.WidthM() || ay > a.HeightM() {
+				t.Fatalf("client %d left the area: (%v,%v)", i, ax, ay)
+			}
+		}
+	}
+}
+
+func TestDistanceFloor(t *testing.T) {
+	m := newTestModel(t, 4, 3)
+	for i := 0; i < 4; i++ {
+		for s := 0; s <= 60; s += 3 {
+			at := des.Time(0).Add(des.Duration(s) * des.Second)
+			for k := 0; k < m.NumCells(); k++ {
+				d := m.DistanceToCellM(i, k, at)
+				if d < m.cfg.MinDistanceM {
+					t.Fatalf("distance %v below floor %v", d, m.cfg.MinDistanceM)
+				}
+				if math.IsNaN(d) || math.IsInf(d, 0) {
+					t.Fatalf("bad distance %v", d)
+				}
+			}
+		}
+	}
+}
