@@ -1,6 +1,22 @@
 GO ?= go
 
-.PHONY: build test vet race smoke-multicell check sweep bench bench-smoke bench-json
+.PHONY: help build test vet race smoke-multicell check sweep bench bench-smoke bench-json soak fuzz-smoke
+
+# help lists the public targets. check is the pre-commit gate; soak is the
+# nightly chaos run and is deliberately NOT part of check.
+help:
+	@echo "build           compile everything"
+	@echo "test            run the unit suite"
+	@echo "vet             go vet"
+	@echo "race            race-detector pass over the concurrent packages"
+	@echo "smoke-multicell multi-cell topology smoke under -race"
+	@echo "check           pre-commit gate: build + vet + race + smoke-multicell"
+	@echo "sweep           regenerate the full evaluation into results/"
+	@echo "bench           full benchmark archive run"
+	@echo "bench-smoke     CI-sized benchmark subset"
+	@echo "bench-json      refresh BENCH_1.json and enforce the 15% perf ratchet"
+	@echo "fuzz-smoke      30s native-fuzz pass over each ir wire-decoder target"
+	@echo "soak            long randomized chaos/fault run under -race (nightly job)"
 
 build:
 	$(GO) build ./...
@@ -49,3 +65,18 @@ bench-smoke:
 bench-json:
 	$(GO) test -run '^$$' -bench 'Engine$$|TracerOverhead' -benchtime 5x -benchmem . \
 		| $(GO) run ./cmd/wdcbench -baseline BENCH_1.json -out BENCH_1.json -max-regress-pct 15
+
+# fuzz-smoke runs each ir fuzz target for 30s from its committed seed corpus.
+# Short enough to gate a PR; the corpora under internal/ir/testdata/fuzz keep
+# the interesting inputs across runs.
+fuzz-smoke:
+	$(GO) test -run '^FuzzUnmarshal$$' -fuzz '^FuzzUnmarshal$$' -fuzztime 30s ./internal/ir
+	$(GO) test -run '^FuzzReportDecode$$' -fuzz '^FuzzReportDecode$$' -fuzztime 30s ./internal/ir
+
+# soak is the nightly chaos harness: many randomized fault schedules (outages,
+# report loss, disconnections with every recovery policy) across all eight
+# algorithms under the race detector, asserting zero stale reads, no stuck
+# clients and a drained event queue. SOAK=<n> scales the seed count (default
+# 3x the PR-gating run). Expect tens of minutes; not part of `make check`.
+soak:
+	SOAK=$${SOAK:-3} $(GO) test -race -run 'Chaos|HandoffDisconnect' -timeout 45m -count=1 -v ./internal/core

@@ -25,6 +25,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/des"
+	"repro/internal/fault"
 	"repro/internal/ir"
 	"repro/internal/obs"
 	"repro/internal/topology"
@@ -57,6 +58,16 @@ func main() {
 	cells := flag.Int("cells", cfg.Topology.NumCells, "base-station cells (>1 shards the run into a multi-cell grid)")
 	handoffPolicy := flag.String("handoff-policy", cfg.Topology.Policy.String(), "cache treatment at handoff: drop, revalidate")
 	handoffSpeed := flag.Float64("handoff-speed", cfg.Topology.SpeedMaxMps, "top client speed over the grid (m/s); min is a third of it")
+	outage := flag.Float64("outage", cfg.Fault.OutageLen.Seconds(), "base-station outage length (s); 0 disables")
+	outagePeriod := flag.Float64("outage-period", 180, "outage repeat period (s); 0 = one-shot")
+	outageStart := flag.Float64("outage-start", 30, "first outage start (s)")
+	reportLoss := flag.Float64("report-loss", cfg.Fault.ReportLossProb, "probability a standalone report vanishes in transit")
+	reportTrunc := flag.Float64("report-trunc", cfg.Fault.ReportTruncProb, "probability a standalone report arrives truncated")
+	queryTimeout := flag.Float64("query-timeout", cfg.Fault.QueryTimeout.Seconds(), "uplink query retry timeout (s); 0 disables retries")
+	retryMax := flag.Int("retry-max", cfg.Fault.RetryMax, "retry attempts before a query gives up")
+	disconnect := flag.Float64("disconnect", 0, "mean seconds between client disconnections; 0 disables")
+	disconnectMean := flag.Float64("disconnect-mean", 30, "mean disconnection length (s)")
+	recovery := flag.String("recovery", cfg.Fault.Recovery.String(), "reconnection policy: window, flush, catchup")
 	strict := flag.Bool("strict-priority", false, "responses strictly preempt background traffic")
 	snoop := flag.Bool("snoop", false, "clients cache overheard responses")
 	coalesce := flag.Bool("coalesce", false, "server coalesces same-item responses")
@@ -164,6 +175,49 @@ func main() {
 		cfg.Topology.SpeedMaxMps = *handoffSpeed
 		cfg.Topology.SpeedMinMps = *handoffSpeed / 3
 	}
+	if use("outage") {
+		cfg.Fault.OutageLen = des.FromSeconds(*outage)
+	}
+	if use("outage-period") {
+		cfg.Fault.OutagePeriod = des.FromSeconds(*outagePeriod)
+	}
+	if use("outage-start") {
+		cfg.Fault.OutageStart = des.FromSeconds(*outageStart)
+	}
+	if use("report-loss") {
+		cfg.Fault.ReportLossProb = *reportLoss
+	}
+	if use("report-trunc") {
+		cfg.Fault.ReportTruncProb = *reportTrunc
+	}
+	if use("query-timeout") {
+		cfg.Fault.QueryTimeout = des.FromSeconds(*queryTimeout)
+	}
+	if use("retry-max") {
+		cfg.Fault.RetryMax = *retryMax
+	}
+	if use("disconnect") {
+		if *disconnect > 0 {
+			cfg.Fault.DisconnectRate = 1 / *disconnect
+		} else {
+			cfg.Fault.DisconnectRate = 0
+		}
+	}
+	if use("disconnect-mean") {
+		cfg.Fault.DisconnectMeanSec = *disconnectMean
+	}
+	if use("recovery") {
+		p, err := fault.ParseRecovery(*recovery)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Fault.Recovery = p
+	}
+	// Outages without a retry layer would strand every query the dark base
+	// station swallowed; arm a sane timeout unless the user chose one.
+	if cfg.Fault.OutagesEnabled() && cfg.Fault.QueryTimeout <= 0 {
+		cfg.Fault.QueryTimeout = des.FromSeconds(3)
+	}
 
 	if *saveConfig != "" {
 		if err := cfg.SaveJSON(*saveConfig); err != nil {
@@ -248,6 +302,17 @@ func printVerbose(r *core.RunStats) {
 	if r.NumCells > 1 {
 		fmt.Printf("  cells / handoffs     %d / %d (caches flushed %d)\n",
 			r.NumCells, r.Handoffs, r.HandoffFlushes)
+	}
+	if r.Outages+r.ReportsSuppressed+r.ReportsFaultLost+r.ReportsFaultTrunc+
+		r.QueriesLostToOutage+r.QueryRetries+r.QueryGiveups+r.Disconnects > 0 {
+		fmt.Printf("  outages              %d (queries lost %d, reports suppressed %d)\n",
+			r.Outages, r.QueriesLostToOutage, r.ReportsSuppressed)
+		fmt.Printf("  report faults        lost=%d truncated=%d\n",
+			r.ReportsFaultLost, r.ReportsFaultTrunc)
+		fmt.Printf("  query retries        %d (%.3f/query, giveups %d)\n",
+			r.QueryRetries, r.RetriesPerQuery(), r.QueryGiveups)
+		fmt.Printf("  disconnects          %d (recoveries %d, mean %.3f s)\n",
+			r.Disconnects, r.Recoveries, r.RecoveryMeanSec)
 	}
 	fmt.Printf("  %s\n", r.PerfString())
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/des"
+	"repro/internal/fault"
 	"repro/internal/ir"
 	"repro/internal/mac"
 	"repro/internal/obs"
@@ -181,9 +182,15 @@ func (cell *Cell) deliver(f *mac.Frame, ok bool, mcs int, now des.Time) {
 		amc.Airtime(mcs, f.Bits)
 	switch m := f.Meta.(type) {
 	case *ir.Report:
+		if in := s.injector; in != nil {
+			if fate := in.ReportFate(cell.id); fate != fault.Deliver {
+				cell.deliverFaultedReport(m, fate, airtime, now)
+				return
+			}
+		}
 		for _, id := range cell.awakeSnapshot() {
 			c := s.clients[id]
-			if !c.awake || c.cell != cell {
+			if !c.awake || !c.connected || c.cell != cell {
 				continue
 			}
 			s.chargeRx(c, airtime)
@@ -197,9 +204,12 @@ func (cell *Cell) deliver(f *mac.Frame, ok bool, mcs int, now des.Time) {
 	case *respMeta:
 		cell.server.onResponseDelivered(m)
 		dest := s.clients[f.Dest]
-		if dest.cell != cell {
+		switch {
+		case dest.cell != cell:
 			s.respDeparted++
-		} else {
+		case !dest.connected:
+			s.respDisconnected++
+		default:
 			if dest.awake {
 				s.chargeRx(dest, airtime)
 			}
@@ -209,6 +219,10 @@ func (cell *Cell) deliver(f *mac.Frame, ok bool, mcs int, now des.Time) {
 			c := s.clients[w]
 			if c.cell != cell {
 				s.respDeparted++
+				continue
+			}
+			if !c.connected {
+				s.respDisconnected++
 				continue
 			}
 			if c.awake {
@@ -222,7 +236,7 @@ func (cell *Cell) deliver(f *mac.Frame, ok bool, mcs int, now des.Time) {
 		if s.cfg.SnoopResponses {
 			for _, id := range cell.awakeSnapshot() {
 				c := s.clients[id]
-				if !c.awake || c.cell != cell || c.id == f.Dest {
+				if !c.awake || !c.connected || c.cell != cell || c.id == f.Dest {
 					continue
 				}
 				s.chargeRx(c, airtime)
@@ -235,11 +249,24 @@ func (cell *Cell) deliver(f *mac.Frame, ok bool, mcs int, now des.Time) {
 		cell.server.releaseResp(m)
 	case *bgMeta:
 		dest := s.clients[f.Dest]
-		if dest.cell == cell && dest.awake {
+		if dest.cell == cell && dest.awake && dest.connected {
 			s.chargeRx(dest, airtime)
 		}
 		cell.fanPiggy(m.piggy, f.RobustBits, now)
 		cell.server.releaseBg(m)
+	case *catchupMeta:
+		dest := s.clients[f.Dest]
+		switch {
+		case dest.cell != cell:
+			s.respDeparted++
+		case !dest.connected:
+			s.respDisconnected++
+		default:
+			if dest.awake {
+				s.chargeRx(dest, airtime)
+			}
+			dest.onCatchup(m.report, ok)
+		}
 	default:
 		panic(fmt.Sprintf("core: unknown frame meta %T", f.Meta))
 	}
@@ -259,7 +286,7 @@ func (cell *Cell) fanPiggy(pg *ir.Report, robustBits int, now des.Time) {
 	headAir := cell.channel.AMC().Airtime(0, headBits)
 	for _, id := range cell.awakeSnapshot() {
 		c := s.clients[id]
-		if !c.awake || c.cell != cell {
+		if !c.awake || !c.connected || c.cell != cell {
 			continue
 		}
 		s.chargeRx(c, headAir)
@@ -270,6 +297,30 @@ func (cell *Cell) fanPiggy(pg *ir.Report, robustBits int, now des.Time) {
 		}
 	}
 	cell.server.algo.Recycle(pg)
+}
+
+// deliverFaultedReport applies an injected fate to a standalone report that
+// reached the air. Lost: the frame vanishes in transit — nobody hears it and
+// nobody pays receive energy. Truncated: every awake receiver pays the full
+// airtime but the CRC fails, so each counts the report as lost; that is the
+// channel-loss path the coverage-window rule already survives, forced
+// deterministically instead of by SNR.
+func (cell *Cell) deliverFaultedReport(r *ir.Report, fate fault.Fate, airtime float64, now des.Time) {
+	s := cell.sim
+	mode := obs.ReportFaultLost
+	if fate == fault.Truncated {
+		mode = obs.ReportFaultTruncated
+		for _, id := range cell.awakeSnapshot() {
+			c := s.clients[id]
+			if !c.awake || !c.connected || c.cell != cell {
+				continue
+			}
+			s.chargeRx(c, airtime)
+			c.onReportLost()
+		}
+	}
+	s.noteReportFault(cell.id, r.Seq, mode)
+	cell.server.algo.Recycle(r)
 }
 
 // traceReport emits a ReportBroadcastEvent for a report leaving this cell's

@@ -1,0 +1,350 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/fault"
+	"repro/internal/ir"
+	"repro/internal/obs"
+	"repro/internal/rng"
+	"repro/internal/topology"
+)
+
+// chaosConfig builds one randomized fault scenario: a single-cell run with
+// some mix of scheduled outages, report loss/truncation, query-retry pressure
+// and extended disconnections, all drawn from the test's own seed. Every
+// configuration it returns passes Validate, so a failure is always a
+// simulator bug, never a bad config.
+func chaosConfig(seed uint64, algo string) Config {
+	r := rng.New(seed)
+	cfg := DefaultConfig()
+	cfg.Seed = seed
+	cfg.Algorithm = algo
+	cfg.NumClients = 12 + r.Intn(7)
+	cfg.Horizon = 360 * des.Second
+	cfg.Warmup = 60 * des.Second
+	cfg.Workload.QueryRate = r.Uniform(0.03, 0.15)
+	cfg.Workload.SleepRatio = r.Uniform(0, 0.5)
+	cfg.Workload.AwakeMeanSec = r.Uniform(30, 120)
+	cfg.TrafficLoad = r.Uniform(0, 0.5)
+	cfg.SnoopResponses = r.Bool(0.5)
+	cfg.CoalesceResponses = r.Bool(0.5)
+
+	// The retry layer is always armed: outages require it (Validate enforces
+	// that), and it is the layer under the heaviest timing pressure.
+	cfg.Fault.QueryTimeout = des.FromSeconds(r.Uniform(1, 4))
+	cfg.Fault.RetryMax = 3 + r.Intn(5)
+	if r.Bool(0.5) {
+		outageLen := r.Uniform(5, 25)
+		cfg.Fault.OutageStart = des.FromSeconds(r.Uniform(10, 40))
+		cfg.Fault.OutageLen = des.FromSeconds(outageLen)
+		cfg.Fault.OutagePeriod = des.FromSeconds(outageLen + r.Uniform(30, 90))
+	}
+	cfg.Fault.ReportLossProb = r.Uniform(0, 0.3)
+	cfg.Fault.ReportTruncProb = r.Uniform(0, 0.15)
+	if r.Bool(0.7) {
+		cfg.Fault.DisconnectRate = 1 / r.Uniform(40, 120)
+		cfg.Fault.DisconnectMeanSec = r.Uniform(10, 50)
+		cfg.Fault.Recovery = fault.RecoveryPolicy(r.Intn(3))
+	}
+	return cfg
+}
+
+// fingerprintFault formats every fault counter so worker-count comparisons
+// cover the fault layer, not just the protocol statistics.
+func fingerprintFault(r *RunStats) string {
+	return fmt.Sprintf("out=%d sup=%d flost=%d ftrunc=%d qlost=%d rtry=%d give=%d disc=%d rec=%d recmean=%v",
+		r.Outages, r.ReportsSuppressed, r.ReportsFaultLost, r.ReportsFaultTrunc,
+		r.QueriesLostToOutage, r.QueryRetries, r.QueryGiveups,
+		r.Disconnects, r.Recoveries, r.RecoveryMeanSec)
+}
+
+// checkFaultInvariants asserts, on a finished simulation, everything the
+// fault layer promises regardless of the fault schedule:
+//
+//   - zero stale answers — consistency survives every failure mode;
+//   - query accounting holds — no query vanishes, answered or pending;
+//   - roster integrity — every cell's roster is exactly its online clients,
+//     sorted and duplicate-free, after arbitrary doze/disconnect/handoff churn;
+//   - no stuck clients — a requested pending query has its request tracked,
+//     and every outstanding request of an online client has a live retry
+//     timer (nothing waits on a response that can never come);
+//   - no event-queue leak — the scheduler holds a bounded number of pending
+//     events at the horizon, not one per lost request.
+func checkFaultInvariants(t *testing.T, sim *Simulation, r *RunStats) {
+	t.Helper()
+	if r.StaleViolations != 0 {
+		t.Errorf("%d stale answers under fault injection", r.StaleViolations)
+	}
+	if r.Answered+uint64(r.PendingAtEnd) < r.Queries {
+		t.Errorf("query accounting leak: answered %d + pending %d < queries %d",
+			r.Answered, r.PendingAtEnd, r.Queries)
+	}
+	for _, cell := range sim.cells {
+		for i := 1; i < len(cell.roster); i++ {
+			if cell.roster[i-1] >= cell.roster[i] {
+				t.Fatalf("cell %d roster not sorted/unique: %v", cell.id, cell.roster)
+			}
+		}
+		var online []int
+		for _, c := range sim.clients {
+			if c.cell == cell && c.online() {
+				online = append(online, c.id)
+			}
+		}
+		sort.Ints(online)
+		if fmt.Sprint(online) != fmt.Sprint([]int(cell.roster)) {
+			t.Errorf("cell %d roster %v != online clients %v", cell.id, cell.roster, online)
+		}
+	}
+	for _, c := range sim.clients {
+		for _, q := range c.pending {
+			if q.requested && !c.outstanding[q.item] {
+				t.Errorf("client %d: query for item %d marked requested but not outstanding",
+					c.id, q.item)
+			}
+		}
+		if c.retries != nil && c.online() {
+			for item := range c.outstanding {
+				st := c.retries[item]
+				if st == nil || st.ev == nil {
+					t.Errorf("client %d: outstanding request for item %d has no live retry timer",
+						c.id, item)
+				}
+			}
+		}
+	}
+	// Each outstanding request may legitimately hold one retry timer, so the
+	// leak bound scales with the live backlog; everything else at the horizon
+	// (tickers, sleep/query timers, MAC events, fault chains) is O(clients).
+	outstanding := 0
+	for _, c := range sim.clients {
+		outstanding += len(c.outstanding)
+	}
+	if limit := 200 + 20*len(sim.clients) + outstanding; sim.sch.Pending() > limit {
+		t.Errorf("event-queue leak: %d events pending at horizon (limit %d, outstanding %d)",
+			sim.sch.Pending(), limit, outstanding)
+	}
+}
+
+// chaosSeeds reports how many random fault schedules each algorithm faces:
+// a handful in the normal suite, more under -short's inverse (the soak job
+// sets SOAK to crank it up).
+func chaosSeeds() int {
+	if s := os.Getenv("SOAK"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 1 {
+			return 8 * n
+		}
+		return 24
+	}
+	if testing.Short() {
+		return 2
+	}
+	return 4
+}
+
+// TestChaosStaleFreedom is the fault layer's headline property test: for
+// every invalidation algorithm, across randomized fault schedules mixing
+// outages, report destruction, retry pressure and extended disconnections
+// under all three recovery policies, the protocol invariants hold — above
+// all, zero stale answers.
+func TestChaosStaleFreedom(t *testing.T) {
+	seeds := chaosSeeds()
+	for _, algo := range ir.Names {
+		algo := algo
+		t.Run(algo, func(t *testing.T) {
+			t.Parallel()
+			for s := 0; s < seeds; s++ {
+				seed := uint64(1000*s) + 17
+				cfg := chaosConfig(seed, algo)
+				sim, err := NewSimulation(cfg)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				r := sim.Execute()
+				checkFaultInvariants(t, sim, r)
+				if t.Failed() {
+					t.Fatalf("invariants violated at seed %d: %+v faults: %s",
+						seed, cfg.Fault, fingerprintFault(r))
+				}
+			}
+		})
+	}
+}
+
+// TestChaosDeterminism re-runs one fully loaded fault scenario and compares
+// every statistic and fault counter byte for byte: the fault layer's RNG
+// streams and event names must make failure schedules exactly reproducible.
+func TestChaosDeterminism(t *testing.T) {
+	for _, algo := range []string{"ts", "uir", "hybrid"} {
+		cfg := chaosConfig(99, algo)
+		a, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fa := fingerprintStats(a) + " " + fingerprintFault(a)
+		fb := fingerprintStats(b) + " " + fingerprintFault(b)
+		if fa != fb {
+			t.Errorf("%s: chaos run not deterministic\nfirst:  %s\nsecond: %s", algo, fa, fb)
+		}
+		if a.Disconnects == 0 && a.Outages == 0 {
+			t.Errorf("%s: chaos scenario injected nothing", algo)
+		}
+	}
+}
+
+// TestChaosWorkerCountInvariance runs the same faulted replication set on one
+// worker and on GOMAXPROCS: per-run statistics and fault counters must be
+// byte-identical, extending the scheduler's determinism guarantee to the
+// fault layer.
+func TestChaosWorkerCountInvariance(t *testing.T) {
+	for _, algo := range []string{"ts", "hybrid"} {
+		cfg := chaosConfig(7, algo)
+		const reps = 3
+		seq, err := RunReplications(cfg, reps, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := RunReplications(cfg, reps, 0) // 0 = GOMAXPROCS
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range seq.Runs {
+			a := fingerprintStats(seq.Runs[i]) + " " + fingerprintFault(seq.Runs[i])
+			b := fingerprintStats(par.Runs[i]) + " " + fingerprintFault(par.Runs[i])
+			if a != b {
+				t.Errorf("%s rep %d diverged across worker counts\n1 worker: %s\nparallel: %s",
+					algo, i, a, b)
+			}
+		}
+	}
+}
+
+// faultTraceRecorder captures disconnection and handoff events so the
+// composition test can correlate them.
+type faultTraceRecorder struct {
+	obs.Base
+	disconnects []obs.DisconnectEvent
+	handoffs    []obs.HandoffEvent
+	recoveries  []obs.RecoveryEvent
+}
+
+func (f *faultTraceRecorder) Disconnect(e obs.DisconnectEvent) {
+	f.disconnects = append(f.disconnects, e)
+}
+func (f *faultTraceRecorder) Handoff(e obs.HandoffEvent) { f.handoffs = append(f.handoffs, e) }
+func (f *faultTraceRecorder) Recovery(e obs.RecoveryEvent) {
+	f.recoveries = append(f.recoveries, e)
+}
+
+// TestHandoffDisconnectCompose proves the two membership mechanisms — cell
+// handoff and extended disconnection — compose under every (handoff policy,
+// recovery policy) pair: clients that cross cell boundaries while their radio
+// is dark re-join the grid in their new serving cell with rosters intact,
+// recover, and never serve a stale answer. The trace correlation asserts the
+// interesting interleaving actually occurred (handoffs mid-disconnection).
+func TestHandoffDisconnectCompose(t *testing.T) {
+	for _, hp := range []topology.HandoffPolicy{topology.Drop, topology.Revalidate} {
+		for _, rp := range []fault.RecoveryPolicy{fault.RecoverWindow, fault.RecoverFlush, fault.RecoverCatchup} {
+			hp, rp := hp, rp
+			t.Run(fmt.Sprintf("%s-%s", hp, rp), func(t *testing.T) {
+				t.Parallel()
+				downHandoffs := 0
+				for seed := uint64(5); seed < 8; seed++ {
+					cfg := multiCellConfig("hybrid", seed)
+					cfg.Topology.Policy = hp
+					cfg.Fault.QueryTimeout = des.FromSeconds(2)
+					cfg.Fault.DisconnectRate = 1.0 / 60
+					cfg.Fault.DisconnectMeanSec = 25
+					cfg.Fault.Recovery = rp
+					rec := &faultTraceRecorder{}
+					cfg.Tracer = rec
+					sim, err := NewSimulation(cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					r := sim.Execute()
+					checkFaultInvariants(t, sim, r)
+					if t.Failed() {
+						t.Fatalf("invariants violated at seed %d", seed)
+					}
+					if r.Handoffs == 0 {
+						t.Fatalf("seed %d: no handoffs in a vehicular run", seed)
+					}
+					if r.Disconnects == 0 {
+						t.Fatalf("seed %d: no disconnections injected", seed)
+					}
+					if r.Recoveries == 0 {
+						t.Fatalf("seed %d: nothing recovered", seed)
+					}
+					// Replay the trace: count handoffs that happened while the
+					// client's radio was dark.
+					down := map[int]bool{}
+					di := 0
+					for _, h := range rec.handoffs {
+						for di < len(rec.disconnects) && rec.disconnects[di].At <= h.At {
+							down[rec.disconnects[di].Client] = rec.disconnects[di].Down
+							di++
+						}
+						if down[h.Client] {
+							downHandoffs++
+						}
+					}
+					// Every recovery must belong to the configured policy.
+					for _, rv := range rec.recoveries {
+						if rv.Policy != rp.String() {
+							t.Fatalf("recovery under policy %q, configured %q", rv.Policy, rp)
+						}
+					}
+				}
+				if downHandoffs == 0 {
+					t.Error("no handoff ever happened mid-disconnection; scenario too tame")
+				}
+			})
+		}
+	}
+}
+
+// TestChaosGiveupRedrive pins the retry layer's fallback path: under an
+// outage schedule dark enough to exhaust retry budgets, queries that gave up
+// must still resolve (or stay accountably pending) — never vanish — and the
+// giveup counter must actually fire.
+func TestChaosGiveupRedrive(t *testing.T) {
+	// The full default population: enough downlink load that responses sit in
+	// queues past the retry timeout, keeping re-sent requests continuously in
+	// flight — so plenty of them land inside the dark half of each cycle.
+	cfg := DefaultConfig()
+	cfg.Seed = 3
+	cfg.Algorithm = "ts"
+	cfg.Horizon = 600 * des.Second
+	cfg.Warmup = 120 * des.Second
+	cfg.Fault.OutageStart = des.FromSeconds(30)
+	cfg.Fault.OutageLen = des.FromSeconds(60)
+	cfg.Fault.OutagePeriod = des.FromSeconds(120)
+	cfg.Fault.QueryTimeout = des.FromSeconds(3)
+	cfg.Fault.RetryMax = 2
+	sim, err := NewSimulation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := sim.Execute()
+	checkFaultInvariants(t, sim, r)
+	if r.QueryGiveups == 0 {
+		t.Error("no query gave up under a 50% outage duty cycle with RetryMax=2")
+	}
+	if r.QueriesLostToOutage == 0 {
+		t.Error("no query was lost to an outage")
+	}
+	if r.Answered == 0 {
+		t.Error("nothing answered despite outage-free half-cycles")
+	}
+}

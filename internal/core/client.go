@@ -4,6 +4,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/des"
 	"repro/internal/energy"
+	"repro/internal/fault"
 	"repro/internal/ir"
 	"repro/internal/obs"
 	"repro/internal/rng"
@@ -37,11 +38,28 @@ type client struct {
 	pending      []pendingQuery
 	outstanding  map[int]bool // items with an uplink request in flight
 
+	// Fault-layer state (see core/fault.go). connected is orthogonal to
+	// awake: a disconnected client's radio is fully dark, beyond doze, and
+	// roster membership maintains awake && connected. fsrc is the client's
+	// private fault-draw stream; retries is non-nil only when the retry
+	// layer is enabled.
+	connected     bool
+	fsrc          *rng.Source
+	retries       map[int]*retryState
+	recovering    bool // reconnected but cache consistency not yet re-proven
+	reconnectedAt des.Time
+	catchupOut    bool // a catch-up request is in flight
+	catchupTries  int
+	catchupEv     *des.Event
+
 	// Method-value callbacks bound once at construction: scheduling a
 	// query/doze/wake event then costs no closure allocation.
-	queryFn func()
-	dozeFn  func()
-	wakeFn  func()
+	queryFn   func()
+	dozeFn    func()
+	wakeFn    func()
+	discFn    func()
+	reconnFn  func()
+	catchupFn func()
 
 	// per-client measurements
 	queries        uint64 // issued post-warmup
@@ -74,6 +92,7 @@ func newClient(id int, sim *Simulation, sampler *workload.Sampler, src *rng.Sour
 		meter:       energy.NewMeter(sim.cfg.Energy),
 		src:         src,
 		awake:       true,
+		connected:   true,
 		outstanding: make(map[int]bool),
 	}
 	c.queryFn = c.issueQuery
@@ -100,8 +119,8 @@ func (c *client) scheduleQuery() {
 
 func (c *client) issueQuery() {
 	c.queryEv = nil
-	if !c.awake {
-		return // cancelled race; doze cancels the timer anyway
+	if !c.awake || !c.connected {
+		return // cancelled race; doze and disconnect cancel the timer anyway
 	}
 	now := c.sim.sch.Now()
 	item := c.sampler.NextItem()
@@ -125,7 +144,9 @@ func (c *client) tryDoze() {
 func (c *client) doze() {
 	c.sleepPending = false
 	c.awake = false
-	c.cell.rosterRemove(c.id)
+	if c.connected {
+		c.cell.rosterRemove(c.id)
+	}
 	c.sleptAt = c.sim.sch.Now()
 	if tr := c.sim.tr; tr != nil {
 		tr.SleepWake(obs.SleepWakeEvent{At: c.sleptAt, Client: c.id, Awake: false})
@@ -147,11 +168,20 @@ func (c *client) wake() {
 		c.meter.AddDoze(now.Sub(from).Seconds())
 	}
 	c.awake = true
-	c.cell.rosterAdd(c.id)
+	if c.connected {
+		c.cell.rosterAdd(c.id)
+	}
 	if tr := c.sim.tr; tr != nil {
 		tr.SleepWake(obs.SleepWakeEvent{At: now, Client: c.id, Awake: true})
 	}
-	c.scheduleQuery()
+	if c.connected {
+		c.scheduleQuery()
+		// A catch-up recovery deferred by sleep starts now the radio is on.
+		if c.recovering && !c.catchupOut && c.catchupEv == nil &&
+			c.sim.cfg.Fault.Recovery == fault.RecoverCatchup {
+			c.sendCatchup()
+		}
+	}
 	c.sim.sch.After(c.sampler.NextAwake(), "client.doze", c.dozeFn)
 }
 
@@ -160,6 +190,11 @@ func (c *client) onReport(r *ir.Report) {
 	c.reportsDecoded++
 	validated := c.istate.Process(r, c.cache, c.sim.oracle, c.src)
 	if validated {
+		if c.recovering {
+			// The report's window covered the disconnection gap (or forced
+			// the safe full drop): the cache is provably consistent again.
+			c.completeRecovery(obs.RecoveryViaReport)
+		}
 		c.drainPending(r)
 	}
 }
@@ -187,7 +222,7 @@ func (c *client) drainPending(r *ir.Report) {
 		q.requested = true
 		if !c.outstanding[q.item] {
 			c.outstanding[q.item] = true
-			c.cell.uplink.Send(c.id, reqMeta{item: q.item})
+			c.sendRequest(q.item)
 		}
 		kept = append(kept, q)
 	}
@@ -204,14 +239,16 @@ func (c *client) onResponse(m *respMeta, ok bool) {
 		// ARQ exhausted; if we still want the item, ask again.
 		for i := range c.pending {
 			if c.pending[i].item == m.item && c.pending[i].requested {
-				c.cell.uplink.Send(c.id, reqMeta{item: m.item})
+				c.sendRequest(m.item)
 				return
 			}
 		}
 		delete(c.outstanding, m.item)
+		c.clearRetry(m.item)
 		return
 	}
 	delete(c.outstanding, m.item)
+	c.clearRetry(m.item)
 	// Cache the value unless it is already outdated relative to a report we
 	// processed while the response sat in the downlink queue: an update in
 	// (genAt, LastConsistent] was listed by a report that could not

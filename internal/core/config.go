@@ -17,6 +17,7 @@ import (
 	"repro/internal/db"
 	"repro/internal/des"
 	"repro/internal/energy"
+	"repro/internal/fault"
 	"repro/internal/ir"
 	"repro/internal/mac"
 	"repro/internal/obs"
@@ -49,6 +50,12 @@ type Config struct {
 	// handoff. The zero value (and any NumCells ≤ 1) is the classic single-cell
 	// simulation, bit-identical to pre-topology runs.
 	Topology topology.Config
+
+	// Fault is the deterministic fault-injection schedule: base-station
+	// outages, report loss/truncation, query timeouts with retry, and
+	// extended client disconnections. Fully disabled by default; a disabled
+	// schedule is bit-identical to runs without the layer.
+	Fault fault.Config
 
 	// Background downlink traffic. TrafficLoad is the offered load as a
 	// fraction of the reference downlink rate (the rate link adaptation
@@ -116,6 +123,7 @@ func DefaultConfig() Config {
 		Energy:               energy.DefaultModel(),
 		Traffic:              traffic.DefaultConfig(100),
 		Topology:             topology.DefaultConfig(),
+		Fault:                fault.DefaultConfig(),
 		TrafficLoad:          0.2,
 		Horizon:              des.Hour,
 		Warmup:               5 * des.Minute,
@@ -184,6 +192,13 @@ func (c *Config) Validate() error {
 	if err := c.Topology.Validate(); err != nil {
 		return err
 	}
+	if err := c.Fault.Validate(); err != nil {
+		return err
+	}
+	if c.Fault.OutageCell >= c.Topology.Cells() {
+		return fmt.Errorf("core: Fault.OutageCell %d of %d cells",
+			c.Fault.OutageCell, c.Topology.Cells())
+	}
 
 	// Couple the sub-configs.
 	c.IR.NumItems = c.DB.NumItems
@@ -205,5 +220,13 @@ func (c *Config) maxLookback() des.Duration {
 	}
 	look := des.Duration(int64(interval) * int64(c.IR.WindowReports))
 	// Double for schedule jitter and add a fixed floor.
-	return 2*look + des.Minute
+	look = 2*look + des.Minute
+	// UIR-style catch-up asks for the history since the client's last
+	// consistent point, which can predate a long disconnection; keep enough
+	// history for the bulk of the disconnection-length distribution. (A
+	// request beyond retention still degrades safely to a forced flush.)
+	if c.Fault.DisconnectsEnabled() && c.Fault.Recovery == fault.RecoverCatchup {
+		look += des.FromSeconds(8 * c.Fault.DisconnectMeanSec)
+	}
+	return look
 }

@@ -85,6 +85,7 @@ func (c configJSON) MarshalJSON() ([]byte, error) {
 		Energy               any
 		Traffic              any
 		Topology             any
+		Fault                any
 		TrafficLoad          float64
 		Horizon              int64
 		Warmup               int64
@@ -98,6 +99,7 @@ func (c configJSON) MarshalJSON() ([]byte, error) {
 		CachePolicy: int(c.CachePolicy), Algorithm: c.Algorithm, IR: c.IR, DB: c.DB, Channel: c.Channel,
 		Downlink: c.Downlink, Uplink: c.Uplink, Workload: c.Workload,
 		Energy: c.Energy, Traffic: c.Traffic, Topology: c.Topology,
+		Fault:       c.Fault,
 		TrafficLoad: c.TrafficLoad,
 		Horizon:     int64(c.Horizon), Warmup: int64(c.Warmup),
 		ResponseOverheadBits: c.ResponseOverheadBits,
@@ -125,6 +127,7 @@ func (c *configJSON) UnmarshalJSON(data []byte) error {
 		Energy               *json.RawMessage
 		Traffic              *json.RawMessage
 		Topology             *json.RawMessage
+		Fault                *json.RawMessage
 		TrafficLoad          *float64
 		Horizon              *int64
 		Warmup               *int64
@@ -143,7 +146,7 @@ func (c *configJSON) UnmarshalJSON(data []byte) error {
 		"Seed": true, "NumClients": true, "CacheCapacity": true, "CachePolicy": true,
 		"Algorithm": true, "IR": true, "DB": true, "Channel": true,
 		"Downlink": true, "Uplink": true, "Workload": true, "Energy": true,
-		"Traffic": true, "Topology": true, "TrafficLoad": true,
+		"Traffic": true, "Topology": true, "Fault": true, "TrafficLoad": true,
 		"Horizon": true, "Warmup": true,
 		"ResponseOverheadBits": true, "CoalesceResponses": true,
 		"SnoopResponses": true, "CheckConsistency": true,
@@ -213,6 +216,9 @@ func (c *configJSON) UnmarshalJSON(data []byte) error {
 		return err
 	}
 	if err := sub(a.Topology, &cfg.Topology); err != nil {
+		return err
+	}
+	if err := sub(a.Fault, &cfg.Fault); err != nil {
 		return err
 	}
 	if a.TrafficLoad != nil {

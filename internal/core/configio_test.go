@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/des"
+	"repro/internal/fault"
 	"repro/internal/topology"
 )
 
@@ -111,6 +112,73 @@ func TestConfigJSONRejectsUnknownNestedFields(t *testing.T) {
 		if err := cfg.FromJSON([]byte(bad)); err == nil {
 			t.Errorf("nested typo accepted: %s", bad)
 		}
+	}
+}
+
+func TestConfigJSONFaultRoundTrip(t *testing.T) {
+	orig := DefaultConfig()
+	orig.Fault = fault.Config{
+		OutageStart:       30 * des.Second,
+		OutagePeriod:      180 * des.Second,
+		OutageLen:         20 * des.Second,
+		OutageCell:        2,
+		ReportLossProb:    0.1,
+		ReportTruncProb:   0.05,
+		QueryTimeout:      3 * des.Second,
+		RetryBackoff:      des.Second,
+		RetryMax:          4,
+		DisconnectRate:    1.0 / 90,
+		DisconnectMeanSec: 45,
+		Recovery:          fault.RecoverCatchup,
+	}
+	data, err := orig.ToJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := DefaultConfig()
+	if err := got.FromJSON(data); err != nil {
+		t.Fatal(err)
+	}
+	if got.Fault != orig.Fault {
+		t.Fatalf("fault round trip mismatch:\n%+v\n%+v", orig.Fault, got.Fault)
+	}
+	// Partial nested overlay keeps the untouched fault fields — including the
+	// non-zero defaults (OutageCell -1, RetryMax 6) a full re-decode would
+	// otherwise clobber.
+	got = DefaultConfig()
+	if err := got.FromJSON([]byte(`{"Fault":{"ReportLossProb":0.25}}`)); err != nil {
+		t.Fatal(err)
+	}
+	if got.Fault.ReportLossProb != 0.25 {
+		t.Fatalf("fault overlay not applied: %+v", got.Fault)
+	}
+	if got.Fault.OutageCell != -1 || got.Fault.RetryMax != fault.DefaultConfig().RetryMax {
+		t.Fatalf("fault overlay clobbered defaults: %+v", got.Fault)
+	}
+}
+
+func TestConfigJSONRejectsUnknownFaultFields(t *testing.T) {
+	// The fault schedule feeds resilience experiments: a typoed knob silently
+	// keeping its default (i.e. the fault staying off) would make a chaos run
+	// report a fault-free fingerprint and nobody would notice.
+	cfg := DefaultConfig()
+	for _, bad := range []string{
+		`{"Fault":{"OutageLenn":5}}`,
+		`{"Fault":{"ReportLosProb":0.1}}`,
+		`{"Fault":{"Recoverry":1}}`,
+	} {
+		if err := cfg.FromJSON([]byte(bad)); err == nil {
+			t.Errorf("nested fault typo accepted: %s", bad)
+		}
+	}
+	// A structurally valid overlay must still pass through Config.Validate
+	// downstream — spot-check that the decoded schedule is the raw value, not
+	// a sanitized one (validation is Run's job, not the decoder's).
+	if err := cfg.FromJSON([]byte(`{"Fault":{"OutageLen":-5}}`)); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Fault.OutageLen != -5 {
+		t.Fatalf("decoder rewrote fault value: %v", cfg.Fault.OutageLen)
 	}
 }
 

@@ -1,0 +1,427 @@
+package core
+
+import (
+	"repro/internal/des"
+	"repro/internal/fault"
+	"repro/internal/ir"
+	"repro/internal/mac"
+	"repro/internal/obs"
+)
+
+// This file wires the fault-injection layer (internal/fault) into the
+// simulation: base-station outage scheduling, client-side request retry
+// timers, extended disconnections with recovery, and UIR-style catch-up.
+// Everything here is inert when cfg.Fault is disabled — no events scheduled,
+// no RNG draws, no behaviour deltas — which is what keeps fault-free runs
+// byte-identical to the pinned golden fingerprints.
+
+// catchupReq travels up the uplink: a reconnected client asking for the
+// update history since its last consistent point (UIR-style recovery).
+type catchupReq struct {
+	since des.Time
+}
+
+// catchupMeta rides the downlink response frame carrying a catch-up report.
+// The report is freshly allocated — never from the report arena — because
+// its lifetime ends at one client, not at a broadcast fan-out, so it must
+// not be recycled through the algorithm's pool.
+type catchupMeta struct {
+	report *ir.Report
+}
+
+// retryState is the retransmission timer for one outstanding request.
+type retryState struct {
+	ev    *des.Event
+	tries int // consecutive timeouts so far
+}
+
+// startFaults arms the fault layer: the outage schedule per affected cell,
+// the per-client retry maps, and the first disconnection of every client.
+// Called from ExecuteCtx after all components started; a nil injector means
+// the layer is fully disabled.
+func (s *Simulation) startFaults() {
+	in := s.injector
+	if in == nil {
+		return
+	}
+	fc := in.Config()
+	if fc.OutagesEnabled() {
+		horizon := des.Time(0).Add(s.cfg.Horizon)
+		for _, cell := range s.cells {
+			if fc.CellAffected(cell.id) {
+				s.scheduleOutageCycle(cell.id, des.Time(0).Add(fc.OutageStart), horizon)
+			}
+		}
+	}
+	if fc.RetryEnabled() {
+		for _, c := range s.clients {
+			c.retries = make(map[int]*retryState)
+		}
+	}
+	if fc.DisconnectsEnabled() {
+		for _, c := range s.clients {
+			c.discFn = c.disconnect
+			c.reconnFn = c.reconnect
+			c.catchupFn = c.onCatchupTimeout
+			s.sch.After(in.DisconnectGap(c.fsrc), "fault.disconnect", c.discFn)
+		}
+	}
+}
+
+// scheduleOutageCycle arms one outage's down edge and chains the next cycle.
+// The edges only count and trace: whether the base station is dark at any
+// instant is decided by the pure schedule arithmetic (fault.Config.InOutage),
+// so event tie-break order can never disagree with the gating.
+func (s *Simulation) scheduleOutageCycle(cellID int, start, horizon des.Time) {
+	if start > horizon {
+		return
+	}
+	fc := s.injector.Config()
+	s.sch.At(start, "fault.outage", func() {
+		now := s.sch.Now()
+		if now >= s.warmupAt {
+			s.outages++
+		}
+		if tr := s.tr; tr != nil {
+			tr.Outage(obs.OutageEvent{At: now, Cell: cellID, Down: true})
+		}
+		if up := now.Add(fc.OutageLen); up <= horizon {
+			s.sch.At(up, "fault.outage", func() {
+				if tr := s.tr; tr != nil {
+					tr.Outage(obs.OutageEvent{At: s.sch.Now(), Cell: cellID, Down: false})
+				}
+			})
+		}
+		if fc.OutagePeriod > 0 {
+			s.scheduleOutageCycle(cellID, start.Add(fc.OutagePeriod), horizon)
+		}
+	})
+}
+
+// noteReportFault accounts and traces one injected report fault.
+func (s *Simulation) noteReportFault(cellID int, seq uint64, mode string) {
+	now := s.sch.Now()
+	if now >= s.warmupAt {
+		switch mode {
+		case obs.ReportFaultSuppressed:
+			s.reportsSuppressed++
+		case obs.ReportFaultLost:
+			s.reportsFaultLost++
+		case obs.ReportFaultTruncated:
+			s.reportsFaultTrunc++
+		}
+	}
+	if tr := s.tr; tr != nil {
+		tr.ReportFault(obs.ReportFaultEvent{At: now, Cell: cellID, Seq: seq, Mode: mode})
+	}
+}
+
+// --- client: connectivity ---
+
+// online reports whether the client participates in the protocol at all:
+// awake (not dozing) and connected (not in an extended disconnection). Roster
+// membership maintains exactly this predicate.
+func (c *client) online() bool { return c.awake && c.connected }
+
+// disconnect begins an extended disconnection: the radio goes fully dark,
+// beyond doze. All in-flight client state is abandoned — retry timers, the
+// outstanding-request set, any catch-up exchange — but pending queries
+// survive: they are answered after recovery, so their delay statistics carry
+// the cost of the disconnection.
+func (c *client) disconnect() {
+	now := c.sim.sch.Now()
+	if c.online() {
+		c.cell.rosterRemove(c.id)
+	}
+	c.connected = false
+	c.recovering = false // a disconnect during recovery restarts it
+	if c.queryEv != nil {
+		c.sim.sch.Cancel(c.queryEv)
+		c.queryEv = nil
+	}
+	c.clearAllRetries()
+	c.cancelCatchup()
+	clear(c.outstanding)
+	for i := range c.pending {
+		c.pending[i].requested = false
+	}
+	if now >= c.sim.warmupAt {
+		c.sim.disconnects++
+	}
+	if tr := c.sim.tr; tr != nil {
+		tr.Disconnect(obs.DisconnectEvent{At: now, Client: c.id, Down: true})
+	}
+	c.sim.sch.After(c.sim.injector.DisconnectLen(c.fsrc), "fault.reconnect", c.reconnFn)
+}
+
+// reconnect ends a disconnection and starts recovery under the configured
+// policy. The client counts as "recovering" until its cache is provably
+// consistent again: immediately for flush, at the next validating report for
+// the window policy, or when the catch-up exchange completes.
+func (c *client) reconnect() {
+	now := c.sim.sch.Now()
+	in := c.sim.injector
+	c.connected = true
+	c.recovering = true
+	c.reconnectedAt = now
+	if tr := c.sim.tr; tr != nil {
+		tr.Disconnect(obs.DisconnectEvent{At: now, Client: c.id, Down: false})
+	}
+	if c.awake {
+		c.cell.rosterAdd(c.id)
+		c.scheduleQuery()
+	}
+	switch in.Config().Recovery {
+	case fault.RecoverFlush:
+		c.cache.InvalidateAll()
+		c.istate.LastConsistent = now
+		c.completeRecovery(obs.RecoveryViaFlush)
+		if c.awake {
+			c.redrivePending()
+		}
+	case fault.RecoverCatchup:
+		if c.awake {
+			c.sendCatchup()
+		}
+		// Asleep: wake() starts the catch-up once the radio is back on.
+	}
+	// RecoverWindow: passive — the next validating report completes recovery
+	// via the coverage-window rule (or forces the safe full-report drop).
+	c.sim.sch.After(in.DisconnectGap(c.fsrc), "fault.disconnect", c.discFn)
+}
+
+// completeRecovery marks the client consistent again after a disconnection.
+func (c *client) completeRecovery(via string) {
+	if !c.recovering {
+		return
+	}
+	c.recovering = false
+	c.cancelCatchup()
+	now := c.sim.sch.Now()
+	delay := now.Sub(c.reconnectedAt).Seconds()
+	if c.reconnectedAt >= c.sim.warmupAt {
+		c.sim.recoveries++
+		c.sim.recoveryDelay.Add(delay)
+	}
+	if tr := c.sim.tr; tr != nil {
+		tr.Recovery(obs.RecoveryEvent{At: now, Client: c.id,
+			Policy: c.sim.cfg.Fault.Recovery.String(), Via: via, DelaySec: delay})
+	}
+}
+
+// redrivePending is drainPending without a report: after a flush recovery the
+// (empty) cache is consistent as of LastConsistent, so misses can refetch
+// immediately instead of waiting for the next report.
+func (c *client) redrivePending() {
+	now := c.sim.sch.Now()
+	kept := c.pending[:0]
+	for _, q := range c.pending {
+		if e, ok := c.cache.Get(q.item); ok {
+			c.answer(q, now, true)
+			if c.sim.cfg.CheckConsistency {
+				c.checkConsistency(e, c.istate.LastConsistent)
+			}
+			continue
+		}
+		q.requested = true
+		if !c.outstanding[q.item] {
+			c.outstanding[q.item] = true
+			c.sendRequest(q.item)
+		}
+		kept = append(kept, q)
+	}
+	c.pending = kept
+	c.maybeDozeAfterDrain()
+}
+
+// --- client: request retry layer ---
+
+// sendRequest puts one uplink request on the air and, when the retry layer
+// is enabled, arms (or re-arms) its retransmission timer.
+func (c *client) sendRequest(item int) {
+	c.cell.uplink.Send(c.id, reqMeta{item: item})
+	if c.retries != nil {
+		c.armRetry(item)
+	}
+}
+
+func (c *client) armRetry(item int) {
+	st := c.retries[item]
+	if st == nil {
+		st = &retryState{}
+		c.retries[item] = st
+	}
+	if st.ev != nil {
+		c.sim.sch.Cancel(st.ev)
+	}
+	st.ev = c.sim.sch.After(c.sim.injector.RetryDelay(st.tries, c.fsrc), "fault.retry",
+		func() { c.onRetryTimeout(item) })
+}
+
+// onRetryTimeout fires when a request went unanswered for the backoff
+// window: re-ask, or give up past the retry budget and fall back to waiting
+// for the next validating report to re-drive the query.
+func (c *client) onRetryTimeout(item int) {
+	st := c.retries[item]
+	if st == nil {
+		return
+	}
+	st.ev = nil
+	if !c.outstanding[item] {
+		delete(c.retries, item) // stale timer: the request was already resolved
+		return
+	}
+	if !c.online() {
+		// The radio went dark (doze) with the request still unanswered, so
+		// nothing will re-arm this timer. Abandon the request outright —
+		// leaving it in outstanding would block every future query for the
+		// item from re-asking. The next validating report re-drives it.
+		delete(c.retries, item)
+		delete(c.outstanding, item)
+		for i := range c.pending {
+			if c.pending[i].item == item {
+				c.pending[i].requested = false
+			}
+		}
+		return
+	}
+	now := c.sim.sch.Now()
+	st.tries++
+	gaveUp := st.tries > c.sim.cfg.Fault.RetryMax
+	if now >= c.sim.warmupAt {
+		if gaveUp {
+			c.sim.queryGiveups++
+		} else {
+			c.sim.queryRetries++
+		}
+	}
+	if tr := c.sim.tr; tr != nil {
+		tr.QueryRetry(obs.QueryRetryEvent{At: now, Client: c.id, Item: item,
+			Attempt: st.tries, GaveUp: gaveUp})
+	}
+	if gaveUp {
+		delete(c.retries, item)
+		delete(c.outstanding, item)
+		for i := range c.pending {
+			if c.pending[i].item == item {
+				c.pending[i].requested = false
+			}
+		}
+		return
+	}
+	c.cell.uplink.Send(c.id, reqMeta{item: item})
+	c.armRetry(item)
+}
+
+// clearRetry retires the timer for one answered (or abandoned) request.
+// Safe on a nil retries map.
+func (c *client) clearRetry(item int) {
+	if st := c.retries[item]; st != nil {
+		if st.ev != nil {
+			c.sim.sch.Cancel(st.ev)
+		}
+		delete(c.retries, item)
+	}
+}
+
+// clearAllRetries cancels every retransmission timer (disconnect, handoff).
+func (c *client) clearAllRetries() {
+	for item, st := range c.retries {
+		if st.ev != nil {
+			c.sim.sch.Cancel(st.ev)
+			st.ev = nil
+		}
+		delete(c.retries, item)
+	}
+}
+
+// --- client: UIR-style catch-up ---
+
+// sendCatchup asks the serving cell for the update history since the
+// client's last consistent point. The exchange is guarded by the same retry
+// timer machinery as data requests when the timeout layer is enabled.
+func (c *client) sendCatchup() {
+	c.catchupOut = true
+	c.cell.uplink.Send(c.id, catchupReq{since: c.istate.LastConsistent})
+	if in := c.sim.injector; in.Config().RetryEnabled() {
+		c.catchupEv = c.sim.sch.After(in.RetryDelay(c.catchupTries, c.fsrc),
+			"fault.catchup", c.catchupFn)
+	}
+}
+
+// onCatchupTimeout fires when a catch-up request went unanswered.
+func (c *client) onCatchupTimeout() {
+	c.catchupEv = nil
+	if !c.recovering || !c.catchupOut {
+		return
+	}
+	c.catchupOut = false
+	c.retryCatchup()
+}
+
+// retryCatchup re-sends a failed catch-up exchange, bounded by the retry
+// budget; past it the client stays in the window-policy fallback (the next
+// validating report still completes recovery safely).
+func (c *client) retryCatchup() {
+	c.catchupTries++
+	if c.catchupTries > c.sim.cfg.Fault.RetryMax || !c.online() {
+		return
+	}
+	c.sendCatchup()
+}
+
+// onCatchup handles the unicast catch-up report.
+func (c *client) onCatchup(r *ir.Report, ok bool) {
+	if c.catchupEv != nil {
+		c.sim.sch.Cancel(c.catchupEv)
+		c.catchupEv = nil
+	}
+	c.catchupOut = false
+	if !c.recovering {
+		return // a report already recovered us while the catch-up was in flight
+	}
+	if !ok {
+		c.retryCatchup()
+		return
+	}
+	c.reportsDecoded++
+	if c.istate.Process(r, c.cache, c.sim.oracle, c.src) {
+		c.completeRecovery(obs.RecoveryViaCatchup)
+		c.drainPending(r)
+	} else {
+		c.retryCatchup()
+	}
+}
+
+// cancelCatchup abandons any catch-up exchange in flight.
+func (c *client) cancelCatchup() {
+	if c.catchupEv != nil {
+		c.sim.sch.Cancel(c.catchupEv)
+		c.catchupEv = nil
+	}
+	c.catchupOut = false
+	c.catchupTries = 0
+}
+
+// --- server: catch-up ---
+
+// onCatchupRequest serves a reconnected client the update history since its
+// last consistent point, as a unicast full report on a response-class frame.
+func (s *server) onCatchupRequest(src int, since des.Time, now des.Time) {
+	r := &ir.Report{Kind: ir.KindFull, At: now, PrevAt: now, WindowStart: now}
+	if now.Sub(since) <= s.sim.cfg.DB.Retention {
+		r.WindowStart = since
+		r.Items = s.sim.db.UpdatedSince(since, nil)
+	}
+	// else: the gap outlived the database's update history; the empty
+	// now-anchored full report forces the client's safe drop-everything path.
+	s.irBitsSent += uint64(r.SizeBits())
+	s.cell.traceReport(r, obs.CarrierCatchup, 0)
+	f := s.cell.downlink.AcquireFrame()
+	f.Kind = mac.KindResponse
+	f.Dest = src
+	f.Bits = r.SizeBits() + s.sim.cfg.ResponseOverheadBits
+	f.MCS = mac.AutoMCS
+	f.Meta = &catchupMeta{report: r}
+	s.cell.downlink.Enqueue(f)
+}

@@ -38,9 +38,9 @@ func (s *Simulation) handoff(c *client, to *Cell, now des.Time) {
 	if post {
 		s.handoffs++
 	}
-	if c.awake {
+	if c.online() {
 		from.rosterRemove(c.id)
-	} else if post {
+	} else if !c.awake && post {
 		s.handoffsAsleep++
 	}
 	mid := false
@@ -54,9 +54,18 @@ func (s *Simulation) handoff(c *client, to *Cell, now des.Time) {
 		s.handoffsMidQuery++
 	}
 	clear(c.outstanding)
+	c.clearAllRetries()
 	c.cell = to
-	if c.awake {
+	if c.online() {
 		to.rosterAdd(c.id)
+	}
+	// A catch-up exchange addressed to the old cell will never answer;
+	// restart it against the new serving cell.
+	if c.catchupOut || c.catchupEv != nil {
+		c.cancelCatchup()
+		if c.recovering && c.online() {
+			c.sendCatchup()
+		}
 	}
 	flushed := false
 	if s.cfg.Topology.Policy == topology.Drop {

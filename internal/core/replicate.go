@@ -30,6 +30,12 @@ type Aggregate struct {
 	CacheDropsRate metrics.Summary // flushes per client per hour
 	HandoffRate    metrics.Summary // handoffs per client per hour
 
+	// Fault-layer summaries. Empty (zero Reps folded) when the fault layer is
+	// disabled: every contribution is then NaN or zero-rate on a zero count.
+	RecoveryDelay   metrics.Summary // seconds from reconnect to proven-consistent
+	RetriesPerQuery metrics.Summary // uplink timeout re-sends per issued query
+	OutageLossRate  metrics.Summary // queries lost at dark base stations per client per hour
+
 	StaleViolations uint64
 	Queries         uint64
 	Answered        uint64
@@ -83,6 +89,9 @@ type RepValues struct {
 	ReportLoss      JSONFloat `json:"rptloss"`
 	CacheDropsRate  JSONFloat `json:"dropsrate"` // NaN when nothing was measured
 	HandoffRate     JSONFloat `json:"hoffrate"`  // absent in pre-topology checkpoints → 0
+	RecoveryDelay   JSONFloat `json:"recov"`     // absent in pre-fault checkpoints → 0
+	RetriesPerQuery JSONFloat `json:"retries"`   // absent in pre-fault checkpoints → 0
+	OutageLossRate  JSONFloat `json:"outlost"`   // absent in pre-fault checkpoints → 0
 	StaleViolations uint64    `json:"stale"`
 	Queries         uint64    `json:"queries"`
 	Answered        uint64    `json:"answered"`
@@ -94,9 +103,11 @@ type RepValues struct {
 func (r *RunStats) Values(numClients int) RepValues {
 	drops := math.NaN()
 	hoffs := math.NaN()
+	outlost := math.NaN()
 	if r.MeasuredSec > 0 {
 		drops = float64(r.CacheDrops) / float64(numClients) / (r.MeasuredSec / 3600)
 		hoffs = float64(r.Handoffs) / float64(numClients) / (r.MeasuredSec / 3600)
+		outlost = float64(r.QueriesLostToOutage) / float64(numClients) / (r.MeasuredSec / 3600)
 	}
 	return RepValues{
 		Seed:            r.Seed,
@@ -110,6 +121,9 @@ func (r *RunStats) Values(numClients int) RepValues {
 		ReportLoss:      JSONFloat(r.ReportLossRate()),
 		CacheDropsRate:  JSONFloat(drops),
 		HandoffRate:     JSONFloat(hoffs),
+		RecoveryDelay:   JSONFloat(r.RecoveryMeanSec),
+		RetriesPerQuery: JSONFloat(r.RetriesPerQuery()),
+		OutageLossRate:  JSONFloat(outlost),
 		StaleViolations: r.StaleViolations,
 		Queries:         r.Queries,
 		Answered:        r.Answered,
@@ -132,6 +146,9 @@ func (a *Aggregate) addValues(v RepValues) {
 	a.ReportLoss.Add(float64(v.ReportLoss))
 	a.CacheDropsRate.Add(float64(v.CacheDropsRate))
 	a.HandoffRate.Add(float64(v.HandoffRate))
+	a.RecoveryDelay.Add(float64(v.RecoveryDelay))
+	a.RetriesPerQuery.Add(float64(v.RetriesPerQuery))
+	a.OutageLossRate.Add(float64(v.OutageLossRate))
 	a.StaleViolations += v.StaleViolations
 	a.Queries += v.Queries
 	a.Answered += v.Answered

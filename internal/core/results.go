@@ -69,6 +69,20 @@ type RunStats struct {
 	Handoffs       uint64
 	HandoffFlushes uint64
 
+	// Fault injection (all zero when the fault layer is disabled). Counts are
+	// post-warmup; RecoveryMeanSec is NaN when no recovery completed in the
+	// measured window.
+	Outages             uint64
+	ReportsSuppressed   uint64
+	ReportsFaultLost    uint64
+	ReportsFaultTrunc   uint64
+	QueriesLostToOutage uint64
+	QueryRetries        uint64
+	QueryGiveups        uint64
+	Disconnects         uint64
+	Recoveries          uint64
+	RecoveryMeanSec     float64
+
 	// PendingAtEnd counts queries still unanswered at the horizon (they are
 	// excluded from delay statistics; a large value flags saturation).
 	PendingAtEnd int
@@ -105,6 +119,17 @@ func (s *Simulation) collect(end des.Time) *RunStats {
 		NumCells:       len(s.cells),
 		Handoffs:       s.handoffs,
 		HandoffFlushes: s.handoffFlushes,
+
+		Outages:             s.outages,
+		ReportsSuppressed:   s.reportsSuppressed,
+		ReportsFaultLost:    s.reportsFaultLost,
+		ReportsFaultTrunc:   s.reportsFaultTrunc,
+		QueriesLostToOutage: s.queriesLostToOutage,
+		QueryRetries:        s.queryRetries,
+		QueryGiveups:        s.queryGiveups,
+		Disconnects:         s.disconnects,
+		Recoveries:          s.recoveries,
+		RecoveryMeanSec:     s.recoveryDelay.Mean(),
 	}
 	for _, c := range s.clients {
 		r.Queries += c.queries
@@ -182,6 +207,15 @@ func (r *RunStats) UplinkPerAnswer() float64 {
 	return float64(r.UplinkSent) / float64(r.Answered)
 }
 
+// RetriesPerQuery reports the average number of uplink timeout re-sends per
+// issued query. Zero when the retry layer never fired; NaN with no queries.
+func (r *RunStats) RetriesPerQuery() float64 {
+	if r.Queries == 0 {
+		return math.NaN()
+	}
+	return float64(r.QueryRetries) / float64(r.Queries)
+}
+
 // ReportLossRate reports the fraction of report receptions that failed to
 // decode.
 func (r *RunStats) ReportLossRate() float64 {
@@ -252,6 +286,17 @@ func (r *RunStats) MarshalJSON() ([]byte, error) {
 		"NumCells":             r.NumCells,
 		"Handoffs":             r.Handoffs,
 		"HandoffFlushes":       r.HandoffFlushes,
+		"Outages":              r.Outages,
+		"ReportsSuppressed":    r.ReportsSuppressed,
+		"ReportsFaultLost":     r.ReportsFaultLost,
+		"ReportsFaultTrunc":    r.ReportsFaultTrunc,
+		"QueriesLostToOutage":  r.QueriesLostToOutage,
+		"QueryRetries":         r.QueryRetries,
+		"QueryGiveups":         r.QueryGiveups,
+		"Disconnects":          r.Disconnects,
+		"Recoveries":           r.Recoveries,
+		"RecoveryMeanSec":      jsonSafe(r.RecoveryMeanSec),
+		"RetriesPerQuery":      jsonSafe(r.RetriesPerQuery()),
 		"PendingAtEnd":         r.PendingAtEnd,
 		"OverheadBps":          jsonSafe(r.OverheadBitsPerSec()),
 		"UplinkPerAns":         jsonSafe(r.UplinkPerAnswer()),

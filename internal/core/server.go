@@ -133,6 +133,18 @@ func (s *server) releaseBg(m *bgMeta) {
 
 // onRequest handles a delivered uplink request.
 func (s *server) onRequest(src int, meta any, now des.Time) {
+	if in := s.sim.injector; in != nil && in.InOutage(s.cell.id, now) {
+		// A dark base station answers nothing; the client's timeout layer
+		// re-asks once the outage ends.
+		if _, isQuery := meta.(reqMeta); isQuery && now >= s.sim.warmupAt {
+			s.sim.queriesLostToOutage++
+		}
+		return
+	}
+	if cu, ok := meta.(catchupReq); ok {
+		s.onCatchupRequest(src, cu.since, now)
+		return
+	}
 	req := meta.(reqMeta)
 	it := s.sim.db.Item(req.item)
 	s.requestsServed++
@@ -177,6 +189,9 @@ func (s *server) onResponseDelivered(m *respMeta) {
 
 // onBackground handles a background-traffic arrival.
 func (s *server) onBackground(dest int, bits int) {
+	if in := s.sim.injector; in != nil && in.InOutage(s.cell.id, s.sim.sch.Now()) {
+		return // a dark base station transmits nothing
+	}
 	meta := s.acquireBg()
 	robust := 0
 	if pg := s.algo.Piggyback(s.sim.sch.Now()); pg != nil {
@@ -216,6 +231,14 @@ func (s *server) UpdatedSince(since des.Time, buf []db.Update) []db.Update {
 
 // Broadcast implements ir.ServerEnv.
 func (s *server) Broadcast(r *ir.Report, mcs int) {
+	if in := s.sim.injector; in != nil && in.InOutage(s.cell.id, s.sim.sch.Now()) {
+		// Outage: the report never reaches the air. The algorithm's own
+		// schedule state (Seq, PrevAt) advances as generated — exactly the
+		// gap the clients' coverage-window rule must survive.
+		s.sim.noteReportFault(s.cell.id, r.Seq, obs.ReportFaultSuppressed)
+		s.algo.Recycle(r)
+		return
+	}
 	s.irBitsSent += uint64(r.SizeBits())
 	s.cell.traceReport(r, obs.CarrierIR, mcs)
 	f := s.cell.downlink.AcquireFrame()

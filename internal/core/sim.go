@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/db"
 	"repro/internal/des"
+	"repro/internal/fault"
 	"repro/internal/ir"
 	"repro/internal/metrics"
 	"repro/internal/obs"
@@ -50,6 +51,23 @@ type Simulation struct {
 	handoffsAsleep   uint64 // client was dozing when it crossed cells
 	handoffsMidQuery uint64 // client had an in-flight request at handoff
 	respDeparted     uint64 // responses delivered after their client left the cell
+
+	// fault injection. injector is nil when cfg.Fault is fully disabled —
+	// the layer then schedules no events and draws from no streams. Counters
+	// are post-warmup except respDisconnected (whole-run internal telemetry,
+	// like respDeparted).
+	injector            *fault.Injector
+	outages             uint64
+	reportsSuppressed   uint64 // broadcasts swallowed at a dark base station
+	reportsFaultLost    uint64 // standalone reports destroyed in transit
+	reportsFaultTrunc   uint64 // standalone reports corrupted in transit
+	queriesLostToOutage uint64
+	queryRetries        uint64
+	queryGiveups        uint64
+	disconnects         uint64
+	recoveries          uint64
+	recoveryDelay       metrics.Summary
+	respDisconnected    uint64 // responses delivered to a disconnected client
 
 	// warmup snapshot (per-cell snapshots live on each Cell)
 	snapUpd uint64
@@ -127,6 +145,26 @@ func NewSimulationArena(cfg Config, arena *Arena) (*Simulation, error) {
 		sim.clients[i] = newClient(i, sim, sampler, csrc.SubStream(uint64(i)), arena)
 	}
 
+	// Fault layer: build the injector and hand every client its private
+	// draw stream. All streams are dedicated to the fault layer, so a
+	// disabled layer (nil injector) changes no draw sequence anywhere.
+	if cfg.Fault.Enabled() {
+		var reportStreams []*rng.Source
+		if cfg.Fault.ReportFaultsEnabled() {
+			reportStreams = make([]*rng.Source, numCells)
+			for k := range reportStreams {
+				reportStreams[k] = rng.Stream(cfg.Seed, cellStream("fault.report", k, numCells))
+			}
+		}
+		sim.injector = fault.NewInjector(cfg.Fault, reportStreams)
+		if cfg.Fault.RetryEnabled() || cfg.Fault.DisconnectsEnabled() {
+			fsrc := rng.Stream(cfg.Seed, "fault.client")
+			for i, c := range sim.clients {
+				c.fsrc = fsrc.SubStream(uint64(i))
+			}
+		}
+	}
+
 	// Associate each client with its nearest cell at t=0 and build the
 	// per-cell awake rosters (everyone starts awake). Ascending id order
 	// keeps rosters sorted.
@@ -198,6 +236,7 @@ func (s *Simulation) ExecuteCtx(ctx context.Context) (*RunStats, error) {
 	if s.topo != nil {
 		s.startHandoff()
 	}
+	s.startFaults()
 	s.sch.At(s.warmupAt, "sim.warmup", s.resetAtWarmup)
 	end := s.sch.Run(des.Time(0).Add(s.cfg.Horizon))
 	if fn := s.cfg.OnEventPulse; fn != nil && s.sch.Executed() > pulsed {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"reflect"
 	"testing"
 
@@ -52,6 +53,12 @@ func TestTracingDoesNotPerturb(t *testing.T) {
 			scrub := func(r *RunStats) RunStats {
 				c := *r
 				c.WallSec, c.Events, c.EventsPerSec, c.HeapAllocBytes = 0, 0, 0, 0
+				// RecoveryMeanSec is NaN when no recovery completed, and
+				// NaN never DeepEquals itself; canonicalize. A real
+				// divergence still trips the Recoveries counter.
+				if math.IsNaN(c.RecoveryMeanSec) {
+					c.RecoveryMeanSec = 0
+				}
 				return c
 			}
 			a, b := scrub(plain), scrub(traced)

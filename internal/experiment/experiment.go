@@ -60,6 +60,15 @@ var (
 	MetricHandoffs = Metric{"handoff", "/client/h", func(a *core.Aggregate) (float64, float64) {
 		return a.HandoffRate.Mean(), a.HandoffRate.CI95()
 	}}
+	MetricRecovery = Metric{"recovery", "s", func(a *core.Aggregate) (float64, float64) {
+		return a.RecoveryDelay.Mean(), a.RecoveryDelay.CI95()
+	}}
+	MetricRetries = Metric{"retries", "/query", func(a *core.Aggregate) (float64, float64) {
+		return a.RetriesPerQuery.Mean(), a.RetriesPerQuery.CI95()
+	}}
+	MetricOutageLoss = Metric{"out-lost", "/client/h", func(a *core.Aggregate) (float64, float64) {
+		return a.OutageLossRate.Mean(), a.OutageLossRate.CI95()
+	}}
 )
 
 // Point is one x-axis value of a sweep.

@@ -6,6 +6,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/des"
+	"repro/internal/fault"
 	"repro/internal/mobility"
 	"repro/internal/topology"
 )
@@ -280,6 +281,57 @@ func Registry() []*Experiment {
 				}},
 			},
 			Metrics: []Metric{MetricHit, MetricDelay, MetricUplink, MetricHandoffs},
+		},
+		{
+			ID: "R1", Title: "Resilience: base-station outage length sweep",
+			XLabel:     "outage s",
+			Algorithms: []string{"ts", "uir", "hybrid"},
+			Scale:      0.5,
+			Points: points([]float64{0, 10, 30, 60}, gLabel,
+				func(c *core.Config, x float64) {
+					// The retry layer is armed at every point — including the
+					// x=0 baseline — so the columns differ only in the outage
+					// schedule, not in client behavior.
+					c.Fault.QueryTimeout = des.FromSeconds(3)
+					c.Fault.OutageStart = des.FromSeconds(30)
+					c.Fault.OutagePeriod = des.FromSeconds(180)
+					c.Fault.OutageLen = des.FromSeconds(x)
+				}),
+			Metrics: []Metric{MetricDelay, MetricP95, MetricOutageLoss, MetricRetries},
+		},
+		{
+			ID: "R2", Title: "Resilience: invalidation-report loss sweep",
+			XLabel:     "rpt fault",
+			Algorithms: []string{"ts", "at", "sig", "hybrid"},
+			Points: points([]float64{0, 0.05, 0.1, 0.2, 0.4}, gLabel,
+				func(c *core.Config, x float64) {
+					// Split the fault budget: most faulted reports vanish
+					// outright, the rest arrive truncated (detected but
+					// undecodable), exercising both client-side paths.
+					c.Fault.ReportLossProb = 0.75 * x
+					c.Fault.ReportTruncProb = 0.25 * x
+				}),
+			Metrics: []Metric{MetricDelay, MetricHit, MetricDrops, MetricLoss},
+		},
+		{
+			ID: "R3", Title: "Resilience: disconnection recovery policy matrix",
+			XLabel:     "recovery",
+			Algorithms: []string{"ts", "uir", "hybrid"},
+			Scale:      0.5,
+			Points: func() []Point {
+				disc := func(c *core.Config, p fault.RecoveryPolicy) {
+					c.Fault.DisconnectRate = 1.0 / 90
+					c.Fault.DisconnectMeanSec = 45
+					c.Fault.QueryTimeout = des.FromSeconds(3)
+					c.Fault.Recovery = p
+				}
+				return []Point{
+					{X: 0, Label: "window", Mutate: func(c *core.Config) { disc(c, fault.RecoverWindow) }},
+					{X: 1, Label: "flush", Mutate: func(c *core.Config) { disc(c, fault.RecoverFlush) }},
+					{X: 2, Label: "catchup", Mutate: func(c *core.Config) { disc(c, fault.RecoverCatchup) }},
+				}
+			}(),
+			Metrics: []Metric{MetricRecovery, MetricDelay, MetricHit, MetricDrops},
 		},
 	}
 }

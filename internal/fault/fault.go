@@ -1,0 +1,296 @@
+// Package fault is the deterministic fault-injection layer: scheduled
+// base-station outages, per-report downlink loss and truncation, uplink query
+// timeouts with bounded exponential backoff, and extended client
+// disconnections with explicit recovery policies.
+//
+// The package owns only the *decisions* — when a cell is dark, what happens to
+// a report in flight, how long a retry waits, when a client drops off — and is
+// wired into the simulation by internal/core. Every decision draws from a
+// named RNG stream dedicated to the fault layer ("fault.report", per-client
+// substreams of "fault.client"), so enabling faults never perturbs the draws
+// of the workload, channel, or database streams, and disabling them restores
+// the fault-free run bit for bit.
+package fault
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/rng"
+)
+
+// RecoveryPolicy selects what a client does with its cache when it
+// reconnects after an extended disconnection.
+type RecoveryPolicy int
+
+const (
+	// RecoverWindow keeps the cache and lets the standard coverage-window
+	// rule decide on the next report: if the disconnection outlived the
+	// report window the report cannot vouch for the cache and the client
+	// drops everything (the TS/AT behaviour the paper starts from).
+	RecoverWindow RecoveryPolicy = iota
+	// RecoverFlush drops the whole cache immediately on reconnect and
+	// refetches on demand: maximally safe, maximally expensive.
+	RecoverFlush
+	// RecoverCatchup asks the server for the update history since the
+	// client's last consistent point (Cao's UIR-style catch-up); if the
+	// history has aged out of the database's retention the server answers
+	// with a flush-forcing empty report.
+	RecoverCatchup
+)
+
+func (p RecoveryPolicy) String() string {
+	switch p {
+	case RecoverWindow:
+		return "window"
+	case RecoverFlush:
+		return "flush"
+	case RecoverCatchup:
+		return "catchup"
+	default:
+		return fmt.Sprintf("RecoveryPolicy(%d)", int(p))
+	}
+}
+
+// ParseRecovery maps a flag/config string to a RecoveryPolicy.
+func ParseRecovery(s string) (RecoveryPolicy, error) {
+	switch s {
+	case "window":
+		return RecoverWindow, nil
+	case "flush":
+		return RecoverFlush, nil
+	case "catchup":
+		return RecoverCatchup, nil
+	default:
+		return 0, fmt.Errorf("fault: unknown recovery policy %q (want window, flush or catchup)", s)
+	}
+}
+
+// Fate is the injector's verdict on a standalone report broadcast.
+type Fate int
+
+const (
+	// Deliver leaves the report untouched.
+	Deliver Fate = iota
+	// Lost destroys the frame in transit: nobody hears it, nobody pays
+	// receive energy for it.
+	Lost
+	// Truncated corrupts the frame: every awake receiver pays the airtime
+	// but the CRC fails, so the report counts as lost at each client.
+	Truncated
+)
+
+// Config declares the fault schedule. The zero value (as produced by an
+// all-defaults DefaultConfig with no overrides) disables every fault class;
+// core relies on that to keep fault-free runs byte-identical to builds
+// without the layer.
+type Config struct {
+	// OutageStart is when the first base-station outage begins.
+	OutageStart des.Duration
+	// OutagePeriod repeats outages every period (measured start to start).
+	// Zero means a single outage. When set it must exceed OutageLen.
+	OutagePeriod des.Duration
+	// OutageLen is how long each outage lasts. Zero disables outages.
+	// During an outage the affected cell's server broadcasts nothing and
+	// answers no uplink request; frames already queued still drain.
+	OutageLen des.Duration
+	// OutageCell restricts outages to one cell id; -1 (the default) means
+	// every cell fails on the same schedule.
+	OutageCell int
+
+	// ReportLossProb destroys each standalone invalidation report in
+	// transit with this probability (piggybacked reports ride ARQ-protected
+	// data frames and are exempt).
+	ReportLossProb float64
+	// ReportTruncProb corrupts each standalone report with this
+	// probability: receivers pay the airtime but decode nothing.
+	ReportTruncProb float64
+
+	// QueryTimeout arms a client-side retransmission timer on every uplink
+	// request. Zero disables the retry layer. Outages require it: a dead
+	// base station swallows requests, and without a timer the at-least-once
+	// uplink MAC alone never re-issues them.
+	QueryTimeout des.Duration
+	// RetryBackoff overrides the backoff base; zero means QueryTimeout.
+	// The n-th wait is base<<min(n,6), jittered multiplicatively in
+	// [1, 1.5) to decorrelate retry storms.
+	RetryBackoff des.Duration
+	// RetryMax bounds consecutive timeouts per request; past it the client
+	// gives up and waits for the next validating report to re-drive the
+	// query.
+	RetryMax int
+
+	// DisconnectRate is the rate (events per second of connected time) at
+	// which a client suffers an extended disconnection — radio fully off,
+	// beyond doze. Zero disables disconnections.
+	DisconnectRate float64
+	// DisconnectMeanSec is the mean disconnection length in seconds
+	// (exponentially distributed).
+	DisconnectMeanSec float64
+	// Recovery selects the reconnect policy.
+	Recovery RecoveryPolicy
+}
+
+// DefaultConfig returns a fully disabled fault layer with sensible values
+// for the knobs that only matter once a fault class is switched on.
+func DefaultConfig() Config {
+	return Config{
+		OutageCell: -1,
+		RetryMax:   6,
+	}
+}
+
+// OutagesEnabled reports whether base-station outages are scheduled.
+func (c *Config) OutagesEnabled() bool { return c.OutageLen > 0 }
+
+// ReportFaultsEnabled reports whether standalone reports can be lost or
+// truncated in transit.
+func (c *Config) ReportFaultsEnabled() bool { return c.ReportLossProb > 0 || c.ReportTruncProb > 0 }
+
+// RetryEnabled reports whether the client-side query timeout layer is armed.
+func (c *Config) RetryEnabled() bool { return c.QueryTimeout > 0 }
+
+// DisconnectsEnabled reports whether extended client disconnections occur.
+func (c *Config) DisconnectsEnabled() bool { return c.DisconnectRate > 0 }
+
+// Enabled reports whether any part of the fault layer changes behaviour.
+func (c *Config) Enabled() bool {
+	return c.OutagesEnabled() || c.ReportFaultsEnabled() || c.RetryEnabled() || c.DisconnectsEnabled()
+}
+
+// Validate checks the schedule for consistency.
+func (c *Config) Validate() error {
+	switch {
+	case c.OutageStart < 0:
+		return fmt.Errorf("fault: OutageStart %v", c.OutageStart)
+	case c.OutagePeriod < 0:
+		return fmt.Errorf("fault: OutagePeriod %v", c.OutagePeriod)
+	case c.OutageLen < 0:
+		return fmt.Errorf("fault: OutageLen %v", c.OutageLen)
+	case c.OutagePeriod > 0 && c.OutagePeriod <= c.OutageLen:
+		return fmt.Errorf("fault: OutagePeriod %v must exceed OutageLen %v", c.OutagePeriod, c.OutageLen)
+	case c.OutageCell < -1:
+		return fmt.Errorf("fault: OutageCell %d", c.OutageCell)
+	case c.ReportLossProb < 0 || c.ReportLossProb > 1:
+		return fmt.Errorf("fault: ReportLossProb %v", c.ReportLossProb)
+	case c.ReportTruncProb < 0 || c.ReportTruncProb > 1:
+		return fmt.Errorf("fault: ReportTruncProb %v", c.ReportTruncProb)
+	case c.ReportLossProb+c.ReportTruncProb > 1:
+		return fmt.Errorf("fault: ReportLossProb+ReportTruncProb %v > 1",
+			c.ReportLossProb+c.ReportTruncProb)
+	case c.QueryTimeout < 0:
+		return fmt.Errorf("fault: QueryTimeout %v", c.QueryTimeout)
+	case c.RetryBackoff < 0:
+		return fmt.Errorf("fault: RetryBackoff %v", c.RetryBackoff)
+	case c.RetryMax < 0:
+		return fmt.Errorf("fault: RetryMax %d", c.RetryMax)
+	case c.DisconnectRate < 0:
+		return fmt.Errorf("fault: DisconnectRate %v", c.DisconnectRate)
+	case c.DisconnectsEnabled() && c.DisconnectMeanSec <= 0:
+		return fmt.Errorf("fault: DisconnectMeanSec %v with disconnections enabled", c.DisconnectMeanSec)
+	case c.DisconnectMeanSec < 0:
+		return fmt.Errorf("fault: DisconnectMeanSec %v", c.DisconnectMeanSec)
+	case c.Recovery < RecoverWindow || c.Recovery > RecoverCatchup:
+		return fmt.Errorf("fault: Recovery %d", int(c.Recovery))
+	case c.OutagesEnabled() && !c.RetryEnabled():
+		// An outage silently swallows uplink requests; without the timeout
+		// layer those queries would hang for the rest of the run.
+		return fmt.Errorf("fault: outages require QueryTimeout > 0 so swallowed requests are retried")
+	}
+	return nil
+}
+
+// CellAffected reports whether outages apply to the given cell.
+func (c *Config) CellAffected(cell int) bool {
+	return c.OutageCell < 0 || c.OutageCell == cell
+}
+
+// InOutage reports whether the given cell's base station is dark at t. It is
+// pure arithmetic over the schedule — no state, no draws — so the server can
+// ask on every broadcast and request without perturbing determinism. Outage
+// windows are half-open: [start, start+len).
+func (c *Config) InOutage(cell int, t des.Time) bool {
+	if c.OutageLen <= 0 || !c.CellAffected(cell) {
+		return false
+	}
+	start := des.Time(0).Add(c.OutageStart)
+	if t < start {
+		return false
+	}
+	off := t.Sub(start)
+	if c.OutagePeriod > 0 {
+		off %= c.OutagePeriod
+	}
+	return off < c.OutageLen
+}
+
+// backoffCapDoublings bounds the exponential backoff; past six doublings the
+// wait is long enough that further growth only delays recovery.
+const backoffCapDoublings = 6
+
+// retryBase is the first-wait duration of the backoff schedule.
+func (c *Config) retryBase() des.Duration {
+	if c.RetryBackoff > 0 {
+		return c.RetryBackoff
+	}
+	return c.QueryTimeout
+}
+
+// Injector makes the per-event fault decisions. Each report stream is
+// per-cell so multi-cell runs stay independent of fan-out interleaving, and
+// client-side draws come from per-client substreams the caller passes in.
+type Injector struct {
+	cfg    Config
+	report []*rng.Source // per-cell report-fate streams; nil when report faults are off
+}
+
+// NewInjector builds an injector. reportStreams must have one source per
+// cell when report faults are enabled and may be nil otherwise.
+func NewInjector(cfg Config, reportStreams []*rng.Source) *Injector {
+	return &Injector{cfg: cfg, report: reportStreams}
+}
+
+// Config returns the schedule the injector was built from.
+func (in *Injector) Config() *Config { return &in.cfg }
+
+// InOutage forwards to the schedule arithmetic.
+func (in *Injector) InOutage(cell int, t des.Time) bool { return in.cfg.InOutage(cell, t) }
+
+// ReportFate decides what happens to a standalone report broadcast in the
+// given cell: one uniform draw split between loss, truncation and delivery.
+func (in *Injector) ReportFate(cell int) Fate {
+	if in.report == nil {
+		return Deliver
+	}
+	u := in.report[cell].Float64()
+	switch {
+	case u < in.cfg.ReportLossProb:
+		return Lost
+	case u < in.cfg.ReportLossProb+in.cfg.ReportTruncProb:
+		return Truncated
+	default:
+		return Deliver
+	}
+}
+
+// RetryDelay returns the wait before the next retransmission after `tries`
+// consecutive timeouts: bounded exponential backoff with multiplicative
+// jitter in [1, 1.5) drawn from the caller's stream.
+func (in *Injector) RetryDelay(tries int, src *rng.Source) des.Duration {
+	if tries > backoffCapDoublings {
+		tries = backoffCapDoublings
+	}
+	d := in.cfg.retryBase() << uint(tries)
+	return d + des.Duration(float64(d)*0.5*src.Float64())
+}
+
+// DisconnectGap draws the connected time until a client's next extended
+// disconnection.
+func (in *Injector) DisconnectGap(src *rng.Source) des.Duration {
+	return des.FromSeconds(src.Exp(in.cfg.DisconnectRate))
+}
+
+// DisconnectLen draws how long a disconnection lasts.
+func (in *Injector) DisconnectLen(src *rng.Source) des.Duration {
+	return des.FromSeconds(src.Exp(1 / in.cfg.DisconnectMeanSec))
+}

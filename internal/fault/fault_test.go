@@ -1,0 +1,210 @@
+package fault
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/rng"
+)
+
+func TestRecoveryPolicyRoundTrip(t *testing.T) {
+	for _, p := range []RecoveryPolicy{RecoverWindow, RecoverFlush, RecoverCatchup} {
+		got, err := ParseRecovery(p.String())
+		if err != nil {
+			t.Fatalf("ParseRecovery(%q): %v", p, err)
+		}
+		if got != p {
+			t.Fatalf("ParseRecovery(%q) = %v, want %v", p.String(), got, p)
+		}
+	}
+	if _, err := ParseRecovery("bogus"); err == nil {
+		t.Fatal("ParseRecovery accepted bogus policy")
+	}
+}
+
+func TestDefaultConfigDisabled(t *testing.T) {
+	c := DefaultConfig()
+	if c.Enabled() {
+		t.Fatalf("default config enabled: %+v", c)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	if c.InOutage(0, 0) || c.InOutage(0, des.Time(des.Hour)) {
+		t.Fatal("disabled config reports an outage")
+	}
+	in := NewInjector(c, nil)
+	if f := in.ReportFate(0); f != Deliver {
+		t.Fatalf("disabled injector fate %v, want Deliver", f)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"negative outage start", func(c *Config) { c.OutageStart = -des.Second }},
+		{"negative outage len", func(c *Config) { c.OutageLen = -des.Second }},
+		{"period not exceeding len", func(c *Config) {
+			c.OutageLen = 10 * des.Second
+			c.OutagePeriod = 10 * des.Second
+			c.QueryTimeout = des.Second
+		}},
+		{"outage cell below -1", func(c *Config) { c.OutageCell = -2 }},
+		{"loss prob above 1", func(c *Config) { c.ReportLossProb = 1.5 }},
+		{"loss+trunc above 1", func(c *Config) {
+			c.ReportLossProb = 0.7
+			c.ReportTruncProb = 0.7
+		}},
+		{"negative timeout", func(c *Config) { c.QueryTimeout = -des.Second }},
+		{"negative retry max", func(c *Config) { c.RetryMax = -1 }},
+		{"disconnects without mean", func(c *Config) { c.DisconnectRate = 0.1 }},
+		{"recovery out of range", func(c *Config) { c.Recovery = RecoverCatchup + 1 }},
+		{"outage without retry layer", func(c *Config) { c.OutageLen = 5 * des.Second }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := DefaultConfig()
+			tc.mutate(&c)
+			if err := c.Validate(); err == nil {
+				t.Fatalf("Validate accepted %+v", c)
+			}
+		})
+	}
+}
+
+// TestInOutageBoundaries pins the half-open window semantics at every edge:
+// the instant an outage starts the cell is dark, the instant it ends the
+// cell is back, and the periodic schedule repeats exactly.
+func TestInOutageBoundaries(t *testing.T) {
+	c := DefaultConfig()
+	c.OutageStart = 30 * des.Second
+	c.OutageLen = 10 * des.Second
+	c.OutagePeriod = 60 * des.Second
+	c.QueryTimeout = des.Second
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	at := func(d des.Duration) des.Time { return des.Time(0).Add(d) }
+	cases := []struct {
+		at   des.Duration
+		want bool
+	}{
+		{0, false},
+		{30*des.Second - des.Microsecond, false},
+		{30 * des.Second, true}, // closed at the start edge
+		{40*des.Second - des.Microsecond, true},
+		{40 * des.Second, false}, // open at the end edge
+		{89 * des.Second, false},
+		{90 * des.Second, true}, // second cycle
+		{100 * des.Second, false},
+		{30*des.Second + 10*60*des.Second, true}, // tenth cycle
+	}
+	for _, tc := range cases {
+		if got := c.InOutage(3, at(tc.at)); got != tc.want {
+			t.Errorf("InOutage(t=%v) = %v, want %v", tc.at, got, tc.want)
+		}
+	}
+
+	// One-shot schedule: never repeats.
+	c.OutagePeriod = 0
+	if !c.InOutage(0, at(35*des.Second)) {
+		t.Error("one-shot outage not dark inside its window")
+	}
+	if c.InOutage(0, at(95*des.Second)) {
+		t.Error("one-shot outage repeated")
+	}
+
+	// Cell filter.
+	c.OutageCell = 2
+	if c.InOutage(1, at(35*des.Second)) {
+		t.Error("outage leaked to an unaffected cell")
+	}
+	if !c.InOutage(2, at(35*des.Second)) {
+		t.Error("outage missed its target cell")
+	}
+}
+
+// TestReportFateDeterministic checks the fate sequence is a pure function of
+// the stream, that per-cell streams are independent, and that the empirical
+// split tracks the configured probabilities.
+func TestReportFateDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ReportLossProb = 0.3
+	cfg.ReportTruncProb = 0.2
+	streams := func() []*rng.Source {
+		return []*rng.Source{rng.Stream(7, "fault.report.c0"), rng.Stream(7, "fault.report.c1")}
+	}
+	a := NewInjector(cfg, streams())
+	b := NewInjector(cfg, streams())
+	counts := map[Fate]int{}
+	const n = 10000
+	for i := 0; i < n; i++ {
+		fa, fb := a.ReportFate(0), b.ReportFate(0)
+		if fa != fb {
+			t.Fatalf("draw %d: fates diverged (%v vs %v)", i, fa, fb)
+		}
+		counts[fa]++
+	}
+	if lost := float64(counts[Lost]) / n; math.Abs(lost-0.3) > 0.02 {
+		t.Errorf("loss fraction %v, want ~0.3", lost)
+	}
+	if trunc := float64(counts[Truncated]) / n; math.Abs(trunc-0.2) > 0.02 {
+		t.Errorf("truncation fraction %v, want ~0.2", trunc)
+	}
+	// Cell 1's stream was never drawn from while cell 0 consumed 10k draws.
+	if f0, f1 := a.ReportFate(1), b.ReportFate(1); f0 != f1 {
+		t.Fatalf("cell-1 streams diverged (%v vs %v)", f0, f1)
+	}
+}
+
+// TestRetryDelayBackoff checks growth, the doubling cap, and jitter bounds.
+func TestRetryDelayBackoff(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.QueryTimeout = 2 * des.Second
+	in := NewInjector(cfg, nil)
+	src := rng.Stream(1, "test.retry")
+	for tries := 0; tries < 12; tries++ {
+		capped := tries
+		if capped > backoffCapDoublings {
+			capped = backoffCapDoublings
+		}
+		base := cfg.QueryTimeout << uint(capped)
+		d := in.RetryDelay(tries, src)
+		if d < base || d >= base+base/2+des.Microsecond {
+			t.Fatalf("tries=%d: delay %v outside [%v, 1.5x)", tries, d, base)
+		}
+	}
+	// RetryBackoff overrides the base.
+	cfg.RetryBackoff = des.Second
+	in = NewInjector(cfg, nil)
+	if d := in.RetryDelay(0, src); d >= 2*des.Second {
+		t.Fatalf("backoff override ignored: first delay %v", d)
+	}
+}
+
+func TestDisconnectDraws(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DisconnectRate = 1.0 / 60
+	cfg.DisconnectMeanSec = 30
+	in := NewInjector(cfg, nil)
+	src := rng.Stream(3, "test.disc")
+	var gap, length float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		g, l := in.DisconnectGap(src), in.DisconnectLen(src)
+		if g < 0 || l < 0 {
+			t.Fatalf("negative draw: gap=%v len=%v", g, l)
+		}
+		gap += g.Seconds()
+		length += l.Seconds()
+	}
+	if m := gap / n; math.Abs(m-60) > 2 {
+		t.Errorf("mean gap %v s, want ~60", m)
+	}
+	if m := length / n; math.Abs(m-30) > 1 {
+		t.Errorf("mean length %v s, want ~30", m)
+	}
+}

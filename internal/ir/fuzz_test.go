@@ -4,7 +4,10 @@ import (
 	"bytes"
 	"testing"
 
+	"repro/internal/cache"
 	"repro/internal/db"
+	"repro/internal/des"
+	"repro/internal/rng"
 )
 
 // FuzzUnmarshal drives the wire decoder with arbitrary bytes: it must never
@@ -35,6 +38,68 @@ func FuzzUnmarshal(f *testing.F) {
 		}
 		if r.SizeBits() < HeaderBits {
 			t.Fatalf("impossible size %d", r.SizeBits())
+		}
+	})
+}
+
+// FuzzReportDecode drives arbitrary bytes through the whole client-side
+// pipeline: decode, structural validation, then ClientState.Process against a
+// populated cache. Whatever the wire delivers — including truncated or
+// adversarial reports a fault-injected downlink can produce — processing must
+// never panic, and the consistency point must only move forward, landing
+// exactly on r.At whenever the report validates.
+func FuzzReportDecode(f *testing.F) {
+	seed := []*Report{
+		{Kind: KindFull, Seq: 4, At: 2000, PrevAt: 1000, WindowStart: 800,
+			Items: []db.Update{{ID: 1, At: 900}, {ID: 5, At: 1999}}},
+		{Kind: KindMini, Seq: 5, At: 1500, PrevAt: 1400, WindowStart: 1400},
+		{Kind: KindPiggyback, Seq: 6, At: 1200, PrevAt: 1100, WindowStart: 1100,
+			Items: []db.Update{{ID: 9, At: 1150}}},
+		{Kind: KindFull, Seq: 7, At: 5000,
+			Sig: &SigBlock{AsOf: 5000, Capacity: 4, FalsePositive: 0.05, Bits: 256}},
+	}
+	for _, r := range seed {
+		f.Add(r.Marshal(), uint64(7))
+	}
+	f.Add([]byte{0xFF, 0x00}, uint64(1))
+
+	f.Fuzz(func(t *testing.T, data []byte, stateSeed uint64) {
+		r, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		if r.Validate() != nil {
+			return // structurally invalid reports never reach Process in-tree
+		}
+		const universe = 64
+		// The simulator only ever decodes reports about items that exist;
+		// clamp ids into the universe so the cache contract holds.
+		for i := range r.Items {
+			if r.Items[i].ID < 0 || r.Items[i].ID >= universe {
+				r.Items[i].ID = int(uint(r.Items[i].ID) % universe)
+			}
+		}
+		src := rng.New(stateSeed)
+		c := cache.New(16, universe)
+		oracle := mapOracle{}
+		for i := 0; i < 16; i++ {
+			id := src.Intn(universe)
+			at := des.Time(src.Uint64n(4000))
+			c.Put(id, 1, at)
+			oracle[id] = at
+		}
+		var s ClientState
+		s.LastConsistent = des.Time(src.Uint64n(4000))
+		before := s.LastConsistent
+		ok := s.Process(r, c, oracle, src)
+		if s.LastConsistent < before {
+			t.Fatalf("consistency point moved backwards: %v -> %v", before, s.LastConsistent)
+		}
+		if ok && s.LastConsistent != r.At {
+			t.Fatalf("validated report left LastConsistent at %v, want %v", s.LastConsistent, r.At)
+		}
+		if !ok && s.LastConsistent != before {
+			t.Fatalf("unusable report advanced consistency: %v -> %v", before, s.LastConsistent)
 		}
 	})
 }

@@ -1,0 +1,147 @@
+package ir
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/db"
+	"repro/internal/des"
+)
+
+// TestCoverageWindowEdges pins the coverage-window rule at its exact
+// boundaries — the cases a sleeping or disconnected client produces when its
+// absence lines up with a report edge to the tick. The rule under test:
+// a report covers (WindowStart, At], a client consistent as of
+// t >= WindowStart applies it, a full report re-synchronizes anyone else by
+// dropping, and everything else is unusable.
+func TestCoverageWindowEdges(t *testing.T) {
+	cases := []struct {
+		name string
+		kind Kind
+		last des.Time // client's LastConsistent before the report
+		at   des.Time // report generation time
+		win  des.Time // report WindowStart
+
+		wantOK   bool
+		wantDrop bool     // full-report drop-all path taken
+		wantLast des.Time // LastConsistent afterwards
+	}{
+		{
+			// A doze that ends exactly at the window boundary: the client's
+			// consistency point equals WindowStart, and (WindowStart, At]
+			// covers precisely the updates it slept through.
+			name: "doze-equals-window-exactly",
+			kind: KindMini, last: 100, at: 200, win: 100,
+			wantOK: true, wantLast: 200,
+		},
+		{
+			// One tick longer and the chain is broken: a mini cannot prove
+			// anything about the uncovered instant.
+			name: "doze-one-tick-past-window",
+			kind: KindMini, last: 99, at: 200, win: 100,
+			wantOK: false, wantLast: 99,
+		},
+		{
+			// The same one-tick gap against a full report re-synchronizes via
+			// the safe drop — consistency advances even though coverage failed.
+			name: "full-one-tick-past-window",
+			kind: KindFull, last: 99, at: 200, win: 100,
+			wantOK: true, wantDrop: true, wantLast: 200,
+		},
+		{
+			// A report generated at the very tick the client woke (or
+			// reconnected): At equals LastConsistent. Not stale (stale is
+			// strictly At < LastConsistent), and trivially inside the window.
+			name: "report-at-same-tick-as-wake",
+			kind: KindMini, last: 200, at: 200, win: 150,
+			wantOK: true, wantLast: 200,
+		},
+		{
+			// One tick earlier than the consistency point is stale: nothing
+			// the report lists can matter, even for a full report.
+			name: "report-one-tick-before-consistency",
+			kind: KindFull, last: 201, at: 200, win: 150,
+			wantOK: false, wantLast: 201,
+		},
+		{
+			// Zero-length window, client already there: WindowStart == At ==
+			// LastConsistent. Covers no updates but re-asserts consistency.
+			name: "zero-length-window-at-consistency",
+			kind: KindMini, last: 200, at: 200, win: 200,
+			wantOK: true, wantLast: 200,
+		},
+		{
+			// Zero-length window ahead of the client: covers nothing, proves
+			// nothing — unusable for a mini.
+			name: "zero-length-window-ahead-mini",
+			kind: KindPiggyback, last: 150, at: 200, win: 200,
+			wantOK: false, wantLast: 150,
+		},
+		{
+			// The same degenerate window on a full report still recovers the
+			// client through the drop path.
+			name: "zero-length-window-ahead-full",
+			kind: KindFull, last: 150, at: 200, win: 200,
+			wantOK: true, wantDrop: true, wantLast: 200,
+		},
+		{
+			// The epoch edge: a fresh client (zero state) meets a window that
+			// reaches back to the epoch, so it validates without a drop.
+			name: "fresh-client-window-from-epoch",
+			kind: KindMini, last: 0, at: 200, win: 0,
+			wantOK: true, wantLast: 200,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := cache.New(10, 100)
+			c.Put(1, 1, des.Time(50))
+			var s ClientState
+			s.LastConsistent = tc.last
+			r := &Report{Kind: tc.kind, At: tc.at, WindowStart: tc.win}
+			if got := s.Process(r, c, nil, nil); got != tc.wantOK {
+				t.Fatalf("Process = %v, want %v", got, tc.wantOK)
+			}
+			if s.LastConsistent != tc.wantLast {
+				t.Fatalf("LastConsistent = %v, want %v", s.LastConsistent, tc.wantLast)
+			}
+			if gotDrop := s.Stats.Drops.Value() == 1; gotDrop != tc.wantDrop {
+				t.Fatalf("drop-all = %v, want %v", gotDrop, tc.wantDrop)
+			}
+			if tc.wantDrop != (c.Len() == 0) {
+				t.Fatalf("cache len %d inconsistent with drop=%v", c.Len(), tc.wantDrop)
+			}
+			if !tc.wantOK && c.Len() != 1 {
+				t.Fatal("unusable report mutated the cache")
+			}
+		})
+	}
+}
+
+// TestCoverageWindowEdgeItemTimes pins the item-level boundary inside an
+// applied report: an update at exactly the cached-at tick must NOT
+// invalidate (the cached value already reflects it — db.Update.At is the
+// version's write time, compared strictly), while one tick later must.
+func TestCoverageWindowEdgeItemTimes(t *testing.T) {
+	c := cache.New(10, 100)
+	c.Put(1, 1, des.Time(100))
+	c.Put(2, 1, des.Time(100))
+	var s ClientState
+	s.LastConsistent = des.Time(100)
+	r := &Report{
+		Kind: KindMini, At: des.Time(200), WindowStart: des.Time(90),
+		Items: []db.Update{
+			{ID: 1, At: des.Time(100)}, // == CachedAt: value already current
+			{ID: 2, At: des.Time(101)}, // one tick newer: must go
+		},
+	}
+	if !s.Process(r, c, nil, nil) {
+		t.Fatal("in-window report must validate")
+	}
+	if !c.Contains(1) {
+		t.Fatal("entry invalidated by an update it already reflects")
+	}
+	if c.Contains(2) {
+		t.Fatal("strictly newer update did not invalidate")
+	}
+}

@@ -34,6 +34,7 @@ const (
 	CarrierIR         = "ir"         // standalone broadcast report frame
 	CarrierResponse   = "response"   // piggybacked on a query response
 	CarrierBackground = "background" // piggybacked on background traffic
+	CarrierCatchup    = "catchup"    // unicast catch-up report after a disconnection
 )
 
 // ReportProcess outcomes.
@@ -132,6 +133,67 @@ type HandoffEvent struct {
 	Flushed bool     `json:"flushed,omitempty"`
 }
 
+// ReportFault modes for the ReportFaultEvent.Mode field.
+const (
+	ReportFaultSuppressed = "suppressed" // outage swallowed the broadcast at the server
+	ReportFaultLost       = "lost"       // frame destroyed in transit, nobody heard it
+	ReportFaultTruncated  = "truncated"  // frame corrupted: airtime paid, CRC failed
+)
+
+// Recovery "via" names for the RecoveryEvent.Via field: what re-established
+// cache consistency after a disconnection.
+const (
+	RecoveryViaFlush   = "flush"   // reconnect dropped the cache immediately
+	RecoveryViaReport  = "report"  // a regular report's window covered the gap
+	RecoveryViaCatchup = "catchup" // a unicast catch-up report closed the gap
+)
+
+// OutageEvent records a base-station outage edge: Down true when the cell
+// goes dark, false when it comes back.
+type OutageEvent struct {
+	At   des.Time `json:"t"`
+	Cell int      `json:"cell"`
+	Down bool     `json:"down"`
+}
+
+// ReportFaultEvent records an injected fault on one standalone invalidation
+// report: suppressed at a dark base station, lost in transit, or truncated.
+type ReportFaultEvent struct {
+	At   des.Time `json:"t"`
+	Cell int      `json:"cell"`
+	Seq  uint64   `json:"seq"`
+	Mode string   `json:"mode"`
+}
+
+// QueryRetryEvent records one client-side request timeout firing: Attempt is
+// the number of consecutive timeouts so far, and GaveUp reports that the
+// retry budget is exhausted and the query returns to waiting for a report.
+type QueryRetryEvent struct {
+	At      des.Time `json:"t"`
+	Client  int      `json:"client"`
+	Item    int      `json:"item"`
+	Attempt int      `json:"attempt"`
+	GaveUp  bool     `json:"gave_up,omitempty"`
+}
+
+// DisconnectEvent records an extended client disconnection edge: Down true
+// when the radio drops, false on reconnect.
+type DisconnectEvent struct {
+	At     des.Time `json:"t"`
+	Client int      `json:"client"`
+	Down   bool     `json:"down"`
+}
+
+// RecoveryEvent records the completion of post-disconnection recovery: the
+// client's cache is consistent again. DelaySec measures reconnect → recovery.
+type RecoveryEvent struct {
+	At       des.Time `json:"t"`
+	Client   int      `json:"client"`
+	Policy   string   `json:"policy"`
+	Via      string   `json:"via"`
+	DelaySec float64  `json:"delay_sec"`
+}
+
 // Tracer observes typed simulation events. Implementations must be safe for
 // concurrent use: parallel replications of one configuration share a single
 // tracer. All emission sites treat a nil Tracer as "tracing disabled".
@@ -144,6 +206,11 @@ type Tracer interface {
 	DBUpdate(e DBUpdateEvent)
 	ReportProcess(e ReportProcessEvent)
 	Handoff(e HandoffEvent)
+	Outage(e OutageEvent)
+	ReportFault(e ReportFaultEvent)
+	QueryRetry(e QueryRetryEvent)
+	Disconnect(e DisconnectEvent)
+	Recovery(e RecoveryEvent)
 }
 
 // Base is a no-op Tracer meant for embedding, so consumers interested in a
@@ -173,6 +240,21 @@ func (Base) ReportProcess(ReportProcessEvent) {}
 
 // Handoff implements Tracer.
 func (Base) Handoff(HandoffEvent) {}
+
+// Outage implements Tracer.
+func (Base) Outage(OutageEvent) {}
+
+// ReportFault implements Tracer.
+func (Base) ReportFault(ReportFaultEvent) {}
+
+// QueryRetry implements Tracer.
+func (Base) QueryRetry(QueryRetryEvent) {}
+
+// Disconnect implements Tracer.
+func (Base) Disconnect(DisconnectEvent) {}
+
+// Recovery implements Tracer.
+func (Base) Recovery(RecoveryEvent) {}
 
 // tee fans every event out to several tracers in order.
 type tee struct{ ts []Tracer }
@@ -241,5 +323,35 @@ func (t *tee) ReportProcess(e ReportProcessEvent) {
 func (t *tee) Handoff(e HandoffEvent) {
 	for _, s := range t.ts {
 		s.Handoff(e)
+	}
+}
+
+func (t *tee) Outage(e OutageEvent) {
+	for _, s := range t.ts {
+		s.Outage(e)
+	}
+}
+
+func (t *tee) ReportFault(e ReportFaultEvent) {
+	for _, s := range t.ts {
+		s.ReportFault(e)
+	}
+}
+
+func (t *tee) QueryRetry(e QueryRetryEvent) {
+	for _, s := range t.ts {
+		s.QueryRetry(e)
+	}
+}
+
+func (t *tee) Disconnect(e DisconnectEvent) {
+	for _, s := range t.ts {
+		s.Disconnect(e)
+	}
+}
+
+func (t *tee) Recovery(e RecoveryEvent) {
+	for _, s := range t.ts {
+		s.Recovery(e)
 	}
 }

@@ -18,6 +18,11 @@ const (
 	EvDBUpdate        = "db_update"
 	EvReportProcess   = "report_process"
 	EvHandoff         = "handoff"
+	EvOutage          = "outage"
+	EvReportFault     = "report_fault"
+	EvQueryRetry      = "query_retry"
+	EvDisconnect      = "disconnect"
+	EvRecovery        = "recovery"
 )
 
 // JSONL is a Tracer that appends one JSON object per event to a writer. It
@@ -154,6 +159,46 @@ func (s *JSONL) Handoff(e HandoffEvent) {
 	}{EvHandoff, e})
 }
 
+// Outage implements Tracer.
+func (s *JSONL) Outage(e OutageEvent) {
+	s.emit(struct {
+		Ev string `json:"ev"`
+		OutageEvent
+	}{EvOutage, e})
+}
+
+// ReportFault implements Tracer.
+func (s *JSONL) ReportFault(e ReportFaultEvent) {
+	s.emit(struct {
+		Ev string `json:"ev"`
+		ReportFaultEvent
+	}{EvReportFault, e})
+}
+
+// QueryRetry implements Tracer.
+func (s *JSONL) QueryRetry(e QueryRetryEvent) {
+	s.emit(struct {
+		Ev string `json:"ev"`
+		QueryRetryEvent
+	}{EvQueryRetry, e})
+}
+
+// Disconnect implements Tracer.
+func (s *JSONL) Disconnect(e DisconnectEvent) {
+	s.emit(struct {
+		Ev string `json:"ev"`
+		DisconnectEvent
+	}{EvDisconnect, e})
+}
+
+// Recovery implements Tracer.
+func (s *JSONL) Recovery(e RecoveryEvent) {
+	s.emit(struct {
+		Ev string `json:"ev"`
+		RecoveryEvent
+	}{EvRecovery, e})
+}
+
 // Decode parses one JSONL trace line back into its typed event. The first
 // return value is one of the *Event structs (by value): ReportBroadcastEvent,
 // QueryEvent, CacheEvent, FrameTxEvent, SleepWakeEvent, DBUpdateEvent or
@@ -220,6 +265,36 @@ func Decode(line []byte) (any, error) {
 			return nil, err
 		}
 		return *v.(*HandoffEvent), nil
+	case EvOutage:
+		v, err := unmarshal(&OutageEvent{})
+		if err != nil {
+			return nil, err
+		}
+		return *v.(*OutageEvent), nil
+	case EvReportFault:
+		v, err := unmarshal(&ReportFaultEvent{})
+		if err != nil {
+			return nil, err
+		}
+		return *v.(*ReportFaultEvent), nil
+	case EvQueryRetry:
+		v, err := unmarshal(&QueryRetryEvent{})
+		if err != nil {
+			return nil, err
+		}
+		return *v.(*QueryRetryEvent), nil
+	case EvDisconnect:
+		v, err := unmarshal(&DisconnectEvent{})
+		if err != nil {
+			return nil, err
+		}
+		return *v.(*DisconnectEvent), nil
+	case EvRecovery:
+		v, err := unmarshal(&RecoveryEvent{})
+		if err != nil {
+			return nil, err
+		}
+		return *v.(*RecoveryEvent), nil
 	}
 	return nil, fmt.Errorf("obs: unknown event type %q", tag.Ev)
 }
@@ -266,11 +341,12 @@ type Ring struct {
 	buf   []any
 	next  int
 	total uint64
-	byEv  [8]uint64 // per-type counts, indexed by evIndex order
+	byEv  [13]uint64 // per-type counts, indexed by evOrder position
 }
 
 var evOrder = [...]string{EvReportBroadcast, EvQuery, EvCache, EvFrameTx,
-	EvSleepWake, EvDBUpdate, EvReportProcess, EvHandoff}
+	EvSleepWake, EvDBUpdate, EvReportProcess, EvHandoff,
+	EvOutage, EvReportFault, EvQueryRetry, EvDisconnect, EvRecovery}
 
 // NewRing builds a ring sink holding the most recent capacity events.
 func NewRing(capacity int) *Ring {
@@ -345,3 +421,18 @@ func (r *Ring) ReportProcess(e ReportProcessEvent) { r.add(6, e) }
 
 // Handoff implements Tracer.
 func (r *Ring) Handoff(e HandoffEvent) { r.add(7, e) }
+
+// Outage implements Tracer.
+func (r *Ring) Outage(e OutageEvent) { r.add(8, e) }
+
+// ReportFault implements Tracer.
+func (r *Ring) ReportFault(e ReportFaultEvent) { r.add(9, e) }
+
+// QueryRetry implements Tracer.
+func (r *Ring) QueryRetry(e QueryRetryEvent) { r.add(10, e) }
+
+// Disconnect implements Tracer.
+func (r *Ring) Disconnect(e DisconnectEvent) { r.add(11, e) }
+
+// Recovery implements Tracer.
+func (r *Ring) Recovery(e RecoveryEvent) { r.add(12, e) }
