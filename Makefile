@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: help build test vet race smoke-multicell check sweep bench bench-smoke bench-json soak fuzz-smoke
+.PHONY: help build test vet race smoke-multicell check sweep bench bench-smoke bench-json bench-city soak fuzz-smoke
 
 # help lists the public targets. check is the pre-commit gate; soak is the
 # nightly chaos run and is deliberately NOT part of check.
@@ -15,6 +15,7 @@ help:
 	@echo "bench           full benchmark archive run"
 	@echo "bench-smoke     CI-sized benchmark subset"
 	@echo "bench-json      refresh BENCH_1.json and enforce the 15% perf ratchet"
+	@echo "bench-city      refresh BENCH_2.json: clients x cells scaling curve with RSS gate"
 	@echo "fuzz-smoke      30s native-fuzz pass over each ir wire-decoder target"
 	@echo "soak            long randomized chaos/fault run under -race (nightly job)"
 
@@ -65,6 +66,14 @@ bench-smoke:
 bench-json:
 	$(GO) test -run '^$$' -bench 'Engine$$|TracerOverhead' -benchtime 5x -benchmem . \
 		| $(GO) run ./cmd/wdcbench -baseline BENCH_1.json -out BENCH_1.json -max-regress-pct 15
+
+# bench-city refreshes the committed capacity record BENCH_2.json: a
+# clients×cells scaling curve (1k→100k clients, 1→64 cells) where each point
+# runs one replication in its own subprocess so peak RSS is measured per
+# configuration. Gates: events/s may not drop, nor peak RSS rise, more than
+# 15% against the committed record, and no point may exceed 1 GiB resident.
+bench-city:
+	$(GO) run ./cmd/wdcbench -city -baseline BENCH_2.json -out BENCH_2.json -max-regress-pct 15 -max-rss-mib 1024
 
 # fuzz-smoke runs each ir fuzz target for 30s from its committed seed corpus.
 # Short enough to gate a PR; the corpora under internal/ir/testdata/fuzz keep

@@ -52,7 +52,27 @@ func main() {
 	out := flag.String("out", "BENCH_1.json", "record file to write")
 	baseline := flag.String("baseline", "BENCH_1.json", "existing record to preserve the baseline from and gate against")
 	maxRegress := flag.Float64("max-regress-pct", 0, "fail when events/s drops more than this percent below the committed record (0 disables)")
+	city := flag.Bool("city", false, "run the city-scale clients×cells sweep instead of parsing stdin; writes/gates -out (default BENCH_2.json)")
+	cityPoint := flag.String("city-point", "", "internal: run one city point CLIENTSxCELLS in-process and print its JSON")
+	maxRSSMiB := flag.Float64("max-rss-mib", 1024, "city mode: absolute peak-RSS ceiling per point in MiB (0 disables)")
 	flag.Parse()
+
+	if *cityPoint != "" {
+		runCityPoint(*cityPoint)
+		return
+	}
+	if *city {
+		path := *out
+		if path == "BENCH_1.json" { // flag default is the stdin mode's record
+			path = "BENCH_2.json"
+		}
+		base := *baseline
+		if base == "BENCH_1.json" {
+			base = path
+		}
+		runCity(path, base, *maxRegress, uint64(*maxRSSMiB*(1<<20)))
+		return
+	}
 
 	metrics, err := parseBench(os.Stdin)
 	if err != nil {

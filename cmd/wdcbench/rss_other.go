@@ -1,0 +1,7 @@
+//go:build !linux
+
+package main
+
+// peakRSSBytes is unavailable off Linux; 0 disables the RSS gates for the
+// affected points (readCityFile callers treat 0 as "not measured").
+func peakRSSBytes() uint64 { return 0 }

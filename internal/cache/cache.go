@@ -50,14 +50,11 @@ func ParsePolicy(s string) (Policy, error) {
 	return 0, fmt.Errorf("cache: unknown policy %q", s)
 }
 
-// Entry is one cached item.
+// Entry is one cached item, returned by value from lookups.
 type Entry struct {
 	ID       int
 	Version  uint64   // server version of the cached value (ground truth aid)
 	CachedAt des.Time // server-side generation time of the cached value
-
-	prev, next *Entry // intrusive LRU list; head = most recent
-	resident   bool
 }
 
 // Stats aggregates cache-level events.
@@ -70,22 +67,42 @@ type Stats struct {
 	Flushes       metrics.Counter // InvalidateAll calls
 }
 
-// Cache is a fixed-capacity cache keyed by item id. Ids must be < the
-// universe size given at construction; the id-indexed entry table makes
-// every operation O(1) with zero per-operation allocation. The intrusive
-// list orders entries by recency (LRU) or insertion (FIFO); Random ignores
-// the order for eviction but keeps it for Range.
+// nilSlot terminates the intrusive recency list.
+const nilSlot = int32(-1)
+
+// Cache is a fixed-capacity cache keyed by item id. Every structure is sized
+// by capacity, not universe: entries live in struct-of-arrays slot storage
+// linked into a recency list by index (LRU/FIFO order; Random ignores the
+// order for eviction but keeps it for Range), and an open-addressing hash
+// maps item id → slot. All operations are O(1) with zero per-operation
+// allocation, there are no interior pointers — a Cache value can live inside
+// a larger SoA table and be recycled with Reset — and the steady-state
+// footprint is ~50 bytes per capacity slot regardless of how large the item
+// universe is. The deterministic multiplicative hash and the strictly
+// sequential slot allocation keep behaviour byte-identical across platforms
+// and across Reset recycling.
 type Cache struct {
 	capacity int
+	universe int
 	policy   Policy
 	src      *rng.Source // Random policy only
-	entries  []Entry     // indexed by item id; resident flag marks membership
-	head     *Entry      // most recently used / most recently inserted
-	tail     *Entry      // eviction end for LRU and FIFO
-	resident []int       // ids of resident entries (Random eviction index)
-	slot     []int       // entry id → index in resident, -1 if absent
-	size     int
-	stats    Stats
+
+	// Slot storage, all length capacity. A slot is in use iff ids[s] >= 0.
+	ids      []int32
+	versions []uint64
+	cachedAt []des.Time
+	prev     []int32 // recency list; head = most recent
+	next     []int32
+	ridx     []int32 // slot → position in resident
+
+	resident []int32 // in-use slots, insertion-ordered (Random eviction index)
+	free     []int32 // free slots, popped from the end
+	htab     []int32 // open addressing, linear probing; slot+1, 0 = empty
+	hshift   uint32  // 32 - log2(len(htab))
+
+	head, tail int32
+	size       int
+	stats      Stats
 
 	// Tracing (nil tr = disabled). The cache has no clock of its own, so the
 	// owner supplies one alongside its client id.
@@ -102,55 +119,86 @@ func New(capacity, universe int) *Cache {
 // NewWithPolicy builds a cache with an explicit replacement policy. src is
 // required for Random and ignored otherwise.
 func NewWithPolicy(capacity, universe int, policy Policy, src *rng.Source) *Cache {
+	c := &Cache{}
+	c.Init(capacity, universe, policy, src)
+	return c
+}
+
+// Init builds the cache in place, so a Cache embedded by value in a larger
+// table can be constructed without a separate allocation. It has the same
+// contract as NewWithPolicy.
+func (c *Cache) Init(capacity, universe int, policy Policy, src *rng.Source) {
 	if capacity <= 0 || universe <= 0 || capacity > universe {
 		panic(fmt.Sprintf("cache: invalid capacity %d of universe %d", capacity, universe))
 	}
 	if policy == Random && src == nil {
 		panic("cache: Random policy needs a rng source")
 	}
-	c := &Cache{
+	hsize := 8
+	for hsize < 2*capacity {
+		hsize *= 2
+	}
+	*c = Cache{
 		capacity: capacity,
+		universe: universe,
 		policy:   policy,
 		src:      src,
-		entries:  make([]Entry, universe),
-		resident: make([]int, 0, capacity),
-		slot:     make([]int, universe),
+		ids:      make([]int32, capacity),
+		versions: make([]uint64, capacity),
+		cachedAt: make([]des.Time, capacity),
+		prev:     make([]int32, capacity),
+		next:     make([]int32, capacity),
+		ridx:     make([]int32, capacity),
+		resident: make([]int32, 0, capacity),
+		free:     make([]int32, 0, capacity),
+		htab:     make([]int32, hsize),
+		hshift:   32 - uint32(log2(hsize)),
 	}
-	for i := range c.entries {
-		c.entries[i].ID = i
-		c.slot[i] = -1
+	c.clear()
+}
+
+// clear empties every table, leaving capacity/universe/policy/src/stats.
+func (c *Cache) clear() {
+	for i := range c.ids {
+		c.ids[i] = -1
 	}
-	return c
+	for i := range c.htab {
+		c.htab[i] = 0
+	}
+	c.free = c.free[:0]
+	for s := c.capacity - 1; s >= 0; s-- {
+		c.free = append(c.free, int32(s)) // pops allocate slots 0, 1, 2, …
+	}
+	c.resident = c.resident[:0]
+	c.head, c.tail = nilSlot, nilSlot
+	c.size = 0
+}
+
+func log2(n int) int {
+	k := 0
+	for 1<<k < n {
+		k++
+	}
+	return k
 }
 
 // Reset returns the cache to its freshly constructed state — no resident
-// entries, zeroed statistics, no tracer — while keeping the O(universe)
-// entry and index tables, so a pooled cache can serve a new replication
-// without reallocating. src replaces the Random-eviction stream (ignored by
-// the other policies); capacity, universe and policy are unchanged.
+// entries, zeroed statistics, no tracer — while keeping every table, so a
+// pooled cache can serve a new replication without reallocating. src
+// replaces the Random-eviction stream (ignored by the other policies);
+// capacity, universe and policy are unchanged.
 func (c *Cache) Reset(src *rng.Source) {
 	if c.policy == Random && src == nil {
 		panic("cache: Random policy needs a rng source")
 	}
-	for e := c.head; e != nil; {
-		next := e.next
-		e.Version = 0
-		e.CachedAt = 0
-		e.prev, e.next = nil, nil
-		e.resident = false
-		c.slot[e.ID] = -1
-		e = next
-	}
-	c.resident = c.resident[:0]
-	c.head, c.tail = nil, nil
-	c.size = 0
+	c.clear()
 	c.src = src
 	c.stats = Stats{}
 	c.tr, c.trOwner, c.trClock = nil, 0, nil
 }
 
 // Universe reports the id space size the cache was built for.
-func (c *Cache) Universe() int { return len(c.entries) }
+func (c *Cache) Universe() int { return c.universe }
 
 // SetTracer attaches an event tracer. owner is the client id stamped on
 // every CacheEvent; clock supplies the simulation time. A nil tr disables
@@ -174,88 +222,157 @@ func (c *Cache) Len() int { return c.size }
 // Stats exposes the accumulated counters.
 func (c *Cache) Stats() *Stats { return &c.stats }
 
+// idxHome is the deterministic multiplicative hash (Fibonacci hashing on 32
+// bits): pure integer arithmetic, identical on every platform.
+func (c *Cache) idxHome(id int32) int {
+	return int((uint32(id) * 2654435769) >> c.hshift)
+}
+
+// lookup probes for id, returning its slot or nilSlot.
+func (c *Cache) lookup(id int32) int32 {
+	mask := len(c.htab) - 1
+	for i := c.idxHome(id); ; i = (i + 1) & mask {
+		s := c.htab[i]
+		if s == 0 {
+			return nilSlot
+		}
+		if c.ids[s-1] == id {
+			return s - 1
+		}
+	}
+}
+
+// idxInsert records id → slot. id must not already be present.
+func (c *Cache) idxInsert(id int32, slot int32) {
+	mask := len(c.htab) - 1
+	i := c.idxHome(id)
+	for c.htab[i] != 0 {
+		i = (i + 1) & mask
+	}
+	c.htab[i] = slot + 1
+}
+
+// idxDelete removes id with backward-shift deletion, so probe chains stay
+// intact without tombstones.
+func (c *Cache) idxDelete(id int32) {
+	mask := len(c.htab) - 1
+	i := c.idxHome(id)
+	for {
+		s := c.htab[i]
+		if s == 0 {
+			return // not present
+		}
+		if c.ids[s-1] == id {
+			break
+		}
+		i = (i + 1) & mask
+	}
+	j := i
+	for {
+		j = (j + 1) & mask
+		s := c.htab[j]
+		if s == 0 {
+			break
+		}
+		// The entry at j may fill the hole at i iff its home position does
+		// not lie in the cyclic interval (i, j] — otherwise moving it would
+		// break its own probe chain.
+		h := c.idxHome(c.ids[s-1])
+		if (j-h)&mask >= (j-i)&mask {
+			c.htab[i] = s
+			i = j
+		}
+	}
+	c.htab[i] = 0
+}
+
+func (c *Cache) entryAt(s int32) Entry {
+	return Entry{ID: int(c.ids[s]), Version: c.versions[s], CachedAt: c.cachedAt[s]}
+}
+
 // Contains reports residency without touching recency or counters.
-func (c *Cache) Contains(id int) bool { return c.entries[id].resident }
+func (c *Cache) Contains(id int) bool { return c.lookup(int32(id)) != nilSlot }
 
 // Peek returns the entry without touching recency or hit/miss counters.
 func (c *Cache) Peek(id int) (Entry, bool) {
-	e := &c.entries[id]
-	if !e.resident {
+	s := c.lookup(int32(id))
+	if s == nilSlot {
 		return Entry{}, false
 	}
-	return *e, true
+	return c.entryAt(s), true
 }
 
 // Get returns the entry for id and promotes it to most-recently-used,
 // recording a hit or miss.
 func (c *Cache) Get(id int) (Entry, bool) {
-	e := &c.entries[id]
-	if !e.resident {
+	s := c.lookup(int32(id))
+	if s == nilSlot {
 		c.stats.Misses.Inc()
 		return Entry{}, false
 	}
 	c.stats.Hits.Inc()
 	if c.policy == LRU {
-		c.moveToFront(e)
+		c.moveToFront(s)
 	}
-	return *e, true
+	return c.entryAt(s), true
 }
 
 // Put inserts or refreshes the value for id, promoting it and evicting the
 // LRU entry if the cache is full.
 func (c *Cache) Put(id int, version uint64, cachedAt des.Time) {
-	e := &c.entries[id]
-	if e.resident {
-		e.Version = version
-		e.CachedAt = cachedAt
+	s := c.lookup(int32(id))
+	if s != nilSlot {
+		c.versions[s] = version
+		c.cachedAt[s] = cachedAt
 		if c.policy == LRU {
-			c.moveToFront(e)
+			c.moveToFront(s)
 		}
 		return
 	}
 	if c.size == c.capacity {
 		victim := c.tail
 		if c.policy == Random {
-			victim = &c.entries[c.resident[c.src.Intn(len(c.resident))]]
+			victim = c.resident[c.src.Intn(len(c.resident))]
 		}
 		c.evict(victim)
 	}
-	e.Version = version
-	e.CachedAt = cachedAt
-	e.resident = true
+	s = c.free[len(c.free)-1]
+	c.free = c.free[:len(c.free)-1]
+	c.ids[s] = int32(id)
+	c.versions[s] = version
+	c.cachedAt[s] = cachedAt
+	c.idxInsert(int32(id), s)
+	c.ridx[s] = int32(len(c.resident))
+	c.resident = append(c.resident, s)
 	c.size++
-	c.trackResident(e.ID)
 	c.stats.Insertions.Inc()
-	c.pushFront(e)
+	c.pushFront(s)
 }
 
-// trackResident registers id in the random-eviction index.
-func (c *Cache) trackResident(id int) {
-	c.slot[id] = len(c.resident)
-	c.resident = append(c.resident, id)
-}
-
-// untrackResident removes id from the random-eviction index (swap-remove).
-func (c *Cache) untrackResident(id int) {
-	i := c.slot[id]
-	last := len(c.resident) - 1
+// release frees slot s: unlinks it, removes it from every index (the
+// resident list uses swap-remove, preserving the same position evolution —
+// and therefore the same Random-eviction draws — as ever).
+func (c *Cache) release(s int32) {
+	c.unlink(s)
+	c.idxDelete(c.ids[s])
+	i := c.ridx[s]
+	last := int32(len(c.resident) - 1)
 	moved := c.resident[last]
 	c.resident[i] = moved
-	c.slot[moved] = i
+	c.ridx[moved] = i
 	c.resident = c.resident[:last]
-	c.slot[id] = -1
+	c.ids[s] = -1
+	c.free = append(c.free, s)
+	c.size--
 }
 
 // Invalidate removes id if resident, reporting whether it was.
 func (c *Cache) Invalidate(id int) bool {
-	e := &c.entries[id]
-	if !e.resident {
+	s := c.lookup(int32(id))
+	if s == nilSlot {
 		return false
 	}
-	c.unlink(e)
-	e.resident = false
-	c.size--
-	c.untrackResident(e.ID)
+	c.release(s)
 	c.stats.Invalidations.Inc()
 	if c.tr != nil {
 		c.tr.Cache(obs.CacheEvent{At: c.trClock(), Client: c.trOwner, Op: obs.CacheInvalidate, Item: id})
@@ -267,16 +384,7 @@ func (c *Cache) Invalidate(id int) bool {
 // coverage window was exceeded).
 func (c *Cache) InvalidateAll() {
 	dropped := c.size
-	for e := c.head; e != nil; {
-		next := e.next
-		e.resident = false
-		e.prev, e.next = nil, nil
-		c.slot[e.ID] = -1
-		e = next
-	}
-	c.resident = c.resident[:0]
-	c.head, c.tail = nil, nil
-	c.size = 0
+	c.clear()
 	c.stats.Flushes.Inc()
 	if c.tr != nil {
 		c.tr.Cache(obs.CacheEvent{At: c.trClock(), Client: c.trOwner, Op: obs.CacheFlush, Item: -1, Count: dropped})
@@ -286,8 +394,8 @@ func (c *Cache) InvalidateAll() {
 // Range calls fn for every resident entry in MRU→LRU order; fn returning
 // false stops the walk. fn must not mutate the cache.
 func (c *Cache) Range(fn func(e Entry) bool) {
-	for e := c.head; e != nil; e = e.next {
-		if !fn(*e) {
+	for s := c.head; s != nilSlot; s = c.next[s] {
+		if !fn(c.entryAt(s)) {
 			return
 		}
 	}
@@ -295,8 +403,8 @@ func (c *Cache) Range(fn func(e Entry) bool) {
 
 // ResidentIDs appends all resident ids in MRU→LRU order to buf.
 func (c *Cache) ResidentIDs(buf []int) []int {
-	for e := c.head; e != nil; e = e.next {
-		buf = append(buf, e.ID)
+	for s := c.head; s != nilSlot; s = c.next[s] {
+		buf = append(buf, int(c.ids[s]))
 	}
 	return buf
 }
@@ -310,63 +418,67 @@ func (c *Cache) HitRatio() float64 {
 	return float64(h) / float64(h+m)
 }
 
-func (c *Cache) evict(e *Entry) {
-	c.unlink(e)
-	e.resident = false
-	c.size--
-	c.untrackResident(e.ID)
+func (c *Cache) evict(s int32) {
+	id := int(c.ids[s])
+	c.release(s)
 	c.stats.Evictions.Inc()
 	if c.tr != nil {
-		c.tr.Cache(obs.CacheEvent{At: c.trClock(), Client: c.trOwner, Op: obs.CacheEvict, Item: e.ID})
+		c.tr.Cache(obs.CacheEvent{At: c.trClock(), Client: c.trOwner, Op: obs.CacheEvict, Item: id})
 	}
 }
 
-func (c *Cache) pushFront(e *Entry) {
-	e.prev = nil
-	e.next = c.head
-	if c.head != nil {
-		c.head.prev = e
+func (c *Cache) pushFront(s int32) {
+	c.prev[s] = nilSlot
+	c.next[s] = c.head
+	if c.head != nilSlot {
+		c.prev[c.head] = s
 	}
-	c.head = e
-	if c.tail == nil {
-		c.tail = e
+	c.head = s
+	if c.tail == nilSlot {
+		c.tail = s
 	}
 }
 
-func (c *Cache) unlink(e *Entry) {
-	if e.prev != nil {
-		e.prev.next = e.next
+func (c *Cache) unlink(s int32) {
+	if c.prev[s] != nilSlot {
+		c.next[c.prev[s]] = c.next[s]
 	} else {
-		c.head = e.next
+		c.head = c.next[s]
 	}
-	if e.next != nil {
-		e.next.prev = e.prev
+	if c.next[s] != nilSlot {
+		c.prev[c.next[s]] = c.prev[s]
 	} else {
-		c.tail = e.prev
+		c.tail = c.prev[s]
 	}
-	e.prev, e.next = nil, nil
+	c.prev[s], c.next[s] = nilSlot, nilSlot
 }
 
-func (c *Cache) moveToFront(e *Entry) {
-	if c.head == e {
+func (c *Cache) moveToFront(s int32) {
+	if c.head == s {
 		return
 	}
-	c.unlink(e)
-	c.pushFront(e)
+	c.unlink(s)
+	c.pushFront(s)
 }
 
-// checkInvariants verifies list/table agreement; used by tests.
+// checkInvariants verifies list/index/slot agreement; used by tests.
 func (c *Cache) checkInvariants() error {
 	seen := 0
-	var prev *Entry
-	for e := c.head; e != nil; e = e.next {
-		if !e.resident {
-			return fmt.Errorf("cache: non-resident %d on list", e.ID)
+	prev := nilSlot
+	for s := c.head; s != nilSlot; s = c.next[s] {
+		if c.ids[s] < 0 {
+			return fmt.Errorf("cache: free slot %d on list", s)
 		}
-		if e.prev != prev {
-			return fmt.Errorf("cache: back-link broken at %d", e.ID)
+		if c.prev[s] != prev {
+			return fmt.Errorf("cache: back-link broken at slot %d", s)
 		}
-		prev = e
+		if c.lookup(c.ids[s]) != s {
+			return fmt.Errorf("cache: index lost id %d (slot %d)", c.ids[s], s)
+		}
+		if i := c.ridx[s]; i < 0 || int(i) >= len(c.resident) || c.resident[i] != s {
+			return fmt.Errorf("cache: resident index broken for slot %d", s)
+		}
+		prev = s
 		seen++
 		if seen > c.size {
 			return fmt.Errorf("cache: list longer than size %d", c.size)
@@ -381,20 +493,24 @@ func (c *Cache) checkInvariants() error {
 	if c.size > c.capacity {
 		return fmt.Errorf("cache: size %d over capacity %d", c.size, c.capacity)
 	}
-	resident := 0
-	for i := range c.entries {
-		if c.entries[i].resident {
-			resident++
-			if c.slot[i] < 0 || c.slot[i] >= len(c.resident) || c.resident[c.slot[i]] != i {
-				return fmt.Errorf("cache: resident index broken for %d", i)
-			}
-		} else if c.slot[i] != -1 {
-			return fmt.Errorf("cache: ghost %d in resident index", i)
+	if len(c.resident) != c.size {
+		return fmt.Errorf("cache: %d indexed, size %d", len(c.resident), c.size)
+	}
+	if len(c.free)+c.size != c.capacity {
+		return fmt.Errorf("cache: %d free + %d used != capacity %d", len(c.free), c.size, c.capacity)
+	}
+	inIndex := 0
+	for _, s := range c.htab {
+		if s == 0 {
+			continue
+		}
+		inIndex++
+		if c.ids[s-1] < 0 {
+			return fmt.Errorf("cache: index points at free slot %d", s-1)
 		}
 	}
-	if resident != c.size || len(c.resident) != c.size {
-		return fmt.Errorf("cache: %d resident flags, %d indexed, size %d",
-			resident, len(c.resident), c.size)
+	if inIndex != c.size {
+		return fmt.Errorf("cache: %d index entries, size %d", inIndex, c.size)
 	}
 	return nil
 }

@@ -1,23 +1,22 @@
 package core
 
 import (
-	"repro/internal/cache"
 	"repro/internal/db"
 	"repro/internal/radio"
 )
 
 // Arena recycles the allocation-heavy components of a Simulation across the
-// replications a worker runs sequentially: the O(universe) cache tables of
-// every client, the database's item and dedup tables, and the channel's
-// per-link buffers. Each component is handed back through an explicit Reset
-// that restores the freshly-constructed state, so a recycled simulation is
-// bit-identical to a cold one — the arena changes where the memory comes
-// from, never what runs.
+// replications a worker runs sequentially: the whole struct-of-arrays client
+// table (caches, samplers, meters, invalidation state — every column), the
+// database's item and dedup tables, and the channels' per-link buffers. Each
+// component is handed back through an explicit reset that restores the
+// freshly-constructed state, so a recycled simulation is bit-identical to a
+// cold one — the arena changes where the memory comes from, never what runs.
 //
 // An Arena is not safe for concurrent use: worker pools create one per
 // worker goroutine.
 type Arena struct {
-	caches   []*cache.Cache
+	table    clientTable
 	db       *db.DB
 	channels []*radio.Channel
 }
@@ -25,19 +24,12 @@ type Arena struct {
 // NewArena returns an empty arena.
 func NewArena() *Arena { return &Arena{} }
 
-// takeCache pops a pooled cache of exactly this shape, or returns nil when
-// none is available. The caller must Reset the cache before use.
-func (a *Arena) takeCache(capacity, universe int, policy cache.Policy) *cache.Cache {
-	for i, c := range a.caches {
-		if c.Capacity() == capacity && c.Universe() == universe && c.Policy() == policy {
-			last := len(a.caches) - 1
-			a.caches[i] = a.caches[last]
-			a.caches[last] = nil
-			a.caches = a.caches[:last]
-			return c
-		}
-	}
-	return nil
+// takeTable moves the pooled client table out of the arena (possibly the
+// empty zero table). clientTable.init decides shape fit and resets columns.
+func (a *Arena) takeTable() clientTable {
+	t := a.table
+	a.table = clientTable{}
+	return t
 }
 
 // takeDB pops the pooled database, or nil. The caller must Reset it.
@@ -62,14 +54,12 @@ func (a *Arena) takeChannel() *radio.Channel {
 // Reclaim stores sim's recyclable components for the worker's next
 // replication. Call it only after the run's statistics have been collected;
 // the simulation must not be executed or inspected afterwards. Components
-// left over from a previous shape (a cell with a different client count or
-// cache size) are dropped so the pool never grows past one simulation's
-// worth of state.
+// left over from a previous shape (a different client count or cache size)
+// are dropped at the next construction so the pool never grows past one
+// simulation's worth of state.
 func (a *Arena) Reclaim(sim *Simulation) {
-	a.caches = a.caches[:0]
-	for _, c := range sim.clients {
-		a.caches = append(a.caches, c.cache)
-	}
+	a.table = sim.ct
+	sim.ct = clientTable{}
 	a.db = sim.db
 	a.channels = a.channels[:0]
 	for _, cell := range sim.cells {

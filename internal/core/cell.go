@@ -31,13 +31,14 @@ type Cell struct {
 	server   *server
 	refRate  float64 // reference downlink bit rate for load calibration
 
-	// roster holds the ids of awake clients served by this cell in ascending
-	// order, maintained by doze/wake (and handoff), so broadcast fan-out
-	// costs O(awake) instead of O(N). rosterScratch is the reusable snapshot
-	// buffer fan-out loops iterate: a visited client may doze itself mid-loop
+	// roster holds the set of awake clients served by this cell as a
+	// fixed-universe bitset, maintained by doze/wake (and handoff): membership
+	// flips are O(1) and fan-out materialization walks words, so neither ever
+	// scans the population. rosterScratch is the reusable snapshot buffer
+	// fan-out loops iterate: a visited client may doze itself mid-loop
 	// (mutating roster), so loops walk a snapshot and re-check membership per
 	// visit, exactly reproducing the historical full-scan semantics.
-	roster        []int
+	roster        idSet
 	rosterScratch []int
 
 	// warmup snapshots
@@ -85,6 +86,7 @@ func newCell(sim *Simulation, k, numCells int, arena *Arena) (*Cell, error) {
 		ccfg.Mobility = nil
 		loc = cellLocator{topo: sim.topo, cell: k}
 	}
+	cell.roster = newIDSet(cfg.NumClients)
 	chSrc := rng.Stream(cfg.Seed, cellStream("channel", k, numCells))
 	if arena != nil {
 		if ch := arena.takeChannel(); ch != nil {
@@ -144,27 +146,11 @@ func (cell *Cell) referenceRate() float64 {
 	return float64(cell.channel.N()) / invSum
 }
 
-// rosterAdd inserts a freshly woken (or handed-in) client into the sorted
-// awake roster. Doze/wake transitions are orders of magnitude rarer than
-// fan-outs, so the O(awake) insertion is cheap where an O(N) scan per
-// broadcast is not.
-func (cell *Cell) rosterAdd(id int) {
-	i := sortSearchInt(cell.roster, id)
-	cell.roster = append(cell.roster, 0)
-	copy(cell.roster[i+1:], cell.roster[i:])
-	cell.roster[i] = id
-}
-
-// rosterRemove drops a dozing (or handed-out) client from the awake roster.
-func (cell *Cell) rosterRemove(id int) {
-	i := sortSearchInt(cell.roster, id)
-	cell.roster = append(cell.roster[:i], cell.roster[i+1:]...)
-}
-
-// awakeSnapshot copies the roster into the reusable scratch buffer so a
-// fan-out loop survives visited clients dozing themselves mid-iteration.
+// awakeSnapshot materializes the roster bitset into the reusable scratch
+// buffer, ascending, so a fan-out loop survives visited clients dozing
+// themselves mid-iteration.
 func (cell *Cell) awakeSnapshot() []int {
-	cell.rosterScratch = append(cell.rosterScratch[:0], cell.roster...)
+	cell.rosterScratch = cell.roster.appendIDs(cell.rosterScratch[:0])
 	return cell.rosterScratch
 }
 
@@ -189,83 +175,77 @@ func (cell *Cell) deliver(f *mac.Frame, ok bool, mcs int, now des.Time) {
 			}
 		}
 		for _, id := range cell.awakeSnapshot() {
-			c := s.clients[id]
-			if !c.awake || !c.connected || c.cell != cell {
+			if !s.ct.online(id) || int(s.ct.cell[id]) != cell.id {
 				continue
 			}
-			s.chargeRx(c, airtime)
-			if cell.channel.Decode(c.id, now, mcs, f.Bits) {
-				c.onReport(m)
+			s.chargeRx(id, airtime)
+			if cell.channel.Decode(id, now, mcs, f.Bits) {
+				s.client(id).onReport(m)
 			} else {
-				c.onReportLost()
+				s.client(id).onReportLost()
 			}
 		}
 		cell.server.algo.Recycle(m)
 	case *respMeta:
 		cell.server.onResponseDelivered(m)
-		dest := s.clients[f.Dest]
-		switch {
-		case dest.cell != cell:
+		switch dest := f.Dest; {
+		case int(s.ct.cell[dest]) != cell.id:
 			s.respDeparted++
-		case !dest.connected:
+		case !s.ct.connected(dest):
 			s.respDisconnected++
 		default:
-			if dest.awake {
+			if s.ct.awake(dest) {
 				s.chargeRx(dest, airtime)
 			}
-			dest.onResponse(m, ok)
+			s.client(dest).onResponse(m, ok)
 		}
 		for _, w := range m.waiters {
-			c := s.clients[w]
-			if c.cell != cell {
+			if int(s.ct.cell[w]) != cell.id {
 				s.respDeparted++
 				continue
 			}
-			if !c.connected {
+			if !s.ct.connected(w) {
 				s.respDisconnected++
 				continue
 			}
-			if c.awake {
-				s.chargeRx(c, airtime)
+			if s.ct.awake(w) {
+				s.chargeRx(w, airtime)
 			}
 			// Waiters decode independently of the addressed destination;
 			// a failed decode falls back to their own re-request timer via
 			// onResponse's !ok path.
-			c.onResponse(m, cell.channel.Decode(w, now, mcs, f.Bits))
+			s.client(w).onResponse(m, cell.channel.Decode(w, now, mcs, f.Bits))
 		}
 		if s.cfg.SnoopResponses {
 			for _, id := range cell.awakeSnapshot() {
-				c := s.clients[id]
-				if !c.awake || !c.connected || c.cell != cell || c.id == f.Dest {
+				if !s.ct.online(id) || int(s.ct.cell[id]) != cell.id || id == f.Dest {
 					continue
 				}
-				s.chargeRx(c, airtime)
-				if cell.channel.Decode(c.id, now, mcs, f.Bits) {
-					c.onSnoop(m)
+				s.chargeRx(id, airtime)
+				if cell.channel.Decode(id, now, mcs, f.Bits) {
+					s.client(id).onSnoop(m)
 				}
 			}
 		}
 		cell.fanPiggy(m.piggy, f.RobustBits, now)
 		cell.server.releaseResp(m)
 	case *bgMeta:
-		dest := s.clients[f.Dest]
-		if dest.cell == cell && dest.awake && dest.connected {
-			s.chargeRx(dest, airtime)
+		if int(s.ct.cell[f.Dest]) == cell.id && s.ct.online(f.Dest) {
+			s.chargeRx(f.Dest, airtime)
 		}
 		cell.fanPiggy(m.piggy, f.RobustBits, now)
 		cell.server.releaseBg(m)
 	case *catchupMeta:
-		dest := s.clients[f.Dest]
-		switch {
-		case dest.cell != cell:
+		switch dest := f.Dest; {
+		case int(s.ct.cell[dest]) != cell.id:
 			s.respDeparted++
-		case !dest.connected:
+		case !s.ct.connected(dest):
 			s.respDisconnected++
 		default:
-			if dest.awake {
+			if s.ct.awake(dest) {
 				s.chargeRx(dest, airtime)
 			}
-			dest.onCatchup(m.report, ok)
+			s.client(dest).onCatchup(m.report, ok)
 		}
 	default:
 		panic(fmt.Sprintf("core: unknown frame meta %T", f.Meta))
@@ -285,15 +265,14 @@ func (cell *Cell) fanPiggy(pg *ir.Report, robustBits int, now des.Time) {
 	headBits := s.cfg.Downlink.HeaderBits + robustBits
 	headAir := cell.channel.AMC().Airtime(0, headBits)
 	for _, id := range cell.awakeSnapshot() {
-		c := s.clients[id]
-		if !c.awake || !c.connected || c.cell != cell {
+		if !s.ct.online(id) || int(s.ct.cell[id]) != cell.id {
 			continue
 		}
-		s.chargeRx(c, headAir)
-		if cell.channel.Decode(c.id, now, 0, headBits) {
-			c.onReport(pg)
+		s.chargeRx(id, headAir)
+		if cell.channel.Decode(id, now, 0, headBits) {
+			s.client(id).onReport(pg)
 		} else {
-			c.onReportLost()
+			s.client(id).onReportLost()
 		}
 	}
 	cell.server.algo.Recycle(pg)
@@ -311,12 +290,11 @@ func (cell *Cell) deliverFaultedReport(r *ir.Report, fate fault.Fate, airtime fl
 	if fate == fault.Truncated {
 		mode = obs.ReportFaultTruncated
 		for _, id := range cell.awakeSnapshot() {
-			c := s.clients[id]
-			if !c.awake || !c.connected || c.cell != cell {
+			if !s.ct.online(id) || int(s.ct.cell[id]) != cell.id {
 				continue
 			}
-			s.chargeRx(c, airtime)
-			c.onReportLost()
+			s.chargeRx(id, airtime)
+			s.client(id).onReportLost()
 		}
 	}
 	s.noteReportFault(cell.id, r.Seq, mode)

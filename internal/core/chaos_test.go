@@ -86,35 +86,41 @@ func checkFaultInvariants(t *testing.T, sim *Simulation, r *RunStats) {
 			r.Answered, r.PendingAtEnd, r.Queries)
 	}
 	for _, cell := range sim.cells {
-		for i := 1; i < len(cell.roster); i++ {
-			if cell.roster[i-1] >= cell.roster[i] {
-				t.Fatalf("cell %d roster not sorted/unique: %v", cell.id, cell.roster)
+		roster := cell.roster.appendIDs(nil)
+		for i := 1; i < len(roster); i++ {
+			if roster[i-1] >= roster[i] {
+				t.Fatalf("cell %d roster not sorted/unique: %v", cell.id, roster)
 			}
 		}
+		if cell.roster.count != len(roster) {
+			t.Errorf("cell %d roster count %d != %d materialized members",
+				cell.id, cell.roster.count, len(roster))
+		}
 		var online []int
-		for _, c := range sim.clients {
-			if c.cell == cell && c.online() {
-				online = append(online, c.id)
+		for id := 0; id < sim.ct.n; id++ {
+			if int(sim.ct.cell[id]) == cell.id && sim.ct.online(id) {
+				online = append(online, id)
 			}
 		}
 		sort.Ints(online)
-		if fmt.Sprint(online) != fmt.Sprint([]int(cell.roster)) {
-			t.Errorf("cell %d roster %v != online clients %v", cell.id, cell.roster, online)
+		if fmt.Sprint(online) != fmt.Sprint(roster) {
+			t.Errorf("cell %d roster %v != online clients %v", cell.id, roster, online)
 		}
 	}
-	for _, c := range sim.clients {
-		for _, q := range c.pending {
-			if q.requested && !c.outstanding[q.item] {
+	for id := 0; id < sim.ct.n; id++ {
+		for _, q := range sim.ct.pending[id] {
+			if q.requested && !sim.ct.outstandingHas(id, q.item) {
 				t.Errorf("client %d: query for item %d marked requested but not outstanding",
-					c.id, q.item)
+					id, q.item)
 			}
 		}
-		if c.retries != nil && c.online() {
-			for item := range c.outstanding {
-				st := c.retries[item]
-				if st == nil || st.ev == nil {
+		if sim.retryOn && sim.ct.online(id) {
+			c := sim.client(id)
+			for _, it := range sim.ct.outstanding[id] {
+				k := c.retryIdx(int(it))
+				if k < 0 || sim.ct.cold[id].retries[k].ev == nil {
 					t.Errorf("client %d: outstanding request for item %d has no live retry timer",
-						c.id, item)
+						id, it)
 				}
 			}
 		}
@@ -123,10 +129,10 @@ func checkFaultInvariants(t *testing.T, sim *Simulation, r *RunStats) {
 	// leak bound scales with the live backlog; everything else at the horizon
 	// (tickers, sleep/query timers, MAC events, fault chains) is O(clients).
 	outstanding := 0
-	for _, c := range sim.clients {
-		outstanding += len(c.outstanding)
+	for id := 0; id < sim.ct.n; id++ {
+		outstanding += len(sim.ct.outstanding[id])
 	}
-	if limit := 200 + 20*len(sim.clients) + outstanding; sim.sch.Pending() > limit {
+	if limit := 200 + 20*sim.ct.n + outstanding; sim.sch.Pending() > limit {
 		t.Errorf("event-queue leak: %d events pending at horizon (limit %d, outstanding %d)",
 			sim.sch.Pending(), limit, outstanding)
 	}

@@ -19,178 +19,157 @@ type pendingQuery struct {
 	requested bool // an uplink request for this item is outstanding
 }
 
-// client is one mobile terminal: cache + invalidation state + query and
-// sleep processes + energy meter.
+// client is a 16-byte handle to one mobile terminal's row in the simulation's
+// clientTable: cache + invalidation state + query and sleep processes +
+// energy meter, all stored as columns (see table.go). Methods keep the same
+// shape they had when client was a heap struct; field reads became column
+// reads.
 type client struct {
-	id      int
-	sim     *Simulation
-	cell    *Cell // serving cell; reassigned by handoff in multi-cell runs
-	cache   *cache.Cache
-	istate  ir.ClientState
-	sampler *workload.Sampler
-	meter   *energy.Meter
-	src     *rng.Source // for signature false-positive draws
-
-	awake        bool
-	sleepPending bool
-	sleptAt      des.Time
-	queryEv      *des.Event
-	pending      []pendingQuery
-	outstanding  map[int]bool // items with an uplink request in flight
-
-	// Fault-layer state (see core/fault.go). connected is orthogonal to
-	// awake: a disconnected client's radio is fully dark, beyond doze, and
-	// roster membership maintains awake && connected. fsrc is the client's
-	// private fault-draw stream; retries is non-nil only when the retry
-	// layer is enabled.
-	connected     bool
-	fsrc          *rng.Source
-	retries       map[int]*retryState
-	recovering    bool // reconnected but cache consistency not yet re-proven
-	reconnectedAt des.Time
-	catchupOut    bool // a catch-up request is in flight
-	catchupTries  int
-	catchupEv     *des.Event
-
-	// Method-value callbacks bound once at construction: scheduling a
-	// query/doze/wake event then costs no closure allocation.
-	queryFn   func()
-	dozeFn    func()
-	wakeFn    func()
-	discFn    func()
-	reconnFn  func()
-	catchupFn func()
-
-	// per-client measurements
-	queries        uint64 // issued post-warmup
-	hits           uint64
-	missAnswers    uint64
-	stale          uint64
-	reportsDecoded uint64
-	reportsLost    uint64
-	drainedVia     [3]uint64 // answers enabled by full/mini/piggyback reports
+	sim *Simulation
+	id  int
 }
 
-func newClient(id int, sim *Simulation, sampler *workload.Sampler, src *rng.Source, arena *Arena) *client {
-	// SubStream only reads generator state, so both branches leave src's draw
-	// sequence untouched — a pooled cache and a fresh one are seeded alike.
-	var cc *cache.Cache
-	if arena != nil {
-		cc = arena.takeCache(sim.cfg.CacheCapacity, sim.cfg.DB.NumItems, sim.cfg.CachePolicy)
+// client returns the handle for client id.
+func (s *Simulation) client(id int) client { return client{sim: s, id: id} }
+
+func (c client) flag(bit uint8) bool { return c.sim.ct.flags[c.id]&bit != 0 }
+func (c client) setFlag(bit uint8)   { c.sim.ct.flags[c.id] |= bit }
+func (c client) clrFlag(bit uint8)   { c.sim.ct.flags[c.id] &^= bit }
+
+// online reports whether the client participates in the protocol at all.
+func (c client) online() bool { return c.sim.ct.online(c.id) }
+
+func (c client) cell() *Cell               { return c.sim.cells[c.sim.ct.cell[c.id]] }
+func (c client) cache() *cache.Cache       { return &c.sim.ct.caches[c.id] }
+func (c client) istate() *ir.ClientState   { return &c.sim.ct.istate[c.id] }
+func (c client) sampler() *workload.Sampler { return &c.sim.ct.samplers[c.id] }
+func (c client) meter() *energy.Meter      { return &c.sim.ct.meters[c.id] }
+func (c client) src() *rng.Source          { return &c.sim.ct.csrcs[c.id] }
+func (c client) stats() *clientStats       { return &c.sim.ct.stats[c.id] }
+
+// cold returns the client's fault-layer row; only valid once ensureCold ran.
+func (c client) cold() *clientCold { return &c.sim.ct.cold[c.id] }
+
+// initClient fills client id's row. The construction draws exactly mirror the
+// former per-struct constructor: SubStream derivations read generator state
+// without consuming draws, so a pooled table and a fresh one are seeded alike.
+func (s *Simulation) initClient(id int, wsrc, csrc *rng.Source, zipf *rng.Zipf, fresh bool) error {
+	t := &s.ct
+	t.wsrcs[id] = wsrc.SubStreamValue(uint64(id))
+	sp, err := workload.NewSampler(s.cfg.Workload, zipf, &t.wsrcs[id])
+	if err != nil {
+		return err
 	}
-	if cc != nil {
-		cc.Reset(src.SubStream(1 << 40))
+	t.samplers[id] = *sp
+	t.csrcs[id] = csrc.SubStreamValue(uint64(id))
+	seed := t.csrcs[id].SubStream(1 << 40)
+	if fresh {
+		t.caches[id].Init(s.cfg.CacheCapacity, s.cfg.DB.NumItems, s.cfg.CachePolicy, seed)
 	} else {
-		cc = cache.NewWithPolicy(sim.cfg.CacheCapacity, sim.cfg.DB.NumItems,
-			sim.cfg.CachePolicy, src.SubStream(1<<40))
+		t.caches[id].Reset(seed)
 	}
-	c := &client{
-		id:          id,
-		sim:         sim,
-		cache:       cc,
-		sampler:     sampler,
-		meter:       energy.NewMeter(sim.cfg.Energy),
-		src:         src,
-		awake:       true,
-		connected:   true,
-		outstanding: make(map[int]bool),
-	}
-	c.queryFn = c.issueQuery
-	c.dozeFn = c.tryDoze
-	c.wakeFn = c.wake
-	return c
+	t.meters[id] = *energy.NewMeter(s.cfg.Energy)
+	t.flags[id] = cfAwake | cfConnected
+	c := s.client(id)
+	t.queryFn[id] = c.issueQuery
+	t.dozeFn[id] = c.tryDoze
+	t.wakeFn[id] = c.wake
+	return nil
 }
 
 // start arms the query and sleep processes.
-func (c *client) start() {
+func (c client) start() {
 	c.scheduleQuery()
-	if c.sampler.Sleeps() {
-		c.sim.sch.After(c.sampler.NextAwake(), "client.doze", c.dozeFn)
+	if c.sampler().Sleeps() {
+		c.sim.sch.After(c.sampler().NextAwake(), "client.doze", c.sim.ct.dozeFn[c.id])
 	}
 }
 
-func (c *client) scheduleQuery() {
-	gap := c.sampler.NextQueryGap()
+func (c client) scheduleQuery() {
+	gap := c.sampler().NextQueryGap()
 	if des.Time(0).Add(gap) >= des.Never {
 		return // zero query rate
 	}
-	c.queryEv = c.sim.sch.After(gap, "client.query", c.queryFn)
+	c.sim.ct.queryEv[c.id] = c.sim.sch.After(gap, "client.query", c.sim.ct.queryFn[c.id])
 }
 
-func (c *client) issueQuery() {
-	c.queryEv = nil
-	if !c.awake || !c.connected {
+func (c client) issueQuery() {
+	t := &c.sim.ct
+	t.queryEv[c.id] = nil
+	if !c.online() {
 		return // cancelled race; doze and disconnect cancel the timer anyway
 	}
 	now := c.sim.sch.Now()
-	item := c.sampler.NextItem()
-	c.pending = append(c.pending, pendingQuery{item: item, issued: now})
+	item := c.sampler().NextItem()
+	t.pending[c.id] = append(t.pending[c.id], pendingQuery{item: item, issued: now})
 	if now >= c.sim.warmupAt {
-		c.queries++
+		t.stats[c.id].queries++
 	}
 	c.scheduleQuery()
 }
 
 // tryDoze begins a doze period, deferring it while queries are in flight so
 // a client never abandons an outstanding query mid-protocol.
-func (c *client) tryDoze() {
-	if len(c.pending) > 0 {
-		c.sleepPending = true
+func (c client) tryDoze() {
+	if len(c.sim.ct.pending[c.id]) > 0 {
+		c.setFlag(cfSleepPending)
 		return
 	}
 	c.doze()
 }
 
-func (c *client) doze() {
-	c.sleepPending = false
-	c.awake = false
-	if c.connected {
-		c.cell.rosterRemove(c.id)
+func (c client) doze() {
+	t := &c.sim.ct
+	c.clrFlag(cfSleepPending)
+	c.clrFlag(cfAwake)
+	if c.flag(cfConnected) {
+		c.cell().roster.remove(c.id)
 	}
-	c.sleptAt = c.sim.sch.Now()
+	t.sleptAt[c.id] = c.sim.sch.Now()
 	if tr := c.sim.tr; tr != nil {
-		tr.SleepWake(obs.SleepWakeEvent{At: c.sleptAt, Client: c.id, Awake: false})
+		tr.SleepWake(obs.SleepWakeEvent{At: t.sleptAt[c.id], Client: c.id, Awake: false})
 	}
-	if c.queryEv != nil {
-		c.sim.sch.Cancel(c.queryEv)
-		c.queryEv = nil
+	if ev := t.queryEv[c.id]; ev != nil {
+		c.sim.sch.Cancel(ev)
+		t.queryEv[c.id] = nil
 	}
-	c.sim.sch.After(c.sampler.NextSleep(), "client.wake", c.wakeFn)
+	c.sim.sch.After(c.sampler().NextSleep(), "client.wake", t.wakeFn[c.id])
 }
 
-func (c *client) wake() {
+func (c client) wake() {
+	t := &c.sim.ct
 	now := c.sim.sch.Now()
-	from := c.sleptAt
+	from := t.sleptAt[c.id]
 	if from < c.sim.warmupAt {
 		from = c.sim.warmupAt
 	}
 	if now > from {
-		c.meter.AddDoze(now.Sub(from).Seconds())
+		c.meter().AddDoze(now.Sub(from).Seconds())
 	}
-	c.awake = true
-	if c.connected {
-		c.cell.rosterAdd(c.id)
+	c.setFlag(cfAwake)
+	if c.flag(cfConnected) {
+		c.cell().roster.add(c.id)
 	}
 	if tr := c.sim.tr; tr != nil {
 		tr.SleepWake(obs.SleepWakeEvent{At: now, Client: c.id, Awake: true})
 	}
-	if c.connected {
+	if c.flag(cfConnected) {
 		c.scheduleQuery()
 		// A catch-up recovery deferred by sleep starts now the radio is on.
-		if c.recovering && !c.catchupOut && c.catchupEv == nil &&
+		if c.flag(cfRecovering) && !c.flag(cfCatchupOut) && c.cold().catchupEv == nil &&
 			c.sim.cfg.Fault.Recovery == fault.RecoverCatchup {
 			c.sendCatchup()
 		}
 	}
-	c.sim.sch.After(c.sampler.NextAwake(), "client.doze", c.dozeFn)
+	c.sim.sch.After(c.sampler().NextAwake(), "client.doze", t.dozeFn[c.id])
 }
 
 // onReport handles a decoded invalidation report (standalone or piggyback).
-func (c *client) onReport(r *ir.Report) {
-	c.reportsDecoded++
-	validated := c.istate.Process(r, c.cache, c.sim.oracle, c.src)
+func (c client) onReport(r *ir.Report) {
+	c.stats().reportsDecoded++
+	validated := c.istate().Process(r, c.cache(), c.sim.oracle, c.src())
 	if validated {
-		if c.recovering {
+		if c.flag(cfRecovering) {
 			// The report's window covered the disconnection gap (or forced
 			// the safe full drop): the cache is provably consistent again.
 			c.completeRecovery(obs.RecoveryViaReport)
@@ -200,19 +179,20 @@ func (c *client) onReport(r *ir.Report) {
 }
 
 // onReportLost notes a report this client detected but could not decode.
-func (c *client) onReportLost() { c.reportsLost++ }
+func (c client) onReportLost() { c.stats().reportsLost++ }
 
 // drainPending resolves queries now that the cache is consistent as of
 // r.At: cache hits answer immediately; misses issue uplink requests.
-func (c *client) drainPending(r *ir.Report) {
+func (c client) drainPending(r *ir.Report) {
+	t := &c.sim.ct
 	now := c.sim.sch.Now()
-	kept := c.pending[:0]
-	for _, q := range c.pending {
+	kept := t.pending[c.id][:0]
+	for _, q := range t.pending[c.id] {
 		if q.requested {
 			kept = append(kept, q)
 			continue
 		}
-		if e, ok := c.cache.Get(q.item); ok {
+		if e, ok := c.cache().Get(q.item); ok {
 			c.answer(q, now, true)
 			if c.sim.cfg.CheckConsistency {
 				c.checkConsistency(e, r.At)
@@ -220,34 +200,35 @@ func (c *client) drainPending(r *ir.Report) {
 			continue
 		}
 		q.requested = true
-		if !c.outstanding[q.item] {
-			c.outstanding[q.item] = true
+		if !t.outstandingHas(c.id, q.item) {
+			t.outstandingAdd(c.id, q.item)
 			c.sendRequest(q.item)
 		}
 		kept = append(kept, q)
 	}
-	c.pending = kept
+	t.pending[c.id] = kept
 	if now >= c.sim.warmupAt {
-		c.drainedVia[r.Kind]++
+		t.stats[c.id].drainedVia[r.Kind]++
 	}
 	c.maybeDozeAfterDrain()
 }
 
 // onResponse handles a downlink data frame addressed to this client.
-func (c *client) onResponse(m *respMeta, ok bool) {
+func (c client) onResponse(m *respMeta, ok bool) {
+	t := &c.sim.ct
 	if !ok {
 		// ARQ exhausted; if we still want the item, ask again.
-		for i := range c.pending {
-			if c.pending[i].item == m.item && c.pending[i].requested {
+		for i := range t.pending[c.id] {
+			if t.pending[c.id][i].item == m.item && t.pending[c.id][i].requested {
 				c.sendRequest(m.item)
 				return
 			}
 		}
-		delete(c.outstanding, m.item)
+		t.outstandingRemove(c.id, m.item)
 		c.clearRetry(m.item)
 		return
 	}
-	delete(c.outstanding, m.item)
+	t.outstandingRemove(c.id, m.item)
 	c.clearRetry(m.item)
 	// Cache the value unless it is already outdated relative to a report we
 	// processed while the response sat in the downlink queue: an update in
@@ -257,19 +238,19 @@ func (c *client) onResponse(m *respMeta, ok bool) {
 	// remembering the update times it saw in reports — information it had
 	// on the air but that we do not retain per item.)
 	u := c.sim.oracle.UpdatedAt(m.item)
-	if !(u > m.genAt && u <= c.istate.LastConsistent) {
-		c.cache.Put(m.item, m.version, m.genAt)
+	if !(u > m.genAt && u <= c.istate().LastConsistent) {
+		c.cache().Put(m.item, m.version, m.genAt)
 	}
 	now := c.sim.sch.Now()
-	kept := c.pending[:0]
-	for _, q := range c.pending {
+	kept := t.pending[c.id][:0]
+	for _, q := range t.pending[c.id] {
 		if q.item == m.item && q.requested {
 			c.answer(q, now, false)
 			continue
 		}
 		kept = append(kept, q)
 	}
-	c.pending = kept
+	t.pending[c.id] = kept
 	c.maybeDozeAfterDrain()
 }
 
@@ -278,35 +259,36 @@ func (c *client) onResponse(m *respMeta, ok bool) {
 // and it may answer a pending query for the item — but only a query issued
 // no later than the value's generation time, otherwise an update between
 // generation and issue could be silently skipped.
-func (c *client) onSnoop(m *respMeta) {
+func (c client) onSnoop(m *respMeta) {
+	t := &c.sim.ct
 	u := c.sim.oracle.UpdatedAt(m.item)
-	if !(u > m.genAt && u <= c.istate.LastConsistent) {
-		c.cache.Put(m.item, m.version, m.genAt)
+	if !(u > m.genAt && u <= c.istate().LastConsistent) {
+		c.cache().Put(m.item, m.version, m.genAt)
 	}
 	now := c.sim.sch.Now()
-	kept := c.pending[:0]
-	for _, q := range c.pending {
+	kept := t.pending[c.id][:0]
+	for _, q := range t.pending[c.id] {
 		if q.item == m.item && q.issued <= m.genAt {
 			c.answer(q, now, false)
 			continue
 		}
 		kept = append(kept, q)
 	}
-	c.pending = kept
+	t.pending[c.id] = kept
 	c.maybeDozeAfterDrain()
 }
 
-func (c *client) maybeDozeAfterDrain() {
-	if c.sleepPending && len(c.pending) == 0 {
+func (c client) maybeDozeAfterDrain() {
+	if c.flag(cfSleepPending) && len(c.sim.ct.pending[c.id]) == 0 {
 		c.doze()
 	}
 }
 
-func (c *client) answer(q pendingQuery, now des.Time, fromCache bool) {
+func (c client) answer(q pendingQuery, now des.Time, fromCache bool) {
 	if tr := c.sim.tr; tr != nil {
 		// Traces cover the whole run, including the warmup transient the
 		// statistics below exclude.
-		tr.Query(obs.QueryEvent{At: now, Client: c.id, Cell: c.cell.id,
+		tr.Query(obs.QueryEvent{At: now, Client: c.id, Cell: int(c.sim.ct.cell[c.id]),
 			Item: q.item, Hit: fromCache, DelaySec: now.Sub(q.issued).Seconds()})
 	}
 	if q.issued < c.sim.warmupAt {
@@ -314,18 +296,18 @@ func (c *client) answer(q pendingQuery, now des.Time, fromCache bool) {
 	}
 	c.sim.delay.Observe(now.Sub(q.issued).Seconds())
 	if fromCache {
-		c.hits++
+		c.stats().hits++
 	} else {
-		c.missAnswers++
+		c.stats().missAnswers++
 	}
 }
 
 // checkConsistency compares a cache-served value against ground truth as of
 // the validating report's generation time. If the item has not been updated
 // since that time, the cached version must match the database exactly.
-func (c *client) checkConsistency(e cache.Entry, asOf des.Time) {
+func (c client) checkConsistency(e cache.Entry, asOf des.Time) {
 	it := c.sim.db.Item(e.ID)
 	if it.UpdatedAt <= asOf && e.Version != it.Version {
-		c.stale++
+		c.stats().stale++
 	}
 }

@@ -13,7 +13,9 @@ import (
 // timers, extended disconnections with recovery, and UIR-style catch-up.
 // Everything here is inert when cfg.Fault is disabled — no events scheduled,
 // no RNG draws, no behaviour deltas — which is what keeps fault-free runs
-// byte-identical to the pinned golden fingerprints.
+// byte-identical to the pinned golden fingerprints. Per-client fault state
+// lives in the clientTable's cold side table (see table.go), sized only when
+// the retry or disconnection layer is armed.
 
 // catchupReq travels up the uplink: a reconnected client asking for the
 // update history since its last consistent point (UIR-style recovery).
@@ -29,16 +31,10 @@ type catchupMeta struct {
 	report *ir.Report
 }
 
-// retryState is the retransmission timer for one outstanding request.
-type retryState struct {
-	ev    *des.Event
-	tries int // consecutive timeouts so far
-}
-
 // startFaults arms the fault layer: the outage schedule per affected cell,
-// the per-client retry maps, and the first disconnection of every client.
-// Called from ExecuteCtx after all components started; a nil injector means
-// the layer is fully disabled.
+// the retry layer, and the first disconnection of every client. Called from
+// ExecuteCtx after all components started; a nil injector means the layer is
+// fully disabled.
 func (s *Simulation) startFaults() {
 	in := s.injector
 	if in == nil {
@@ -54,16 +50,16 @@ func (s *Simulation) startFaults() {
 		}
 	}
 	if fc.RetryEnabled() {
-		for _, c := range s.clients {
-			c.retries = make(map[int]*retryState)
-		}
+		s.retryOn = true
 	}
 	if fc.DisconnectsEnabled() {
-		for _, c := range s.clients {
-			c.discFn = c.disconnect
-			c.reconnFn = c.reconnect
-			c.catchupFn = c.onCatchupTimeout
-			s.sch.After(in.DisconnectGap(c.fsrc), "fault.disconnect", c.discFn)
+		for i := 0; i < s.ct.n; i++ {
+			c := s.client(i)
+			cd := &s.ct.cold[i]
+			cd.discFn = c.disconnect
+			cd.reconnFn = c.reconnect
+			cd.catchupFn = c.onCatchupTimeout
+			s.sch.After(in.DisconnectGap(&cd.fsrc), "fault.disconnect", cd.discFn)
 		}
 	}
 }
@@ -118,32 +114,28 @@ func (s *Simulation) noteReportFault(cellID int, seq uint64, mode string) {
 
 // --- client: connectivity ---
 
-// online reports whether the client participates in the protocol at all:
-// awake (not dozing) and connected (not in an extended disconnection). Roster
-// membership maintains exactly this predicate.
-func (c *client) online() bool { return c.awake && c.connected }
-
 // disconnect begins an extended disconnection: the radio goes fully dark,
 // beyond doze. All in-flight client state is abandoned — retry timers, the
 // outstanding-request set, any catch-up exchange — but pending queries
 // survive: they are answered after recovery, so their delay statistics carry
 // the cost of the disconnection.
-func (c *client) disconnect() {
+func (c client) disconnect() {
+	t := &c.sim.ct
 	now := c.sim.sch.Now()
 	if c.online() {
-		c.cell.rosterRemove(c.id)
+		c.cell().roster.remove(c.id)
 	}
-	c.connected = false
-	c.recovering = false // a disconnect during recovery restarts it
-	if c.queryEv != nil {
-		c.sim.sch.Cancel(c.queryEv)
-		c.queryEv = nil
+	c.clrFlag(cfConnected)
+	c.clrFlag(cfRecovering) // a disconnect during recovery restarts it
+	if ev := t.queryEv[c.id]; ev != nil {
+		c.sim.sch.Cancel(ev)
+		t.queryEv[c.id] = nil
 	}
 	c.clearAllRetries()
 	c.cancelCatchup()
-	clear(c.outstanding)
-	for i := range c.pending {
-		c.pending[i].requested = false
+	t.outstanding[c.id] = t.outstanding[c.id][:0]
+	for i := range t.pending[c.id] {
+		t.pending[c.id][i].requested = false
 	}
 	if now >= c.sim.warmupAt {
 		c.sim.disconnects++
@@ -151,55 +143,57 @@ func (c *client) disconnect() {
 	if tr := c.sim.tr; tr != nil {
 		tr.Disconnect(obs.DisconnectEvent{At: now, Client: c.id, Down: true})
 	}
-	c.sim.sch.After(c.sim.injector.DisconnectLen(c.fsrc), "fault.reconnect", c.reconnFn)
+	cd := c.cold()
+	c.sim.sch.After(c.sim.injector.DisconnectLen(&cd.fsrc), "fault.reconnect", cd.reconnFn)
 }
 
 // reconnect ends a disconnection and starts recovery under the configured
 // policy. The client counts as "recovering" until its cache is provably
 // consistent again: immediately for flush, at the next validating report for
 // the window policy, or when the catch-up exchange completes.
-func (c *client) reconnect() {
+func (c client) reconnect() {
 	now := c.sim.sch.Now()
 	in := c.sim.injector
-	c.connected = true
-	c.recovering = true
-	c.reconnectedAt = now
+	c.setFlag(cfConnected)
+	c.setFlag(cfRecovering)
+	c.cold().reconnectedAt = now
 	if tr := c.sim.tr; tr != nil {
 		tr.Disconnect(obs.DisconnectEvent{At: now, Client: c.id, Down: false})
 	}
-	if c.awake {
-		c.cell.rosterAdd(c.id)
+	if c.flag(cfAwake) {
+		c.cell().roster.add(c.id)
 		c.scheduleQuery()
 	}
 	switch in.Config().Recovery {
 	case fault.RecoverFlush:
-		c.cache.InvalidateAll()
-		c.istate.LastConsistent = now
+		c.cache().InvalidateAll()
+		c.istate().LastConsistent = now
 		c.completeRecovery(obs.RecoveryViaFlush)
-		if c.awake {
+		if c.flag(cfAwake) {
 			c.redrivePending()
 		}
 	case fault.RecoverCatchup:
-		if c.awake {
+		if c.flag(cfAwake) {
 			c.sendCatchup()
 		}
 		// Asleep: wake() starts the catch-up once the radio is back on.
 	}
 	// RecoverWindow: passive — the next validating report completes recovery
 	// via the coverage-window rule (or forces the safe full-report drop).
-	c.sim.sch.After(in.DisconnectGap(c.fsrc), "fault.disconnect", c.discFn)
+	c.sim.sch.After(in.DisconnectGap(&c.cold().fsrc), "fault.disconnect", c.cold().discFn)
 }
 
 // completeRecovery marks the client consistent again after a disconnection.
-func (c *client) completeRecovery(via string) {
-	if !c.recovering {
+func (c client) completeRecovery(via string) {
+	if !c.flag(cfRecovering) {
 		return
 	}
-	c.recovering = false
+	c.clrFlag(cfRecovering)
 	c.cancelCatchup()
 	now := c.sim.sch.Now()
-	delay := now.Sub(c.reconnectedAt).Seconds()
-	if c.reconnectedAt >= c.sim.warmupAt {
+	reconnectedAt := c.cold().reconnectedAt
+	delay := now.Sub(reconnectedAt).Seconds()
+	if reconnectedAt >= c.sim.warmupAt {
 		c.sim.recoveries++
 		c.sim.recoveryDelay.Add(delay)
 	}
@@ -212,25 +206,26 @@ func (c *client) completeRecovery(via string) {
 // redrivePending is drainPending without a report: after a flush recovery the
 // (empty) cache is consistent as of LastConsistent, so misses can refetch
 // immediately instead of waiting for the next report.
-func (c *client) redrivePending() {
+func (c client) redrivePending() {
+	t := &c.sim.ct
 	now := c.sim.sch.Now()
-	kept := c.pending[:0]
-	for _, q := range c.pending {
-		if e, ok := c.cache.Get(q.item); ok {
+	kept := t.pending[c.id][:0]
+	for _, q := range t.pending[c.id] {
+		if e, ok := c.cache().Get(q.item); ok {
 			c.answer(q, now, true)
 			if c.sim.cfg.CheckConsistency {
-				c.checkConsistency(e, c.istate.LastConsistent)
+				c.checkConsistency(e, c.istate().LastConsistent)
 			}
 			continue
 		}
 		q.requested = true
-		if !c.outstanding[q.item] {
-			c.outstanding[q.item] = true
+		if !t.outstandingHas(c.id, q.item) {
+			t.outstandingAdd(c.id, q.item)
 			c.sendRequest(q.item)
 		}
 		kept = append(kept, q)
 	}
-	c.pending = kept
+	t.pending[c.id] = kept
 	c.maybeDozeAfterDrain()
 }
 
@@ -238,37 +233,60 @@ func (c *client) redrivePending() {
 
 // sendRequest puts one uplink request on the air and, when the retry layer
 // is enabled, arms (or re-arms) its retransmission timer.
-func (c *client) sendRequest(item int) {
-	c.cell.uplink.Send(c.id, reqMeta{item: item})
-	if c.retries != nil {
+func (c client) sendRequest(item int) {
+	c.cell().uplink.Send(c.id, reqMeta{item: item})
+	if c.sim.retryOn {
 		c.armRetry(item)
 	}
 }
 
-func (c *client) armRetry(item int) {
-	st := c.retries[item]
-	if st == nil {
-		st = &retryState{}
-		c.retries[item] = st
+// retryIdx finds item's slot in the client's retry list, or -1.
+func (c client) retryIdx(item int) int {
+	rs := c.cold().retries
+	for k := range rs {
+		if rs[k].item == item {
+			return k
+		}
 	}
-	if st.ev != nil {
-		c.sim.sch.Cancel(st.ev)
+	return -1
+}
+
+// dropRetry removes slot k from the retry list (order-free swap-remove).
+func (c client) dropRetry(k int) {
+	cd := c.cold()
+	last := len(cd.retries) - 1
+	cd.retries[k] = cd.retries[last]
+	cd.retries[last] = retryEntry{}
+	cd.retries = cd.retries[:last]
+}
+
+func (c client) armRetry(item int) {
+	cd := c.cold()
+	k := c.retryIdx(item)
+	if k < 0 {
+		cd.retries = append(cd.retries, retryEntry{item: item})
+		k = len(cd.retries) - 1
 	}
-	st.ev = c.sim.sch.After(c.sim.injector.RetryDelay(st.tries, c.fsrc), "fault.retry",
-		func() { c.onRetryTimeout(item) })
+	if ev := cd.retries[k].ev; ev != nil {
+		c.sim.sch.Cancel(ev)
+	}
+	cd.retries[k].ev = c.sim.sch.After(c.sim.injector.RetryDelay(cd.retries[k].tries, &cd.fsrc),
+		"fault.retry", func() { c.onRetryTimeout(item) })
 }
 
 // onRetryTimeout fires when a request went unanswered for the backoff
 // window: re-ask, or give up past the retry budget and fall back to waiting
 // for the next validating report to re-drive the query.
-func (c *client) onRetryTimeout(item int) {
-	st := c.retries[item]
-	if st == nil {
+func (c client) onRetryTimeout(item int) {
+	t := &c.sim.ct
+	cd := c.cold()
+	k := c.retryIdx(item)
+	if k < 0 {
 		return
 	}
-	st.ev = nil
-	if !c.outstanding[item] {
-		delete(c.retries, item) // stale timer: the request was already resolved
+	cd.retries[k].ev = nil
+	if !t.outstandingHas(c.id, item) {
+		c.dropRetry(k) // stale timer: the request was already resolved
 		return
 	}
 	if !c.online() {
@@ -276,18 +294,18 @@ func (c *client) onRetryTimeout(item int) {
 		// nothing will re-arm this timer. Abandon the request outright —
 		// leaving it in outstanding would block every future query for the
 		// item from re-asking. The next validating report re-drives it.
-		delete(c.retries, item)
-		delete(c.outstanding, item)
-		for i := range c.pending {
-			if c.pending[i].item == item {
-				c.pending[i].requested = false
+		c.dropRetry(k)
+		t.outstandingRemove(c.id, item)
+		for i := range t.pending[c.id] {
+			if t.pending[c.id][i].item == item {
+				t.pending[c.id][i].requested = false
 			}
 		}
 		return
 	}
 	now := c.sim.sch.Now()
-	st.tries++
-	gaveUp := st.tries > c.sim.cfg.Fault.RetryMax
+	cd.retries[k].tries++
+	gaveUp := cd.retries[k].tries > c.sim.cfg.Fault.RetryMax
 	if now >= c.sim.warmupAt {
 		if gaveUp {
 			c.sim.queryGiveups++
@@ -297,95 +315,114 @@ func (c *client) onRetryTimeout(item int) {
 	}
 	if tr := c.sim.tr; tr != nil {
 		tr.QueryRetry(obs.QueryRetryEvent{At: now, Client: c.id, Item: item,
-			Attempt: st.tries, GaveUp: gaveUp})
+			Attempt: cd.retries[k].tries, GaveUp: gaveUp})
 	}
 	if gaveUp {
-		delete(c.retries, item)
-		delete(c.outstanding, item)
-		for i := range c.pending {
-			if c.pending[i].item == item {
-				c.pending[i].requested = false
+		c.dropRetry(k)
+		t.outstandingRemove(c.id, item)
+		for i := range t.pending[c.id] {
+			if t.pending[c.id][i].item == item {
+				t.pending[c.id][i].requested = false
 			}
 		}
 		return
 	}
-	c.cell.uplink.Send(c.id, reqMeta{item: item})
+	c.cell().uplink.Send(c.id, reqMeta{item: item})
 	c.armRetry(item)
 }
 
 // clearRetry retires the timer for one answered (or abandoned) request.
-// Safe on a nil retries map.
-func (c *client) clearRetry(item int) {
-	if st := c.retries[item]; st != nil {
-		if st.ev != nil {
-			c.sim.sch.Cancel(st.ev)
+// Safe when the retry layer is disabled.
+func (c client) clearRetry(item int) {
+	if !c.sim.retryOn {
+		return
+	}
+	if k := c.retryIdx(item); k >= 0 {
+		if ev := c.cold().retries[k].ev; ev != nil {
+			c.sim.sch.Cancel(ev)
 		}
-		delete(c.retries, item)
+		c.dropRetry(k)
 	}
 }
 
 // clearAllRetries cancels every retransmission timer (disconnect, handoff).
-func (c *client) clearAllRetries() {
-	for item, st := range c.retries {
-		if st.ev != nil {
-			c.sim.sch.Cancel(st.ev)
-			st.ev = nil
-		}
-		delete(c.retries, item)
+func (c client) clearAllRetries() {
+	if !c.sim.retryOn {
+		return
 	}
+	cd := c.cold()
+	for k := range cd.retries {
+		if ev := cd.retries[k].ev; ev != nil {
+			c.sim.sch.Cancel(ev)
+		}
+		cd.retries[k] = retryEntry{}
+	}
+	cd.retries = cd.retries[:0]
 }
 
 // --- client: UIR-style catch-up ---
 
+// catchupEv reports the in-flight catch-up timer, nil when the fault layer
+// holds no per-client state at all.
+func (c client) catchupEv() *des.Event {
+	if len(c.sim.ct.cold) == 0 {
+		return nil
+	}
+	return c.cold().catchupEv
+}
+
 // sendCatchup asks the serving cell for the update history since the
 // client's last consistent point. The exchange is guarded by the same retry
 // timer machinery as data requests when the timeout layer is enabled.
-func (c *client) sendCatchup() {
-	c.catchupOut = true
-	c.cell.uplink.Send(c.id, catchupReq{since: c.istate.LastConsistent})
+func (c client) sendCatchup() {
+	cd := c.cold()
+	c.setFlag(cfCatchupOut)
+	c.cell().uplink.Send(c.id, catchupReq{since: c.istate().LastConsistent})
 	if in := c.sim.injector; in.Config().RetryEnabled() {
-		c.catchupEv = c.sim.sch.After(in.RetryDelay(c.catchupTries, c.fsrc),
-			"fault.catchup", c.catchupFn)
+		cd.catchupEv = c.sim.sch.After(in.RetryDelay(cd.catchupTries, &cd.fsrc),
+			"fault.catchup", cd.catchupFn)
 	}
 }
 
 // onCatchupTimeout fires when a catch-up request went unanswered.
-func (c *client) onCatchupTimeout() {
-	c.catchupEv = nil
-	if !c.recovering || !c.catchupOut {
+func (c client) onCatchupTimeout() {
+	c.cold().catchupEv = nil
+	if !c.flag(cfRecovering) || !c.flag(cfCatchupOut) {
 		return
 	}
-	c.catchupOut = false
+	c.clrFlag(cfCatchupOut)
 	c.retryCatchup()
 }
 
 // retryCatchup re-sends a failed catch-up exchange, bounded by the retry
 // budget; past it the client stays in the window-policy fallback (the next
 // validating report still completes recovery safely).
-func (c *client) retryCatchup() {
-	c.catchupTries++
-	if c.catchupTries > c.sim.cfg.Fault.RetryMax || !c.online() {
+func (c client) retryCatchup() {
+	cd := c.cold()
+	cd.catchupTries++
+	if cd.catchupTries > c.sim.cfg.Fault.RetryMax || !c.online() {
 		return
 	}
 	c.sendCatchup()
 }
 
 // onCatchup handles the unicast catch-up report.
-func (c *client) onCatchup(r *ir.Report, ok bool) {
-	if c.catchupEv != nil {
-		c.sim.sch.Cancel(c.catchupEv)
-		c.catchupEv = nil
+func (c client) onCatchup(r *ir.Report, ok bool) {
+	cd := c.cold()
+	if cd.catchupEv != nil {
+		c.sim.sch.Cancel(cd.catchupEv)
+		cd.catchupEv = nil
 	}
-	c.catchupOut = false
-	if !c.recovering {
+	c.clrFlag(cfCatchupOut)
+	if !c.flag(cfRecovering) {
 		return // a report already recovered us while the catch-up was in flight
 	}
 	if !ok {
 		c.retryCatchup()
 		return
 	}
-	c.reportsDecoded++
-	if c.istate.Process(r, c.cache, c.sim.oracle, c.src) {
+	c.stats().reportsDecoded++
+	if c.istate().Process(r, c.cache(), c.sim.oracle, c.src()) {
 		c.completeRecovery(obs.RecoveryViaCatchup)
 		c.drainPending(r)
 	} else {
@@ -393,14 +430,19 @@ func (c *client) onCatchup(r *ir.Report, ok bool) {
 	}
 }
 
-// cancelCatchup abandons any catch-up exchange in flight.
-func (c *client) cancelCatchup() {
-	if c.catchupEv != nil {
-		c.sim.sch.Cancel(c.catchupEv)
-		c.catchupEv = nil
+// cancelCatchup abandons any catch-up exchange in flight. Safe when the
+// fault layer holds no per-client state (nothing to cancel).
+func (c client) cancelCatchup() {
+	if len(c.sim.ct.cold) == 0 {
+		return
 	}
-	c.catchupOut = false
-	c.catchupTries = 0
+	cd := c.cold()
+	if cd.catchupEv != nil {
+		c.sim.sch.Cancel(cd.catchupEv)
+		cd.catchupEv = nil
+	}
+	c.clrFlag(cfCatchupOut)
+	cd.catchupTries = 0
 }
 
 // --- server: catch-up ---

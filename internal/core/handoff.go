@@ -19,10 +19,10 @@ func (s *Simulation) startHandoff() {
 // since the last check. Clients are visited in ascending id order, keeping
 // multi-cell runs deterministic.
 func (s *Simulation) checkHandoffs(now des.Time) {
-	for _, c := range s.clients {
-		to := s.cells[s.topo.NearestCell(c.id, now)]
-		if to != c.cell {
-			s.handoff(c, to, now)
+	for i := 0; i < s.ct.n; i++ {
+		to := s.cells[s.topo.NearestCell(i, now)]
+		if to.id != int(s.ct.cell[i]) {
+			s.handoff(s.client(i), to, now)
 		}
 	}
 }
@@ -32,38 +32,39 @@ func (s *Simulation) checkHandoffs(now des.Time) {
 // airtime (deliver drops departed destinations), which is what a real
 // handoff without context transfer costs. In-flight requests are reset so
 // the next validating report in the new cell re-issues them there.
-func (s *Simulation) handoff(c *client, to *Cell, now des.Time) {
-	from := c.cell
+func (s *Simulation) handoff(c client, to *Cell, now des.Time) {
+	t := &s.ct
+	from := c.cell()
 	post := now >= s.warmupAt
 	if post {
 		s.handoffs++
 	}
 	if c.online() {
-		from.rosterRemove(c.id)
-	} else if !c.awake && post {
+		from.roster.remove(c.id)
+	} else if !t.awake(c.id) && post {
 		s.handoffsAsleep++
 	}
 	mid := false
-	for i := range c.pending {
-		if c.pending[i].requested {
-			c.pending[i].requested = false
+	for i := range t.pending[c.id] {
+		if t.pending[c.id][i].requested {
+			t.pending[c.id][i].requested = false
 			mid = true
 		}
 	}
 	if mid && post {
 		s.handoffsMidQuery++
 	}
-	clear(c.outstanding)
+	t.outstanding[c.id] = t.outstanding[c.id][:0]
 	c.clearAllRetries()
-	c.cell = to
+	t.cell[c.id] = int32(to.id)
 	if c.online() {
-		to.rosterAdd(c.id)
+		to.roster.add(c.id)
 	}
 	// A catch-up exchange addressed to the old cell will never answer;
 	// restart it against the new serving cell.
-	if c.catchupOut || c.catchupEv != nil {
+	if c.flag(cfCatchupOut) || c.catchupEv() != nil {
 		c.cancelCatchup()
-		if c.recovering && c.online() {
+		if c.flag(cfRecovering) && c.online() {
 			c.sendCatchup()
 		}
 	}
@@ -74,8 +75,8 @@ func (s *Simulation) handoff(c *client, to *Cell, now des.Time) {
 		// window restarts here instead of forcing a coverage-loss flush on
 		// the new cell's first report. Not counted as a protocol drop in
 		// istate.Stats — the invalidation scheme didn't cause it.
-		c.cache.InvalidateAll()
-		c.istate.LastConsistent = now
+		c.cache().InvalidateAll()
+		c.istate().LastConsistent = now
 		flushed = true
 		if post {
 			s.handoffFlushes++

@@ -131,21 +131,22 @@ func (s *Simulation) collect(end des.Time) *RunStats {
 		Recoveries:          s.recoveries,
 		RecoveryMeanSec:     s.recoveryDelay.Mean(),
 	}
-	for _, c := range s.clients {
-		r.Queries += c.queries
-		r.CacheHits += c.hits
-		r.MissAnswers += c.missAnswers
-		r.StaleViolations += c.stale
-		r.ReportsDecoded += c.reportsDecoded
-		r.ReportsLost += c.reportsLost
-		r.CacheDrops += c.istate.Stats.Drops.Value()
-		r.SigDrops += c.istate.Stats.SigDrops.Value()
-		r.FalseInval += c.istate.Stats.FalseInval.Value()
-		for k, v := range c.drainedVia {
+	for i := 0; i < s.ct.n; i++ {
+		st := &s.ct.stats[i]
+		r.Queries += st.queries
+		r.CacheHits += st.hits
+		r.MissAnswers += st.missAnswers
+		r.StaleViolations += st.stale
+		r.ReportsDecoded += st.reportsDecoded
+		r.ReportsLost += st.reportsLost
+		r.CacheDrops += s.ct.istate[i].Stats.Drops.Value()
+		r.SigDrops += s.ct.istate[i].Stats.SigDrops.Value()
+		r.FalseInval += s.ct.istate[i].Stats.FalseInval.Value()
+		for k, v := range st.drainedVia {
 			r.AnsweredVia[k] += v
 		}
-		r.EnergyJoules += c.meter.Energy(measured)
-		r.PendingAtEnd += len(c.pending)
+		r.EnergyJoules += s.ct.meters[i].Energy(measured)
+		r.PendingAtEnd += len(s.ct.pending[i])
 	}
 	r.Answered = r.CacheHits + r.MissAnswers
 	if r.Answered > 0 {

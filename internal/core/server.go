@@ -1,6 +1,8 @@
 package core
 
 import (
+	"math/bits"
+
 	"repro/internal/db"
 	"repro/internal/des"
 	"repro/internal/ir"
@@ -258,11 +260,18 @@ func (s *server) NewTicker(period des.Duration, name string, fn func(des.Time)) 
 // AwakeSNRs implements ir.ServerEnv. In a real system the base station
 // estimates these from CQI feedback; here it reads the channel directly.
 // Only clients the cell currently serves are visible to its algorithm.
+// The roster bitset's words are walked directly — ascending ids, awake only —
+// without materializing a snapshot (nothing here mutates the roster).
 func (s *server) AwakeSNRs() []float64 {
 	s.snrScratch = s.snrScratch[:0]
 	now := s.sim.sch.Now()
-	for _, id := range s.cell.roster { // ascending ids, awake only
-		s.snrScratch = append(s.snrScratch, s.cell.channel.SNRdB(id, now))
+	for w, word := range s.cell.roster.words {
+		base := w << 6
+		for word != 0 {
+			id := base | bits.TrailingZeros64(word)
+			word &= word - 1
+			s.snrScratch = append(s.snrScratch, s.cell.channel.SNRdB(id, now))
+		}
 	}
 	return s.snrScratch
 }

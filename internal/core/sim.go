@@ -13,7 +13,6 @@ import (
 	"repro/internal/obs"
 	"repro/internal/rng"
 	"repro/internal/topology"
-	"repro/internal/workload"
 )
 
 // dbOracle adapts the database to the signature scheme's comparison oracle.
@@ -27,18 +26,24 @@ func (o dbOracle) UpdatedAt(id int) des.Time { return o.db.Item(id).UpdatedAt }
 // with NewSimulation, execute with Execute (or use the Run convenience
 // wrapper). A single-cell configuration (Topology.NumCells ≤ 1) wires exactly
 // one Cell with the historical stream names and reproduces pre-topology runs
-// bit-for-bit.
+// bit-for-bit. The client population lives in ct, a struct-of-arrays table
+// indexed by client id (see table.go).
 type Simulation struct {
-	cfg     Config
-	sch     *des.Scheduler
-	db      *db.DB
-	cells   []*Cell
-	topo    *topology.Model // nil when the run is single-cell
-	clients []*client
-	oracle  ir.Oracle
-	tr      obs.Tracer // nil = tracing disabled
+	cfg    Config
+	sch    *des.Scheduler
+	db     *db.DB
+	cells  []*Cell
+	topo   *topology.Model // nil when the run is single-cell
+	ct     clientTable
+	oracle ir.Oracle
+	tr     obs.Tracer // nil = tracing disabled
 
 	warmupAt des.Time
+
+	// retryOn mirrors cfg.Fault.RetryEnabled() once startFaults armed the
+	// layer: the per-request hot path tests one bool instead of re-deriving
+	// the config predicate.
+	retryOn bool
 
 	// post-warmup accumulators
 	delay *metrics.DelayRecorder
@@ -83,10 +88,10 @@ func NewSimulation(cfg Config) (*Simulation, error) {
 }
 
 // NewSimulationArena is NewSimulation drawing the allocation-heavy component
-// state (cache tables, database tables, channel buffers) from arena when one
-// is supplied. A nil arena — or an arena holding nothing of the right shape —
-// allocates fresh, so the wiring and the resulting run are identical either
-// way.
+// state (the client table, database tables, channel buffers) from arena when
+// one is supplied. A nil arena — or an arena holding nothing of the right
+// shape — allocates fresh, so the wiring and the resulting run are identical
+// either way.
 func NewSimulationArena(cfg Config, arena *Arena) (*Simulation, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -136,13 +141,14 @@ func NewSimulationArena(cfg Config, arena *Arena) (*Simulation, error) {
 	zipf := rng.NewZipf(cfg.DB.NumItems, cfg.Workload.Zipf)
 	wsrc := rng.Stream(cfg.Seed, "workload")
 	csrc := rng.Stream(cfg.Seed, "client")
-	sim.clients = make([]*client, cfg.NumClients)
-	for i := range sim.clients {
-		sampler, err := workload.NewSampler(cfg.Workload, zipf, wsrc.SubStream(uint64(i)))
-		if err != nil {
+	if arena != nil {
+		sim.ct = arena.takeTable()
+	}
+	fresh := sim.ct.init(cfg.NumClients, cfg.CacheCapacity, cfg.DB.NumItems, cfg.CachePolicy)
+	for i := 0; i < sim.ct.n; i++ {
+		if err := sim.initClient(i, wsrc, csrc, zipf, fresh); err != nil {
 			return nil, err
 		}
-		sim.clients[i] = newClient(i, sim, sampler, csrc.SubStream(uint64(i)), arena)
 	}
 
 	// Fault layer: build the injector and hand every client its private
@@ -159,22 +165,23 @@ func NewSimulationArena(cfg Config, arena *Arena) (*Simulation, error) {
 		sim.injector = fault.NewInjector(cfg.Fault, reportStreams)
 		if cfg.Fault.RetryEnabled() || cfg.Fault.DisconnectsEnabled() {
 			fsrc := rng.Stream(cfg.Seed, "fault.client")
-			for i, c := range sim.clients {
-				c.fsrc = fsrc.SubStream(uint64(i))
+			sim.ct.ensureCold()
+			for i := range sim.ct.cold {
+				sim.ct.cold[i].fsrc = fsrc.SubStreamValue(uint64(i))
 			}
 		}
 	}
 
 	// Associate each client with its nearest cell at t=0 and build the
 	// per-cell awake rosters (everyone starts awake). Ascending id order
-	// keeps rosters sorted.
-	for i, c := range sim.clients {
+	// keeps roster iteration order identical to the historical sorted lists.
+	for i := 0; i < sim.ct.n; i++ {
 		k := 0
 		if sim.topo != nil {
 			k = sim.topo.NearestCell(i, 0)
 		}
-		c.cell = sim.cells[k]
-		c.cell.roster = append(c.cell.roster, i)
+		sim.ct.cell[i] = int32(k)
+		sim.cells[k].roster.add(i)
 	}
 
 	// Attach tracing last, once every component exists. All emission sites
@@ -186,11 +193,12 @@ func NewSimulationArena(cfg Config, arena *Arena) (*Simulation, error) {
 		for _, cell := range sim.cells {
 			cell.downlink.SetTracer(tr)
 		}
-		for _, c := range sim.clients {
-			c.cache.SetTracer(tr, c.id, sim.sch.Now)
-			c.istate.Tracer = tr
-			c.istate.Owner = c.id
-			c.istate.Clock = sim.sch.Now
+		for i := 0; i < sim.ct.n; i++ {
+			sim.ct.caches[i].SetTracer(tr, i, sim.sch.Now)
+			st := &sim.ct.istate[i]
+			st.Tracer = tr
+			st.Owner = i
+			st.Clock = sim.sch.Now
 		}
 	}
 	return sim, nil
@@ -230,8 +238,8 @@ func (s *Simulation) ExecuteCtx(ctx context.Context) (*RunStats, error) {
 		cell.bg.Start()
 		cell.server.start()
 	}
-	for _, c := range s.clients {
-		c.start()
+	for i := 0; i < s.ct.n; i++ {
+		s.client(i).start()
 	}
 	if s.topo != nil {
 		s.startHandoff()
@@ -274,23 +282,9 @@ func (s *Simulation) resetAtWarmup() {
 		cell.snapPig = cell.server.piggyBitsSent
 	}
 	s.snapUpd = s.db.Updates()
-	for _, c := range s.clients {
-		c.meter.Reset()
+	for i := range s.ct.meters {
+		s.ct.meters[i].Reset()
 	}
-}
-
-// sortSearchInt is sort.SearchInts without the interface indirection.
-func sortSearchInt(a []int, x int) int {
-	lo, hi := 0, len(a)
-	for lo < hi {
-		mid := int(uint(lo+hi) >> 1)
-		if a[mid] < x {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	return lo
 }
 
 // onUplinkAttempt charges transmit energy for one contention slot.
@@ -298,12 +292,12 @@ func (s *Simulation) onUplinkAttempt(src int) {
 	if s.sch.Now() < s.warmupAt {
 		return
 	}
-	s.clients[src].meter.AddTx(s.cfg.Uplink.SlotDur.Seconds())
+	s.ct.meters[src].AddTx(s.cfg.Uplink.SlotDur.Seconds())
 }
 
-func (s *Simulation) chargeRx(c *client, airtimeSec float64) {
+func (s *Simulation) chargeRx(id int, airtimeSec float64) {
 	if s.sch.Now() < s.warmupAt {
 		return
 	}
-	c.meter.AddRx(airtimeSec)
+	s.ct.meters[id].AddRx(airtimeSec)
 }

@@ -1,0 +1,239 @@
+package core
+
+import (
+	"math/bits"
+
+	"repro/internal/cache"
+	"repro/internal/des"
+	"repro/internal/energy"
+	"repro/internal/ir"
+	"repro/internal/rng"
+	"repro/internal/workload"
+)
+
+// This file holds the struct-of-arrays storage for the client population.
+// Instead of one heap-allocated struct per client wired into a pointer graph,
+// every piece of per-client state lives in a column of the clientTable,
+// indexed by the client's id. A replication's whole steady-state client
+// footprint is then a handful of flat slices that the Arena recycles whole
+// between replications, and the hot fan-out loops touch densely packed
+// columns instead of chasing 10⁵ scattered structs.
+
+// Per-client boolean state packed into one flags byte.
+const (
+	cfAwake        uint8 = 1 << iota // not dozing
+	cfSleepPending                   // doze deferred while queries are in flight
+	cfConnected                      // not in an extended disconnection
+	cfRecovering                     // reconnected, consistency not yet re-proven
+	cfCatchupOut                     // a catch-up request is in flight
+)
+
+// clientStats is one client's measurement row (post-warmup counts).
+type clientStats struct {
+	queries        uint64
+	hits           uint64
+	missAnswers    uint64
+	stale          uint64
+	reportsDecoded uint64
+	reportsLost    uint64
+	drainedVia     [3]uint64 // answers enabled by full/mini/piggyback reports
+}
+
+// retryEntry is the retransmission timer for one outstanding request.
+type retryEntry struct {
+	item  int
+	tries int // consecutive timeouts so far
+	ev    *des.Event
+}
+
+// clientCold is the rarely-touched fault-layer row, split out of the hot
+// columns so fault-free runs pay nothing for it. The cold table is sized only
+// when the retry or disconnection layer is enabled (see ensureCold); all code
+// paths that reach it are gated on those layers being armed.
+type clientCold struct {
+	fsrc          rng.Source // private fault-draw stream
+	reconnectedAt des.Time
+	catchupTries  int
+	catchupEv     *des.Event
+	retries       []retryEntry
+
+	// Method-value callbacks bound once at construction.
+	discFn    func()
+	reconnFn  func()
+	catchupFn func()
+}
+
+// clientTable is the client population as parallel columns.
+type clientTable struct {
+	n int
+
+	// Hot scalar columns.
+	flags   []uint8
+	cell    []int32 // serving cell id; reassigned by handoff
+	sleptAt []des.Time
+	queryEv []*des.Event
+
+	// Per-client growable state.
+	pending     [][]pendingQuery
+	outstanding [][]int32 // items with an uplink request in flight (unordered set)
+
+	// Component columns, stored by value so one table owns the whole footprint.
+	caches   []cache.Cache
+	istate   []ir.ClientState
+	csrcs    []rng.Source // signature false-positive draws
+	wsrcs    []rng.Source // workload sampler streams (samplers point into this)
+	samplers []workload.Sampler
+	meters   []energy.Meter
+	stats    []clientStats
+
+	// Method-value callbacks bound once at construction: scheduling a
+	// query/doze/wake event then costs no closure allocation.
+	queryFn []func()
+	dozeFn  []func()
+	wakeFn  []func()
+
+	// Cold side table; empty unless the fault layer needs per-client state.
+	cold []clientCold
+}
+
+// init shapes the table for n clients with the given cache geometry. When the
+// table (typically arena-recycled) already has exactly this shape, the columns
+// are cleared in place and reused; the caller must then Reset each cache
+// rather than Init it. Reports whether the caches are fresh (need Init).
+func (t *clientTable) init(n, cacheCap, universe int, policy cache.Policy) bool {
+	reuse := t.n == n && len(t.caches) == n && n > 0 &&
+		t.caches[0].Capacity() == cacheCap &&
+		t.caches[0].Universe() == universe &&
+		t.caches[0].Policy() == policy
+	if !reuse {
+		*t = clientTable{
+			n:           n,
+			flags:       make([]uint8, n),
+			cell:        make([]int32, n),
+			sleptAt:     make([]des.Time, n),
+			queryEv:     make([]*des.Event, n),
+			pending:     make([][]pendingQuery, n),
+			outstanding: make([][]int32, n),
+			caches:      make([]cache.Cache, n),
+			istate:      make([]ir.ClientState, n),
+			csrcs:       make([]rng.Source, n),
+			wsrcs:       make([]rng.Source, n),
+			samplers:    make([]workload.Sampler, n),
+			meters:      make([]energy.Meter, n),
+			stats:       make([]clientStats, n),
+			queryFn:     make([]func(), n),
+			dozeFn:      make([]func(), n),
+			wakeFn:      make([]func(), n),
+		}
+		return true
+	}
+	clear(t.flags)
+	clear(t.cell)
+	clear(t.sleptAt)
+	clear(t.queryEv)
+	for i := range t.pending {
+		t.pending[i] = t.pending[i][:0]
+	}
+	for i := range t.outstanding {
+		t.outstanding[i] = t.outstanding[i][:0]
+	}
+	clear(t.istate)
+	clear(t.stats)
+	t.cold = t.cold[:0]
+	return false
+}
+
+// ensureCold sizes the cold side table for the fault layer.
+func (t *clientTable) ensureCold() {
+	if cap(t.cold) >= t.n {
+		t.cold = t.cold[:t.n]
+		clear(t.cold)
+		return
+	}
+	t.cold = make([]clientCold, t.n)
+}
+
+// online reports whether client i participates in the protocol at all: awake
+// (not dozing) and connected (not in an extended disconnection). Roster
+// membership maintains exactly this predicate.
+func (t *clientTable) online(i int) bool {
+	return t.flags[i]&(cfAwake|cfConnected) == cfAwake|cfConnected
+}
+
+// awake reports whether client i is not dozing.
+func (t *clientTable) awake(i int) bool { return t.flags[i]&cfAwake != 0 }
+
+// connected reports whether client i is not disconnected.
+func (t *clientTable) connected(i int) bool { return t.flags[i]&cfConnected != 0 }
+
+// outstandingHas reports whether client i has an uplink request in flight for
+// item. The set is small (bounded by distinct pending items), so a linear
+// scan beats any hash.
+func (t *clientTable) outstandingHas(i, item int) bool {
+	for _, it := range t.outstanding[i] {
+		if int(it) == item {
+			return true
+		}
+	}
+	return false
+}
+
+// outstandingAdd records an in-flight request. The caller checks membership.
+func (t *clientTable) outstandingAdd(i, item int) {
+	t.outstanding[i] = append(t.outstanding[i], int32(item))
+}
+
+// outstandingRemove retires an in-flight request (order-free swap-remove).
+func (t *clientTable) outstandingRemove(i, item int) {
+	set := t.outstanding[i]
+	for k, it := range set {
+		if int(it) == item {
+			set[k] = set[len(set)-1]
+			t.outstanding[i] = set[:len(set)-1]
+			return
+		}
+	}
+}
+
+// idSet is a fixed-universe bitset used for the per-cell awake rosters:
+// membership flips are O(1) regardless of population, where the former
+// sorted-id roster paid an O(awake) memmove per doze/wake/handoff. Ascending
+// iteration (the order every fan-out loop and the golden fingerprints depend
+// on) falls out of walking the words low to high.
+type idSet struct {
+	words []uint64
+	count int
+}
+
+// newIDSet returns an empty set over a universe of n ids.
+func newIDSet(n int) idSet { return idSet{words: make([]uint64, (n+63)/64)} }
+
+// add inserts id (no-op when present).
+func (s *idSet) add(id int) {
+	w, b := id>>6, uint64(1)<<(id&63)
+	if s.words[w]&b == 0 {
+		s.words[w] |= b
+		s.count++
+	}
+}
+
+// remove deletes id (no-op when absent).
+func (s *idSet) remove(id int) {
+	w, b := id>>6, uint64(1)<<(id&63)
+	if s.words[w]&b != 0 {
+		s.words[w] &^= b
+		s.count--
+	}
+}
+
+// appendIDs appends the members in ascending order and returns the slice.
+func (s *idSet) appendIDs(dst []int) []int {
+	for w, word := range s.words {
+		base := w << 6
+		for word != 0 {
+			dst = append(dst, base|bits.TrailingZeros64(word))
+			word &= word - 1
+		}
+	}
+	return dst
+}

@@ -1,0 +1,49 @@
+package experiment
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestRunAllFlushesTraceOnCancellation pins the crash-safety contract of the
+// JSONL trace sink under fail-fast cancellation: when the context threaded
+// through RunAll is cancelled mid-sweep, every event the sink accepted must
+// reach the underlying writer as a complete record — nothing may be stranded
+// in the bufio tail of a run that is about to be thrown away.
+func TestRunAllFlushesTraceOnCancellation(t *testing.T) {
+	var buf bytes.Buffer
+	sink := obs.NewJSONL(&buf)
+
+	base := tinyBase()
+	base.Tracer = sink
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// Cancel as soon as the first replication completes: remaining units are
+	// skipped fail-fast with events already buffered in the sink.
+	_, err := RunAll(ctx, []*Experiment{ckptExperiment("ts")}, Options{
+		Base: base, Reps: 2, Workers: 1,
+		Progress: func(p Progress) {
+			if p.DoneUnits >= 1 {
+				cancel()
+			}
+		},
+	})
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled sweep returned %v, want context.Canceled", err)
+	}
+	if sink.Events() == 0 {
+		t.Fatal("scenario too tame: no events traced before cancellation")
+	}
+	if got, want := bytes.Count(buf.Bytes(), []byte("\n")), int(sink.Events()); got != want {
+		t.Fatalf("underlying writer holds %d complete records, sink accepted %d — buffered tail lost on cancellation", got, want)
+	}
+	if len(buf.Bytes()) > 0 && buf.Bytes()[len(buf.Bytes())-1] != '\n' {
+		t.Fatal("trace does not end at a record boundary")
+	}
+}

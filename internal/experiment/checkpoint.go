@@ -61,35 +61,68 @@ func ckptKey(exp, label, algo string) string {
 	return exp + "\x00" + label + "\x00" + algo
 }
 
+// isPerfLine reports whether line is perf telemetry (see PerfRecord) rather
+// than a restorable cell record.
+func isPerfLine(line string) bool {
+	var probe struct {
+		Perf json.RawMessage `json:"perf"`
+	}
+	return json.Unmarshal([]byte(line), &probe) == nil && probe.Perf != nil
+}
+
 // OpenCheckpoint opens (creating if needed) the checkpoint at path. With
 // resume true the cells it already records are loaded and later restored;
 // with resume false the file is truncated, so the run starts fresh but
 // still records completions for a future -resume.
+//
+// A process killed mid-append leaves a torn final line: bytes after the last
+// newline. Resume tolerates it — the fragment's cell simply re-runs — and
+// repairs the file before appending: an unparseable fragment is truncated
+// away, and a complete record that merely lost its terminating newline is
+// kept and re-terminated. Either way the next append starts on a fresh line
+// instead of concatenating onto the fragment, which would corrupt an
+// interior line and break every later resume.
 func OpenCheckpoint(path string, resume bool) (*Checkpoint, error) {
 	c := &Checkpoint{path: path, done: map[string]*CellRecord{}}
 	flags := os.O_CREATE | os.O_WRONLY | os.O_APPEND
+	needNewline := false
 	if !resume {
 		flags |= os.O_TRUNC
 	} else if data, err := os.ReadFile(path); err == nil {
-		lines := strings.Split(string(data), "\n")
-		for i, line := range lines {
-			if strings.TrimSpace(line) == "" {
+		body, tail := string(data), ""
+		if i := strings.LastIndexByte(body, '\n'); i >= 0 {
+			body, tail = body[:i+1], body[i+1:]
+		} else {
+			body, tail = "", body
+		}
+		// Terminated lines are trusted: corruption there is loud, never
+		// skipped — only the unterminated tail can come from a crash.
+		for i, line := range strings.Split(body, "\n") {
+			if strings.TrimSpace(line) == "" || isPerfLine(line) {
 				continue
-			}
-			var probe struct {
-				Perf json.RawMessage `json:"perf"`
-			}
-			if err := json.Unmarshal([]byte(line), &probe); err == nil && probe.Perf != nil {
-				continue // perf telemetry line, not a restorable cell
 			}
 			rec := &CellRecord{}
 			if err := json.Unmarshal([]byte(line), rec); err != nil {
-				if i == len(lines)-1 {
-					break // torn final line from a crash mid-append
-				}
 				return nil, fmt.Errorf("experiment: checkpoint %s line %d: %w", path, i+1, err)
 			}
 			c.done[ckptKey(rec.Exp, rec.Label, rec.Algo)] = rec
+		}
+		if tail != "" {
+			rec := &CellRecord{}
+			switch {
+			case isPerfLine(tail):
+				needNewline = true // complete perf line, only the '\n' was lost
+			case json.Unmarshal([]byte(tail), rec) == nil:
+				// Complete cell record, only the '\n' was lost: keep it.
+				c.done[ckptKey(rec.Exp, rec.Label, rec.Algo)] = rec
+				needNewline = true
+			default:
+				// Torn fragment from a crash mid-append: drop it so the
+				// fragment's cell re-runs and the file ends on a clean line.
+				if err := os.Truncate(path, int64(len(body))); err != nil {
+					return nil, err
+				}
+			}
 		}
 	} else if !os.IsNotExist(err) {
 		return nil, err
@@ -97,6 +130,16 @@ func OpenCheckpoint(path string, resume bool) (*Checkpoint, error) {
 	f, err := os.OpenFile(path, flags, 0o644)
 	if err != nil {
 		return nil, err
+	}
+	if needNewline {
+		if _, err := f.WriteString("\n"); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, err
+		}
 	}
 	c.f = f
 	return c, nil

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -174,6 +175,86 @@ func TestCheckpointToleratesTornFinalLine(t *testing.T) {
 	}
 	if _, err := OpenCheckpoint(path, true); err == nil || !strings.Contains(err.Error(), "line 1") {
 		t.Fatalf("corrupt interior line accepted: %v", err)
+	}
+}
+
+// TestCheckpointTornLineEveryByteOffset simulates a crash mid-append at
+// every possible byte offset within the final two lines (one cell record,
+// one perf line) and checks that resume (a) never errors, (b) restores
+// exactly the cells whose records survived intact, and (c) repairs the file
+// so a subsequent append starts on a fresh line — the original bug let the
+// next append concatenate onto the fragment, corrupting an interior line
+// and making every later resume fail loudly.
+func TestCheckpointTornLineEveryByteOffset(t *testing.T) {
+	dir := t.TempDir()
+	seedPath := filepath.Join(dir, CheckpointName)
+
+	ck, err := OpenCheckpoint(seedPath, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ckptExperiment("ts").Run(Options{Base: tinyBase(), Reps: 2, Workers: 2, Checkpoint: ck}); err != nil {
+		t.Fatal(err)
+	}
+	ck.Close()
+
+	data, err := os.ReadFile(seedPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(string(data), "\n"), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("checkpoint has only %d lines", len(lines))
+	}
+	// Start of the penultimate line, so offsets sweep through the last cell
+	// record and the trailing perf line.
+	start := len(data) - (len(lines[len(lines)-1]) + len(lines[len(lines)-2]) + 2)
+
+	// cellsIn counts intact cell records in a prefix: terminated lines plus
+	// a complete-but-unterminated tail (truncation that ate only the '\n').
+	cellsIn := func(b []byte) int {
+		n := 0
+		for _, line := range strings.Split(string(b), "\n") {
+			if strings.TrimSpace(line) == "" || isPerfLine(line) {
+				continue
+			}
+			rec := &CellRecord{}
+			if json.Unmarshal([]byte(line), rec) == nil {
+				n++
+			}
+		}
+		return n
+	}
+
+	for cut := start; cut <= len(data); cut++ {
+		path := filepath.Join(dir, "torn.jsonl")
+		if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		want := cellsIn(data[:cut])
+
+		ck2, err := OpenCheckpoint(path, true)
+		if err != nil {
+			t.Fatalf("cut %d: resume failed: %v", cut, err)
+		}
+		if ck2.Len() != want {
+			t.Fatalf("cut %d: restored %d cells, want %d", cut, ck2.Len(), want)
+		}
+		// Append after the torn open — under the old code this concatenated
+		// onto the fragment and poisoned the file for the next resume.
+		if err := ck2.recordPerf("CK", Point{X: 9, Label: "9"}, "ts", &CellPerf{WallSec: 1}); err != nil {
+			t.Fatalf("cut %d: append after resume: %v", cut, err)
+		}
+		ck2.Close()
+
+		ck3, err := OpenCheckpoint(path, true)
+		if err != nil {
+			t.Fatalf("cut %d: resume after append failed: %v", cut, err)
+		}
+		if ck3.Len() != want {
+			t.Fatalf("cut %d: second resume restored %d cells, want %d", cut, ck3.Len(), want)
+		}
+		ck3.Close()
 	}
 }
 

@@ -233,6 +233,12 @@ func RunAll(ctx context.Context, exps []*Experiment, opt Options) ([]*Result, er
 	if opt.Reps <= 0 {
 		opt.Reps = 5
 	}
+	// Traces must end at a complete record even when the sweep dies early —
+	// fail-fast cancellation, a failed replication — so flush the trace
+	// sink's buffered tail on every exit path, not just clean completion.
+	if f, ok := opt.Base.Tracer.(interface{ Flush() error }); ok {
+		defer f.Flush()
+	}
 	workers := opt.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)

@@ -1,0 +1,85 @@
+package experiment
+
+import (
+	"context"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestMultiCellSweepMonitorRace drives a multi-cell sweep through the worker
+// pool while hammering the attached obs.SweepMonitor from concurrent pollers
+// — one calling Snapshot directly, one scraping ServeHTTP the way the
+// wdcsweep debug endpoint does. Under `make check` this file runs with the
+// race detector, locking in that the handle-indexed simulation state and the
+// monitor's counters introduce no data races. It also pins the monitor
+// contract RunAll documents: attaching one must not change results.
+func TestMultiCellSweepMonitorRace(t *testing.T) {
+	base := tinyBase()
+	base.Topology.NumCells = 4
+
+	exp := ckptExperiment("ts", "tair")
+
+	// Reference run: no monitor attached.
+	want, err := RunAll(context.Background(), []*Experiment{exp}, Options{
+		Base: base, Reps: 2, Workers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mon := &obs.SweepMonitor{}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			snap := mon.Snapshot(time.Now())
+			if snap.UnitsDone > snap.UnitsTotal {
+				t.Errorf("snapshot units done %d > total %d", snap.UnitsDone, snap.UnitsTotal)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			rec := httptest.NewRecorder()
+			mon.ServeHTTP(rec, nil)
+		}
+	}()
+
+	got, err := RunAll(context.Background(), []*Experiment{exp}, Options{
+		Base: base, Reps: 2, Workers: 2, Monitor: mon,
+	})
+	close(done)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if want[0].CSV() != got[0].CSV() {
+		t.Fatal("attaching a polled SweepMonitor changed sweep results")
+	}
+	snap := mon.Snapshot(time.Now())
+	if snap.UnitsDone != snap.UnitsTotal || snap.UnitsDone == 0 {
+		t.Fatalf("monitor saw %d/%d units after completion", snap.UnitsDone, snap.UnitsTotal)
+	}
+	if snap.Events == 0 {
+		t.Fatal("monitor recorded no DES events from the replication pulses")
+	}
+}

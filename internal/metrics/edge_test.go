@@ -74,6 +74,69 @@ func TestSeriesMergeMinMax(t *testing.T) {
 	}
 }
 
+// TestBatchMeansPartialBatchDegradesExplicitly pins the short-run contract:
+// with fewer observations than one full batch the estimator degrades to an
+// explicit point estimate with the CI flagged unavailable — never a NaN mean
+// or a zero-width interval that would render as a spuriously tight bound.
+func TestBatchMeansPartialBatchDegradesExplicitly(t *testing.T) {
+	b := NewBatchMeans(64)
+
+	// Empty stream: no estimate of any kind.
+	if !math.IsNaN(b.Mean()) || !math.IsNaN(b.CI95()) || b.CIAvailable() {
+		t.Fatalf("empty stream: mean %g ci %g available %v",
+			b.Mean(), b.CI95(), b.CIAvailable())
+	}
+
+	// Fewer observations than one batch: point estimate, CI unavailable.
+	for _, x := range []float64{2, 4, 6} {
+		b.Observe(x)
+	}
+	if got := b.Mean(); got != 4 {
+		t.Fatalf("partial-batch mean %g, want point estimate 4", got)
+	}
+	if b.CIAvailable() {
+		t.Fatal("CI reported available with zero complete batches")
+	}
+	if ci := b.CI95(); !math.IsNaN(ci) {
+		t.Fatalf("partial-batch CI95 %g, want NaN (unavailable), not zero-width", ci)
+	}
+
+	// Exactly one complete batch: mean switches to the batch view, CI still
+	// undefined (a single batch has no variance estimate).
+	one := NewBatchMeans(4)
+	for _, x := range []float64{1, 2, 3, 4} {
+		one.Observe(x)
+	}
+	if got := one.Mean(); got != 2.5 {
+		t.Fatalf("one-batch mean %g, want 2.5", got)
+	}
+	if one.CIAvailable() || !math.IsNaN(one.CI95()) {
+		t.Fatalf("one batch: available %v ci %g", one.CIAvailable(), one.CI95())
+	}
+
+	// Two complete batches: the interval becomes real and finite.
+	two := NewBatchMeans(2)
+	for _, x := range []float64{1, 3, 5, 7} {
+		two.Observe(x)
+	}
+	if !two.CIAvailable() {
+		t.Fatal("CI unavailable with two complete batches")
+	}
+	if ci := two.CI95(); math.IsNaN(ci) || ci <= 0 {
+		t.Fatalf("two-batch CI95 %g, want positive finite", ci)
+	}
+	if got := two.Mean(); got != 4 {
+		t.Fatalf("two-batch mean %g, want 4", got)
+	}
+
+	// The batch view must ignore the partial tail once batches exist: a
+	// wild unfinished observation cannot skew the steady-state estimate.
+	two.Observe(1e9)
+	if got := two.Mean(); got != 4 {
+		t.Fatalf("partial tail leaked into batch mean: %g", got)
+	}
+}
+
 // TestTimeWeightedZeroDurationSpans checks that instantaneous transitions
 // (several Set calls at the same timestamp) contribute no weight: only the
 // value in force across nonzero time shapes the average.

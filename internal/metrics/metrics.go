@@ -401,8 +401,12 @@ func (d *DelayRecorder) Max() float64 {
 func (d *DelayRecorder) Quantile(q float64) float64 { return d.hist.Quantile(q) }
 
 // CI95 reports the batch-means 95% half-width — the single-run interval that
-// respects the stream's serial correlation.
+// respects the stream's serial correlation. NaN when CIAvailable is false.
 func (d *DelayRecorder) CI95() float64 { return d.batch.CI95() }
+
+// CIAvailable reports whether CI95 is statistically meaningful (at least two
+// complete batches observed).
+func (d *DelayRecorder) CIAvailable() bool { return d.batch.CIAvailable() }
 
 // BatchMeans estimates a confidence interval for the mean of a correlated
 // observation stream (like per-query delays within one run, which share
@@ -437,9 +441,32 @@ func (b *BatchMeans) Observe(x float64) {
 // Batches reports how many complete batches have been formed.
 func (b *BatchMeans) Batches() uint64 { return b.batches.Count() }
 
-// Mean reports the mean over complete batches (NaN before the first).
-func (b *BatchMeans) Mean() float64 { return b.batches.Mean() }
+// Mean reports the best available estimate of the stream mean: the mean over
+// complete batches, or — before the first batch completes — the point
+// estimate over the partial batch, so short runs degrade to a point estimate
+// instead of NaN. Only a stream with no observations at all reports NaN.
+func (b *BatchMeans) Mean() float64 {
+	if b.batches.Count() == 0 {
+		if b.count == 0 {
+			return math.NaN()
+		}
+		return b.sum / float64(b.count)
+	}
+	return b.batches.Mean()
+}
+
+// CIAvailable reports whether CI95 is statistically meaningful: at least two
+// complete batches exist. Callers rendering tables should consult it and
+// print the interval as unavailable rather than zero-width.
+func (b *BatchMeans) CIAvailable() bool { return b.batches.Count() >= 2 }
 
 // CI95 reports the 95% half-width over batch means. With fewer than two
-// complete batches it is NaN — callers should widen batches or run longer.
-func (b *BatchMeans) CI95() float64 { return b.batches.CI95() }
+// complete batches the interval is undefined: it reports NaN (never a
+// misleading zero width) and CIAvailable reports false — callers should fall
+// back to the Mean point estimate, widen batches, or run longer.
+func (b *BatchMeans) CI95() float64 {
+	if !b.CIAvailable() {
+		return math.NaN()
+	}
+	return b.batches.CI95()
+}

@@ -72,9 +72,17 @@ func (s *JSONL) Flush() error {
 	return s.err
 }
 
-// Close flushes and closes the underlying writer (when closable).
+// Close flushes, fsyncs (when the underlying writer is a file) and closes
+// the underlying writer (when closable). The sync matters for traces of
+// runs that are about to die — fail-fast cancellation, a crashing sweep —
+// where the kernel page cache would otherwise be the only copy of the tail.
 func (s *JSONL) Close() error {
 	err := s.Flush()
+	if f, ok := s.c.(interface{ Sync() error }); ok {
+		if serr := f.Sync(); serr != nil && err == nil {
+			err = serr
+		}
+	}
 	if s.c != nil {
 		if cerr := s.c.Close(); cerr != nil && err == nil {
 			err = cerr

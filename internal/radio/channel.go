@@ -61,24 +61,6 @@ func DefaultParams() Params {
 	}
 }
 
-// link is one client's fading process, advanced lazily.
-type link struct {
-	fsmc     *FSMC
-	state    int
-	lastSlot int64
-	src      *rng.Source
-	meanDB   float64 // static mean SNR (initial position under mobility)
-	shadowDB float64
-	distM    float64
-
-	// pCache memoizes FrameSuccessProb per (mcs, state) slot with a 2-way
-	// cache tagged by frame size. Without mobility the link's instantaneous
-	// SNR takes only K discrete values (one per fading state), so the
-	// exp/pow chain behind each decode probability is worth computing once.
-	// Nil under mobility, where the SNR drifts continuously.
-	pCache []pEntry
-}
-
 // pEntry is one (mcs, state) slot of the decode-probability cache: two ways,
 // MRU first, tagged by frame bits (always positive, so 0 means empty).
 type pEntry struct {
@@ -96,10 +78,43 @@ type Locator interface {
 
 // Channel is the population of downlink links from the base station to each
 // client. All methods must be called from the simulation goroutine.
+//
+// Per-link state is struct-of-arrays keyed by client id: a link's steady
+// state is one int32, one int64, a 32-byte inline rng source and three
+// float64s spread across flat slices, with no per-link heap objects. In
+// drifting mode (mobility or an external locator) every fading chain is
+// built around a 0 dB mean, so all links share one FSMC; in static mode each
+// link keeps its own chain (means differ per link) plus a flattened
+// decode-probability memo. The layout is what lets a multi-cell city-scale
+// replication hold cells×clients links in a few hundred megabytes.
 type Channel struct {
 	params Params
 	amc    *AMC
-	links  []link
+	n      int
+
+	// Per-link state, all length n.
+	state    []int32
+	lastSlot []int64
+	srcs     []rng.Source
+	meanDB   []float64 // static mean SNR (initial position under mobility)
+	shadowDB []float64
+	distM    []float64
+
+	// Fading chains: fsmc is the single shared chain in drifting mode (all
+	// links use the 0 dB offset form); fsmcs is the per-link chain table in
+	// static mode. Exactly one of the two is non-nil after init.
+	fsmc  *FSMC
+	fsmcs []*FSMC
+
+	// pCache memoizes FrameSuccessProb per (link, mcs, state) slot with a
+	// 2-way cache tagged by frame size, flattened to one slice with stride
+	// pStride per link. Without mobility a link's instantaneous SNR takes
+	// only K discrete values (one per fading state), so the exp/pow chain
+	// behind each decode probability is worth computing once. Nil in
+	// drifting mode, where the SNR drifts continuously.
+	pCache  []pEntry
+	pStride int
+
 	snrBuf []float64
 	mob    *mobility.Model
 	loc    Locator
@@ -169,9 +184,20 @@ func (c *Channel) init(p Params, amc *AMC, n int, src *rng.Source, loc Locator) 
 	c.amc = amc
 	c.mob = nil
 	c.loc = loc
-	if len(c.links) != n {
-		c.links = make([]link, n)
+	if c.n != n {
+		c.n = n
+		c.state = make([]int32, n)
+		c.lastSlot = make([]int64, n)
+		c.srcs = make([]rng.Source, n)
+		c.meanDB = make([]float64, n)
+		c.shadowDB = make([]float64, n)
+		c.distM = make([]float64, n)
 		c.snrBuf = make([]float64, n)
+	} else {
+		for i := 0; i < n; i++ {
+			c.lastSlot[i] = 0
+			c.distM[i] = 0
+		}
 	}
 	if p.Mobility != nil {
 		mob, err := mobility.New(*p.Mobility, n, src.SubStream(1<<32))
@@ -180,58 +206,79 @@ func (c *Channel) init(p Params, amc *AMC, n int, src *rng.Source, loc Locator) 
 		}
 		c.mob = mob
 	}
-	pCacheLen := 0
-	if !c.drifting() {
-		pCacheLen = len(amc.Table) * p.FadingStates
+
+	// Under mobility (or an external locator) the fading chain is built
+	// around 0 dB and the drifting path-loss mean is added per query: the
+	// Rayleigh FSMC is scale-invariant in its mean, so the offset form is
+	// exact — and one chain serves every link.
+	c.fsmc, c.fsmcs = nil, nil
+	if c.drifting() {
+		fsmc, err := NewFSMC(0, p.DopplerHz, p.FadingSlot.Seconds(), p.FadingStates)
+		if err != nil {
+			return err
+		}
+		c.fsmc = fsmc
+	} else {
+		c.fsmcs = make([]*FSMC, n)
 	}
+
+	c.pStride = 0
+	if !c.drifting() {
+		c.pStride = len(amc.Table) * p.FadingStates
+	}
+	if total := n * c.pStride; total > 0 {
+		if len(c.pCache) == total {
+			for j := range c.pCache {
+				c.pCache[j] = pEntry{}
+			}
+		} else {
+			c.pCache = make([]pEntry, total)
+		}
+	} else {
+		c.pCache = nil
+	}
+
 	placement := src.SubStream(0)
-	for i := range c.links {
-		l := &c.links[i]
-		pCache := l.pCache
-		*l = link{src: src.SubStream(uint64(i) + 1)}
-		l.shadowDB = placement.Normal(0, p.ShadowSigmaDB)
+	for i := 0; i < n; i++ {
+		c.srcs[i] = src.SubStreamValue(uint64(i) + 1)
+		c.shadowDB[i] = placement.Normal(0, p.ShadowSigmaDB)
 		if p.UseGeometry {
 			switch {
 			case c.mob != nil:
-				l.distM = c.mob.DistanceM(i, 0)
+				c.distM[i] = c.mob.DistanceM(i, 0)
 			case c.loc != nil:
-				l.distM = c.loc.DistanceM(i, 0)
+				c.distM[i] = c.loc.DistanceM(i, 0)
 			default:
 				// Uniform over the annulus area.
 				r2min := p.MinDistanceM * p.MinDistanceM
 				r2max := p.CellRadiusM * p.CellRadiusM
-				l.distM = math.Sqrt(placement.Uniform(r2min, r2max))
+				c.distM[i] = math.Sqrt(placement.Uniform(r2min, r2max))
 			}
-			l.meanDB = c.geoMeanDB(l.distM, l.shadowDB)
+			c.meanDB[i] = c.geoMeanDB(c.distM[i], c.shadowDB[i])
 		} else {
-			l.meanDB = p.MeanSNRdB + l.shadowDB
+			c.meanDB[i] = p.MeanSNRdB + c.shadowDB[i]
 		}
-		// Under mobility (or an external locator) the fading chain is built
-		// around 0 dB and the drifting path-loss mean is added per query: the
-		// Rayleigh FSMC is scale-invariant in its mean, so the offset form is
-		// exact.
-		fsmcMean := l.meanDB
-		if c.drifting() {
-			fsmcMean = 0
-		}
-		fsmc, err := NewFSMC(fsmcMean, p.DopplerHz, p.FadingSlot.Seconds(), p.FadingStates)
-		if err != nil {
-			return err
-		}
-		l.fsmc = fsmc
-		l.state = fsmc.StationarySample(l.src)
-		if pCacheLen > 0 {
-			if len(pCache) == pCacheLen {
-				for j := range pCache {
-					pCache[j] = pEntry{}
-				}
-				l.pCache = pCache
-			} else {
-				l.pCache = make([]pEntry, pCacheLen)
+		fsmc := c.fsmc
+		if fsmc == nil {
+			f, err := NewFSMC(c.meanDB[i], p.DopplerHz, p.FadingSlot.Seconds(), p.FadingStates)
+			if err != nil {
+				return err
 			}
+			c.fsmcs[i] = f
+			fsmc = f
 		}
+		c.state[i] = int32(fsmc.StationarySample(&c.srcs[i]))
 	}
 	return nil
+}
+
+// fsmcOf reports link i's fading chain: the shared 0 dB chain in drifting
+// mode, the per-link chain otherwise.
+func (c *Channel) fsmcOf(i int) *FSMC {
+	if c.fsmc != nil {
+		return c.fsmc
+	}
+	return c.fsmcs[i]
 }
 
 // drifting reports whether link means move over time (mobility model or
@@ -239,7 +286,7 @@ func (c *Channel) init(p Params, amc *AMC, n int, src *rng.Source, loc Locator) 
 func (c *Channel) drifting() bool { return c.mob != nil || c.loc != nil }
 
 // N reports the number of client links.
-func (c *Channel) N() int { return len(c.links) }
+func (c *Channel) N() int { return c.n }
 
 // AMC reports the link adaptation policy in force.
 func (c *Channel) AMC() *AMC { return c.amc }
@@ -254,24 +301,24 @@ func (c *Channel) geoMeanDB(distM, shadowDB float64) float64 {
 
 // MeanSNRdB reports client i's long-term average SNR (under mobility, the
 // mean at its initial position).
-func (c *Channel) MeanSNRdB(i int) float64 { return c.links[i].meanDB }
+func (c *Channel) MeanSNRdB(i int) float64 { return c.meanDB[i] }
 
 // MeanSNRdBAt reports client i's instantaneous mean SNR (path loss plus
 // shadowing, fading excluded) at time t.
 func (c *Channel) MeanSNRdBAt(i int, t des.Time) float64 {
 	switch {
 	case c.mob != nil:
-		return c.geoMeanDB(c.mob.DistanceM(i, t), c.links[i].shadowDB)
+		return c.geoMeanDB(c.mob.DistanceM(i, t), c.shadowDB[i])
 	case c.loc != nil:
-		return c.geoMeanDB(c.loc.DistanceM(i, t), c.links[i].shadowDB)
+		return c.geoMeanDB(c.loc.DistanceM(i, t), c.shadowDB[i])
 	}
-	return c.links[i].meanDB
+	return c.meanDB[i]
 }
 
 // DistanceM reports client i's distance from the base station (geometry mode
 // only; zero otherwise). Under mobility this is the initial distance; use
 // DistanceMAt for the live value.
-func (c *Channel) DistanceM(i int) float64 { return c.links[i].distM }
+func (c *Channel) DistanceM(i int) float64 { return c.distM[i] }
 
 // DistanceMAt reports client i's distance at time t.
 func (c *Channel) DistanceMAt(i int, t des.Time) float64 {
@@ -281,24 +328,24 @@ func (c *Channel) DistanceMAt(i int, t des.Time) float64 {
 	case c.loc != nil:
 		return c.loc.DistanceM(i, t)
 	}
-	return c.links[i].distM
+	return c.distM[i]
 }
 
-// advance brings link i's fading state up to the slot containing `now`.
-func (c *Channel) advance(i int, now des.Time) *link {
-	l := &c.links[i]
+// advance brings link i's fading state up to the slot containing `now` and
+// reports it.
+func (c *Channel) advance(i int, now des.Time) int {
 	slot := int64(now) / int64(c.params.FadingSlot)
-	if slot > l.lastSlot {
-		l.state = l.fsmc.Advance(l.state, slot-l.lastSlot, l.src)
-		l.lastSlot = slot
+	if slot > c.lastSlot[i] {
+		c.state[i] = int32(c.fsmcOf(i).Advance(int(c.state[i]), slot-c.lastSlot[i], &c.srcs[i]))
+		c.lastSlot[i] = slot
 	}
-	return l
+	return int(c.state[i])
 }
 
 // SNRdB reports client i's instantaneous SNR at time now.
 func (c *Channel) SNRdB(i int, now des.Time) float64 {
-	l := c.advance(i, now)
-	snr := l.fsmc.RepSNRdB(l.state)
+	st := c.advance(i, now)
+	snr := c.fsmcOf(i).RepSNRdB(st)
 	if c.drifting() {
 		snr += c.MeanSNRdBAt(i, now)
 	}
@@ -308,7 +355,7 @@ func (c *Channel) SNRdB(i int, now des.Time) float64 {
 // Snapshot fills and returns a reused buffer with every client's
 // instantaneous SNR at time now. The buffer is valid until the next call.
 func (c *Channel) Snapshot(now des.Time) []float64 {
-	for i := range c.links {
+	for i := 0; i < c.n; i++ {
 		c.snrBuf[i] = c.SNRdB(i, now)
 	}
 	return c.snrBuf
@@ -326,9 +373,9 @@ func (c *Channel) SelectMCS(i int, now des.Time) (idx int, snrDB float64) {
 // Decode draws whether client i successfully decodes a frame of `bits`
 // information bits sent at MCS index mcs, given its channel state at `now`.
 func (c *Channel) Decode(i int, now des.Time, mcs int, bits int) bool {
-	l := c.advance(i, now)
-	if l.pCache != nil {
-		e := &l.pCache[mcs*c.params.FadingStates+l.state]
+	st := c.advance(i, now)
+	if c.pCache != nil {
+		e := &c.pCache[i*c.pStride+mcs*c.params.FadingStates+st]
 		var p float64
 		switch int32(bits) {
 		case e.bits0:
@@ -336,13 +383,13 @@ func (c *Channel) Decode(i int, now des.Time, mcs int, bits int) bool {
 		case e.bits1:
 			p = e.p1
 		default:
-			p = c.amc.Table[mcs].FrameSuccessProb(l.fsmc.RepSNRdB(l.state), bits)
+			p = c.amc.Table[mcs].FrameSuccessProb(c.fsmcs[i].RepSNRdB(st), bits)
 			e.bits1, e.p1 = e.bits0, e.p0
 			e.bits0, e.p0 = int32(bits), p
 		}
-		return l.src.Bool(p)
+		return c.srcs[i].Bool(p)
 	}
-	snr := l.fsmc.RepSNRdB(l.state) + c.MeanSNRdBAt(i, now)
+	snr := c.fsmc.RepSNRdB(st) + c.MeanSNRdBAt(i, now)
 	p := c.amc.Table[mcs].FrameSuccessProb(snr, bits)
-	return l.src.Bool(p)
+	return c.srcs[i].Bool(p)
 }

@@ -146,9 +146,20 @@ func Stream(seed uint64, name string) *Source {
 // and an integer index, without consuming any draws from r. It is used to
 // give per-client processes their own streams: SubStream(i) for client i.
 func (r *Source) SubStream(index uint64) *Source {
+	src := r.SubStreamValue(index)
+	return &src
+}
+
+// SubStreamValue is SubStream returned by value — the exact same generator,
+// without the allocation — for callers that store sources inline in
+// struct-of-arrays tables (one Source per client/link across a 10⁵-client
+// population is worth keeping off the allocator).
+func (r *Source) SubStreamValue(index uint64) Source {
 	mix := r.s[0] ^ bits.RotateLeft64(r.s[2], 13)
 	state := mix + 0x632be59bd9b4e019*(index+1)
-	return New(splitmix64(&state))
+	var src Source
+	src.Reseed(splitmix64(&state))
+	return src
 }
 
 // Float64 returns a uniform float64 in [0, 1).

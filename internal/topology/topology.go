@@ -172,16 +172,67 @@ func (g Grid) Center(k int) (x, y float64) {
 
 // Nearest reports the cell whose base station is closest to (x, y), breaking
 // ties toward the lowest id so association is deterministic.
+//
+// Only the 3×3 square neighborhood of the containing grid square (clamped to
+// cells that exist; the last row may be ragged) can hold the nearest center:
+// any cell two or more rows/columns away is at least half a pitch farther in
+// true distance than the clamped candidate in its direction, a gap float
+// rounding cannot bridge. That makes association O(1) instead of O(cells),
+// which is what keeps the per-tick handoff scan linear in clients only.
 func (g Grid) Nearest(x, y float64) int {
-	best, bestD2 := 0, math.Inf(1)
-	for k := 0; k < g.n; k++ {
-		cx, cy := g.Center(k)
-		d2 := (x-cx)*(x-cx) + (y-cy)*(y-cy)
-		if d2 < bestD2 {
-			best, bestD2 = k, d2
+	if g.n == 1 {
+		return 0
+	}
+	col := int(x / g.spacing)
+	if col < 0 {
+		col = 0
+	} else if col >= g.cols {
+		col = g.cols - 1
+	}
+	row := int(y / g.spacing)
+	if row < 0 {
+		row = 0
+	} else if row >= g.rows {
+		row = g.rows - 1
+	}
+	best, bestD2 := -1, 0.0
+	for r := row - 1; r <= row+1; r++ {
+		if r < 0 || r >= g.rows {
+			continue
+		}
+		// Rightmost column that holds a base station in row r (the last row
+		// may be ragged when n is not a full cols×rows product).
+		maxCol := g.cols - 1
+		if last := g.n - 1 - r*g.cols; last < maxCol {
+			maxCol = last
+		}
+		for dc := -1; dc <= 1; dc++ {
+			cc := col + dc
+			if cc < 0 {
+				cc = 0
+			} else if cc > maxCol {
+				cc = maxCol
+			}
+			k := r*g.cols + cc
+			d2 := g.dist2(x, y, k)
+			if best < 0 || d2 < bestD2 || (d2 == bestD2 && k < best) {
+				best, bestD2 = k, d2
+			}
 		}
 	}
 	return best
+}
+
+// dist2 is the squared distance from (x, y) to cell k's center, with every
+// intermediate explicitly rounded to float64. The conversions forbid the
+// compiler from fusing multiply-add into an FMA, so the value — and therefore
+// the lowest-id tie-break on exactly equidistant boundary points — is
+// identical on every architecture.
+func (g Grid) dist2(x, y float64, k int) float64 {
+	cx, cy := g.Center(k)
+	dx := x - cx
+	dy := y - cy
+	return float64(dx*dx) + float64(dy*dy)
 }
 
 // Model combines the grid with client motion: it answers where client i is,

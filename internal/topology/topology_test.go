@@ -43,6 +43,98 @@ func TestGridNearestTieBreak(t *testing.T) {
 	}
 }
 
+// nearestBrute is the reference implementation the candidate-set Nearest
+// must match exactly: full scan, strict < so the lowest id wins ties.
+func nearestBrute(g Grid, x, y float64) int {
+	best, bestD2 := 0, math.Inf(1)
+	for k := 0; k < g.n; k++ {
+		d2 := g.dist2(x, y, k)
+		if d2 < bestD2 {
+			best, bestD2 = k, d2
+		}
+	}
+	return best
+}
+
+// TestGridNearestBoundaryPoints pins the deterministic tie-break on points
+// that are exactly equidistant from several centers. Power-of-two spacing
+// keeps every coordinate exact in binary floating point, so the squared
+// distances compare equal down to the last bit and the lowest id must win
+// regardless of architecture or scan order.
+func TestGridNearestBoundaryPoints(t *testing.T) {
+	g := Grid{n: 9, cols: 3, rows: 3, spacing: 512}
+	s := g.spacing
+	cases := []struct {
+		name string
+		x, y float64
+		want int
+	}{
+		{"center of cell 4", 1.5 * s, 1.5 * s, 4},
+		{"edge midpoint between 0 and 1", s, 0.5 * s, 0},
+		{"edge midpoint between 1 and 2", 2 * s, 0.5 * s, 1},
+		{"edge midpoint between 0 and 3", 0.5 * s, s, 0},
+		{"corner point of 0,1,3,4", s, s, 0},
+		{"corner point of 4,5,7,8", 2 * s, 2 * s, 4},
+		{"corner point of 1,2,4,5", 2 * s, s, 1},
+		{"area origin", 0, 0, 0},
+		{"far corner", 3 * s, 3 * s, 8},
+		{"outside left edge", -10, 1.5 * s, 3},
+		{"outside bottom edge", 1.5 * s, -10, 1},
+		{"outside far corner", 4 * s, 4 * s, 8},
+	}
+	for _, c := range cases {
+		if got := g.Nearest(c.x, c.y); got != c.want {
+			t.Errorf("%s: Nearest(%v, %v) = %d, want %d", c.name, c.x, c.y, got, c.want)
+		}
+	}
+
+	// Ragged grid: 10 cells in a 4×3 rectangle leaves columns 2 and 3 of the
+	// top row empty; points there must associate with an existing station.
+	rg := NewGrid(10, 500)
+	sx := rg.spacing
+	ragged := []struct {
+		name string
+		x, y float64
+		want int
+	}{
+		{"ghost square above 6", 2.5 * sx, 2.5 * sx, 6},
+		{"ghost square above 7", 3.5 * sx, 2.5 * sx, 7},
+	}
+	for _, c := range ragged {
+		if got := rg.Nearest(c.x, c.y); got != c.want {
+			t.Errorf("%s: Nearest(%v, %v) = %d, want %d", c.name, c.x, c.y, got, c.want)
+		}
+	}
+}
+
+// TestGridNearestMatchesBruteForce sweeps random and adversarial points over
+// many grid shapes (including ragged last rows) and checks the O(1)
+// candidate-set Nearest agrees with the full scan everywhere.
+func TestGridNearestMatchesBruteForce(t *testing.T) {
+	r := rng.New(11)
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 9, 10, 12, 16, 23, 64} {
+		g := NewGrid(n, 500)
+		w, h := g.WidthM(), g.HeightM()
+		check := func(x, y float64) {
+			t.Helper()
+			if got, want := g.Nearest(x, y), nearestBrute(g, x, y); got != want {
+				t.Fatalf("n=%d: Nearest(%v, %v) = %d, brute force %d", n, x, y, got, want)
+			}
+		}
+		for i := 0; i < 500; i++ {
+			check(r.Uniform(-0.1*w, 1.1*w), r.Uniform(-0.1*h, 1.1*h))
+		}
+		// Exact square boundaries and centers, where ties concentrate.
+		for k := 0; k < n; k++ {
+			cx, cy := g.Center(k)
+			check(cx, cy)
+			check(cx+g.spacing/2, cy)
+			check(cx, cy+g.spacing/2)
+			check(cx+g.spacing/2, cy+g.spacing/2)
+		}
+	}
+}
+
 func TestConfigValidate(t *testing.T) {
 	if err := (Config{}).Validate(); err != nil {
 		t.Fatalf("zero config (disabled) must validate: %v", err)
