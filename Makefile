@@ -59,12 +59,13 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench . ./internal/obs
 
 # bench-json refreshes the committed perf record BENCH_1.json: it runs the
-# engine throughput and tracer-overhead benchmarks, preserves the pinned
-# pre-overhaul `baseline` block, rewrites `current`, and fails when events/s
-# drops more than 15% below the committed current — the perf ratchet CI
-# enforces. See EXPERIMENTS.md for the BENCH_<n>.json convention.
+# engine throughput, tracer-overhead, and quantile-sketch benchmarks,
+# preserves the pinned pre-overhaul `baseline` block, rewrites `current`, and
+# fails when events/s drops (or a sketch cost climbs) more than 15% against
+# the committed current — the perf ratchet CI enforces. See EXPERIMENTS.md
+# for the BENCH_<n>.json convention.
 bench-json:
-	$(GO) test -run '^$$' -bench 'Engine$$|TracerOverhead' -benchtime 5x -benchmem . \
+	$(GO) test -run '^$$' -bench 'Engine$$|TracerOverhead|SketchObserve$$|SketchMerge$$' -benchtime 5x -benchmem . \
 		| $(GO) run ./cmd/wdcbench -baseline BENCH_1.json -out BENCH_1.json -max-regress-pct 15
 
 # bench-city refreshes the committed capacity record BENCH_2.json: a

@@ -14,12 +14,14 @@ package repro
 import (
 	"fmt"
 	"io"
+	"math"
 	"runtime"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/des"
 	"repro/internal/experiment"
+	"repro/internal/metrics"
 	"repro/internal/obs"
 )
 
@@ -139,6 +141,58 @@ func BenchmarkEngine(b *testing.B) {
 	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
 	b.ReportMetric(simSec/b.Elapsed().Seconds(), "simsec/s")
 	b.ReportMetric(float64(ms.Mallocs-mallocs)/float64(events), "allocs/event")
+}
+
+// benchSketchSamples generates a deterministic log-uniform delay stream in
+// [100 µs, 100 s) — the range a query-delay sketch actually sees.
+func benchSketchSamples(n int) []float64 {
+	out := make([]float64, n)
+	state := uint64(0x9e3779b97f4a7c15)
+	for i := range out {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		u := float64(state>>11) / float64(1<<53)
+		out[i] = 1e-4 * math.Pow(1e6, u)
+	}
+	return out
+}
+
+// BenchmarkSketchObserve measures the per-sample cost of the quantile sketch
+// on the delay-observation hot path. Each iteration observes a fixed batch so
+// the "ns/observe" metric stays stable even at the ratchet's low -benchtime;
+// wdcbench records it as sketch_observe_ns under the ±15% gate.
+func BenchmarkSketchObserve(b *testing.B) {
+	const batch = 1 << 14
+	samples := benchSketchSamples(batch)
+	s := metrics.NewDelaySketch()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, x := range samples {
+			s.Observe(x)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batch), "ns/observe")
+}
+
+// BenchmarkSketchMerge measures the cost of folding one populated delay
+// sketch into another — the per-replication aggregation step. Merge cost is
+// O(buckets) regardless of counts, so merging into one accumulator repeatedly
+// is representative; wdcbench records "ns/merge" as sketch_merge_ns.
+func BenchmarkSketchMerge(b *testing.B) {
+	const merges = 128
+	src := metrics.NewDelaySketch()
+	for _, x := range benchSketchSamples(1 << 14) {
+		src.Observe(x)
+	}
+	dst := metrics.NewDelaySketch()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < merges; j++ {
+			dst.Merge(src)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*merges), "ns/merge")
 }
 
 // BenchmarkTracerOverhead measures the simulator at the tracer's three

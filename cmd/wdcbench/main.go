@@ -3,10 +3,11 @@
 //
 // It reads the benchmark stream on stdin — typically
 //
-//	go test -run '^$' -bench 'Engine$|TracerOverhead' -benchmem . | wdcbench
+//	go test -run '^$' -bench 'Engine$|TracerOverhead|SketchObserve$|SketchMerge$' -benchmem . | wdcbench
 //
-// extracts the engine's events/s and allocs/event plus the tracer-overhead
-// variants, and writes a JSON record with three blocks:
+// extracts the engine's events/s and allocs/event, the tracer-overhead
+// variants, and the quantile-sketch observe/merge costs, and writes a JSON
+// record with three blocks:
 //
 //	baseline   the pinned "before" reference; preserved from the existing
 //	           record (or initialized to the current run if absent)
@@ -15,8 +16,9 @@
 //
 // With -max-regress-pct set, wdcbench exits non-zero when the current
 // events/s falls more than that percentage below the committed record's
-// current block (falling back to baseline for a fresh record) — the ratchet
-// CI uses to catch hot-path regressions. The record is written before the
+// current block (falling back to baseline for a fresh record), or when a
+// sketch cost climbs more than that percentage above it — the ratchet CI
+// uses to catch hot-path regressions. The record is written before the
 // gate decision so a failing run still leaves its evidence behind.
 package main
 
@@ -36,6 +38,8 @@ type Record struct {
 	EngineSimSecPerSec   float64            `json:"engine_simsec_per_sec,omitempty"`
 	EngineAllocsPerEvent float64            `json:"engine_allocs_per_event"`
 	TracerEventsPerSec   map[string]float64 `json:"tracer_events_per_sec,omitempty"`
+	SketchObserveNs      float64            `json:"sketch_observe_ns,omitempty"`
+	SketchMergeNs        float64            `json:"sketch_merge_ns,omitempty"`
 }
 
 // File is the on-disk layout of BENCH_<n>.json.
@@ -95,11 +99,17 @@ func main() {
 			current.TracerEventsPerSec[variant] = m["events/s"]
 		}
 	}
+	if m, ok := metrics["BenchmarkSketchObserve"]; ok {
+		current.SketchObserveNs = m["ns/observe"]
+	}
+	if m, ok := metrics["BenchmarkSketchMerge"]; ok {
+		current.SketchMergeNs = m["ns/merge"]
+	}
 
 	prior := readFile(*baseline)
 	rec := File{
 		Schema:  "wdc-bench-v1",
-		Command: "go test -run '^$' -bench 'Engine$|TracerOverhead' -benchtime 5x -benchmem .",
+		Command: "go test -run '^$' -bench 'Engine$|TracerOverhead|SketchObserve$|SketchMerge$' -benchtime 5x -benchmem .",
 		Current: current,
 	}
 	if prior != nil && prior.Baseline != nil {
@@ -112,12 +122,22 @@ func main() {
 		"events_per_sec":   pct(current.EngineEventsPerSec, rec.Baseline.EngineEventsPerSec),
 		"allocs_per_event": pct(current.EngineAllocsPerEvent, rec.Baseline.EngineAllocsPerEvent),
 	}
+	if current.SketchObserveNs > 0 && rec.Baseline.SketchObserveNs > 0 {
+		rec.DeltaPct["sketch_observe_ns"] = pct(current.SketchObserveNs, rec.Baseline.SketchObserveNs)
+	}
+	if current.SketchMergeNs > 0 && rec.Baseline.SketchMergeNs > 0 {
+		rec.DeltaPct["sketch_merge_ns"] = pct(current.SketchMergeNs, rec.Baseline.SketchMergeNs)
+	}
 	if err := writeFile(*out, &rec); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("wdcbench: %s: %.0f events/s (%+.1f%% vs baseline), %.3f allocs/event (%+.1f%%)\n",
 		*out, current.EngineEventsPerSec, rec.DeltaPct["events_per_sec"],
 		current.EngineAllocsPerEvent, rec.DeltaPct["allocs_per_event"])
+	if current.SketchObserveNs > 0 {
+		fmt.Printf("wdcbench: sketch observe %.1f ns, merge %.1f ns\n",
+			current.SketchObserveNs, current.SketchMergeNs)
+	}
 
 	if *maxRegress > 0 && prior != nil {
 		ref := prior.Current
@@ -129,6 +149,25 @@ func main() {
 			if current.EngineEventsPerSec < floor {
 				fatal(fmt.Errorf("events/s regression: %.0f < %.0f (%.0f%% of committed %.0f)",
 					current.EngineEventsPerSec, floor, 100-*maxRegress, ref.EngineEventsPerSec))
+			}
+		}
+		// Sketch costs are lower-is-better: a regression is ns/op climbing
+		// above the committed record by more than the allowed percentage.
+		// Skipped when the committed record predates the sketch metrics.
+		for _, g := range []struct {
+			name     string
+			cur, ref float64
+		}{
+			{"sketch observe ns", current.SketchObserveNs, ref.SketchObserveNs},
+			{"sketch merge ns", current.SketchMergeNs, ref.SketchMergeNs},
+		} {
+			if g.ref <= 0 || g.cur <= 0 {
+				continue
+			}
+			ceiling := g.ref * (1 + *maxRegress/100)
+			if g.cur > ceiling {
+				fatal(fmt.Errorf("%s regression: %.1f > %.1f (%.0f%% over committed %.1f)",
+					g.name, g.cur, ceiling, *maxRegress, g.ref))
 			}
 		}
 	}

@@ -6,6 +6,18 @@
 //
 //	wdcsweep -exp all -out results
 //	wdcreport -in results -out report.md
+//
+// With -diff it instead compares two run artifacts written by
+// `wdcsweep -store` (paths to run.json files or their directories),
+// rendering per-metric deltas with confidence intervals and a delay
+// quantile shift table:
+//
+//	wdcsweep -exp F1 -store runA
+//	wdcsweep -exp F1 -store runB
+//	wdcreport -diff runA runB
+//
+// In diff mode the exit status is 0 when no delta clears the combined 95%
+// confidence threshold and 1 when at least one does, so CI can gate on it.
 package main
 
 import (
@@ -17,6 +29,7 @@ import (
 	"strings"
 
 	"repro/internal/experiment"
+	"repro/internal/resultstore"
 )
 
 func main() {
@@ -24,7 +37,16 @@ func main() {
 	out := flag.String("out", "", "markdown output file (default stdout)")
 	width := flag.Int("width", 64, "chart width")
 	height := flag.Int("height", 16, "chart height")
+	diff := flag.Bool("diff", false, "compare two run artifacts: wdcreport -diff runA runB")
 	flag.Parse()
+
+	if *diff {
+		if flag.NArg() != 2 {
+			fatal(fmt.Errorf("-diff needs exactly two run paths, got %d", flag.NArg()))
+		}
+		runDiff(flag.Arg(0), flag.Arg(1), *out)
+		return
+	}
 
 	files, err := filepath.Glob(filepath.Join(*in, "*.csv"))
 	if err != nil {
@@ -80,6 +102,32 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintln(os.Stderr, "wrote", *out)
+}
+
+// runDiff loads two artifacts, renders their comparison, and exits 1 when
+// any metric delta is significant (for CI gating).
+func runDiff(pathA, pathB, outPath string) {
+	runA, err := resultstore.Load(pathA)
+	if err != nil {
+		fatal(err)
+	}
+	runB, err := resultstore.Load(pathB)
+	if err != nil {
+		fatal(err)
+	}
+	d := resultstore.Compare(runA, runB)
+	report := d.Markdown()
+	if outPath == "" {
+		fmt.Print(report)
+	} else if err := os.WriteFile(outPath, []byte(report), 0o644); err != nil {
+		fatal(err)
+	} else {
+		fmt.Fprintln(os.Stderr, "wrote", outPath)
+	}
+	if n := d.Significant(); n > 0 {
+		fmt.Fprintf(os.Stderr, "wdcreport: %d significant delta(s)\n", n)
+		os.Exit(1)
+	}
 }
 
 func fatal(err error) {

@@ -7,6 +7,7 @@
 //	wdcsweep -exp all -out results # run everything, write CSVs as well
 //	wdcsweep -exp F1 -quick        # 2 reps at a quarter horizon (smoke)
 //	wdcsweep -exp all -out results -resume   # continue an interrupted run
+//	wdcsweep -exp F1 -store runA   # also write a versioned run artifact
 //
 // Tables print to stdout; -out writes one CSV per experiment into the given
 // directory plus a checkpoint.jsonl with one JSON record per completed
@@ -16,12 +17,17 @@
 // (cell × replication) units, so even a single small figure uses every
 // core.
 //
+// -store writes the completed sweep as a strict-JSON run artifact
+// (internal/resultstore: config hash, build metadata, per-point metric
+// summaries and merged delay sketches) that `wdcreport -diff` compares.
+//
 // Observability: -debug-addr :6060 serves net/http/pprof plus a live JSON
 // progress snapshot at /debug/sweep (units and cells done, events/sec,
-// worker utilization, ETA, per-algorithm breakdown). A perf table per
-// experiment goes to stderr after the run. -quiet (or -q) silences all
-// progress; the \r progress line is also auto-suppressed when stderr is
-// not a terminal.
+// worker utilization, ETA, per-algorithm breakdown, windowed per-cell
+// rollups) and a Prometheus text exposition of the same counters at
+// /metrics. A perf table per experiment goes to stderr after the run.
+// -quiet (or -q) silences all progress; the \r progress line is also
+// auto-suppressed when stderr is not a terminal.
 package main
 
 import (
@@ -33,6 +39,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/exec"
 	"os/signal"
 	"path/filepath"
 	"strings"
@@ -42,6 +49,7 @@ import (
 	"repro/internal/des"
 	"repro/internal/experiment"
 	"repro/internal/obs"
+	"repro/internal/resultstore"
 )
 
 func main() {
@@ -58,6 +66,7 @@ func main() {
 	quietShort := flag.Bool("q", false, "suppress progress and status lines")
 	quietLong := flag.Bool("quiet", false, "alias for -q")
 	debugAddr := flag.String("debug-addr", "", "serve pprof and a live sweep snapshot on this address (e.g. :6060)")
+	storeDir := flag.String("store", "", "write a versioned run artifact (run.json) into this directory; compare two with wdcreport -diff")
 	flag.Parse()
 
 	quiet := *quietShort || *quietLong
@@ -211,6 +220,30 @@ func main() {
 			}
 		}
 	}
+
+	if *storeDir != "" {
+		run, err := resultstore.New(results, base, r, time.Now().Unix(), gitCommit())
+		if err != nil {
+			fatal(err)
+		}
+		path, err := resultstore.Save(*storeDir, run)
+		if err != nil {
+			fatal(err)
+		}
+		if !quiet {
+			fmt.Fprintf(os.Stderr, "wrote %s (config %s)\n", path, run.ConfigHash[:12])
+		}
+	}
+}
+
+// gitCommit best-effort resolves the working tree's HEAD for artifact
+// provenance; empty when the binary runs outside a checkout.
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
 }
 
 // stderrIsTerminal reports whether stderr is attached to a character device
@@ -231,12 +264,13 @@ func serveDebug(addr string, mon *obs.SweepMonitor, quiet bool) {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/sweep", mon)
+	mux.Handle("/metrics", mon.MetricsHandler())
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		fatal(fmt.Errorf("debug server: %w", err))
 	}
 	if !quiet {
-		fmt.Fprintf(os.Stderr, "wdcsweep: debug server at http://%s/debug/sweep (pprof under /debug/pprof/)\n",
+		fmt.Fprintf(os.Stderr, "wdcsweep: debug server at http://%s/debug/sweep (Prometheus at /metrics, pprof under /debug/pprof/)\n",
 			ln.Addr())
 	}
 	go func() { _ = http.Serve(ln, mux) }()

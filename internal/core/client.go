@@ -39,13 +39,13 @@ func (c client) clrFlag(bit uint8)   { c.sim.ct.flags[c.id] &^= bit }
 // online reports whether the client participates in the protocol at all.
 func (c client) online() bool { return c.sim.ct.online(c.id) }
 
-func (c client) cell() *Cell               { return c.sim.cells[c.sim.ct.cell[c.id]] }
-func (c client) cache() *cache.Cache       { return &c.sim.ct.caches[c.id] }
-func (c client) istate() *ir.ClientState   { return &c.sim.ct.istate[c.id] }
+func (c client) cell() *Cell                { return c.sim.cells[c.sim.ct.cell[c.id]] }
+func (c client) cache() *cache.Cache        { return &c.sim.ct.caches[c.id] }
+func (c client) istate() *ir.ClientState    { return &c.sim.ct.istate[c.id] }
 func (c client) sampler() *workload.Sampler { return &c.sim.ct.samplers[c.id] }
-func (c client) meter() *energy.Meter      { return &c.sim.ct.meters[c.id] }
-func (c client) src() *rng.Source          { return &c.sim.ct.csrcs[c.id] }
-func (c client) stats() *clientStats       { return &c.sim.ct.stats[c.id] }
+func (c client) meter() *energy.Meter       { return &c.sim.ct.meters[c.id] }
+func (c client) src() *rng.Source           { return &c.sim.ct.csrcs[c.id] }
+func (c client) stats() *clientStats        { return &c.sim.ct.stats[c.id] }
 
 // cold returns the client's fault-layer row; only valid once ensureCold ran.
 func (c client) cold() *clientCold { return &c.sim.ct.cold[c.id] }
@@ -102,6 +102,7 @@ func (c client) issueQuery() {
 	now := c.sim.sch.Now()
 	item := c.sampler().NextItem()
 	t.pending[c.id] = append(t.pending[c.id], pendingQuery{item: item, issued: now})
+	c.sim.rollupQuery(now, t.cell[c.id])
 	if now >= c.sim.warmupAt {
 		t.stats[c.id].queries++
 	}
@@ -167,6 +168,7 @@ func (c client) wake() {
 // onReport handles a decoded invalidation report (standalone or piggyback).
 func (c client) onReport(r *ir.Report) {
 	c.stats().reportsDecoded++
+	c.sim.rollupReport(c.sim.ct.cell[c.id])
 	validated := c.istate().Process(r, c.cache(), c.sim.oracle, c.src())
 	if validated {
 		if c.flag(cfRecovering) {
@@ -291,6 +293,8 @@ func (c client) answer(q pendingQuery, now des.Time, fromCache bool) {
 		tr.Query(obs.QueryEvent{At: now, Client: c.id, Cell: int(c.sim.ct.cell[c.id]),
 			Item: q.item, Hit: fromCache, DelaySec: now.Sub(q.issued).Seconds()})
 	}
+	// Rollups, like traces, cover the whole run including warmup.
+	c.sim.rollupAnswer(now, c.sim.ct.cell[c.id], fromCache, now.Sub(q.issued).Seconds())
 	if q.issued < c.sim.warmupAt {
 		return // warmup transient: not measured
 	}
@@ -307,7 +311,9 @@ func (c client) answer(q pendingQuery, now des.Time, fromCache bool) {
 // since that time, the cached version must match the database exactly.
 func (c client) checkConsistency(e cache.Entry, asOf des.Time) {
 	it := c.sim.db.Item(e.ID)
-	if it.UpdatedAt <= asOf && e.Version != it.Version {
+	stale := it.UpdatedAt <= asOf && e.Version != it.Version
+	if stale {
 		c.stats().stale++
 	}
+	c.sim.rollupStaleCheck(c.sim.ct.cell[c.id], stale)
 }

@@ -102,6 +102,18 @@ type Config struct {
 	// cheap and must not touch simulation state. Process-local; excluded
 	// from JSON round-trips.
 	OnEventPulse func(delta uint64)
+
+	// Rollup, when non-nil, receives per-cell tumbling-window rollups of
+	// simulated time (query/answer/stale-check/report counters plus a delay
+	// sketch per window; see obs.RollupFlush). Windows close lazily at the
+	// first observation past the boundary — never via scheduled events — so
+	// enabling rollups cannot perturb results. Process-local; excluded from
+	// JSON round-trips.
+	Rollup obs.RollupSink
+
+	// RollupWindowSec is the rollup window width in simulated seconds; ≤ 0
+	// means 60. Meaningless without Rollup, and process-local like it.
+	RollupWindowSec float64
 }
 
 // DefaultConfig returns the evaluation defaults: 100 clients, 100-entry

@@ -63,9 +63,10 @@ func (c *Config) FromJSON(data []byte) error {
 	return nil
 }
 
-// configJSON exists so the exported hook fields (Tracer, OnEventPulse) can
-// be skipped without tagging the public struct: it shadows Config and drops
-// them during conversion.
+// configJSON exists so the exported process-local fields (Tracer,
+// OnEventPulse, Rollup, RollupWindowSec) can be skipped without tagging the
+// public struct: it shadows Config and the alias below names only the
+// serializable fields.
 type configJSON Config
 
 // MarshalJSON implements json.Marshaler, excluding the hook.

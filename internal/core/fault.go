@@ -422,6 +422,7 @@ func (c client) onCatchup(r *ir.Report, ok bool) {
 		return
 	}
 	c.stats().reportsDecoded++
+	c.sim.rollupReport(c.sim.ct.cell[c.id])
 	if c.istate().Process(r, c.cache(), c.sim.oracle, c.src()) {
 		c.completeRecovery(obs.RecoveryViaCatchup)
 		c.drainPending(r)

@@ -21,6 +21,10 @@ type Aggregate struct {
 
 	MeanDelay      metrics.Summary
 	P95Delay       metrics.Summary
+	P50Delay       metrics.Summary
+	P90Delay       metrics.Summary
+	P99Delay       metrics.Summary
+	P999Delay      metrics.Summary
 	HitRatio       metrics.Summary
 	UplinkPerAns   metrics.Summary
 	OverheadBps    metrics.Summary
@@ -41,7 +45,24 @@ type Aggregate struct {
 	Answered        uint64
 	PendingAtEnd    int
 
+	// DelaySketch is the population digest: every replication's delay sketch
+	// merged in replication order. Because sketch merge is exactly
+	// commutative/associative, the result is byte-identical however the
+	// replications were scheduled or whether they were restored from a
+	// checkpoint. Nil when no replication carried a sketch (pre-sketch
+	// checkpoints).
+	DelaySketch *metrics.Sketch
+
 	Runs []*RunStats
+}
+
+// SketchQuantile reports the q-quantile of the merged population delay
+// sketch, or NaN when no sketch was folded.
+func (a *Aggregate) SketchQuantile(q float64) float64 {
+	if a.DelaySketch == nil {
+		return math.NaN()
+	}
+	return a.DelaySketch.Quantile(q)
 }
 
 // JSONFloat is a float64 whose JSON encoding represents NaN as null, so
@@ -81,6 +102,10 @@ type RepValues struct {
 	Seed            uint64    `json:"seed"`
 	MeanDelay       JSONFloat `json:"delay"`
 	P95Delay        JSONFloat `json:"p95"`
+	P50Delay        JSONFloat `json:"p50"`  // absent in pre-sketch checkpoints → 0
+	P90Delay        JSONFloat `json:"p90"`  // absent in pre-sketch checkpoints → 0
+	P99Delay        JSONFloat `json:"p99"`  // absent in pre-sketch checkpoints → 0
+	P999Delay       JSONFloat `json:"p999"` // absent in pre-sketch checkpoints → 0
 	HitRatio        JSONFloat `json:"hit"`
 	UplinkPerAns    JSONFloat `json:"uplink"`
 	OverheadBps     JSONFloat `json:"overhead"`
@@ -96,6 +121,11 @@ type RepValues struct {
 	Queries         uint64    `json:"queries"`
 	Answered        uint64    `json:"answered"`
 	PendingAtEnd    int       `json:"pending"`
+
+	// Sketch is the replication's serialized delay sketch (metrics.Sketch
+	// binary format, base64 in JSON). Empty in pre-sketch checkpoints; the
+	// aggregate then simply has no population digest for that replication.
+	Sketch []byte `json:"sketch,omitempty"`
 }
 
 // Values extracts the aggregable scalars of one replication. numClients
@@ -109,10 +139,19 @@ func (r *RunStats) Values(numClients int) RepValues {
 		hoffs = float64(r.Handoffs) / float64(numClients) / (r.MeasuredSec / 3600)
 		outlost = float64(r.QueriesLostToOutage) / float64(numClients) / (r.MeasuredSec / 3600)
 	}
+	var sketch []byte
+	if r.DelaySketch != nil {
+		sketch = r.DelaySketch.AppendBinary(nil)
+	}
 	return RepValues{
 		Seed:            r.Seed,
 		MeanDelay:       JSONFloat(r.MeanDelay),
 		P95Delay:        JSONFloat(r.P95Delay),
+		P50Delay:        JSONFloat(r.P50Delay),
+		P90Delay:        JSONFloat(r.P90Delay),
+		P99Delay:        JSONFloat(r.P99Delay),
+		P999Delay:       JSONFloat(r.P999Delay),
+		Sketch:          sketch,
 		HitRatio:        JSONFloat(r.HitRatio),
 		UplinkPerAns:    JSONFloat(r.UplinkPerAnswer()),
 		OverheadBps:     JSONFloat(r.OverheadBitsPerSec()),
@@ -138,6 +177,18 @@ func (a *Aggregate) addValues(v RepValues) {
 	a.Reps++
 	a.MeanDelay.Add(float64(v.MeanDelay))
 	a.P95Delay.Add(float64(v.P95Delay))
+	a.P50Delay.Add(float64(v.P50Delay))
+	a.P90Delay.Add(float64(v.P90Delay))
+	a.P99Delay.Add(float64(v.P99Delay))
+	a.P999Delay.Add(float64(v.P999Delay))
+	// Fold the serialized sketch through the same decode path the checkpoint
+	// restore uses, so live and restored aggregates are bit-identical.
+	if s, err := metrics.DecodeSketch(v.Sketch); err == nil && s != nil {
+		if a.DelaySketch == nil {
+			a.DelaySketch = metrics.NewDelaySketch()
+		}
+		a.DelaySketch.Merge(s)
+	}
 	a.HitRatio.Add(float64(v.HitRatio))
 	a.UplinkPerAns.Add(float64(v.UplinkPerAns))
 	a.OverheadBps.Add(float64(v.OverheadBps))

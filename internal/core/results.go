@@ -29,6 +29,14 @@ type RunStats struct {
 	MaxDelay    float64
 	HitRatio    float64
 
+	// Tail quantiles from the mergeable delay sketch. P95Delay above stays
+	// the exact histogram estimate for continuity; these four come from the
+	// sketch so they compose across replications by sketch merge.
+	P50Delay  float64
+	P90Delay  float64
+	P99Delay  float64
+	P999Delay float64
+
 	// Consistency.
 	StaleViolations uint64
 	CacheDrops      uint64 // full-cache flushes forced by coverage loss
@@ -100,6 +108,14 @@ type RunStats struct {
 
 	DelaySeries metrics.Series
 	DelayHist   *metrics.Histogram
+
+	// Mergeable quantile sketches over the measured window: every post-warmup
+	// query delay (seconds) and each client's total energy (joules). Unlike
+	// DelaySeries/DelayHist these survive aggregation — merging the sketches
+	// of all replications, in any order, yields byte-identical population
+	// digests (see metrics.Sketch).
+	DelaySketch  *metrics.Sketch
+	EnergySketch *metrics.Sketch
 }
 
 // collect builds RunStats from the simulation's post-warmup deltas.
@@ -111,10 +127,16 @@ func (s *Simulation) collect(end des.Time) *RunStats {
 		MeasuredSec:    measured,
 		DelaySeries:    s.delay.Series(),
 		DelayHist:      s.delay.Histogram(),
+		DelaySketch:    s.delay.Sketch(),
+		EnergySketch:   metrics.NewEnergySketch(),
 		MeanDelay:      s.delay.Mean(),
 		DelayCI95:      s.delay.CI95(),
 		P95Delay:       s.delay.Quantile(0.95),
 		MaxDelay:       s.delay.Max(),
+		P50Delay:       s.delay.Sketch().Quantile(0.50),
+		P90Delay:       s.delay.Sketch().Quantile(0.90),
+		P99Delay:       s.delay.Sketch().Quantile(0.99),
+		P999Delay:      s.delay.Sketch().Quantile(0.999),
 		Updates:        s.db.Updates() - s.snapUpd,
 		NumCells:       len(s.cells),
 		Handoffs:       s.handoffs,
@@ -145,7 +167,9 @@ func (s *Simulation) collect(end des.Time) *RunStats {
 		for k, v := range st.drainedVia {
 			r.AnsweredVia[k] += v
 		}
-		r.EnergyJoules += s.ct.meters[i].Energy(measured)
+		e := s.ct.meters[i].Energy(measured)
+		r.EnergyJoules += e
+		r.EnergySketch.Observe(e) // ascending client id: deterministic order
 		r.PendingAtEnd += len(s.ct.pending[i])
 	}
 	r.Answered = r.CacheHits + r.MissAnswers
@@ -260,6 +284,10 @@ func (r *RunStats) MarshalJSON() ([]byte, error) {
 		"DelayCI95":            jsonSafe(r.DelayCI95),
 		"P95Delay":             jsonSafe(r.P95Delay),
 		"MaxDelay":             jsonSafe(r.MaxDelay),
+		"P50Delay":             jsonSafe(r.P50Delay),
+		"P90Delay":             jsonSafe(r.P90Delay),
+		"P99Delay":             jsonSafe(r.P99Delay),
+		"P999Delay":            jsonSafe(r.P999Delay),
 		"HitRatio":             jsonSafe(r.HitRatio),
 		"StaleViolations":      r.StaleViolations,
 		"CacheDrops":           r.CacheDrops,

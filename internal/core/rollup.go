@@ -1,0 +1,195 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/des"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+)
+
+// defaultRollupWindowSec is the tumbling-window width when Config.Rollup is
+// set but RollupWindowSec is not.
+const defaultRollupWindowSec = 60
+
+// rollupState accumulates per-cell query-path activity over tumbling windows
+// of simulated time and emits each closed window to the configured sink.
+//
+// Collection is strictly lazy: windows close at the first observation past
+// the boundary (or at end of run), never via scheduled events. That is the
+// whole trick that keeps rollups free under the determinism contract — no
+// new DES events means no new same-timestamp tie-breaking, no extra RNG
+// draws, and byte-identical results with the sink attached or not (pinned
+// by TestRollupsDoNotPerturb).
+type rollupState struct {
+	sink       obs.RollupSink
+	win        float64 // window width, simulated seconds
+	start      float64 // current window start, an aligned multiple of win
+	lastEvents uint64  // scheduler Executed() at the previous flush
+	dirty      bool    // any activity recorded since the previous flush
+	cells      []rollupCellAcc
+	out        []obs.RollupCell // reused flush buffer
+}
+
+type rollupCellAcc struct {
+	queries         uint64
+	answers         uint64
+	hits            uint64
+	staleChecks     uint64
+	staleViolations uint64
+	reports         uint64
+	delay           *metrics.Sketch // lazily allocated on the first answer
+}
+
+func (a *rollupCellAcc) active() bool {
+	return a.queries|a.answers|a.hits|a.staleChecks|a.staleViolations|a.reports != 0
+}
+
+func (a *rollupCellAcc) reset() {
+	*a = rollupCellAcc{delay: a.delay}
+	if a.delay != nil {
+		a.delay.Reset()
+	}
+}
+
+// initRollup arms rollup collection when the config carries a sink.
+func (s *Simulation) initRollup() {
+	if s.cfg.Rollup == nil {
+		return
+	}
+	win := s.cfg.RollupWindowSec
+	if win <= 0 {
+		win = defaultRollupWindowSec
+	}
+	s.rollup = &rollupState{
+		sink:  s.cfg.Rollup,
+		win:   win,
+		cells: make([]rollupCellAcc, len(s.cells)),
+	}
+}
+
+// rollupNote advances the window clock to now, flushing the open window if
+// now crossed its boundary, and returns the state (nil when disabled). Every
+// recording helper calls it first, so a window closes at the first
+// observation beyond its end.
+func (s *Simulation) rollupNote(now des.Time) *rollupState {
+	r := s.rollup
+	if r == nil {
+		return nil
+	}
+	if t := now.Seconds(); t >= r.start+r.win {
+		s.rollupEmit(r.start + r.win)
+		// Jump to the aligned window containing now; the skipped windows
+		// saw no observations and are not emitted.
+		r.start = math.Floor(t/r.win) * r.win
+	}
+	return r
+}
+
+// rollupEmit flushes the open window with the given end time and resets the
+// accumulators. Windows with no activity are skipped (their event delta
+// rides along with the next flush).
+func (s *Simulation) rollupEmit(end float64) {
+	r := s.rollup
+	if !r.dirty {
+		return
+	}
+	r.out = r.out[:0]
+	for i := range r.cells {
+		a := &r.cells[i]
+		if !a.active() {
+			continue
+		}
+		r.out = append(r.out, obs.RollupCell{
+			Cell:            i,
+			Queries:         a.queries,
+			Answers:         a.answers,
+			Hits:            a.hits,
+			StaleChecks:     a.staleChecks,
+			StaleViolations: a.staleViolations,
+			Reports:         a.reports,
+			Delay:           a.delay,
+		})
+	}
+	ev := s.sch.Executed()
+	r.sink(obs.RollupFlush{
+		Algo:   s.cfg.Algorithm,
+		Start:  r.start,
+		End:    end,
+		Events: ev - r.lastEvents,
+		Cells:  r.out,
+	})
+	r.lastEvents = ev
+	r.dirty = false
+	for i := range r.cells {
+		r.cells[i].reset()
+	}
+}
+
+// rollupFinal flushes the partial window still open at the horizon.
+func (s *Simulation) rollupFinal(end des.Time) {
+	r := s.rollup
+	if r == nil || !r.dirty {
+		return
+	}
+	e := end.Seconds()
+	if full := r.start + r.win; e > full {
+		e = full
+	}
+	s.rollupEmit(e)
+}
+
+// cellAcc maps a client's cell id to its accumulator, nil when the id is out
+// of the table (defensive: rollups must never panic a run).
+func (r *rollupState) cellAcc(cell int32) *rollupCellAcc {
+	if int(cell) >= len(r.cells) || cell < 0 {
+		return nil
+	}
+	return &r.cells[cell]
+}
+
+func (s *Simulation) rollupQuery(now des.Time, cell int32) {
+	if r := s.rollupNote(now); r != nil {
+		if a := r.cellAcc(cell); a != nil {
+			a.queries++
+			r.dirty = true
+		}
+	}
+}
+
+func (s *Simulation) rollupAnswer(now des.Time, cell int32, hit bool, delaySec float64) {
+	if r := s.rollupNote(now); r != nil {
+		if a := r.cellAcc(cell); a != nil {
+			a.answers++
+			if hit {
+				a.hits++
+			}
+			if a.delay == nil {
+				a.delay = metrics.NewDelaySketch()
+			}
+			a.delay.Observe(delaySec)
+			r.dirty = true
+		}
+	}
+}
+
+func (s *Simulation) rollupStaleCheck(cell int32, violation bool) {
+	if r := s.rollupNote(s.sch.Now()); r != nil {
+		if a := r.cellAcc(cell); a != nil {
+			a.staleChecks++
+			if violation {
+				a.staleViolations++
+			}
+			r.dirty = true
+		}
+	}
+}
+
+func (s *Simulation) rollupReport(cell int32) {
+	if r := s.rollupNote(s.sch.Now()); r != nil {
+		if a := r.cellAcc(cell); a != nil {
+			a.reports++
+			r.dirty = true
+		}
+	}
+}

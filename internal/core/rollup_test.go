@@ -1,0 +1,240 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/des"
+	"repro/internal/obs"
+)
+
+// TestRollupsDoNotPerturb extends the telemetry contract to rollup
+// collection: attaching a rollup sink must leave every measured output
+// byte-identical — pinned both against a plain run (full RunStats
+// comparison) and against the golden fingerprints, which predate rollups
+// entirely.
+func TestRollupsDoNotPerturb(t *testing.T) {
+	for _, g := range goldenRuns {
+		t.Run(fmt.Sprintf("%s-%d", g.algo, g.seed), func(t *testing.T) {
+			plain, err := Run(goldenConfig(g.algo, g.seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			cfg := goldenConfig(g.algo, g.seed)
+			var flushes, windowed int
+			cfg.RollupWindowSec = 30
+			cfg.Rollup = func(f obs.RollupFlush) {
+				flushes++
+				for _, c := range f.Cells {
+					windowed += int(c.Queries)
+				}
+			}
+			rolled, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if flushes == 0 || windowed == 0 {
+				t.Fatalf("rollup sink saw nothing (flushes=%d queries=%d)", flushes, windowed)
+			}
+
+			if got := fingerprintStats(rolled); got != g.want {
+				t.Errorf("rollups perturbed the golden fingerprint\n got: %s\nwant: %s", got, g.want)
+			}
+			scrub := func(r *RunStats) RunStats {
+				c := *r
+				c.WallSec, c.Events, c.EventsPerSec, c.HeapAllocBytes = 0, 0, 0, 0
+				if math.IsNaN(c.RecoveryMeanSec) {
+					c.RecoveryMeanSec = 0
+				}
+				return c
+			}
+			a, b := scrub(plain), scrub(rolled)
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("rollups perturbed the run:\nplain:  %+v\nrolled: %+v", a, b)
+			}
+		})
+	}
+}
+
+// TestRollupWindowing checks the tumbling-window semantics: windows are
+// aligned to multiples of the width, never overlap, cover the whole span of
+// activity, and the per-window counters sum to the whole-run totals.
+func TestRollupWindowing(t *testing.T) {
+	cfg := goldenConfig("ts", 7)
+	const win = 60.0
+	cfg.RollupWindowSec = win
+	var flushes []obs.RollupFlush
+	cfg.Rollup = func(f obs.RollupFlush) {
+		// Deep-copy: the flush value is only valid during the call.
+		cp := f
+		cp.Cells = append([]obs.RollupCell(nil), f.Cells...)
+		for i := range cp.Cells {
+			if cp.Cells[i].Delay != nil {
+				cp.Cells[i].Delay = cp.Cells[i].Delay.Clone()
+			}
+		}
+		flushes = append(flushes, cp)
+	}
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flushes) < 2 {
+		t.Fatalf("expected several windows over a 600 s run, got %d", len(flushes))
+	}
+	var answers, events uint64
+	prevEnd := -1.0
+	for _, f := range flushes {
+		if rem := math.Mod(f.Start, win); rem != 0 {
+			t.Errorf("window start %g not aligned to %g s", f.Start, win)
+		}
+		if f.End <= f.Start || f.End > f.Start+win {
+			t.Errorf("window [%g, %g) exceeds the %g s width", f.Start, f.End, win)
+		}
+		if f.Start < prevEnd {
+			t.Errorf("window [%g, %g) overlaps the previous end %g", f.Start, f.End, prevEnd)
+		}
+		prevEnd = f.End
+		events += f.Events
+		for _, c := range f.Cells {
+			answers += c.Answers
+			if c.Delay != nil && c.Delay.Count() != c.Answers {
+				t.Errorf("window [%g, %g) cell %d: sketch count %d != answers %d",
+					f.Start, f.End, c.Cell, c.Delay.Count(), c.Answers)
+			}
+		}
+	}
+	// Rollups cover warmup too, so windowed answers can only exceed the
+	// post-warmup count; they must at least reach it.
+	if answers < r.Answered {
+		t.Errorf("windowed answers %d < post-warmup answered %d", answers, r.Answered)
+	}
+	if events > r.Events {
+		t.Errorf("windowed events %d exceed executed total %d", events, r.Events)
+	}
+}
+
+// TestAggregateSketchInvariance is the replication-order half of the sketch
+// determinism contract: the aggregate's population sketch must serialize to
+// the same bytes for any worker count, and match a hand-merge of the
+// per-replication sketches in any order.
+func TestAggregateSketchInvariance(t *testing.T) {
+	cfg := goldenConfig("hybrid", 7)
+	const reps = 4
+	var want []byte
+	for _, workers := range []int{1, 2, 4} {
+		agg, err := RunReplications(cfg, reps, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if agg.DelaySketch == nil || agg.DelaySketch.Count() == 0 {
+			t.Fatal("aggregate carries no population sketch")
+		}
+		got := agg.DelaySketch.AppendBinary(nil)
+		if want == nil {
+			want = got
+		} else if !bytes.Equal(got, want) {
+			t.Fatalf("workers=%d: aggregate sketch not byte-identical", workers)
+		}
+		// Reverse-order hand-merge of the per-run sketches.
+		manual := agg.Runs[reps-1].DelaySketch.Clone()
+		for i := reps - 2; i >= 0; i-- {
+			manual.Merge(agg.Runs[i].DelaySketch)
+		}
+		if !bytes.Equal(manual.AppendBinary(nil), want) {
+			t.Fatalf("workers=%d: reverse hand-merge diverged from aggregate", workers)
+		}
+		// The aggregate quantile helper reads the same digest.
+		if p99 := agg.SketchQuantile(0.99); p99 != agg.DelaySketch.Quantile(0.99) {
+			t.Fatalf("SketchQuantile(0.99)=%g != direct %g", p99, agg.DelaySketch.Quantile(0.99))
+		}
+	}
+}
+
+// TestAggregateValuesRebuildsSketch proves a checkpoint round-trip loses
+// nothing: replaying the serialized RepValues rebuilds an aggregate whose
+// population sketch and quantile summaries are bit-identical to the live
+// ones.
+func TestAggregateValuesRebuildsSketch(t *testing.T) {
+	cfg := goldenConfig("ts", 42)
+	cfg.Horizon = 300 * des.Second
+	live, err := RunReplicationsCtx(context.Background(), cfg, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]RepValues, len(live.Runs))
+	for i, r := range live.Runs {
+		vals[i] = r.Values(cfg.NumClients)
+	}
+	restored := AggregateValues(cfg.Algorithm, vals)
+	if restored.DelaySketch == nil {
+		t.Fatal("restored aggregate lost the sketch")
+	}
+	if !bytes.Equal(restored.DelaySketch.AppendBinary(nil), live.DelaySketch.AppendBinary(nil)) {
+		t.Fatal("restored population sketch differs from live")
+	}
+	for _, q := range []struct {
+		name       string
+		live, rest float64
+	}{
+		{"p50", live.P50Delay.Mean(), restored.P50Delay.Mean()},
+		{"p99", live.P99Delay.Mean(), restored.P99Delay.Mean()},
+		{"p999", live.P999Delay.Mean(), restored.P999Delay.Mean()},
+	} {
+		if q.live != q.rest {
+			t.Errorf("%s summary diverged: live %v restored %v", q.name, q.live, q.rest)
+		}
+	}
+	// Pre-sketch checkpoints (no sketch bytes) must restore without one.
+	for i := range vals {
+		vals[i].Sketch = nil
+	}
+	if old := AggregateValues(cfg.Algorithm, vals); old.DelaySketch != nil {
+		t.Fatal("sketch materialized from sketchless checkpoint values")
+	} else if !math.IsNaN(old.SketchQuantile(0.99)) {
+		t.Fatal("SketchQuantile on a sketchless aggregate must be NaN")
+	}
+}
+
+// TestSketchTracksHistogramQuantiles bounds the sketch's tail estimates
+// against the exact histogram on a realistic F1-style run: both views see
+// the same stream, so their quantiles may differ only by their combined
+// bucket resolutions (5% sketch, 15% histogram growth).
+func TestSketchTracksHistogramQuantiles(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Algorithm = "hybrid"
+	cfg.NumClients = 40
+	cfg.Horizon = 900 * des.Second
+	cfg.Warmup = 120 * des.Second
+	cfg.DB.UpdateRate = 0.5 // an F1 sweep point
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.DelaySketch.Count() < 500 {
+		t.Fatalf("too few delays (%d) for a quantile comparison", r.DelaySketch.Count())
+	}
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99} {
+		hist := r.DelayHist.Quantile(q)
+		sk := r.DelaySketch.Quantile(q)
+		if hist <= 0 {
+			continue
+		}
+		// The histogram reports a bucket upper edge, the sketch a centroid:
+		// the sketch can sit up to one histogram bucket (×1.15) below and
+		// one sketch bucket (×1.05) above.
+		if ratio := sk / hist; ratio < 1/(1.15*1.05) || ratio > 1.05*1.15 {
+			t.Errorf("q=%g: sketch %g vs histogram %g (ratio %.3f beyond combined resolution)",
+				q, sk, hist, ratio)
+		}
+	}
+	// The headline tail columns come straight from the sketch.
+	if r.P99Delay != r.DelaySketch.Quantile(0.99) {
+		t.Errorf("P99Delay %g != sketch p99 %g", r.P99Delay, r.DelaySketch.Quantile(0.99))
+	}
+}

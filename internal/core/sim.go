@@ -48,6 +48,10 @@ type Simulation struct {
 	// post-warmup accumulators
 	delay *metrics.DelayRecorder
 
+	// rollup is the tumbling-window telemetry accumulator, nil when
+	// cfg.Rollup is unset (the hot-path helpers then return immediately).
+	rollup *rollupState
+
 	// handoff accounting. handoffs and handoffFlushes are post-warmup and
 	// reported in RunStats; the remaining counters are whole-run internal
 	// telemetry the edge-case tests assert on.
@@ -201,6 +205,7 @@ func NewSimulationArena(cfg Config, arena *Arena) (*Simulation, error) {
 			st.Clock = sim.sch.Now
 		}
 	}
+	sim.initRollup()
 	return sim, nil
 }
 
@@ -253,6 +258,7 @@ func (s *Simulation) ExecuteCtx(ctx context.Context) (*RunStats, error) {
 	if err := s.sch.Err(); err != nil {
 		return nil, err
 	}
+	s.rollupFinal(end)
 	r := s.collect(end)
 	r.WallSec = time.Since(wallStart).Seconds()
 	r.Events = s.sch.Executed()

@@ -36,6 +36,12 @@ var (
 	MetricP95 = Metric{"p95", "s", func(a *core.Aggregate) (float64, float64) {
 		return a.P95Delay.Mean(), a.P95Delay.CI95()
 	}}
+	MetricP99 = Metric{"p99", "s", func(a *core.Aggregate) (float64, float64) {
+		return a.P99Delay.Mean(), a.P99Delay.CI95()
+	}}
+	MetricP999 = Metric{"p999", "s", func(a *core.Aggregate) (float64, float64) {
+		return a.P999Delay.Mean(), a.P999Delay.CI95()
+	}}
 	MetricHit = Metric{"hit", "ratio", func(a *core.Aggregate) (float64, float64) {
 		return a.HitRatio.Mean(), a.HitRatio.CI95()
 	}}
@@ -282,6 +288,11 @@ func RunAll(ctx context.Context, exps []*Experiment, opt Options) ([]*Result, er
 					// it cannot change results.
 					algo := a
 					cs.cfg.OnEventPulse = func(delta uint64) { mon.AddEvents(algo, delta) }
+					// Likewise feed windowed per-cell rollups into the
+					// monitor's live /debug/sweep and /metrics views.
+					// Collection is lazy (no scheduled events), so this hook
+					// is result-invariant too (TestRollupsDoNotPerturb).
+					cs.cfg.Rollup = mon.RollupSink()
 				}
 				cells = append(cells, cs)
 				if !algoSeen[a] {

@@ -35,7 +35,7 @@ func Registry() []*Experiment {
 			XLabel: "updates/s",
 			Points: points([]float64{0.02, 0.1, 0.5, 1, 2, 5}, gLabel,
 				func(c *core.Config, x float64) { c.DB.UpdateRate = x }),
-			Metrics: []Metric{MetricDelay, MetricP95},
+			Metrics: []Metric{MetricDelay, MetricP95, MetricP99},
 		},
 		{
 			ID: "F2", Title: "Cache hit ratio vs. update rate",
@@ -56,7 +56,7 @@ func Registry() []*Experiment {
 			XLabel: "load",
 			Points: points([]float64{0, 0.2, 0.4, 0.6, 0.8}, gLabel,
 				func(c *core.Config, x float64) { c.TrafficLoad = x }),
-			Metrics: []Metric{MetricDelay, MetricP95, MetricUtil},
+			Metrics: []Metric{MetricDelay, MetricP95, MetricP99, MetricUtil},
 		},
 		{
 			ID: "F5", Title: "Invalidation overhead vs. downlink background load",
@@ -108,7 +108,7 @@ func Registry() []*Experiment {
 			ID: "T1", Title: "Default-configuration algorithm matrix",
 			XLabel: "config",
 			Points: []Point{{X: 0, Label: "default", Mutate: func(*core.Config) {}}},
-			Metrics: []Metric{MetricDelay, MetricP95, MetricHit, MetricUplink,
+			Metrics: []Metric{MetricDelay, MetricP95, MetricP99, MetricHit, MetricUplink,
 				MetricOverhead, MetricEnergy, MetricDrops},
 		},
 		{
@@ -297,7 +297,7 @@ func Registry() []*Experiment {
 					c.Fault.OutagePeriod = des.FromSeconds(180)
 					c.Fault.OutageLen = des.FromSeconds(x)
 				}),
-			Metrics: []Metric{MetricDelay, MetricP95, MetricOutageLoss, MetricRetries},
+			Metrics: []Metric{MetricDelay, MetricP95, MetricP99, MetricOutageLoss, MetricRetries},
 		},
 		{
 			ID: "R2", Title: "Resilience: invalidation-report loss sweep",

@@ -37,6 +37,28 @@ func TestHistogramMergeMismatchedLayoutPanics(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantileEmpty pins the empty-histogram contract: with no
+// observations there is no q-quantile, so every q must report NaN — never a
+// value fabricated from a zero total.
+func TestHistogramQuantileEmpty(t *testing.T) {
+	h := NewLatencyHistogram()
+	for _, q := range []float64{-1, 0, 0.5, 0.95, 1, 2} {
+		if got := h.Quantile(q); !math.IsNaN(got) {
+			t.Errorf("empty histogram Quantile(%g) = %g, want NaN", q, got)
+		}
+	}
+	// One observation flips every quantile to that observation's bucket.
+	h.Observe(0.25)
+	if got := h.Quantile(0.5); math.IsNaN(got) || got <= 0 {
+		t.Errorf("Quantile(0.5) after one observation = %g, want positive", got)
+	}
+	// The fused recorder inherits the same empty-stream contract.
+	d := NewDelayRecorder(8)
+	if !math.IsNaN(d.Quantile(0.95)) {
+		t.Error("empty DelayRecorder Quantile must be NaN")
+	}
+}
+
 // TestSeriesMergeMinMax checks the extrema survive merging in both
 // directions, including when one side's range contains the other's.
 func TestSeriesMergeMinMax(t *testing.T) {

@@ -363,20 +363,27 @@ func (s *Summary) Median() float64 {
 // where three separate accumulators ran two, and the per-query hot path
 // makes one call instead of three.
 type DelayRecorder struct {
-	hist  *Histogram
-	batch *BatchMeans
+	hist   *Histogram
+	batch  *BatchMeans
+	sketch *Sketch
 }
 
 // NewDelayRecorder builds a recorder with the standard latency histogram
-// layout and the given batch-means batch size.
+// layout, the standard mergeable delay sketch, and the given batch-means
+// batch size.
 func NewDelayRecorder(batchSize int) *DelayRecorder {
-	return &DelayRecorder{hist: NewLatencyHistogram(), batch: NewBatchMeans(batchSize)}
+	return &DelayRecorder{
+		hist:   NewLatencyHistogram(),
+		batch:  NewBatchMeans(batchSize),
+		sketch: NewDelaySketch(),
+	}
 }
 
 // Observe adds one observation to every view.
 func (d *DelayRecorder) Observe(x float64) {
 	d.hist.Observe(x)
 	d.batch.Observe(x)
+	d.sketch.Observe(x)
 }
 
 // Series returns the exact-moment view (count, mean, variance, min, max).
@@ -384,6 +391,11 @@ func (d *DelayRecorder) Series() Series { return d.hist.series }
 
 // Histogram exposes the quantile view.
 func (d *DelayRecorder) Histogram() *Histogram { return d.hist }
+
+// Sketch exposes the mergeable quantile sketch: the view whose merged
+// cross-replication aggregate is replication-order-independent and
+// serializable into run artifacts.
+func (d *DelayRecorder) Sketch() *Sketch { return d.sketch }
 
 // Count reports the number of observations.
 func (d *DelayRecorder) Count() uint64 { return d.hist.total }

@@ -1,0 +1,326 @@
+package metrics
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Sketch is a mergeable streaming quantile sketch for non-negative,
+// latency-like quantities: a t-digest-style centroid digest whose centroids
+// are anchored to a fixed geometric bucket layout instead of floating. Each
+// bucket holds an observation count and the integer-quantized sum of its
+// observations, so the per-bucket centroid (sum/count) interpolates
+// quantiles well below the bucket-edge resolution while relative rank error
+// stays bounded by the layout's growth factor.
+//
+// Anchoring the centroids — the "deterministic compression" — is what makes
+// the sketch safe for the harness's determinism contract: Merge is a plain
+// bucket-wise addition of unsigned integers, which is commutative and
+// associative bit-for-bit, so merging any interleaving of the same
+// observations in any order (replication order, worker count, window
+// splits) yields a byte-identical serialized sketch. A classic t-digest
+// with floating centroids cannot make that promise: its compression depends
+// on insertion order and its weighted means accumulate float rounding that
+// differs by association.
+//
+// Observations are quantized to integer multiples of Unit before summing
+// (e.g. nanoseconds for delays); the uint64 bucket sums are exact until
+// they overflow at 2⁶⁴ units — about 584 summed years at nanosecond
+// resolution, far beyond any run this simulator produces.
+type Sketch struct {
+	unit   float64 // quantization step: observations are rounded to multiples
+	lo     float64 // upper edge of bucket 0
+	gamma  float64 // geometric bucket growth factor
+	counts []uint64
+	sums   []uint64 // quantized sums, aligned with counts
+	under  uint64   // observations quantizing to zero (x ≤ unit/2)
+	total  uint64
+	minQ   uint64 // quantized extrema over positive observations
+	maxQ   uint64
+}
+
+// NewSketch builds a sketch with the given quantization unit, first-bucket
+// upper edge lo, geometric growth factor, and bucket count. Values beyond
+// the last edge are clamped into the final bucket (their centroid still
+// tracks the true mean there).
+func NewSketch(unit, lo, gamma float64, nbuckets int) *Sketch {
+	if unit <= 0 || lo <= 0 || gamma <= 1 || nbuckets < 1 {
+		panic("metrics: invalid sketch layout")
+	}
+	return &Sketch{
+		unit: unit, lo: lo, gamma: gamma,
+		counts: make([]uint64, nbuckets),
+		sums:   make([]uint64, nbuckets),
+	}
+}
+
+// NewDelaySketch returns the standard layout for query delays: nanosecond
+// quantization, 100 µs first bucket, 5% geometric growth across 400 buckets
+// (reach ≈ 3×10⁴ s, far past any simulated horizon), bounding relative
+// quantile error at the bucket edges to 5% before centroid interpolation.
+func NewDelaySketch() *Sketch { return NewSketch(1e-9, 100e-6, 1.05, 400) }
+
+// NewEnergySketch returns the standard layout for per-client energy:
+// microjoule quantization, 1 mJ first bucket, 8% growth across 320 buckets
+// (reach ≈ 5×10⁷ J).
+func NewEnergySketch() *Sketch { return NewSketch(1e-6, 1e-3, 1.08, 320) }
+
+// Reset zeroes the sketch in place, keeping its layout and buffers.
+func (s *Sketch) Reset() {
+	for i := range s.counts {
+		s.counts[i] = 0
+		s.sums[i] = 0
+	}
+	s.under, s.total, s.minQ, s.maxQ = 0, 0, 0, 0
+}
+
+// Observe adds one observation.
+func (s *Sketch) Observe(x float64) {
+	s.total++
+	q := uint64(0)
+	if x > 0 {
+		q = uint64(math.Round(x / s.unit))
+	}
+	if q == 0 {
+		s.under++
+		return
+	}
+	if s.total-s.under == 1 {
+		s.minQ, s.maxQ = q, q
+	} else {
+		if q < s.minQ {
+			s.minQ = q
+		}
+		if q > s.maxQ {
+			s.maxQ = q
+		}
+	}
+	b := s.bucket(float64(q) * s.unit)
+	s.counts[b]++
+	s.sums[b] += q
+}
+
+// bucket maps a positive value to its bucket index, clamped to the layout.
+func (s *Sketch) bucket(x float64) int {
+	if x <= s.lo {
+		return 0
+	}
+	b := int(math.Ceil(math.Log(x/s.lo) / math.Log(s.gamma)))
+	if b >= len(s.counts) {
+		b = len(s.counts) - 1
+	}
+	return b
+}
+
+// SameLayout reports whether two sketches can be merged.
+func (s *Sketch) SameLayout(o *Sketch) bool {
+	return s.unit == o.unit && s.lo == o.lo && s.gamma == o.gamma &&
+		len(s.counts) == len(o.counts)
+}
+
+// Merge folds another sketch with an identical layout into s. The operation
+// is bucket-wise unsigned addition: commutative and associative exactly, so
+// any merge order over the same contributions produces a bit-identical
+// result — the property the replication-order and worker-count invariance
+// tests pin.
+func (s *Sketch) Merge(o *Sketch) {
+	if !s.SameLayout(o) {
+		panic("metrics: merging sketches with different layouts")
+	}
+	if o.total == 0 {
+		return
+	}
+	for i, c := range o.counts {
+		s.counts[i] += c
+		s.sums[i] += o.sums[i]
+	}
+	if o.total > o.under {
+		if s.total == s.under { // s had no positive observations yet
+			s.minQ, s.maxQ = o.minQ, o.maxQ
+		} else {
+			if o.minQ < s.minQ {
+				s.minQ = o.minQ
+			}
+			if o.maxQ > s.maxQ {
+				s.maxQ = o.maxQ
+			}
+		}
+	}
+	s.under += o.under
+	s.total += o.total
+}
+
+// Clone returns an independent copy.
+func (s *Sketch) Clone() *Sketch {
+	c := *s
+	c.counts = append([]uint64(nil), s.counts...)
+	c.sums = append([]uint64(nil), s.sums...)
+	return &c
+}
+
+// Count reports the number of observations.
+func (s *Sketch) Count() uint64 { return s.total }
+
+// Min reports the smallest positive observation (quantized), 0 when every
+// observation quantized to zero, or NaN when empty.
+func (s *Sketch) Min() float64 {
+	if s.total == 0 {
+		return math.NaN()
+	}
+	if s.under > 0 {
+		return 0
+	}
+	return float64(s.minQ) * s.unit
+}
+
+// Max reports the largest observation (quantized), or NaN when empty.
+func (s *Sketch) Max() float64 {
+	if s.total == 0 {
+		return math.NaN()
+	}
+	if s.total == s.under {
+		return 0
+	}
+	return float64(s.maxQ) * s.unit
+}
+
+// Mean reports the quantized sample mean, or NaN when empty.
+func (s *Sketch) Mean() float64 {
+	if s.total == 0 {
+		return math.NaN()
+	}
+	var sum uint64
+	for _, v := range s.sums {
+		sum += v
+	}
+	return float64(sum) * s.unit / float64(s.total)
+}
+
+// Quantile estimates the q-quantile: the centroid of the bucket holding the
+// target rank, clamped into the bucket so the estimate never leaves the
+// rank's resolution band. q outside [0,1] is clamped; an empty sketch
+// reports NaN.
+func (s *Sketch) Quantile(q float64) float64 {
+	if s.total == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(s.total)))
+	if rank == 0 {
+		rank = 1
+	}
+	seen := s.under
+	if rank <= seen {
+		return 0
+	}
+	for b, c := range s.counts {
+		if c == 0 {
+			continue
+		}
+		seen += c
+		if seen >= rank {
+			return float64(s.sums[b]) * s.unit / float64(c)
+		}
+	}
+	return s.Max() // unreachable unless counters were mutated externally
+}
+
+// sketchMagic versions the serialized layout; bump on any format change.
+const sketchMagic = "WDCSK1\n"
+
+// AppendBinary serializes the sketch deterministically: a fixed header
+// followed by the non-empty buckets in ascending index order. Two sketches
+// holding the same multiset of quantized observations — however they were
+// interleaved or merged — serialize to the same bytes.
+func (s *Sketch) AppendBinary(b []byte) []byte {
+	b = append(b, sketchMagic...)
+	b = binary.BigEndian.AppendUint64(b, math.Float64bits(s.unit))
+	b = binary.BigEndian.AppendUint64(b, math.Float64bits(s.lo))
+	b = binary.BigEndian.AppendUint64(b, math.Float64bits(s.gamma))
+	b = binary.BigEndian.AppendUint32(b, uint32(len(s.counts)))
+	b = binary.BigEndian.AppendUint64(b, s.total)
+	b = binary.BigEndian.AppendUint64(b, s.under)
+	b = binary.BigEndian.AppendUint64(b, s.minQ)
+	b = binary.BigEndian.AppendUint64(b, s.maxQ)
+	nnz := uint32(0)
+	for _, c := range s.counts {
+		if c != 0 {
+			nnz++
+		}
+	}
+	b = binary.BigEndian.AppendUint32(b, nnz)
+	for i, c := range s.counts {
+		if c == 0 {
+			continue
+		}
+		b = binary.BigEndian.AppendUint32(b, uint32(i))
+		b = binary.BigEndian.AppendUint64(b, c)
+		b = binary.BigEndian.AppendUint64(b, s.sums[i])
+	}
+	return b
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (s *Sketch) MarshalBinary() ([]byte, error) {
+	return s.AppendBinary(nil), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler, replacing the
+// receiver's layout and contents.
+func (s *Sketch) UnmarshalBinary(data []byte) error {
+	const header = len(sketchMagic) + 3*8 + 4 + 4*8 + 4
+	if len(data) < header || string(data[:len(sketchMagic)]) != sketchMagic {
+		return fmt.Errorf("metrics: not a sketch (magic mismatch or short header)")
+	}
+	p := data[len(sketchMagic):]
+	u64 := func() uint64 { v := binary.BigEndian.Uint64(p); p = p[8:]; return v }
+	u32 := func() uint32 { v := binary.BigEndian.Uint32(p); p = p[4:]; return v }
+	unit := math.Float64frombits(u64())
+	lo := math.Float64frombits(u64())
+	gamma := math.Float64frombits(u64())
+	nb := int(u32())
+	if unit <= 0 || lo <= 0 || gamma <= 1 || nb < 1 || nb > 1<<20 {
+		return fmt.Errorf("metrics: sketch header describes an invalid layout")
+	}
+	total, under, minQ, maxQ := u64(), u64(), u64(), u64()
+	nnz := int(u32())
+	if len(p) != nnz*(4+8+8) {
+		return fmt.Errorf("metrics: sketch body %d bytes, want %d for %d buckets",
+			len(p), nnz*(4+8+8), nnz)
+	}
+	out := Sketch{
+		unit: unit, lo: lo, gamma: gamma,
+		counts: make([]uint64, nb), sums: make([]uint64, nb),
+		total: total, under: under, minQ: minQ, maxQ: maxQ,
+	}
+	prev := -1
+	for i := 0; i < nnz; i++ {
+		idx := int(u32())
+		if idx <= prev || idx >= nb {
+			return fmt.Errorf("metrics: sketch bucket index %d out of order or range", idx)
+		}
+		prev = idx
+		out.counts[idx] = u64()
+		out.sums[idx] = u64()
+	}
+	*s = out
+	return nil
+}
+
+// DecodeSketch parses a serialized sketch, or returns nil on empty input.
+func DecodeSketch(data []byte) (*Sketch, error) {
+	if len(data) == 0 {
+		return nil, nil
+	}
+	s := &Sketch{}
+	if err := s.UnmarshalBinary(data); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

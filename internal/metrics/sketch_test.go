@@ -1,0 +1,251 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"sort"
+	"testing"
+)
+
+// sketchRNG is a tiny deterministic generator so tests never depend on the
+// global math/rand ordering.
+type sketchRNG uint64
+
+func (r *sketchRNG) next() uint64 {
+	*r ^= *r << 13
+	*r ^= *r >> 7
+	*r ^= *r << 17
+	return uint64(*r)
+}
+
+func (r *sketchRNG) float() float64 { return float64(r.next()%1e9) / 1e9 }
+
+// sketchSamples draws n latency-like values spanning several decades.
+func sketchSamples(seed uint64, n int) []float64 {
+	r := sketchRNG(seed)
+	out := make([]float64, n)
+	for i := range out {
+		// Log-uniform over [50µs, 500s) with occasional zeros.
+		if r.next()%97 == 0 {
+			out[i] = 0
+			continue
+		}
+		out[i] = 50e-6 * math.Pow(1e7, r.float())
+	}
+	return out
+}
+
+// TestSketchMergeOrderByteIdentical is the determinism contract: the same
+// observations, split into shards any way and merged in any order or
+// association, serialize to byte-identical sketches — the sketch-level
+// equivalent of the harness's worker-count invariance.
+func TestSketchMergeOrderByteIdentical(t *testing.T) {
+	samples := sketchSamples(7, 5000)
+
+	direct := NewDelaySketch()
+	for _, x := range samples {
+		direct.Observe(x)
+	}
+	want, _ := direct.MarshalBinary()
+
+	// Shard round-robin into 4, merge in reversed order.
+	shards := make([]*Sketch, 4)
+	for i := range shards {
+		shards[i] = NewDelaySketch()
+	}
+	for i, x := range samples {
+		shards[i%4].Observe(x)
+	}
+	reversed := NewDelaySketch()
+	for i := len(shards) - 1; i >= 0; i-- {
+		reversed.Merge(shards[i])
+	}
+	if got, _ := reversed.MarshalBinary(); !bytes.Equal(got, want) {
+		t.Fatal("reversed shard merge is not byte-identical to direct observation")
+	}
+
+	// Different association: ((0+1)+(2+3)) vs (((0+1)+2)+3).
+	left := shards[0].Clone()
+	left.Merge(shards[1])
+	right := shards[2].Clone()
+	right.Merge(shards[3])
+	left.Merge(right)
+	if got, _ := left.MarshalBinary(); !bytes.Equal(got, want) {
+		t.Fatal("re-associated merge is not byte-identical to direct observation")
+	}
+
+	// Interleaved observation order (odd indices first) changes nothing.
+	interleaved := NewDelaySketch()
+	for i := 1; i < len(samples); i += 2 {
+		interleaved.Observe(samples[i])
+	}
+	for i := 0; i < len(samples); i += 2 {
+		interleaved.Observe(samples[i])
+	}
+	if got, _ := interleaved.MarshalBinary(); !bytes.Equal(got, want) {
+		t.Fatal("interleaved observation order is not byte-identical")
+	}
+}
+
+// TestSketchQuantileAccuracy bounds the sketch's quantile estimates against
+// the exact order statistics of the stream: the estimate must stay within
+// one bucket's relative width (the layout's growth factor, plus quantization
+// slack) of the true value.
+func TestSketchQuantileAccuracy(t *testing.T) {
+	samples := sketchSamples(42, 20000)
+	s := NewDelaySketch()
+	for _, x := range samples {
+		s.Observe(x)
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	for _, q := range []float64{0.01, 0.1, 0.5, 0.9, 0.95, 0.99, 0.999, 1} {
+		rank := int(math.Ceil(q * float64(len(sorted))))
+		if rank == 0 {
+			rank = 1
+		}
+		exact := sorted[rank-1]
+		got := s.Quantile(q)
+		if exact == 0 {
+			if got != 0 {
+				t.Errorf("q=%g: got %g, want 0", q, got)
+			}
+			continue
+		}
+		// The estimate and the exact value share a bucket (or adjacent
+		// ranks fall into neighbours), so the centroid can be off by at
+		// most one bucket width in relative terms.
+		if ratio := got / exact; ratio < 1/(1.05*1.05) || ratio > 1.05*1.05 {
+			t.Errorf("q=%g: got %g, exact %g (ratio %.4f outside bucket tolerance)",
+				q, got, exact, ratio)
+		}
+	}
+}
+
+// TestSketchEmptyAndEdge pins the empty-sketch contract (NaN, like the
+// histogram) and the q clamping rules.
+func TestSketchEmptyAndEdge(t *testing.T) {
+	s := NewDelaySketch()
+	if !math.IsNaN(s.Quantile(0.5)) || !math.IsNaN(s.Mean()) ||
+		!math.IsNaN(s.Min()) || !math.IsNaN(s.Max()) {
+		t.Fatal("empty sketch must report NaN for quantile/mean/min/max")
+	}
+	s.Observe(0) // quantizes under
+	if got := s.Quantile(0.5); got != 0 {
+		t.Fatalf("all-zero stream: q50 %g, want 0", got)
+	}
+	s.Observe(1.0)
+	if got := s.Quantile(1); got < 0.9 || got > 1.1 {
+		t.Fatalf("q=1 should land on the max observation, got %g", got)
+	}
+	if got := s.Quantile(-3); got != 0 {
+		t.Fatalf("q<0 clamps to the minimum rank, got %g", got)
+	}
+	if got, want := s.Quantile(7), s.Quantile(1); got != want {
+		t.Fatalf("q>1 clamps to 1: got %g want %g", got, want)
+	}
+}
+
+// TestSketchSerializationRoundTrip checks Marshal/Unmarshal reproduce the
+// sketch exactly, including after a round-trip re-serialization.
+func TestSketchSerializationRoundTrip(t *testing.T) {
+	s := NewDelaySketch()
+	for _, x := range sketchSamples(3, 1000) {
+		s.Observe(x)
+	}
+	data, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeSketch(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Count() != s.Count() || got.Quantile(0.99) != s.Quantile(0.99) ||
+		got.Mean() != s.Mean() {
+		t.Fatal("round-trip changed the sketch's statistics")
+	}
+	again, _ := got.MarshalBinary()
+	if !bytes.Equal(again, data) {
+		t.Fatal("re-serialization is not byte-identical")
+	}
+	// Merging a round-tripped sketch must behave like merging the original.
+	a, b := NewDelaySketch(), NewDelaySketch()
+	a.Merge(s)
+	b.Merge(got)
+	ab, _ := a.MarshalBinary()
+	bb, _ := b.MarshalBinary()
+	if !bytes.Equal(ab, bb) {
+		t.Fatal("merge of decoded sketch diverged from merge of original")
+	}
+	if dec, err := DecodeSketch(nil); dec != nil || err != nil {
+		t.Fatal("DecodeSketch(nil) must be (nil, nil)")
+	}
+	if _, err := DecodeSketch([]byte("garbage")); err == nil {
+		t.Fatal("garbage must not decode")
+	}
+	// Truncated body must not decode.
+	if _, err := DecodeSketch(data[:len(data)-5]); err == nil {
+		t.Fatal("truncated sketch must not decode")
+	}
+}
+
+// TestSketchLayoutMismatchPanics mirrors the histogram contract: merging
+// different layouts is a programming error.
+func TestSketchLayoutMismatchPanics(t *testing.T) {
+	for name, o := range map[string]*Sketch{
+		"unit":     NewSketch(1e-6, 100e-6, 1.05, 400),
+		"lo":       NewSketch(1e-9, 200e-6, 1.05, 400),
+		"gamma":    NewSketch(1e-9, 100e-6, 1.10, 400),
+		"nbuckets": NewSketch(1e-9, 100e-6, 1.05, 200),
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("merge with different %s did not panic", name)
+				}
+			}()
+			o.Observe(0.5)
+			NewDelaySketch().Merge(o)
+		}()
+	}
+}
+
+// TestSketchResetAndClone checks Reset clears in place and Clone detaches.
+func TestSketchResetAndClone(t *testing.T) {
+	s := NewDelaySketch()
+	s.Observe(0.25)
+	c := s.Clone()
+	s.Reset()
+	if s.Count() != 0 || !math.IsNaN(s.Quantile(0.5)) {
+		t.Fatal("reset did not clear the sketch")
+	}
+	if c.Count() != 1 {
+		t.Fatal("clone was affected by reset")
+	}
+	empty, _ := NewDelaySketch().MarshalBinary()
+	after, _ := s.MarshalBinary()
+	if !bytes.Equal(empty, after) {
+		t.Fatal("reset sketch does not serialize like a fresh one")
+	}
+}
+
+// TestDelayRecorderSketchAgrees checks the fused recorder feeds the sketch
+// the same stream as the histogram.
+func TestDelayRecorderSketchAgrees(t *testing.T) {
+	d := NewDelayRecorder(16)
+	for _, x := range sketchSamples(11, 2000) {
+		d.Observe(x)
+	}
+	if d.Sketch().Count() != d.Count() {
+		t.Fatalf("sketch count %d != recorder count %d", d.Sketch().Count(), d.Count())
+	}
+	// Both views bound the same stream: the sketch centroid must sit at or
+	// below the histogram's upper-edge estimate, within a bucket of slack.
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		hs, ss := d.Quantile(q), d.Sketch().Quantile(q)
+		if ss > hs*1.16 {
+			t.Errorf("q=%g: sketch %g above histogram upper bound %g", q, ss, hs)
+		}
+	}
+}

@@ -13,7 +13,9 @@ import (
 // cell completion, simulation events processed, and per-algorithm activity.
 // The worker pool updates it with lock-free atomic counters; Snapshot (and
 // the HTTP handler wrapping it) assembles a consistent-enough view for a
-// human watching a long run. The zero value is unusable — call Begin first.
+// human watching a long run. The zero value is inert but safe: Snapshot on
+// a monitor whose Begin was never called reports zero elapsed time, zero
+// rates, and an unknown (-1) ETA instead of garbage.
 type SweepMonitor struct {
 	startNS   atomic.Int64 // wall clock at Begin, UnixNano
 	workers   atomic.Int64
@@ -24,8 +26,9 @@ type SweepMonitor struct {
 	cells     atomic.Int64
 	events    atomic.Uint64 // simulation events processed, all algorithms
 
-	mu     sync.RWMutex
-	byAlgo map[string]*algoCounters
+	mu      sync.RWMutex
+	byAlgo  map[string]*algoCounters
+	rollups map[string]map[float64]*rollupWindow // algo → window start → aggregate
 }
 
 type algoCounters struct {
@@ -51,6 +54,7 @@ func (m *SweepMonitor) Begin(workers, totalUnits, totalCells int, algos []string
 	for _, a := range algos {
 		m.byAlgo[a] = &algoCounters{}
 	}
+	m.rollups = nil
 	m.mu.Unlock()
 }
 
@@ -119,14 +123,21 @@ type Snapshot struct {
 	// until the first unit completes.
 	ETASec float64        `json:"eta_sec"`
 	Algos  []AlgoSnapshot `json:"algos"`
+	// Rollups holds the retained per-algorithm tumbling windows of simulated
+	// time (absent until the first window closes).
+	Rollups []RollupSnapshot `json:"rollups,omitempty"`
 }
 
 // Snapshot assembles the current view. now is usually time.Now(); it is a
 // parameter so tests stay deterministic.
 func (m *SweepMonitor) Snapshot(now time.Time) Snapshot {
-	elapsed := now.Sub(time.Unix(0, m.startNS.Load())).Seconds()
-	if elapsed <= 0 {
-		elapsed = 1e-9
+	startNS := m.startNS.Load()
+	var elapsed float64
+	if startNS != 0 { // Begin was called; 0 means the zero-value monitor
+		elapsed = now.Sub(time.Unix(0, startNS)).Seconds()
+		if elapsed <= 0 {
+			elapsed = 1e-9
+		}
 	}
 	s := Snapshot{
 		ElapsedSec:  elapsed,
@@ -142,12 +153,14 @@ func (m *SweepMonitor) Snapshot(now time.Time) Snapshot {
 	if s.Workers > 0 {
 		s.Utilization = float64(s.BusyWorkers) / float64(s.Workers)
 	}
-	s.UnitsPerSec = float64(s.UnitsDone) / elapsed
-	s.EventsPerSec = float64(s.Events) / elapsed
-	if s.UnitsDone > 0 && s.UnitsTotal > s.UnitsDone {
-		s.ETASec = float64(s.UnitsTotal-s.UnitsDone) / s.UnitsPerSec
-	} else if s.UnitsDone >= s.UnitsTotal {
-		s.ETASec = 0
+	if elapsed > 0 {
+		s.UnitsPerSec = float64(s.UnitsDone) / elapsed
+		s.EventsPerSec = float64(s.Events) / elapsed
+		if s.UnitsDone > 0 && s.UnitsTotal > s.UnitsDone {
+			s.ETASec = float64(s.UnitsTotal-s.UnitsDone) / s.UnitsPerSec
+		} else if s.UnitsDone >= s.UnitsTotal {
+			s.ETASec = 0
+		}
 	}
 	m.mu.RLock()
 	for name, c := range m.byAlgo {
@@ -157,6 +170,7 @@ func (m *SweepMonitor) Snapshot(now time.Time) Snapshot {
 			Events:    c.events.Load(),
 		})
 	}
+	s.Rollups = m.rollupSnapshots()
 	m.mu.RUnlock()
 	sort.Slice(s.Algos, func(i, j int) bool { return s.Algos[i].Algo < s.Algos[j].Algo })
 	return s

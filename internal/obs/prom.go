@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+)
+
+// MetricsHandler returns an http.Handler serving the monitor's state in
+// Prometheus text exposition format (version 0.0.4), hand-rolled so the
+// simulator stays dependency-free. Sweep-level counters come from the
+// atomic fast path; per-algorithm rollup gauges reflect the most recent
+// retained window of simulated time.
+func (m *SweepMonitor) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		var b strings.Builder
+		s := m.Snapshot(time.Now())
+
+		gauge := func(name, help string, v float64) {
+			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+		}
+		counter := func(name, help string, v float64) {
+			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %g\n", name, help, name, name, v)
+		}
+		counter("wdc_sweep_units_done", "Replication work units completed.", float64(s.UnitsDone))
+		gauge("wdc_sweep_units_total", "Replication work units in the sweep.", float64(s.UnitsTotal))
+		counter("wdc_sweep_cells_done", "Sweep cells (point x algorithm) completed.", float64(s.CellsDone))
+		gauge("wdc_sweep_cells_total", "Sweep cells in the sweep.", float64(s.CellsTotal))
+		counter("wdc_sweep_events_total", "Simulation events executed across all algorithms.", float64(s.Events))
+		gauge("wdc_sweep_busy_workers", "Workers currently executing a unit.", float64(s.BusyWorkers))
+		gauge("wdc_sweep_workers", "Worker pool size.", float64(s.Workers))
+		gauge("wdc_sweep_elapsed_seconds", "Wall-clock seconds since the sweep began.", s.ElapsedSec)
+
+		fmt.Fprintf(&b, "# HELP wdc_algo_units_done Replication units completed per algorithm.\n# TYPE wdc_algo_units_done counter\n")
+		for _, a := range s.Algos {
+			fmt.Fprintf(&b, "wdc_algo_units_done{algo=%q} %d\n", a.Algo, a.UnitsDone)
+		}
+		fmt.Fprintf(&b, "# HELP wdc_algo_events_total Simulation events executed per algorithm.\n# TYPE wdc_algo_events_total counter\n")
+		for _, a := range s.Algos {
+			fmt.Fprintf(&b, "wdc_algo_events_total{algo=%q} %d\n", a.Algo, a.Events)
+		}
+
+		// Latest retained rollup window per algorithm: counters over the
+		// window plus the delay quantiles from the merged sketch.
+		latest := map[string]RollupSnapshot{}
+		for _, r := range s.Rollups { // sorted by (algo, start): last wins
+			latest[r.Algo] = r
+		}
+		algos := make([]string, 0, len(latest))
+		for a := range latest {
+			algos = append(algos, a)
+		}
+		sort.Strings(algos)
+		rollupGauge := func(name, help string, get func(RollupSnapshot) float64) {
+			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+			for _, a := range algos {
+				fmt.Fprintf(&b, "%s{algo=%q} %g\n", name, a, get(latest[a]))
+			}
+		}
+		rollupGauge("wdc_rollup_window_start_seconds", "Simulated start of the latest rollup window.",
+			func(r RollupSnapshot) float64 { return r.StartSec })
+		rollupGauge("wdc_rollup_queries", "Queries issued in the latest rollup window.",
+			func(r RollupSnapshot) float64 { return float64(r.Queries) })
+		rollupGauge("wdc_rollup_answers", "Queries answered in the latest rollup window.",
+			func(r RollupSnapshot) float64 { return float64(r.Answers) })
+		rollupGauge("wdc_rollup_hits", "Cache hits in the latest rollup window.",
+			func(r RollupSnapshot) float64 { return float64(r.Hits) })
+		rollupGauge("wdc_rollup_stale_checks", "Consistency checks in the latest rollup window.",
+			func(r RollupSnapshot) float64 { return float64(r.StaleChecks) })
+		rollupGauge("wdc_rollup_stale_violations", "Stale answers detected in the latest rollup window.",
+			func(r RollupSnapshot) float64 { return float64(r.StaleViolations) })
+		rollupGauge("wdc_rollup_reports", "Invalidation reports decoded in the latest rollup window.",
+			func(r RollupSnapshot) float64 { return float64(r.Reports) })
+		rollupGauge("wdc_rollup_events_per_sim_second", "DES events per simulated second in the latest rollup window.",
+			func(r RollupSnapshot) float64 { return r.EventsPerSimSec })
+
+		fmt.Fprintf(&b, "# HELP wdc_rollup_delay_seconds Query-delay quantiles of the latest rollup window (-1 when no answers).\n# TYPE wdc_rollup_delay_seconds gauge\n")
+		for _, a := range algos {
+			r := latest[a]
+			for _, qv := range []struct {
+				q string
+				v float64
+			}{{"0.5", r.DelayP50}, {"0.9", r.DelayP90}, {"0.99", r.DelayP99}, {"0.999", r.DelayP999}} {
+				fmt.Fprintf(&b, "wdc_rollup_delay_seconds{algo=%q,quantile=%q} %g\n", a, qv.q, qv.v)
+			}
+		}
+		_, _ = w.Write([]byte(b.String()))
+	})
+}

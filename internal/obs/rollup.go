@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"sort"
+
+	"repro/internal/metrics"
+)
+
+// RollupCell is one cell's share of a closed rollup window: query-path
+// counters plus a delay sketch over the answers the window saw. Counts cover
+// the whole run (warmup included) — rollups are live telemetry, like traces,
+// not post-warmup statistics.
+type RollupCell struct {
+	Cell            int
+	Queries         uint64
+	Answers         uint64
+	Hits            uint64
+	StaleChecks     uint64
+	StaleViolations uint64
+	Reports         uint64
+	Delay           *metrics.Sketch // nil when the window answered nothing
+}
+
+// RollupFlush is one closed tumbling window of simulated time. Windows are
+// aligned to multiples of the configured width; empty windows are skipped
+// rather than emitted, so consecutive flushes need not be adjacent.
+type RollupFlush struct {
+	Algo       string
+	Start, End float64 // simulated seconds
+	Events     uint64  // DES events executed since the previous flush
+	Cells      []RollupCell
+}
+
+// RollupSink receives closed windows. The flush value — including its cell
+// slice and sketches — is only valid for the duration of the call; a sink
+// that wants to keep anything must merge or copy it. Sinks run on the
+// simulation goroutine and must not touch simulation state.
+type RollupSink func(RollupFlush)
+
+// rollupWindow is the monitor-side aggregation of every flush sharing an
+// (algorithm, window-start) pair — across cells and across concurrent
+// replications of the same configuration.
+type rollupWindow struct {
+	start, end      float64
+	events          uint64
+	queries         uint64
+	answers         uint64
+	hits            uint64
+	staleChecks     uint64
+	staleViolations uint64
+	reports         uint64
+	cells           uint64 // cell-window contributions folded in
+	delay           *metrics.Sketch
+}
+
+// rollupKeep bounds how many distinct window starts the monitor retains per
+// algorithm; older windows are evicted as new ones arrive.
+const rollupKeep = 8
+
+// AddRollup folds one closed window into the monitor's per-algorithm rollup
+// ring. Safe for concurrent use by many replication goroutines.
+func (m *SweepMonitor) AddRollup(f RollupFlush) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.rollups == nil {
+		m.rollups = make(map[string]map[float64]*rollupWindow)
+	}
+	byStart := m.rollups[f.Algo]
+	if byStart == nil {
+		byStart = make(map[float64]*rollupWindow, rollupKeep+1)
+		m.rollups[f.Algo] = byStart
+	}
+	w := byStart[f.Start]
+	if w == nil {
+		w = &rollupWindow{start: f.Start, end: f.End}
+		byStart[f.Start] = w
+		for len(byStart) > rollupKeep {
+			oldest := f.Start
+			for s := range byStart {
+				if s < oldest {
+					oldest = s
+				}
+			}
+			delete(byStart, oldest)
+		}
+	}
+	w.events += f.Events
+	for _, c := range f.Cells {
+		w.cells++
+		w.queries += c.Queries
+		w.answers += c.Answers
+		w.hits += c.Hits
+		w.staleChecks += c.StaleChecks
+		w.staleViolations += c.StaleViolations
+		w.reports += c.Reports
+		if c.Delay != nil && c.Delay.Count() > 0 {
+			if w.delay == nil {
+				w.delay = metrics.NewDelaySketch()
+			}
+			w.delay.Merge(c.Delay)
+		}
+	}
+}
+
+// RollupSnapshot is the JSON-friendly view of one aggregated window.
+// Quantiles are -1 when the window answered nothing (NaN is not
+// representable in JSON).
+type RollupSnapshot struct {
+	Algo            string  `json:"algo"`
+	StartSec        float64 `json:"start_sec"`
+	EndSec          float64 `json:"end_sec"`
+	Cells           uint64  `json:"cells"`
+	Events          uint64  `json:"events"`
+	EventsPerSimSec float64 `json:"events_per_sim_sec"`
+	Queries         uint64  `json:"queries"`
+	Answers         uint64  `json:"answers"`
+	Hits            uint64  `json:"hits"`
+	StaleChecks     uint64  `json:"stale_checks"`
+	StaleViolations uint64  `json:"stale_violations"`
+	Reports         uint64  `json:"reports"`
+	DelayP50        float64 `json:"delay_p50"`
+	DelayP90        float64 `json:"delay_p90"`
+	DelayP99        float64 `json:"delay_p99"`
+	DelayP999       float64 `json:"delay_p999"`
+}
+
+// rollupSnapshots renders the retained windows sorted by (algo, start).
+// Caller holds at least a read lock.
+func (m *SweepMonitor) rollupSnapshots() []RollupSnapshot {
+	var out []RollupSnapshot
+	for algo, byStart := range m.rollups {
+		for _, w := range byStart {
+			r := RollupSnapshot{
+				Algo:            algo,
+				StartSec:        w.start,
+				EndSec:          w.end,
+				Cells:           w.cells,
+				Events:          w.events,
+				Queries:         w.queries,
+				Answers:         w.answers,
+				Hits:            w.hits,
+				StaleChecks:     w.staleChecks,
+				StaleViolations: w.staleViolations,
+				Reports:         w.reports,
+				DelayP50:        -1,
+				DelayP90:        -1,
+				DelayP99:        -1,
+				DelayP999:       -1,
+			}
+			if w.end > w.start {
+				r.EventsPerSimSec = float64(w.events) / (w.end - w.start)
+			}
+			if w.delay != nil {
+				r.DelayP50 = w.delay.Quantile(0.50)
+				r.DelayP90 = w.delay.Quantile(0.90)
+				r.DelayP99 = w.delay.Quantile(0.99)
+				r.DelayP999 = w.delay.Quantile(0.999)
+			}
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Algo != out[j].Algo {
+			return out[i].Algo < out[j].Algo
+		}
+		return out[i].StartSec < out[j].StartSec
+	})
+	return out
+}
+
+// RollupSink returns a sink that folds every flush into the monitor. The
+// sink merges during the call and retains nothing of the flush value, per
+// the RollupSink contract.
+func (m *SweepMonitor) RollupSink() RollupSink {
+	return func(f RollupFlush) { m.AddRollup(f) }
+}
+
+// Rollups returns the currently retained aggregated windows, for callers
+// outside the HTTP snapshot path (the Prometheus handler, tests).
+func (m *SweepMonitor) Rollups() []RollupSnapshot {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.rollupSnapshots()
+}

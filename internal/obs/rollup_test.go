@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+func testFlush(algo string, start, end float64, cell int, delays ...float64) RollupFlush {
+	c := RollupCell{Cell: cell, Queries: uint64(len(delays)), Answers: uint64(len(delays))}
+	if len(delays) > 0 {
+		c.Delay = metrics.NewDelaySketch()
+		for _, d := range delays {
+			c.Delay.Observe(d)
+			if d < 1 {
+				c.Hits++
+			}
+		}
+	}
+	return RollupFlush{Algo: algo, Start: start, End: end, Events: 100, Cells: []RollupCell{c}}
+}
+
+// TestSweepMonitorZeroValueSnapshot pins the nil-guard: Snapshot on a
+// monitor whose Begin was never called must report zeros and an unknown
+// ETA, not an elapsed time computed from the Unix epoch.
+func TestSweepMonitorZeroValueSnapshot(t *testing.T) {
+	var m SweepMonitor
+	s := m.Snapshot(time.Now())
+	if s.ElapsedSec != 0 {
+		t.Fatalf("ElapsedSec = %v on a never-begun monitor, want 0", s.ElapsedSec)
+	}
+	if s.UnitsPerSec != 0 || s.EventsPerSec != 0 {
+		t.Fatalf("rates = %v/%v on a never-begun monitor, want 0/0", s.UnitsPerSec, s.EventsPerSec)
+	}
+	if s.ETASec != -1 {
+		t.Fatalf("ETASec = %v on a never-begun monitor, want -1", s.ETASec)
+	}
+	// The HTTP path must work too, and declare its content type.
+	rec := httptest.NewRecorder()
+	m.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/sweep", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q, want application/json", ct)
+	}
+	var out Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatalf("snapshot body is not JSON: %v", err)
+	}
+}
+
+// TestMonitorRollupAggregation checks that flushes sharing an (algo, window
+// start) merge — counters add, sketches merge — while distinct windows and
+// algorithms stay separate, and that eviction keeps only the newest windows.
+func TestMonitorRollupAggregation(t *testing.T) {
+	var m SweepMonitor
+	m.Begin(1, 1, 1, []string{"ts"})
+
+	// Two replications contribute to the same window from different cells.
+	m.AddRollup(testFlush("ts", 0, 60, 0, 0.5, 2.0))
+	m.AddRollup(testFlush("ts", 0, 60, 1, 8.0))
+	m.AddRollup(testFlush("ts", 60, 120, 0, 1.0))
+	m.AddRollup(testFlush("at", 0, 60, 0, 4.0))
+
+	rs := m.Rollups()
+	if len(rs) != 3 {
+		t.Fatalf("got %d aggregated windows, want 3: %+v", len(rs), rs)
+	}
+	// Sorted by (algo, start): at@0, ts@0, ts@60.
+	if rs[0].Algo != "at" || rs[1].Algo != "ts" || rs[1].StartSec != 0 || rs[2].StartSec != 60 {
+		t.Fatalf("unexpected order: %+v", rs)
+	}
+	w := rs[1]
+	if w.Queries != 3 || w.Answers != 3 || w.Hits != 1 || w.Cells != 2 || w.Events != 200 {
+		t.Fatalf("ts@0 merged wrong: %+v", w)
+	}
+	if w.DelayP90 < 2 || w.DelayP90 > 9 {
+		t.Fatalf("ts@0 p90 = %v, want within merged stream [2, 8]", w.DelayP90)
+	}
+	if w.EventsPerSimSec != 200.0/60 {
+		t.Fatalf("events/sim-s = %v", w.EventsPerSimSec)
+	}
+
+	// A window with no answers reports -1 quantiles (JSON-safe NaN).
+	m.AddRollup(RollupFlush{Algo: "at", Start: 120, End: 180, Cells: []RollupCell{{Cell: 0, Reports: 7}}})
+	for _, r := range m.Rollups() {
+		if r.Algo == "at" && r.StartSec == 120 {
+			if r.Reports != 7 || r.DelayP99 != -1 {
+				t.Fatalf("empty-delay window rendered wrong: %+v", r)
+			}
+		}
+	}
+
+	// Eviction: push more windows than the retention bound.
+	for i := 0; i < rollupKeep+4; i++ {
+		m.AddRollup(testFlush("ts", float64(120+60*i), float64(180+60*i), 0, 1.0))
+	}
+	var tsWindows []RollupSnapshot
+	for _, r := range m.Rollups() {
+		if r.Algo == "ts" {
+			tsWindows = append(tsWindows, r)
+		}
+	}
+	if len(tsWindows) != rollupKeep {
+		t.Fatalf("retained %d ts windows, want %d", len(tsWindows), rollupKeep)
+	}
+	for i := 1; i < len(tsWindows); i++ {
+		if tsWindows[i].StartSec <= tsWindows[i-1].StartSec {
+			t.Fatal("retained windows not ascending")
+		}
+	}
+
+	// The JSON snapshot carries the same rollups.
+	snap := m.Snapshot(time.Now())
+	if len(snap.Rollups) != len(m.Rollups()) {
+		t.Fatalf("snapshot has %d rollups, direct read has %d", len(snap.Rollups), len(m.Rollups()))
+	}
+	if _, err := json.Marshal(snap); err != nil {
+		t.Fatalf("snapshot with rollups does not marshal: %v", err)
+	}
+
+	// Begin resets retained rollups for the next sweep.
+	m.Begin(1, 1, 1, nil)
+	if got := m.Rollups(); len(got) != 0 {
+		t.Fatalf("Begin kept %d stale rollup windows", len(got))
+	}
+}
+
+// TestMetricsHandler checks the Prometheus text exposition: content type,
+// sweep counters, and per-algorithm rollup gauges from the latest window.
+func TestMetricsHandler(t *testing.T) {
+	var m SweepMonitor
+	m.Begin(2, 10, 5, []string{"ts"})
+	m.AddEvents("ts", 12345)
+	m.AddRollup(testFlush("ts", 0, 60, 0, 0.5, 2.0))
+	m.AddRollup(testFlush("ts", 60, 120, 0, 4.0))
+
+	rec := httptest.NewRecorder()
+	m.MetricsHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("Content-Type = %q, want text exposition 0.0.4", ct)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		"wdc_sweep_events_total 12345",
+		`wdc_algo_events_total{algo="ts"} 12345`,
+		`wdc_rollup_window_start_seconds{algo="ts"} 60`, // latest window wins
+		`wdc_rollup_queries{algo="ts"} 1`,
+		`wdc_rollup_delay_seconds{algo="ts",quantile="0.99"} `,
+		"# TYPE wdc_rollup_delay_seconds gauge",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q\n%s", want, body)
+		}
+	}
+}

@@ -1,0 +1,245 @@
+package resultstore
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// DiffRow compares one metric of one point across two runs. The delta is
+// significant when it exceeds the combined 95% confidence half-widths
+// (|Δ| > sqrt(ciA² + ciB²)): under the usual independence assumption the
+// intervals then fail to overlap, so the runs genuinely disagree.
+type DiffRow struct {
+	Exp, Label, Algo, Metric string
+	MeanA, MeanB             float64 // NaN when that side measured nothing
+	Delta                    float64 // MeanB - MeanA
+	RelDelta                 float64 // Delta / |MeanA|; NaN when MeanA is 0 or NaN
+	Threshold                float64 // sqrt(ciA² + ciB²)
+	Significant              bool
+}
+
+// QuantRow compares the population delay quantiles of one point, computed
+// from the two runs' merged sketches (exact to sketch resolution, no
+// across-replication variance involved).
+type QuantRow struct {
+	Exp, Label, Algo string
+	Q                string  // "p50", "p90", "p99", "p999"
+	A, B             float64 // seconds; NaN when a side has no sketch
+	Shift            float64 // B/A - 1; NaN when A is 0 or either side is NaN
+}
+
+// Diff is the comparison of two run artifacts.
+type Diff struct {
+	A, B       *Run
+	SameConfig bool // config hashes match: deltas are run-to-run noise or code drift
+	Rows       []DiffRow
+	Quants     []QuantRow
+	OnlyA      []string // point keys present only in run A
+	OnlyB      []string // point keys present only in run B
+}
+
+// Significant counts rows whose delta clears the confidence threshold.
+func (d *Diff) Significant() int {
+	n := 0
+	for _, r := range d.Rows {
+		if r.Significant {
+			n++
+		}
+	}
+	return n
+}
+
+// Compare diffs two loaded runs point-by-point and metric-by-metric.
+func Compare(a, b *Run) *Diff {
+	d := &Diff{A: a, B: b, SameConfig: a.ConfigHash == b.ConfigHash && a.ConfigHash != ""}
+	byKeyA := make(map[string]*Point, len(a.Points))
+	for i := range a.Points {
+		byKeyA[a.Points[i].Key()] = &a.Points[i]
+	}
+	seen := make(map[string]bool, len(b.Points))
+	for i := range b.Points {
+		pb := &b.Points[i]
+		key := pb.Key()
+		seen[key] = true
+		pa := byKeyA[key]
+		if pa == nil {
+			d.OnlyB = append(d.OnlyB, key)
+			continue
+		}
+		names := make([]string, 0, len(pa.Metrics))
+		for name := range pa.Metrics {
+			if _, ok := pb.Metrics[name]; ok {
+				names = append(names, name)
+			}
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			ma, mb := pa.Metrics[name], pb.Metrics[name]
+			row := DiffRow{
+				Exp: pa.Exp, Label: pa.Label, Algo: pa.Algo, Metric: name,
+				MeanA: float64(ma.Mean), MeanB: float64(mb.Mean),
+				Delta:    float64(mb.Mean) - float64(ma.Mean),
+				RelDelta: math.NaN(),
+			}
+			row.Threshold = math.Sqrt(float64(ma.CI95)*float64(ma.CI95) + float64(mb.CI95)*float64(mb.CI95))
+			if row.MeanA != 0 && !math.IsNaN(row.MeanA) && !math.IsNaN(row.MeanB) {
+				row.RelDelta = row.Delta / math.Abs(row.MeanA)
+			}
+			// A delta is only judged when both sides measured something and
+			// both carry a finite threshold; a NaN mean or CI means "nothing
+			// to compare", not "changed".
+			if !math.IsNaN(row.MeanA) && !math.IsNaN(row.MeanB) && !math.IsNaN(row.Threshold) {
+				row.Significant = math.Abs(row.Delta) > row.Threshold
+			}
+			d.Rows = append(d.Rows, row)
+		}
+		d.Quants = append(d.Quants, quantRows(pa, pb)...)
+	}
+	for i := range a.Points {
+		if key := a.Points[i].Key(); !seen[key] {
+			d.OnlyA = append(d.OnlyA, key)
+		}
+	}
+	sort.Strings(d.OnlyA)
+	sort.Strings(d.OnlyB)
+	return d
+}
+
+// quantRows builds the quantile shift rows of one matched point from the
+// sketches when both sides carry one (preferred: population-exact), falling
+// back to the stored quantile snapshots.
+func quantRows(pa, pb *Point) []QuantRow {
+	qa, qb := pointQuantiles(pa), pointQuantiles(pb)
+	if qa == nil && qb == nil {
+		return nil
+	}
+	get := func(m map[string]float64, q string) float64 {
+		if m == nil {
+			return math.NaN()
+		}
+		return m[q]
+	}
+	var out []QuantRow
+	for _, q := range []string{"p50", "p90", "p99", "p999"} {
+		row := QuantRow{
+			Exp: pa.Exp, Label: pa.Label, Algo: pa.Algo, Q: q,
+			A: get(qa, q), B: get(qb, q), Shift: math.NaN(),
+		}
+		if row.A != 0 && !math.IsNaN(row.A) && !math.IsNaN(row.B) {
+			row.Shift = row.B/row.A - 1
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// pointQuantiles extracts a point's population delay quantiles, preferring
+// the serialized sketch over the stored snapshot. Nil when neither exists.
+func pointQuantiles(p *Point) map[string]float64 {
+	if s, err := metrics.DecodeSketch(p.Sketch); err == nil && s != nil {
+		return map[string]float64{
+			"p50": s.Quantile(0.50), "p90": s.Quantile(0.90),
+			"p99": s.Quantile(0.99), "p999": s.Quantile(0.999),
+		}
+	}
+	if q := p.DelayQuantiles; q != nil {
+		return map[string]float64{
+			"p50": float64(q.P50), "p90": float64(q.P90),
+			"p99": float64(q.P99), "p999": float64(q.P999),
+		}
+	}
+	return nil
+}
+
+// Markdown renders the diff as a report: a header comparing the two runs'
+// provenance, the significant deltas (or an all-clear), and the quantile
+// shift table for points whose tails moved.
+func (d *Diff) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Run diff\n\n")
+	fmt.Fprintf(&b, "| | run A | run B |\n|---|---|---|\n")
+	fmt.Fprintf(&b, "| config hash | %s | %s |\n", short(d.A.ConfigHash), short(d.B.ConfigHash))
+	fmt.Fprintf(&b, "| seed / reps | %d / %d | %d / %d |\n", d.A.Seed, d.A.Reps, d.B.Seed, d.B.Reps)
+	fmt.Fprintf(&b, "| go / commit | %s %s | %s %s |\n",
+		d.A.GoVersion, short(d.A.GitCommit), d.B.GoVersion, short(d.B.GitCommit))
+	fmt.Fprintf(&b, "| experiments | %s | %s |\n\n",
+		strings.Join(d.A.Experiments, " "), strings.Join(d.B.Experiments, " "))
+	if d.SameConfig {
+		b.WriteString("Config hashes match: any significant delta below is run-to-run noise or code drift.\n\n")
+	} else {
+		b.WriteString("Config hashes differ: this is a before-vs-after comparison.\n\n")
+	}
+
+	if n := d.Significant(); n == 0 {
+		fmt.Fprintf(&b, "## Deltas\n\nNo significant deltas across %d compared metrics.\n\n", len(d.Rows))
+	} else {
+		fmt.Fprintf(&b, "## Deltas\n\n%d of %d compared metrics differ beyond combined 95%% CIs.\n\n", n, len(d.Rows))
+		b.WriteString("| exp | point | algo | metric | A | B | Δ | rel | threshold |\n")
+		b.WriteString("|---|---|---|---|---|---|---|---|---|\n")
+		for _, r := range d.Rows {
+			if !r.Significant {
+				continue
+			}
+			fmt.Fprintf(&b, "| %s | %s | %s | %s | %.4g | %.4g | %+.4g | %s | %.4g |\n",
+				r.Exp, r.Label, r.Algo, r.Metric, r.MeanA, r.MeanB, r.Delta, pct(r.RelDelta), r.Threshold)
+		}
+		b.WriteString("\n")
+	}
+
+	// Quantile shifts: only rows whose tail moved by more than the sketch's
+	// own resolution (5% per bucket) are worth showing.
+	const shiftFloor = 0.05
+	var moved []QuantRow
+	for _, q := range d.Quants {
+		if !math.IsNaN(q.Shift) && math.Abs(q.Shift) > shiftFloor {
+			moved = append(moved, q)
+		}
+	}
+	if len(d.Quants) > 0 {
+		b.WriteString("## Delay quantile shifts\n\n")
+		if len(moved) == 0 {
+			fmt.Fprintf(&b, "All population delay quantiles within sketch resolution (±%.0f%%) across %d points.\n\n",
+				shiftFloor*100, len(d.Quants)/4)
+		} else {
+			b.WriteString("| exp | point | algo | q | A (s) | B (s) | shift |\n")
+			b.WriteString("|---|---|---|---|---|---|---|\n")
+			for _, q := range moved {
+				fmt.Fprintf(&b, "| %s | %s | %s | %s | %.4g | %.4g | %s |\n",
+					q.Exp, q.Label, q.Algo, q.Q, q.A, q.B, pct(q.Shift))
+			}
+			b.WriteString("\n")
+		}
+	}
+
+	if len(d.OnlyA) > 0 || len(d.OnlyB) > 0 {
+		b.WriteString("## Coverage\n\n")
+		if len(d.OnlyA) > 0 {
+			fmt.Fprintf(&b, "Only in run A: %s\n\n", strings.Join(d.OnlyA, ", "))
+		}
+		if len(d.OnlyB) > 0 {
+			fmt.Fprintf(&b, "Only in run B: %s\n\n", strings.Join(d.OnlyB, ", "))
+		}
+	}
+	return b.String()
+}
+
+func short(s string) string {
+	if len(s) > 12 {
+		return s[:12]
+	}
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+func pct(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%+.1f%%", v*100)
+}

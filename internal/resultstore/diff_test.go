@@ -1,0 +1,153 @@
+package resultstore
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// miniRuns hand-builds the two checked-in artifacts. They model a same-config
+// before/after pair where run B's "ts" point drifted: the mean delay moved
+// beyond the combined CIs and the delay tail stretched by ~30%, while the
+// "at" point stayed put. Run B also carries an extra point to exercise the
+// coverage section. Everything is fixed constants so the golden report is
+// stable across machines and toolchains.
+func miniRuns() (*Run, *Run) {
+	sketch := func(scale float64) []byte {
+		s := metrics.NewDelaySketch()
+		for i := 0; i < 200; i++ {
+			// Deterministic spread over ~[1 ms, 200 ms), then a heavy tail.
+			s.Observe(scale * 0.001 * float64(1+i))
+		}
+		for i := 0; i < 5; i++ {
+			s.Observe(scale * float64(2+i))
+		}
+		return s.AppendBinary(nil)
+	}
+	met := func(mean, ci float64) Metric {
+		return Metric{Mean: core.JSONFloat(mean), CI95: core.JSONFloat(ci), N: 3}
+	}
+	point := func(algo string, delay, ci, scale float64) Point {
+		return Point{
+			Exp: "F1", X: 0.5, Label: "u0.5", Algo: algo, Reps: 3,
+			Metrics: map[string]Metric{
+				"delay": met(delay, ci),
+				"p99":   met(delay*4, ci*4),
+			},
+			Sketch: sketch(scale),
+		}
+	}
+	base := &Run{
+		Schema:      Schema,
+		CreatedUnix: 1700000000,
+		ConfigHash:  "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa",
+		GoVersion:   "go1.22.0",
+		GitCommit:   "0123456789abcdef",
+		Seed:        1,
+		Reps:        3,
+		Experiments: []string{"F1"},
+	}
+	a := *base
+	a.Points = []Point{point("at", 0.080, 0.004, 1.0), point("ts", 0.050, 0.002, 1.0)}
+	b := *base
+	b.CreatedUnix = 1700003600
+	b.GitCommit = "fedcba98765432"
+	b.Points = []Point{
+		point("at", 0.081, 0.004, 1.0), // within noise, same tail
+		point("ts", 0.061, 0.002, 1.3), // drifted: mean and tail both move
+		{Exp: "F1", X: 1, Label: "u1.0", Algo: "ts", Reps: 3,
+			Metrics: map[string]Metric{"delay": met(0.055, 0.002)}}, // only in B
+	}
+	return &a, &b
+}
+
+// TestDiffGolden pins the full -diff pipeline against checked-in artifacts:
+// the rendered markdown must match testdata/diff_golden.md byte for byte.
+// Regenerate all three files with UPDATE_GOLDEN=1 go test ./internal/resultstore/
+// after an intentional format change, and review the diff.
+func TestDiffGolden(t *testing.T) {
+	dirA, dirB := filepath.Join("testdata", "runA"), filepath.Join("testdata", "runB")
+	golden := filepath.Join("testdata", "diff_golden.md")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		a, b := miniRuns()
+		if _, err := Save(dirA, a); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Save(dirB, b); err != nil {
+			t.Fatal(err)
+		}
+		d := Compare(a, b)
+		if err := os.WriteFile(golden, []byte(d.Markdown()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Log("regenerated", dirA, dirB, golden)
+	}
+
+	runA, err := Load(dirA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runB, err := Load(dirB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The checked-in artifacts must be bit-equal to what miniRuns builds, so
+	// the testdata cannot silently drift from the generator.
+	wantA, wantB := miniRuns()
+	for _, pair := range []struct {
+		name      string
+		got, want *Run
+	}{{"runA", runA, wantA}, {"runB", runB, wantB}} {
+		gotJSON, _ := Save(t.TempDir(), pair.got)
+		wantJSON, _ := Save(t.TempDir(), pair.want)
+		g, _ := os.ReadFile(gotJSON)
+		w, _ := os.ReadFile(wantJSON)
+		if string(g) != string(w) {
+			t.Fatalf("%s: checked-in artifact diverged from the generator; rerun with UPDATE_GOLDEN=1", pair.name)
+		}
+	}
+
+	d := Compare(runA, runB)
+	if !d.SameConfig {
+		t.Fatal("mini runs share a config hash but SameConfig is false")
+	}
+	// The drifted ts point must be flagged; the at point must not.
+	var tsHit, atHit bool
+	for _, r := range d.Rows {
+		if r.Significant {
+			if r.Algo == "ts" {
+				tsHit = true
+			}
+			if r.Algo == "at" {
+				atHit = true
+			}
+		}
+	}
+	if !tsHit {
+		t.Error("drifted ts metrics not flagged as significant")
+	}
+	if atHit {
+		t.Error("within-noise at metrics flagged as significant")
+	}
+	if len(d.OnlyB) != 1 || d.OnlyB[0] != "F1/u1.0/ts" {
+		t.Errorf("coverage OnlyB = %v, want the B-only point", d.OnlyB)
+	}
+	// The ts tail stretched by 30%: every quantile shift clears the 5% floor.
+	for _, q := range d.Quants {
+		if q.Algo == "ts" && (math.IsNaN(q.Shift) || q.Shift < 0.2) {
+			t.Errorf("ts %s shift %v, want ~+30%%", q.Q, q.Shift)
+		}
+	}
+
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Markdown(); got != string(want) {
+		t.Errorf("diff markdown diverged from golden; rerun with UPDATE_GOLDEN=1 and review\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

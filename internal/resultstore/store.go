@@ -1,0 +1,195 @@
+// Package resultstore persists sweep outcomes as versioned, strict-JSON run
+// artifacts — one file per sweep invocation carrying the config hash, build
+// metadata, and every (experiment, point, algorithm) cell's metric summaries
+// plus its merged delay sketch — and diffs two artifacts into algo-vs-algo
+// or before-vs-after delta tables with confidence intervals and quantile
+// shifts. It is the storage substrate `wdcsweep -store` writes and
+// `wdcreport -diff` reads.
+package resultstore
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/experiment"
+)
+
+// Schema identifies the artifact format; bump on any breaking change so old
+// readers fail loudly instead of misinterpreting fields.
+const Schema = "wdc-run-v1"
+
+// FileName is the artifact name inside a store directory.
+const FileName = "run.json"
+
+// Metric is one summarized measurement of a point: across-replication mean
+// and 95% confidence half-width over N replications. NaN encodes as null.
+type Metric struct {
+	Mean core.JSONFloat `json:"mean"`
+	CI95 core.JSONFloat `json:"ci95"`
+	N    int            `json:"n"`
+}
+
+// Quantiles are the population delay quantiles of a point, taken from the
+// merged (all-replication) sketch. NaN — no answers — encodes as null.
+type Quantiles struct {
+	P50  core.JSONFloat `json:"p50"`
+	P90  core.JSONFloat `json:"p90"`
+	P99  core.JSONFloat `json:"p99"`
+	P999 core.JSONFloat `json:"p999"`
+}
+
+// Point is one (experiment, x-point, algorithm) cell of a run.
+type Point struct {
+	Exp     string            `json:"exp"`
+	X       float64           `json:"x"`
+	Label   string            `json:"label"`
+	Algo    string            `json:"algo"`
+	Reps    int               `json:"reps"`
+	Metrics map[string]Metric `json:"metrics"`
+	// DelayQuantiles and Sketch describe the merged population delay
+	// distribution; both absent when the cell was restored from a pre-sketch
+	// checkpoint.
+	DelayQuantiles *Quantiles `json:"delay_quantiles,omitempty"`
+	Sketch         []byte     `json:"sketch,omitempty"` // metrics.Sketch binary, base64 in JSON
+}
+
+// Key identifies a point across runs.
+func (p *Point) Key() string { return p.Exp + "/" + p.Label + "/" + p.Algo }
+
+// Run is one complete artifact.
+type Run struct {
+	Schema      string   `json:"schema"`
+	CreatedUnix int64    `json:"created_unix"`
+	ConfigHash  string   `json:"config_hash"` // sha256 of the base config JSON
+	GoVersion   string   `json:"go_version"`
+	GitCommit   string   `json:"git_commit,omitempty"`
+	Seed        uint64   `json:"seed"`
+	Reps        int      `json:"reps"`
+	Experiments []string `json:"experiments"`
+	Points      []Point  `json:"points"`
+}
+
+// ConfigHash fingerprints a base configuration by hashing its canonical
+// JSON form (process-local hooks are excluded by construction).
+func ConfigHash(cfg core.Config) (string, error) {
+	data, err := cfg.ToJSON()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// New assembles an artifact from completed sweep results. createdUnix is the
+// caller's wall clock; gitCommit may be empty when the build is not from a
+// checkout.
+func New(results []*experiment.Result, base core.Config, reps int, createdUnix int64, gitCommit string) (*Run, error) {
+	hash, err := ConfigHash(base)
+	if err != nil {
+		return nil, err
+	}
+	run := &Run{
+		Schema:      Schema,
+		CreatedUnix: createdUnix,
+		ConfigHash:  hash,
+		GoVersion:   runtime.Version(),
+		GitCommit:   gitCommit,
+		Seed:        base.Seed,
+		Reps:        reps,
+	}
+	for _, res := range results {
+		run.Experiments = append(run.Experiments, res.Exp.ID)
+		for i := range res.Cells {
+			c := &res.Cells[i]
+			if c.Agg == nil {
+				continue // errored cell; the sweep already reported it
+			}
+			p := Point{
+				Exp:     res.Exp.ID,
+				X:       c.Point.X,
+				Label:   c.Point.Label,
+				Algo:    c.Algo,
+				Reps:    c.Agg.Reps,
+				Metrics: make(map[string]Metric, len(res.Exp.Metrics)+4),
+			}
+			for _, m := range res.Exp.Metrics {
+				mean, ci := m.Get(c.Agg)
+				p.Metrics[m.Name] = Metric{Mean: core.JSONFloat(mean), CI95: core.JSONFloat(ci), N: c.Agg.Reps}
+			}
+			// Tail quantiles ride along on every point regardless of the
+			// experiment's chosen columns, so diffs can always compare tails.
+			for name, s := range map[string]*struct{ mean, ci float64 }{
+				"p50":  {c.Agg.P50Delay.Mean(), c.Agg.P50Delay.CI95()},
+				"p90":  {c.Agg.P90Delay.Mean(), c.Agg.P90Delay.CI95()},
+				"p99":  {c.Agg.P99Delay.Mean(), c.Agg.P99Delay.CI95()},
+				"p999": {c.Agg.P999Delay.Mean(), c.Agg.P999Delay.CI95()},
+			} {
+				if _, dup := p.Metrics[name]; !dup {
+					p.Metrics[name] = Metric{Mean: core.JSONFloat(s.mean), CI95: core.JSONFloat(s.ci), N: c.Agg.Reps}
+				}
+			}
+			if sk := c.Agg.DelaySketch; sk != nil {
+				p.Sketch = sk.AppendBinary(nil)
+				p.DelayQuantiles = &Quantiles{
+					P50:  core.JSONFloat(sk.Quantile(0.50)),
+					P90:  core.JSONFloat(sk.Quantile(0.90)),
+					P99:  core.JSONFloat(sk.Quantile(0.99)),
+					P999: core.JSONFloat(sk.Quantile(0.999)),
+				}
+			}
+			run.Points = append(run.Points, p)
+		}
+	}
+	sort.Slice(run.Points, func(i, j int) bool { return run.Points[i].Key() < run.Points[j].Key() })
+	return run, nil
+}
+
+// Save writes the artifact as indented JSON into dir (created if missing)
+// and returns the file path.
+func Save(dir string, run *Run) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(run); err != nil {
+		return "", fmt.Errorf("resultstore: encoding run: %w", err)
+	}
+	path := filepath.Join(dir, FileName)
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// Load reads an artifact from a run.json file or a directory containing one.
+// Decoding is strict: unknown fields and schema mismatches are errors, so a
+// typoed or future-format artifact cannot be half-read silently.
+func Load(path string) (*Run, error) {
+	if fi, err := os.Stat(path); err == nil && fi.IsDir() {
+		path = filepath.Join(path, FileName)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var run Run
+	if err := dec.Decode(&run); err != nil {
+		return nil, fmt.Errorf("resultstore: %s: %w", path, err)
+	}
+	if run.Schema != Schema {
+		return nil, fmt.Errorf("resultstore: %s: schema %q, want %q", path, run.Schema, Schema)
+	}
+	return &run, nil
+}

@@ -1,0 +1,172 @@
+package resultstore
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/des"
+	"repro/internal/experiment"
+	"repro/internal/metrics"
+)
+
+// miniSweep runs a tiny two-algorithm sweep and returns its results with
+// the base config used.
+func miniSweep(t *testing.T) ([]*experiment.Result, core.Config) {
+	t.Helper()
+	base := experiment.DefaultBase()
+	base.NumClients = 15
+	base.Horizon = 240 * des.Second
+	base.Warmup = 60 * des.Second
+	exp := &experiment.Experiment{
+		ID: "X1", Title: "store round-trip", XLabel: "x",
+		Algorithms: []string{"ts", "hybrid"},
+		Points: []experiment.Point{
+			{X: 1, Label: "one", Mutate: func(*core.Config) {}},
+		},
+		Metrics: []experiment.Metric{experiment.MetricDelay, experiment.MetricP99},
+	}
+	results, err := experiment.RunAll(context.Background(), []*experiment.Experiment{exp},
+		experiment.Options{Base: base, Reps: 2, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return results, base
+}
+
+// TestStoreRoundTripAndSelfDiff is the acceptance contract: an artifact
+// written from a sweep survives a strict-JSON round-trip bit-for-bit, and
+// diffing a run against itself reports zero significant deltas and zero
+// quantile shifts.
+func TestStoreRoundTripAndSelfDiff(t *testing.T) {
+	results, base := miniSweep(t)
+	run, err := New(results, base, 2, 1700000000, "deadbeef")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Schema != Schema || run.ConfigHash == "" || run.GoVersion == "" {
+		t.Fatalf("artifact metadata incomplete: %+v", run)
+	}
+	if len(run.Points) != 2 {
+		t.Fatalf("got %d points, want 2 (one per algorithm)", len(run.Points))
+	}
+	for _, p := range run.Points {
+		for _, name := range []string{"delay", "p99", "p50", "p999"} {
+			if _, ok := p.Metrics[name]; !ok {
+				t.Fatalf("point %s missing metric %q", p.Key(), name)
+			}
+		}
+		if len(p.Sketch) == 0 || p.DelayQuantiles == nil {
+			t.Fatalf("point %s missing population sketch", p.Key())
+		}
+		if s, err := metrics.DecodeSketch(p.Sketch); err != nil || s.Count() == 0 {
+			t.Fatalf("point %s sketch does not decode: %v", p.Key(), err)
+		}
+	}
+
+	dir := t.TempDir()
+	path, err := Save(dir, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Loading via the directory works too.
+	loaded2, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded2.ConfigHash != loaded.ConfigHash || len(loaded2.Points) != len(loaded.Points) {
+		t.Fatal("directory load differs from file load")
+	}
+
+	d := Compare(run, loaded)
+	if !d.SameConfig {
+		t.Fatal("round-tripped run lost config identity")
+	}
+	if n := d.Significant(); n != 0 {
+		t.Fatalf("self-diff reports %d significant deltas", n)
+	}
+	for _, q := range d.Quants {
+		if !math.IsNaN(q.Shift) && q.Shift != 0 {
+			t.Fatalf("self-diff quantile shift %+v", q)
+		}
+	}
+	if len(d.OnlyA)+len(d.OnlyB) != 0 {
+		t.Fatalf("self-diff coverage mismatch: %v / %v", d.OnlyA, d.OnlyB)
+	}
+	if !strings.Contains(d.Markdown(), "No significant deltas") {
+		t.Fatal("self-diff report does not state the all-clear")
+	}
+}
+
+// TestStoreDeterministicAcrossWorkers pins that the artifact body (points,
+// metrics, sketches) is byte-identical however the sweep was scheduled —
+// the store inherits the harness's worker-count invariance.
+func TestStoreDeterministicAcrossWorkers(t *testing.T) {
+	var want []byte
+	for _, workers := range []int{1, 3} {
+		base := experiment.DefaultBase()
+		base.NumClients = 15
+		base.Horizon = 240 * des.Second
+		base.Warmup = 60 * des.Second
+		exp := &experiment.Experiment{
+			ID: "X1", Title: "det", XLabel: "x",
+			Algorithms: []string{"ts", "hybrid"},
+			Points:     []experiment.Point{{X: 1, Label: "one", Mutate: func(*core.Config) {}}},
+			Metrics:    []experiment.Metric{experiment.MetricDelay},
+		}
+		results, err := experiment.RunAll(context.Background(), []*experiment.Experiment{exp},
+			experiment.Options{Base: base, Reps: 3, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		run, err := New(results, base, 3, 1700000000, "deadbeef")
+		if err != nil {
+			t.Fatal(err)
+		}
+		dir := t.TempDir()
+		path, err := Save(dir, run)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = got
+		} else if !bytes.Equal(got, want) {
+			t.Fatalf("workers=%d: artifact bytes differ", workers)
+		}
+	}
+}
+
+// TestLoadStrict pins the failure modes: unknown fields, wrong schema, and
+// missing files must all error loudly.
+func TestLoadStrict(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	if _, err := Load(write("unknown.json", `{"schema":"wdc-run-v1","typo_field":1}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if _, err := Load(write("schema.json", `{"schema":"wdc-run-v999"}`)); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+	if _, err := Load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
