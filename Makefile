@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: help build test vet race smoke-multicell check sweep bench bench-smoke bench-json bench-city soak fuzz-smoke
+.PHONY: help build test vet race smoke-multicell smoke-parallel check sweep bench bench-smoke bench-json bench-city soak fuzz-smoke
 
 # help lists the public targets. check is the pre-commit gate; soak is the
 # nightly chaos run and is deliberately NOT part of check.
@@ -10,7 +10,8 @@ help:
 	@echo "vet             go vet"
 	@echo "race            race-detector pass over the concurrent packages"
 	@echo "smoke-multicell multi-cell topology smoke under -race"
-	@echo "check           pre-commit gate: build + vet + race + smoke-multicell"
+	@echo "smoke-parallel  epoch-parallel engine smoke under -race: chaos at P=1 vs P=NumCPU"
+	@echo "check           pre-commit gate: build + vet + race + smoke-multicell + smoke-parallel"
 	@echo "sweep           regenerate the full evaluation into results/"
 	@echo "bench           full benchmark archive run"
 	@echo "bench-smoke     CI-sized benchmark subset"
@@ -39,8 +40,15 @@ race:
 smoke-multicell:
 	$(GO) test -race -run 'MultiCell|Handoff|SingleCellMatchesLegacy' ./internal/core ./internal/topology
 
+# smoke-parallel exercises the epoch-synchronized parallel engine under the
+# race detector: multi-cell chaos runs whose fingerprints must be
+# byte-identical at every lane worker count (P=1 through P=NumCPU via
+# ParallelWorkers=0), plus pulse accounting and fail-fast cancellation.
+smoke-parallel:
+	$(GO) test -race -run 'Parallel|CellWorkers' -count=1 ./internal/core ./internal/experiment
+
 # check is the pre-commit gate.
-check: build vet race smoke-multicell
+check: build vet race smoke-multicell smoke-parallel
 
 # sweep regenerates the full evaluation into results/ (resumable).
 sweep: build
@@ -71,10 +79,13 @@ bench-json:
 # bench-city refreshes the committed capacity record BENCH_2.json: a
 # clients×cells scaling curve (1k→100k clients, 1→64 cells) where each point
 # runs one replication in its own subprocess so peak RSS is measured per
-# configuration. Gates: events/s may not drop, nor peak RSS rise, more than
-# 15% against the committed record, and no point may exceed 1 GiB resident.
+# configuration, plus the parallel scaling curve (the 100k×16 point at lane
+# worker counts 1, 2, 4, NumCPU). Gates: events/s may not drop, nor peak RSS
+# rise, more than 8% against the committed record; no point may exceed 1 GiB
+# resident; and on ≥4-core machines the 100k×16 point must reach 2.5x its
+# P=1 throughput at P=NumCPU.
 bench-city:
-	$(GO) run ./cmd/wdcbench -city -baseline BENCH_2.json -out BENCH_2.json -max-regress-pct 15 -max-rss-mib 1024
+	$(GO) run ./cmd/wdcbench -city -baseline BENCH_2.json -out BENCH_2.json -max-regress-pct 8 -max-rss-mib 1024
 
 # fuzz-smoke runs each ir fuzz target for 30s from its committed seed corpus.
 # Short enough to gate a PR; the corpora under internal/ir/testdata/fuzz keep

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"runtime"
+	"sort"
 	"strings"
 
 	"repro/internal/core"
@@ -29,17 +31,46 @@ var cityPoints = [][2]int{
 	{10_000, 64},
 }
 
-// CityPoint is one measured (clients, cells) configuration.
-type CityPoint struct {
-	Clients      int     `json:"clients"`
-	Cells        int     `json:"cells"`
-	Events       uint64  `json:"events"`
-	WallSec      float64 `json:"wall_sec"`
-	EventsPerSec float64 `json:"events_per_sec"`
-	PeakRSSBytes uint64  `json:"peak_rss_bytes"`
+// cityParallelPoint is the (clients, cells) shape the parallel scaling curve
+// runs at: the ≥16-cell capacity headline, where per-cell lanes have real
+// work to split.
+var cityParallelPoint = [2]int{100_000, 16}
+
+// cityParallelWorkers is the lane worker counts the scaling curve samples:
+// P=1 (the epoch runner's serial floor), 2, 4, and NumCPU, deduplicated and
+// clamped to the machine.
+func cityParallelWorkers() []int {
+	set := map[int]bool{}
+	var ws []int
+	for _, w := range []int{1, 2, 4, runtime.NumCPU()} {
+		if w >= 1 && !set[w] {
+			set[w] = true
+			ws = append(ws, w)
+		}
+	}
+	sort.Ints(ws)
+	return ws
 }
 
-func (p CityPoint) key() string { return fmt.Sprintf("%dx%d", p.Clients, p.Cells) }
+// CityPoint is one measured (clients, cells) configuration.
+// ParallelWorkers > 0 marks an epoch-parallel run with that many lane
+// workers; 0 is the classic serial engine.
+type CityPoint struct {
+	Clients         int     `json:"clients"`
+	Cells           int     `json:"cells"`
+	ParallelWorkers int     `json:"parallel_workers,omitempty"`
+	Events          uint64  `json:"events"`
+	WallSec         float64 `json:"wall_sec"`
+	EventsPerSec    float64 `json:"events_per_sec"`
+	PeakRSSBytes    uint64  `json:"peak_rss_bytes"`
+}
+
+func (p CityPoint) key() string {
+	if p.ParallelWorkers > 0 {
+		return fmt.Sprintf("%dx%d@p%d", p.Clients, p.Cells, p.ParallelWorkers)
+	}
+	return fmt.Sprintf("%dx%d", p.Clients, p.Cells)
+}
 
 // CityRecord is one full sweep of the curve.
 type CityRecord struct {
@@ -103,22 +134,29 @@ func cityConfig(clients, cells int) core.Config {
 // runCityPoint executes one point in-process and prints its JSON measurement
 // on stdout; the parent collects it. Invoked via the -city-point re-exec.
 func runCityPoint(spec string) {
-	var clients, cells int
-	if _, err := fmt.Sscanf(spec, "%dx%d", &clients, &cells); err != nil {
-		fatal(fmt.Errorf("bad -city-point %q (want CLIENTSxCELLS): %v", spec, err))
+	var clients, cells, workers int
+	if _, err := fmt.Sscanf(spec, "%dx%d@p%d", &clients, &cells, &workers); err != nil {
+		if _, err := fmt.Sscanf(spec, "%dx%d", &clients, &cells); err != nil {
+			fatal(fmt.Errorf("bad -city-point %q (want CLIENTSxCELLS[@pWORKERS]): %v", spec, err))
+		}
 	}
 	cfg := cityConfig(clients, cells)
+	if workers > 0 {
+		cfg.Parallel = true
+		cfg.ParallelWorkers = workers
+	}
 	stats, err := core.Run(cfg)
 	if err != nil {
 		fatal(err)
 	}
 	p := CityPoint{
-		Clients:      clients,
-		Cells:        cells,
-		Events:       stats.Events,
-		WallSec:      stats.WallSec,
-		EventsPerSec: stats.EventsPerSec,
-		PeakRSSBytes: peakRSSBytes(),
+		Clients:         clients,
+		Cells:           cells,
+		ParallelWorkers: workers,
+		Events:          stats.Events,
+		WallSec:         stats.WallSec,
+		EventsPerSec:    stats.EventsPerSec,
+		PeakRSSBytes:    peakRSSBytes(),
 	}
 	if err := json.NewEncoder(os.Stdout).Encode(p); err != nil {
 		fatal(err)
@@ -135,9 +173,17 @@ func runCity(outPath, baselinePath string, maxRegressPct float64, maxRSSBytes ui
 	if err != nil {
 		fatal(err)
 	}
-	current := &CityRecord{}
+	specs := make([]string, 0, len(cityPoints)+4)
 	for _, pt := range cityPoints {
-		spec := fmt.Sprintf("%dx%d", pt[0], pt[1])
+		specs = append(specs, fmt.Sprintf("%dx%d", pt[0], pt[1]))
+	}
+	// The parallel scaling curve: the ≥16-cell capacity point at each lane
+	// worker count, so the record carries events/s versus workers.
+	for _, w := range cityParallelWorkers() {
+		specs = append(specs, fmt.Sprintf("%dx%d@p%d", cityParallelPoint[0], cityParallelPoint[1], w))
+	}
+	current := &CityRecord{}
+	for _, spec := range specs {
 		fmt.Printf("wdcbench: city point %s...\n", spec)
 		// Best-of-2 on throughput: a single run's events/s carries scheduler
 		// and cache-state noise the 15%% ratchet must not trip on. RSS takes
@@ -185,6 +231,10 @@ func runCity(outPath, baselinePath string, maxRegressPct float64, maxRSSBytes ui
 	} else {
 		rec.Baseline = current
 	}
+	if ncpu := runtime.NumCPU(); ncpu < 4 {
+		rec.Note = fmt.Sprintf("parallel speedup gate skipped: NumCPU=%d < 4 on the recording machine; "+
+			"@pN points are recorded for determinism and scaling telemetry, not speedup evidence", ncpu)
+	}
 	rec.DeltaPct = map[string]float64{}
 	for _, p := range current.Points {
 		if b := rec.Baseline.find(p.key()); b != nil {
@@ -198,6 +248,21 @@ func runCity(outPath, baselinePath string, maxRegressPct float64, maxRSSBytes ui
 	fmt.Printf("wdcbench: wrote %s (%d points)\n", outPath, len(current.Points))
 
 	var failures []string
+	// Parallel speedup gate: with enough cores, the ≥16-cell point at
+	// P=NumCPU must reach 2.5× its own single-lane-worker (P=1) throughput.
+	// Skipped on narrow machines, where the lanes have no cores to spread
+	// over and the only honest measurement is the barrier overhead itself.
+	if ncpu := runtime.NumCPU(); ncpu >= 4 {
+		base := current.find(fmt.Sprintf("%dx%d@p1", cityParallelPoint[0], cityParallelPoint[1]))
+		wide := current.find(fmt.Sprintf("%dx%d@p%d", cityParallelPoint[0], cityParallelPoint[1], ncpu))
+		if base != nil && wide != nil && base.EventsPerSec > 0 {
+			if speedup := wide.EventsPerSec / base.EventsPerSec; speedup < 2.5 {
+				failures = append(failures, fmt.Sprintf(
+					"parallel speedup %.2fx at P=%d (%.0f vs %.0f events/s) below the 2.5x gate",
+					speedup, ncpu, wide.EventsPerSec, base.EventsPerSec))
+			}
+		}
+	}
 	for _, p := range current.Points {
 		if maxRSSBytes > 0 && p.PeakRSSBytes > maxRSSBytes {
 			failures = append(failures, fmt.Sprintf("point %s: peak RSS %.1f MiB exceeds absolute ceiling %.1f MiB",

@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/db"
+	"repro/internal/des"
 	"repro/internal/radio"
 )
 
@@ -19,6 +20,7 @@ type Arena struct {
 	table    clientTable
 	db       *db.DB
 	channels []*radio.Channel
+	scheds   []*des.Scheduler // reset lane schedulers for parallel runs
 }
 
 // NewArena returns an empty arena.
@@ -51,6 +53,18 @@ func (a *Arena) takeChannel() *radio.Channel {
 	return c
 }
 
+// takeSched pops one pooled (already reset) lane scheduler, or nil.
+func (a *Arena) takeSched() *des.Scheduler {
+	n := len(a.scheds)
+	if n == 0 {
+		return nil
+	}
+	s := a.scheds[n-1]
+	a.scheds[n-1] = nil
+	a.scheds = a.scheds[:n-1]
+	return s
+}
+
 // Reclaim stores sim's recyclable components for the worker's next
 // replication. Call it only after the run's statistics have been collected;
 // the simulation must not be executed or inspected afterwards. Components
@@ -62,7 +76,12 @@ func (a *Arena) Reclaim(sim *Simulation) {
 	sim.ct = clientTable{}
 	a.db = sim.db
 	a.channels = a.channels[:0]
+	a.scheds = a.scheds[:0]
 	for _, cell := range sim.cells {
 		a.channels = append(a.channels, cell.channel)
+		if cell.sch != sim.sch {
+			cell.sch.Reset()
+			a.scheds = append(a.scheds, cell.sch)
+		}
 	}
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/des"
 	"repro/internal/fault"
@@ -23,6 +24,16 @@ import (
 type Cell struct {
 	id  int
 	sim *Simulation
+
+	// sch is the cell's execution lane. In serial runs it aliases the
+	// simulation's scheduler, so every component wired to it behaves exactly
+	// as before lanes existed; in parallel runs it is a private scheduler
+	// advancing in lockstep epochs with its peers (see parallel.go).
+	sch *des.Scheduler
+
+	// ls receives the lane-side statistics. Serial runs share one instance
+	// across all cells; parallel runs give each cell its own (see laneStats).
+	ls *laneStats
 
 	channel  *radio.Channel
 	downlink *mac.Downlink
@@ -68,13 +79,45 @@ func (l cellLocator) DistanceM(i int, t des.Time) float64 {
 	return l.topo.DistanceToCellM(i, l.cell, t)
 }
 
+// snapLocator serves link distances from the simulation's barrier-refreshed
+// position snapshot instead of the mobility walkers. Parallel lanes must use
+// it: the walkers advance lazily on query, so a lane asking for a foreign
+// client's position (a background frame to a client of another cell) would
+// mutate state owned by that client's lane. The snapshot is written only at
+// barriers, making reads race-free; positions are at most one handoff-check
+// period stale, the same granularity at which cell association itself is
+// decided. The distance math mirrors Model.DistanceToCellM exactly.
+type snapLocator struct {
+	sim    *Simulation
+	cx, cy float64
+	minD   float64
+}
+
+// DistanceM implements radio.Locator.
+func (l snapLocator) DistanceM(i int, _ des.Time) float64 {
+	d := math.Hypot(l.sim.posX[i]-l.cx, l.sim.posY[i]-l.cy)
+	if d < l.minD {
+		d = l.minD
+	}
+	return d
+}
+
 // newCell wires one cell. The construction order (channel → downlink →
 // uplink → algorithm → server → reference rate → traffic) mirrors the
 // historical single-cell wiring exactly, so a one-cell simulation makes the
 // same draws from the same streams as before the componentization.
 func newCell(sim *Simulation, k, numCells int, arena *Arena) (*Cell, error) {
 	cfg := &sim.cfg
-	cell := &Cell{id: k, sim: sim}
+	cell := &Cell{id: k, sim: sim, sch: sim.sch, ls: sim.lanes[0]}
+	if sim.par {
+		if arena != nil {
+			cell.sch = arena.takeSched()
+		}
+		if cell.sch == sim.sch || cell.sch == nil {
+			cell.sch = des.NewScheduler()
+		}
+		cell.ls = sim.lanes[k]
+	}
 
 	ccfg := cfg.Channel
 	var loc radio.Locator
@@ -84,7 +127,12 @@ func newCell(sim *Simulation, k, numCells int, arena *Arena) (*Cell, error) {
 		// knobs (annulus drop, Params.Mobility).
 		ccfg.UseGeometry = true
 		ccfg.Mobility = nil
-		loc = cellLocator{topo: sim.topo, cell: k}
+		if sim.par {
+			cx, cy := sim.topo.Center(k)
+			loc = snapLocator{sim: sim, cx: cx, cy: cy, minD: cfg.Topology.MinDistanceM}
+		} else {
+			loc = cellLocator{topo: sim.topo, cell: k}
+		}
 	}
 	cell.roster = newIDSet(cfg.NumClients)
 	chSrc := rng.Stream(cfg.Seed, cellStream("channel", k, numCells))
@@ -104,11 +152,11 @@ func newCell(sim *Simulation, k, numCells int, arena *Arena) (*Cell, error) {
 		cell.channel = ch
 	}
 
-	cell.downlink = mac.NewDownlink(sim.sch, cell.channel, cfg.Downlink, cell.deliver)
+	cell.downlink = mac.NewDownlink(cell.sch, cell.channel, cfg.Downlink, cell.deliver)
 	cell.downlink.SetCell(k)
-	cell.uplink = mac.NewUplink(sim.sch, cfg.Uplink, rng.Stream(cfg.Seed, cellStream("uplink", k, numCells)),
+	cell.uplink = mac.NewUplink(cell.sch, cfg.Uplink, rng.Stream(cfg.Seed, cellStream("uplink", k, numCells)),
 		func(src int, meta any, now des.Time) { cell.server.onRequest(src, meta, now) })
-	cell.uplink.SetAttemptHook(sim.onUplinkAttempt)
+	cell.uplink.SetAttemptHook(cell.onUplinkAttempt)
 
 	algo, err := ir.New(cfg.Algorithm, cfg.IR)
 	if err != nil {
@@ -122,7 +170,7 @@ func newCell(sim *Simulation, k, numCells int, arena *Arena) (*Cell, error) {
 	cell.refRate = cell.referenceRate()
 	tcfg := cfg.Traffic
 	tcfg.RateBps = cfg.TrafficLoad * cell.refRate
-	cell.bg, err = traffic.New(sim.sch, tcfg, rng.Stream(cfg.Seed, cellStream("traffic", k, numCells)),
+	cell.bg, err = traffic.New(cell.sch, tcfg, rng.Stream(cfg.Seed, cellStream("traffic", k, numCells)),
 		cell.server.onBackground)
 	if err != nil {
 		return nil, err
@@ -178,7 +226,7 @@ func (cell *Cell) deliver(f *mac.Frame, ok bool, mcs int, now des.Time) {
 			if !s.ct.online(id) || int(s.ct.cell[id]) != cell.id {
 				continue
 			}
-			s.chargeRx(id, airtime)
+			s.chargeRx(id, airtime, now)
 			if cell.channel.Decode(id, now, mcs, f.Bits) {
 				s.client(id).onReport(m)
 			} else {
@@ -190,26 +238,26 @@ func (cell *Cell) deliver(f *mac.Frame, ok bool, mcs int, now des.Time) {
 		cell.server.onResponseDelivered(m)
 		switch dest := f.Dest; {
 		case int(s.ct.cell[dest]) != cell.id:
-			s.respDeparted++
+			cell.ls.respDeparted++
 		case !s.ct.connected(dest):
-			s.respDisconnected++
+			cell.ls.respDisconnected++
 		default:
 			if s.ct.awake(dest) {
-				s.chargeRx(dest, airtime)
+				s.chargeRx(dest, airtime, now)
 			}
 			s.client(dest).onResponse(m, ok)
 		}
 		for _, w := range m.waiters {
 			if int(s.ct.cell[w]) != cell.id {
-				s.respDeparted++
+				cell.ls.respDeparted++
 				continue
 			}
 			if !s.ct.connected(w) {
-				s.respDisconnected++
+				cell.ls.respDisconnected++
 				continue
 			}
 			if s.ct.awake(w) {
-				s.chargeRx(w, airtime)
+				s.chargeRx(w, airtime, now)
 			}
 			// Waiters decode independently of the addressed destination;
 			// a failed decode falls back to their own re-request timer via
@@ -221,7 +269,7 @@ func (cell *Cell) deliver(f *mac.Frame, ok bool, mcs int, now des.Time) {
 				if !s.ct.online(id) || int(s.ct.cell[id]) != cell.id || id == f.Dest {
 					continue
 				}
-				s.chargeRx(id, airtime)
+				s.chargeRx(id, airtime, now)
 				if cell.channel.Decode(id, now, mcs, f.Bits) {
 					s.client(id).onSnoop(m)
 				}
@@ -231,19 +279,19 @@ func (cell *Cell) deliver(f *mac.Frame, ok bool, mcs int, now des.Time) {
 		cell.server.releaseResp(m)
 	case *bgMeta:
 		if int(s.ct.cell[f.Dest]) == cell.id && s.ct.online(f.Dest) {
-			s.chargeRx(f.Dest, airtime)
+			s.chargeRx(f.Dest, airtime, now)
 		}
 		cell.fanPiggy(m.piggy, f.RobustBits, now)
 		cell.server.releaseBg(m)
 	case *catchupMeta:
 		switch dest := f.Dest; {
 		case int(s.ct.cell[dest]) != cell.id:
-			s.respDeparted++
+			cell.ls.respDeparted++
 		case !s.ct.connected(dest):
-			s.respDisconnected++
+			cell.ls.respDisconnected++
 		default:
 			if s.ct.awake(dest) {
-				s.chargeRx(dest, airtime)
+				s.chargeRx(dest, airtime, now)
 			}
 			s.client(dest).onCatchup(m.report, ok)
 		}
@@ -268,7 +316,7 @@ func (cell *Cell) fanPiggy(pg *ir.Report, robustBits int, now des.Time) {
 		if !s.ct.online(id) || int(s.ct.cell[id]) != cell.id {
 			continue
 		}
-		s.chargeRx(id, headAir)
+		s.chargeRx(id, headAir, now)
 		if cell.channel.Decode(id, now, 0, headBits) {
 			s.client(id).onReport(pg)
 		} else {
@@ -293,11 +341,11 @@ func (cell *Cell) deliverFaultedReport(r *ir.Report, fate fault.Fate, airtime fl
 			if !s.ct.online(id) || int(s.ct.cell[id]) != cell.id {
 				continue
 			}
-			s.chargeRx(id, airtime)
+			s.chargeRx(id, airtime, now)
 			s.client(id).onReportLost()
 		}
 	}
-	s.noteReportFault(cell.id, r.Seq, mode)
+	cell.noteReportFault(r.Seq, mode)
 	cell.server.algo.Recycle(r)
 }
 
@@ -319,7 +367,7 @@ func (cell *Cell) traceReport(r *ir.Report, carrier string, mcs int) {
 		}
 	}
 	tr.ReportBroadcast(obs.ReportBroadcastEvent{
-		At:          s.sch.Now(),
+		At:          cell.sch.Now(),
 		Cell:        cell.id,
 		Seq:         r.Seq,
 		Kind:        r.Kind.String(),

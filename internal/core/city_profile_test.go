@@ -1,0 +1,30 @@
+package core
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/des"
+)
+
+// TestCityProfilePoint mirrors cmd/wdcbench's 100k-client 16-cell city point
+// so the capacity workload can be profiled with -cpuprofile. Opt-in via
+// WDC_CITY_PROFILE=1: the point takes ~15s, too slow for the default suite.
+func TestCityProfilePoint(t *testing.T) {
+	if os.Getenv("WDC_CITY_PROFILE") == "" {
+		t.Skip("set WDC_CITY_PROFILE=1 to run the 100k-client profile point")
+	}
+	cfg := DefaultConfig()
+	cfg.Seed = 7
+	cfg.NumClients = 100_000
+	cfg.Workload.SleepRatio = 0.5
+	cfg.Horizon = 2 * des.Minute
+	cfg.Warmup = cfg.Horizon / 4
+	cfg.Topology.NumCells = 16
+	cfg.Topology.CheckPeriod = 5 * des.Second
+	stats, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("events=%d events/s=%.0f", stats.Events, stats.EventsPerSec)
+}

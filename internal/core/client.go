@@ -40,6 +40,15 @@ func (c client) clrFlag(bit uint8)   { c.sim.ct.flags[c.id] &^= bit }
 func (c client) online() bool { return c.sim.ct.online(c.id) }
 
 func (c client) cell() *Cell                { return c.sim.cells[c.sim.ct.cell[c.id]] }
+
+// sch returns the scheduler the client's events run on: its serving cell's
+// lane. In serial runs every lane aliases the simulation's scheduler, so
+// this is the historical scheduler access spelled through the cell. Handoff
+// migrates the client's pending events when its lane changes.
+func (c client) sch() *des.Scheduler { return c.sim.cells[c.sim.ct.cell[c.id]].sch }
+
+// ls returns the lane statistics the client's events write to.
+func (c client) ls() *laneStats { return c.sim.cells[c.sim.ct.cell[c.id]].ls }
 func (c client) cache() *cache.Cache        { return &c.sim.ct.caches[c.id] }
 func (c client) istate() *ir.ClientState    { return &c.sim.ct.istate[c.id] }
 func (c client) sampler() *workload.Sampler { return &c.sim.ct.samplers[c.id] }
@@ -81,7 +90,7 @@ func (s *Simulation) initClient(id int, wsrc, csrc *rng.Source, zipf *rng.Zipf, 
 func (c client) start() {
 	c.scheduleQuery()
 	if c.sampler().Sleeps() {
-		c.sim.sch.After(c.sampler().NextAwake(), "client.doze", c.sim.ct.dozeFn[c.id])
+		c.sim.ct.sleepEv[c.id] = c.sch().After(c.sampler().NextAwake(), "client.doze", c.sim.ct.dozeFn[c.id])
 	}
 }
 
@@ -90,7 +99,7 @@ func (c client) scheduleQuery() {
 	if des.Time(0).Add(gap) >= des.Never {
 		return // zero query rate
 	}
-	c.sim.ct.queryEv[c.id] = c.sim.sch.After(gap, "client.query", c.sim.ct.queryFn[c.id])
+	c.sim.ct.queryEv[c.id] = c.sch().After(gap, "client.query", c.sim.ct.queryFn[c.id])
 }
 
 func (c client) issueQuery() {
@@ -99,7 +108,7 @@ func (c client) issueQuery() {
 	if !c.online() {
 		return // cancelled race; doze and disconnect cancel the timer anyway
 	}
-	now := c.sim.sch.Now()
+	now := c.sch().Now()
 	item := c.sampler().NextItem()
 	t.pending[c.id] = append(t.pending[c.id], pendingQuery{item: item, issued: now})
 	c.sim.rollupQuery(now, t.cell[c.id])
@@ -112,6 +121,7 @@ func (c client) issueQuery() {
 // tryDoze begins a doze period, deferring it while queries are in flight so
 // a client never abandons an outstanding query mid-protocol.
 func (c client) tryDoze() {
+	c.sim.ct.sleepEv[c.id] = nil // the doze timer just fired
 	if len(c.sim.ct.pending[c.id]) > 0 {
 		c.setFlag(cfSleepPending)
 		return
@@ -126,20 +136,21 @@ func (c client) doze() {
 	if c.flag(cfConnected) {
 		c.cell().roster.remove(c.id)
 	}
-	t.sleptAt[c.id] = c.sim.sch.Now()
+	t.sleptAt[c.id] = c.sch().Now()
 	if tr := c.sim.tr; tr != nil {
 		tr.SleepWake(obs.SleepWakeEvent{At: t.sleptAt[c.id], Client: c.id, Awake: false})
 	}
 	if ev := t.queryEv[c.id]; ev != nil {
-		c.sim.sch.Cancel(ev)
+		c.sch().Cancel(ev)
 		t.queryEv[c.id] = nil
 	}
-	c.sim.sch.After(c.sampler().NextSleep(), "client.wake", t.wakeFn[c.id])
+	t.sleepEv[c.id] = c.sch().After(c.sampler().NextSleep(), "client.wake", t.wakeFn[c.id])
 }
 
 func (c client) wake() {
 	t := &c.sim.ct
-	now := c.sim.sch.Now()
+	t.sleepEv[c.id] = nil // the wake timer just fired
+	now := c.sch().Now()
 	from := t.sleptAt[c.id]
 	if from < c.sim.warmupAt {
 		from = c.sim.warmupAt
@@ -162,7 +173,7 @@ func (c client) wake() {
 			c.sendCatchup()
 		}
 	}
-	c.sim.sch.After(c.sampler().NextAwake(), "client.doze", t.dozeFn[c.id])
+	t.sleepEv[c.id] = c.sch().After(c.sampler().NextAwake(), "client.doze", t.dozeFn[c.id])
 }
 
 // onReport handles a decoded invalidation report (standalone or piggyback).
@@ -187,7 +198,7 @@ func (c client) onReportLost() { c.stats().reportsLost++ }
 // r.At: cache hits answer immediately; misses issue uplink requests.
 func (c client) drainPending(r *ir.Report) {
 	t := &c.sim.ct
-	now := c.sim.sch.Now()
+	now := c.sch().Now()
 	kept := t.pending[c.id][:0]
 	for _, q := range t.pending[c.id] {
 		if q.requested {
@@ -243,7 +254,7 @@ func (c client) onResponse(m *respMeta, ok bool) {
 	if !(u > m.genAt && u <= c.istate().LastConsistent) {
 		c.cache().Put(m.item, m.version, m.genAt)
 	}
-	now := c.sim.sch.Now()
+	now := c.sch().Now()
 	kept := t.pending[c.id][:0]
 	for _, q := range t.pending[c.id] {
 		if q.item == m.item && q.requested {
@@ -267,7 +278,7 @@ func (c client) onSnoop(m *respMeta) {
 	if !(u > m.genAt && u <= c.istate().LastConsistent) {
 		c.cache().Put(m.item, m.version, m.genAt)
 	}
-	now := c.sim.sch.Now()
+	now := c.sch().Now()
 	kept := t.pending[c.id][:0]
 	for _, q := range t.pending[c.id] {
 		if q.item == m.item && q.issued <= m.genAt {
@@ -298,7 +309,7 @@ func (c client) answer(q pendingQuery, now des.Time, fromCache bool) {
 	if q.issued < c.sim.warmupAt {
 		return // warmup transient: not measured
 	}
-	c.sim.delay.Observe(now.Sub(q.issued).Seconds())
+	c.ls().delay.Observe(now.Sub(q.issued).Seconds())
 	if fromCache {
 		c.stats().hits++
 	} else {

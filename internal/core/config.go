@@ -114,6 +114,20 @@ type Config struct {
 	// RollupWindowSec is the rollup window width in simulated seconds; ≤ 0
 	// means 60. Meaningless without Rollup, and process-local like it.
 	RollupWindowSec float64
+
+	// Parallel enables epoch-synchronized per-cell event execution within one
+	// replication: each cell runs its own scheduler lane, synchronized at
+	// every cross-cell event (handoff ticks, database updates, outage edges).
+	// Parallel results are deterministic — byte-identical across reruns and
+	// for every worker count — but differ from serial results, because client
+	// positions are sampled at handoff ticks instead of lazily per frame.
+	// Ignored for single-cell runs and when a Tracer or Rollup is attached
+	// (both assume the serial observation order).
+	Parallel bool
+
+	// ParallelWorkers caps the lane worker pool; ≤ 0 means GOMAXPROCS. The
+	// count never affects results, only wall-clock speed.
+	ParallelWorkers int
 }
 
 // DefaultConfig returns the evaluation defaults: 100 clients, 100-entry
@@ -175,6 +189,9 @@ func (c *Config) Validate() error {
 	}
 	if c.ResponseOverheadBits < 0 {
 		return fmt.Errorf("core: ResponseOverheadBits %d", c.ResponseOverheadBits)
+	}
+	if c.ParallelWorkers < 0 {
+		return fmt.Errorf("core: ParallelWorkers %d", c.ParallelWorkers)
 	}
 	if err := c.Energy.Validate(); err != nil {
 		return err

@@ -59,7 +59,7 @@ func (s *Simulation) startFaults() {
 			cd.discFn = c.disconnect
 			cd.reconnFn = c.reconnect
 			cd.catchupFn = c.onCatchupTimeout
-			s.sch.After(in.DisconnectGap(&cd.fsrc), "fault.disconnect", cd.discFn)
+			cd.connEv = c.sch().After(in.DisconnectGap(&cd.fsrc), "fault.disconnect", cd.discFn)
 		}
 	}
 }
@@ -94,21 +94,23 @@ func (s *Simulation) scheduleOutageCycle(cellID int, start, horizon des.Time) {
 	})
 }
 
-// noteReportFault accounts and traces one injected report fault.
-func (s *Simulation) noteReportFault(cellID int, seq uint64, mode string) {
-	now := s.sch.Now()
+// noteReportFault accounts and traces one injected report fault on the cell's
+// own lane (clock and counters both lane-local).
+func (cell *Cell) noteReportFault(seq uint64, mode string) {
+	s := cell.sim
+	now := cell.sch.Now()
 	if now >= s.warmupAt {
 		switch mode {
 		case obs.ReportFaultSuppressed:
-			s.reportsSuppressed++
+			cell.ls.reportsSuppressed++
 		case obs.ReportFaultLost:
-			s.reportsFaultLost++
+			cell.ls.reportsFaultLost++
 		case obs.ReportFaultTruncated:
-			s.reportsFaultTrunc++
+			cell.ls.reportsFaultTrunc++
 		}
 	}
 	if tr := s.tr; tr != nil {
-		tr.ReportFault(obs.ReportFaultEvent{At: now, Cell: cellID, Seq: seq, Mode: mode})
+		tr.ReportFault(obs.ReportFaultEvent{At: now, Cell: cell.id, Seq: seq, Mode: mode})
 	}
 }
 
@@ -121,14 +123,15 @@ func (s *Simulation) noteReportFault(cellID int, seq uint64, mode string) {
 // the cost of the disconnection.
 func (c client) disconnect() {
 	t := &c.sim.ct
-	now := c.sim.sch.Now()
+	now := c.sch().Now()
+	c.cold().connEv = nil // this timer just fired
 	if c.online() {
 		c.cell().roster.remove(c.id)
 	}
 	c.clrFlag(cfConnected)
 	c.clrFlag(cfRecovering) // a disconnect during recovery restarts it
 	if ev := t.queryEv[c.id]; ev != nil {
-		c.sim.sch.Cancel(ev)
+		c.sch().Cancel(ev)
 		t.queryEv[c.id] = nil
 	}
 	c.clearAllRetries()
@@ -138,13 +141,13 @@ func (c client) disconnect() {
 		t.pending[c.id][i].requested = false
 	}
 	if now >= c.sim.warmupAt {
-		c.sim.disconnects++
+		c.ls().disconnects++
 	}
 	if tr := c.sim.tr; tr != nil {
 		tr.Disconnect(obs.DisconnectEvent{At: now, Client: c.id, Down: true})
 	}
 	cd := c.cold()
-	c.sim.sch.After(c.sim.injector.DisconnectLen(&cd.fsrc), "fault.reconnect", cd.reconnFn)
+	cd.connEv = c.sch().After(c.sim.injector.DisconnectLen(&cd.fsrc), "fault.reconnect", cd.reconnFn)
 }
 
 // reconnect ends a disconnection and starts recovery under the configured
@@ -152,8 +155,9 @@ func (c client) disconnect() {
 // consistent again: immediately for flush, at the next validating report for
 // the window policy, or when the catch-up exchange completes.
 func (c client) reconnect() {
-	now := c.sim.sch.Now()
+	now := c.sch().Now()
 	in := c.sim.injector
+	c.cold().connEv = nil // this timer just fired
 	c.setFlag(cfConnected)
 	c.setFlag(cfRecovering)
 	c.cold().reconnectedAt = now
@@ -180,7 +184,7 @@ func (c client) reconnect() {
 	}
 	// RecoverWindow: passive — the next validating report completes recovery
 	// via the coverage-window rule (or forces the safe full-report drop).
-	c.sim.sch.After(in.DisconnectGap(&c.cold().fsrc), "fault.disconnect", c.cold().discFn)
+	c.cold().connEv = c.sch().After(in.DisconnectGap(&c.cold().fsrc), "fault.disconnect", c.cold().discFn)
 }
 
 // completeRecovery marks the client consistent again after a disconnection.
@@ -190,12 +194,13 @@ func (c client) completeRecovery(via string) {
 	}
 	c.clrFlag(cfRecovering)
 	c.cancelCatchup()
-	now := c.sim.sch.Now()
+	now := c.sch().Now()
 	reconnectedAt := c.cold().reconnectedAt
 	delay := now.Sub(reconnectedAt).Seconds()
 	if reconnectedAt >= c.sim.warmupAt {
-		c.sim.recoveries++
-		c.sim.recoveryDelay.Add(delay)
+		ls := c.ls()
+		ls.recoveries++
+		ls.recoveryDelay.Add(delay)
 	}
 	if tr := c.sim.tr; tr != nil {
 		tr.Recovery(obs.RecoveryEvent{At: now, Client: c.id,
@@ -208,7 +213,7 @@ func (c client) completeRecovery(via string) {
 // immediately instead of waiting for the next report.
 func (c client) redrivePending() {
 	t := &c.sim.ct
-	now := c.sim.sch.Now()
+	now := c.sch().Now()
 	kept := t.pending[c.id][:0]
 	for _, q := range t.pending[c.id] {
 		if e, ok := c.cache().Get(q.item); ok {
@@ -268,9 +273,9 @@ func (c client) armRetry(item int) {
 		k = len(cd.retries) - 1
 	}
 	if ev := cd.retries[k].ev; ev != nil {
-		c.sim.sch.Cancel(ev)
+		c.sch().Cancel(ev)
 	}
-	cd.retries[k].ev = c.sim.sch.After(c.sim.injector.RetryDelay(cd.retries[k].tries, &cd.fsrc),
+	cd.retries[k].ev = c.sch().After(c.sim.injector.RetryDelay(cd.retries[k].tries, &cd.fsrc),
 		"fault.retry", func() { c.onRetryTimeout(item) })
 }
 
@@ -303,14 +308,14 @@ func (c client) onRetryTimeout(item int) {
 		}
 		return
 	}
-	now := c.sim.sch.Now()
+	now := c.sch().Now()
 	cd.retries[k].tries++
 	gaveUp := cd.retries[k].tries > c.sim.cfg.Fault.RetryMax
 	if now >= c.sim.warmupAt {
 		if gaveUp {
-			c.sim.queryGiveups++
+			c.ls().queryGiveups++
 		} else {
-			c.sim.queryRetries++
+			c.ls().queryRetries++
 		}
 	}
 	if tr := c.sim.tr; tr != nil {
@@ -339,7 +344,7 @@ func (c client) clearRetry(item int) {
 	}
 	if k := c.retryIdx(item); k >= 0 {
 		if ev := c.cold().retries[k].ev; ev != nil {
-			c.sim.sch.Cancel(ev)
+			c.sch().Cancel(ev)
 		}
 		c.dropRetry(k)
 	}
@@ -353,7 +358,7 @@ func (c client) clearAllRetries() {
 	cd := c.cold()
 	for k := range cd.retries {
 		if ev := cd.retries[k].ev; ev != nil {
-			c.sim.sch.Cancel(ev)
+			c.sch().Cancel(ev)
 		}
 		cd.retries[k] = retryEntry{}
 	}
@@ -379,7 +384,7 @@ func (c client) sendCatchup() {
 	c.setFlag(cfCatchupOut)
 	c.cell().uplink.Send(c.id, catchupReq{since: c.istate().LastConsistent})
 	if in := c.sim.injector; in.Config().RetryEnabled() {
-		cd.catchupEv = c.sim.sch.After(in.RetryDelay(cd.catchupTries, &cd.fsrc),
+		cd.catchupEv = c.sch().After(in.RetryDelay(cd.catchupTries, &cd.fsrc),
 			"fault.catchup", cd.catchupFn)
 	}
 }
@@ -410,7 +415,7 @@ func (c client) retryCatchup() {
 func (c client) onCatchup(r *ir.Report, ok bool) {
 	cd := c.cold()
 	if cd.catchupEv != nil {
-		c.sim.sch.Cancel(cd.catchupEv)
+		c.sch().Cancel(cd.catchupEv)
 		cd.catchupEv = nil
 	}
 	c.clrFlag(cfCatchupOut)
@@ -439,7 +444,7 @@ func (c client) cancelCatchup() {
 	}
 	cd := c.cold()
 	if cd.catchupEv != nil {
-		c.sim.sch.Cancel(cd.catchupEv)
+		c.sch().Cancel(cd.catchupEv)
 		cd.catchupEv = nil
 	}
 	c.clrFlag(cfCatchupOut)
@@ -454,7 +459,7 @@ func (s *server) onCatchupRequest(src int, since des.Time, now des.Time) {
 	r := &ir.Report{Kind: ir.KindFull, At: now, PrevAt: now, WindowStart: now}
 	if now.Sub(since) <= s.sim.cfg.DB.Retention {
 		r.WindowStart = since
-		r.Items = s.sim.db.UpdatedSince(since, nil)
+		r.Items = s.dbv.UpdatedSince(since, nil)
 	}
 	// else: the gap outlived the database's update history; the empty
 	// now-anchored full report forces the client's safe drop-everything path.

@@ -20,7 +20,17 @@ func (s *Simulation) startHandoff() {
 // multi-cell runs deterministic.
 func (s *Simulation) checkHandoffs(now des.Time) {
 	for i := 0; i < s.ct.n; i++ {
-		to := s.cells[s.topo.NearestCell(i, now)]
+		var to *Cell
+		if s.par {
+			// Parallel mode: this tick is the only place positions advance.
+			// Refresh the frozen snapshot the lanes' path-loss reads use, so
+			// every SNR draw between two ticks sees one coherent position.
+			x, y := s.topo.Position(i, now)
+			s.posX[i], s.posY[i] = x, y
+			to = s.cells[s.topo.Nearest(x, y)]
+		} else {
+			to = s.cells[s.topo.NearestCell(i, now)]
+		}
 		if to.id != int(s.ct.cell[i]) {
 			s.handoff(s.client(i), to, now)
 		}
@@ -56,17 +66,21 @@ func (s *Simulation) handoff(c client, to *Cell, now des.Time) {
 	}
 	t.outstanding[c.id] = t.outstanding[c.id][:0]
 	c.clearAllRetries()
+	// A catch-up exchange addressed to the old cell will never answer. Cancel
+	// it while the client still resolves to the old cell — the timer lives on
+	// that lane — and restart it against the new serving cell after the move.
+	restartCatchup := false
+	if c.flag(cfCatchupOut) || c.catchupEv() != nil {
+		c.cancelCatchup()
+		restartCatchup = c.flag(cfRecovering) && c.online()
+	}
 	t.cell[c.id] = int32(to.id)
+	s.migrateClientEvents(c, from, to)
 	if c.online() {
 		to.roster.add(c.id)
 	}
-	// A catch-up exchange addressed to the old cell will never answer;
-	// restart it against the new serving cell.
-	if c.flag(cfCatchupOut) || c.catchupEv() != nil {
-		c.cancelCatchup()
-		if c.flag(cfRecovering) && c.online() {
-			c.sendCatchup()
-		}
+	if restartCatchup {
+		c.sendCatchup()
 	}
 	flushed := false
 	if s.cfg.Topology.Policy == topology.Drop {
@@ -92,5 +106,37 @@ func (s *Simulation) handoff(c client, to *Cell, now des.Time) {
 		s.tr.Handoff(obs.HandoffEvent{
 			At: now, Client: c.id, From: from.id, To: to.id, Flushed: flushed,
 		})
+	}
+}
+
+// migrateClientEvents moves the client's pending timers from the old serving
+// cell's scheduler to the new one. Serial mode shares one scheduler, so there
+// is nothing to move. MoveTo preserves each timer's deadline; the re-sequence
+// happens at a handoff barrier with every lane frozen, so it is identical for
+// every worker count.
+func (s *Simulation) migrateClientEvents(c client, from, to *Cell) {
+	if from.sch == to.sch {
+		return
+	}
+	t := &s.ct
+	if ev := t.queryEv[c.id]; ev != nil {
+		t.queryEv[c.id] = from.sch.MoveTo(ev, to.sch)
+	}
+	if ev := t.sleepEv[c.id]; ev != nil {
+		t.sleepEv[c.id] = from.sch.MoveTo(ev, to.sch)
+	}
+	if len(t.cold) > 0 {
+		cd := &t.cold[c.id]
+		if cd.connEv != nil {
+			cd.connEv = from.sch.MoveTo(cd.connEv, to.sch)
+		}
+		if cd.catchupEv != nil {
+			cd.catchupEv = from.sch.MoveTo(cd.catchupEv, to.sch)
+		}
+		for k := range cd.retries {
+			if ev := cd.retries[k].ev; ev != nil {
+				cd.retries[k].ev = from.sch.MoveTo(ev, to.sch)
+			}
+		}
 	}
 }

@@ -80,7 +80,7 @@ func multiCellConfig(algo string, seed uint64) Config {
 func fingerprintMulti(s *Simulation, r *RunStats) string {
 	return fmt.Sprintf("%s cells=%d hoff=%d flush=%d asleep=%d midq=%d depart=%d",
 		fingerprintStats(r), r.NumCells, r.Handoffs, r.HandoffFlushes,
-		s.handoffsAsleep, s.handoffsMidQuery, s.respDeparted)
+		s.handoffsAsleep, s.handoffsMidQuery, s.mergedLanes().respDeparted)
 }
 
 func runMulti(t *testing.T, cfg Config) (*Simulation, *RunStats) {
@@ -130,7 +130,7 @@ func TestMultiCellHandoffRun(t *testing.T) {
 				if sim.handoffsMidQuery == 0 {
 					t.Error("no handoff happened with a request in flight")
 				}
-				if sim.respDeparted == 0 {
+				if sim.mergedLanes().respDeparted == 0 {
 					t.Error("no response outlived its destination's cell membership")
 				}
 				if r.Answered == 0 {

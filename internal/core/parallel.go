@@ -1,0 +1,160 @@
+package core
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/des"
+	"repro/internal/metrics"
+)
+
+// This file implements the parallel in-replication execution mode:
+// conservative, epoch-synchronized per-cell event execution. Each Cell owns a
+// des.Scheduler (its "lane") carrying every event whose effects stay inside
+// the cell — client timers, MAC slots and frames, traffic arrivals, server
+// tickers. The Simulation's scheduler carries only the events with cross-cell
+// effects: database updates, the handoff ticker, outage edges, and the warmup
+// reset. The run advances in epochs bounded by the next barrier event's time:
+// lanes execute concurrently up to (but excluding) that time, park at a
+// barrier, and the barrier events then run serially with every lane frozen —
+// so cross-cell state (the client table's cell column, the update history,
+// the position snapshot) is only ever written while nothing else runs, and
+// only ever read by lanes between writes. Determinism follows: lanes share no
+// mutable state during the parallel phase, so the worker count changes only
+// which OS thread executes a lane, never what the lane computes; barrier
+// processing walks cells and clients in ascending id order. Events timed
+// exactly at a barrier run in the epoch after it — a fixed rule, applied
+// identically for every worker count.
+//
+// laneJob is one epoch's work order for one lane.
+type laneJob struct {
+	cell  *Cell
+	until des.Time
+}
+
+// runEpochs drives a parallel run to the horizon. pulsed carries the
+// OnEventPulse bookkeeping shared with ExecuteCtx (which emits the final
+// residual); pulses fire at barriers with the executed-event total summed
+// across every scheduler, preserving the serial contract that deltas sum to
+// the run's global event count.
+func (s *Simulation) runEpochs(ctx context.Context, horizon des.Time, pulsed *uint64) (des.Time, error) {
+	jobs := make(chan laneJob, len(s.cells))
+	var phase sync.WaitGroup  // parallel-phase barrier, counted per epoch
+	var workers sync.WaitGroup // pool lifetime
+	for w := 0; w < s.parWorkers; w++ {
+		workers.Add(1)
+		go func() {
+			defer workers.Done()
+			for j := range jobs {
+				// A lane already at or past the target (an empty epoch at
+				// the same barrier time) has nothing to run; Run would
+				// panic on a backwards horizon.
+				if j.until >= j.cell.sch.Now() {
+					j.cell.sch.Run(j.until)
+				}
+				phase.Done()
+			}
+		}()
+	}
+	defer func() {
+		close(jobs)
+		workers.Wait()
+	}()
+
+	// runLanes executes every lane concurrently up to until, waits for all of
+	// them, and reports the first lane error in ascending cell-id order (the
+	// deterministic choice when several lanes were interrupted at once).
+	runLanes := func(until des.Time) error {
+		phase.Add(len(s.cells))
+		for _, cell := range s.cells {
+			jobs <- laneJob{cell: cell, until: until}
+		}
+		phase.Wait()
+		for _, cell := range s.cells {
+			if err := cell.sch.Err(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	fn := s.cfg.OnEventPulse
+	for {
+		// The next barrier: the earliest pending cross-cell event, clamped
+		// to the horizon.
+		bt, ok := s.sch.NextAt()
+		if !ok || bt > horizon {
+			bt = horizon
+		}
+		// Parallel phase: lanes run everything strictly before the barrier.
+		if bt > 0 {
+			if err := runLanes(bt - 1); err != nil {
+				return 0, err
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		// Barrier phase: advance every lane clock to the barrier time, then
+		// run the barrier events serially. Barrier handlers may schedule onto
+		// lanes (handoff migration, catch-up restarts) — the lanes are
+		// already at bt, so those events land in the next epoch.
+		for _, cell := range s.cells {
+			cell.sch.AdvanceTo(bt)
+		}
+		s.sch.Run(bt)
+		if err := s.sch.Err(); err != nil {
+			return 0, err
+		}
+		s.epochs++
+		if fn != nil {
+			if total := s.Executed(); total-*pulsed >= cancelCheckEvents {
+				fn(total - *pulsed)
+				*pulsed = total
+			}
+		}
+		if bt >= horizon {
+			break
+		}
+	}
+	// Final parallel phase: events timed exactly at the horizon (the loop
+	// above ran lanes only to horizon-1).
+	if err := runLanes(horizon); err != nil {
+		return 0, err
+	}
+	s.epochs++
+	return horizon, nil
+}
+
+// mergedDelay returns the run's delay recorder: the single shared instance in
+// serial mode, or the per-cell recorders merged in ascending cell-id order.
+func (s *Simulation) mergedDelay() *metrics.DelayRecorder {
+	if len(s.lanes) == 1 {
+		return s.lanes[0].delay
+	}
+	m := metrics.NewDelayRecorder(64)
+	for _, ls := range s.lanes {
+		m.Merge(ls.delay)
+	}
+	return m
+}
+
+// mergedLanes folds the per-lane counters into one laneStats, in ascending
+// cell-id order (the identity fold for a serial run's single shared lane).
+func (s *Simulation) mergedLanes() laneStats {
+	var m laneStats
+	for _, ls := range s.lanes {
+		m.respDeparted += ls.respDeparted
+		m.respDisconnected += ls.respDisconnected
+		m.queriesLostToOutage += ls.queriesLostToOutage
+		m.queryRetries += ls.queryRetries
+		m.queryGiveups += ls.queryGiveups
+		m.disconnects += ls.disconnects
+		m.recoveries += ls.recoveries
+		m.recoveryDelay.Merge(&ls.recoveryDelay)
+		m.reportsSuppressed += ls.reportsSuppressed
+		m.reportsFaultLost += ls.reportsFaultLost
+		m.reportsFaultTrunc += ls.reportsFaultTrunc
+	}
+	return m
+}

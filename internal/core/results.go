@@ -106,6 +106,12 @@ type RunStats struct {
 	EventsPerSec   float64
 	HeapAllocBytes uint64
 
+	// Parallel-execution telemetry. ParallelWorkers is 1 for serial runs;
+	// Epochs counts synchronization barriers (zero when serial). Like the
+	// block above, never folded into aggregates.
+	ParallelWorkers int
+	Epochs          uint64
+
 	DelaySeries metrics.Series
 	DelayHist   *metrics.Histogram
 
@@ -118,40 +124,47 @@ type RunStats struct {
 	EnergySketch *metrics.Sketch
 }
 
-// collect builds RunStats from the simulation's post-warmup deltas.
+// collect builds RunStats from the simulation's post-warmup deltas. The
+// delay recorder and the lane counters are merged across lanes in ascending
+// cell-id order (a serial run has exactly one lane, shared by every cell).
 func (s *Simulation) collect(end des.Time) *RunStats {
 	measured := end.Sub(s.warmupAt).Seconds()
+	delay := s.mergedDelay()
+	lane := s.mergedLanes()
 	r := &RunStats{
 		Seed:           s.cfg.Seed,
 		Algorithm:      s.cfg.Algorithm,
 		MeasuredSec:    measured,
-		DelaySeries:    s.delay.Series(),
-		DelayHist:      s.delay.Histogram(),
-		DelaySketch:    s.delay.Sketch(),
+		DelaySeries:    delay.Series(),
+		DelayHist:      delay.Histogram(),
+		DelaySketch:    delay.Sketch(),
 		EnergySketch:   metrics.NewEnergySketch(),
-		MeanDelay:      s.delay.Mean(),
-		DelayCI95:      s.delay.CI95(),
-		P95Delay:       s.delay.Quantile(0.95),
-		MaxDelay:       s.delay.Max(),
-		P50Delay:       s.delay.Sketch().Quantile(0.50),
-		P90Delay:       s.delay.Sketch().Quantile(0.90),
-		P99Delay:       s.delay.Sketch().Quantile(0.99),
-		P999Delay:      s.delay.Sketch().Quantile(0.999),
+		MeanDelay:      delay.Mean(),
+		DelayCI95:      delay.CI95(),
+		P95Delay:       delay.Quantile(0.95),
+		MaxDelay:       delay.Max(),
+		P50Delay:       delay.Sketch().Quantile(0.50),
+		P90Delay:       delay.Sketch().Quantile(0.90),
+		P99Delay:       delay.Sketch().Quantile(0.99),
+		P999Delay:      delay.Sketch().Quantile(0.999),
 		Updates:        s.db.Updates() - s.snapUpd,
 		NumCells:       len(s.cells),
 		Handoffs:       s.handoffs,
 		HandoffFlushes: s.handoffFlushes,
 
 		Outages:             s.outages,
-		ReportsSuppressed:   s.reportsSuppressed,
-		ReportsFaultLost:    s.reportsFaultLost,
-		ReportsFaultTrunc:   s.reportsFaultTrunc,
-		QueriesLostToOutage: s.queriesLostToOutage,
-		QueryRetries:        s.queryRetries,
-		QueryGiveups:        s.queryGiveups,
-		Disconnects:         s.disconnects,
-		Recoveries:          s.recoveries,
-		RecoveryMeanSec:     s.recoveryDelay.Mean(),
+		ReportsSuppressed:   lane.reportsSuppressed,
+		ReportsFaultLost:    lane.reportsFaultLost,
+		ReportsFaultTrunc:   lane.reportsFaultTrunc,
+		QueriesLostToOutage: lane.queriesLostToOutage,
+		QueryRetries:        lane.queryRetries,
+		QueryGiveups:        lane.queryGiveups,
+		Disconnects:         lane.disconnects,
+		Recoveries:          lane.recoveries,
+		RecoveryMeanSec:     lane.recoveryDelay.Mean(),
+
+		ParallelWorkers: s.parWorkers,
+		Epochs:          s.epochs,
 	}
 	for i := 0; i < s.ct.n; i++ {
 		st := &s.ct.stats[i]
@@ -334,6 +347,8 @@ func (r *RunStats) MarshalJSON() ([]byte, error) {
 		"Events":               r.Events,
 		"EventsPerSec":         r.EventsPerSec,
 		"HeapAllocBytes":       r.HeapAllocBytes,
+		"ParallelWorkers":      r.ParallelWorkers,
+		"Epochs":               r.Epochs,
 	})
 }
 

@@ -42,6 +42,7 @@ type server struct {
 	cell *Cell
 	sim  *Simulation
 	algo ir.ServerAlgo
+	dbv  *db.View // lane-private read view of the shared database
 
 	// downlink load EWMA for the traffic-aware schemes.
 	loadEWMA   float64
@@ -69,12 +70,14 @@ type server struct {
 const loadSampleEvery = des.Second
 
 func newServer(cell *Cell, algo ir.ServerAlgo) *server {
-	return &server{cell: cell, sim: cell.sim, algo: algo, inFlightResp: make(map[int]*respMeta)}
+	return &server{cell: cell, sim: cell.sim, algo: algo,
+		dbv:          cell.sim.db.NewView(cell.sch.Now),
+		inFlightResp: make(map[int]*respMeta)}
 }
 
 // start arms the algorithm and the load sampler.
 func (s *server) start() {
-	des.NewTicker(s.sim.sch, loadSampleEvery, "server.load", s.sampleLoad).Start()
+	des.NewTicker(s.cell.sch, loadSampleEvery, "server.load", s.sampleLoad).Start()
 	s.algo.Start(s)
 }
 
@@ -139,7 +142,7 @@ func (s *server) onRequest(src int, meta any, now des.Time) {
 		// A dark base station answers nothing; the client's timeout layer
 		// re-asks once the outage ends.
 		if _, isQuery := meta.(reqMeta); isQuery && now >= s.sim.warmupAt {
-			s.sim.queriesLostToOutage++
+			s.cell.ls.queriesLostToOutage++
 		}
 		return
 	}
@@ -191,12 +194,12 @@ func (s *server) onResponseDelivered(m *respMeta) {
 
 // onBackground handles a background-traffic arrival.
 func (s *server) onBackground(dest int, bits int) {
-	if in := s.sim.injector; in != nil && in.InOutage(s.cell.id, s.sim.sch.Now()) {
+	if in := s.sim.injector; in != nil && in.InOutage(s.cell.id, s.cell.sch.Now()) {
 		return // a dark base station transmits nothing
 	}
 	meta := s.acquireBg()
 	robust := 0
-	if pg := s.algo.Piggyback(s.sim.sch.Now()); pg != nil {
+	if pg := s.algo.Piggyback(s.cell.sch.Now()); pg != nil {
 		meta.piggy = pg
 		robust = pg.SizeBits()
 	}
@@ -224,20 +227,20 @@ func (s *server) onBackground(dest int, bits int) {
 // --- ir.ServerEnv ---
 
 // Now implements ir.ServerEnv.
-func (s *server) Now() des.Time { return s.sim.sch.Now() }
+func (s *server) Now() des.Time { return s.cell.sch.Now() }
 
 // UpdatedSince implements ir.ServerEnv.
 func (s *server) UpdatedSince(since des.Time, buf []db.Update) []db.Update {
-	return s.sim.db.UpdatedSince(since, buf)
+	return s.dbv.UpdatedSince(since, buf)
 }
 
 // Broadcast implements ir.ServerEnv.
 func (s *server) Broadcast(r *ir.Report, mcs int) {
-	if in := s.sim.injector; in != nil && in.InOutage(s.cell.id, s.sim.sch.Now()) {
+	if in := s.sim.injector; in != nil && in.InOutage(s.cell.id, s.cell.sch.Now()) {
 		// Outage: the report never reaches the air. The algorithm's own
 		// schedule state (Seq, PrevAt) advances as generated — exactly the
 		// gap the clients' coverage-window rule must survive.
-		s.sim.noteReportFault(s.cell.id, r.Seq, obs.ReportFaultSuppressed)
+		s.cell.noteReportFault(r.Seq, obs.ReportFaultSuppressed)
 		s.algo.Recycle(r)
 		return
 	}
@@ -254,7 +257,7 @@ func (s *server) Broadcast(r *ir.Report, mcs int) {
 
 // NewTicker implements ir.ServerEnv.
 func (s *server) NewTicker(period des.Duration, name string, fn func(des.Time)) *des.Ticker {
-	return des.NewTicker(s.sim.sch, period, name, fn)
+	return des.NewTicker(s.cell.sch, period, name, fn)
 }
 
 // AwakeSNRs implements ir.ServerEnv. In a real system the base station
@@ -264,7 +267,7 @@ func (s *server) NewTicker(period des.Duration, name string, fn func(des.Time)) 
 // without materializing a snapshot (nothing here mutates the roster).
 func (s *server) AwakeSNRs() []float64 {
 	s.snrScratch = s.snrScratch[:0]
-	now := s.sim.sch.Now()
+	now := s.cell.sch.Now()
 	for w, word := range s.cell.roster.words {
 		base := w << 6
 		for word != 0 {

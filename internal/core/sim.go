@@ -21,6 +21,37 @@ type dbOracle struct{ db *db.DB }
 // UpdatedAt implements ir.Oracle.
 func (o dbOracle) UpdatedAt(id int) des.Time { return o.db.Item(id).UpdatedAt }
 
+// laneStats are the accumulators written from inside one execution lane (a
+// cell's event stream): the delay recorder and the client-path fault
+// counters. In a serial run every cell shares a single instance, so the
+// observation order — and therefore every statistic — matches the historical
+// single-scheduler run exactly. In a parallel run each cell owns one, and
+// collect merges them in ascending cell-id order, which is what makes the
+// results independent of the worker count.
+type laneStats struct {
+	delay *metrics.DelayRecorder
+
+	// Internal whole-run telemetry (edge-case tests assert on these).
+	respDeparted     uint64 // responses delivered after their client left the cell
+	respDisconnected uint64 // responses delivered to a disconnected client
+
+	// Post-warmup fault counters.
+	queriesLostToOutage uint64
+	queryRetries        uint64
+	queryGiveups        uint64
+	disconnects         uint64
+	recoveries          uint64
+	recoveryDelay       metrics.Summary
+
+	reportsSuppressed uint64 // broadcasts swallowed at a dark base station
+	reportsFaultLost  uint64 // standalone reports destroyed in transit
+	reportsFaultTrunc uint64 // standalone reports corrupted in transit
+}
+
+func newLaneStats() *laneStats {
+	return &laneStats{delay: metrics.NewDelayRecorder(64)}
+}
+
 // Simulation is one fully wired run: the composition root owning the shared
 // scheduler, database, client population and one Cell per base station. Build
 // with NewSimulation, execute with Execute (or use the Run convenience
@@ -45,8 +76,18 @@ type Simulation struct {
 	// the config predicate.
 	retryOn bool
 
-	// post-warmup accumulators
-	delay *metrics.DelayRecorder
+	// Parallel (epoch-synchronized per-cell) execution. par is the resolved
+	// mode: requested by cfg.Parallel and compatible with the wiring (more
+	// than one cell, no tracer, no rollups). lanes holds the distinct
+	// laneStats instances in cell-id order — exactly one, shared by every
+	// cell, in serial mode. posX/posY are the barrier-refreshed position
+	// snapshot parallel lanes read in place of the lazily-advancing mobility
+	// walkers (see snapLocator). epochs counts completed barriers.
+	par        bool
+	parWorkers int
+	lanes      []*laneStats
+	posX, posY []float64
+	epochs     uint64
 
 	// rollup is the tumbling-window telemetry accumulator, nil when
 	// cfg.Rollup is unset (the hot-path helpers then return immediately).
@@ -54,29 +95,19 @@ type Simulation struct {
 
 	// handoff accounting. handoffs and handoffFlushes are post-warmup and
 	// reported in RunStats; the remaining counters are whole-run internal
-	// telemetry the edge-case tests assert on.
+	// telemetry the edge-case tests assert on. All are written only from
+	// the handoff ticker (a barrier event), so they stay on the Simulation.
 	handoffs         uint64
 	handoffFlushes   uint64
 	handoffsAsleep   uint64 // client was dozing when it crossed cells
 	handoffsMidQuery uint64 // client had an in-flight request at handoff
-	respDeparted     uint64 // responses delivered after their client left the cell
 
 	// fault injection. injector is nil when cfg.Fault is fully disabled —
-	// the layer then schedules no events and draws from no streams. Counters
-	// are post-warmup except respDisconnected (whole-run internal telemetry,
-	// like respDeparted).
-	injector            *fault.Injector
-	outages             uint64
-	reportsSuppressed   uint64 // broadcasts swallowed at a dark base station
-	reportsFaultLost    uint64 // standalone reports destroyed in transit
-	reportsFaultTrunc   uint64 // standalone reports corrupted in transit
-	queriesLostToOutage uint64
-	queryRetries        uint64
-	queryGiveups        uint64
-	disconnects         uint64
-	recoveries          uint64
-	recoveryDelay       metrics.Summary
-	respDisconnected    uint64 // responses delivered to a disconnected client
+	// the layer then schedules no events and draws from no streams. The
+	// client-path counters live in laneStats; outages stays here because
+	// outage edges are global (barrier) events.
+	injector *fault.Injector
+	outages  uint64
 
 	// warmup snapshot (per-cell snapshots live on each Cell)
 	snapUpd uint64
@@ -104,7 +135,6 @@ func NewSimulationArena(cfg Config, arena *Arena) (*Simulation, error) {
 		cfg:      cfg,
 		sch:      des.NewScheduler(),
 		warmupAt: des.Time(0).Add(cfg.Warmup),
-		delay:    metrics.NewDelayRecorder(64),
 	}
 
 	numCells := cfg.Topology.Cells()
@@ -115,6 +145,37 @@ func NewSimulationArena(cfg Config, arena *Arena) (*Simulation, error) {
 			return nil, err
 		}
 		sim.topo = topo
+	}
+
+	// Resolve the execution mode. Parallel lanes require more than one cell
+	// and are incompatible with the process-local observers, which assume a
+	// single serial event stream; such runs fall back to serial execution.
+	sim.par = cfg.Parallel && numCells > 1 && cfg.Tracer == nil && cfg.Rollup == nil
+	if sim.par {
+		w := cfg.ParallelWorkers
+		if w <= 0 {
+			w = runtime.GOMAXPROCS(0)
+		}
+		if w > numCells {
+			w = numCells
+		}
+		sim.parWorkers = w
+		sim.lanes = make([]*laneStats, numCells)
+		for k := range sim.lanes {
+			sim.lanes[k] = newLaneStats()
+		}
+		// Position snapshot: lanes read client positions frozen at the last
+		// barrier instead of advancing the shared mobility walkers. Filled
+		// at t=0 here (cells read it during construction through their
+		// locators) and refreshed by every handoff check.
+		sim.posX = make([]float64, cfg.NumClients)
+		sim.posY = make([]float64, cfg.NumClients)
+		for i := 0; i < cfg.NumClients; i++ {
+			sim.posX[i], sim.posY[i] = sim.topo.Position(i, 0)
+		}
+	} else {
+		sim.parWorkers = 1
+		sim.lanes = []*laneStats{newLaneStats()}
 	}
 
 	var err error
@@ -209,8 +270,21 @@ func NewSimulationArena(cfg Config, arena *Arena) (*Simulation, error) {
 	return sim, nil
 }
 
-// Executed reports how many discrete events have run so far.
-func (s *Simulation) Executed() uint64 { return s.sch.Executed() }
+// Executed reports how many discrete events have run so far, summed over the
+// barrier scheduler and every lane.
+func (s *Simulation) Executed() uint64 {
+	n := s.sch.Executed()
+	if s.par {
+		for _, cell := range s.cells {
+			n += cell.sch.Executed()
+		}
+	}
+	return n
+}
+
+// Epochs reports how many synchronization epochs a parallel run has
+// completed (zero for serial runs).
+func (s *Simulation) Epochs() uint64 { return s.epochs }
 
 // cancelCheckEvents is how many DES events run between context polls in
 // ExecuteCtx: coarse enough to cost nothing, fine enough that a cancelled
@@ -229,10 +303,19 @@ func (s *Simulation) Execute() *RunStats {
 func (s *Simulation) ExecuteCtx(ctx context.Context) (*RunStats, error) {
 	wallStart := time.Now()
 	if ctx.Done() != nil { // Background and friends can never cancel
-		s.sch.SetInterrupt(cancelCheckEvents, func() error { return ctx.Err() })
+		intr := func() error { return ctx.Err() }
+		s.sch.SetInterrupt(cancelCheckEvents, intr)
+		if s.par {
+			// Fail-fast reaches every lane within one epoch: each lane polls
+			// the context on its own executed-event cadence, and the barrier
+			// loop checks lane errors after every parallel phase.
+			for _, cell := range s.cells {
+				cell.sch.SetInterrupt(cancelCheckEvents, intr)
+			}
+		}
 	}
 	var pulsed uint64
-	if fn := s.cfg.OnEventPulse; fn != nil {
+	if fn := s.cfg.OnEventPulse; fn != nil && !s.par {
 		s.sch.SetPulse(cancelCheckEvents, func(executed uint64) {
 			fn(executed - pulsed)
 			pulsed = executed
@@ -251,17 +334,29 @@ func (s *Simulation) ExecuteCtx(ctx context.Context) (*RunStats, error) {
 	}
 	s.startFaults()
 	s.sch.At(s.warmupAt, "sim.warmup", s.resetAtWarmup)
-	end := s.sch.Run(des.Time(0).Add(s.cfg.Horizon))
-	if fn := s.cfg.OnEventPulse; fn != nil && s.sch.Executed() > pulsed {
-		fn(s.sch.Executed() - pulsed) // residual below the pulse granularity
+	var end des.Time
+	if s.par {
+		// The epoch runner issues pulses itself (a barrier-side aggregate
+		// over all schedulers) and leaves the residual to the shared path
+		// below via pulsed.
+		var err error
+		end, err = s.runEpochs(ctx, des.Time(0).Add(s.cfg.Horizon), &pulsed)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		end = s.sch.Run(des.Time(0).Add(s.cfg.Horizon))
+		if err := s.sch.Err(); err != nil {
+			return nil, err
+		}
 	}
-	if err := s.sch.Err(); err != nil {
-		return nil, err
+	if fn := s.cfg.OnEventPulse; fn != nil && s.Executed() > pulsed {
+		fn(s.Executed() - pulsed) // residual below the pulse granularity
 	}
 	s.rollupFinal(end)
 	r := s.collect(end)
 	r.WallSec = time.Since(wallStart).Seconds()
-	r.Events = s.sch.Executed()
+	r.Events = s.Executed()
 	if r.WallSec > 0 {
 		r.EventsPerSec = float64(r.Events) / r.WallSec
 	}
@@ -293,16 +388,24 @@ func (s *Simulation) resetAtWarmup() {
 	}
 }
 
-// onUplinkAttempt charges transmit energy for one contention slot.
-func (s *Simulation) onUplinkAttempt(src int) {
-	if s.sch.Now() < s.warmupAt {
+// onUplinkAttempt charges transmit energy for one contention slot. It is a
+// Cell method so the warmup gate reads the lane clock, and so a parallel run
+// can skip the meter write when the client was handed to another cell with
+// the attempt still queued — its meter belongs to the other lane. (Serial
+// runs keep charging departed clients, matching the historical accounting.)
+func (cell *Cell) onUplinkAttempt(src int) {
+	s := cell.sim
+	if cell.sch.Now() < s.warmupAt {
+		return
+	}
+	if s.par && int(s.ct.cell[src]) != cell.id {
 		return
 	}
 	s.ct.meters[src].AddTx(s.cfg.Uplink.SlotDur.Seconds())
 }
 
-func (s *Simulation) chargeRx(id int, airtimeSec float64) {
-	if s.sch.Now() < s.warmupAt {
+func (s *Simulation) chargeRx(id int, airtimeSec float64, now des.Time) {
+	if now < s.warmupAt {
 		return
 	}
 	s.ct.meters[id].AddRx(airtimeSec)

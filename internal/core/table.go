@@ -55,6 +55,7 @@ type clientCold struct {
 	reconnectedAt des.Time
 	catchupTries  int
 	catchupEv     *des.Event
+	connEv        *des.Event // pending disconnect or reconnect timer
 	retries       []retryEntry
 
 	// Method-value callbacks bound once at construction.
@@ -72,6 +73,7 @@ type clientTable struct {
 	cell    []int32 // serving cell id; reassigned by handoff
 	sleptAt []des.Time
 	queryEv []*des.Event
+	sleepEv []*des.Event // pending doze or wake timer (handoff migrates it)
 
 	// Per-client growable state.
 	pending     [][]pendingQuery
@@ -112,6 +114,7 @@ func (t *clientTable) init(n, cacheCap, universe int, policy cache.Policy) bool 
 			cell:        make([]int32, n),
 			sleptAt:     make([]des.Time, n),
 			queryEv:     make([]*des.Event, n),
+			sleepEv:     make([]*des.Event, n),
 			pending:     make([][]pendingQuery, n),
 			outstanding: make([][]int32, n),
 			caches:      make([]cache.Cache, n),
@@ -131,6 +134,7 @@ func (t *clientTable) init(n, cacheCap, universe int, policy cache.Policy) bool 
 	clear(t.cell)
 	clear(t.sleptAt)
 	clear(t.queryEv)
+	clear(t.sleepEv)
 	for i := range t.pending {
 		t.pending[i] = t.pending[i][:0]
 	}

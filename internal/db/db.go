@@ -267,3 +267,49 @@ func (d *DB) UpdatedSince(since des.Time, buf []Update) []Update {
 func (d *DB) CountUpdatedSince(since des.Time) int {
 	return len(d.UpdatedSince(since, nil))
 }
+
+// View is a read-only query handle on the database for one execution lane.
+// It owns a private dedup scratch and a private clock, so concurrent lanes
+// can call UpdatedSince on the same DB without sharing mutable state: the
+// update process runs on the global scheduler, which only advances at epoch
+// barriers while every lane is parked, so the history a lane reads is frozen
+// for the duration of its epoch (the "epoch-visible update log").
+type View struct {
+	d   *DB
+	now func() des.Time
+
+	gen     uint32
+	lastGen []uint32
+}
+
+// NewView builds a lane view whose retention checks use the given clock; a
+// nil clock falls back to the database's own scheduler.
+func (d *DB) NewView(now func() des.Time) *View {
+	if now == nil {
+		now = d.sch.Now
+	}
+	return &View{d: d, now: now, lastGen: make([]uint32, d.cfg.NumItems)}
+}
+
+// UpdatedSince is DB.UpdatedSince evaluated against the view's clock, using
+// the view's private scratch.
+func (v *View) UpdatedSince(since des.Time, buf []Update) []Update {
+	d := v.d
+	now := v.now()
+	if horizon := now.Add(-des.Duration(d.cfg.Retention)); since < horizon && now > des.Time(d.cfg.Retention) {
+		panic(fmt.Sprintf("db: UpdatedSince(%v) beyond retention horizon %v", since, horizon))
+	}
+	v.gen++
+	for i := len(d.history) - 1; i >= d.head; i-- {
+		u := d.history[i]
+		if u.At <= since {
+			break
+		}
+		if v.lastGen[u.ID] == v.gen {
+			continue
+		}
+		v.lastGen[u.ID] = v.gen
+		buf = append(buf, u)
+	}
+	return buf
+}

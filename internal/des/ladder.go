@@ -1,0 +1,330 @@
+package des
+
+// This file implements the scheduler's pending-event structure: a
+// calendar/ladder queue tuned for the kernel's near-monotone event-time
+// distribution, with the hand-rolled binary heap kept for the two ends of
+// the time scale. The simulator schedules almost everything within a short
+// look-ahead of the clock (slot ends, frame completions, query gaps), so an
+// O(1) bucket insert plus a small per-slot heap replaces an O(log n) sift
+// over the full pending set for the overwhelming majority of events; the
+// rare long timers (retention-scale tickers, disconnection cycles) overflow
+// into a far-future heap and migrate into the ring as the clock approaches.
+//
+// Three tiers, by time distance from the cursor:
+//
+//	bot     a min-heap over the current slot's events — the only tier that
+//	        pays comparison sifts, sized by one slot's population, not the
+//	        whole queue
+//	buckets a 256-slot ring of unsorted arrays, one per width-aligned time
+//	        slot — O(1) insert and cancel
+//	far     a min-heap for events at or beyond the ring horizon
+//
+// The structure preserves the scheduler's exact total order: events pop in
+// ascending (time, seq), with ties broken by scheduling order.
+
+// Event location tags (Event.loc).
+const (
+	locNone   int8 = iota // not queued
+	locBucket             // in ring bucket Event.slot, position Event.index
+	locBottom             // in the current-slot heap at heap index Event.index
+	locFar                // in the far-future heap at heap index Event.index
+)
+
+const (
+	ladderBuckets   = 256  // ring size; power of two
+	ladderMaxDrain  = 4096 // slot occupancy that forces a width halving
+	ladderMinShift  = 0    // 1 µs buckets at the finest
+	ladderMaxShift  = 40   // ~13 days per bucket at the coarsest
+	ladderInitShift = 10   // initial bucket width: 1.024 ms
+
+	// ladderWidenAfter far-tier pushes between rebases double the bucket
+	// width: sustained far traffic means the ring horizon is narrower than
+	// the workload's scheduling look-ahead, and every far transit pays two
+	// full heap sifts the ring exists to avoid.
+	ladderWidenAfter = 4096
+)
+
+// ladder is the three-tier pending-event structure. The zero value is ready
+// to use (the ring is anchored lazily on the first push).
+type ladder struct {
+	initialized bool
+	shift       uint  // log2 of bucket width in µs
+	curSlot     int64 // slot index of the current bucket; bucket = slot & (ladderBuckets-1)
+	buckets     [ladderBuckets][]*Event
+	nNear       int // events in ring buckets (excluding bot)
+
+	// bot holds the current slot's events. bottomOpen marks that the slot has
+	// been migrated here, so pushes with at < botLimit (the slot's exclusive
+	// end time) must join the heap instead — the bucket that drained it is
+	// behind the ring cursor and would otherwise replay out of order.
+	bot        eventHeap
+	bottomOpen bool
+	botLimit   Time
+
+	far eventHeap // events at or beyond the ring horizon
+
+	count int
+
+	// width-adaptation bookkeeping: pops and elapsed time since the last
+	// rebase decide the next bucket width on rebase; farSince counts far
+	// pushes and drives widening when the near side never empties.
+	popped     int64
+	rebaseAt   Time
+	haveRebase bool
+	farSince   int
+}
+
+func (l *ladder) len() int { return l.count }
+
+func (l *ladder) slotOf(t Time) int64 { return int64(t) >> l.shift }
+
+// push inserts e into the tier matching its time.
+func (l *ladder) push(e *Event) {
+	if !l.initialized {
+		l.initialized = true
+		l.shift = ladderInitShift
+		l.curSlot = l.slotOf(e.at)
+	}
+	l.count++
+	if l.bottomOpen && e.at < l.botLimit {
+		e.loc = locBottom
+		l.bot.push(e)
+		return
+	}
+	d := l.slotOf(e.at) - l.curSlot
+	if d < 0 {
+		// The ring start tracks the earliest *materialized* slot, which can
+		// run ahead of the clock (peek advances to the next pending event;
+		// rebase jumps to the far tier's minimum). A push from outside a
+		// running event — test setup, scheduling between horizon runs — may
+		// target a time before that region; pull the ring back to it.
+		// Cannot happen while the bottom heap is open: its slot range ends
+		// at botLimit ≤ every ring slot's start, and earlier pushes took the
+		// bottom branch above.
+		l.respread(l.shift, l.slotOf(e.at))
+		d = 0
+	}
+	if d < ladderBuckets {
+		l.pushBucket(e)
+		return
+	}
+	e.loc = locFar
+	l.far.push(e)
+	if l.farSince++; l.farSince >= ladderWidenAfter && l.shift < ladderMaxShift {
+		l.widen()
+	}
+}
+
+// widen doubles the bucket width and pulls far events now inside the ring
+// horizon back into buckets. The new, coarser start slot is the old one
+// rounded down, which never passes a ring event (they all sit at or after
+// the old slot's start).
+func (l *ladder) widen() {
+	l.farSince = 0
+	l.respread(l.shift+1, l.curSlot>>1)
+	horizon := l.curSlot + ladderBuckets
+	for l.far.len() > 0 && l.slotOf(l.far.ev[0].at) < horizon {
+		l.pushBucket(l.far.pop())
+	}
+}
+
+func (l *ladder) pushBucket(e *Event) {
+	b := int(l.slotOf(e.at) & (ladderBuckets - 1))
+	e.loc = locBucket
+	e.slot = int32(b)
+	e.index = len(l.buckets[b])
+	l.buckets[b] = append(l.buckets[b], e)
+	l.nNear++
+}
+
+// remove extracts a queued event from whichever tier holds it.
+func (l *ladder) remove(e *Event) {
+	switch e.loc {
+	case locBucket:
+		b := l.buckets[e.slot]
+		last := len(b) - 1
+		if e.index != last {
+			b[e.index] = b[last]
+			b[e.index].index = e.index
+		}
+		b[last] = nil
+		l.buckets[e.slot] = b[:last]
+		l.nNear--
+	case locBottom:
+		l.bot.remove(e.index)
+	case locFar:
+		l.far.remove(e.index)
+	default:
+		return
+	}
+	e.loc = locNone
+	e.index = -1
+	l.count--
+}
+
+// peek returns the earliest pending event without removing it, advancing the
+// ring and refilling from the far tier as needed. Returns nil when empty.
+//
+// Invariant: the far tier's minimum never precedes the current slot's start,
+// so bounding the bucket scan by the far-min slot — and merging far events
+// into the ring before draining that slot — keeps the tiers in order.
+func (l *ladder) peek() *Event {
+	for {
+		if l.bot.len() > 0 {
+			return l.bot.ev[0]
+		}
+		l.bottomOpen = false
+		if l.nNear > 0 {
+			// Advance to the next non-empty bucket, but never past the far
+			// tier's minimum slot: a far event may have entered the ring's
+			// range as the cursor moved and must drain in time order.
+			if l.far.len() > 0 {
+				fs := l.slotOf(l.far.ev[0].at)
+				for l.curSlot < fs && len(l.buckets[l.curSlot&(ladderBuckets-1)]) == 0 {
+					l.curSlot++
+				}
+				if l.curSlot == fs {
+					horizon := l.curSlot + ladderBuckets
+					for l.far.len() > 0 && l.slotOf(l.far.ev[0].at) < horizon {
+						l.pushBucket(l.far.pop())
+					}
+				}
+			} else {
+				// Every ring event lives in [curSlot, curSlot+ladderBuckets),
+				// so at most one lap finds the next occupied bucket.
+				for len(l.buckets[l.curSlot&(ladderBuckets-1)]) == 0 {
+					l.curSlot++
+				}
+			}
+			l.drainCurrent()
+			continue
+		}
+		if l.far.len() == 0 {
+			return nil
+		}
+		l.rebase()
+	}
+}
+
+// popHead removes and returns the event peek would return. Callers must have
+// established non-emptiness via peek.
+func (l *ladder) popHead() *Event {
+	e := l.bot.pop()
+	e.loc = locNone
+	l.count--
+	l.popped++
+	return e
+}
+
+// drainCurrent moves the current bucket into the bottom heap.
+func (l *ladder) drainCurrent() {
+	b := l.curSlot & (ladderBuckets - 1)
+	bucket := l.buckets[b]
+	l.buckets[b] = bucket[:0]
+	l.nNear -= len(bucket)
+	for _, e := range bucket {
+		e.loc = locBottom
+		l.bot.push(e)
+	}
+	clear(bucket)
+	l.bottomOpen = true
+	l.botLimit = Time((l.curSlot + 1) << l.shift)
+	if l.bot.len() > ladderMaxDrain && l.shift > ladderMinShift {
+		// A slot this crowded means the buckets are too coarse: halve the
+		// width and re-spread the remaining ring so future slots stay small.
+		// The bottom heap keeps the old slot's full range (botLimit is
+		// unchanged); the ring restarts just past it in the new, finer units.
+		shift := l.shift - 1
+		l.respread(shift, int64(l.botLimit)>>shift)
+	}
+}
+
+// rebase re-anchors the ring at the far tier's minimum, adapting the bucket
+// width to the observed event density, and migrates every far event that now
+// falls inside the ring horizon.
+func (l *ladder) rebase() {
+	minAt := l.far.ev[0].at
+	if l.haveRebase && l.popped > 0 {
+		elapsed := int64(minAt - l.rebaseAt)
+		if elapsed > 0 {
+			// Aim for a handful of events per bucket: width ≈ 4× mean gap.
+			target := 4 * elapsed / l.popped
+			shift := uint(ladderMinShift)
+			for shift < ladderMaxShift && int64(1)<<(shift+1) <= target {
+				shift++
+			}
+			l.shift = shift
+		}
+	}
+	l.haveRebase = true
+	l.rebaseAt = minAt
+	l.popped = 0
+	l.farSince = 0
+	l.curSlot = l.slotOf(minAt)
+	horizon := l.curSlot + ladderBuckets
+	for l.far.len() > 0 && l.slotOf(l.far.ev[0].at) < horizon {
+		l.pushBucket(l.far.pop())
+	}
+}
+
+// respread rebuilds the ring with a new bucket width and/or start slot
+// (given in the new width's units), leaving the bottom heap intact. Ring
+// events whose slot falls outside the rebuilt horizon overflow into the far
+// tier. Callers guarantee no ring event precedes the new start.
+func (l *ladder) respread(shift uint, slot int64) {
+	var pending []*Event
+	for b := range l.buckets {
+		for _, e := range l.buckets[b] {
+			pending = append(pending, e)
+		}
+		clear(l.buckets[b])
+		l.buckets[b] = l.buckets[b][:0]
+	}
+	l.nNear = 0
+	l.shift = shift
+	l.curSlot = slot
+	horizon := l.curSlot + ladderBuckets
+	for _, e := range pending {
+		if l.slotOf(e.at) < horizon {
+			l.pushBucket(e)
+		} else {
+			e.loc = locFar
+			l.far.push(e)
+		}
+	}
+}
+
+// reset empties the structure, appending every queued event to drop (for the
+// scheduler's free list) and keeping the allocated buffers for reuse.
+func (l *ladder) reset(drop []*Event) []*Event {
+	for b := range l.buckets {
+		for _, e := range l.buckets[b] {
+			e.loc = locNone
+			e.index = -1
+			drop = append(drop, e)
+		}
+		clear(l.buckets[b])
+		l.buckets[b] = l.buckets[b][:0]
+	}
+	for _, h := range []*eventHeap{&l.bot, &l.far} {
+		for _, e := range h.ev {
+			e.loc = locNone
+			e.index = -1
+			drop = append(drop, e)
+		}
+		clear(h.ev)
+		h.ev = h.ev[:0]
+	}
+	l.bottomOpen = false
+	l.botLimit = 0
+	l.nNear = 0
+	l.count = 0
+	l.initialized = false
+	l.shift = 0
+	l.curSlot = 0
+	l.popped = 0
+	l.rebaseAt = 0
+	l.haveRebase = false
+	l.farSince = 0
+	return drop
+}

@@ -1,0 +1,400 @@
+package des
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refQueue is a reference pending-event store backed by the plain binary
+// heap, used to pin the ladder-backed scheduler's pop order. It mirrors the
+// scheduler's (time, seq) contract with none of the ladder's tiering.
+type refQueue struct {
+	heap eventHeap
+	seq  uint64
+}
+
+func (q *refQueue) push(at Time) *Event {
+	e := &Event{at: at, seq: q.seq}
+	q.seq++
+	q.heap.push(e)
+	return e
+}
+
+func (q *refQueue) pop() *Event {
+	if q.heap.len() == 0 {
+		return nil
+	}
+	return q.heap.pop()
+}
+
+// TestLadderMatchesHeapRandom drives a ladder-backed scheduler and the
+// reference heap through identical randomized schedule/cancel/reschedule
+// workloads and requires byte-identical pop order.
+func TestLadderMatchesHeapRandom(t *testing.T) {
+	for trial := 0; trial < 50; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial) + 1))
+		s := NewScheduler()
+		ref := &refQueue{}
+
+		type pair struct {
+			ev  *Event
+			ref *Event
+		}
+		var live []pair
+		var got, want []Time
+
+		// Interleave pops with a mixed push/cancel/reschedule workload over
+		// several time scales so the ladder crosses bucket drains, far-tier
+		// rebases, and width adaptations.
+		for op := 0; op < 5000; op++ {
+			switch k := rng.Intn(10); {
+			case k < 5: // push
+				var d Duration
+				switch rng.Intn(4) {
+				case 0:
+					d = Duration(rng.Intn(100)) // same-slot cluster
+				case 1:
+					d = Duration(rng.Intn(100_000)) // near
+				case 2:
+					d = Duration(rng.Intn(10_000_000)) // across the ring
+				default:
+					d = Duration(rng.Intn(1_000_000_000)) // far future
+				}
+				at := s.Now().Add(d)
+				ev := s.At(at, "p", func() {})
+				live = append(live, pair{ev: ev, ref: ref.push(at)})
+			case k < 6: // cancel a random live event
+				if len(live) == 0 {
+					continue
+				}
+				i := rng.Intn(len(live))
+				p := live[i]
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+				if p.ref.index < 0 {
+					continue // already popped; the ladder handle may be recycled
+				}
+				s.Cancel(p.ev)
+				ref.heap.remove(p.ref.index)
+			case k < 7: // reschedule a random live event
+				if len(live) == 0 {
+					continue
+				}
+				i := rng.Intn(len(live))
+				p := &live[i]
+				if p.ref.index < 0 {
+					continue // already popped; the ladder handle may be recycled
+				}
+				at := s.Now().Add(Duration(rng.Intn(50_000_000)))
+				p.ev = s.Reschedule(p.ev, at)
+				ref.heap.remove(p.ref.index)
+				p.ref = ref.push(at)
+			default: // pop one event from both
+				fired := false
+				var at Time
+				if e := s.q.peek(); e != nil {
+					at = e.at
+					fired = s.Step()
+				}
+				re := ref.pop()
+				if fired != (re != nil) {
+					t.Fatalf("trial %d op %d: ladder fired=%v, heap fired=%v", trial, op, fired, re != nil)
+				}
+				if re != nil {
+					got = append(got, at)
+					want = append(want, re.at)
+				}
+			}
+		}
+		// Drain both completely.
+		for {
+			e := s.q.peek()
+			re := ref.pop()
+			if (e == nil) != (re == nil) {
+				t.Fatalf("trial %d drain: ladder empty=%v, heap empty=%v (pending %d)", trial, e == nil, re == nil, s.Pending())
+			}
+			if e == nil {
+				break
+			}
+			got = append(got, e.at)
+			want = append(want, re.at)
+			s.Step()
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: popped %d events, heap popped %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: pop %d at %v, heap says %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestLadderAdversarialSameTimeAndOutliers pins the fuzz-style adversarial
+// shape from the issue: thousands of same-time events (forcing an oversized
+// bucket drain and a width respread) interleaved with far-future outliers,
+// popped in exact (time, seq) order.
+func TestLadderAdversarialSameTimeAndOutliers(t *testing.T) {
+	s := NewScheduler()
+	at := Time(1_000_000)
+	var order []int
+	n := 0
+	add := func(t Time) {
+		i := n
+		n++
+		s.At(t, "a", func() { order = append(order, i) })
+	}
+	// A burst well past ladderMaxDrain at one instant…
+	for i := 0; i < ladderMaxDrain+500; i++ {
+		add(at)
+	}
+	// …interleaved with outliers across 12 decades of future time.
+	far := at
+	for i := 0; i < 40; i++ {
+		far = far.Add(Duration(1) << uint(i%40))
+		add(far)
+	}
+	// And a second same-time burst at a later instant, scheduled before the
+	// first fires, so it sits in the ring while the first drains.
+	at2 := at.Add(512)
+	for i := 0; i < 1000; i++ {
+		add(at2)
+	}
+	ref := make([]int, 0, n)
+	s.RunAll()
+	if len(order) != n {
+		t.Fatalf("fired %d of %d events", len(order), n)
+	}
+	// Reconstruct the expected order with a plain stable criterion: events
+	// were added with monotonically increasing seq, so sorting (time, add
+	// index) gives the contract order.
+	type rec struct {
+		at  Time
+		idx int
+	}
+	recs := make([]rec, 0, n)
+	k := 0
+	appendN := func(t Time, c int) {
+		for i := 0; i < c; i++ {
+			recs = append(recs, rec{at: t, idx: k})
+			k++
+		}
+	}
+	appendN(at, ladderMaxDrain+500)
+	far = at
+	for i := 0; i < 40; i++ {
+		far = far.Add(Duration(1) << uint(i%40))
+		appendN(far, 1)
+	}
+	appendN(at2, 1000)
+	// Stable sort by time (insertion by time keeps idx order within a time).
+	for i := 1; i < len(recs); i++ {
+		for j := i; j > 0 && recs[j].at < recs[j-1].at; j-- {
+			recs[j], recs[j-1] = recs[j-1], recs[j]
+		}
+	}
+	for _, r := range recs {
+		ref = append(ref, r.idx)
+	}
+	for i := range ref {
+		if order[i] != ref[i] {
+			t.Fatalf("pop %d fired event %d, want %d", i, order[i], ref[i])
+		}
+	}
+}
+
+// TestLadderSameSlotPushDuringDrain pins the insert-into-open-bottom path:
+// events scheduled from inside a callback into the currently draining slot
+// must still fire in (time, seq) order.
+func TestLadderSameSlotPushDuringDrain(t *testing.T) {
+	s := NewScheduler()
+	var order []string
+	s.At(100, "a", func() {
+		order = append(order, "a")
+		s.At(150, "c", func() { order = append(order, "c") })
+		s.At(120, "b", func() { order = append(order, "b") })
+		s.At(150, "d", func() { order = append(order, "d") })
+	})
+	s.At(200, "e", func() { order = append(order, "e") })
+	s.RunAll()
+	want := []string{"a", "b", "c", "d", "e"}
+	if len(order) != len(want) {
+		t.Fatalf("fired %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSchedulerNextAt(t *testing.T) {
+	s := NewScheduler()
+	if _, ok := s.NextAt(); ok {
+		t.Fatal("NextAt on empty queue reported ok")
+	}
+	s.At(500, "b", func() {})
+	e := s.At(100, "a", func() {})
+	if at, ok := s.NextAt(); !ok || at != 100 {
+		t.Fatalf("NextAt = %v, %v", at, ok)
+	}
+	s.Cancel(e)
+	if at, ok := s.NextAt(); !ok || at != 500 {
+		t.Fatalf("NextAt after cancel = %v, %v", at, ok)
+	}
+}
+
+func TestSchedulerAdvanceTo(t *testing.T) {
+	s := NewScheduler()
+	var advanced []Time
+	s.SetAdvanceHook(func(t Time) { advanced = append(advanced, t) })
+	fired := false
+	s.At(1000, "x", func() { fired = true })
+	s.AdvanceTo(1000) // events at exactly t stay pending
+	if fired {
+		t.Fatal("AdvanceTo executed an event")
+	}
+	if s.Now() != 1000 {
+		t.Fatalf("clock at %v", s.Now())
+	}
+	if len(advanced) != 1 || advanced[0] != 1000 {
+		t.Fatalf("advance hook calls: %v", advanced)
+	}
+	s.AdvanceTo(1000) // no-op at the same time
+	if len(advanced) != 1 {
+		t.Fatalf("advance hook re-fired at same time: %v", advanced)
+	}
+	s.Run(1000)
+	if !fired {
+		t.Fatal("event at the advanced-to time did not fire")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AdvanceTo past a pending event did not panic")
+		}
+	}()
+	s.At(2000, "y", func() {})
+	s.AdvanceTo(3000)
+}
+
+func TestSchedulerMoveTo(t *testing.T) {
+	a := NewScheduler()
+	b := NewScheduler()
+	fired := ""
+	e := a.At(700, "x", func() { fired = "b" })
+	moved := a.MoveTo(e, b)
+	if moved == nil || !moved.Pending() {
+		t.Fatal("moved event not pending on destination")
+	}
+	if e.Pending() {
+		t.Fatal("source handle still pending after move")
+	}
+	if moved.Time() != 700 || moved.Name() != "x" {
+		t.Fatalf("moved event lost identity: at %v name %q", moved.Time(), moved.Name())
+	}
+	a.RunAll()
+	if fired != "" {
+		t.Fatal("event fired on source scheduler")
+	}
+	b.RunAll()
+	if fired != "b" {
+		t.Fatal("event did not fire on destination scheduler")
+	}
+	if got := a.MoveTo(nil, b); got != nil {
+		t.Fatal("MoveTo(nil) returned a handle")
+	}
+	if got := b.MoveTo(moved, a); got != nil {
+		t.Fatal("MoveTo of a fired event returned a handle")
+	}
+}
+
+func TestSchedulerReset(t *testing.T) {
+	s := NewScheduler()
+	ran := 0
+	s.At(100, "a", func() { ran++ })
+	s.At(5_000_000_000, "far", func() { ran++ })
+	s.Run(200)
+	if ran != 1 {
+		t.Fatalf("ran %d", ran)
+	}
+	s.SetInterrupt(10, func() error { return nil })
+	s.SetPulse(10, func(uint64) {})
+	s.Reset()
+	if s.Now() != 0 || s.Executed() != 0 || s.Pending() != 0 {
+		t.Fatalf("Reset left now=%v executed=%d pending=%d", s.Now(), s.Executed(), s.Pending())
+	}
+	// The scheduler must behave exactly like a fresh one: same seq numbering,
+	// same pop order.
+	var order []int
+	s.At(300, "b", func() { order = append(order, 2) })
+	s.At(300, "c", func() { order = append(order, 3) })
+	s.At(100, "a", func() { order = append(order, 1) })
+	s.RunAll()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("post-Reset order %v", order)
+	}
+}
+
+// FuzzLadderPopOrder cross-checks the ladder against the reference heap on
+// fuzz-provided operation tapes.
+func FuzzLadderPopOrder(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 250, 3, 9, 0, 0, 255, 7})
+	f.Add([]byte{5, 5, 5, 5, 200, 200, 9, 9, 9, 9, 9, 9})
+	f.Fuzz(func(t *testing.T, tape []byte) {
+		s := NewScheduler()
+		ref := &refQueue{}
+		var live []*Event
+		var refLive []*Event
+		for i := 0; i+1 < len(tape); i += 2 {
+			op, arg := tape[i], tape[i+1]
+			switch op % 3 {
+			case 0: // push; arg picks a delay scale
+				d := Duration(arg) << (uint(arg) % 24)
+				at := s.Now().Add(d)
+				live = append(live, s.At(at, "f", func() {}))
+				refLive = append(refLive, ref.push(at))
+			case 1: // cancel
+				if len(live) == 0 {
+					continue
+				}
+				j := int(arg) % len(live)
+				if refLive[j].index >= 0 {
+					s.Cancel(live[j])
+					ref.heap.remove(refLive[j].index)
+				}
+				live = append(live[:j], live[j+1:]...)
+				refLive = append(refLive[:j], refLive[j+1:]...)
+			case 2: // pop
+				var at Time
+				e := s.q.peek()
+				if e != nil {
+					at = e.at
+					s.Step()
+				}
+				re := ref.pop()
+				if (e == nil) != (re == nil) {
+					t.Fatalf("op %d: ladder empty=%v heap empty=%v", i, e == nil, re == nil)
+				}
+				if re != nil && at != re.at {
+					t.Fatalf("op %d: popped %v, heap %v", i, at, re.at)
+				}
+			}
+		}
+		for {
+			e := s.q.peek()
+			re := ref.pop()
+			if (e == nil) != (re == nil) {
+				t.Fatalf("drain: ladder empty=%v heap empty=%v", e == nil, re == nil)
+			}
+			if e == nil {
+				break
+			}
+			if e.at != re.at {
+				t.Fatalf("drain: popped %v, heap %v", e.at, re.at)
+			}
+			s.Step()
+		}
+	})
+}

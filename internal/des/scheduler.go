@@ -7,9 +7,11 @@ import "fmt"
 type Event struct {
 	at     Time
 	seq    uint64 // FIFO tie-break among events with equal time
-	index  int    // heap index, -1 when not queued
+	index  int    // position within the holding tier, -1 when not queued
 	fn     func()
 	name   string
+	slot   int32 // ring bucket holding the event when loc == locBucket
+	loc    int8  // which ladder tier holds the event (locNone when unqueued)
 	cancel bool
 }
 
@@ -117,7 +119,7 @@ func (h *eventHeap) down(i int) {
 type Scheduler struct {
 	now       Time
 	seq       uint64
-	heap      eventHeap
+	q         ladder
 	executed  uint64
 	running   bool
 	stopped   bool
@@ -153,7 +155,17 @@ func (s *Scheduler) Now() Time { return s.now }
 func (s *Scheduler) Executed() uint64 { return s.executed }
 
 // Pending reports how many events are queued.
-func (s *Scheduler) Pending() int { return s.heap.len() }
+func (s *Scheduler) Pending() int { return s.q.len() }
+
+// NextAt reports the time of the earliest pending event. ok is false when
+// the queue is empty.
+func (s *Scheduler) NextAt() (t Time, ok bool) {
+	e := s.q.peek()
+	if e == nil {
+		return 0, false
+	}
+	return e.at, true
+}
 
 // SetAdvanceHook installs fn to be called whenever the clock moves to a new
 // time, before any event at that time runs. It is used by components that
@@ -183,7 +195,7 @@ func (s *Scheduler) At(t Time, name string, fn func()) *Event {
 	e.fn = fn
 	e.name = name
 	s.seq++
-	s.heap.push(e)
+	s.q.push(e)
 	return e
 }
 
@@ -203,7 +215,7 @@ func (s *Scheduler) Cancel(e *Event) {
 	if e == nil || e.index < 0 {
 		return
 	}
-	s.heap.remove(e.index)
+	s.q.remove(e)
 	e.cancel = true
 	s.free = append(s.free, e)
 }
@@ -217,6 +229,57 @@ func (s *Scheduler) Reschedule(e *Event, t Time) *Event {
 	fn, name := e.fn, e.name
 	s.Cancel(e)
 	return s.At(t, name, fn)
+}
+
+// MoveTo transfers a pending event from this scheduler to dst, preserving
+// its time, name, and callback. The returned handle replaces e (which is
+// recycled on the source side). Moving a nil or non-pending handle is a
+// no-op returning nil. The event's time must not be in dst's past — callers
+// migrate events between epoch-synchronized schedulers whose clocks agree.
+func (s *Scheduler) MoveTo(e *Event, dst *Scheduler) *Event {
+	if e == nil || e.index < 0 {
+		return nil
+	}
+	at, name, fn := e.at, e.name, e.fn
+	s.Cancel(e)
+	return dst.At(at, name, fn)
+}
+
+// AdvanceTo moves the clock forward to t without executing any events,
+// firing the advance hook as Run would. Events pending at exactly t remain
+// queued (a subsequent Run(t) executes them); events strictly before t would
+// be skipped silently, so that is a panic. Epoch-synchronized lanes use this
+// to align clocks at a barrier after Run(t-1).
+func (s *Scheduler) AdvanceTo(t Time) {
+	if t < s.now {
+		panic(fmt.Sprintf("des: AdvanceTo %v before now %v", t, s.now))
+	}
+	if e := s.q.peek(); e != nil && e.at < t {
+		panic(fmt.Sprintf("des: AdvanceTo %v would skip %q pending at %v", t, e.name, e.at))
+	}
+	if t == s.now {
+		return
+	}
+	s.now = t
+	if s.onAdvance != nil {
+		s.onAdvance(s.now)
+	}
+}
+
+// Reset returns the scheduler to its initial state — clock at zero, no
+// pending events, no hooks, zeroed counters — while keeping allocated
+// buffers (event free list, queue storage) for reuse. It exists so arenas
+// can recycle schedulers across replications.
+func (s *Scheduler) Reset() {
+	s.free = s.q.reset(s.free)
+	s.now = 0
+	s.seq = 0
+	s.executed = 0
+	s.running = false
+	s.stopped = false
+	s.onAdvance = nil
+	s.intEvery, s.intLeft, s.intFn, s.intErr = 0, 0, nil, nil
+	s.pulseEvery, s.pulseLeft, s.pulseFn = 0, 0, nil
 }
 
 // Stop makes Run return after the currently executing event (if any)
@@ -272,12 +335,12 @@ func (s *Scheduler) Run(until Time) Time {
 	s.intErr = nil
 	defer func() { s.running = false }()
 
-	for !s.stopped && s.heap.len() > 0 {
-		next := s.heap.ev[0]
-		if next.at > until {
+	for !s.stopped {
+		next := s.q.peek()
+		if next == nil || next.at > until {
 			break
 		}
-		e := s.heap.pop()
+		e := s.q.popHead()
 		if e.at != s.now {
 			s.now = e.at
 			if s.onAdvance != nil {
@@ -320,10 +383,10 @@ func (s *Scheduler) RunAll() Time { return s.Run(Never) }
 // Step executes exactly one event if one is pending and returns true,
 // otherwise returns false. Useful in tests.
 func (s *Scheduler) Step() bool {
-	if s.heap.len() == 0 {
+	if s.q.peek() == nil {
 		return false
 	}
-	e := s.heap.pop()
+	e := s.q.popHead()
 	if e.at != s.now {
 		s.now = e.at
 		if s.onAdvance != nil {

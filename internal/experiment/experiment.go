@@ -162,6 +162,18 @@ type Options struct {
 	Workers  int // global (cell × replication) pool size; ≤0 means GOMAXPROCS
 	Progress func(Progress)
 
+	// CellWorkers splits the worker budget between replications and the
+	// epoch-parallel lanes inside each one: every unit runs with
+	// core.Config.Parallel set and this many lane workers, and the outer
+	// replication pool shrinks to Workers/CellWorkers (floor 1) so the total
+	// concurrency stays at Workers. Useful when a sweep has fewer pending
+	// replications than cores — the spare cores then help inside each run.
+	// ≤ 1 keeps the classic one-goroutine-per-replication schedule.
+	// Single-cell points silently run serial (the core gate), and parallel
+	// results differ from serial ones, so do not mix CellWorkers settings
+	// against one Checkpoint file (restore does not distinguish the modes).
+	CellWorkers int
+
 	// Checkpoint, when non-nil, is consulted before scheduling: cells it
 	// already records are restored without rerunning, and every cell this
 	// run completes is appended to it (plus one perf line per cell).
@@ -249,6 +261,12 @@ func RunAll(ctx context.Context, exps []*Experiment, opt Options) ([]*Result, er
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	if opt.CellWorkers > 1 {
+		workers /= opt.CellWorkers
+		if workers < 1 {
+			workers = 1
+		}
+	}
 
 	// Lay out every cell of every experiment in deterministic order,
 	// restoring checkpointed cells instead of scheduling them.
@@ -281,6 +299,10 @@ func RunAll(ctx context.Context, exps []*Experiment, opt Options) ([]*Result, er
 					cfg: cfg, runs: make([]*core.RunStats, opt.Reps),
 					pending: opt.Reps,
 				}
+				if opt.CellWorkers > 1 {
+					cs.cfg.Parallel = true
+					cs.cfg.ParallelWorkers = opt.CellWorkers
+				}
 				if mon := opt.Monitor; mon != nil {
 					// Feed the live event counters from each replication's
 					// scheduler pulse. The hook is process-local and excluded
@@ -292,7 +314,12 @@ func RunAll(ctx context.Context, exps []*Experiment, opt Options) ([]*Result, er
 					// monitor's live /debug/sweep and /metrics views.
 					// Collection is lazy (no scheduled events), so this hook
 					// is result-invariant too (TestRollupsDoNotPerturb).
-					cs.cfg.Rollup = mon.RollupSink()
+					// Skipped under CellWorkers: an attached rollup sink
+					// assumes the serial observation order and would silently
+					// force every replication back to serial execution.
+					if opt.CellWorkers <= 1 {
+						cs.cfg.Rollup = mon.RollupSink()
+					}
 				}
 				cells = append(cells, cs)
 				if !algoSeen[a] {
@@ -403,6 +430,9 @@ func RunAll(ctx context.Context, exps []*Experiment, opt Options) ([]*Result, er
 				}
 				if err != nil {
 					cancel()
+				}
+				if opt.Monitor != nil && r != nil && r.Epochs > 0 {
+					opt.Monitor.AddEpochs(r.Epochs)
 				}
 				finish(u, r, err)
 				if opt.Monitor != nil {

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/des"
+	"repro/internal/topology"
 )
 
 // tinyBase shrinks the base config so harness tests run in milliseconds.
@@ -278,5 +279,35 @@ func TestDefaultAlgorithmsAll(t *testing.T) {
 	}
 	if got := res.algos(); len(got) != len(allAlgos) {
 		t.Fatalf("algos %v", got)
+	}
+}
+
+// TestRunCellWorkersInvariance: splitting the worker budget into per-
+// replication lane workers must not change any aggregated output — the
+// epoch runner is worker-count invariant, and the harness only re-shapes
+// where the concurrency lives.
+func TestRunCellWorkersInvariance(t *testing.T) {
+	base := tinyBase()
+	base.Topology = topology.DefaultConfig()
+	base.Topology.NumCells = 4
+	exp := &Experiment{
+		ID: "X3", Title: "cellworkers", XLabel: "u",
+		Algorithms: []string{"ts"},
+		Points: points([]float64{0.1}, gLabel,
+			func(c *core.Config, x float64) { c.DB.UpdateRate = x }),
+		Metrics: []Metric{MetricDelay, MetricHit},
+	}
+	run := func(cw int) string {
+		res, err := exp.Run(Options{Base: base, Reps: 2, Workers: 4, CellWorkers: cw})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.CSV() + "\n" + res.Table()
+	}
+	want := run(2)
+	for _, cw := range []int{3, 4} {
+		if got := run(cw); got != want {
+			t.Fatalf("CellWorkers=%d changed results\nwant:\n%s\ngot:\n%s", cw, want, got)
+		}
 	}
 }

@@ -64,14 +64,18 @@ type Uplink struct {
 	deliver UplinkDeliver
 	src     *rng.Source
 
-	slots map[int64]slotQueue
+	// ring holds the armed slot queues, indexed slot & ringMask. Backoff
+	// bounds how far ahead an attempt can land (1 + InitialWindow·2^MaxBackoffExp
+	// slots), and resolution clears slots as time passes, so at any instant
+	// the armed slots span less than the ring size and never alias — giving
+	// O(1) hash-free access on the contention hot path.
+	ring     []slotQueue
+	ringMask int64
 
-	// pendingSlots is a min-heap of armed slot indices. Slot-resolution
-	// events fire in slot order (their times are strictly increasing in the
-	// index), so one pre-bound callback that pops the minimum replaces a
-	// fresh closure capturing the slot per arming.
-	pendingSlots []int64
-	resolveFn    func()
+	// resolveFn is the one pre-bound slot-resolution callback: resolution
+	// events fire exactly at slot end, so the slot index is recovered from
+	// the clock instead of captured in a per-arming closure.
+	resolveFn func()
 
 	free *attempt // recycled attempts, linked through next
 
@@ -93,9 +97,18 @@ func NewUplink(sch *des.Scheduler, cfg UplinkConfig, src *rng.Source, deliver Up
 		sch:     sch,
 		deliver: deliver,
 		src:     src,
-		slots:   make(map[int64]slotQueue),
 	}
-	u.resolveFn = func() { u.resolve(u.popSlot()) }
+	// Furthest reachable slot from an arming at slot s: s+1+window-1 with
+	// window capped at InitialWindow·2^MaxBackoffExp; size the ring to the
+	// next power of two above that span so live slots never collide.
+	span := int64(cfg.InitialWindow)<<uint(cfg.MaxBackoffExp) + 2
+	size := int64(1)
+	for size < span {
+		size <<= 1
+	}
+	u.ring = make([]slotQueue, size)
+	u.ringMask = size - 1
+	u.resolveFn = func() { u.resolve(int64(u.sch.Now())/int64(u.cfg.SlotDur) - 1) }
 	return u
 }
 
@@ -134,52 +147,13 @@ func (u *Uplink) releaseAttempt(a *attempt) {
 	u.free = a
 }
 
-// pushSlot adds an armed slot index to the min-heap.
-func (u *Uplink) pushSlot(s int64) {
-	u.pendingSlots = append(u.pendingSlots, s)
-	i := len(u.pendingSlots) - 1
-	for i > 0 {
-		p := (i - 1) / 2
-		if u.pendingSlots[p] <= u.pendingSlots[i] {
-			break
-		}
-		u.pendingSlots[p], u.pendingSlots[i] = u.pendingSlots[i], u.pendingSlots[p]
-		i = p
-	}
-}
-
-// popSlot removes and returns the smallest armed slot index.
-func (u *Uplink) popSlot() int64 {
-	s := u.pendingSlots[0]
-	n := len(u.pendingSlots) - 1
-	u.pendingSlots[0] = u.pendingSlots[n]
-	u.pendingSlots = u.pendingSlots[:n]
-	i := 0
-	for {
-		l := 2*i + 1
-		if l >= n {
-			break
-		}
-		m := l
-		if r := l + 1; r < n && u.pendingSlots[r] < u.pendingSlots[l] {
-			m = r
-		}
-		if u.pendingSlots[i] <= u.pendingSlots[m] {
-			break
-		}
-		u.pendingSlots[i], u.pendingSlots[m] = u.pendingSlots[m], u.pendingSlots[i]
-		i = m
-	}
-	return s
-}
-
 // nextSlot reports the first slot index whose start is strictly after now.
 func (u *Uplink) nextSlot() int64 {
 	return int64(u.sch.Now())/int64(u.cfg.SlotDur) + 1
 }
 
 func (u *Uplink) scheduleIn(a *attempt, slot int64) {
-	q := u.slots[slot]
+	q := &u.ring[slot&u.ringMask]
 	a.next = nil
 	if q.head == nil {
 		q.head = a
@@ -188,17 +162,15 @@ func (u *Uplink) scheduleIn(a *attempt, slot int64) {
 	}
 	q.tail = a
 	q.n++
-	u.slots[slot] = q
 	if q.n == 1 {
-		u.pushSlot(slot)
 		end := des.Time((slot + 1) * int64(u.cfg.SlotDur))
 		u.sch.At(end, "mac.ulslot", u.resolveFn)
 	}
 }
 
 func (u *Uplink) resolve(slot int64) {
-	q := u.slots[slot]
-	delete(u.slots, slot)
+	q := u.ring[slot&u.ringMask]
+	u.ring[slot&u.ringMask] = slotQueue{}
 	now := u.sch.Now()
 	u.stats.Attempts.Add(uint64(q.n))
 	if u.onAttempt != nil {

@@ -342,6 +342,13 @@ func (s *Summary) CI95() float64 {
 	return 1.96 * math.Sqrt(ss/float64(n-1)) / math.Sqrt(float64(n))
 }
 
+// Merge appends another summary's values after s's own, preserving each
+// side's internal order so per-shard accumulation reduced in a fixed shard
+// order is deterministic.
+func (s *Summary) Merge(o *Summary) {
+	s.values = append(s.values, o.values...)
+}
+
 // Median reports the across-replication median.
 func (s *Summary) Median() float64 {
 	n := len(s.values)
@@ -384,6 +391,15 @@ func (d *DelayRecorder) Observe(x float64) {
 	d.hist.Observe(x)
 	d.batch.Observe(x)
 	d.sketch.Observe(x)
+}
+
+// Merge folds another recorder into d, view by view. Deterministic for a
+// fixed merge order; used to reduce per-cell delay streams after a parallel
+// run.
+func (d *DelayRecorder) Merge(o *DelayRecorder) {
+	d.hist.Merge(o.hist)
+	d.batch.Merge(o.batch)
+	d.sketch.Merge(o.sketch)
 }
 
 // Series returns the exact-moment view (count, mean, variance, min, max).
@@ -446,6 +462,23 @@ func (b *BatchMeans) Observe(x float64) {
 	b.count++
 	if b.count == b.batchSize {
 		b.batches.Observe(b.sum / float64(b.batchSize))
+		b.sum, b.count = 0, 0
+	}
+}
+
+// Merge folds another accumulator with the same batch size into b: complete
+// batches combine exactly, and the two partial batches coalesce (flushing as
+// one mixed batch if they jointly reach the batch size). The result depends
+// on merge order, so reducers must fold shards in a fixed order.
+func (b *BatchMeans) Merge(o *BatchMeans) {
+	if b.batchSize != o.batchSize {
+		panic("metrics: merging batch means with different batch sizes")
+	}
+	b.batches.Merge(&o.batches)
+	b.sum += o.sum
+	b.count += o.count
+	if b.count >= b.batchSize {
+		b.batches.Observe(b.sum / float64(b.count))
 		b.sum, b.count = 0, 0
 	}
 }

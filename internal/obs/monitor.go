@@ -25,6 +25,7 @@ type SweepMonitor struct {
 	cellsDone atomic.Int64
 	cells     atomic.Int64
 	events    atomic.Uint64 // simulation events processed, all algorithms
+	epochs    atomic.Uint64 // synchronization epochs of parallel replications
 
 	mu      sync.RWMutex
 	byAlgo  map[string]*algoCounters
@@ -49,6 +50,7 @@ func (m *SweepMonitor) Begin(workers, totalUnits, totalCells int, algos []string
 	m.cellsDone.Store(0)
 	m.cells.Store(int64(totalCells))
 	m.events.Store(0)
+	m.epochs.Store(0)
 	m.mu.Lock()
 	m.byAlgo = make(map[string]*algoCounters, len(algos))
 	for _, a := range algos {
@@ -98,6 +100,13 @@ func (m *SweepMonitor) AddEvents(algoName string, n uint64) {
 	m.algo(algoName).events.Add(n)
 }
 
+// AddEpochs accumulates synchronization epochs completed by parallel
+// (epoch-synchronized) replications; serial replications contribute zero.
+// Together with Events this exposes the epoch granularity — events per
+// epoch — the key health number for the parallel mode (too few events per
+// epoch means barrier overhead is eating the speedup).
+func (m *SweepMonitor) AddEpochs(n uint64) { m.epochs.Add(n) }
+
 // AlgoSnapshot is the per-algorithm slice of a Snapshot.
 type AlgoSnapshot struct {
 	Algo      string `json:"algo"`
@@ -119,6 +128,10 @@ type Snapshot struct {
 	CellsTotal   int64   `json:"cells_total"`
 	Events       uint64  `json:"events"`
 	EventsPerSec float64 `json:"events_per_sec"`
+	// Epochs and EventsPerEpoch describe parallel replications only; both
+	// stay zero/absent for all-serial sweeps.
+	Epochs         uint64  `json:"epochs,omitempty"`
+	EventsPerEpoch float64 `json:"events_per_epoch,omitempty"`
 	// ETASec extrapolates the remaining units at the observed rate; -1
 	// until the first unit completes.
 	ETASec float64        `json:"eta_sec"`
@@ -148,7 +161,11 @@ func (m *SweepMonitor) Snapshot(now time.Time) Snapshot {
 		CellsDone:   m.cellsDone.Load(),
 		CellsTotal:  m.cells.Load(),
 		Events:      m.events.Load(),
+		Epochs:      m.epochs.Load(),
 		ETASec:      -1,
+	}
+	if s.Epochs > 0 {
+		s.EventsPerEpoch = float64(s.Events) / float64(s.Epochs)
 	}
 	if s.Workers > 0 {
 		s.Utilization = float64(s.BusyWorkers) / float64(s.Workers)
