@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: help build test vet race smoke-multicell smoke-parallel check sweep bench bench-smoke bench-json bench-city soak fuzz-smoke
+.PHONY: help build test vet race smoke-multicell smoke-parallel smoke-served check sweep bench bench-smoke bench-json bench-city soak fuzz-smoke soak-served
 
 # help lists the public targets. check is the pre-commit gate; soak is the
 # nightly chaos run and is deliberately NOT part of check.
@@ -11,7 +11,8 @@ help:
 	@echo "race            race-detector pass over the concurrent packages"
 	@echo "smoke-multicell multi-cell topology smoke under -race"
 	@echo "smoke-parallel  epoch-parallel engine smoke under -race: chaos at P=1 vs P=NumCPU"
-	@echo "check           pre-commit gate: build + vet + race + smoke-multicell + smoke-parallel"
+	@echo "smoke-served    wdcserved conformance under -race: DES model as lock-step oracle"
+	@echo "check           pre-commit gate: build + vet + race + smoke-multicell + smoke-parallel + smoke-served"
 	@echo "sweep           regenerate the full evaluation into results/"
 	@echo "bench           full benchmark archive run"
 	@echo "bench-smoke     CI-sized benchmark subset"
@@ -19,6 +20,7 @@ help:
 	@echo "bench-city      refresh BENCH_2.json: clients x cells scaling curve with RSS gate"
 	@echo "fuzz-smoke      30s native-fuzz pass over each ir wire-decoder target"
 	@echo "soak            long randomized chaos/fault run under -race (nightly job)"
+	@echo "soak-served     nightly served-mode chaos leg: conformance with report loss and query timeouts"
 
 build:
 	$(GO) build ./...
@@ -47,8 +49,17 @@ smoke-multicell:
 smoke-parallel:
 	$(GO) test -race -run 'Parallel|CellWorkers' -count=1 ./internal/core ./internal/experiment
 
+# smoke-served runs the served-mode conformance oracle under the race
+# detector: a loopback wdcserved (in-process server plus a spawned binary)
+# driven in virtual-time lock-step against the DES-style model, asserting
+# byte-identical report streams and zero stale answers for all eight
+# algorithms, plus the graceful-shutdown and wire-framing adversarial tests.
+smoke-served:
+	$(GO) build -o /tmp/wdcserved ./cmd/wdcserved
+	WDCSERVED_BIN=/tmp/wdcserved $(GO) test -race -short -count=1 ./internal/serve/...
+
 # check is the pre-commit gate.
-check: build vet race smoke-multicell smoke-parallel
+check: build vet race smoke-multicell smoke-parallel smoke-served
 
 # sweep regenerates the full evaluation into results/ (resumable).
 sweep: build
@@ -67,13 +78,14 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench . ./internal/obs
 
 # bench-json refreshes the committed perf record BENCH_1.json: it runs the
-# engine throughput, tracer-overhead, and quantile-sketch benchmarks,
-# preserves the pinned pre-overhaul `baseline` block, rewrites `current`, and
-# fails when events/s drops (or a sketch cost climbs) more than 15% against
-# the committed current — the perf ratchet CI enforces. See EXPERIMENTS.md
-# for the BENCH_<n>.json convention.
+# engine throughput, tracer-overhead, quantile-sketch, and wire-report decode
+# benchmarks, preserves the pinned pre-overhaul `baseline` block, rewrites
+# `current`, and fails when events/s drops (or a sketch/decode cost climbs)
+# more than 15% against the committed current — the perf ratchet CI enforces.
+# Decode allocations gate strictly: the UnmarshalInto reuse contract pins the
+# steady state at zero. See EXPERIMENTS.md for the BENCH_<n>.json convention.
 bench-json:
-	$(GO) test -run '^$$' -bench 'Engine$$|TracerOverhead|SketchObserve$$|SketchMerge$$' -benchtime 5x -benchmem . \
+	$(GO) test -run '^$$' -bench 'Engine$$|TracerOverhead|SketchObserve$$|SketchMerge$$|ReportDecode$$' -benchtime 5x -benchmem . \
 		| $(GO) run ./cmd/wdcbench -baseline BENCH_1.json -out BENCH_1.json -max-regress-pct 15
 
 # bench-city refreshes the committed capacity record BENCH_2.json: a
@@ -101,3 +113,13 @@ fuzz-smoke:
 # 3x the PR-gating run). Expect tens of minutes; not part of `make check`.
 soak:
 	SOAK=$${SOAK:-3} $(GO) test -race -run 'Chaos|HandoffDisconnect' -timeout 45m -count=1 -v ./internal/core
+
+# soak-served is the nightly served-mode chaos leg: the full-length (not
+# -short) conformance oracle against a spawned wdcserved binary over real
+# sockets, including the chaos schedule — lost and truncated broadcast
+# datagrams, stalled query frames cut by the server's IO deadline and retried
+# with bounded backoff — still asserting byte-identical streams and zero
+# stale answers. Not part of `make check`.
+soak-served:
+	$(GO) build -o /tmp/wdcserved ./cmd/wdcserved
+	WDCSERVED_BIN=/tmp/wdcserved $(GO) test -race -run 'Conformance' -timeout 20m -count=1 -v ./internal/serve/conformance

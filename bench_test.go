@@ -19,8 +19,10 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/db"
 	"repro/internal/des"
 	"repro/internal/experiment"
+	"repro/internal/ir"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 )
@@ -193,6 +195,35 @@ func BenchmarkSketchMerge(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*merges), "ns/merge")
+}
+
+// BenchmarkReportDecode measures the client-side hot path of the served
+// planes: one broadcast report decoded into a reused Report via
+// ir.UnmarshalInto. The reuse contract makes the steady state allocation-free
+// (the items backing array and sig block are retained across decodes), so
+// both the ns/decode cost and the allocs/op count ride the wdcbench ratchet
+// as report_decode_ns / report_decode_allocs.
+func BenchmarkReportDecode(b *testing.B) {
+	items := make([]db.Update, 64)
+	for i := range items {
+		items[i] = db.Update{ID: i * 7 % 997, At: des.Time(1_000_000 + i*1_000)}
+	}
+	data := (&ir.Report{
+		Kind: ir.KindFull, Seq: 42, At: 2_000_000, PrevAt: 1_000_000,
+		WindowStart: 500_000, Items: items,
+	}).Marshal()
+	var dst ir.Report
+	if err := ir.UnmarshalInto(&dst, data); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ir.UnmarshalInto(&dst, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "ns/decode")
 }
 
 // BenchmarkTracerOverhead measures the simulator at the tracer's three

@@ -3,11 +3,11 @@
 //
 // It reads the benchmark stream on stdin — typically
 //
-//	go test -run '^$' -bench 'Engine$|TracerOverhead|SketchObserve$|SketchMerge$' -benchmem . | wdcbench
+//	go test -run '^$' -bench 'Engine$|TracerOverhead|SketchObserve$|SketchMerge$|ReportDecode$' -benchmem . | wdcbench
 //
 // extracts the engine's events/s and allocs/event, the tracer-overhead
-// variants, and the quantile-sketch observe/merge costs, and writes a JSON
-// record with three blocks:
+// variants, the quantile-sketch observe/merge costs, and the wire-report
+// decode cost, and writes a JSON record with three blocks:
 //
 //	baseline   the pinned "before" reference; preserved from the existing
 //	           record (or initialized to the current run if absent)
@@ -40,6 +40,8 @@ type Record struct {
 	TracerEventsPerSec   map[string]float64 `json:"tracer_events_per_sec,omitempty"`
 	SketchObserveNs      float64            `json:"sketch_observe_ns,omitempty"`
 	SketchMergeNs        float64            `json:"sketch_merge_ns,omitempty"`
+	ReportDecodeNs       float64            `json:"report_decode_ns,omitempty"`
+	ReportDecodeAllocs   float64            `json:"report_decode_allocs"`
 }
 
 // File is the on-disk layout of BENCH_<n>.json.
@@ -105,11 +107,15 @@ func main() {
 	if m, ok := metrics["BenchmarkSketchMerge"]; ok {
 		current.SketchMergeNs = m["ns/merge"]
 	}
+	if m, ok := metrics["BenchmarkReportDecode"]; ok {
+		current.ReportDecodeNs = m["ns/decode"]
+		current.ReportDecodeAllocs = m["allocs/op"]
+	}
 
 	prior := readFile(*baseline)
 	rec := File{
 		Schema:  "wdc-bench-v1",
-		Command: "go test -run '^$' -bench 'Engine$|TracerOverhead|SketchObserve$|SketchMerge$' -benchtime 5x -benchmem .",
+		Command: "go test -run '^$' -bench 'Engine$|TracerOverhead|SketchObserve$|SketchMerge$|ReportDecode$' -benchtime 5x -benchmem .",
 		Current: current,
 	}
 	if prior != nil && prior.Baseline != nil {
@@ -128,6 +134,9 @@ func main() {
 	if current.SketchMergeNs > 0 && rec.Baseline.SketchMergeNs > 0 {
 		rec.DeltaPct["sketch_merge_ns"] = pct(current.SketchMergeNs, rec.Baseline.SketchMergeNs)
 	}
+	if current.ReportDecodeNs > 0 && rec.Baseline.ReportDecodeNs > 0 {
+		rec.DeltaPct["report_decode_ns"] = pct(current.ReportDecodeNs, rec.Baseline.ReportDecodeNs)
+	}
 	if err := writeFile(*out, &rec); err != nil {
 		fatal(err)
 	}
@@ -137,6 +146,10 @@ func main() {
 	if current.SketchObserveNs > 0 {
 		fmt.Printf("wdcbench: sketch observe %.1f ns, merge %.1f ns\n",
 			current.SketchObserveNs, current.SketchMergeNs)
+	}
+	if current.ReportDecodeNs > 0 {
+		fmt.Printf("wdcbench: report decode %.1f ns, %.2f allocs/op\n",
+			current.ReportDecodeNs, current.ReportDecodeAllocs)
 	}
 
 	if *maxRegress > 0 && prior != nil {
@@ -160,6 +173,7 @@ func main() {
 		}{
 			{"sketch observe ns", current.SketchObserveNs, ref.SketchObserveNs},
 			{"sketch merge ns", current.SketchMergeNs, ref.SketchMergeNs},
+			{"report decode ns", current.ReportDecodeNs, ref.ReportDecodeNs},
 		} {
 			if g.ref <= 0 || g.cur <= 0 {
 				continue
@@ -169,6 +183,13 @@ func main() {
 				fatal(fmt.Errorf("%s regression: %.1f > %.1f (%.0f%% over committed %.1f)",
 					g.name, g.cur, ceiling, *maxRegress, g.ref))
 			}
+		}
+		// Decode allocations are gated strictly, not by percentage: the
+		// UnmarshalInto reuse contract pins the steady state at zero, and
+		// any climb above the committed count is a broken contract.
+		if ref != nil && ref.ReportDecodeNs > 0 && current.ReportDecodeAllocs > ref.ReportDecodeAllocs {
+			fatal(fmt.Errorf("report decode allocs regression: %.2f/op > committed %.2f/op",
+				current.ReportDecodeAllocs, ref.ReportDecodeAllocs))
 		}
 	}
 }

@@ -233,7 +233,7 @@ func (cell *Cell) deliver(f *mac.Frame, ok bool, mcs int, now des.Time) {
 				s.client(id).onReportLost()
 			}
 		}
-		cell.server.algo.Recycle(m)
+		cell.server.reports.RecycleReport(m)
 	case *respMeta:
 		cell.server.onResponseDelivered(m)
 		switch dest := f.Dest; {
@@ -323,7 +323,7 @@ func (cell *Cell) fanPiggy(pg *ir.Report, robustBits int, now des.Time) {
 			s.client(id).onReportLost()
 		}
 	}
-	cell.server.algo.Recycle(pg)
+	cell.server.reports.RecycleReport(pg)
 }
 
 // deliverFaultedReport applies an injected fate to a standalone report that
@@ -346,7 +346,7 @@ func (cell *Cell) deliverFaultedReport(r *ir.Report, fate fault.Fate, airtime fl
 		}
 	}
 	cell.noteReportFault(r.Seq, mode)
-	cell.server.algo.Recycle(r)
+	cell.server.reports.RecycleReport(r)
 }
 
 // traceReport emits a ReportBroadcastEvent for a report leaving this cell's

@@ -39,7 +39,7 @@ func (c client) clrFlag(bit uint8)   { c.sim.ct.flags[c.id] &^= bit }
 // online reports whether the client participates in the protocol at all.
 func (c client) online() bool { return c.sim.ct.online(c.id) }
 
-func (c client) cell() *Cell                { return c.sim.cells[c.sim.ct.cell[c.id]] }
+func (c client) cell() *Cell { return c.sim.cells[c.sim.ct.cell[c.id]] }
 
 // sch returns the scheduler the client's events run on: its serving cell's
 // lane. In serial runs every lane aliases the simulation's scheduler, so
@@ -48,7 +48,7 @@ func (c client) cell() *Cell                { return c.sim.cells[c.sim.ct.cell[c
 func (c client) sch() *des.Scheduler { return c.sim.cells[c.sim.ct.cell[c.id]].sch }
 
 // ls returns the lane statistics the client's events write to.
-func (c client) ls() *laneStats { return c.sim.cells[c.sim.ct.cell[c.id]].ls }
+func (c client) ls() *laneStats             { return c.sim.cells[c.sim.ct.cell[c.id]].ls }
 func (c client) cache() *cache.Cache        { return &c.sim.ct.caches[c.id] }
 func (c client) istate() *ir.ClientState    { return &c.sim.ct.istate[c.id] }
 func (c client) sampler() *workload.Sampler { return &c.sim.ct.samplers[c.id] }

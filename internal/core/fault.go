@@ -455,14 +455,10 @@ func (c client) cancelCatchup() {
 
 // onCatchupRequest serves a reconnected client the update history since its
 // last consistent point, as a unicast full report on a response-class frame.
+// The report construction (retention clamp, drop-everything fallback) lives
+// in the backend's CatchupProvider facet, shared with wdcserved.
 func (s *server) onCatchupRequest(src int, since des.Time, now des.Time) {
-	r := &ir.Report{Kind: ir.KindFull, At: now, PrevAt: now, WindowStart: now}
-	if now.Sub(since) <= s.sim.cfg.DB.Retention {
-		r.WindowStart = since
-		r.Items = s.dbv.UpdatedSince(since, nil)
-	}
-	// else: the gap outlived the database's update history; the empty
-	// now-anchored full report forces the client's safe drop-everything path.
+	r := s.catchup.CatchupSince(since, now)
 	s.irBitsSent += uint64(r.SizeBits())
 	s.cell.traceReport(r, obs.CarrierCatchup, 0)
 	f := s.cell.downlink.AcquireFrame()

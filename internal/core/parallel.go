@@ -39,7 +39,7 @@ type laneJob struct {
 // the run's global event count.
 func (s *Simulation) runEpochs(ctx context.Context, horizon des.Time, pulsed *uint64) (des.Time, error) {
 	jobs := make(chan laneJob, len(s.cells))
-	var phase sync.WaitGroup  // parallel-phase barrier, counted per epoch
+	var phase sync.WaitGroup   // parallel-phase barrier, counted per epoch
 	var workers sync.WaitGroup // pool lifetime
 	for w := 0; w < s.parWorkers; w++ {
 		workers.Add(1)

@@ -74,6 +74,11 @@ func (a *Adaptive) Name() string {
 	}
 }
 
+// PiggybackEnabled reports whether the piggyback mechanism is armed; only
+// the traffic-aware variants (tair, hybrid) attach digests to data frames.
+// AsPiggybacker consults it so lair presents no piggyback capability.
+func (a *Adaptive) PiggybackEnabled() bool { return a.trafficAware }
+
 // Piggybacks reports how many digests were attached to data frames.
 func (a *Adaptive) Piggybacks() uint64 { return a.piggybacks }
 
@@ -178,7 +183,7 @@ func (a *Adaptive) fast(now des.Time) {
 	a.fastTick.SetPeriod(period)
 }
 
-// Piggyback implements ServerAlgo. The digest lists every update since the
+// Piggyback implements Piggybacker. The digest lists every update since the
 // last report, so any client consistent as of that report (or any later
 // digest) can use it — the same recovery rule as a UIR mini. If the update
 // rate makes the digest exceed PiggyMaxItems it is skipped: piggybacking

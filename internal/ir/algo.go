@@ -31,22 +31,54 @@ type ServerEnv interface {
 	DownlinkLoad() float64
 }
 
-// ServerAlgo is one invalidation-report algorithm, server side.
+// ServerAlgo is one invalidation-report algorithm, server side. It is the
+// minimal contract every scheme satisfies: arming a report schedule against
+// a ServerEnv and recycling consumed reports. Optional behaviours are
+// expressed as separate capability interfaces (Piggybacker below) that a
+// host discovers by type assertion — see internal/serve/capabilities for the
+// transport-level capability composition built on the same idea.
 type ServerAlgo interface {
-	// Name reports the scheme's short name (ts, at, sig, uir, tair, lair,
-	// hybrid).
+	// Name reports the scheme's short name (ts, at, sig, bs, uir, tair,
+	// lair, hybrid).
 	Name() string
 	// Start arms the algorithm's report schedule.
 	Start(env ServerEnv)
-	// Piggyback is consulted before every unicast downlink data frame
-	// departs; a non-nil report is attached to the frame. Only the
-	// traffic-aware schemes return non-nil.
-	Piggyback(now des.Time) *Report
 	// Recycle returns a fully consumed report (Broadcast or Piggyback
 	// output) to the algorithm for reuse. Callers must drop every
 	// reference to the report and its Items afterwards; recycling nil is
 	// a no-op. Consumers that retain reports simply never call it.
 	Recycle(r *Report)
+}
+
+// Piggybacker is the optional server-side capability of attaching small
+// invalidation digests to departing unicast data frames. Only the
+// traffic-aware schemes (tair, hybrid) provide it; hosts must discover it
+// with AsPiggybacker rather than a bare type assertion, because an algorithm
+// may structurally carry the method while having the mechanism disabled.
+type Piggybacker interface {
+	// Piggyback is consulted before every unicast downlink data frame
+	// departs; a non-nil report is attached to the frame.
+	Piggyback(now des.Time) *Report
+}
+
+// piggybackEnabler lets an algorithm that structurally has a Piggyback
+// method report whether the mechanism is actually armed (the Adaptive type
+// backs tair, lair and hybrid, but only the traffic-aware two piggyback).
+type piggybackEnabler interface {
+	PiggybackEnabled() bool
+}
+
+// AsPiggybacker reports the algorithm's piggyback capability, or nil when
+// the scheme never attaches digests to data frames.
+func AsPiggybacker(a ServerAlgo) Piggybacker {
+	p, ok := a.(Piggybacker)
+	if !ok {
+		return nil
+	}
+	if e, ok := a.(piggybackEnabler); ok && !e.PiggybackEnabled() {
+		return nil
+	}
+	return p
 }
 
 // reportArena is the per-algorithm free list behind ServerAlgo.Recycle:

@@ -18,9 +18,6 @@ type TS struct {
 // Name implements ServerAlgo.
 func (a *TS) Name() string { return "ts" }
 
-// Piggyback implements ServerAlgo; TS never piggybacks.
-func (a *TS) Piggyback(des.Time) *Report { return nil }
-
 // Start implements ServerAlgo.
 func (a *TS) Start(env ServerEnv) {
 	a.env = env
@@ -59,9 +56,6 @@ type AT struct {
 // Name implements ServerAlgo.
 func (a *AT) Name() string { return "at" }
 
-// Piggyback implements ServerAlgo; AT never piggybacks.
-func (a *AT) Piggyback(des.Time) *Report { return nil }
-
 // Start implements ServerAlgo.
 func (a *AT) Start(env ServerEnv) {
 	a.env = env
@@ -98,9 +92,6 @@ type SIG struct {
 
 // Name implements ServerAlgo.
 func (a *SIG) Name() string { return "sig" }
-
-// Piggyback implements ServerAlgo; SIG never piggybacks.
-func (a *SIG) Piggyback(des.Time) *Report { return nil }
 
 // Start implements ServerAlgo.
 func (a *SIG) Start(env ServerEnv) {
@@ -144,9 +135,6 @@ type UIR struct {
 
 // Name implements ServerAlgo.
 func (a *UIR) Name() string { return "uir" }
-
-// Piggyback implements ServerAlgo; UIR never piggybacks.
-func (a *UIR) Piggyback(des.Time) *Report { return nil }
 
 // Start implements ServerAlgo.
 func (a *UIR) Start(env ServerEnv) {
@@ -218,9 +206,6 @@ type BS struct {
 
 // Name implements ServerAlgo.
 func (a *BS) Name() string { return "bs" }
-
-// Piggyback implements ServerAlgo; BS never piggybacks.
-func (a *BS) Piggyback(des.Time) *Report { return nil }
 
 // Start implements ServerAlgo.
 func (a *BS) Start(env ServerEnv) {

@@ -42,8 +42,10 @@ func TestLiveReportCodecRoundTrip(t *testing.T) {
 			}
 			// Piggyback digests cross the same wire; include one when the
 			// algorithm produces them.
-			if pg := a.Piggyback(env.Now()); pg != nil {
-				roundTrip(pg)
+			if pb := AsPiggybacker(a); pb != nil {
+				if pg := pb.Piggyback(env.Now()); pg != nil {
+					roundTrip(pg)
+				}
 			}
 		})
 	}

@@ -163,10 +163,24 @@ func (r *Report) Marshal() []byte {
 
 // Unmarshal decodes a report from its wire form.
 func Unmarshal(data []byte) (*Report, error) {
-	if len(data) < 38 {
-		return nil, fmt.Errorf("ir: truncated report (%d bytes)", len(data))
+	r := &Report{}
+	if err := UnmarshalInto(r, data); err != nil {
+		return nil, err
 	}
-	r := &Report{Kind: Kind(data[0])}
+	return r, nil
+}
+
+// UnmarshalInto decodes a report from its wire form into r, reusing r's
+// Items backing array (when its capacity suffices) and its SigBlock. It is
+// the server hot-path decoder: a caller that keeps one Report per connection
+// or per arena slot decodes a steady stream without allocating. On error r's
+// contents are unspecified but r remains safe to reuse. Every field of r is
+// overwritten, so a recycled Report needs no clearing beforehand.
+func UnmarshalInto(r *Report, data []byte) error {
+	if len(data) < 38 {
+		return fmt.Errorf("ir: truncated report (%d bytes)", len(data))
+	}
+	r.Kind = Kind(data[0])
 	r.Seq = binary.BigEndian.Uint64(data[1:])
 	r.At = des.Time(binary.BigEndian.Uint64(data[9:]))
 	r.PrevAt = des.Time(binary.BigEndian.Uint64(data[17:]))
@@ -174,25 +188,40 @@ func Unmarshal(data []byte) (*Report, error) {
 	n := int(binary.BigEndian.Uint32(data[33:]))
 	off := 37
 	if len(data) < off+12*n+1 {
-		return nil, fmt.Errorf("ir: truncated items (%d of %d)", len(data)-off, 12*n)
+		return fmt.Errorf("ir: truncated items (%d of %d)", len(data)-off, 12*n)
 	}
 	if n > 0 {
-		r.Items = make([]db.Update, n)
+		if cap(r.Items) >= n {
+			r.Items = r.Items[:n]
+		} else {
+			r.Items = make([]db.Update, n)
+		}
 		for i := 0; i < n; i++ {
 			r.Items[i].ID = int(binary.BigEndian.Uint32(data[off:]))
 			r.Items[i].At = des.Time(binary.BigEndian.Uint64(data[off+4:]))
 			off += 12
 		}
+	} else {
+		// Canonical form: an empty report carries nil-equivalent Items; the
+		// backing array (if any) is kept for the next decode.
+		r.Items = r.Items[:0:cap(r.Items)]
+		if cap(r.Items) == 0 {
+			r.Items = nil
+		}
 	}
 	switch data[off] {
 	case 0:
 		off++
+		r.Sig = nil
 	case 1:
 		off++
 		if len(data) < off+24 {
-			return nil, fmt.Errorf("ir: truncated sig block")
+			return fmt.Errorf("ir: truncated sig block")
 		}
-		r.Sig = &SigBlock{
+		if r.Sig == nil {
+			r.Sig = &SigBlock{}
+		}
+		*r.Sig = SigBlock{
 			AsOf:          des.Time(binary.BigEndian.Uint64(data[off:])),
 			Capacity:      int(binary.BigEndian.Uint32(data[off+8:])),
 			FalsePositive: bitsToFP64(binary.BigEndian.Uint64(data[off+12:])),
@@ -200,10 +229,10 @@ func Unmarshal(data []byte) (*Report, error) {
 		}
 		off += 24
 	default:
-		return nil, fmt.Errorf("ir: bad sig marker %d", data[off])
+		return fmt.Errorf("ir: bad sig marker %d", data[off])
 	}
 	if off != len(data) {
-		return nil, fmt.Errorf("ir: %d trailing bytes", len(data)-off)
+		return fmt.Errorf("ir: %d trailing bytes", len(data)-off)
 	}
-	return r, nil
+	return nil
 }

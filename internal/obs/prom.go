@@ -4,27 +4,20 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
-	"strings"
 	"time"
 )
 
 // MetricsHandler returns an http.Handler serving the monitor's state in
-// Prometheus text exposition format (version 0.0.4), hand-rolled so the
-// simulator stays dependency-free. Sweep-level counters come from the
-// atomic fast path; per-algorithm rollup gauges reflect the most recent
-// retained window of simulated time.
+// Prometheus text exposition format via the shared obs.PromText writer.
+// Sweep-level counters come from the atomic fast path; per-algorithm rollup
+// gauges reflect the most recent retained window of simulated time.
 func (m *SweepMonitor) MetricsHandler() http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		var b strings.Builder
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		var b PromText
 		s := m.Snapshot(time.Now())
 
-		gauge := func(name, help string, v float64) {
-			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
-		}
-		counter := func(name, help string, v float64) {
-			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %g\n", name, help, name, name, v)
-		}
+		gauge := b.Gauge
+		counter := b.Counter
 		counter("wdc_sweep_units_done", "Replication work units completed.", float64(s.UnitsDone))
 		gauge("wdc_sweep_units_total", "Replication work units in the sweep.", float64(s.UnitsTotal))
 		counter("wdc_sweep_cells_done", "Sweep cells (point x algorithm) completed.", float64(s.CellsDone))
@@ -34,13 +27,13 @@ func (m *SweepMonitor) MetricsHandler() http.Handler {
 		gauge("wdc_sweep_workers", "Worker pool size.", float64(s.Workers))
 		gauge("wdc_sweep_elapsed_seconds", "Wall-clock seconds since the sweep began.", s.ElapsedSec)
 
-		fmt.Fprintf(&b, "# HELP wdc_algo_units_done Replication units completed per algorithm.\n# TYPE wdc_algo_units_done counter\n")
+		b.Head("wdc_algo_units_done", "Replication units completed per algorithm.", "counter")
 		for _, a := range s.Algos {
-			fmt.Fprintf(&b, "wdc_algo_units_done{algo=%q} %d\n", a.Algo, a.UnitsDone)
+			b.Sample("wdc_algo_units_done", fmt.Sprintf("algo=%q", a.Algo), float64(a.UnitsDone))
 		}
-		fmt.Fprintf(&b, "# HELP wdc_algo_events_total Simulation events executed per algorithm.\n# TYPE wdc_algo_events_total counter\n")
+		b.Head("wdc_algo_events_total", "Simulation events executed per algorithm.", "counter")
 		for _, a := range s.Algos {
-			fmt.Fprintf(&b, "wdc_algo_events_total{algo=%q} %d\n", a.Algo, a.Events)
+			b.Sample("wdc_algo_events_total", fmt.Sprintf("algo=%q", a.Algo), float64(a.Events))
 		}
 
 		// Latest retained rollup window per algorithm: counters over the
@@ -55,9 +48,9 @@ func (m *SweepMonitor) MetricsHandler() http.Handler {
 		}
 		sort.Strings(algos)
 		rollupGauge := func(name, help string, get func(RollupSnapshot) float64) {
-			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+			b.Head(name, help, "gauge")
 			for _, a := range algos {
-				fmt.Fprintf(&b, "%s{algo=%q} %g\n", name, a, get(latest[a]))
+				b.Sample(name, fmt.Sprintf("algo=%q", a), get(latest[a]))
 			}
 		}
 		rollupGauge("wdc_rollup_window_start_seconds", "Simulated start of the latest rollup window.",
@@ -77,16 +70,16 @@ func (m *SweepMonitor) MetricsHandler() http.Handler {
 		rollupGauge("wdc_rollup_events_per_sim_second", "DES events per simulated second in the latest rollup window.",
 			func(r RollupSnapshot) float64 { return r.EventsPerSimSec })
 
-		fmt.Fprintf(&b, "# HELP wdc_rollup_delay_seconds Query-delay quantiles of the latest rollup window (-1 when no answers).\n# TYPE wdc_rollup_delay_seconds gauge\n")
+		b.Head("wdc_rollup_delay_seconds", "Query-delay quantiles of the latest rollup window (-1 when no answers).", "gauge")
 		for _, a := range algos {
 			r := latest[a]
 			for _, qv := range []struct {
 				q string
 				v float64
 			}{{"0.5", r.DelayP50}, {"0.9", r.DelayP90}, {"0.99", r.DelayP99}, {"0.999", r.DelayP999}} {
-				fmt.Fprintf(&b, "wdc_rollup_delay_seconds{algo=%q,quantile=%q} %g\n", a, qv.q, qv.v)
+				b.Sample("wdc_rollup_delay_seconds", fmt.Sprintf("algo=%q,quantile=%q", a, qv.q), qv.v)
 			}
 		}
-		_, _ = w.Write([]byte(b.String()))
+		b.ServeHTTP(w, req)
 	})
 }

@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// PromContentType is the Prometheus text exposition content type served by
+// every metrics endpoint in this repo.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// PromText accumulates metrics in Prometheus text exposition format
+// (version 0.0.4), hand-rolled so the repo stays dependency-free. It backs
+// both the sweep monitor's endpoint and wdcserved's.
+type PromText struct {
+	b strings.Builder
+}
+
+// Head writes the HELP/TYPE preamble for one metric family.
+func (p *PromText) Head(name, help, typ string) {
+	fmt.Fprintf(&p.b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// Sample writes one sample line. labels is the brace interior (e.g.
+// `algo="ts"`), empty for an unlabeled sample.
+func (p *PromText) Sample(name, labels string, v float64) {
+	if labels == "" {
+		fmt.Fprintf(&p.b, "%s %g\n", name, v)
+		return
+	}
+	fmt.Fprintf(&p.b, "%s{%s} %g\n", name, labels, v)
+}
+
+// Counter writes a single-sample counter family.
+func (p *PromText) Counter(name, help string, v float64) {
+	p.Head(name, help, "counter")
+	p.Sample(name, "", v)
+}
+
+// Gauge writes a single-sample gauge family.
+func (p *PromText) Gauge(name, help string, v float64) {
+	p.Head(name, help, "gauge")
+	p.Sample(name, "", v)
+}
+
+// ServeHTTP writes the accumulated exposition, making a filled PromText
+// directly usable as a response body.
+func (p *PromText) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", PromContentType)
+	_, _ = w.Write([]byte(p.b.String()))
+}

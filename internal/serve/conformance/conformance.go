@@ -1,0 +1,328 @@
+package conformance
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/des"
+	"repro/internal/fault"
+	"repro/internal/ir"
+	"repro/internal/rng"
+	"repro/internal/serve"
+	"repro/internal/serve/capabilities"
+)
+
+// Config parameterizes one conformance run.
+type Config struct {
+	Algo    string // scheme under test (ir.Names)
+	Seed    uint64 // drives the db streams, the schedule, and chaos
+	Steps   int    // lock-step iterations
+	Clients int    // harness clients consuming the broadcast plane
+
+	// Bin, when non-empty, spawns that wdcserved binary as the target;
+	// empty runs an in-process serve.Server behind the same sockets.
+	Bin string
+
+	// IOTimeout is the server's per-operation connection deadline. Chaos
+	// runs shrink it so stalled-frame cuts happen in test time.
+	IOTimeout time.Duration
+
+	// Chaos, when non-nil, degrades the client side of the exchange. The
+	// server comparison stays exact — chaos tests that the *protocol* keeps
+	// clients consistent under loss, not that the server tolerates it.
+	Chaos *Chaos
+}
+
+// Chaos mirrors the fault layer's report fates and query timeouts onto the
+// served planes.
+type Chaos struct {
+	ReportLossProb  float64       // per client per datagram: never delivered
+	ReportTruncProb float64       // per client per datagram: cut mid-flight
+	TimeoutProb     float64       // per query: stall the frame, let the server cut, retry
+	RetryBase       time.Duration // bounded-exponential retry backoff base
+}
+
+// Result summarizes a run. Stale is the count of stale-answer violations —
+// the paper's correctness invariant — and must be zero for every algorithm.
+type Result struct {
+	Broadcasts uint64 // datagrams compared byte-for-byte
+	Queries    int
+	Injects    int
+	Catchups   int
+	Retries    int // queries retried after a stalled-frame cut
+	Lost       int // datagrams withheld from a client by chaos
+	Truncated  int // datagrams cut mid-flight by chaos
+	Stale      int // cache entries caught violating the invalidation contract
+}
+
+// RuntimeConfigFor sizes a runtime so a few hundred lock-step iterations
+// exercise every report kind: a small hot-skewed database updating fast
+// relative to the report period, and adaptive intervals tight enough to
+// move.
+func RuntimeConfigFor(algo string, seed uint64) serve.RuntimeConfig {
+	rc := serve.DefaultRuntimeConfig()
+	rc.Algo = algo
+	rc.Seed = seed
+	rc.DB.NumItems = 64
+	rc.DB.ItemBits = 4096
+	rc.DB.UpdateRate = 30
+	rc.DB.HotItems = 8
+	rc.IR.NumItems = rc.DB.NumItems
+	rc.IR.Interval = 500 * des.Millisecond
+	rc.IR.IntervalMin = 200 * des.Millisecond
+	rc.IR.IntervalMax = 2 * des.Second
+	rc.IR.PiggyMinGap = 50 * des.Millisecond
+	return rc
+}
+
+// harnessClient is one cache-holding listener on the broadcast plane,
+// running the exact client protocol the core's clients run: ir.ClientState
+// over a cache.Cache, with the core's put guard and staleness rule.
+type harnessClient struct {
+	state ir.ClientState
+	cache *cache.Cache
+	src   *rng.Source
+}
+
+// modelOracle reads item ground truth from the model runtime — the stand-in
+// for bit-level signature hashing, same as the core's dbOracle.
+type modelOracle struct{ rt *serve.Runtime }
+
+func (o modelOracle) UpdatedAt(id int) des.Time { return o.rt.DBItem(id).UpdatedAt }
+
+// Run executes the lock-step conformance protocol: model and target advance
+// to the same virtual instants, receive the same queries, updates and
+// signals in the same order, and every observable — datagram bytes, answer
+// fields, digest bytes, catch-up bytes — must match exactly. Harness clients
+// consume the target's datagrams (through chaos, if configured) and are
+// swept for stale entries after every step.
+func Run(cfg Config) (Result, error) {
+	var res Result
+	if cfg.Steps <= 0 || cfg.Clients <= 0 {
+		return res, fmt.Errorf("conformance: Steps %d, Clients %d", cfg.Steps, cfg.Clients)
+	}
+	rc := RuntimeConfigFor(cfg.Algo, cfg.Seed)
+
+	var sink [][]byte
+	model, err := serve.NewRuntime(rc, func(_ int, dg []byte) {
+		sink = append(sink, append([]byte(nil), dg...))
+	})
+	if err != nil {
+		return res, err
+	}
+	model.Start()
+
+	var tgt *Target
+	if cfg.Bin != "" {
+		tgt, err = NewSubprocessTarget(cfg.Bin, rc, cfg.IOTimeout)
+	} else {
+		tgt, err = NewInProcessTarget(rc, cfg.IOTimeout)
+	}
+	if err != nil {
+		return res, err
+	}
+	defer tgt.Close()
+
+	oracle := modelOracle{model}
+	clients := make([]*harnessClient, cfg.Clients)
+	for i := range clients {
+		clients[i] = &harnessClient{
+			cache: cache.New(16, rc.DB.NumItems),
+			src:   rng.Stream(cfg.Seed, fmt.Sprintf("conf-client-%d", i)),
+		}
+	}
+	sched := rng.Stream(cfg.Seed, "conf-schedule")
+	chaos := rng.Stream(cfg.Seed, "conf-chaos")
+
+	now := des.Time(0)
+	for step := 0; step < cfg.Steps; step++ {
+		now = now.Add(des.FromSeconds(sched.Uniform(0.01, 0.12)))
+
+		// Advance both engines to the same instant and compare streams.
+		before := len(sink)
+		model.AdvanceTo(now)
+		produced := len(sink) - before
+		served, err := tgt.Advance(now)
+		if err != nil {
+			return res, err
+		}
+		if int(served) != produced {
+			return res, fmt.Errorf("conformance: step %d [%s]: served %d broadcasts, model produced %d",
+				step, cfg.Algo, served, produced)
+		}
+		grams, err := tgt.ReadDatagrams(produced)
+		if err != nil {
+			return res, err
+		}
+		for i, dg := range grams {
+			if want := sink[before+i]; !bytes.Equal(dg, want) {
+				return res, fmt.Errorf("conformance: step %d [%s]: datagram %d/%d differs\nserved %x\nmodel  %x",
+					step, cfg.Algo, i+1, produced, dg, want)
+			}
+		}
+		res.Broadcasts += served
+
+		// Fan the broadcast to every harness client, through chaos fates.
+		for _, dg := range grams {
+			for _, c := range clients {
+				switch fate := sampleFate(cfg.Chaos, chaos); fate {
+				case fault.Lost:
+					res.Lost++
+				case fault.Truncated:
+					res.Truncated++
+					cut := dg[:1+chaos.Intn(len(dg)-1)]
+					var junk ir.Report
+					if _, err := serve.DecodeDatagram(cut, &junk); err == nil {
+						return res, fmt.Errorf("conformance: truncated datagram (%d of %d bytes) decoded",
+							len(cut), len(dg))
+					}
+				default:
+					r, err := ir.Unmarshal(dg[1:])
+					if err != nil {
+						return res, fmt.Errorf("conformance: step %d: undecodable datagram: %w", step, err)
+					}
+					c.state.Process(r, c.cache, oracle, c.src)
+				}
+			}
+		}
+
+		// One client/control action per step, mirrored to both engines.
+		if err := applyStep(cfg, &res, sched, chaos, tgt, model, clients, oracle, rc.DB.NumItems); err != nil {
+			return res, fmt.Errorf("conformance: step %d [%s]: %w", step, cfg.Algo, err)
+		}
+
+		// The stale sweep: every cached entry whose item has not changed
+		// after the client's consistency point must hold the current
+		// version. This is the core's checkConsistency rule applied to the
+		// whole cache.
+		for _, c := range clients {
+			asOf := c.state.LastConsistent
+			c.cache.Range(func(e cache.Entry) bool {
+				it := model.DBItem(e.ID)
+				if it.UpdatedAt <= asOf && e.Version != it.Version {
+					res.Stale++
+				}
+				return true
+			})
+		}
+	}
+	return res, nil
+}
+
+// sampleFate draws one delivery fate for a datagram-client pair.
+func sampleFate(ch *Chaos, src *rng.Source) fault.Fate {
+	if ch == nil {
+		return fault.Deliver
+	}
+	switch u := src.Float64(); {
+	case u < ch.ReportLossProb:
+		return fault.Lost
+	case u < ch.ReportLossProb+ch.ReportTruncProb:
+		return fault.Truncated
+	default:
+		return fault.Deliver
+	}
+}
+
+// applyStep performs one mirrored action: an item query over TCP, an update
+// injection, a signals push, or a catch-up exchange.
+func applyStep(cfg Config, res *Result, sched, chaos *rng.Source, tgt *Target,
+	model *serve.Runtime, clients []*harnessClient, oracle ir.Oracle, numItems int) error {
+	switch pick := sched.Float64(); {
+	case pick < 0.55: // query
+		c := clients[sched.Intn(len(clients))]
+		item := sched.Intn(numItems)
+		ans, digest, err := queryWithChaos(cfg.Chaos, res, chaos, tgt, item)
+		if err != nil {
+			return err
+		}
+		mans, mdigest, merr := model.Query(item)
+		if merr != nil {
+			return merr
+		}
+		if ans != mans {
+			return fmt.Errorf("answer mismatch: served %+v, model %+v", ans, mans)
+		}
+		if !bytes.Equal(digest, mdigest) {
+			return fmt.Errorf("piggyback digest mismatch: served %x, model %x", digest, mdigest)
+		}
+		// The digest rides the response; process it before caching so the
+		// put guard sees the advanced consistency point, as in the core.
+		if digest != nil {
+			r, err := ir.Unmarshal(digest)
+			if err != nil {
+				return err
+			}
+			c.state.Process(r, c.cache, oracle, c.src)
+		}
+		// The core's put guard: skip caching a value already outdated by an
+		// update in (genAt, LastConsistent] — a report listed it while the
+		// response was in flight and will never re-list it.
+		if u := oracle.UpdatedAt(ans.Item); !(u > ans.AsOf && u <= c.state.LastConsistent) {
+			c.cache.Put(ans.Item, ans.Version, ans.AsOf)
+		}
+		res.Queries++
+	case pick < 0.75: // update injection
+		item := sched.Intn(numItems)
+		ans, err := tgt.Inject(item)
+		if err != nil {
+			return err
+		}
+		mans, merr := model.Inject(item)
+		if merr != nil {
+			return merr
+		}
+		if ans != mans {
+			return fmt.Errorf("inject answer mismatch: served %+v, model %+v", ans, mans)
+		}
+		res.Injects++
+	case pick < 0.90: // environment signals
+		snrs := make([]float64, 2+sched.Intn(6))
+		for i := range snrs {
+			snrs[i] = sched.Uniform(0, 30)
+		}
+		load := sched.Float64()
+		if err := tgt.SetSignals(snrs, load); err != nil {
+			return err
+		}
+		model.SetSignals(snrs, load)
+	default: // catch-up exchange
+		c := clients[sched.Intn(len(clients))]
+		raw, err := tgt.Catchup(c.state.LastConsistent)
+		if err != nil {
+			return err
+		}
+		want := model.Catchup(c.state.LastConsistent)
+		if !bytes.Equal(raw, want.Marshal()) {
+			return fmt.Errorf("catchup report mismatch: served %x, model %x", raw, want.Marshal())
+		}
+		r, err := ir.Unmarshal(raw)
+		if err != nil {
+			return err
+		}
+		c.state.Process(r, c.cache, oracle, c.src)
+		res.Catchups++
+	}
+	return nil
+}
+
+// queryWithChaos optionally stalls the query frame first, waits for the
+// server's IO deadline to cut the connection, and retries on a fresh one
+// with the fault layer's bounded-exponential backoff.
+func queryWithChaos(ch *Chaos, res *Result, src *rng.Source, tgt *Target, item int) (capabilities.Answer, []byte, error) {
+	if ch != nil && src.Bool(ch.TimeoutProb) {
+		if err := tgt.StallFrame(); err != nil {
+			return capabilities.Answer{}, nil, err
+		}
+		if err := tgt.Reconnect(); err != nil {
+			return capabilities.Answer{}, nil, err
+		}
+		res.Retries++
+		if base := ch.RetryBase; base > 0 {
+			time.Sleep(base << uint(min(res.Retries, 6)))
+		}
+	}
+	return tgt.Query(item)
+}

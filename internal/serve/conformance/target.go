@@ -1,0 +1,354 @@
+// Package conformance drives a live wdcserved instance in virtual-time
+// lock-step against an in-process serve.Runtime and asserts the two are the
+// same engine: byte-identical report datagrams per clock advance,
+// byte-identical query answers, piggyback digests and catch-up reports, and
+// — through a fleet of harness clients mirroring the core's cache protocol —
+// zero stale answers. The DES-style model is the oracle; the network server
+// is the system under test.
+package conformance
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"syscall"
+	"time"
+
+	"repro/internal/des"
+	"repro/internal/serve"
+	"repro/internal/serve/capabilities"
+	"repro/internal/serve/rest"
+)
+
+// Target is the network-facing client of one server under test: a UDP
+// listener for the broadcast plane, a TCP connection for the query plane and
+// an HTTP client for the control plane. The same client drives both an
+// in-process serve.Server and a spawned wdcserved subprocess, so conformance
+// means the same thing in both modes.
+type Target struct {
+	udp     *net.UDPConn
+	tcp     net.Conn
+	fr      *serve.FrameReader
+	tcpAddr string
+	base    string
+	hc      *http.Client
+	buf     []byte
+	closers []func()
+}
+
+// readDeadline bounds every read against the target; a conforming server
+// responds in microseconds, so hitting this means the server lost a frame or
+// a datagram it owed us.
+const readDeadline = 10 * time.Second
+
+// NewInProcessTarget starts a loopback serve.Server in virtual-clock mode
+// with its control plane behind httptest, and connects all three planes.
+func NewInProcessTarget(rc serve.RuntimeConfig, ioTimeout time.Duration) (*Target, error) {
+	udp, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return nil, err
+	}
+	srv, err := serve.NewServer(serve.Options{
+		Runtime:   rc,
+		UDPTarget: udp.LocalAddr().String(),
+		TCPAddr:   "127.0.0.1:0",
+		IOTimeout: ioTimeout,
+	})
+	if err != nil {
+		udp.Close()
+		return nil, err
+	}
+	hs := httptest.NewServer(rest.Handler(srv))
+	t := &Target{
+		udp:     udp,
+		tcpAddr: srv.TCPAddr().String(),
+		base:    hs.URL,
+		hc:      hs.Client(),
+		buf:     make([]byte, 1<<16),
+	}
+	t.closers = []func(){hs.Close, srv.Shutdown, func() { udp.Close() }}
+	if err := t.Reconnect(); err != nil {
+		t.Close()
+		return nil, err
+	}
+	return t, nil
+}
+
+// NewSubprocessTarget spawns a wdcserved binary in virtual-clock mode on
+// ephemeral ports, parses the address line it prints on stdout, and connects
+// the planes. Close sends SIGTERM and waits, exercising the daemon's
+// graceful-drain path.
+func NewSubprocessTarget(bin string, rc serve.RuntimeConfig, ioTimeout time.Duration) (*Target, error) {
+	udp, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return nil, err
+	}
+	conf, err := json.Marshal(rc)
+	if err != nil {
+		udp.Close()
+		return nil, err
+	}
+	if ioTimeout <= 0 {
+		ioTimeout = serve.DefaultIOTimeout
+	}
+	cmd := exec.Command(bin,
+		"-clock", "virtual",
+		"-udp-target", udp.LocalAddr().String(),
+		"-tcp", "127.0.0.1:0",
+		"-http", "127.0.0.1:0",
+		"-io-timeout", ioTimeout.String(),
+		"-conf-json", string(conf),
+	)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		udp.Close()
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		udp.Close()
+		return nil, fmt.Errorf("conformance: start %s: %w", bin, err)
+	}
+
+	lineCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		if sc.Scan() {
+			lineCh <- sc.Text()
+		}
+		close(lineCh)
+	}()
+	var line string
+	select {
+	case l, ok := <-lineCh:
+		if !ok {
+			_ = cmd.Process.Kill()
+			_ = cmd.Wait()
+			udp.Close()
+			return nil, fmt.Errorf("conformance: %s exited before printing its address line", bin)
+		}
+		line = l
+	case <-time.After(15 * time.Second):
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
+		udp.Close()
+		return nil, fmt.Errorf("conformance: %s did not print its address line", bin)
+	}
+	var addrs struct {
+		TCP  string `json:"tcp"`
+		HTTP string `json:"http"`
+	}
+	if err := json.Unmarshal([]byte(line), &addrs); err != nil || addrs.TCP == "" || addrs.HTTP == "" {
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
+		udp.Close()
+		return nil, fmt.Errorf("conformance: bad address line %q: %v", line, err)
+	}
+
+	t := &Target{
+		udp:     udp,
+		tcpAddr: addrs.TCP,
+		base:    "http://" + addrs.HTTP,
+		hc:      &http.Client{Timeout: readDeadline},
+		buf:     make([]byte, 1<<16),
+	}
+	t.closers = []func(){
+		func() {
+			_ = cmd.Process.Signal(syscall.SIGTERM)
+			done := make(chan struct{})
+			go func() { _ = cmd.Wait(); close(done) }()
+			select {
+			case <-done:
+			case <-time.After(readDeadline):
+				_ = cmd.Process.Kill()
+				<-done
+			}
+		},
+		func() { udp.Close() },
+	}
+	if err := t.Reconnect(); err != nil {
+		t.Close()
+		return nil, err
+	}
+	return t, nil
+}
+
+// Close tears the target down (for a subprocess: SIGTERM and wait).
+func (t *Target) Close() {
+	if t.tcp != nil {
+		_ = t.tcp.Close()
+	}
+	for _, fn := range t.closers {
+		fn()
+	}
+}
+
+// Reconnect (re)dials the query plane, abandoning any previous connection —
+// what a real client does after the server cuts a stalled exchange.
+func (t *Target) Reconnect() error {
+	if t.tcp != nil {
+		_ = t.tcp.Close()
+	}
+	conn, err := net.Dial("tcp", t.tcpAddr)
+	if err != nil {
+		return err
+	}
+	t.tcp = conn
+	t.fr = serve.NewFrameReader(conn)
+	return nil
+}
+
+// post sends one control-plane request and decodes the JSON reply into out.
+func (t *Target) post(path string, body, out any) error {
+	js, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := t.hc.Post(t.base+path, "application/json", bytes.NewReader(js))
+	if err != nil {
+		return fmt.Errorf("conformance: POST %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("conformance: POST %s: %s: %s", path, resp.Status, data)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// Advance moves the target's virtual clock to t and reports how many
+// broadcast datagrams the advance produced.
+func (t *Target) Advance(to des.Time) (uint64, error) {
+	var out struct {
+		Broadcasts uint64 `json:"broadcasts"`
+	}
+	err := t.post("/v1/advance", struct {
+		ToUS int64 `json:"to_us"`
+	}{int64(to)}, &out)
+	return out.Broadcasts, err
+}
+
+// Inject applies one database update through the control plane.
+func (t *Target) Inject(item int) (capabilities.Answer, error) {
+	var ans capabilities.Answer
+	err := t.post("/v1/update", struct {
+		Item int `json:"item"`
+	}{item}, &ans)
+	return ans, err
+}
+
+// SetSignals pushes the adaptive schemes' environment signals.
+func (t *Target) SetSignals(snrs []float64, load float64) error {
+	return t.post("/v1/signals", struct {
+		SNRs []float64 `json:"snrs"`
+		Load float64   `json:"load"`
+	}{snrs, load}, nil)
+}
+
+// SetAlgo swaps the serving algorithm live.
+func (t *Target) SetAlgo(algo string) error {
+	return t.post("/v1/algo", struct {
+		Algo string `json:"algo"`
+	}{algo}, nil)
+}
+
+// Query runs one item query over the TCP plane, returning the answer and the
+// piggybacked digest frame when one follows (nil otherwise).
+func (t *Target) Query(item int) (capabilities.Answer, []byte, error) {
+	var ans capabilities.Answer
+	if err := serve.WriteFrame(t.tcp, serve.OpQuery, serve.EncodeQuery(item)); err != nil {
+		return ans, nil, err
+	}
+	op, payload, err := t.readFrame()
+	if err != nil {
+		return ans, nil, err
+	}
+	if op != serve.OpAnswer {
+		return ans, nil, fmt.Errorf("conformance: query answered with op 0x%02x", op)
+	}
+	ans, digestFollows, err := serve.DecodeAnswerFrame(payload)
+	if err != nil || !digestFollows {
+		return ans, nil, err
+	}
+	op, payload, err = t.readFrame()
+	if err != nil {
+		return ans, nil, err
+	}
+	if op != serve.OpReport {
+		return ans, nil, fmt.Errorf("conformance: digest flag set but op 0x%02x followed", op)
+	}
+	return ans, append([]byte(nil), payload...), nil
+}
+
+// Catchup requests the update history since the given consistency point and
+// returns the unicast report in wire form.
+func (t *Target) Catchup(since des.Time) ([]byte, error) {
+	if err := serve.WriteFrame(t.tcp, serve.OpCatchup, serve.EncodeCatchup(since)); err != nil {
+		return nil, err
+	}
+	op, payload, err := t.readFrame()
+	if err != nil {
+		return nil, err
+	}
+	if op != serve.OpReport {
+		return nil, fmt.Errorf("conformance: catchup answered with op 0x%02x", op)
+	}
+	return append([]byte(nil), payload...), nil
+}
+
+// readFrame reads one response frame, turning OpError into a Go error.
+func (t *Target) readFrame() (byte, []byte, error) {
+	_ = t.tcp.SetReadDeadline(time.Now().Add(readDeadline))
+	op, payload, err := t.fr.Read()
+	if err != nil {
+		return 0, nil, err
+	}
+	if op == serve.OpError {
+		return 0, nil, fmt.Errorf("conformance: server error: %s", payload)
+	}
+	return op, payload, nil
+}
+
+// ReadDatagrams collects exactly n broadcast datagrams from the UDP plane.
+// The lock-step protocol makes n exact: Advance already reported how many
+// the server owes.
+func (t *Target) ReadDatagrams(n int) ([][]byte, error) {
+	out := make([][]byte, 0, n)
+	for i := 0; i < n; i++ {
+		_ = t.udp.SetReadDeadline(time.Now().Add(readDeadline))
+		m, _, err := t.udp.ReadFromUDP(t.buf)
+		if err != nil {
+			return out, fmt.Errorf("conformance: datagram %d/%d: %w", i+1, n, err)
+		}
+		out = append(out, append([]byte(nil), t.buf[:m]...))
+	}
+	return out, nil
+}
+
+// StallFrame writes half a length prefix and then goes silent, waiting for
+// the server to cut the connection at its IO deadline — the wire analogue of
+// a query that times out in flight. An answer arriving instead is a protocol
+// violation.
+func (t *Target) StallFrame() error {
+	if _, err := t.tcp.Write([]byte{0x00, 0x00}); err != nil {
+		return err
+	}
+	_ = t.tcp.SetReadDeadline(time.Now().Add(readDeadline))
+	if _, _, err := t.fr.Read(); err == nil {
+		return fmt.Errorf("conformance: server answered a stalled frame")
+	}
+	return nil
+}

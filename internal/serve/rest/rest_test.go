@@ -1,0 +1,152 @@
+package rest_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/serve"
+	"repro/internal/serve/rest"
+)
+
+func newTestPlane(t *testing.T) (*serve.Server, *httptest.Server) {
+	t.Helper()
+	rc := serve.DefaultRuntimeConfig()
+	rc.Algo = "hybrid"
+	rc.DB.NumItems = 32
+	rc.DB.HotItems = 8
+	rc.IR.NumItems = rc.DB.NumItems
+	srv, err := serve.NewServer(serve.Options{Runtime: rc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(rest.Handler(srv))
+	t.Cleanup(func() { hs.Close(); srv.Shutdown() })
+	return srv, hs
+}
+
+func postJSON(t *testing.T, url string, body string, out any) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("%s: %v in %s", url, err, data)
+		}
+	}
+	return resp
+}
+
+func TestControlPlaneRoundTrip(t *testing.T) {
+	_, hs := newTestPlane(t)
+
+	var st serve.Status
+	resp, err := http.Get(hs.URL + "/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Algo != "hybrid" {
+		t.Fatalf("algo %q", st.Algo)
+	}
+
+	// The hybrid scheme piggybacks and the owned db ingests: all five
+	// capabilities must be discoverable.
+	var caps struct {
+		Names []string `json:"names"`
+	}
+	resp, err = http.Get(hs.URL + "/v1/capabilities")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&caps); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(caps.Names) != 5 {
+		t.Fatalf("capabilities %v, want all five", caps.Names)
+	}
+
+	// Live algorithm swap narrows the capability set: ts has no piggyback.
+	if resp := postJSON(t, hs.URL+"/v1/algo", `{"algo":"ts"}`, &st); resp.StatusCode != http.StatusOK {
+		t.Fatalf("algo swap: %s", resp.Status)
+	}
+	if st.Algo != "ts" {
+		t.Fatalf("algo after swap %q", st.Algo)
+	}
+	for _, name := range st.Capabilities {
+		if name == "piggyback" {
+			t.Fatal("ts must not present the piggyback capability")
+		}
+	}
+
+	// Update injection bumps the item version; signals and advance succeed.
+	var ans struct {
+		Item    int    `json:"item"`
+		Version uint64 `json:"version"`
+	}
+	postJSON(t, hs.URL+"/v1/update", `{"item":3}`, &ans)
+	if ans.Item != 3 || ans.Version == 0 {
+		t.Fatalf("inject answer %+v", ans)
+	}
+	if resp := postJSON(t, hs.URL+"/v1/signals", `{"snrs":[10,20],"load":0.5}`, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("signals: %s", resp.Status)
+	}
+	var adv struct {
+		Broadcasts uint64 `json:"broadcasts"`
+		NowUS      int64  `json:"now_us"`
+	}
+	postJSON(t, hs.URL+"/v1/advance", `{"to_us":30000000}`, &adv)
+	if adv.NowUS != 30000000 || adv.Broadcasts == 0 {
+		t.Fatalf("advance %+v: 30 virtual seconds must broadcast", adv)
+	}
+
+	resp, err = http.Get(hs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{"wdcserved_broadcasts_total", "wdcserved_queries_total", `wdcserved_info{algo="ts"}`} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestControlPlaneRejectsBadRequests(t *testing.T) {
+	_, hs := newTestPlane(t)
+	// Control mutations are POST-only.
+	resp, err := http.Get(hs.URL + "/v1/algo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/algo: %s", resp.Status)
+	}
+	// Unknown fields and unknown algorithms are 400s, not silent.
+	if resp := postJSON(t, hs.URL+"/v1/algo", `{"algo":"ts","bogus":1}`, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown field: %s", resp.Status)
+	}
+	if resp := postJSON(t, hs.URL+"/v1/algo", `{"algo":"nope"}`, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown algo: %s", resp.Status)
+	}
+	if resp := postJSON(t, hs.URL+"/v1/update", `{"item":99999}`, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("out-of-range item: %s", resp.Status)
+	}
+}

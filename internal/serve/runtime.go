@@ -1,0 +1,283 @@
+package serve
+
+import (
+	"fmt"
+
+	"repro/internal/db"
+	"repro/internal/des"
+	"repro/internal/ir"
+	"repro/internal/radio"
+	"repro/internal/rng"
+	"repro/internal/serve/capabilities"
+)
+
+// RuntimeConfig parameterizes a served engine runtime.
+type RuntimeConfig struct {
+	Algo string    // scheme name (ir.Names)
+	IR   ir.Params // algorithm tunables
+	DB   db.Config // database sizing and update process
+	Seed uint64    // master seed for the db update stream
+}
+
+// DefaultRuntimeConfig mirrors the simulation's base configuration, with the
+// stochastic update process disabled: a served database normally changes
+// through ingested updates, not a self-driving process. Set DB.UpdateRate to
+// re-enable it.
+func DefaultRuntimeConfig() RuntimeConfig {
+	dbc := db.DefaultConfig()
+	dbc.UpdateRate = 0
+	p := ir.DefaultParams()
+	p.NumItems = dbc.NumItems
+	return RuntimeConfig{Algo: "ts", IR: p, DB: dbc, Seed: 1}
+}
+
+// Status is a snapshot of a runtime's state.
+type Status struct {
+	Algo           string   `json:"algo"`
+	NowUS          int64    `json:"now_us"`
+	Broadcasts     uint64   `json:"broadcasts"`
+	QueriesServed  uint64   `json:"queries_served"`
+	UpdatesApplied uint64   `json:"updates_applied"`
+	LastReportAtUS int64    `json:"last_report_at_us"`
+	Capabilities   []string `json:"capabilities"`
+	PendingEvents  int      `json:"pending_events"`
+	ExecutedEvents uint64   `json:"executed_events"`
+}
+
+// Runtime is the invalidation-report engine bound to a virtual clock and an
+// owned database: everything wdcserved does except sockets. It implements
+// ir.ServerEnv for its algorithm; report broadcasts leave through the sink
+// as encoded datagrams. All methods must be called from one goroutine (the
+// Server actor, or a test driving it directly) — the runtime is exactly as
+// single-threaded as the simulation core it mirrors.
+type Runtime struct {
+	sch     *des.Scheduler
+	db      *db.DB
+	amc     *radio.AMC
+	backend Backend
+	answers capabilities.QueryAnswerer
+	catchup capabilities.CatchupProvider
+	ingest  capabilities.UpdateIngester
+	piggy   capabilities.PiggybackSource
+
+	sink func(mcs int, datagram []byte)
+
+	// Environment signals, pushed by the host (control plane or test).
+	snrs []float64
+	load float64
+
+	cfg        RuntimeConfig
+	tickers    []*des.Ticker // tickers owned by the current algorithm
+	inTicker   bool
+	broadcasts uint64
+	queries    uint64
+	ingested   uint64
+	lastRepAt  des.Time
+}
+
+// runtimeStore adapts the owned database to the Store/Mutator pair: the
+// runtime owns its DB, so the backend gains the ingest capability.
+type runtimeStore struct{ rt *Runtime }
+
+func (s runtimeStore) NumItems() int       { return s.rt.db.NumItems() }
+func (s runtimeStore) Item(id int) db.Item { return s.rt.db.Item(id) }
+func (s runtimeStore) UpdatedSince(since des.Time, buf []db.Update) []db.Update {
+	return s.rt.db.UpdatedSince(since, buf)
+}
+func (s runtimeStore) Retention() des.Duration { return s.rt.db.Config().Retention }
+func (s runtimeStore) Apply(item int) db.Item {
+	s.rt.db.ApplyUpdate(item)
+	return s.rt.db.Item(item)
+}
+
+// NewRuntime builds a stopped runtime; Start arms the report schedule. The
+// sink receives every broadcast datagram and must not retain it past the
+// call.
+func NewRuntime(cfg RuntimeConfig, sink func(mcs int, datagram []byte)) (*Runtime, error) {
+	if sink == nil {
+		sink = func(int, []byte) {}
+	}
+	rt := &Runtime{sch: des.NewScheduler(), amc: radio.DefaultAMC(), sink: sink, cfg: cfg}
+	d, err := db.New(rt.sch, cfg.DB, rng.Stream(cfg.Seed, "db"))
+	if err != nil {
+		return nil, err
+	}
+	rt.db = d
+	if err := rt.installAlgo(cfg.Algo, cfg.IR); err != nil {
+		return nil, err
+	}
+	return rt, nil
+}
+
+// installAlgo composes the backend for the named scheme and caches its
+// capability facets.
+func (rt *Runtime) installAlgo(name string, p ir.Params) error {
+	if p.NumItems == 0 {
+		p.NumItems = rt.db.NumItems()
+	}
+	algo, err := ir.New(name, p)
+	if err != nil {
+		return err
+	}
+	backend := NewBackend(algo, runtimeStore{rt})
+	rt.backend = backend
+	rt.answers = backend.(capabilities.QueryAnswerer)
+	rt.catchup = backend.(capabilities.CatchupProvider)
+	rt.ingest, _ = backend.(capabilities.UpdateIngester)
+	rt.piggy, _ = backend.(capabilities.PiggybackSource)
+	rt.cfg.Algo, rt.cfg.IR = name, p
+	return nil
+}
+
+// Start arms the database update process and the report schedule.
+func (rt *Runtime) Start() {
+	rt.db.Start()
+	rt.backend.StartReports(rt)
+}
+
+// SetAlgo swaps the serving algorithm live: the outgoing scheme's tickers
+// are stopped, the new backend starts its schedule from the current clock.
+// Clients keyed to the old stream recover exactly as they do from a report
+// gap — the coverage-window rule or a catch-up exchange.
+func (rt *Runtime) SetAlgo(name string, p ir.Params) error {
+	if rt.inTicker {
+		return fmt.Errorf("serve: algo swap from inside a report tick")
+	}
+	for _, t := range rt.tickers {
+		t.Stop()
+	}
+	rt.tickers = rt.tickers[:0]
+	if err := rt.installAlgo(name, p); err != nil {
+		return err
+	}
+	rt.backend.StartReports(rt)
+	return nil
+}
+
+// AdvanceTo runs every event scheduled at or before t and leaves the clock
+// at t. It reports how many report broadcasts the advance produced, so a
+// lock-step driver knows exactly how many datagrams to collect.
+func (rt *Runtime) AdvanceTo(t des.Time) (broadcasts uint64) {
+	before := rt.broadcasts
+	rt.sch.Run(t)
+	return rt.broadcasts - before
+}
+
+// Now reports the virtual clock (also part of ir.ServerEnv).
+func (rt *Runtime) Now() des.Time { return rt.sch.Now() }
+
+// Query answers one item query at the current clock. When the backend
+// piggybacks, the marshaled digest it would attach to the response frame is
+// returned alongside — the served analogue of the core's digest-on-response
+// path — or nil when the backend declines or lacks the capability.
+func (rt *Runtime) Query(item int) (capabilities.Answer, []byte, error) {
+	ans, err := rt.answers.AnswerQuery(item, rt.sch.Now())
+	if err != nil {
+		return ans, nil, err
+	}
+	rt.queries++
+	var digest []byte
+	if rt.piggy != nil {
+		if pg := rt.piggy.PiggybackDigest(rt.sch.Now()); pg != nil {
+			digest = pg.Marshal()
+			rt.backend.RecycleReport(pg)
+		}
+	}
+	return ans, digest, nil
+}
+
+// Catchup serves the update history since the given consistency point. The
+// caller owns the returned report (it is never arena-backed).
+func (rt *Runtime) Catchup(since des.Time) *ir.Report {
+	return rt.catchup.CatchupSince(since, rt.sch.Now())
+}
+
+// Inject applies one externally originated update, if the backend ingests.
+func (rt *Runtime) Inject(item int) (capabilities.Answer, error) {
+	if rt.ingest == nil {
+		return capabilities.Answer{}, fmt.Errorf("serve: backend has no ingest capability")
+	}
+	rt.ingested++
+	return rt.ingest.IngestUpdate(item)
+}
+
+// SetSignals pushes the environment signals the adaptive schemes consume:
+// the awake-population SNRs and the downlink load estimate. The slice is
+// copied.
+func (rt *Runtime) SetSignals(snrs []float64, load float64) {
+	rt.snrs = append(rt.snrs[:0], snrs...)
+	rt.load = load
+}
+
+// FinalReport emits one last catch-up report through the sink, covering
+// everything since the previous broadcast: the graceful-shutdown farewell
+// that lets connected clients stay consistent across a server restart. It
+// broadcasts at the robust MCS so every listener can decode it.
+func (rt *Runtime) FinalReport() {
+	r := rt.catchup.CatchupSince(rt.lastRepAt, rt.sch.Now())
+	rt.emit(r, 0)
+}
+
+// Caps reports the backend's capability set.
+func (rt *Runtime) Caps() capabilities.Set { return capabilities.Detect(rt.backend) }
+
+// DBItem reports the current state of one item — the ground truth the
+// conformance oracle checks client caches against.
+func (rt *Runtime) DBItem(id int) db.Item { return rt.db.Item(id) }
+
+// Config reports the active configuration.
+func (rt *Runtime) Config() RuntimeConfig { return rt.cfg }
+
+// Status snapshots the runtime.
+func (rt *Runtime) Status() Status {
+	return Status{
+		Algo:           rt.backend.AlgoName(),
+		NowUS:          int64(rt.sch.Now()),
+		Broadcasts:     rt.broadcasts,
+		QueriesServed:  rt.queries,
+		UpdatesApplied: rt.ingested,
+		LastReportAtUS: int64(rt.lastRepAt),
+		Capabilities:   rt.Caps().Names(),
+		PendingEvents:  rt.sch.Pending(),
+		ExecutedEvents: rt.sch.Executed(),
+	}
+}
+
+// emit encodes and sinks one report, then recycles it.
+func (rt *Runtime) emit(r *ir.Report, mcs int) {
+	rt.broadcasts++
+	rt.lastRepAt = r.At
+	rt.sink(mcs, EncodeDatagram(mcs, r))
+	rt.backend.RecycleReport(r)
+}
+
+// --- ir.ServerEnv (the algorithm side of the runtime) ---
+
+// UpdatedSince implements ir.ServerEnv.
+func (rt *Runtime) UpdatedSince(since des.Time, buf []db.Update) []db.Update {
+	return rt.db.UpdatedSince(since, buf)
+}
+
+// Broadcast implements ir.ServerEnv: the report leaves as a datagram.
+func (rt *Runtime) Broadcast(r *ir.Report, mcs int) { rt.emit(r, mcs) }
+
+// NewTicker implements ir.ServerEnv, tracking ownership so SetAlgo can stop
+// the outgoing scheme's schedule.
+func (rt *Runtime) NewTicker(period des.Duration, name string, fn func(des.Time)) *des.Ticker {
+	t := des.NewTicker(rt.sch, period, name, func(now des.Time) {
+		rt.inTicker = true
+		fn(now)
+		rt.inTicker = false
+	})
+	rt.tickers = append(rt.tickers, t)
+	return t
+}
+
+// AwakeSNRs implements ir.ServerEnv from the pushed signal state.
+func (rt *Runtime) AwakeSNRs() []float64 { return rt.snrs }
+
+// AMC implements ir.ServerEnv.
+func (rt *Runtime) AMC() *radio.AMC { return rt.amc }
+
+// DownlinkLoad implements ir.ServerEnv from the pushed signal state.
+func (rt *Runtime) DownlinkLoad() float64 { return rt.load }
