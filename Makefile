@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: help build test vet race smoke-multicell smoke-parallel smoke-served check sweep bench bench-smoke bench-json bench-city soak fuzz-smoke soak-served
+.PHONY: help build test vet race smoke-multicell smoke-parallel smoke-served load-smoke check sweep bench bench-smoke bench-json bench-city bench-load soak fuzz-smoke soak-served soak-load
 
 # help lists the public targets. check is the pre-commit gate; soak is the
 # nightly chaos run and is deliberately NOT part of check.
@@ -12,15 +12,18 @@ help:
 	@echo "smoke-multicell multi-cell topology smoke under -race"
 	@echo "smoke-parallel  epoch-parallel engine smoke under -race: chaos at P=1 vs P=NumCPU"
 	@echo "smoke-served    wdcserved conformance under -race: DES model as lock-step oracle"
-	@echo "check           pre-commit gate: build + vet + race + smoke-multicell + smoke-parallel + smoke-served"
+	@echo "load-smoke      wall-clock load harness smoke under -race: small fleets, all algorithms"
+	@echo "check           pre-commit gate: build + vet + race + smoke-multicell + smoke-parallel + smoke-served + load-smoke"
 	@echo "sweep           regenerate the full evaluation into results/"
 	@echo "bench           full benchmark archive run"
 	@echo "bench-smoke     CI-sized benchmark subset"
 	@echo "bench-json      refresh BENCH_1.json and enforce the 15% perf ratchet"
 	@echo "bench-city      refresh BENCH_2.json: clients x cells scaling curve with RSS gate"
-	@echo "fuzz-smoke      30s native-fuzz pass over each ir wire-decoder target"
+	@echo "bench-load      refresh BENCH_3.json: wall-clock fleet latency sweep with p99 ratchet"
+	@echo "fuzz-smoke      30s native-fuzz pass over each wire-decoder target"
 	@echo "soak            long randomized chaos/fault run under -race (nightly job)"
 	@echo "soak-served     nightly served-mode chaos leg: conformance with report loss and query timeouts"
+	@echo "soak-load       nightly load leg: larger fleets against a spawned binary, p99 ratchet armed"
 
 build:
 	$(GO) build ./...
@@ -58,8 +61,15 @@ smoke-served:
 	$(GO) build -o /tmp/wdcserved ./cmd/wdcserved
 	WDCSERVED_BIN=/tmp/wdcserved $(GO) test -race -short -count=1 ./internal/serve/...
 
+# load-smoke runs the wall-clock load harness at test scale under the race
+# detector: an in-process wdcserved per algorithm, a small client fleet over
+# real UDP and TCP sockets, zero stale answers asserted online, and the
+# same-seed determinism contract (two runs, identical action-stream counts).
+load-smoke:
+	$(GO) test -race -count=1 ./internal/loadgen
+
 # check is the pre-commit gate.
-check: build vet race smoke-multicell smoke-parallel smoke-served
+check: build vet race smoke-multicell smoke-parallel smoke-served load-smoke
 
 # sweep regenerates the full evaluation into results/ (resumable).
 sweep: build
@@ -99,12 +109,27 @@ bench-json:
 bench-city:
 	$(GO) run ./cmd/wdcbench -city -baseline BENCH_2.json -out BENCH_2.json -max-regress-pct 8 -max-rss-mib 1024
 
-# fuzz-smoke runs each ir fuzz target for 30s from its committed seed corpus.
-# Short enough to gate a PR; the corpora under internal/ir/testdata/fuzz keep
-# the interesting inputs across runs.
+# bench-load refreshes the committed load record BENCH_3.json: the wall-clock
+# harness sweeps client fleets (100 and 1000 clients, all eight algorithms)
+# against a spawned wdcserved binary over real sockets, records answer-latency
+# quantiles, throughput, drops and retries per point, and fails when any
+# point's p99 regresses more than 15% (plus a 2 ms noise floor — sub-ms
+# quantiles are scheduler noise) against the committed record or any
+# stale answer surfaces. The record is written before the gate decides, so a
+# failing run leaves its numbers behind. Wall-clock latency is machine-
+# relative (see the record's note); the stale-answer gate is absolute.
+bench-load:
+	$(GO) build -o /tmp/wdcserved ./cmd/wdcserved
+	$(GO) run ./cmd/wdcload -bin /tmp/wdcserved -algos all -fleets 100,1000 -out BENCH_3.json -gate-pct 15
+
+# fuzz-smoke runs each wire-decoder fuzz target for 30s from its committed
+# seed corpus (internal/ir/testdata/fuzz and internal/serve/testdata/fuzz).
+# Short enough to gate a PR; the open-ended exploration is nightly.
 fuzz-smoke:
 	$(GO) test -run '^FuzzUnmarshal$$' -fuzz '^FuzzUnmarshal$$' -fuzztime 30s ./internal/ir
 	$(GO) test -run '^FuzzReportDecode$$' -fuzz '^FuzzReportDecode$$' -fuzztime 30s ./internal/ir
+	$(GO) test -run '^FuzzFrameRead$$' -fuzz '^FuzzFrameRead$$' -fuzztime 30s ./internal/serve
+	$(GO) test -run '^FuzzDecodeDatagram$$' -fuzz '^FuzzDecodeDatagram$$' -fuzztime 30s ./internal/serve
 
 # soak is the nightly chaos harness: many randomized fault schedules (outages,
 # report loss, disconnections with every recovery policy) across all eight
@@ -123,3 +148,13 @@ soak:
 soak-served:
 	$(GO) build -o /tmp/wdcserved ./cmd/wdcserved
 	WDCSERVED_BIN=/tmp/wdcserved $(GO) test -race -run 'Conformance' -timeout 20m -count=1 -v ./internal/serve/conformance
+
+# soak-load is the nightly load leg: larger fleets (1000 and 2000 clients,
+# all eight algorithms, a longer step schedule) against a spawned wdcserved
+# binary, with the p99 ratchet armed against the committed BENCH_3.json.
+# Race coverage of the fleet machinery lives in load-smoke; this leg runs
+# unsanitized so the latency numbers stay comparable to the record. Not part
+# of `make check`.
+soak-load:
+	$(GO) build -o /tmp/wdcserved ./cmd/wdcserved
+	$(GO) run ./cmd/wdcload -bin /tmp/wdcserved -algos all -fleets 1000,2000 -steps 40 -out BENCH_3.json -gate-pct 15

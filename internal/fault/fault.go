@@ -14,6 +14,7 @@ package fault
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/des"
 	"repro/internal/rng"
@@ -224,9 +225,44 @@ func (c *Config) InOutage(cell int, t des.Time) bool {
 	return off < c.OutageLen
 }
 
-// backoffCapDoublings bounds the exponential backoff; past six doublings the
+// BackoffCapDoublings bounds the exponential backoff; past six doublings the
 // wait is long enough that further growth only delays recovery.
-const backoffCapDoublings = 6
+const BackoffCapDoublings = 6
+
+// Backoff is the retry schedule as pure arithmetic: the wait before the next
+// retransmission after tries consecutive timeouts is base<<min(tries,6),
+// stretched multiplicatively into [1, 1.5) by the jitter draw u. Extreme
+// inputs degrade instead of misbehaving: negative tries count as zero, u is
+// clamped into [0, 1), a non-positive base means no wait, and a shift or
+// jitter addition that would overflow saturates at the maximum duration so
+// the schedule stays monotone in base.
+func Backoff(base des.Duration, tries int, u float64) des.Duration {
+	const maxDur = des.Duration(1<<63 - 1)
+	if base <= 0 {
+		return 0
+	}
+	if tries < 0 {
+		tries = 0
+	}
+	if tries > BackoffCapDoublings {
+		tries = BackoffCapDoublings
+	}
+	switch {
+	case u < 0:
+		u = 0
+	case u >= 1:
+		u = math.Nextafter(1, 0)
+	}
+	d := base << uint(tries)
+	if d>>uint(tries) != base {
+		return maxDur
+	}
+	j := des.Duration(float64(d) * 0.5 * u)
+	if d > maxDur-j {
+		return maxDur
+	}
+	return d + j
+}
 
 // retryBase is the first-wait duration of the backoff schedule.
 func (c *Config) retryBase() des.Duration {
@@ -274,14 +310,10 @@ func (in *Injector) ReportFate(cell int) Fate {
 }
 
 // RetryDelay returns the wait before the next retransmission after `tries`
-// consecutive timeouts: bounded exponential backoff with multiplicative
-// jitter in [1, 1.5) drawn from the caller's stream.
+// consecutive timeouts: Backoff over the configured base, with the jitter
+// draw taken from the caller's stream.
 func (in *Injector) RetryDelay(tries int, src *rng.Source) des.Duration {
-	if tries > backoffCapDoublings {
-		tries = backoffCapDoublings
-	}
-	d := in.cfg.retryBase() << uint(tries)
-	return d + des.Duration(float64(d)*0.5*src.Float64())
+	return Backoff(in.cfg.retryBase(), tries, src.Float64())
 }
 
 // DisconnectGap draws the connected time until a client's next extended

@@ -168,8 +168,8 @@ func TestRetryDelayBackoff(t *testing.T) {
 	src := rng.Stream(1, "test.retry")
 	for tries := 0; tries < 12; tries++ {
 		capped := tries
-		if capped > backoffCapDoublings {
-			capped = backoffCapDoublings
+		if capped > BackoffCapDoublings {
+			capped = BackoffCapDoublings
 		}
 		base := cfg.QueryTimeout << uint(capped)
 		d := in.RetryDelay(tries, src)
@@ -206,5 +206,57 @@ func TestDisconnectDraws(t *testing.T) {
 	}
 	if m := length / n; math.Abs(m-30) > 1 {
 		t.Errorf("mean length %v s, want ~30", m)
+	}
+}
+
+// TestBackoffExtremes pins the pure backoff arithmetic at the edges of its
+// domain: the doubling cap, negative tries, non-positive bases, jitter draws
+// outside [0, 1), and shifts or additions that would overflow int64.
+func TestBackoffExtremes(t *testing.T) {
+	const maxDur = des.Duration(1<<63 - 1)
+	cases := []struct {
+		name  string
+		base  des.Duration
+		tries int
+		u     float64
+		want  des.Duration
+	}{
+		{"zero jitter is exact", des.Second, 3, 0, des.Second << 3},
+		{"negative tries count as zero", des.Second, -5, 0, des.Second},
+		{"at the cap", des.Second, BackoffCapDoublings, 0, des.Second << BackoffCapDoublings},
+		{"past the cap stays capped", des.Second, BackoffCapDoublings + 1, 0, des.Second << BackoffCapDoublings},
+		{"far past the cap", des.Second, 1 << 20, 0, des.Second << BackoffCapDoublings},
+		{"zero base means no wait", 0, 4, 0.5, 0},
+		{"negative base means no wait", -des.Second, 4, 0.5, 0},
+		{"negative jitter clamps to zero", des.Second, 2, -3.7, des.Second << 2},
+		{"shift overflow saturates", maxDur / 2, 6, 0, maxDur},
+		{"jitter overflow saturates", maxDur - 1, 0, 0.999, maxDur},
+	}
+	for _, tc := range cases {
+		if got := Backoff(tc.base, tc.tries, tc.u); got != tc.want {
+			t.Errorf("%s: Backoff(%d, %d, %v) = %d, want %d",
+				tc.name, tc.base, tc.tries, tc.u, got, tc.want)
+		}
+	}
+
+	// u >= 1 clamps just under 1: the wait stays strictly below 1.5x the
+	// doubled base.
+	d := Backoff(des.Second, 2, 1.0)
+	lo, hi := des.Second<<2, des.Second<<2+(des.Second<<2)/2
+	if d < lo || d >= hi {
+		t.Errorf("u=1: delay %v outside [%v, %v)", d, lo, hi)
+	}
+	if d2 := Backoff(des.Second, 2, math.Inf(1)); d2 != d {
+		t.Errorf("u=+Inf clamps differently than u=1: %v vs %v", d2, d)
+	}
+
+	// Monotone non-decreasing in tries at fixed base and jitter.
+	prev := des.Duration(-1)
+	for tries := 0; tries <= BackoffCapDoublings+3; tries++ {
+		d := Backoff(des.Millisecond, tries, 0.25)
+		if d < prev {
+			t.Fatalf("tries=%d: delay %v shrank below %v", tries, d, prev)
+		}
+		prev = d
 	}
 }

@@ -1,0 +1,339 @@
+package loadgen
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/des"
+	"repro/internal/fault"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/rng"
+	"repro/internal/serve"
+	"repro/internal/serve/capabilities"
+	"repro/internal/serve/harness"
+	"repro/internal/workload"
+)
+
+// wireClient is one client's TCP connection to the query plane. The framing
+// mirrors the conformance target's, minus the lock-step machinery: queries
+// and catch-ups, with OpError turned into a Go error.
+type wireClient struct {
+	addr    string
+	timeout time.Duration
+	conn    net.Conn
+	fr      *serve.FrameReader
+}
+
+func dialWire(addr string, timeout time.Duration) (*wireClient, error) {
+	w := &wireClient{addr: addr, timeout: timeout}
+	if err := w.Reconnect(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// Reconnect (re)dials the query plane, abandoning any previous connection.
+func (w *wireClient) Reconnect() error {
+	if w.conn != nil {
+		_ = w.conn.Close()
+	}
+	conn, err := net.Dial("tcp", w.addr)
+	if err != nil {
+		return err
+	}
+	w.conn = conn
+	w.fr = serve.NewFrameReader(conn)
+	return nil
+}
+
+func (w *wireClient) Close() {
+	if w.conn != nil {
+		_ = w.conn.Close()
+	}
+}
+
+// readFrame reads one response frame, turning OpError into a Go error. The
+// payload aliases the reader's buffer: valid until the next read.
+func (w *wireClient) readFrame() (byte, []byte, error) {
+	_ = w.conn.SetReadDeadline(time.Now().Add(w.timeout))
+	op, payload, err := w.fr.Read()
+	if err != nil {
+		return 0, nil, err
+	}
+	if op == serve.OpError {
+		return 0, nil, fmt.Errorf("loadgen: server error: %s", payload)
+	}
+	return op, payload, nil
+}
+
+// Query runs one item query. The digest, when non-nil, aliases the frame
+// buffer and must be consumed before the next exchange on this client.
+func (w *wireClient) Query(item int) (capabilities.Answer, []byte, error) {
+	var ans capabilities.Answer
+	_ = w.conn.SetWriteDeadline(time.Now().Add(w.timeout))
+	if err := serve.WriteFrame(w.conn, serve.OpQuery, serve.EncodeQuery(item)); err != nil {
+		return ans, nil, err
+	}
+	op, payload, err := w.readFrame()
+	if err != nil {
+		return ans, nil, err
+	}
+	if op != serve.OpAnswer {
+		return ans, nil, fmt.Errorf("loadgen: query answered with op 0x%02x", op)
+	}
+	ans, digestFollows, err := serve.DecodeAnswerFrame(payload)
+	if err != nil || !digestFollows {
+		return ans, nil, err
+	}
+	op, payload, err = w.readFrame()
+	if err != nil {
+		return ans, nil, err
+	}
+	if op != serve.OpReport {
+		return ans, nil, fmt.Errorf("loadgen: digest flag set but op 0x%02x followed", op)
+	}
+	return ans, payload, nil
+}
+
+// Catchup requests the update history since the given consistency point. The
+// report aliases the frame buffer: consume before the next exchange.
+func (w *wireClient) Catchup(since des.Time) ([]byte, error) {
+	_ = w.conn.SetWriteDeadline(time.Now().Add(w.timeout))
+	if err := serve.WriteFrame(w.conn, serve.OpCatchup, serve.EncodeCatchup(since)); err != nil {
+		return nil, err
+	}
+	op, payload, err := w.readFrame()
+	if err != nil {
+		return nil, err
+	}
+	if op != serve.OpReport {
+		return nil, fmt.Errorf("loadgen: catchup answered with op 0x%02x", op)
+	}
+	return payload, nil
+}
+
+// clientStats is one client's contribution to the run result. The
+// deterministic subset (queries, catchups, itemSum) is a function of the
+// action stream alone; retries, recoveries, drops and latencies depend on
+// wall timing and are explicitly exempt from the determinism contract.
+type clientStats struct {
+	queries    int64
+	catchups   int64
+	recoveries int64
+	retries    int64
+	stale      int64
+	itemSum    uint64
+	sketch     *metrics.Sketch
+	err        error
+}
+
+// simClient is one simulated cache client: the protocol endpoint, its socket,
+// its two RNG streams, and its slice of the broadcast fan-out.
+type simClient struct {
+	id      int
+	hc      *harness.Client
+	wc      *wireClient
+	sampler *workload.Sampler
+	action  *rng.Source   // think times, item picks, action choice
+	proto   *rng.Source   // sig draws (via hc.Src) and retry jitter
+	reports <-chan []byte // broadcast datagrams from the distributor
+	dropped *atomic.Int64 // datagrams the distributor could not deliver
+}
+
+// newSimClient wires one client. Two streams per client keep the
+// deterministic counts honest: every draw that decides WHAT the client does
+// comes from the action stream, every draw whose count depends on wall timing
+// (signature checks per received report, retry jitter) comes from the proto
+// stream, so a dropped datagram or a retry can never shift the action
+// sequence.
+func newSimClient(id int, cfg *Config, zipf *rng.Zipf, reports <-chan []byte, dropped *atomic.Int64) (*simClient, error) {
+	action := rng.Stream(cfg.Seed, fmt.Sprintf("load-client-%d", id))
+	proto := rng.Stream(cfg.Seed, fmt.Sprintf("load-client-%d-proto", id))
+	wcfg := workload.Config{
+		QueryRate:    cfg.Rate,
+		Zipf:         cfg.Zipf,
+		NumItems:     cfg.NumItems,
+		AwakeMeanSec: 100,
+	}
+	sampler, err := workload.NewSampler(wcfg, zipf, action)
+	if err != nil {
+		return nil, err
+	}
+	return &simClient{
+		id:      id,
+		hc:      harness.New(cacheCapacity, cfg.NumItems, proto),
+		sampler: sampler,
+		action:  action,
+		proto:   proto,
+		reports: reports,
+		dropped: dropped,
+	}, nil
+}
+
+// cacheCapacity is each client's cache size; small relative to the item
+// universe so the Zipf tail keeps churning entries.
+const cacheCapacity = 16
+
+// run executes the client's step schedule: think, act (query or doze+catch-
+// up), drain the broadcast plane, sweep for stale entries. It returns when
+// the schedule is exhausted or the wire fails beyond the retry budget.
+func (sc *simClient) run(cfg *Config, truth *truthStore, mon *obs.LoadMonitor) clientStats {
+	st := clientStats{sketch: metrics.NewDelaySketch()}
+	defer mon.ClientDone()
+	var dropsSeen int64
+	for step := 0; step < cfg.Steps; step++ {
+		if !sc.drain(truth, &st) {
+			return st
+		}
+		// A dropped datagram means this client missed a report the rest of
+		// the fleet saw; recover by catching up from the last consistent
+		// point, the same move a reconnecting client makes.
+		if d := sc.dropped.Load(); d > dropsSeen {
+			dropsSeen = d
+			if !sc.catchup(cfg, truth, mon, &st, true) {
+				return st
+			}
+		}
+		time.Sleep(sc.sampler.NextQueryGap().Std())
+		if sc.action.Float64() < queryFraction {
+			if !sc.query(cfg, truth, mon, &st) {
+				return st
+			}
+		} else {
+			// Doze: radio off long enough to outlive report windows, then
+			// the catch-up exchange a waking client runs.
+			time.Sleep(des.FromSeconds(sc.action.Exp(1 / cfg.DozeMeanSec)).Std())
+			if !sc.drain(truth, &st) {
+				return st
+			}
+			if !sc.catchup(cfg, truth, mon, &st, false) {
+				return st
+			}
+		}
+		// The online sweep: assert the invariant now, not just at the end.
+		if n := sc.hc.StaleEntries(truth); n > 0 {
+			sc.debugStale(truth)
+			st.stale += int64(n)
+			mon.AddStale(n)
+		}
+	}
+	if !sc.drain(truth, &st) {
+		return st
+	}
+	if n := sc.hc.StaleEntries(truth); n > 0 {
+		st.stale += int64(n)
+		mon.AddStale(n)
+	}
+	return st
+}
+
+// queryFraction is the action split: query vs doze+catch-up.
+const queryFraction = 0.75
+
+// drain processes every queued broadcast datagram.
+func (sc *simClient) drain(truth *truthStore, st *clientStats) bool {
+	for {
+		select {
+		case dg := <-sc.reports:
+			if len(dg) < 1 {
+				st.err = fmt.Errorf("loadgen: client %d: empty datagram", sc.id)
+				return false
+			}
+			if _, err := sc.hc.ProcessWire(dg[1:], truth); err != nil {
+				st.err = fmt.Errorf("loadgen: client %d: undecodable datagram: %w", sc.id, err)
+				return false
+			}
+		default:
+			return true
+		}
+	}
+}
+
+// query runs one query exchange with bounded-backoff retries, records answer
+// latency, processes any piggybacked digest, and caches through the put
+// guard.
+func (sc *simClient) query(cfg *Config, truth *truthStore, mon *obs.LoadMonitor, st *clientStats) bool {
+	item := sc.sampler.NextItem()
+	st.itemSum += uint64(item)
+	t0 := time.Now()
+	ans, digest, err := sc.wc.Query(item)
+	for tries := 0; err != nil && tries < cfg.RetryMax; tries++ {
+		st.retries++
+		mon.AddRetries(1)
+		time.Sleep(fault.Backoff(des.Duration(cfg.RetryBase/time.Microsecond), tries, sc.proto.Float64()).Std())
+		if rerr := sc.wc.Reconnect(); rerr != nil {
+			err = rerr
+			continue
+		}
+		ans, digest, err = sc.wc.Query(item)
+	}
+	if err != nil {
+		st.err = fmt.Errorf("loadgen: client %d: query item %d: %w", sc.id, item, err)
+		return false
+	}
+	st.sketch.Observe(time.Since(t0).Seconds())
+	if digest != nil {
+		if _, err := sc.hc.ProcessWire(digest, truth); err != nil {
+			st.err = fmt.Errorf("loadgen: client %d: bad digest: %w", sc.id, err)
+			return false
+		}
+	}
+	sc.hc.CacheAnswer(ans, truth)
+	truth.observeAnswer(ans)
+	st.queries++
+	mon.AddQuery()
+	return true
+}
+
+// catchup runs one catch-up exchange from the client's consistency point.
+// recovery marks drop-triggered catch-ups, which are counted apart from the
+// scheduled ones because their count is timing-dependent.
+func (sc *simClient) catchup(cfg *Config, truth *truthStore, mon *obs.LoadMonitor, st *clientStats, recovery bool) bool {
+	raw, err := sc.wc.Catchup(sc.hc.State.LastConsistent)
+	for tries := 0; err != nil && tries < cfg.RetryMax; tries++ {
+		st.retries++
+		mon.AddRetries(1)
+		time.Sleep(fault.Backoff(des.Duration(cfg.RetryBase/time.Microsecond), tries, sc.proto.Float64()).Std())
+		if rerr := sc.wc.Reconnect(); rerr != nil {
+			err = rerr
+			continue
+		}
+		raw, err = sc.wc.Catchup(sc.hc.State.LastConsistent)
+	}
+	if err != nil {
+		st.err = fmt.Errorf("loadgen: client %d: catchup: %w", sc.id, err)
+		return false
+	}
+	if _, err := sc.hc.ProcessWire(raw, truth); err != nil {
+		st.err = fmt.Errorf("loadgen: client %d: bad catchup report: %w", sc.id, err)
+		return false
+	}
+	if recovery {
+		st.recoveries++
+	} else {
+		st.catchups++
+	}
+	mon.AddCatchup()
+	return true
+}
+
+// debugStale dumps the offending entries when LOADGEN_DEBUG is set.
+func (sc *simClient) debugStale(truth *truthStore) {
+	if os.Getenv("LOADGEN_DEBUG") == "" {
+		return
+	}
+	lc := sc.hc.State.LastConsistent
+	sc.hc.Cache.Range(func(e cache.Entry) bool {
+		ver, at := truth.VersionedAt(e.ID)
+		if at <= lc && e.Version < ver {
+			fmt.Fprintf(os.Stderr, "STALE client=%d item=%d cached(ver=%d at=%v) truth(ver=%d at=%v) LC=%v\n",
+				sc.id, e.ID, e.Version, e.CachedAt, ver, at, lc)
+		}
+		return true
+	})
+}

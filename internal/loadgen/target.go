@@ -1,0 +1,204 @@
+package loadgen
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/serve/capabilities"
+	"repro/internal/serve/rest"
+)
+
+// target is the server under load: its TCP query-plane address, a control-
+// plane client, and a teardown hook. Both modes — in-process serve.Server and
+// spawned wdcserved binary — run in wall-clock mode behind the same sockets,
+// so a load number means the same thing for either.
+type target struct {
+	tcpAddr string
+	ctl     *control
+	close   func()
+}
+
+// spawnTimeout bounds how long a spawned binary gets to print its address
+// line, and how long graceful shutdown may take before SIGKILL.
+const spawnTimeout = 15 * time.Second
+
+// startTarget brings up the server under load in wall-clock mode, broadcast
+// plane aimed at udpTarget.
+func startTarget(cfg *Config, rc serve.RuntimeConfig, udpTarget string) (*target, error) {
+	if cfg.Bin != "" {
+		return startSubprocess(cfg, rc, udpTarget)
+	}
+	srv, err := serve.NewServer(serve.Options{
+		Runtime:   rc,
+		WallClock: true,
+		UDPTarget: udpTarget,
+		TCPAddr:   "127.0.0.1:0",
+		IOTimeout: cfg.IOTimeout,
+	})
+	if err != nil {
+		return nil, err
+	}
+	hs := httptest.NewServer(rest.Handler(srv))
+	return &target{
+		tcpAddr: srv.TCPAddr().String(),
+		ctl:     &control{base: hs.URL, hc: hs.Client()},
+		close: func() {
+			hs.Close()
+			srv.Shutdown()
+		},
+	}, nil
+}
+
+// startSubprocess spawns the wdcserved binary on ephemeral ports and parses
+// the JSON address line it prints, mirroring the conformance target's spawn
+// protocol with the clock set to wall.
+func startSubprocess(cfg *Config, rc serve.RuntimeConfig, udpTarget string) (*target, error) {
+	conf, err := json.Marshal(rc)
+	if err != nil {
+		return nil, err
+	}
+	cmd := exec.Command(cfg.Bin,
+		"-clock", "wall",
+		"-udp-target", udpTarget,
+		"-tcp", "127.0.0.1:0",
+		"-http", "127.0.0.1:0",
+		"-io-timeout", cfg.IOTimeout.String(),
+		"-conf-json", string(conf),
+	)
+	cmd.Stderr = os.Stderr
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("loadgen: start %s: %w", cfg.Bin, err)
+	}
+
+	lineCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		if sc.Scan() {
+			lineCh <- sc.Text()
+		}
+		close(lineCh)
+	}()
+	var line string
+	select {
+	case l, ok := <-lineCh:
+		if !ok {
+			_ = cmd.Process.Kill()
+			_ = cmd.Wait()
+			return nil, fmt.Errorf("loadgen: %s exited before printing its address line", cfg.Bin)
+		}
+		line = l
+	case <-time.After(spawnTimeout):
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
+		return nil, fmt.Errorf("loadgen: %s did not print its address line", cfg.Bin)
+	}
+	var addrs struct {
+		TCP  string `json:"tcp"`
+		HTTP string `json:"http"`
+	}
+	if err := json.Unmarshal([]byte(line), &addrs); err != nil || addrs.TCP == "" || addrs.HTTP == "" {
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
+		return nil, fmt.Errorf("loadgen: bad address line %q: %v", line, err)
+	}
+	return &target{
+		tcpAddr: addrs.TCP,
+		ctl:     &control{base: "http://" + addrs.HTTP, hc: &http.Client{Timeout: spawnTimeout}},
+		close: func() {
+			_ = cmd.Process.Signal(syscall.SIGTERM)
+			done := make(chan struct{})
+			go func() { _ = cmd.Wait(); close(done) }()
+			select {
+			case <-done:
+			case <-time.After(spawnTimeout):
+				_ = cmd.Process.Kill()
+				<-done
+			}
+		},
+	}, nil
+}
+
+// control is the harness's HTTP control-plane client, shared by the update
+// injector, the signal pusher and the final status read.
+type control struct {
+	base string
+	hc   *http.Client
+}
+
+// post sends one control-plane request and decodes the JSON reply into out.
+func (c *control) post(path string, body, out any) error {
+	js, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(js))
+	if err != nil {
+		return fmt.Errorf("loadgen: POST %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("loadgen: POST %s: %s: %s", path, resp.Status, data)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// inject applies one database update through the control plane; the answer
+// carries the item's post-update version and true update time, which the
+// truth store settles on.
+func (c *control) inject(item int) (capabilities.Answer, error) {
+	var ans capabilities.Answer
+	err := c.post("/v1/update", struct {
+		Item int `json:"item"`
+	}{item}, &ans)
+	return ans, err
+}
+
+// setSignals pushes the adaptive schemes' environment signals.
+func (c *control) setSignals(snrs []float64, load float64) error {
+	return c.post("/v1/signals", struct {
+		SNRs []float64 `json:"snrs"`
+		Load float64   `json:"load"`
+	}{snrs, load}, nil)
+}
+
+// status snapshots the server, including the actor-queue gauges.
+func (c *control) status() (serve.Status, error) {
+	var st serve.Status
+	resp, err := c.hc.Get(c.base + "/v1/status")
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("loadgen: GET /v1/status: %s", resp.Status)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	return st, err
+}
+
+// dialUDP binds the harness's broadcast listener.
+func dialUDP() (*net.UDPConn, error) {
+	return net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+}

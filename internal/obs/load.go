@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// LoadMonitor collects live telemetry for a wall-clock load run: fleet
+// activity, protocol exchanges, and the fan-out health counters that tell a
+// human watching a long soak whether the harness itself is keeping up. The
+// client goroutines update it with lock-free atomics; the HTTP handler
+// assembles a consistent-enough view. The zero value is inert but safe, like
+// SweepMonitor.
+type LoadMonitor struct {
+	startNS atomic.Int64 // wall clock at Begin, UnixNano
+
+	clients atomic.Int64 // fleet size
+	active  atomic.Int64 // clients still running their step schedule
+
+	queries  atomic.Int64 // answers received (successful query exchanges)
+	retries  atomic.Int64 // query frames retried after an IO error
+	catchups atomic.Int64 // catch-up exchanges, scheduled and recovery
+	injects  atomic.Int64 // updates injected through the control plane
+	signals  atomic.Int64 // environment-signal pushes
+	reports  atomic.Int64 // datagrams delivered to clients
+	drops    atomic.Int64 // datagrams dropped by a full per-client channel
+	stale    atomic.Int64 // stale cache entries caught by the online sweep
+}
+
+// Begin (re)initializes the monitor for a fleet of n clients.
+func (m *LoadMonitor) Begin(n int) {
+	m.startNS.Store(time.Now().UnixNano())
+	m.clients.Store(int64(n))
+	m.active.Store(int64(n))
+	m.queries.Store(0)
+	m.retries.Store(0)
+	m.catchups.Store(0)
+	m.injects.Store(0)
+	m.signals.Store(0)
+	m.reports.Store(0)
+	m.drops.Store(0)
+	m.stale.Store(0)
+}
+
+// ClientDone marks one client finished with its step schedule.
+func (m *LoadMonitor) ClientDone() { m.active.Add(-1) }
+
+// AddQuery counts one completed query exchange.
+func (m *LoadMonitor) AddQuery() { m.queries.Add(1) }
+
+// AddRetries counts query frames retried after an IO error.
+func (m *LoadMonitor) AddRetries(n int) { m.retries.Add(int64(n)) }
+
+// AddCatchup counts one catch-up exchange.
+func (m *LoadMonitor) AddCatchup() { m.catchups.Add(1) }
+
+// AddInject counts one injected update.
+func (m *LoadMonitor) AddInject() { m.injects.Add(1) }
+
+// AddSignals counts one environment-signal push.
+func (m *LoadMonitor) AddSignals() { m.signals.Add(1) }
+
+// AddReport counts one datagram delivered to a client.
+func (m *LoadMonitor) AddReport() { m.reports.Add(1) }
+
+// AddDrop counts one datagram dropped by a full per-client channel.
+func (m *LoadMonitor) AddDrop() { m.drops.Add(1) }
+
+// AddStale counts stale entries caught by the online sweep.
+func (m *LoadMonitor) AddStale(n int) { m.stale.Add(int64(n)) }
+
+// LoadSnapshot is a point-in-time JSON-friendly view of a load run.
+type LoadSnapshot struct {
+	ElapsedSec    float64 `json:"elapsed_sec"`
+	Clients       int64   `json:"clients"`
+	ActiveClients int64   `json:"active_clients"`
+	Queries       int64   `json:"queries"`
+	QueriesPerSec float64 `json:"queries_per_sec"`
+	Retries       int64   `json:"retries"`
+	Catchups      int64   `json:"catchups"`
+	Injects       int64   `json:"injects"`
+	Signals       int64   `json:"signals"`
+	Reports       int64   `json:"reports_delivered"`
+	Drops         int64   `json:"reports_dropped"`
+	Stale         int64   `json:"stale"`
+}
+
+// Snapshot assembles the current view; now is a parameter so tests stay
+// deterministic.
+func (m *LoadMonitor) Snapshot(now time.Time) LoadSnapshot {
+	var elapsed float64
+	if startNS := m.startNS.Load(); startNS != 0 {
+		elapsed = now.Sub(time.Unix(0, startNS)).Seconds()
+		if elapsed <= 0 {
+			elapsed = 1e-9
+		}
+	}
+	s := LoadSnapshot{
+		ElapsedSec:    elapsed,
+		Clients:       m.clients.Load(),
+		ActiveClients: m.active.Load(),
+		Queries:       m.queries.Load(),
+		Retries:       m.retries.Load(),
+		Catchups:      m.catchups.Load(),
+		Injects:       m.injects.Load(),
+		Signals:       m.signals.Load(),
+		Reports:       m.reports.Load(),
+		Drops:         m.drops.Load(),
+		Stale:         m.stale.Load(),
+	}
+	if elapsed > 0 {
+		s.QueriesPerSec = float64(s.Queries) / elapsed
+	}
+	return s
+}
+
+// ServeHTTP serves the snapshot as indented JSON, for mounting under a debug
+// mux next to net/http/pprof.
+func (m *LoadMonitor) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(m.Snapshot(time.Now()))
+}

@@ -5,13 +5,13 @@ import (
 	"fmt"
 	"time"
 
-	"repro/internal/cache"
 	"repro/internal/des"
 	"repro/internal/fault"
 	"repro/internal/ir"
 	"repro/internal/rng"
 	"repro/internal/serve"
 	"repro/internal/serve/capabilities"
+	"repro/internal/serve/harness"
 )
 
 // Config parameterizes one conformance run.
@@ -77,20 +77,18 @@ func RuntimeConfigFor(algo string, seed uint64) serve.RuntimeConfig {
 	return rc
 }
 
-// harnessClient is one cache-holding listener on the broadcast plane,
-// running the exact client protocol the core's clients run: ir.ClientState
-// over a cache.Cache, with the core's put guard and staleness rule.
-type harnessClient struct {
-	state ir.ClientState
-	cache *cache.Cache
-	src   *rng.Source
-}
-
 // modelOracle reads item ground truth from the model runtime — the stand-in
-// for bit-level signature hashing, same as the core's dbOracle.
+// for bit-level signature hashing, same as the core's dbOracle. It also
+// implements harness.Truth: in lock-step mode the model database IS the
+// settled truth, so the staleness sweep is exact.
 type modelOracle struct{ rt *serve.Runtime }
 
 func (o modelOracle) UpdatedAt(id int) des.Time { return o.rt.DBItem(id).UpdatedAt }
+
+func (o modelOracle) VersionedAt(id int) (uint64, des.Time) {
+	it := o.rt.DBItem(id)
+	return it.Version, it.UpdatedAt
+}
 
 // Run executes the lock-step conformance protocol: model and target advance
 // to the same virtual instants, receive the same queries, updates and
@@ -126,12 +124,10 @@ func Run(cfg Config) (Result, error) {
 	defer tgt.Close()
 
 	oracle := modelOracle{model}
-	clients := make([]*harnessClient, cfg.Clients)
+	clients := make([]*harness.Client, cfg.Clients)
 	for i := range clients {
-		clients[i] = &harnessClient{
-			cache: cache.New(16, rc.DB.NumItems),
-			src:   rng.Stream(cfg.Seed, fmt.Sprintf("conf-client-%d", i)),
-		}
+		clients[i] = harness.New(16, rc.DB.NumItems,
+			rng.Stream(cfg.Seed, fmt.Sprintf("conf-client-%d", i)))
 	}
 	sched := rng.Stream(cfg.Seed, "conf-schedule")
 	chaos := rng.Stream(cfg.Seed, "conf-chaos")
@@ -179,11 +175,9 @@ func Run(cfg Config) (Result, error) {
 							len(cut), len(dg))
 					}
 				default:
-					r, err := ir.Unmarshal(dg[1:])
-					if err != nil {
+					if _, err := c.ProcessWire(dg[1:], oracle); err != nil {
 						return res, fmt.Errorf("conformance: step %d: undecodable datagram: %w", step, err)
 					}
-					c.state.Process(r, c.cache, oracle, c.src)
 				}
 			}
 		}
@@ -196,16 +190,9 @@ func Run(cfg Config) (Result, error) {
 		// The stale sweep: every cached entry whose item has not changed
 		// after the client's consistency point must hold the current
 		// version. This is the core's checkConsistency rule applied to the
-		// whole cache.
+		// whole cache, shared with the load harness via harness.StaleEntries.
 		for _, c := range clients {
-			asOf := c.state.LastConsistent
-			c.cache.Range(func(e cache.Entry) bool {
-				it := model.DBItem(e.ID)
-				if it.UpdatedAt <= asOf && e.Version != it.Version {
-					res.Stale++
-				}
-				return true
-			})
+			res.Stale += c.StaleEntries(oracle)
 		}
 	}
 	return res, nil
@@ -229,7 +216,7 @@ func sampleFate(ch *Chaos, src *rng.Source) fault.Fate {
 // applyStep performs one mirrored action: an item query over TCP, an update
 // injection, a signals push, or a catch-up exchange.
 func applyStep(cfg Config, res *Result, sched, chaos *rng.Source, tgt *Target,
-	model *serve.Runtime, clients []*harnessClient, oracle ir.Oracle, numItems int) error {
+	model *serve.Runtime, clients []*harness.Client, oracle harness.Truth, numItems int) error {
 	switch pick := sched.Float64(); {
 	case pick < 0.55: // query
 		c := clients[sched.Intn(len(clients))]
@@ -251,18 +238,11 @@ func applyStep(cfg Config, res *Result, sched, chaos *rng.Source, tgt *Target,
 		// The digest rides the response; process it before caching so the
 		// put guard sees the advanced consistency point, as in the core.
 		if digest != nil {
-			r, err := ir.Unmarshal(digest)
-			if err != nil {
+			if _, err := c.ProcessWire(digest, oracle); err != nil {
 				return err
 			}
-			c.state.Process(r, c.cache, oracle, c.src)
 		}
-		// The core's put guard: skip caching a value already outdated by an
-		// update in (genAt, LastConsistent] — a report listed it while the
-		// response was in flight and will never re-list it.
-		if u := oracle.UpdatedAt(ans.Item); !(u > ans.AsOf && u <= c.state.LastConsistent) {
-			c.cache.Put(ans.Item, ans.Version, ans.AsOf)
-		}
+		c.CacheAnswer(ans, oracle)
 		res.Queries++
 	case pick < 0.75: // update injection
 		item := sched.Intn(numItems)
@@ -290,19 +270,17 @@ func applyStep(cfg Config, res *Result, sched, chaos *rng.Source, tgt *Target,
 		model.SetSignals(snrs, load)
 	default: // catch-up exchange
 		c := clients[sched.Intn(len(clients))]
-		raw, err := tgt.Catchup(c.state.LastConsistent)
+		raw, err := tgt.Catchup(c.State.LastConsistent)
 		if err != nil {
 			return err
 		}
-		want := model.Catchup(c.state.LastConsistent)
+		want := model.Catchup(c.State.LastConsistent)
 		if !bytes.Equal(raw, want.Marshal()) {
 			return fmt.Errorf("catchup report mismatch: served %x, model %x", raw, want.Marshal())
 		}
-		r, err := ir.Unmarshal(raw)
-		if err != nil {
+		if _, err := c.ProcessWire(raw, oracle); err != nil {
 			return err
 		}
-		c.state.Process(r, c.cache, oracle, c.src)
 		res.Catchups++
 	}
 	return nil

@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+// FuzzFrameRead drives the TCP frame reader with arbitrary stream bytes: the
+// codec must never panic, never allocate from a hostile length prefix beyond
+// MaxFramePayload, and classify every outcome — clean EOF exactly at a frame
+// boundary, ErrUnexpectedEOF mid-frame, a hard error on zero-length or
+// oversized claims. Whatever decodes must round-trip through WriteFrame back
+// to the same bytes.
+func FuzzFrameRead(f *testing.F) {
+	// Well-formed single frames.
+	frame := func(op byte, payload []byte) []byte {
+		var b bytes.Buffer
+		if err := WriteFrame(&b, op, payload); err != nil {
+			f.Fatal(err)
+		}
+		return b.Bytes()
+	}
+	f.Add(frame(OpQuery, EncodeQuery(7)))
+	f.Add(frame(OpCatchup, EncodeCatchup(123456)))
+	f.Add(frame(OpAnswer, make([]byte, 25)))
+	f.Add(frame(OpError, []byte("boom")))
+	f.Add(append(frame(OpQuery, EncodeQuery(1)), frame(OpCatchup, EncodeCatchup(2))...))
+	// Unknown op byte: the reader passes it through; dispatch rejects it.
+	f.Add(frame(0x7E, []byte{1, 2, 3}))
+	// Truncated length prefix and truncated payload.
+	f.Add([]byte{0x00, 0x00})
+	f.Add([]byte{0x00, 0x00, 0x00, 0x05, 0x01, 0xAA})
+	// Zero-length claim (no op byte) and an oversized MaxFramePayload claim.
+	f.Add([]byte{0x00, 0x00, 0x00, 0x00})
+	f.Add(binary.BigEndian.AppendUint32(nil, uint32(MaxFramePayload+2)))
+	f.Add(binary.BigEndian.AppendUint32(nil, 0xFFFFFFFF))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr := NewFrameReader(bytes.NewReader(data))
+		off := 0 // bytes consumed by fully-read frames
+		for {
+			op, payload, err := fr.Read()
+			if err != nil {
+				// Clean EOF is only legal exactly at a frame boundary; a
+				// stream cut anywhere else must surface as ErrUnexpectedEOF
+				// or a hard framing error.
+				if err == io.EOF && off != len(data) {
+					t.Fatalf("clean EOF with %d bytes consumed of %d", off, len(data))
+				}
+				return
+			}
+			if len(payload)+1 > MaxFramePayload+1 {
+				t.Fatalf("frame of %d payload bytes exceeds MaxFramePayload", len(payload))
+			}
+			// Round-trip: re-encoding the decoded frame must reproduce the
+			// wire bytes just consumed.
+			var rt bytes.Buffer
+			if err := WriteFrame(&rt, op, payload); err != nil {
+				t.Fatalf("re-encode: %v", err)
+			}
+			end := off + rt.Len()
+			if end > len(data) || !bytes.Equal(rt.Bytes(), data[off:end]) {
+				t.Fatalf("frame at offset %d does not round-trip", off)
+			}
+			off = end
+		}
+	})
+}
+
+// FuzzDecodeDatagram drives the UDP datagram decoder: arbitrary bytes must
+// either decode into a report or fail loudly — never panic, and never
+// "succeed" on a truncated body (the codec's own tests pin that for real
+// reports; here the input is arbitrary).
+func FuzzDecodeDatagram(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x03})
+	f.Add([]byte{0x00, 0x01, 0x02, 0x03})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var r ir.Report
+		_, _ = DecodeDatagram(data, &r)
+	})
+}

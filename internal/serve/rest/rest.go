@@ -81,9 +81,13 @@ func Handler(s *serve.Server) http.Handler {
 		if !decode(w, r, &req) {
 			return
 		}
+		if err := s.SetSignals(req.SNRs, req.Load); err != nil {
+			httpError(w, http.StatusBadRequest, err)
+			return
+		}
 		reply(w, struct {
 			OK bool `json:"ok"`
-		}{true}, s.SetSignals(req.SNRs, req.Load))
+		}{true}, nil)
 	})
 	mux.HandleFunc("/v1/advance", func(w http.ResponseWriter, r *http.Request) {
 		if !post(w, r) {
@@ -120,6 +124,8 @@ func Handler(s *serve.Server) http.Handler {
 		b.Counter("wdcserved_updates_total", "Database updates ingested via the control plane.", float64(st.UpdatesApplied))
 		b.Counter("wdcserved_events_total", "Engine scheduler events executed.", float64(st.ExecutedEvents))
 		b.Gauge("wdcserved_events_pending", "Engine scheduler events pending.", float64(st.PendingEvents))
+		b.Gauge("wdcserved_actor_queue_depth", "Ops waiting in the actor mailbox.", float64(st.QueueDepth))
+		b.Gauge("wdcserved_actor_queue_max", "High-water mark of the actor mailbox.", float64(st.QueueMax))
 		b.ServeHTTP(w, r)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)

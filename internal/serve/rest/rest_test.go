@@ -150,3 +150,99 @@ func TestControlPlaneRejectsBadRequests(t *testing.T) {
 		t.Fatalf("out-of-range item: %s", resp.Status)
 	}
 }
+
+// TestControlPlaneErrorPaths drives every mutating endpoint through its
+// rejection paths — wrong method, malformed JSON, unknown algorithm, wrong
+// field types, oversized bodies past the 1 MiB cap — and asserts both the
+// intended status code and that the runtime absorbed no state change.
+func TestControlPlaneErrorPaths(t *testing.T) {
+	_, hs := newTestPlane(t)
+
+	// controlState is the part of Status a rejected request must not move.
+	type controlState struct {
+		algo    string
+		nowUS   int64
+		updates uint64
+		bcasts  uint64
+	}
+	snapshot := func() controlState {
+		t.Helper()
+		resp, err := http.Get(hs.URL + "/v1/status")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var st serve.Status
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		return controlState{st.Algo, st.NowUS, st.UpdatesApplied, st.Broadcasts}
+	}
+
+	oversized := `{"algo":"` + strings.Repeat("x", 1<<20) + `"}`
+	endpoints := []string{"/v1/algo", "/v1/update", "/v1/signals", "/v1/advance"}
+	cases := []struct {
+		name   string
+		method string
+		path   string
+		body   string
+		want   int
+	}{
+		{"algo GET", http.MethodGet, "/v1/algo", "", http.StatusMethodNotAllowed},
+		{"update GET", http.MethodGet, "/v1/update", "", http.StatusMethodNotAllowed},
+		{"signals DELETE", http.MethodDelete, "/v1/signals", "", http.StatusMethodNotAllowed},
+		{"advance PUT", http.MethodPut, "/v1/advance", `{"to_us":1}`, http.StatusMethodNotAllowed},
+		{"algo truncated JSON", http.MethodPost, "/v1/algo", `{"algo":"ts"`, http.StatusBadRequest},
+		{"algo non-JSON body", http.MethodPost, "/v1/algo", `ts`, http.StatusBadRequest},
+		{"algo wrong type", http.MethodPost, "/v1/algo", `{"algo":7}`, http.StatusBadRequest},
+		{"algo unknown name", http.MethodPost, "/v1/algo", `{"algo":"lru"}`, http.StatusBadRequest},
+		{"algo empty name", http.MethodPost, "/v1/algo", `{"algo":""}`, http.StatusBadRequest},
+		{"update wrong type", http.MethodPost, "/v1/update", `{"item":"three"}`, http.StatusBadRequest},
+		{"update negative item", http.MethodPost, "/v1/update", `{"item":-1}`, http.StatusBadRequest},
+		{"update unknown field", http.MethodPost, "/v1/update", `{"item":1,"extra":true}`, http.StatusBadRequest},
+		{"signals malformed array", http.MethodPost, "/v1/signals", `{"snrs":[10,}`, http.StatusBadRequest},
+		{"signals negative load", http.MethodPost, "/v1/signals", `{"snrs":[10],"load":-2}`, http.StatusBadRequest},
+		{"signals overfull load", http.MethodPost, "/v1/signals", `{"snrs":[10],"load":1.5}`, http.StatusBadRequest},
+		{"advance truncated", http.MethodPost, "/v1/advance", `{"to_us":`, http.StatusBadRequest},
+		{"advance backwards", http.MethodPost, "/v1/advance", `{"to_us":-5}`, http.StatusBadRequest},
+	}
+	for _, path := range endpoints {
+		cases = append(cases, struct {
+			name   string
+			method string
+			path   string
+			body   string
+			want   int
+		}{path + " oversized body", http.MethodPost, path, oversized, http.StatusBadRequest})
+	}
+
+	before := snapshot()
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := http.NewRequest(tc.method, hs.URL+tc.path, strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			req.Header.Set("Content-Type", "application/json")
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != tc.want {
+				t.Fatalf("%s %s: got %s, want %d (body %s)", tc.method, tc.path, resp.Status, tc.want, body)
+			}
+			// Every rejection is a JSON error object, not a bare string.
+			var e struct {
+				Error string `json:"error"`
+			}
+			if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+				t.Fatalf("%s %s: rejection body %q is not an error object", tc.method, tc.path, body)
+			}
+		})
+	}
+	if after := snapshot(); after != before {
+		t.Fatalf("rejected requests moved control state:\n  before %+v\n  after  %+v", before, after)
+	}
+}

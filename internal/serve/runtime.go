@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/db"
 	"repro/internal/des"
@@ -31,7 +32,10 @@ func DefaultRuntimeConfig() RuntimeConfig {
 	return RuntimeConfig{Algo: "ts", IR: p, DB: dbc, Seed: 1}
 }
 
-// Status is a snapshot of a runtime's state.
+// Status is a snapshot of a runtime's state. The actor-queue fields are
+// filled by the hosting Server (a bare Runtime has no mailbox): the
+// load-test hook that lets a harness watch how deep the single-actor
+// serialization point backs up under socket load.
 type Status struct {
 	Algo           string   `json:"algo"`
 	NowUS          int64    `json:"now_us"`
@@ -42,6 +46,8 @@ type Status struct {
 	Capabilities   []string `json:"capabilities"`
 	PendingEvents  int      `json:"pending_events"`
 	ExecutedEvents uint64   `json:"executed_events"`
+	QueueDepth     int      `json:"actor_queue_depth"`
+	QueueMax       int      `json:"actor_queue_max"`
 }
 
 // Runtime is the invalidation-report engine bound to a virtual clock and an
@@ -156,11 +162,16 @@ func (rt *Runtime) SetAlgo(name string, p ir.Params) error {
 
 // AdvanceTo runs every event scheduled at or before t and leaves the clock
 // at t. It reports how many report broadcasts the advance produced, so a
-// lock-step driver knows exactly how many datagrams to collect.
-func (rt *Runtime) AdvanceTo(t des.Time) (broadcasts uint64) {
+// lock-step driver knows exactly how many datagrams to collect. The virtual
+// clock only moves forward; asking for an earlier time is a caller error,
+// not a silent no-op.
+func (rt *Runtime) AdvanceTo(t des.Time) (broadcasts uint64, err error) {
+	if now := rt.sch.Now(); t < now {
+		return 0, fmt.Errorf("serve: AdvanceTo %v before now %v", t, now)
+	}
 	before := rt.broadcasts
 	rt.sch.Run(t)
-	return rt.broadcasts - before
+	return rt.broadcasts - before, nil
 }
 
 // Now reports the virtual clock (also part of ir.ServerEnv).
@@ -197,16 +208,29 @@ func (rt *Runtime) Inject(item int) (capabilities.Answer, error) {
 	if rt.ingest == nil {
 		return capabilities.Answer{}, fmt.Errorf("serve: backend has no ingest capability")
 	}
-	rt.ingested++
-	return rt.ingest.IngestUpdate(item)
+	ans, err := rt.ingest.IngestUpdate(item)
+	if err == nil {
+		rt.ingested++
+	}
+	return ans, err
 }
 
 // SetSignals pushes the environment signals the adaptive schemes consume:
 // the awake-population SNRs and the downlink load estimate. The slice is
-// copied.
-func (rt *Runtime) SetSignals(snrs []float64, load float64) {
+// copied. Load is a capacity fraction and must land in [0, 1]; SNRs must be
+// finite — a NaN here would silently poison the link-adaptation averages.
+func (rt *Runtime) SetSignals(snrs []float64, load float64) error {
+	if math.IsNaN(load) || load < 0 || load > 1 {
+		return fmt.Errorf("serve: load %v outside [0, 1]", load)
+	}
+	for i, s := range snrs {
+		if math.IsNaN(s) || math.IsInf(s, 0) {
+			return fmt.Errorf("serve: snr[%d] = %v is not finite", i, s)
+		}
+	}
 	rt.snrs = append(rt.snrs[:0], snrs...)
 	rt.load = load
+	return nil
 }
 
 // FinalReport emits one last catch-up report through the sink, covering

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/des"
@@ -48,6 +49,12 @@ type Server struct {
 	ops      chan func()
 	stopped  chan struct{} // closed when the actor exits
 	stopOnce sync.Once
+
+	// queueMax is the deepest the actor mailbox has backed up, measured at
+	// each dequeue (the op being taken plus everything still waiting). The
+	// load harness reads it to see whether latency lives in the sockets or
+	// in the serialization point.
+	queueMax atomic.Int64
 
 	udp   net.Conn
 	tcpLn net.Listener
@@ -136,9 +143,29 @@ func (s *Server) actorLoop() {
 	for {
 		select {
 		case fn := <-s.ops:
+			if depth := int64(len(s.ops)) + 1; depth > s.queueMax.Load() {
+				s.queueMax.Store(depth)
+			}
+			if s.opts.WallClock {
+				// Stamp each op at the exact wall microsecond, bumping at
+				// least one past the previous stamp: two ops must never share
+				// a virtual time, or an answer and an update landing in the
+				// same tick window become unorderable — a report's
+				// cached-before-update check and the load harness's truth
+				// store both break on the tie.
+				t := des.Time(time.Since(s.wallStart) / time.Microsecond)
+				if now := s.rt.Now(); t <= now {
+					t = now + 1
+				}
+				_, _ = s.rt.AdvanceTo(t)
+			}
 			fn()
 		case <-tickC:
-			s.rt.AdvanceTo(des.Time(time.Since(s.wallStart) / time.Microsecond))
+			// Keep the clock (and scheduled report broadcasts) moving through
+			// op-free stretches. The per-op advance may have pushed the clock
+			// a hair past the wall; AdvanceTo rejects the backwards ask and
+			// the next tick catches up.
+			_, _ = s.rt.AdvanceTo(des.Time(time.Since(s.wallStart) / time.Microsecond))
 		case <-s.stopped:
 			return
 		}
@@ -170,8 +197,11 @@ func (s *Server) AdvanceTo(t des.Time) (broadcasts uint64, err error) {
 	if s.opts.WallClock {
 		return 0, fmt.Errorf("serve: AdvanceTo on a wall-clock server")
 	}
-	err = s.Do(func(rt *Runtime) { broadcasts = rt.AdvanceTo(t) })
-	return broadcasts, err
+	var aerr error
+	if err := s.Do(func(rt *Runtime) { broadcasts, aerr = rt.AdvanceTo(t) }); err != nil {
+		return 0, err
+	}
+	return broadcasts, aerr
 }
 
 // RuntimeConfig reports the runtime's active configuration.
@@ -180,11 +210,20 @@ func (s *Server) RuntimeConfig() (cfg RuntimeConfig, err error) {
 	return cfg, err
 }
 
-// Status snapshots the runtime.
+// Status snapshots the runtime, folding in the mailbox gauges only the
+// Server can see: the instantaneous queue depth and its high-water mark.
 func (s *Server) Status() (st Status, err error) {
-	err = s.Do(func(rt *Runtime) { st = rt.Status() })
+	err = s.Do(func(rt *Runtime) {
+		st = rt.Status()
+		st.QueueDepth = len(s.ops)
+		st.QueueMax = int(s.queueMax.Load())
+	})
 	return st, err
 }
+
+// QueueHighWater reports the deepest the actor mailbox has been since start —
+// the load harness's cheap read when it only wants the pressure gauge.
+func (s *Server) QueueHighWater() int { return int(s.queueMax.Load()) }
 
 // Caps reports the backend's capability set.
 func (s *Server) Caps() (cs capabilities.Set, err error) {
@@ -212,7 +251,11 @@ func (s *Server) Inject(item int) (ans capabilities.Answer, err error) {
 
 // SetSignals pushes the environment signals for the adaptive schemes.
 func (s *Server) SetSignals(snrs []float64, load float64) error {
-	return s.Do(func(rt *Runtime) { rt.SetSignals(snrs, load) })
+	var serr error
+	if err := s.Do(func(rt *Runtime) { serr = rt.SetSignals(snrs, load) }); err != nil {
+		return err
+	}
+	return serr
 }
 
 // Query answers one item query (the TCP plane's op, exposed for tests and
